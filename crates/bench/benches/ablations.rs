@@ -1,0 +1,89 @@
+//! Design-choice ablation benchmarks called out in DESIGN.md §4:
+//! speculative-history policies (Section 3.1), the target cache
+//! (Section 3.2), and cost-model evaluation (Section 3.4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tlabp_core::automaton::Automaton;
+use tlabp_core::cost::{BhtGeometry, CostModel};
+use tlabp_core::predictor::BranchPredictor;
+use tlabp_core::speculative::{HistoryUpdatePolicy, MispredictRepair, SpeculativeGag};
+use tlabp_core::target_cache::TargetCache;
+
+fn speculative_policies(c: &mut Criterion) {
+    let trace = tlabp_bench::mixed_trace(40_000);
+    let policies = [
+        ("resolve_d0", HistoryUpdatePolicy::OnResolve { delay: 0 }),
+        ("resolve_d4", HistoryUpdatePolicy::OnResolve { delay: 4 }),
+        (
+            "spec_repair_d4",
+            HistoryUpdatePolicy::Speculative { delay: 4, repair: MispredictRepair::Repair },
+        ),
+        (
+            "spec_reinit_d4",
+            HistoryUpdatePolicy::Speculative {
+                delay: 4,
+                repair: MispredictRepair::Reinitialize,
+            },
+        ),
+    ];
+    let mut group = c.benchmark_group("ablation_speculative");
+    for (name, policy) in policies {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut p = SpeculativeGag::new(12, Automaton::A2, policy);
+                let mut correct = 0u64;
+                for branch in trace.conditional_branches() {
+                    let predicted = p.predict(branch);
+                    p.update(branch);
+                    correct += u64::from(predicted == branch.taken);
+                }
+                black_box(correct)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn target_cache(c: &mut Criterion) {
+    let trace = tlabp_bench::mixed_trace(40_000);
+    c.bench_function("ablation_target_cache", |b| {
+        b.iter(|| {
+            let mut cache = TargetCache::new(512, 4);
+            let mut correct_paths = 0u64;
+            for branch in trace.branches() {
+                let outcome = cache.fetch(branch, branch.taken);
+                cache.resolve(branch);
+                correct_paths += u64::from(outcome.is_correct_path());
+            }
+            black_box(correct_paths)
+        });
+    });
+}
+
+fn cost_model(c: &mut Criterion) {
+    let model = CostModel::paper_default();
+    c.bench_function("cost_model", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for k in 6..=18 {
+                total += model.gag_cost(k, 2);
+                total += model.pag_cost(BhtGeometry::PAPER_DEFAULT, k, 2);
+                total += model.pap_cost(BhtGeometry::PAPER_DEFAULT, k, 2);
+                total += model.full_cost(BhtGeometry::PAPER_DEFAULT, k, 2, 1);
+            }
+            black_box(total)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = speculative_policies, target_cache, cost_model
+}
+criterion_main!(benches);

@@ -1,0 +1,193 @@
+//! One benchmark per paper table/figure: each measures the simulation
+//! kernel that regenerates the corresponding artifact, at reduced trace
+//! length (the full-scale regenerations are `cargo run -p
+//! tlabp-experiments -- <artifact>`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tlabp_core::automaton::Automaton;
+use tlabp_core::bht::BhtConfig;
+use tlabp_core::config::SchemeConfig;
+use tlabp_core::schemes::{train_global, train_per_address, Gsg, Psg};
+use tlabp_core::predictor::BranchPredictor;
+use tlabp_sim::runner::{simulate, SimConfig};
+use tlabp_trace::stats::{BranchMix, TraceSummary};
+use tlabp_trace::Trace;
+use tlabp_workloads::{Benchmark, DataSet};
+
+fn accuracy(predictor: &mut dyn BranchPredictor, trace: &Trace, sim: &SimConfig) -> f64 {
+    simulate(predictor, trace, sim).accuracy()
+}
+
+/// Shared scaled-down workload trace (one integer benchmark).
+fn workload() -> Trace {
+    Benchmark::by_name("eqntott").expect("eqntott exists").trace(DataSet::Testing)
+}
+
+fn table1_static_branches(c: &mut Criterion) {
+    // Table 1 kernel: trace generation + static-branch counting for one
+    // benchmark (the full table sweeps all nine).
+    let benchmark = Benchmark::by_name("li").expect("li exists");
+    c.bench_function("table1_static_branches", |b| {
+        b.iter(|| {
+            let trace = benchmark.trace(DataSet::Testing);
+            black_box(TraceSummary::from_trace(&trace).static_conditional_branches)
+        });
+    });
+}
+
+fn fig04_branch_mix(c: &mut Criterion) {
+    let trace = workload();
+    c.bench_function("fig04_branch_mix", |b| {
+        b.iter(|| black_box(BranchMix::from_trace(black_box(&trace))));
+    });
+}
+
+fn fig05_automata(c: &mut Criterion) {
+    let trace = workload();
+    let sim = SimConfig::no_context_switch();
+    let mut group = c.benchmark_group("fig05_automata");
+    for automaton in Automaton::FIGURE5 {
+        group.bench_function(automaton.table3_name(), |b| {
+            b.iter(|| {
+                let mut p = tlabp_core::schemes::Pag::new(12, BhtConfig::PAPER_DEFAULT, automaton);
+                black_box(accuracy(&mut p, &trace, &sim))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fig06_variations(c: &mut Criterion) {
+    let trace = workload();
+    let sim = SimConfig::no_context_switch();
+    let mut group = c.benchmark_group("fig06_variations");
+    for (name, config) in [
+        ("GAg_k8", SchemeConfig::gag(8)),
+        ("PAg_k8", SchemeConfig::pag(8)),
+        ("PAp_k8", SchemeConfig::pap(8)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut p = config.build().expect("adaptive scheme");
+                black_box(accuracy(&mut *p, &trace, &sim))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fig07_ghr_length(c: &mut Criterion) {
+    let trace = workload();
+    let sim = SimConfig::no_context_switch();
+    let mut group = c.benchmark_group("fig07_ghr_length");
+    for k in [6u32, 12, 18] {
+        group.bench_function(format!("GAg_k{k}"), |b| {
+            b.iter(|| {
+                let mut p = SchemeConfig::gag(k).build().expect("GAg builds");
+                black_box(accuracy(&mut *p, &trace, &sim))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fig08_equal_accuracy(c: &mut Criterion) {
+    let trace = workload();
+    let sim = SimConfig::no_context_switch();
+    let model = tlabp_core::CostModel::paper_default();
+    let configs = [SchemeConfig::gag(18), SchemeConfig::pag(12), SchemeConfig::pap(8)];
+    c.bench_function("fig08_equal_accuracy", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for config in &configs {
+                let mut p = config.build().expect("adaptive scheme");
+                total += accuracy(&mut *p, &trace, &sim);
+                total += config.cost(&model).expect("costed scheme") * 1e-12;
+            }
+            black_box(total)
+        });
+    });
+}
+
+fn fig09_context_switch(c: &mut Criterion) {
+    let trace = Benchmark::by_name("gcc").expect("gcc exists").trace(DataSet::Testing);
+    let mut group = c.benchmark_group("fig09_context_switch");
+    group.sample_size(10);
+    for (name, sim) in [
+        ("no_cs", SimConfig::no_context_switch()),
+        ("with_cs", SimConfig::paper_context_switch()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut p = SchemeConfig::pag(12).build().expect("PAg builds");
+                black_box(accuracy(&mut *p, &trace, &sim))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fig10_bht_impl(c: &mut Criterion) {
+    let trace = workload();
+    let sim = SimConfig::paper_context_switch();
+    let mut group = c.benchmark_group("fig10_bht_impl");
+    for bht in BhtConfig::FIGURE10 {
+        group.bench_function(bht.label(), |b| {
+            b.iter(|| {
+                let mut p = SchemeConfig::pag(12).with_bht(bht).build().expect("PAg builds");
+                black_box(accuracy(&mut *p, &trace, &sim))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fig11_schemes(c: &mut Criterion) {
+    let benchmark = Benchmark::by_name("espresso").expect("espresso exists");
+    let training = benchmark.trace(DataSet::Training);
+    let testing = benchmark.trace(DataSet::Testing);
+    let sim = SimConfig::no_context_switch();
+    let mut group = c.benchmark_group("fig11_schemes");
+    group.sample_size(10);
+    group.bench_function("PAg12", |b| {
+        b.iter(|| {
+            let mut p = SchemeConfig::pag(12).build().expect("builds");
+            black_box(accuracy(&mut *p, &testing, &sim))
+        });
+    });
+    group.bench_function("PSg12_with_training_pass", |b| {
+        b.iter(|| {
+            let preset = train_per_address(&training, 12);
+            let mut p = Psg::new(&preset, BhtConfig::PAPER_DEFAULT);
+            black_box(accuracy(&mut p, &testing, &sim))
+        });
+    });
+    group.bench_function("GSg12_with_training_pass", |b| {
+        b.iter(|| {
+            let preset = train_global(&training, 12);
+            let mut p = Gsg::new(&preset);
+            black_box(accuracy(&mut p, &testing, &sim))
+        });
+    });
+    group.bench_function("BTB_A2", |b| {
+        b.iter(|| {
+            let mut p = SchemeConfig::btb(Automaton::A2).build().expect("builds");
+            black_box(accuracy(&mut *p, &testing, &sim))
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(15)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = table1_static_branches, fig04_branch_mix, fig05_automata,
+        fig06_variations, fig07_ghr_length, fig08_equal_accuracy,
+        fig09_context_switch, fig10_bht_impl, fig11_schemes
+}
+criterion_main!(benches);

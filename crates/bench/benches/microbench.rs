@@ -1,0 +1,107 @@
+//! Microbenchmarks of the individual predictor structures.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use tlabp_core::automaton::Automaton;
+use tlabp_core::bht::{CacheBht, IdealBht};
+use tlabp_core::history::HistoryRegister;
+use tlabp_core::pht::PatternHistoryTable;
+use tlabp_trace::io::{read_trace, write_trace};
+
+fn automaton_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("automaton");
+    for automaton in Automaton::FIGURE5 {
+        group.bench_function(automaton.table3_name(), |b| {
+            let mut state = automaton.initial_state();
+            let mut flip = false;
+            b.iter(|| {
+                flip = !flip;
+                state = automaton.update(black_box(state), flip);
+                black_box(automaton.predict(state))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn history_register_ops(c: &mut Criterion) {
+    c.bench_function("history/shift_in", |b| {
+        let mut hr = HistoryRegister::all_ones(12);
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            hr.shift_in(flip);
+            black_box(hr.pattern())
+        });
+    });
+}
+
+fn pht_ops(c: &mut Criterion) {
+    c.bench_function("pht/predict_update_k12", |b| {
+        let mut pht = PatternHistoryTable::new(12, Automaton::A2);
+        let mut pattern = 0usize;
+        b.iter(|| {
+            pattern = (pattern.wrapping_mul(25) + 7) & 0xfff;
+            let predicted = pht.predict(black_box(pattern));
+            pht.update(pattern, predicted);
+            black_box(predicted)
+        });
+    });
+}
+
+fn bht_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bht");
+    group.bench_function("cache_512x4/hit", |b| {
+        let mut bht = CacheBht::new(512, 4, 12);
+        bht.access(0x4000);
+        b.iter(|| black_box(bht.access(black_box(0x4000))));
+    });
+    group.bench_function("cache_512x4/working_set_sweep", |b| {
+        let mut bht = CacheBht::new(512, 4, 12);
+        let mut pc = 0x4000u64;
+        b.iter(|| {
+            pc = 0x4000 + ((pc + 4) & 0x3ff);
+            let hit = bht.access(pc);
+            bht.record_outcome(pc, true);
+            black_box(hit)
+        });
+    });
+    group.bench_function("ideal/access", |b| {
+        let mut bht = IdealBht::new(12);
+        let mut pc = 0u64;
+        b.iter(|| {
+            pc = (pc + 4) & 0xffff;
+            black_box(bht.access(pc))
+        });
+    });
+    group.finish();
+}
+
+fn trace_io(c: &mut Criterion) {
+    let trace = tlabp_bench::mixed_trace(50_000);
+    let bytes = write_trace(&trace);
+    let mut group = c.benchmark_group("trace_io");
+    group.throughput(criterion::Throughput::Elements(trace.len() as u64));
+    group.bench_function("encode_50k", |b| {
+        b.iter(|| black_box(write_trace(black_box(&trace))));
+    });
+    group.bench_function("decode_50k", |b| {
+        b.iter_batched(
+            || bytes.clone(),
+            |bytes| black_box(read_trace(&bytes).expect("valid trace")),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = automaton_ops, history_register_ops, pht_ops, bht_ops, trace_io
+}
+criterion_main!(benches);

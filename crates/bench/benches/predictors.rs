@@ -1,0 +1,53 @@
+//! End-to-end predict+update throughput for every prediction scheme.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use tlabp_core::automaton::Automaton;
+use tlabp_core::config::SchemeConfig;
+use tlabp_trace::Trace;
+
+fn run(config: &SchemeConfig, trace: &Trace) -> u64 {
+    let mut predictor = config.build().expect("non-training scheme");
+    let mut correct = 0u64;
+    for branch in trace.conditional_branches() {
+        let predicted = predictor.predict(branch);
+        predictor.update(branch);
+        correct += u64::from(predicted == branch.taken);
+    }
+    correct
+}
+
+fn predictor_throughput(c: &mut Criterion) {
+    let trace = tlabp_bench::mixed_trace(60_000);
+    let branches = trace.conditional_branches().count() as u64;
+
+    let configs = [
+        SchemeConfig::gag(12),
+        SchemeConfig::pag(12),
+        SchemeConfig::pap(8),
+        SchemeConfig::pag(12).with_bht(tlabp_core::BhtConfig::Ideal),
+        SchemeConfig::btb(Automaton::A2),
+        SchemeConfig::btfn(),
+        SchemeConfig::always_taken(),
+    ];
+
+    let mut group = c.benchmark_group("predictor_throughput");
+    group.throughput(Throughput::Elements(branches));
+    for config in configs {
+        group.bench_function(config.to_string(), |b| {
+            b.iter(|| black_box(run(black_box(&config), &trace)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = predictor_throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion benchmark crate for the two-level adaptive branch prediction
+//! reproduction.
+//!
+//! All content lives in `benches/`:
+//!
+//! * `microbench` — individual structure operations (automata, history
+//!   registers, pattern/branch history tables, trace IO).
+//! * `predictors` — end-to-end predict+update throughput per scheme.
+//! * `figures` — one benchmark per paper table/figure kernel, at reduced
+//!   trace lengths (the full regenerations live in `tlabp-experiments`).
+//! * `ablations` — the design-choice ablations called out in DESIGN.md
+//!   (speculative history policies, cost-model evaluation).
+//!
+//! This library target exists only to anchor the package; it also hosts
+//! shared helpers for the benches.
+
+/// Builds a mixed synthetic trace with `branches` dynamic conditional
+/// branches: one part loop-regular, one part pattern-driven, one part
+/// biased noise — a cheap stand-in for a workload mix.
+pub fn mixed_trace(branches: usize) -> tlabp_trace::Trace {
+    use tlabp_trace::synth::{BiasedCoins, LoopNest, RepeatingPattern};
+    let third = branches / 3;
+    let mut trace = LoopNest::new(&[(third / 10).max(1) as u64, 10]).generate();
+    trace.append_shifted(&RepeatingPattern::new(&[true, true, false, true], third / 4 + 1).generate());
+    trace.append_shifted(&BiasedCoins::uniform(64, 0.85, third / 64 + 1, 7).generate());
+    trace
+}

@@ -1,0 +1,598 @@
+//! Branch history tables (first-level storage) — Section 3.3 of the paper.
+//!
+//! The per-address schemes (PAg, PAp) keep one history register per static
+//! conditional branch. The paper studies two implementations:
+//!
+//! * an **ideal** BHT ([`IdealBht`]) with one history register per static
+//!   branch, used to show the accuracy loss of practical tables, and
+//! * a **practical** BHT ([`CacheBht`]) organized as a direct-mapped or
+//!   set-associative cache with address tags and LRU replacement.
+//!
+//! Both honor the paper's miss policy (Section 4.2): a newly allocated
+//! history register "is initialized to all 1's"; after the result of the
+//! missing branch is known, "the result bit is extended throughout the
+//!   history register".
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::history::HistoryRegister;
+
+/// Selects a branch history table implementation for the per-address
+/// schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BhtConfig {
+    /// One history register per static branch, never evicted (IBHT).
+    Ideal,
+    /// A cache of `entries` history registers, `ways`-way set-associative
+    /// (`ways = 1` is direct-mapped), LRU replacement within a set.
+    Cache {
+        /// Total number of entries (must be `ways × power-of-two`).
+        entries: usize,
+        /// Set associativity.
+        ways: usize,
+    },
+}
+
+impl BhtConfig {
+    /// The paper's default practical configuration: 4-way set-associative,
+    /// 512 entries (Section 5.2 selects it as "simple enough to be
+    /// implemented").
+    pub const PAPER_DEFAULT: BhtConfig = BhtConfig::Cache { entries: 512, ways: 4 };
+
+    /// The four practical configurations of Figure 10 plus the ideal table.
+    pub const FIGURE10: [BhtConfig; 5] = [
+        BhtConfig::Ideal,
+        BhtConfig::Cache { entries: 512, ways: 4 },
+        BhtConfig::Cache { entries: 512, ways: 1 },
+        BhtConfig::Cache { entries: 256, ways: 4 },
+        BhtConfig::Cache { entries: 256, ways: 1 },
+    ];
+
+    /// Builds the table for `history_bits`-bit history registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cache geometry is invalid (see [`CacheBht::new`]).
+    #[must_use]
+    pub fn build(self, history_bits: u32) -> BranchHistoryTable {
+        match self {
+            BhtConfig::Ideal => BranchHistoryTable::Ideal(IdealBht::new(history_bits)),
+            BhtConfig::Cache { entries, ways } => {
+                BranchHistoryTable::Cache(CacheBht::new(entries, ways, history_bits))
+            }
+        }
+    }
+
+    /// A short label, e.g. `IBHT`, `512x4`, `256x1`.
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            BhtConfig::Ideal => "IBHT".to_owned(),
+            BhtConfig::Cache { entries, ways } => format!("{entries}x{ways}"),
+        }
+    }
+}
+
+/// Hit/miss counters for a branch history table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BhtStats {
+    /// Accesses that found the branch's entry.
+    pub hits: u64,
+    /// Accesses that allocated a new entry.
+    pub misses: u64,
+}
+
+impl BhtStats {
+    /// Hit rate in `[0, 1]`; 0 when no accesses were made.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct IdealEntry {
+    history: HistoryRegister,
+    fresh: bool,
+}
+
+/// The Ideal Branch History Table (IBHT): one history register per static
+/// conditional branch, unbounded capacity.
+///
+/// The paper simulates the IBHT "to show the accuracy loss due to the
+/// history interference in a practical branch history table
+/// implementation".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IdealBht {
+    history_bits: u32,
+    entries: HashMap<u64, IdealEntry>,
+    stats: BhtStats,
+}
+
+impl IdealBht {
+    /// Creates an empty ideal table for `history_bits`-bit registers.
+    #[must_use]
+    pub fn new(history_bits: u32) -> Self {
+        IdealBht { history_bits, entries: HashMap::new(), stats: BhtStats::default() }
+    }
+
+    /// Looks up `pc`, allocating an all-ones entry on first sight.
+    /// Returns `true` on hit.
+    pub fn access(&mut self, pc: u64) -> bool {
+        if self.entries.contains_key(&pc) {
+            self.stats.hits += 1;
+            true
+        } else {
+            self.stats.misses += 1;
+            self.entries.insert(
+                pc,
+                IdealEntry { history: HistoryRegister::all_ones(self.history_bits), fresh: true },
+            );
+            false
+        }
+    }
+
+    /// The current pattern for `pc`, if present.
+    #[must_use]
+    pub fn pattern(&self, pc: u64) -> Option<usize> {
+        self.entries.get(&pc).map(|e| e.history.pattern())
+    }
+
+    /// Records the resolved outcome for `pc`: extends the result bit
+    /// through a fresh register, otherwise shifts it in. Returns `false`
+    /// if `pc` has no entry (e.g. it was flushed between predict and
+    /// update).
+    pub fn record_outcome(&mut self, pc: u64, taken: bool) -> bool {
+        match self.entries.get_mut(&pc) {
+            Some(entry) => {
+                if entry.fresh {
+                    entry.history.fill(taken);
+                    entry.fresh = false;
+                } else {
+                    entry.history.shift_in(taken);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of distinct static branches seen.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Discards all entries (context switch).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Access statistics.
+    #[must_use]
+    pub fn stats(&self) -> BhtStats {
+        self.stats
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct CacheSlot {
+    valid: bool,
+    tag: u64,
+    history: HistoryRegister,
+    fresh: bool,
+    /// Timestamp of last access, for LRU replacement.
+    last_used: u64,
+}
+
+/// A practical branch history table: a direct-mapped or set-associative
+/// cache of history registers with LRU replacement (Section 3.3).
+///
+/// "The lower part of a branch address is used to index into the table and
+/// the higher part is stored as a tag." Addresses are word-granular: the
+/// two low bits of the pc are dropped before indexing.
+///
+/// # Example
+///
+/// ```
+/// use tlabp_core::bht::CacheBht;
+///
+/// let mut bht = CacheBht::new(512, 4, 12);
+/// assert!(!bht.access(0x4000), "first access misses");
+/// bht.record_outcome(0x4000, false);
+/// assert!(bht.access(0x4000), "second access hits");
+/// assert_eq!(bht.pattern(0x4000), Some(0)); // result bit extended through
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheBht {
+    sets: usize,
+    ways: usize,
+    history_bits: u32,
+    slots: Vec<CacheSlot>,
+    clock: u64,
+    stats: BhtStats,
+}
+
+impl CacheBht {
+    /// Creates a cache with `entries` total slots organized as
+    /// `entries / ways` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero, `entries` is not a multiple of `ways`, or
+    /// the number of sets is not a power of two.
+    #[must_use]
+    pub fn new(entries: usize, ways: usize, history_bits: u32) -> Self {
+        assert!(ways > 0, "associativity must be positive");
+        assert!(
+            entries > 0 && entries.is_multiple_of(ways),
+            "entries {entries} must be a positive multiple of ways {ways}"
+        );
+        let sets = entries / ways;
+        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        let empty = CacheSlot {
+            valid: false,
+            tag: 0,
+            history: HistoryRegister::all_ones(history_bits),
+            fresh: true,
+            last_used: 0,
+        };
+        CacheBht {
+            sets,
+            ways,
+            history_bits,
+            slots: vec![empty; entries],
+            clock: 0,
+            stats: BhtStats::default(),
+        }
+    }
+
+    /// Total slot count.
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Set associativity.
+    #[must_use]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    fn set_index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.sets - 1)
+    }
+
+    fn tag(&self, pc: u64) -> u64 {
+        (pc >> 2) / self.sets as u64
+    }
+
+    fn find(&self, pc: u64) -> Option<usize> {
+        let set = self.set_index(pc);
+        let tag = self.tag(pc);
+        let base = set * self.ways;
+        (base..base + self.ways).find(|&i| self.slots[i].valid && self.slots[i].tag == tag)
+    }
+
+    /// Looks up `pc`, allocating on miss (evicting the LRU way of the set).
+    /// Returns `true` on hit.
+    pub fn access(&mut self, pc: u64) -> bool {
+        self.clock += 1;
+        if let Some(i) = self.find(pc) {
+            self.slots[i].last_used = self.clock;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        let set = self.set_index(pc);
+        let base = set * self.ways;
+        let victim = (base..base + self.ways)
+            .min_by_key(|&i| (self.slots[i].valid, self.slots[i].last_used))
+            .expect("set has at least one way");
+        let tag = self.tag(pc);
+        let history_bits = self.history_bits;
+        let slot = &mut self.slots[victim];
+        slot.valid = true;
+        slot.tag = tag;
+        slot.history = HistoryRegister::all_ones(history_bits);
+        slot.fresh = true;
+        slot.last_used = self.clock;
+        false
+    }
+
+    /// The current pattern for `pc`, if resident.
+    #[must_use]
+    pub fn pattern(&self, pc: u64) -> Option<usize> {
+        self.find(pc).map(|i| self.slots[i].history.pattern())
+    }
+
+    /// The physical slot index currently holding `pc`, if resident.
+    ///
+    /// PAp uses this to associate one pattern history table with each
+    /// physical BHT entry.
+    #[must_use]
+    pub fn slot_of(&self, pc: u64) -> Option<usize> {
+        self.find(pc)
+    }
+
+    /// Records the resolved outcome for `pc` (fill if fresh, else shift).
+    /// Returns `false` if `pc` is not resident.
+    pub fn record_outcome(&mut self, pc: u64, taken: bool) -> bool {
+        match self.find(pc) {
+            Some(i) => {
+                let slot = &mut self.slots[i];
+                if slot.fresh {
+                    slot.history.fill(taken);
+                    slot.fresh = false;
+                } else {
+                    slot.history.shift_in(taken);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Invalidates every slot (context switch: "a context switch results
+    /// in flushing and reinitialization of the branch history table").
+    pub fn flush(&mut self) {
+        for slot in &mut self.slots {
+            slot.valid = false;
+            slot.fresh = true;
+        }
+    }
+
+    /// Access statistics.
+    #[must_use]
+    pub fn stats(&self) -> BhtStats {
+        self.stats
+    }
+}
+
+/// Either branch history table implementation behind one interface.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BranchHistoryTable {
+    /// Unbounded per-branch table.
+    Ideal(IdealBht),
+    /// Practical cache implementation.
+    Cache(CacheBht),
+}
+
+impl BranchHistoryTable {
+    /// Looks up `pc`, allocating on miss. Returns `true` on hit.
+    pub fn access(&mut self, pc: u64) -> bool {
+        match self {
+            BranchHistoryTable::Ideal(t) => t.access(pc),
+            BranchHistoryTable::Cache(t) => t.access(pc),
+        }
+    }
+
+    /// The current pattern for `pc`, if present.
+    #[must_use]
+    pub fn pattern(&self, pc: u64) -> Option<usize> {
+        match self {
+            BranchHistoryTable::Ideal(t) => t.pattern(pc),
+            BranchHistoryTable::Cache(t) => t.pattern(pc),
+        }
+    }
+
+    /// Records the resolved outcome for `pc`. Returns `false` if absent.
+    pub fn record_outcome(&mut self, pc: u64, taken: bool) -> bool {
+        match self {
+            BranchHistoryTable::Ideal(t) => t.record_outcome(pc, taken),
+            BranchHistoryTable::Cache(t) => t.record_outcome(pc, taken),
+        }
+    }
+
+    /// The physical slot currently holding `pc` (cache only; `None` for the
+    /// ideal table, which has no fixed slots).
+    #[must_use]
+    pub fn slot_of(&self, pc: u64) -> Option<usize> {
+        match self {
+            BranchHistoryTable::Ideal(_) => None,
+            BranchHistoryTable::Cache(t) => t.slot_of(pc),
+        }
+    }
+
+    /// Discards all entries (context switch).
+    pub fn flush(&mut self) {
+        match self {
+            BranchHistoryTable::Ideal(t) => t.flush(),
+            BranchHistoryTable::Cache(t) => t.flush(),
+        }
+    }
+
+    /// Access statistics.
+    #[must_use]
+    pub fn stats(&self) -> BhtStats {
+        match self {
+            BranchHistoryTable::Ideal(t) => t.stats(),
+            BranchHistoryTable::Cache(t) => t.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_allocates_all_ones_then_extends_result() {
+        let mut bht = IdealBht::new(6);
+        assert!(!bht.access(0x100));
+        assert_eq!(bht.pattern(0x100), Some(0b111111));
+        bht.record_outcome(0x100, false);
+        assert_eq!(bht.pattern(0x100), Some(0), "result bit extended throughout");
+        bht.record_outcome(0x100, true);
+        assert_eq!(bht.pattern(0x100), Some(1), "subsequent outcomes shift in");
+    }
+
+    #[test]
+    fn ideal_tracks_distinct_branches() {
+        let mut bht = IdealBht::new(4);
+        for pc in [0x10u64, 0x20, 0x30, 0x10] {
+            bht.access(pc);
+        }
+        assert_eq!(bht.len(), 3);
+        assert_eq!(bht.stats().hits, 1);
+        assert_eq!(bht.stats().misses, 3);
+    }
+
+    #[test]
+    fn ideal_flush_clears() {
+        let mut bht = IdealBht::new(4);
+        bht.access(0x10);
+        bht.flush();
+        assert!(bht.is_empty());
+        assert_eq!(bht.pattern(0x10), None);
+    }
+
+    #[test]
+    fn cache_geometry_validation() {
+        let bht = CacheBht::new(512, 4, 12);
+        assert_eq!(bht.sets(), 128);
+        assert_eq!(bht.ways(), 4);
+        assert_eq!(bht.slot_count(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn cache_rejects_non_power_of_two_sets() {
+        let _ = CacheBht::new(384, 4, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn cache_rejects_non_multiple_entries() {
+        let _ = CacheBht::new(510, 4, 12);
+    }
+
+    #[test]
+    fn cache_hit_after_allocate() {
+        let mut bht = CacheBht::new(16, 2, 4);
+        assert!(!bht.access(0x40));
+        assert!(bht.access(0x40));
+        assert_eq!(bht.stats().hits, 1);
+        assert_eq!(bht.stats().misses, 1);
+    }
+
+    #[test]
+    fn cache_distinguishes_tags_in_same_set() {
+        let mut bht = CacheBht::new(8, 2, 4);
+        // 4 sets; word addresses 0 and 4 both map to set 0 with different tags.
+        let a = 0u64; // word 0, set 0
+        let b = (4 * 4) as u64; // word 4, set 0, tag 1
+        bht.access(a);
+        bht.record_outcome(a, false);
+        bht.access(b);
+        bht.record_outcome(b, true);
+        assert_eq!(bht.pattern(a), Some(0));
+        assert_eq!(bht.pattern(b), Some(0b1111));
+    }
+
+    #[test]
+    fn cache_lru_evicts_least_recent() {
+        // 2 sets x 2 ways; three pcs in set 0.
+        let mut bht = CacheBht::new(4, 2, 4);
+        let pc = |word: u64| word * 4 * 2; // even words -> set 0
+        bht.access(pc(0));
+        bht.access(pc(2));
+        bht.access(pc(0)); // refresh pc(0): LRU is now pc(2)
+        bht.access(pc(4)); // evicts pc(2)
+        assert!(bht.pattern(pc(0)).is_some());
+        assert!(bht.pattern(pc(2)).is_none());
+        assert!(bht.pattern(pc(4)).is_some());
+    }
+
+    #[test]
+    fn cache_direct_mapped_conflicts() {
+        let mut bht = CacheBht::new(4, 1, 4);
+        let a = 0u64;
+        let b = 4 * 4; // same set (4 sets, word 4 -> set 0), different tag
+        bht.access(a);
+        bht.access(b);
+        assert!(bht.pattern(a).is_none(), "direct-mapped conflict must evict");
+        assert!(bht.pattern(b).is_some());
+    }
+
+    #[test]
+    fn cache_prefers_invalid_slot_over_eviction() {
+        let mut bht = CacheBht::new(4, 2, 4);
+        let pc = |word: u64| word * 4 * 2;
+        bht.access(pc(0));
+        bht.access(pc(2)); // fills the second way; pc(0) must survive
+        assert!(bht.pattern(pc(0)).is_some());
+        assert!(bht.pattern(pc(2)).is_some());
+    }
+
+    #[test]
+    fn cache_fresh_fill_then_shift() {
+        let mut bht = CacheBht::new(16, 4, 4);
+        bht.access(0x80);
+        bht.record_outcome(0x80, true);
+        assert_eq!(bht.pattern(0x80), Some(0b1111));
+        bht.record_outcome(0x80, false);
+        assert_eq!(bht.pattern(0x80), Some(0b1110));
+    }
+
+    #[test]
+    fn cache_flush_invalidates_all() {
+        let mut bht = CacheBht::new(16, 4, 4);
+        bht.access(0x80);
+        bht.flush();
+        assert_eq!(bht.pattern(0x80), None);
+        assert!(!bht.access(0x80), "post-flush access must miss");
+    }
+
+    #[test]
+    fn record_outcome_on_absent_pc_reports_false() {
+        let mut cache = CacheBht::new(16, 4, 4);
+        assert!(!cache.record_outcome(0x99, true));
+        let mut ideal = IdealBht::new(4);
+        assert!(!ideal.record_outcome(0x99, true));
+    }
+
+    #[test]
+    fn unified_interface_dispatches() {
+        for config in [BhtConfig::Ideal, BhtConfig::Cache { entries: 64, ways: 4 }] {
+            let mut bht = config.build(8);
+            assert!(!bht.access(0x123_4560));
+            bht.record_outcome(0x123_4560, false);
+            assert_eq!(bht.pattern(0x123_4560), Some(0));
+            bht.flush();
+            assert_eq!(bht.pattern(0x123_4560), None);
+        }
+    }
+
+    #[test]
+    fn config_labels() {
+        assert_eq!(BhtConfig::Ideal.label(), "IBHT");
+        assert_eq!(BhtConfig::Cache { entries: 512, ways: 4 }.label(), "512x4");
+    }
+
+    #[test]
+    fn stats_hit_rate() {
+        let stats = BhtStats { hits: 3, misses: 1 };
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(BhtStats::default().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,339 @@
+//! The hardware cost model of Section 3.4 (Equations 3–6).
+//!
+//! The paper characterizes the relative chip-area costs of the three
+//! variations with a parametric model over base costs for storage cells,
+//! decoders, comparators, multiplexers, shifters, LRU incrementors and the
+//! pattern-update finite-state machine. We implement both the exact
+//! Equation 3 and the simplified closed forms the paper derives for GAg
+//! (Equation 4), PAg (Equation 5) and PAp (Equation 6).
+
+use serde::{Deserialize, Serialize};
+
+/// The constant base costs of Section 3.4: C_s, C_d, C_c, C_m, C_sh, C_i
+/// and C_a.
+///
+/// The paper does not publish numeric values; the default sets every
+/// constant to 1.0, which preserves the relative comparisons (who is
+/// cheapest at equal accuracy) the paper draws from the model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostConstants {
+    /// C_s — one bit of storage.
+    pub storage: f64,
+    /// C_d — address decoder.
+    pub decoder: f64,
+    /// C_c — comparator bit.
+    pub comparator: f64,
+    /// C_m — multiplexer bit.
+    pub mux: f64,
+    /// C_sh — shifter bit.
+    pub shifter: f64,
+    /// C_i — LRU incrementor bit.
+    pub incrementor: f64,
+    /// C_a — pattern-history state-update finite-state machine.
+    pub automaton: f64,
+}
+
+impl Default for CostConstants {
+    fn default() -> Self {
+        CostConstants {
+            storage: 1.0,
+            decoder: 1.0,
+            comparator: 1.0,
+            mux: 1.0,
+            shifter: 1.0,
+            incrementor: 1.0,
+            automaton: 1.0,
+        }
+    }
+}
+
+/// Geometry of a branch history table for costing purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BhtGeometry {
+    /// Table size `h` (number of entries). Must be a power of two.
+    pub entries: usize,
+    /// Associativity `2^j`. Must be a power of two dividing `entries`.
+    pub ways: usize,
+}
+
+impl BhtGeometry {
+    /// The paper's standard 4-way 512-entry table.
+    pub const PAPER_DEFAULT: BhtGeometry = BhtGeometry { entries: 512, ways: 4 };
+
+    fn validate(self) {
+        assert!(self.entries.is_power_of_two(), "entries must be a power of two");
+        assert!(self.ways.is_power_of_two(), "ways must be a power of two");
+        assert!(self.ways <= self.entries, "ways cannot exceed entries");
+    }
+
+    /// `i = log2(h)`.
+    #[must_use]
+    pub fn index_bits(self) -> u32 {
+        self.entries.trailing_zeros()
+    }
+
+    /// `j = log2(associativity)`.
+    #[must_use]
+    pub fn way_bits(self) -> u32 {
+        self.ways.trailing_zeros()
+    }
+}
+
+/// The hardware cost model, parameterized by the base-cost constants and
+/// the machine's branch-address width `a`.
+///
+/// # Example
+///
+/// ```
+/// use tlabp_core::cost::{BhtGeometry, CostModel};
+///
+/// let model = CostModel::paper_default();
+/// // Figure 8: the three configurations reaching ~97% accuracy.
+/// let gag = model.gag_cost(18, 2);
+/// let pag = model.pag_cost(BhtGeometry::PAPER_DEFAULT, 12, 2);
+/// let pap = model.pap_cost(BhtGeometry::PAPER_DEFAULT, 6, 2);
+/// assert!(pag < gag && pag < pap, "PAg is the cheapest at equal accuracy");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    constants: CostConstants,
+    address_bits: u32,
+}
+
+impl CostModel {
+    /// Creates a model with explicit constants and address width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `address_bits` is zero.
+    #[must_use]
+    pub fn new(constants: CostConstants, address_bits: u32) -> Self {
+        assert!(address_bits > 0, "address width must be positive");
+        CostModel { constants, address_bits }
+    }
+
+    /// Unit constants with a 30-bit branch address (word-addressed 32-bit
+    /// machine), the configuration used throughout our experiments.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        CostModel::new(CostConstants::default(), 30)
+    }
+
+    /// The branch-address width `a`.
+    #[must_use]
+    pub fn address_bits(&self) -> u32 {
+        self.address_bits
+    }
+
+    /// Exact BHT cost: storage + accessing logic + updating logic
+    /// (the first brace of Equation 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid or violates the equation's
+    /// constraint `a + j >= i`.
+    #[must_use]
+    pub fn bht_cost(&self, geometry: BhtGeometry, history_bits: u32) -> f64 {
+        geometry.validate();
+        let c = &self.constants;
+        let h = geometry.entries as f64;
+        let a = f64::from(self.address_bits);
+        let i = f64::from(geometry.index_bits());
+        let j = f64::from(geometry.way_bits());
+        let k = f64::from(history_bits);
+        let assoc = geometry.ways as f64; // 2^j
+        assert!(
+            f64::from(self.address_bits) + j >= i,
+            "equation 3 requires a + j >= i"
+        );
+
+        let tag_bits = a - i + j;
+        let storage = h * (tag_bits + k + 1.0 + j) * c.storage;
+        let accessing =
+            h * c.decoder + assoc * tag_bits * c.comparator + assoc * k * c.mux;
+        let updating = h * k * c.shifter + assoc * j * c.incrementor;
+        storage + accessing + updating
+    }
+
+    /// Exact cost of one pattern history table with `2^history_bits`
+    /// entries of `s = pattern_bits` bits (the second brace of Equation 3).
+    #[must_use]
+    pub fn pht_cost(&self, history_bits: u32, pattern_bits: u32) -> f64 {
+        let c = &self.constants;
+        let entries = (1u64 << history_bits) as f64;
+        let s = f64::from(pattern_bits);
+        let storage = entries * s * c.storage;
+        let accessing = entries * c.decoder;
+        let updating = s * (1u64 << (pattern_bits + 1)) as f64 * c.automaton;
+        storage + accessing + updating
+    }
+
+    /// Exact Equation 3: BHT cost plus `pattern_tables` pattern history
+    /// tables.
+    #[must_use]
+    pub fn full_cost(
+        &self,
+        geometry: BhtGeometry,
+        history_bits: u32,
+        pattern_bits: u32,
+        pattern_tables: usize,
+    ) -> f64 {
+        self.bht_cost(geometry, history_bits)
+            + pattern_tables as f64 * self.pht_cost(history_bits, pattern_bits)
+    }
+
+    /// Simplified GAg cost (Equation 4):
+    /// `(k+1)·C_s + k·C_sh + 2^k·(s·C_s + C_d)`.
+    #[must_use]
+    pub fn gag_cost(&self, history_bits: u32, pattern_bits: u32) -> f64 {
+        let c = &self.constants;
+        let k = f64::from(history_bits);
+        let entries = (1u64 << history_bits) as f64;
+        let s = f64::from(pattern_bits);
+        (k + 1.0) * c.storage + k * c.shifter + entries * (s * c.storage + c.decoder)
+    }
+
+    /// Simplified PAg cost (Equation 5):
+    /// `h·[(a + 2j + k + 1 − i)·C_s + C_d + k·C_sh] + 2^k·(s·C_s + C_d)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid or `a + j < i`.
+    #[must_use]
+    pub fn pag_cost(&self, geometry: BhtGeometry, history_bits: u32, pattern_bits: u32) -> f64 {
+        self.pag_bht_term(geometry, history_bits)
+            + self.pht_simplified(history_bits, pattern_bits)
+    }
+
+    /// Simplified PAp cost (Equation 6): the PAg BHT term plus `h` pattern
+    /// history tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid or `a + j < i`.
+    #[must_use]
+    pub fn pap_cost(&self, geometry: BhtGeometry, history_bits: u32, pattern_bits: u32) -> f64 {
+        self.pag_bht_term(geometry, history_bits)
+            + geometry.entries as f64 * self.pht_simplified(history_bits, pattern_bits)
+    }
+
+    fn pag_bht_term(&self, geometry: BhtGeometry, history_bits: u32) -> f64 {
+        geometry.validate();
+        let c = &self.constants;
+        let h = geometry.entries as f64;
+        let a = f64::from(self.address_bits);
+        let i = f64::from(geometry.index_bits());
+        let j = f64::from(geometry.way_bits());
+        let k = f64::from(history_bits);
+        assert!(a + j >= i, "equations 5/6 require a + j >= i");
+        h * ((a + 2.0 * j + k + 1.0 - i) * c.storage + c.decoder + k * c.shifter)
+    }
+
+    fn pht_simplified(&self, history_bits: u32, pattern_bits: u32) -> f64 {
+        let c = &self.constants;
+        let entries = (1u64 << history_bits) as f64;
+        entries * (f64::from(pattern_bits) * c.storage + c.decoder)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::paper_default()
+    }
+
+    #[test]
+    fn gag_cost_grows_exponentially_with_history_length() {
+        let m = model();
+        let c12 = m.gag_cost(12, 2);
+        let c13 = m.gag_cost(13, 2);
+        let c18 = m.gag_cost(18, 2);
+        // Doubling k's table: cost ratio approaches 2 per extra bit.
+        assert!(c13 / c12 > 1.9);
+        assert!(c18 > 60.0 * c12);
+    }
+
+    #[test]
+    fn pag_cost_linear_in_bht_size() {
+        let m = model();
+        let small = BhtGeometry { entries: 256, ways: 4 };
+        let large = BhtGeometry { entries: 512, ways: 4 };
+        let delta = m.pag_cost(large, 12, 2) - m.pag_cost(small, 12, 2);
+        // The PHT term cancels; the difference is the extra 256 BHT entries.
+        assert!(delta > 0.0);
+        let per_entry = delta / 256.0;
+        // Each entry costs roughly (a + 2j + k + 1 - i) + 1 + k units.
+        assert!(per_entry > 20.0 && per_entry < 80.0, "per-entry cost {per_entry}");
+    }
+
+    #[test]
+    fn figure8_ordering_pag_cheapest() {
+        // GAg(18), PAg(12), PAp(6) all reach ~97% accuracy; the paper
+        // concludes PAg is the cheapest.
+        let m = model();
+        let gag = m.gag_cost(18, 2);
+        let pag = m.pag_cost(BhtGeometry::PAPER_DEFAULT, 12, 2);
+        let pap = m.pap_cost(BhtGeometry::PAPER_DEFAULT, 6, 2);
+        assert!(pag < gag, "PAg ({pag}) must undercut GAg ({gag})");
+        assert!(pag < pap, "PAg ({pag}) must undercut PAp ({pap})");
+    }
+
+    #[test]
+    fn pap_dominated_by_pattern_tables() {
+        let m = model();
+        let geometry = BhtGeometry::PAPER_DEFAULT;
+        let bht_only = m.pag_bht_term(geometry, 6);
+        let total = m.pap_cost(geometry, 6, 2);
+        assert!(total - bht_only > 4.0 * bht_only, "512 PHTs must dominate");
+    }
+
+    #[test]
+    fn full_cost_exceeds_simplified() {
+        // Equation 3 includes comparator/mux/incrementor/automaton terms
+        // the simplified forms drop, so it must be at least as large.
+        let m = model();
+        let geometry = BhtGeometry::PAPER_DEFAULT;
+        assert!(m.full_cost(geometry, 12, 2, 1) >= m.pag_cost(geometry, 12, 2) * 0.95);
+    }
+
+    #[test]
+    fn pht_cost_components() {
+        let m = model();
+        // 2^4 entries * 2 bits + 2^4 decoders + 2*2^3 automaton = 32+16+16.
+        assert!((m.pht_cost(4, 2) - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constants_scale_linearly() {
+        let doubled = CostModel::new(
+            CostConstants {
+                storage: 2.0,
+                decoder: 2.0,
+                comparator: 2.0,
+                mux: 2.0,
+                shifter: 2.0,
+                incrementor: 2.0,
+                automaton: 2.0,
+            },
+            30,
+        );
+        let base = model();
+        let g = BhtGeometry::PAPER_DEFAULT;
+        assert!((doubled.full_cost(g, 12, 2, 1) - 2.0 * base.full_cost(g, 12, 2, 1)).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_geometry() {
+        let _ = model().bht_cost(BhtGeometry { entries: 500, ways: 4 }, 12);
+    }
+
+    #[test]
+    fn geometry_bit_helpers() {
+        let g = BhtGeometry::PAPER_DEFAULT;
+        assert_eq!(g.index_bits(), 9);
+        assert_eq!(g.way_bits(), 2);
+    }
+}

@@ -1,0 +1,222 @@
+//! The pattern history table (PHT) of the paper's Section 2.1.
+
+use serde::{Deserialize, Serialize};
+
+use crate::automaton::{Automaton, State};
+
+/// A pattern history table: `2^k` automaton states indexed by the content
+/// of a k-bit history register.
+///
+/// "For each of these 2^k patterns, there is a corresponding entry in the
+/// pattern history table which contains branch results for the last s times
+/// the preceding k branches were represented by that specific content of
+/// the history register."
+///
+/// All entries are initialized per Section 4.2 (strongly-taken for the
+/// four-state automata, taken for Last-Time); the paper notes the PHT is
+/// *not* reinitialized on context switches.
+///
+/// # Example
+///
+/// ```
+/// use tlabp_core::automaton::Automaton;
+/// use tlabp_core::pht::PatternHistoryTable;
+///
+/// let mut pht = PatternHistoryTable::new(4, Automaton::A2);
+/// assert_eq!(pht.len(), 16);
+/// assert!(pht.predict(0b1010)); // initialized strongly taken
+/// pht.update(0b1010, false);
+/// pht.update(0b1010, false);
+/// assert!(!pht.predict(0b1010)); // learned not-taken for this pattern
+/// assert!(pht.predict(0b0101)); // other patterns unaffected
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternHistoryTable {
+    automaton: Automaton,
+    history_bits: u32,
+    states: Vec<State>,
+}
+
+impl PatternHistoryTable {
+    /// Creates a table for `history_bits`-bit patterns (so `2^history_bits`
+    /// entries), every entry at the automaton's initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history_bits` is zero or exceeds
+    /// [`crate::history::MAX_HISTORY_BITS`].
+    #[must_use]
+    pub fn new(history_bits: u32, automaton: Automaton) -> Self {
+        assert!(
+            (1..=crate::history::MAX_HISTORY_BITS).contains(&history_bits),
+            "history bits {history_bits} out of range"
+        );
+        let entries = 1usize << history_bits;
+        PatternHistoryTable {
+            automaton,
+            history_bits,
+            states: vec![automaton.initial_state(); entries],
+        }
+    }
+
+    /// The automaton stored in each entry.
+    #[must_use]
+    pub fn automaton(&self) -> Automaton {
+        self.automaton
+    }
+
+    /// Number of entries (`2^k`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Always `false`; a table has at least two entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The history-register length `k` this table is sized for.
+    #[must_use]
+    pub fn history_bits(&self) -> u32 {
+        self.history_bits
+    }
+
+    /// Predicts the branch direction for `pattern` (Equation 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` is out of range.
+    #[must_use]
+    pub fn predict(&self, pattern: usize) -> bool {
+        self.automaton.predict(self.states[pattern])
+    }
+
+    /// Applies the transition function δ to the entry for `pattern`
+    /// (Equation 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` is out of range.
+    pub fn update(&mut self, pattern: usize, taken: bool) {
+        let state = self.states[pattern];
+        self.states[pattern] = self.automaton.update(state, taken);
+    }
+
+    /// The current state of the entry for `pattern`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` is out of range.
+    #[must_use]
+    pub fn state(&self, pattern: usize) -> State {
+        self.states[pattern]
+    }
+
+    /// Overwrites the state of the entry for `pattern` — used by the
+    /// Static Training schemes to preset prediction bits from profiling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` is out of range or `state` is invalid for the
+    /// table's automaton.
+    pub fn set_state(&mut self, pattern: usize, state: State) {
+        assert!(
+            self.automaton.is_valid_state(state),
+            "state {state} invalid for {}",
+            self.automaton
+        );
+        self.states[pattern] = state;
+    }
+
+    /// Resets every entry to the automaton's initial state.
+    ///
+    /// The paper's context-switch model deliberately does *not* do this
+    /// ("the pattern history table of the saved process is more likely to
+    /// be similar to the current process's"); it exists for experiment
+    /// ablations and for starting fresh runs.
+    pub fn reinitialize(&mut self) {
+        self.states.fill(self.automaton.initial_state());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initializes_to_biased_taken() {
+        for automaton in Automaton::ALL {
+            let pht = PatternHistoryTable::new(3, automaton);
+            for pattern in 0..pht.len() {
+                assert!(pht.predict(pattern), "{automaton} pattern {pattern}");
+            }
+        }
+    }
+
+    #[test]
+    fn entries_are_independent() {
+        let mut pht = PatternHistoryTable::new(2, Automaton::LastTime);
+        pht.update(0b01, false);
+        assert!(!pht.predict(0b01));
+        assert!(pht.predict(0b00));
+        assert!(pht.predict(0b10));
+        assert!(pht.predict(0b11));
+    }
+
+    #[test]
+    fn len_is_power_of_two() {
+        assert_eq!(PatternHistoryTable::new(6, Automaton::A2).len(), 64);
+        assert_eq!(PatternHistoryTable::new(18, Automaton::A2).len(), 262_144);
+    }
+
+    #[test]
+    fn update_follows_automaton() {
+        let mut pht = PatternHistoryTable::new(2, Automaton::A2);
+        pht.update(1, false);
+        assert_eq!(pht.state(1), State::new(2));
+        pht.update(1, false);
+        assert_eq!(pht.state(1), State::new(1));
+        assert!(!pht.predict(1));
+    }
+
+    #[test]
+    fn set_state_validates() {
+        let mut pht = PatternHistoryTable::new(2, Automaton::LastTime);
+        pht.set_state(0, State::new(0));
+        assert!(!pht.predict(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn set_state_rejects_out_of_range_state() {
+        let mut pht = PatternHistoryTable::new(2, Automaton::LastTime);
+        pht.set_state(0, State::new(2));
+    }
+
+    #[test]
+    fn reinitialize_restores_initial() {
+        let mut pht = PatternHistoryTable::new(3, Automaton::A2);
+        for pattern in 0..pht.len() {
+            pht.update(pattern, false);
+            pht.update(pattern, false);
+            pht.update(pattern, false);
+        }
+        assert!(!pht.predict(0));
+        pht.reinitialize();
+        for pattern in 0..pht.len() {
+            assert!(pht.predict(pattern));
+            assert_eq!(pht.state(pattern), Automaton::A2.initial_state());
+        }
+    }
+
+    #[test]
+    fn preset_table_ignores_updates() {
+        let mut pht = PatternHistoryTable::new(2, Automaton::PresetBit);
+        pht.set_state(2, State::new(0));
+        pht.update(2, true);
+        pht.update(2, true);
+        assert!(!pht.predict(2), "preset bit must not learn");
+    }
+}

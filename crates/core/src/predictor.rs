@@ -1,0 +1,103 @@
+//! The common interface every simulated branch predictor implements.
+
+use tlabp_trace::BranchRecord;
+
+/// A dynamic (or static) conditional-branch predictor under trace-driven
+/// simulation.
+///
+/// The simulation contract mirrors the paper's Section 4: for each dynamic
+/// conditional branch, the simulator calls [`BranchPredictor::predict`] and
+/// then, once the branch resolves, [`BranchPredictor::update`] with the
+/// same record (whose `taken` field holds the actual outcome). `update`
+/// must be called exactly once after each `predict`, in the same order.
+///
+/// [`BranchPredictor::context_switch`] implements Section 5.1.4's model:
+/// flush and reinitialize the first-level branch history, but leave pattern
+/// history tables alone.
+///
+/// # Example
+///
+/// ```
+/// use tlabp_core::predictor::BranchPredictor;
+/// use tlabp_core::schemes::Gag;
+/// use tlabp_core::automaton::Automaton;
+/// use tlabp_trace::BranchRecord;
+///
+/// let mut predictor = Gag::new(8, Automaton::A2);
+/// let branch = BranchRecord::conditional(0x40, true, 0x10, 1);
+/// let predicted_taken = predictor.predict(&branch);
+/// predictor.update(&branch);
+/// assert!(predicted_taken); // tables initialize biased toward taken
+/// ```
+pub trait BranchPredictor {
+    /// Predicts the direction of `branch` (ignoring its `taken` field).
+    fn predict(&mut self, branch: &BranchRecord) -> bool;
+
+    /// Informs the predictor of the resolved outcome (`branch.taken`).
+    fn update(&mut self, branch: &BranchRecord);
+
+    /// Simulates a context switch: flush first-level branch history.
+    ///
+    /// The default does nothing, which is correct for stateless static
+    /// schemes.
+    fn context_switch(&mut self) {}
+
+    /// A descriptive name in the paper's Table 3 notation where
+    /// applicable.
+    fn name(&self) -> String;
+
+    /// Convenience: predict then immediately update, returning whether the
+    /// prediction was *correct*.
+    fn process(&mut self, branch: &BranchRecord) -> bool
+    where
+        Self: Sized,
+    {
+        let predicted = self.predict(branch);
+        self.update(branch);
+        predicted == branch.taken
+    }
+}
+
+impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
+    fn predict(&mut self, branch: &BranchRecord) -> bool {
+        (**self).predict(branch)
+    }
+
+    fn update(&mut self, branch: &BranchRecord) {
+        (**self).update(branch);
+    }
+
+    fn context_switch(&mut self) {
+        (**self).context_switch();
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::Automaton;
+    use crate::schemes::Gag;
+
+    #[test]
+    fn process_reports_correctness() {
+        let mut p = Gag::new(4, Automaton::A2);
+        let taken = BranchRecord::conditional(0x10, true, 0x4, 1);
+        let not_taken = BranchRecord::conditional(0x10, false, 0x4, 2);
+        assert!(p.process(&taken), "initial bias predicts taken");
+        assert!(!p.process(&not_taken), "strongly-taken entry mispredicts first not-taken");
+    }
+
+    #[test]
+    fn boxed_predictor_dispatches() {
+        let mut p: Box<dyn BranchPredictor> = Box::new(Gag::new(4, Automaton::A2));
+        let b = BranchRecord::conditional(0x10, true, 0x4, 1);
+        assert!(p.predict(&b));
+        p.update(&b);
+        p.context_switch();
+        assert!(p.name().contains("GAg"));
+    }
+}

@@ -1,0 +1,28 @@
+//! All branch prediction schemes evaluated in the paper.
+//!
+//! * The three variations of Two-Level Adaptive Branch Prediction:
+//!   [`Gag`], [`Pag`], [`Pap`] (Section 2.2).
+//! * The Static Training schemes of Lee & A. Smith: [`Gsg`] and [`Psg`]
+//!   constructors over preset pattern tables (Section 4.2).
+//! * The branch-target-buffer designs of J. Smith: [`Btb`] with A2 or
+//!   Last-Time entry automata.
+//! * The static schemes: [`AlwaysTaken`], [`Btfn`], [`Profiling`].
+//! * An extension beyond the paper: [`Gshare`], the address-hashed
+//!   global-history predictor the field developed to attack the residual
+//!   interference misses the paper's conclusion calls out.
+
+mod btb;
+mod gag;
+mod gshare;
+mod pag;
+mod pap;
+mod static_schemes;
+mod static_training;
+
+pub use btb::Btb;
+pub use gag::Gag;
+pub use gshare::Gshare;
+pub use pag::{Pag, PagDiagnostics};
+pub use pap::Pap;
+pub use static_schemes::{AlwaysTaken, Btfn, Profiling};
+pub use static_training::{train_global, train_per_address, Gsg, PresetTable, Psg};

@@ -1,0 +1,357 @@
+//! Pipeline-timing history update policies (Section 3.1).
+//!
+//! In a deep pipeline, "sometimes the previous branch results may not be
+//! ready before the prediction of a subsequent branch takes place. If the
+//! obsolete branch history is used for making the prediction, the accuracy
+//! is degraded. In such a case, the predictions of the previous branches
+//! can be used to update the branch history" — i.e. speculative history
+//! update, with repair or reinitialization on a misprediction.
+//!
+//! [`SpeculativeGag`] models this on the GAg structure (where every branch
+//! shares the one history register, so staleness bites hardest). A
+//! resolution delay of `d` means the architectural outcomes of the last
+//! `d` predicted branches have not yet reached the history register when
+//! the next prediction is made:
+//!
+//! * [`HistoryUpdatePolicy::OnResolve`] — predictions use the stale
+//!   resolved-only history.
+//! * [`HistoryUpdatePolicy::Speculative`] — predictions use the resolved
+//!   history extended with the in-flight *predictions*; when a
+//!   misprediction resolves, the history is either repaired (the wrong bit
+//!   is corrected as the actual outcome shifts in) or reinitialized
+//!   (cheap-hardware option: the whole register resets to all ones).
+//!
+//! With `delay = 0` every policy reduces to the plain [`Gag`]
+//! behavior — a property the tests pin down.
+//!
+//! [`Gag`]: crate::schemes::Gag
+
+use std::collections::VecDeque;
+
+use tlabp_trace::BranchRecord;
+
+use crate::automaton::Automaton;
+use crate::history::HistoryRegister;
+use crate::pht::PatternHistoryTable;
+use crate::predictor::BranchPredictor;
+
+/// What to do with the global history register when a speculatively
+/// shifted prediction turns out wrong (Section 3.1: "the branch history
+/// can either be reinitialized or repaired depending on the hardware
+/// budget").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MispredictRepair {
+    /// Correct the wrong history bit (expensive hardware, no accuracy
+    /// loss beyond the misprediction itself).
+    Repair,
+    /// Reset the history register to all ones (cheap hardware).
+    Reinitialize,
+}
+
+/// When branch outcomes enter the global history register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistoryUpdatePolicy {
+    /// Outcomes enter the register only at resolution, `delay` branches
+    /// after prediction; predictions meanwhile see stale history.
+    OnResolve {
+        /// Number of in-flight branches whose outcomes the history lacks.
+        delay: usize,
+    },
+    /// Predictions are shifted into the register immediately; on a
+    /// misprediction resolving, apply `repair`.
+    Speculative {
+        /// Pipeline depth in branches.
+        delay: usize,
+        /// Recovery action on misprediction.
+        repair: MispredictRepair,
+    },
+}
+
+impl HistoryUpdatePolicy {
+    fn delay(self) -> usize {
+        match self {
+            HistoryUpdatePolicy::OnResolve { delay }
+            | HistoryUpdatePolicy::Speculative { delay, .. } => delay,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Inflight {
+    pattern: usize,
+    predicted: bool,
+    actual: Option<bool>,
+}
+
+/// A GAg predictor with an explicit pipeline-timing model for history
+/// updates; see the module documentation.
+///
+/// # Example
+///
+/// ```
+/// use tlabp_core::automaton::Automaton;
+/// use tlabp_core::predictor::BranchPredictor;
+/// use tlabp_core::speculative::{HistoryUpdatePolicy, MispredictRepair, SpeculativeGag};
+/// use tlabp_trace::BranchRecord;
+///
+/// let policy = HistoryUpdatePolicy::Speculative {
+///     delay: 4,
+///     repair: MispredictRepair::Repair,
+/// };
+/// let mut p = SpeculativeGag::new(10, Automaton::A2, policy);
+/// let b = BranchRecord::conditional(0x40, true, 0x10, 1);
+/// let _ = p.predict(&b);
+/// p.update(&b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpeculativeGag {
+    pht: PatternHistoryTable,
+    resolved: HistoryRegister,
+    policy: HistoryUpdatePolicy,
+    inflight: VecDeque<Inflight>,
+}
+
+impl SpeculativeGag {
+    /// Creates the predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history_bits` is out of range.
+    #[must_use]
+    pub fn new(history_bits: u32, automaton: Automaton, policy: HistoryUpdatePolicy) -> Self {
+        SpeculativeGag {
+            pht: PatternHistoryTable::new(history_bits, automaton),
+            resolved: HistoryRegister::all_ones(history_bits),
+            policy,
+            inflight: VecDeque::new(),
+        }
+    }
+
+    /// The history pattern a prediction made *now* would use.
+    #[must_use]
+    pub fn effective_pattern(&self) -> usize {
+        match self.policy {
+            HistoryUpdatePolicy::OnResolve { .. } => self.resolved.pattern(),
+            HistoryUpdatePolicy::Speculative { .. } => {
+                let mut speculative = self.resolved;
+                for entry in &self.inflight {
+                    speculative.shift_in(entry.actual.unwrap_or(entry.predicted));
+                }
+                speculative.pattern()
+            }
+        }
+    }
+
+    fn resolve_oldest(&mut self) {
+        let entry = self.inflight.pop_front().expect("resolve called with in-flight work");
+        let actual = entry.actual.expect("oldest in-flight branch has resolved");
+        self.pht.update(entry.pattern, actual);
+        self.resolved.shift_in(actual);
+        if let HistoryUpdatePolicy::Speculative { repair, .. } = self.policy {
+            // Recovery is only needed when wrong-path speculative bits
+            // exist, i.e. when younger branches are still in flight.
+            if entry.predicted != actual
+                && repair == MispredictRepair::Reinitialize
+                && !self.inflight.is_empty()
+            {
+                self.resolved.fill(true);
+                // The in-flight speculation is squashed along with the
+                // wrong-path history.
+                self.inflight.clear();
+            }
+            // MispredictRepair::Repair needs no action: the resolved
+            // register just received the *actual* outcome, and speculative
+            // patterns are always recomputed from it.
+        }
+    }
+}
+
+impl BranchPredictor for SpeculativeGag {
+    fn predict(&mut self, _branch: &BranchRecord) -> bool {
+        let pattern = self.effective_pattern();
+        let predicted = self.pht.predict(pattern);
+        self.inflight.push_back(Inflight { pattern, predicted, actual: None });
+        predicted
+    }
+
+    fn update(&mut self, branch: &BranchRecord) {
+        if let Some(entry) = self.inflight.iter_mut().rev().find(|e| e.actual.is_none()) {
+            entry.actual = Some(branch.taken);
+        } else {
+            // update without a matching predict: treat as a zero-delay
+            // resolution of a fresh prediction.
+            let pattern = self.effective_pattern();
+            self.inflight.push_back(Inflight {
+                pattern,
+                predicted: self.pht.predict(pattern),
+                actual: Some(branch.taken),
+            });
+        }
+        while self.inflight.len() > self.policy.delay()
+            && self.inflight.front().is_some_and(|e| e.actual.is_some())
+        {
+            self.resolve_oldest();
+        }
+    }
+
+    fn context_switch(&mut self) {
+        self.resolved.fill(true);
+        self.inflight.clear();
+    }
+
+    fn name(&self) -> String {
+        let k = self.resolved.len();
+        let policy = match self.policy {
+            HistoryUpdatePolicy::OnResolve { delay } => format!("resolve/{delay}"),
+            HistoryUpdatePolicy::Speculative { delay, repair: MispredictRepair::Repair } => {
+                format!("spec-repair/{delay}")
+            }
+            HistoryUpdatePolicy::Speculative {
+                delay,
+                repair: MispredictRepair::Reinitialize,
+            } => format!("spec-reinit/{delay}"),
+        };
+        format!(
+            "GAg(HR(1,,{k}-sr),1xPHT(2^{k},{}),{policy})",
+            self.pht.automaton()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::Gag;
+    use tlabp_trace::synth::{BiasedCoins, RepeatingPattern};
+    use tlabp_trace::Trace;
+
+    fn accuracy(predictor: &mut dyn BranchPredictor, trace: &Trace, skip: usize) -> f64 {
+        let mut correct = 0u64;
+        let mut total = 0u64;
+        for (i, b) in trace.conditional_branches().enumerate() {
+            let predicted = predictor.predict(b);
+            predictor.update(b);
+            if i >= skip {
+                total += 1;
+                correct += u64::from(predicted == b.taken);
+            }
+        }
+        correct as f64 / total as f64
+    }
+
+    #[test]
+    fn zero_delay_matches_plain_gag() {
+        let trace = BiasedCoins::uniform(6, 0.7, 400, 21).generate();
+        let policies = [
+            HistoryUpdatePolicy::OnResolve { delay: 0 },
+            HistoryUpdatePolicy::Speculative { delay: 0, repair: MispredictRepair::Repair },
+            HistoryUpdatePolicy::Speculative {
+                delay: 0,
+                repair: MispredictRepair::Reinitialize,
+            },
+        ];
+        let mut reference = Gag::new(8, Automaton::A2);
+        let expected = accuracy(&mut reference, &trace, 0);
+        for policy in policies {
+            let mut p = SpeculativeGag::new(8, Automaton::A2, policy);
+            let got = accuracy(&mut p, &trace, 0);
+            assert!(
+                (got - expected).abs() < 1e-12,
+                "{policy:?}: {got} vs plain {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn speculative_repair_beats_stale_history_on_regular_code() {
+        // A perfectly regular pattern: with speculative update the
+        // predictions are (after warm-up) always right, so speculative
+        // history equals actual history and accuracy stays perfect. With
+        // stale history the register lags and the learned mapping is
+        // still consistent... unless the delay aliases the period. Use a
+        // pattern of period 3 and delay 2 to break it.
+        let trace = RepeatingPattern::new(&[true, true, false], 800).generate();
+        let mut stale =
+            SpeculativeGag::new(4, Automaton::A2, HistoryUpdatePolicy::OnResolve { delay: 2 });
+        let mut spec = SpeculativeGag::new(
+            4,
+            Automaton::A2,
+            HistoryUpdatePolicy::Speculative { delay: 2, repair: MispredictRepair::Repair },
+        );
+        let stale_acc = accuracy(&mut stale, &trace, 400);
+        let spec_acc = accuracy(&mut spec, &trace, 400);
+        assert!(
+            spec_acc >= stale_acc,
+            "speculative ({spec_acc}) must be at least as accurate as stale ({stale_acc})"
+        );
+        assert!((spec_acc - 1.0).abs() < 1e-12, "speculative update stays perfect");
+    }
+
+    #[test]
+    fn reinitialize_recovers_and_keeps_working() {
+        let trace = BiasedCoins::uniform(4, 0.6, 500, 31).generate();
+        let mut p = SpeculativeGag::new(
+            8,
+            Automaton::A2,
+            HistoryUpdatePolicy::Speculative { delay: 3, repair: MispredictRepair::Reinitialize },
+        );
+        // Just exercise it end to end; accuracy must stay above chance on
+        // a 60%-taken stream.
+        let acc = accuracy(&mut p, &trace, 100);
+        assert!(acc > 0.5, "accuracy {acc}");
+    }
+
+    #[test]
+    fn effective_pattern_uses_predictions_in_flight() {
+        let mut p = SpeculativeGag::new(
+            4,
+            Automaton::A2,
+            HistoryUpdatePolicy::Speculative { delay: 4, repair: MispredictRepair::Repair },
+        );
+        let b = BranchRecord::conditional(0x40, true, 0x10, 1);
+        assert_eq!(p.effective_pattern(), 0b1111);
+        let predicted = p.predict(&b); // predicts taken (initial bias)
+        assert!(predicted);
+        // The prediction is already visible in the speculative history.
+        assert_eq!(p.effective_pattern(), 0b1111);
+        p.update(&b);
+        assert_eq!(p.effective_pattern(), 0b1111);
+    }
+
+    #[test]
+    fn stale_history_lags_by_delay() {
+        let mut p =
+            SpeculativeGag::new(4, Automaton::A2, HistoryUpdatePolicy::OnResolve { delay: 2 });
+        // Three resolved not-taken branches; with delay 2, only the first
+        // has reached the resolved register.
+        for i in 0..3u64 {
+            let b = BranchRecord::conditional(0x40, false, 0x10, i);
+            p.predict(&b);
+            p.update(&b);
+        }
+        assert_eq!(p.effective_pattern(), 0b1110, "only one outcome has landed");
+    }
+
+    #[test]
+    fn context_switch_clears_pipeline() {
+        let mut p = SpeculativeGag::new(
+            4,
+            Automaton::A2,
+            HistoryUpdatePolicy::Speculative { delay: 4, repair: MispredictRepair::Repair },
+        );
+        let b = BranchRecord::conditional(0x40, false, 0x10, 1);
+        p.predict(&b);
+        p.context_switch();
+        assert_eq!(p.effective_pattern(), 0b1111);
+    }
+
+    #[test]
+    fn names_encode_policy() {
+        let p = SpeculativeGag::new(
+            10,
+            Automaton::A2,
+            HistoryUpdatePolicy::Speculative { delay: 4, repair: MispredictRepair::Repair },
+        );
+        assert_eq!(p.name(), "GAg(HR(1,,10-sr),1xPHT(2^10,A2),spec-repair/4)");
+    }
+}

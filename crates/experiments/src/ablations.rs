@@ -1,0 +1,107 @@
+//! Accuracy ablations of the paper's design choices (DESIGN.md §4).
+
+use tlabp_core::automaton::Automaton;
+use tlabp_core::bht::BhtConfig;
+use tlabp_core::schemes::Pag;
+use tlabp_core::speculative::{HistoryUpdatePolicy, MispredictRepair, SpeculativeGag};
+use tlabp_sim::report::Table;
+use tlabp_sim::runner::{simulate, SimConfig};
+use tlabp_workloads::{Benchmark, DataSet};
+
+use crate::Ctx;
+
+/// Section 3.1: speculative history update vs. waiting for resolution,
+/// across pipeline depths, on the GAg structure (where staleness hurts
+/// most because every branch shares the history register).
+pub fn ablation_speculative(ctx: &Ctx) {
+    let benchmarks = ["eqntott", "gcc", "tomcatv"];
+    let mut table = Table::new(
+        std::iter::once("policy".to_owned())
+            .chain(benchmarks.iter().map(|b| (*b).to_owned()))
+            .collect(),
+    );
+
+    let policies: Vec<(String, HistoryUpdatePolicy)> = [0usize, 2, 4, 8]
+        .iter()
+        .flat_map(|&delay| {
+            [
+                (
+                    format!("stale history, depth {delay}"),
+                    HistoryUpdatePolicy::OnResolve { delay },
+                ),
+                (
+                    format!("speculative+repair, depth {delay}"),
+                    HistoryUpdatePolicy::Speculative {
+                        delay,
+                        repair: MispredictRepair::Repair,
+                    },
+                ),
+                (
+                    format!("speculative+reinit, depth {delay}"),
+                    HistoryUpdatePolicy::Speculative {
+                        delay,
+                        repair: MispredictRepair::Reinitialize,
+                    },
+                ),
+            ]
+        })
+        .collect();
+
+    for (name, policy) in policies {
+        let mut row = vec![name];
+        for benchmark in benchmarks {
+            let trace = ctx
+                .store()
+                .get(Benchmark::by_name(benchmark).expect("known benchmark"), DataSet::Testing);
+            let mut predictor = SpeculativeGag::new(12, Automaton::A2, policy);
+            let result =
+                simulate(&mut predictor, &trace, &SimConfig::no_context_switch());
+            row.push(format!("{:.2}", 100.0 * result.accuracy()));
+        }
+        table.push_row(row);
+    }
+    ctx.emit(
+        "ablation_speculative",
+        "Ablation (Section 3.1): history update policy under pipeline depth",
+        &table,
+    );
+}
+
+/// Section 5.1.4's design decision: the PHT is *not* reinitialized on a
+/// context switch. Quantify what flushing it would cost.
+pub fn ablation_flush_pht(ctx: &Ctx) {
+    let mut table = Table::new(vec![
+        "benchmark".into(),
+        "keep PHT (paper) %".into(),
+        "flush PHT too %".into(),
+        "cost of flushing (points)".into(),
+    ]);
+    for benchmark in &Benchmark::ALL {
+        let trace = ctx.store().get(benchmark, DataSet::Testing);
+        let sim = SimConfig::paper_context_switch();
+        let run = |flush: bool| {
+            let mut p = Pag::new(12, BhtConfig::PAPER_DEFAULT, Automaton::A2);
+            p.set_flush_pht_on_context_switch(flush);
+            simulate(&mut p, &trace, &sim).accuracy()
+        };
+        let keep = run(false);
+        let flush = run(true);
+        table.push_row(vec![
+            benchmark.name().into(),
+            format!("{:.2}", 100.0 * keep),
+            format!("{:.2}", 100.0 * flush),
+            format!("{:.2}", 100.0 * (keep - flush)),
+        ]);
+    }
+    ctx.emit(
+        "ablation_flush_pht",
+        "Ablation (Section 5.1.4): reinitializing the PHT on context switches",
+        &table,
+    );
+}
+
+/// Both ablations.
+pub fn ablations(ctx: &Ctx) {
+    ablation_speculative(ctx);
+    ablation_flush_pht(ctx);
+}

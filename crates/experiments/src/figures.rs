@@ -1,0 +1,233 @@
+//! Figures 4 through 11: the simulation experiments.
+
+use tlabp_core::automaton::Automaton;
+use tlabp_core::bht::BhtConfig;
+use tlabp_core::config::SchemeConfig;
+use tlabp_core::cost::CostModel;
+use tlabp_sim::report::{format_accuracy, suite_table, Table};
+use tlabp_sim::runner::SimConfig;
+use tlabp_sim::suite::run_suite;
+use tlabp_sim::SuiteResult;
+use tlabp_trace::stats::BranchMix;
+use tlabp_trace::BranchClass;
+use tlabp_workloads::{Benchmark, DataSet};
+
+use crate::Ctx;
+
+fn run_many(ctx: &Ctx, configs: &[SchemeConfig], sim: &SimConfig) -> Vec<SuiteResult> {
+    configs.iter().map(|c| run_suite(c, ctx.store(), sim)).collect()
+}
+
+/// Figure 4: distribution of dynamic branch instructions by class.
+pub fn fig4(ctx: &Ctx) {
+    let mut table = Table::new(vec![
+        "benchmark".into(),
+        "conditional %".into(),
+        "unconditional %".into(),
+        "call %".into(),
+        "return %".into(),
+    ]);
+    for benchmark in &Benchmark::ALL {
+        let trace = ctx.store().get(benchmark, DataSet::Testing);
+        let mix = BranchMix::from_trace(&trace);
+        let pct = |class: BranchClass| format!("{:.1}", 100.0 * mix.fraction(class));
+        table.push_row(vec![
+            benchmark.name().into(),
+            pct(BranchClass::Conditional),
+            pct(BranchClass::Unconditional),
+            pct(BranchClass::Call),
+            pct(BranchClass::Return),
+        ]);
+    }
+    ctx.emit("fig4", "Figure 4: distribution of dynamic branch instructions", &table);
+}
+
+/// Figure 5: PAg(BHT(512,4,12-sr)) under each pattern automaton.
+pub fn fig5(ctx: &Ctx) {
+    let configs: Vec<SchemeConfig> = Automaton::FIGURE5
+        .iter()
+        .map(|&a| SchemeConfig::pag(12).with_automaton(a))
+        .collect();
+    let results = run_many(ctx, &configs, &SimConfig::no_context_switch());
+    let table = suite_table(&results);
+    ctx.emit("fig5", "Figure 5: effect of the pattern history automaton", &table);
+}
+
+/// Figure 6: the three variations at equal history register lengths.
+pub fn fig6(ctx: &Ctx) {
+    let mut configs = Vec::new();
+    for k in [6u32, 8, 10, 12] {
+        configs.push(SchemeConfig::gag(k));
+        configs.push(SchemeConfig::pag(k));
+        configs.push(SchemeConfig::pap(k));
+    }
+    let results = run_many(ctx, &configs, &SimConfig::no_context_switch());
+    let table = suite_table(&results);
+    ctx.emit("fig6", "Figure 6: GAg vs PAg vs PAp at equal history length", &table);
+}
+
+/// Figure 7: GAg accuracy as the global history register lengthens.
+pub fn fig7(ctx: &Ctx) {
+    let configs: Vec<SchemeConfig> =
+        (6..=18).step_by(2).map(SchemeConfig::gag).collect();
+    let results = run_many(ctx, &configs, &SimConfig::no_context_switch());
+    let table = suite_table(&results);
+    ctx.emit("fig7", "Figure 7: effect of history register length on GAg", &table);
+}
+
+/// Figure 8: the three configurations that reach roughly equal accuracy,
+/// with their hardware cost estimates.
+pub fn fig8(ctx: &Ctx) {
+    // The paper's triple is GAg(18)/PAg(12)/PAp(6); with our workloads'
+    // loop periods, PAp needs 8 history bits to reach the same band (see
+    // EXPERIMENTS.md).
+    let configs = [
+        SchemeConfig::gag(18),
+        SchemeConfig::pag(12),
+        SchemeConfig::pap(8),
+    ];
+    let results = run_many(ctx, &configs, &SimConfig::no_context_switch());
+    let mut table = suite_table(&results);
+    ctx.emit("fig8", "Figure 8: equal-accuracy configurations", &table);
+
+    let model = CostModel::paper_default();
+    table = Table::new(vec![
+        "configuration".into(),
+        "Tot GMean %".into(),
+        "hardware cost (unit constants)".into(),
+    ]);
+    for (config, result) in configs.iter().zip(&results) {
+        table.push_row(vec![
+            config.to_string(),
+            format_accuracy(Some(result.total_gmean())),
+            format!("{:.0}", config.cost(&model).expect("costed scheme")),
+        ]);
+    }
+    ctx.emit("fig8_costs", "Figure 8: cost of the equal-accuracy configurations", &table);
+}
+
+/// Figure 9: effect of context switches on the three ~equal-accuracy
+/// schemes.
+pub fn fig9(ctx: &Ctx) {
+    let bases = [
+        SchemeConfig::gag(18),
+        SchemeConfig::pag(12),
+        SchemeConfig::pap(8),
+    ];
+    let mut results = Vec::new();
+    for base in bases {
+        results.push(run_suite(&base, ctx.store(), &SimConfig::no_context_switch()));
+        results.push(run_suite(
+            &base.with_context_switch(true),
+            ctx.store(),
+            &SimConfig::paper_context_switch(),
+        ));
+    }
+    let table = suite_table(&results);
+    ctx.emit("fig9", "Figure 9: effect of context switches", &table);
+
+    // Degradation summary.
+    let mut summary = Table::new(vec![
+        "scheme".into(),
+        "no CS Tot GMean %".into(),
+        "with CS Tot GMean %".into(),
+        "degradation (points)".into(),
+        "gcc degradation (points)".into(),
+    ]);
+    for pair in results.chunks(2) {
+        let (no_cs, with_cs) = (&pair[0], &pair[1]);
+        let gcc_no = no_cs.accuracy_of("gcc").unwrap_or(f64::NAN);
+        let gcc_with = with_cs.accuracy_of("gcc").unwrap_or(f64::NAN);
+        summary.push_row(vec![
+            no_cs.scheme.clone(),
+            format_accuracy(Some(no_cs.total_gmean())),
+            format_accuracy(Some(with_cs.total_gmean())),
+            format!("{:.2}", 100.0 * (no_cs.total_gmean() - with_cs.total_gmean())),
+            format!("{:.2}", 100.0 * (gcc_no - gcc_with)),
+        ]);
+    }
+    ctx.emit("fig9_summary", "Figure 9: context-switch degradation", &summary);
+}
+
+/// Figure 10: effect of the BHT implementation on PAg (with context
+/// switches, as in the paper).
+pub fn fig10(ctx: &Ctx) {
+    let configs: Vec<SchemeConfig> = BhtConfig::FIGURE10
+        .iter()
+        .map(|&bht| SchemeConfig::pag(12).with_bht(bht).with_context_switch(true))
+        .collect();
+    let results = run_many(ctx, &configs, &SimConfig::paper_context_switch());
+    let table = suite_table(&results);
+    ctx.emit("fig10", "Figure 10: effect of BHT implementation on PAg", &table);
+}
+
+/// Figure 11: the shoot-out against every other scheme.
+pub fn fig11(ctx: &Ctx) {
+    let configs = [
+        SchemeConfig::pag(12),
+        SchemeConfig::psg(12),
+        SchemeConfig::gsg(18),
+        SchemeConfig::btb(Automaton::A2),
+        SchemeConfig::profiling(),
+        SchemeConfig::btb(Automaton::LastTime),
+        SchemeConfig::btfn(),
+        SchemeConfig::always_taken(),
+    ];
+    let results = run_many(ctx, &configs, &SimConfig::no_context_switch());
+    let table = suite_table(&results);
+    ctx.emit("fig11", "Figure 11: comparison of branch prediction schemes", &table);
+}
+
+/// Extension beyond the paper: the gshare predictor attacks the residual
+/// global-table interference the paper's conclusion identifies ("we are
+/// examining that 3 percent"). Compare it with GAg at equal table sizes.
+pub fn extensions(ctx: &Ctx) {
+    use tlabp_core::predictor::BranchPredictor;
+    use tlabp_core::schemes::{Gag, Gshare};
+    use tlabp_sim::runner::simulate;
+
+    let mut table = Table::new(vec![
+        "benchmark".into(),
+        "GAg(12) %".into(),
+        "gshare(12) %".into(),
+        "GAg(16) %".into(),
+        "gshare(16) %".into(),
+    ]);
+    let sim = SimConfig::no_context_switch();
+    for benchmark in &Benchmark::ALL {
+        let trace = ctx.store().get(benchmark, DataSet::Testing);
+        let acc = |mut p: Box<dyn BranchPredictor>| {
+            format!("{:.2}", 100.0 * simulate(&mut *p, &trace, &sim).accuracy())
+        };
+        table.push_row(vec![
+            benchmark.name().into(),
+            acc(Box::new(Gag::new(12, Automaton::A2))),
+            acc(Box::new(Gshare::new(12, Automaton::A2))),
+            acc(Box::new(Gag::new(16, Automaton::A2))),
+            acc(Box::new(Gshare::new(16, Automaton::A2))),
+        ]);
+    }
+    ctx.emit(
+        "extensions_gshare",
+        "Extension: gshare (address-hashed global history) vs GAg",
+        &table,
+    );
+}
+
+/// Calibration helper (not a paper artifact): a quick per-benchmark
+/// accuracy readout for a handful of reference schemes.
+pub fn calibrate(ctx: &Ctx) {
+    let configs = [
+        SchemeConfig::pag(12),
+        SchemeConfig::pag(12).with_bht(BhtConfig::Ideal),
+        SchemeConfig::pap(6).with_bht(BhtConfig::Ideal),
+        SchemeConfig::gag(12),
+        SchemeConfig::pap(6),
+        SchemeConfig::btb(Automaton::A2),
+        SchemeConfig::btfn(),
+        SchemeConfig::always_taken(),
+    ];
+    let results = run_many(ctx, &configs, &SimConfig::no_context_switch());
+    let table = suite_table(&results);
+    ctx.emit("calibrate", "Calibration readout", &table);
+}

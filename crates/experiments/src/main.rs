@@ -1,0 +1,148 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments <artifact> [--out DIR]
+//!
+//! artifacts:
+//!   table1   static conditional branches per benchmark (Table 1)
+//!   table2   training/testing data sets (Table 2)
+//!   table3   simulated predictor configurations (Table 3)
+//!   fig4     distribution of dynamic branch classes (Figure 4)
+//!   fig5     PAg with automata LT/A1/A2/A3/A4 (Figure 5)
+//!   fig6     GAg vs PAg vs PAp at equal history length (Figure 6)
+//!   fig7     GAg history-length sweep (Figure 7)
+//!   fig8     the ~97% configurations and their hardware costs (Figure 8)
+//!   fig9     context-switch effect (Figure 9)
+//!   fig10    BHT implementation effect on PAg (Figure 10)
+//!   fig11    comparison of all prediction schemes (Figure 11)
+//!   costs      cost-model curves (Equations 4-6)
+//!   ablations  design-choice ablations (speculative history, PHT flush)
+//!   extensions gshare vs GAg (beyond the paper)
+//!   analysis   misprediction characterization ("examining that 3 percent")
+//!   fetch      Section 3.2 fetch-path outcomes with target caching
+//!   all        everything above
+//! ```
+//!
+//! Each artifact prints an ASCII table and writes `results/<name>.csv`.
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+mod ablations;
+mod analysis;
+mod fetch;
+mod figures;
+mod tables;
+
+/// Shared experiment context: the trace cache and the output directory.
+pub struct Ctx {
+    store: tlabp_sim::TraceStore,
+    out_dir: PathBuf,
+}
+
+impl Ctx {
+    fn new(out_dir: PathBuf) -> Self {
+        Ctx { store: tlabp_sim::TraceStore::new(), out_dir }
+    }
+
+    /// The shared trace cache.
+    pub fn store(&self) -> &tlabp_sim::TraceStore {
+        &self.store
+    }
+
+    /// Prints the table under a heading and writes `<name>.csv`.
+    pub fn emit(&self, name: &str, title: &str, table: &tlabp_sim::report::Table) {
+        println!("== {title} ==");
+        println!("{}", table.to_ascii());
+        if let Err(e) = fs::create_dir_all(&self.out_dir) {
+            eprintln!("warning: cannot create {}: {e}", self.out_dir.display());
+            return;
+        }
+        let path = self.out_dir.join(format!("{name}.csv"));
+        match fs::write(&path, table.to_csv()) {
+            Ok(()) => println!("[wrote {}]\n", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+type Artifact = (&'static str, fn(&Ctx));
+
+const ARTIFACTS: [Artifact; 17] = [
+    ("table1", tables::table1),
+    ("table2", tables::table2),
+    ("table3", tables::table3),
+    ("fig4", figures::fig4),
+    ("fig5", figures::fig5),
+    ("fig6", figures::fig6),
+    ("fig7", figures::fig7),
+    ("fig8", figures::fig8),
+    ("fig9", figures::fig9),
+    ("fig10", figures::fig10),
+    ("fig11", figures::fig11),
+    ("costs", tables::costs),
+    ("ablations", ablations::ablations),
+    ("extensions", figures::extensions),
+    ("analysis", analysis::analysis),
+    ("fetch", fetch::fetch),
+    ("calibrate", figures::calibrate),
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut artifact = None;
+    let mut out_dir = PathBuf::from("results");
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => match iter.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            name if artifact.is_none() => artifact = Some(name.to_owned()),
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let Some(artifact) = artifact else {
+        print_usage();
+        return ExitCode::FAILURE;
+    };
+
+    let ctx = Ctx::new(out_dir);
+    if artifact == "all" {
+        for (name, run) in ARTIFACTS.iter().filter(|(n, _)| *n != "calibrate") {
+            println!(">>> {name}");
+            run(&ctx);
+        }
+        return ExitCode::SUCCESS;
+    }
+    match ARTIFACTS.iter().find(|(name, _)| *name == artifact) {
+        Some((_, run)) => {
+            run(&ctx);
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("unknown artifact {artifact:?}");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!("usage: experiments <artifact> [--out DIR]");
+    println!("artifacts: all, {}", ARTIFACTS.map(|(n, _)| n).join(", "));
+}

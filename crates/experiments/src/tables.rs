@@ -1,0 +1,182 @@
+//! Table 1, Table 2, Table 3 and the cost-model curves.
+
+use tlabp_core::automaton::Automaton;
+use tlabp_core::bht::BhtConfig;
+use tlabp_core::config::SchemeConfig;
+use tlabp_core::cost::{BhtGeometry, CostModel};
+use tlabp_sim::report::Table;
+use tlabp_trace::stats::TraceSummary;
+use tlabp_workloads::{Benchmark, DataSet};
+
+use crate::Ctx;
+
+/// Table 1: number of static conditional branches in each benchmark,
+/// paper value vs. this reproduction's stand-in workload.
+pub fn table1(ctx: &Ctx) {
+    let mut table = Table::new(vec![
+        "benchmark".into(),
+        "kind".into(),
+        "paper static cnd. br.".into(),
+        "measured static cnd. br.".into(),
+        "dynamic cnd. br.".into(),
+    ]);
+    for benchmark in &Benchmark::ALL {
+        let trace = ctx.store().get(benchmark, DataSet::Testing);
+        let summary = TraceSummary::from_trace(&trace);
+        table.push_row(vec![
+            benchmark.name().into(),
+            benchmark.kind().to_string(),
+            benchmark.paper_static_branches().to_string(),
+            summary.static_conditional_branches.to_string(),
+            summary.dynamic_conditional_branches.to_string(),
+        ]);
+    }
+    ctx.emit("table1", "Table 1: static conditional branches", &table);
+}
+
+/// Table 2: training and testing data sets of each benchmark.
+pub fn table2(ctx: &Ctx) {
+    // The named inputs of the paper's Table 2, alongside what the
+    // stand-in uses (seed/scale variants; "NA" entries have no training
+    // set and are excluded from profiled-scheme averages).
+    let paper: [(&str, &str, &str); 9] = [
+        ("eqntott", "NA", "int_pri_3.eqn"),
+        ("espresso", "cps", "bca"),
+        ("gcc", "cexp.i", "dbxout.i"),
+        ("li", "tower of hanoi", "eight queens"),
+        ("doduc", "tiny doducin", "doducin"),
+        ("fpppp", "NA", "natoms"),
+        ("matrix300", "NA", "Built-in"),
+        ("spice2g6", "short greycode.in", "greycode.in"),
+        ("tomcatv", "NA", "Built-in"),
+    ];
+    let mut table = Table::new(vec![
+        "benchmark".into(),
+        "paper training".into(),
+        "paper testing".into(),
+        "reproduction training".into(),
+        "reproduction testing".into(),
+    ]);
+    for (name, train, test) in paper {
+        let benchmark = Benchmark::by_name(name).expect("benchmark exists");
+        let repro_train = if benchmark.has_training_set() {
+            "seed/scale variant A".to_owned()
+        } else {
+            "NA".to_owned()
+        };
+        table.push_row(vec![
+            name.into(),
+            train.into(),
+            test.into(),
+            repro_train,
+            "seed/scale variant B".into(),
+        ]);
+    }
+    ctx.emit("table2", "Table 2: training and testing data sets", &table);
+}
+
+/// Table 3: the configurations simulated in this study, in the paper's
+/// naming convention (every row parses back to an identical config).
+pub fn table3(ctx: &Ctx) {
+    let configs = all_table3_configs();
+    let mut table = Table::new(vec![
+        "configuration".into(),
+        "BHT entries".into(),
+        "assoc".into(),
+        "k".into(),
+        "automaton".into(),
+        "parses back".into(),
+    ]);
+    for config in configs {
+        let text = config.to_string();
+        let round_trip = text.parse::<SchemeConfig>().map(|c| c == config);
+        let (entries, ways) = match config.bht() {
+            Some(BhtConfig::Cache { entries, ways }) => {
+                (entries.to_string(), ways.to_string())
+            }
+            Some(BhtConfig::Ideal) => ("inf".into(), "-".into()),
+            None => ("1".into(), "-".into()),
+        };
+        table.push_row(vec![
+            text,
+            entries,
+            ways,
+            config.history_bits().to_string(),
+            config.automaton().to_string(),
+            match round_trip {
+                Ok(true) => "yes".into(),
+                Ok(false) => "MISMATCH".into(),
+                Err(e) => format!("ERROR: {e}"),
+            },
+        ]);
+    }
+    ctx.emit("table3", "Table 3: simulated predictor configurations", &table);
+}
+
+/// The configuration rows of the paper's Table 3 (with `r` instantiated
+/// at the values used across the figures).
+pub fn all_table3_configs() -> Vec<SchemeConfig> {
+    let mut configs = vec![
+        SchemeConfig::gag(18),
+        SchemeConfig::pag(12).with_bht(BhtConfig::Cache { entries: 256, ways: 1 }),
+        SchemeConfig::pag(12).with_bht(BhtConfig::Cache { entries: 256, ways: 4 }),
+        SchemeConfig::pag(12).with_bht(BhtConfig::Cache { entries: 512, ways: 1 }),
+    ];
+    for automaton in [
+        Automaton::A1,
+        Automaton::A2,
+        Automaton::A3,
+        Automaton::A4,
+        Automaton::LastTime,
+    ] {
+        configs.push(SchemeConfig::pag(12).with_automaton(automaton));
+    }
+    configs.extend([
+        SchemeConfig::pag(12).with_bht(BhtConfig::Ideal),
+        SchemeConfig::pap(12),
+        SchemeConfig::gsg(18),
+        SchemeConfig::psg(12),
+        SchemeConfig::btb(Automaton::A2),
+        SchemeConfig::btb(Automaton::LastTime),
+    ]);
+    configs
+}
+
+/// Cost-model curves: Equations 4-6 as functions of the history length,
+/// plus the BHT-size scaling.
+pub fn costs(ctx: &Ctx) {
+    let model = CostModel::paper_default();
+    let geometry = BhtGeometry::PAPER_DEFAULT;
+    let mut table = Table::new(vec![
+        "k".into(),
+        "GAg (eq. 4)".into(),
+        "PAg 512x4 (eq. 5)".into(),
+        "PAp 512x4 (eq. 6)".into(),
+        "full PAg (eq. 3)".into(),
+    ]);
+    for k in (6..=18).step_by(2) {
+        table.push_row(vec![
+            k.to_string(),
+            format!("{:.0}", model.gag_cost(k, 2)),
+            format!("{:.0}", model.pag_cost(geometry, k, 2)),
+            format!("{:.0}", model.pap_cost(geometry, k, 2)),
+            format!("{:.0}", model.full_cost(geometry, k, 2, 1)),
+        ]);
+    }
+    ctx.emit("costs", "Hardware cost curves (Equations 3-6)", &table);
+
+    let mut scaling = Table::new(vec![
+        "BHT entries".into(),
+        "PAg k=12 (eq. 5)".into(),
+        "PAp k=6 (eq. 6)".into(),
+    ]);
+    for entries in [128usize, 256, 512, 1024, 2048] {
+        let g = BhtGeometry { entries, ways: 4 };
+        scaling.push_row(vec![
+            entries.to_string(),
+            format!("{:.0}", model.pag_cost(g, 12, 2)),
+            format!("{:.0}", model.pap_cost(g, 6, 2)),
+        ]);
+    }
+    ctx.emit("costs_bht_scaling", "Cost vs BHT size", &scaling);
+}

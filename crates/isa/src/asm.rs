@@ -1,0 +1,346 @@
+//! A small two-pass text assembler for the mini-RISC ISA.
+//!
+//! Syntax, one instruction per line:
+//!
+//! ```text
+//! ; comments run to end of line (also '#')
+//!         li   r1, 0          ; rd, imm
+//!         li   r2, 10
+//! loop:   addi r1, r1, 1      ; rd, rs, imm
+//!         blt  r1, r2, loop   ; rs, rs, label
+//!         halt
+//! ```
+//!
+//! Mnemonics: `add sub mul div rem and or xor shl shr slt` (register and
+//! `-i` immediate forms), `li`, `mv`, `ld rd, base, offset`,
+//! `st src, base, offset`, `beq bne blt bge ble bgt`, `j`, `call`, `ret`,
+//! `trap code`, `halt`, `nop`.
+
+use std::collections::HashMap;
+
+use crate::inst::{AluOp, Cond, Inst, Reg};
+use crate::program::{Program, ProgramError};
+
+/// Assembles source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`ProgramError::Syntax`] (with a 1-based line number) for
+/// malformed lines, [`ProgramError::DuplicateLabel`] /
+/// [`ProgramError::UnboundLabel`] for label problems.
+///
+/// # Example
+///
+/// ```
+/// let program = tlabp_isa::asm::assemble(
+///     "        li   r1, 0
+///              li   r2, 3
+///      loop:   addi r1, r1, 1
+///              blt  r1, r2, loop
+///              halt",
+/// )?;
+/// assert_eq!(program.len(), 5);
+/// assert_eq!(program.label("loop"), Some(2));
+/// # Ok::<(), tlabp_isa::program::ProgramError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Program, ProgramError> {
+    // Pass 1: strip comments, collect labels and raw statements.
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut statements: Vec<(usize, String)> = Vec::new(); // (line_no, text)
+    for (line_index, raw) in source.lines().enumerate() {
+        let line_no = line_index + 1;
+        let mut line = raw;
+        if let Some(cut) = line.find([';', '#']) {
+            line = &line[..cut];
+        }
+        let mut rest = line.trim();
+        while let Some(colon) = rest.find(':') {
+            let (name, after) = rest.split_at(colon);
+            let name = name.trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return Err(ProgramError::Syntax {
+                    line: line_no,
+                    message: format!("bad label name {name:?}"),
+                });
+            }
+            if labels.insert(name.to_owned(), statements.len()).is_some() {
+                return Err(ProgramError::DuplicateLabel { name: name.to_owned() });
+            }
+            rest = after[1..].trim();
+        }
+        if !rest.is_empty() {
+            statements.push((line_no, rest.to_owned()));
+        }
+    }
+
+    // Pass 2: parse statements with label resolution.
+    let mut instructions = Vec::with_capacity(statements.len());
+    for (line_no, text) in &statements {
+        instructions.push(parse_statement(*line_no, text, &labels)?);
+    }
+    Ok(Program::with_labels(instructions, labels))
+}
+
+fn parse_statement(
+    line: usize,
+    text: &str,
+    labels: &HashMap<String, usize>,
+) -> Result<Inst, ProgramError> {
+    let syntax = |message: String| ProgramError::Syntax { line, message };
+    let mut parts = text.splitn(2, char::is_whitespace);
+    let mnemonic = parts.next().expect("statement is non-empty").to_lowercase();
+    let operand_text = parts.next().unwrap_or("");
+    let operands: Vec<&str> = operand_text
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+
+    let expect = |n: usize| -> Result<(), ProgramError> {
+        if operands.len() == n {
+            Ok(())
+        } else {
+            Err(syntax(format!(
+                "{mnemonic} expects {n} operand(s), found {}",
+                operands.len()
+            )))
+        }
+    };
+    let reg = |s: &str| -> Result<Reg, ProgramError> {
+        let digits = s
+            .strip_prefix(['r', 'R'])
+            .ok_or_else(|| syntax(format!("expected register, got {s:?}")))?;
+        let index: u8 = digits
+            .parse()
+            .map_err(|_| syntax(format!("bad register {s:?}")))?;
+        if index >= Reg::COUNT {
+            return Err(syntax(format!("register {s} out of range")));
+        }
+        Ok(Reg::new(index))
+    };
+    let imm = |s: &str| -> Result<i64, ProgramError> {
+        let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+            i64::from_str_radix(hex, 16)
+        } else {
+            s.parse()
+        };
+        parsed.map_err(|_| syntax(format!("bad immediate {s:?}")))
+    };
+    let target = |s: &str| -> Result<usize, ProgramError> {
+        labels
+            .get(s)
+            .copied()
+            .ok_or_else(|| syntax(format!("unknown label {s:?}")))
+    };
+
+    let alu_op = |name: &str| -> Option<AluOp> {
+        Some(match name {
+            "add" => AluOp::Add,
+            "sub" => AluOp::Sub,
+            "mul" => AluOp::Mul,
+            "div" => AluOp::Div,
+            "rem" => AluOp::Rem,
+            "and" => AluOp::And,
+            "or" => AluOp::Or,
+            "xor" => AluOp::Xor,
+            "shl" => AluOp::Shl,
+            "shr" => AluOp::Shr,
+            "slt" => AluOp::Slt,
+            _ => return None,
+        })
+    };
+    let cond = |name: &str| -> Option<Cond> {
+        Some(match name {
+            "beq" => Cond::Eq,
+            "bne" => Cond::Ne,
+            "blt" => Cond::Lt,
+            "bge" => Cond::Ge,
+            "ble" => Cond::Le,
+            "bgt" => Cond::Gt,
+            _ => return None,
+        })
+    };
+
+    if let Some(op) = alu_op(&mnemonic) {
+        expect(3)?;
+        return Ok(Inst::Alu { op, rd: reg(operands[0])?, a: reg(operands[1])?, b: reg(operands[2])? });
+    }
+    if let Some(op) = mnemonic.strip_suffix('i').and_then(alu_op) {
+        expect(3)?;
+        return Ok(Inst::AluImm {
+            op,
+            rd: reg(operands[0])?,
+            a: reg(operands[1])?,
+            imm: imm(operands[2])?,
+        });
+    }
+    if let Some(c) = cond(&mnemonic) {
+        expect(3)?;
+        return Ok(Inst::Branch {
+            cond: c,
+            a: reg(operands[0])?,
+            b: reg(operands[1])?,
+            target: target(operands[2])?,
+        });
+    }
+    match mnemonic.as_str() {
+        "li" => {
+            expect(2)?;
+            Ok(Inst::LoadImm { rd: reg(operands[0])?, imm: imm(operands[1])? })
+        }
+        "mv" => {
+            expect(2)?;
+            Ok(Inst::AluImm { op: AluOp::Add, rd: reg(operands[0])?, a: reg(operands[1])?, imm: 0 })
+        }
+        "ld" => {
+            expect(3)?;
+            Ok(Inst::Load {
+                rd: reg(operands[0])?,
+                base: reg(operands[1])?,
+                offset: imm(operands[2])?,
+            })
+        }
+        "st" => {
+            expect(3)?;
+            Ok(Inst::Store {
+                src: reg(operands[0])?,
+                base: reg(operands[1])?,
+                offset: imm(operands[2])?,
+            })
+        }
+        "j" => {
+            expect(1)?;
+            Ok(Inst::Jump { target: target(operands[0])? })
+        }
+        "call" => {
+            expect(1)?;
+            Ok(Inst::Call { target: target(operands[0])? })
+        }
+        "ret" => {
+            expect(0)?;
+            Ok(Inst::Ret)
+        }
+        "trap" => {
+            expect(1)?;
+            let code = imm(operands[0])?;
+            u16::try_from(code)
+                .map(|code| Inst::Trap { code })
+                .map_err(|_| syntax(format!("trap code {code} out of range")))
+        }
+        "halt" => {
+            expect(0)?;
+            Ok(Inst::Halt)
+        }
+        "nop" => {
+            expect(0)?;
+            Ok(Inst::Nop)
+        }
+        other => Err(syntax(format!("unknown mnemonic {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_loop() {
+        let p = assemble(
+            "       li   r1, 0
+                    li   r2, 5
+             top:   addi r1, r1, 1
+                    blt  r1, r2, top
+                    halt",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.label("top"), Some(2));
+        assert_eq!(
+            p.instructions()[3],
+            Inst::Branch { cond: Cond::Lt, a: Reg::new(1), b: Reg::new(2), target: 2 }
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble(
+            "; a comment\n\n  # another\n  nop ; trailing\n  halt # done\n",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn label_on_its_own_line() {
+        let p = assemble("start:\n  nop\n  j start\n").unwrap();
+        assert_eq!(p.label("start"), Some(0));
+        assert_eq!(p.instructions()[1], Inst::Jump { target: 0 });
+    }
+
+    #[test]
+    fn multiple_labels_same_location() {
+        let p = assemble("a: b:\n  halt\n").unwrap();
+        assert_eq!(p.label("a"), Some(0));
+        assert_eq!(p.label("b"), Some(0));
+    }
+
+    #[test]
+    fn hex_immediates() {
+        let p = assemble("li r1, 0x10\nhalt\n").unwrap();
+        assert_eq!(p.instructions()[0], Inst::LoadImm { rd: Reg::new(1), imm: 16 });
+    }
+
+    #[test]
+    fn mv_is_addi_zero() {
+        let p = assemble("mv r2, r3\nhalt\n").unwrap();
+        assert_eq!(
+            p.instructions()[0],
+            Inst::AluImm { op: AluOp::Add, rd: Reg::new(2), a: Reg::new(3), imm: 0 }
+        );
+    }
+
+    #[test]
+    fn immediate_alu_forms() {
+        let p = assemble("slti r1, r2, 4\nxori r3, r4, 1\nhalt\n").unwrap();
+        assert_eq!(
+            p.instructions()[0],
+            Inst::AluImm { op: AluOp::Slt, rd: Reg::new(1), a: Reg::new(2), imm: 4 }
+        );
+        assert_eq!(
+            p.instructions()[1],
+            Inst::AluImm { op: AluOp::Xor, rd: Reg::new(3), a: Reg::new(4), imm: 1 }
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble("nop\nbogus r1\n").unwrap_err();
+        match err {
+            ProgramError::Syntax { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("bogus"));
+            }
+            other => panic!("expected syntax error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_label() {
+        let err = assemble("j nowhere\n").unwrap_err();
+        assert!(matches!(err, ProgramError::Syntax { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_label() {
+        let err = assemble("x: nop\nx: halt\n").unwrap_err();
+        assert_eq!(err, ProgramError::DuplicateLabel { name: "x".to_owned() });
+    }
+
+    #[test]
+    fn rejects_bad_register_and_operand_count() {
+        assert!(assemble("add r1, r2\n").is_err());
+        assert!(assemble("add r1, r2, r99\n").is_err());
+        assert!(assemble("li x1, 5\n").is_err());
+        assert!(assemble("trap 100000\n").is_err());
+    }
+}

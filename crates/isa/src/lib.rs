@@ -1,0 +1,50 @@
+//! # Mini-RISC instruction-level simulator
+//!
+//! The paper generated its branch traces with "a Motorola 88100
+//! instruction level simulator". That toolchain (and the SPEC'89 inputs it
+//! ran) is not available, so this crate provides the substitute substrate:
+//! a small register ISA ([`inst`]), a two-pass text assembler ([`asm`]), a
+//! builder API for generated code ([`program::ProgramBuilder`]) and an
+//! interpreter ([`vm::Vm`]) that executes programs while emitting exactly
+//! the events the branch-prediction study consumes — conditional
+//! branches, unconditional jumps, calls, returns (the classes of
+//! Figure 4) and traps (the context-switch triggers of Section 5.1.4),
+//! each stamped with the dynamic instruction count.
+//!
+//! The predictors only ever observe `(pc, class, direction, target)`
+//! tuples, so any ISA producing real control flow from real program
+//! execution exercises the identical code path as the original setup; see
+//! DESIGN.md (substitution 1).
+//!
+//! # Example
+//!
+//! ```
+//! use tlabp_isa::asm::assemble;
+//! use tlabp_isa::vm::Vm;
+//!
+//! let program = assemble(
+//!     "       li   r1, 0
+//!             li   r2, 100
+//!      loop:  addi r1, r1, 1
+//!             blt  r1, r2, loop
+//!             halt",
+//! )?;
+//! let mut vm = Vm::new(program);
+//! vm.run().expect("program runs to halt");
+//! let trace = vm.into_trace();
+//! assert_eq!(trace.conditional_branches().count(), 100);
+//! # Ok::<(), tlabp_isa::program::ProgramError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod inst;
+pub mod program;
+pub mod vm;
+
+pub use asm::assemble;
+pub use inst::{AluOp, Cond, Inst, Reg};
+pub use program::{Program, ProgramBuilder, ProgramError};
+pub use vm::{RunOutcome, StopReason, Vm, VmError};

@@ -1,0 +1,42 @@
+//! # Trace-driven branch prediction simulator
+//!
+//! The measurement half of the reproduction (the paper's Section 4): a
+//! simulation loop that feeds conditional branches to a predictor,
+//! verifies predictions against resolved directions, and models context
+//! switches; plus suite orchestration over the nine SPEC-like workloads
+//! and the geometric-mean accuracy metrics the paper reports.
+//!
+//! * [`runner`] — [`runner::simulate`] drives one predictor over one
+//!   trace, honoring the trap/500k-instruction context-switch model of
+//!   Section 5.1.4.
+//! * [`suite`] — [`suite::run_suite`] evaluates a
+//!   [`tlabp_core::config::SchemeConfig`] on all nine benchmarks in
+//!   parallel, training the profiled schemes per benchmark and skipping
+//!   the benchmarks without training data sets, as the paper does.
+//! * [`metrics`] — per-benchmark accuracies and the Tot/Int/FP geometric
+//!   means.
+//! * [`report`] — ASCII tables and CSV for the experiment harness.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use tlabp_core::config::SchemeConfig;
+//! use tlabp_sim::runner::SimConfig;
+//! use tlabp_sim::suite::{run_suite, TraceStore};
+//!
+//! let store = TraceStore::new();
+//! let result = run_suite(&SchemeConfig::pag(12), &store, &SimConfig::default());
+//! println!("PAg(12) Tot GMean: {:.2}%", result.total_gmean() * 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod report;
+pub mod runner;
+pub mod suite;
+
+pub use metrics::{geometric_mean, SuiteResult};
+pub use runner::{simulate, SimConfig, SimResult};
+pub use suite::{run_suite, TraceStore};

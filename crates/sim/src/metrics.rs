@@ -1,0 +1,174 @@
+//! Accuracy aggregation: the geometric means the paper reports.
+
+use serde::{Deserialize, Serialize};
+
+use tlabp_workloads::BenchmarkKind;
+
+/// Geometric mean of a slice of positive values.
+///
+/// The paper reports "Tot GMean", "Int GMean" and "FP GMean" — geometric
+/// means of per-benchmark prediction accuracies.
+///
+/// # Panics
+///
+/// Panics if any value is non-positive.
+///
+/// # Example
+///
+/// ```
+/// use tlabp_sim::metrics::geometric_mean;
+///
+/// let g = geometric_mean(&[0.25, 1.0]);
+/// assert!((g - 0.5).abs() < 1e-12);
+/// assert!(geometric_mean(&[]).is_nan());
+/// ```
+#[must_use]
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    assert!(
+        values.iter().all(|&v| v > 0.0),
+        "geometric mean requires positive values"
+    );
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Accuracy of one scheme on one benchmark. `accuracy` is `None` when the
+/// benchmark could not be measured (e.g. a profiled scheme on a benchmark
+/// with no training data set, like the missing Static Training points in
+/// the paper's Figure 11).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkAccuracy {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Integer or floating point.
+    pub kind: BenchmarkCategory,
+    /// Prediction accuracy in `[0, 1]`, or `None` if not measurable.
+    pub accuracy: Option<f64>,
+    /// Context switches simulated during the run.
+    pub context_switches: u64,
+    /// Dynamic conditional branches predicted.
+    pub predictions: u64,
+}
+
+/// Serializable mirror of [`BenchmarkKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BenchmarkCategory {
+    /// Integer benchmark.
+    Integer,
+    /// Floating-point benchmark.
+    FloatingPoint,
+}
+
+impl From<BenchmarkKind> for BenchmarkCategory {
+    fn from(kind: BenchmarkKind) -> Self {
+        match kind {
+            BenchmarkKind::Integer => BenchmarkCategory::Integer,
+            BenchmarkKind::FloatingPoint => BenchmarkCategory::FloatingPoint,
+        }
+    }
+}
+
+/// A scheme's accuracies across the whole benchmark suite, with the
+/// paper's three geometric means.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteResult {
+    /// The scheme's configuration string.
+    pub scheme: String,
+    /// Per-benchmark rows, in [`tlabp_workloads::Benchmark::ALL`] order.
+    pub rows: Vec<BenchmarkAccuracy>,
+}
+
+impl SuiteResult {
+    fn accuracies(&self, filter: Option<BenchmarkCategory>) -> Vec<f64> {
+        self.rows
+            .iter()
+            .filter(|r| filter.is_none_or(|k| r.kind == k))
+            .filter_map(|r| r.accuracy)
+            .collect()
+    }
+
+    /// "Tot GMean": geometric mean over all measured benchmarks.
+    #[must_use]
+    pub fn total_gmean(&self) -> f64 {
+        geometric_mean(&self.accuracies(None))
+    }
+
+    /// "Int GMean": geometric mean over the integer benchmarks.
+    #[must_use]
+    pub fn int_gmean(&self) -> f64 {
+        geometric_mean(&self.accuracies(Some(BenchmarkCategory::Integer)))
+    }
+
+    /// "FP GMean": geometric mean over the floating-point benchmarks.
+    #[must_use]
+    pub fn fp_gmean(&self) -> f64 {
+        geometric_mean(&self.accuracies(Some(BenchmarkCategory::FloatingPoint)))
+    }
+
+    /// The accuracy measured for `benchmark`, if present.
+    #[must_use]
+    pub fn accuracy_of(&self, benchmark: &str) -> Option<f64> {
+        self.rows.iter().find(|r| r.benchmark == benchmark).and_then(|r| r.accuracy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str, kind: BenchmarkCategory, accuracy: Option<f64>) -> BenchmarkAccuracy {
+        BenchmarkAccuracy {
+            benchmark: name.to_owned(),
+            kind,
+            accuracy,
+            context_switches: 0,
+            predictions: 1000,
+        }
+    }
+
+    #[test]
+    fn gmean_basics() {
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[0.9]) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn gmean_rejects_zero() {
+        let _ = geometric_mean(&[0.0, 1.0]);
+    }
+
+    #[test]
+    fn suite_means_split_by_kind() {
+        let suite = SuiteResult {
+            scheme: "test".to_owned(),
+            rows: vec![
+                row("int_a", BenchmarkCategory::Integer, Some(0.9)),
+                row("int_b", BenchmarkCategory::Integer, Some(0.9)),
+                row("fp_a", BenchmarkCategory::FloatingPoint, Some(0.99)),
+            ],
+        };
+        assert!((suite.int_gmean() - 0.9).abs() < 1e-9);
+        assert!((suite.fp_gmean() - 0.99).abs() < 1e-9);
+        let total = geometric_mean(&[0.9, 0.9, 0.99]);
+        assert!((suite.total_gmean() - total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unmeasured_rows_are_excluded() {
+        let suite = SuiteResult {
+            scheme: "test".to_owned(),
+            rows: vec![
+                row("a", BenchmarkCategory::Integer, Some(0.8)),
+                row("b", BenchmarkCategory::Integer, None),
+            ],
+        };
+        assert!((suite.total_gmean() - 0.8).abs() < 1e-12);
+        assert_eq!(suite.accuracy_of("b"), None);
+        assert_eq!(suite.accuracy_of("a"), Some(0.8));
+        assert_eq!(suite.accuracy_of("missing"), None);
+    }
+}

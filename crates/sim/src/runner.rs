@@ -1,0 +1,257 @@
+//! The trace-driven simulation loop.
+
+use serde::{Deserialize, Serialize};
+
+use tlabp_core::predictor::BranchPredictor;
+use tlabp_trace::{Trace, TraceEvent};
+
+/// Context-switch simulation parameters (the paper's Section 5.1.4).
+///
+/// "Whenever a trap occurs in the instruction trace or every 500,000
+/// instructions if no trap occurs, a context switch is simulated" — the
+/// 500,000 figure derives from a 50 MHz, 1-IPC machine switching every
+/// 10 ms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContextSwitchConfig {
+    /// Instructions between forced switches when no trap intervenes.
+    pub interval_instructions: u64,
+    /// Whether trace trap events trigger switches.
+    pub on_traps: bool,
+}
+
+impl Default for ContextSwitchConfig {
+    fn default() -> Self {
+        ContextSwitchConfig { interval_instructions: 500_000, on_traps: true }
+    }
+}
+
+/// Simulation options.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// When `Some`, context switches flush first-level branch history.
+    pub context_switch: Option<ContextSwitchConfig>,
+}
+
+impl SimConfig {
+    /// No context switches (the paper's default measurement mode).
+    #[must_use]
+    pub fn no_context_switch() -> Self {
+        SimConfig { context_switch: None }
+    }
+
+    /// The paper's context-switch model (trap-triggered + 500k interval).
+    #[must_use]
+    pub fn paper_context_switch() -> Self {
+        SimConfig { context_switch: Some(ContextSwitchConfig::default()) }
+    }
+}
+
+/// Result of simulating one predictor over one trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// The predictor's configuration name.
+    pub scheme: String,
+    /// Conditional branches predicted.
+    pub predictions: u64,
+    /// Predictions that matched the resolved direction.
+    pub correct: u64,
+    /// Context switches simulated.
+    pub context_switches: u64,
+}
+
+impl SimResult {
+    /// Prediction accuracy in `[0, 1]`; 0 when no branch was predicted.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.predictions as f64
+        }
+    }
+
+    /// Misprediction rate (`1 - accuracy`).
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        1.0 - self.accuracy()
+    }
+}
+
+/// Runs `predictor` over every conditional branch of `trace`, honoring
+/// the context-switch model of `config`.
+///
+/// This is the paper's simulation loop: decode (already done by the trace
+/// generator), predict, verify against the resolved direction, update.
+///
+/// # Example
+///
+/// ```
+/// use tlabp_core::config::SchemeConfig;
+/// use tlabp_sim::runner::{simulate, SimConfig};
+/// use tlabp_trace::synth::LoopNest;
+///
+/// let trace = LoopNest::new(&[50, 20]).generate();
+/// let mut predictor = SchemeConfig::pag(6).build()?;
+/// let result = simulate(&mut *predictor, &trace, &SimConfig::default());
+/// assert!(result.accuracy() > 0.9);
+/// # Ok::<(), tlabp_core::config::BuildError>(())
+/// ```
+pub fn simulate(
+    predictor: &mut dyn BranchPredictor,
+    trace: &Trace,
+    config: &SimConfig,
+) -> SimResult {
+    let mut result = SimResult {
+        scheme: predictor.name(),
+        predictions: 0,
+        correct: 0,
+        context_switches: 0,
+    };
+    let mut next_interval_switch = config
+        .context_switch
+        .map(|cs| cs.interval_instructions);
+
+    for event in trace.iter() {
+        // Interval-based context switch ("every 500,000 instructions if no
+        // trap occurs").
+        if let (Some(cs), Some(due)) = (config.context_switch, next_interval_switch) {
+            if event.instret() >= due {
+                predictor.context_switch();
+                result.context_switches += 1;
+                next_interval_switch = Some(event.instret() + cs.interval_instructions);
+            }
+        }
+        match event {
+            TraceEvent::Branch(branch) if branch.class.is_conditional() => {
+                let predicted = predictor.predict(branch);
+                predictor.update(branch);
+                result.predictions += 1;
+                result.correct += u64::from(predicted == branch.taken);
+            }
+            TraceEvent::Branch(_) => {}
+            TraceEvent::Trap(trap) => {
+                if let Some(cs) = config.context_switch {
+                    if cs.on_traps {
+                        predictor.context_switch();
+                        result.context_switches += 1;
+                        // A trap-triggered switch restarts the interval.
+                        next_interval_switch =
+                            Some(trap.instret + cs.interval_instructions);
+                    }
+                }
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlabp_core::automaton::Automaton;
+    use tlabp_core::bht::BhtConfig;
+    use tlabp_core::schemes::Pag;
+    use tlabp_trace::synth::{LoopNest, RepeatingPattern};
+    use tlabp_trace::{BranchRecord, TrapRecord};
+
+    #[test]
+    fn counts_only_conditional_branches() {
+        let mut trace = Trace::new();
+        trace.push(BranchRecord::conditional(0x10, true, 0x4, 1));
+        trace.push(BranchRecord::unconditional(
+            0x20,
+            tlabp_trace::BranchClass::Call,
+            0x100,
+            2,
+        ));
+        trace.push(TrapRecord::new(0x104, 3));
+        let mut p = Pag::new(4, BhtConfig::PAPER_DEFAULT, Automaton::A2);
+        let result = simulate(&mut p, &trace, &SimConfig::no_context_switch());
+        assert_eq!(result.predictions, 1);
+        assert_eq!(result.context_switches, 0);
+    }
+
+    #[test]
+    fn perfect_on_learnable_pattern() {
+        let trace = RepeatingPattern::new(&[true, true, false], 500).generate();
+        let mut p = Pag::new(6, BhtConfig::PAPER_DEFAULT, Automaton::A2);
+        let result = simulate(&mut p, &trace, &SimConfig::default());
+        // Warm-up mispredictions only.
+        assert!(result.accuracy() > 0.97, "accuracy {}", result.accuracy());
+    }
+
+    #[test]
+    fn trap_triggers_context_switch() {
+        let mut trace = Trace::new();
+        trace.push(BranchRecord::conditional(0x10, true, 0x4, 1));
+        trace.push(TrapRecord::new(0x20, 2));
+        trace.push(BranchRecord::conditional(0x10, true, 0x4, 3));
+        let mut p = Pag::new(4, BhtConfig::PAPER_DEFAULT, Automaton::A2);
+        let result = simulate(&mut p, &trace, &SimConfig::paper_context_switch());
+        assert_eq!(result.context_switches, 1);
+    }
+
+    #[test]
+    fn interval_triggers_context_switch() {
+        let mut trace = Trace::new();
+        for i in 0..10u64 {
+            trace.push(BranchRecord::conditional(0x10, true, 0x4, i * 300_000 + 1));
+        }
+        let mut p = Pag::new(4, BhtConfig::PAPER_DEFAULT, Automaton::A2);
+        let result = simulate(&mut p, &trace, &SimConfig::paper_context_switch());
+        // Events at 1, 300_001, ..., 2_700_001: switches due at 500k,
+        // then ~800k(+500k after firing at 900_001)... at least 4 fire.
+        assert!(
+            (4..=6).contains(&result.context_switches),
+            "switches: {}",
+            result.context_switches
+        );
+    }
+
+    #[test]
+    fn context_switches_hurt_accuracy_on_per_address_schemes() {
+        // Dense traps: flush the BHT constantly.
+        let mut trace = Trace::new();
+        let pattern = [true, true, false];
+        let mut instret = 0;
+        for i in 0..3000u64 {
+            instret += 4;
+            trace.push(BranchRecord::conditional(
+                0x40,
+                pattern[(i % 3) as usize],
+                0x10,
+                instret,
+            ));
+            if i % 10 == 9 {
+                instret += 1;
+                trace.push(TrapRecord::new(0x80, instret));
+            }
+        }
+        let accuracy = |cfg: &SimConfig| {
+            let mut p = Pag::new(6, BhtConfig::PAPER_DEFAULT, Automaton::A2);
+            simulate(&mut p, &trace, cfg).accuracy()
+        };
+        let without = accuracy(&SimConfig::no_context_switch());
+        let with = accuracy(&SimConfig::paper_context_switch());
+        assert!(
+            with < without,
+            "flushing must hurt: with={with} without={without}"
+        );
+    }
+
+    #[test]
+    fn accuracy_of_empty_trace_is_zero() {
+        let mut p = Pag::new(4, BhtConfig::PAPER_DEFAULT, Automaton::A2);
+        let result = simulate(&mut p, &Trace::new(), &SimConfig::default());
+        assert_eq!(result.accuracy(), 0.0);
+        assert_eq!(result.miss_rate(), 1.0);
+    }
+
+    #[test]
+    fn result_carries_scheme_name() {
+        let trace = LoopNest::new(&[4]).generate();
+        let mut p = Pag::new(4, BhtConfig::PAPER_DEFAULT, Automaton::A2);
+        let result = simulate(&mut p, &trace, &SimConfig::default());
+        assert!(result.scheme.starts_with("PAg("));
+    }
+}

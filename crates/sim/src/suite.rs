@@ -1,0 +1,202 @@
+//! Whole-suite orchestration: run predictor configurations across all
+//! nine benchmarks, with trace caching and parallel execution.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+use tlabp_core::config::SchemeConfig;
+use tlabp_trace::Trace;
+use tlabp_workloads::{Benchmark, DataSet};
+
+use crate::metrics::{BenchmarkAccuracy, SuiteResult};
+use crate::runner::{simulate, SimConfig};
+
+/// A cache of generated benchmark traces.
+///
+/// Workload generation (running the mini-RISC VM) is deterministic but
+/// not free; the store generates each (benchmark, data set) trace once
+/// and shares it across every scheme evaluation. It is safe to use from
+/// several threads.
+#[derive(Debug, Default)]
+pub struct TraceStore {
+    cache: RwLock<HashMap<(&'static str, DataSetKey), Arc<Trace>>>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum DataSetKey {
+    Training,
+    Testing,
+}
+
+impl From<DataSet> for DataSetKey {
+    fn from(ds: DataSet) -> Self {
+        match ds {
+            DataSet::Training => DataSetKey::Training,
+            DataSet::Testing => DataSetKey::Testing,
+        }
+    }
+}
+
+impl TraceStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceStore::default()
+    }
+
+    /// Returns the trace for `(benchmark, data_set)`, generating it on
+    /// first use.
+    #[must_use]
+    pub fn get(&self, benchmark: &Benchmark, data_set: DataSet) -> Arc<Trace> {
+        let key = (benchmark.name(), DataSetKey::from(data_set));
+        if let Some(trace) = self.cache.read().get(&key) {
+            return Arc::clone(trace);
+        }
+        let trace = Arc::new(benchmark.trace(data_set));
+        self.cache.write().entry(key).or_insert_with(|| Arc::clone(&trace));
+        Arc::clone(&trace)
+    }
+
+    /// Number of cached traces.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cache.read().len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cache.read().is_empty()
+    }
+}
+
+/// Runs `config` on every benchmark (in parallel) and collects the
+/// paper-style suite result.
+///
+/// Profiled schemes (GSg/PSg/Profiling) are trained on each benchmark's
+/// *training* trace and measured on its *testing* trace; benchmarks whose
+/// Table 2 training entry is "NA" yield `accuracy: None`, matching the
+/// missing Static Training points of Figure 11.
+///
+/// The context-switch setting comes from `config` itself (the `c` flag of
+/// Table 3) unless `sim.context_switch` already enables it.
+#[must_use]
+pub fn run_suite(config: &SchemeConfig, store: &TraceStore, sim: &SimConfig) -> SuiteResult {
+    let mut effective_sim = *sim;
+    if config.context_switch() && effective_sim.context_switch.is_none() {
+        effective_sim = SimConfig::paper_context_switch();
+    }
+
+    let rows: Vec<BenchmarkAccuracy> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = Benchmark::ALL
+            .iter()
+            .map(|benchmark| {
+                let sim = effective_sim;
+                scope.spawn(move |_| run_one(config, benchmark, store, &sim))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("benchmark thread panicked")).collect()
+    })
+    .expect("suite scope");
+
+    SuiteResult { scheme: config.to_string(), rows }
+}
+
+fn run_one(
+    config: &SchemeConfig,
+    benchmark: &Benchmark,
+    store: &TraceStore,
+    sim: &SimConfig,
+) -> BenchmarkAccuracy {
+    let unmeasured = |reason_predictions: u64| BenchmarkAccuracy {
+        benchmark: benchmark.name().to_owned(),
+        kind: benchmark.kind().into(),
+        accuracy: None,
+        context_switches: 0,
+        predictions: reason_predictions,
+    };
+
+    let mut predictor = if config.needs_training() {
+        if !benchmark.has_training_set() {
+            return unmeasured(0);
+        }
+        let training = store.get(benchmark, DataSet::Training);
+        config.build_trained(&training)
+    } else {
+        config.build().expect("non-training scheme builds")
+    };
+
+    let testing = store.get(benchmark, DataSet::Testing);
+    let result = simulate(&mut *predictor, &testing, sim);
+    BenchmarkAccuracy {
+        benchmark: benchmark.name().to_owned(),
+        kind: benchmark.kind().into(),
+        accuracy: Some(result.accuracy()),
+        context_switches: result.context_switches,
+        predictions: result.predictions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_store() -> TraceStore {
+        TraceStore::new()
+    }
+
+    #[test]
+    fn store_caches() {
+        let store = small_store();
+        let b = Benchmark::by_name("li").unwrap();
+        let first = store.get(b, DataSet::Testing);
+        let second = store.get(b, DataSet::Testing);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn suite_runs_pag_on_all_benchmarks() {
+        let store = small_store();
+        let result = run_suite(
+            &SchemeConfig::pag(8),
+            &store,
+            &SimConfig::no_context_switch(),
+        );
+        assert_eq!(result.rows.len(), 9);
+        assert!(result.rows.iter().all(|r| r.accuracy.is_some()));
+        let gmean = result.total_gmean();
+        assert!(gmean > 0.80, "PAg(8) should be decent, got {gmean}");
+    }
+
+    #[test]
+    fn profiled_scheme_skips_na_benchmarks() {
+        let store = small_store();
+        let result = run_suite(
+            &SchemeConfig::profiling(),
+            &store,
+            &SimConfig::no_context_switch(),
+        );
+        let missing: Vec<&str> = result
+            .rows
+            .iter()
+            .filter(|r| r.accuracy.is_none())
+            .map(|r| r.benchmark.as_str())
+            .collect();
+        assert_eq!(missing, vec!["eqntott", "fpppp", "matrix300", "tomcatv"]);
+    }
+
+    #[test]
+    fn config_c_flag_enables_context_switches() {
+        let store = small_store();
+        let result = run_suite(
+            &SchemeConfig::pag(8).with_context_switch(true),
+            &store,
+            &SimConfig::default(),
+        );
+        let gcc = result.rows.iter().find(|r| r.benchmark == "gcc").unwrap();
+        assert!(gcc.context_switches > 50, "gcc switches: {}", gcc.context_switches);
+    }
+}

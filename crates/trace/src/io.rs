@@ -1,0 +1,268 @@
+//! Compact binary serialization for traces.
+//!
+//! The format is little-endian with a versioned header:
+//!
+//! ```text
+//! magic   : 4 bytes  = b"TLBP"
+//! version : u16      = 1
+//! count   : u64      number of events
+//! total   : u64      total dynamic instructions
+//! events  : count records
+//! ```
+//!
+//! Each event is one tag byte followed by its payload:
+//!
+//! ```text
+//! tag 0..=3 (branch, tag = BranchClass): pc u64, taken u8, target u64, instret u64
+//! tag 255   (trap):                      pc u64, instret u64
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use tlabp_trace::io::{read_trace, write_trace};
+//! use tlabp_trace::synth::LoopNest;
+//!
+//! let trace = LoopNest::new(&[4, 4]).generate();
+//! let bytes = write_trace(&trace);
+//! let back = read_trace(&bytes)?;
+//! assert_eq!(trace, back);
+//! # Ok::<(), tlabp_trace::io::ReadTraceError>(())
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::record::{BranchClass, BranchRecord, TrapRecord};
+use crate::trace::{Trace, TraceEvent};
+
+/// File magic identifying the trace format.
+pub const MAGIC: &[u8; 4] = b"TLBP";
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+const TRAP_TAG: u8 = 255;
+
+/// Error produced when decoding a binary trace fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReadTraceError {
+    /// The buffer did not start with [`MAGIC`].
+    BadMagic {
+        /// The four bytes actually found (zero-padded if short).
+        found: [u8; 4],
+    },
+    /// The header declared an unsupported version.
+    UnsupportedVersion {
+        /// The version found in the header.
+        found: u16,
+    },
+    /// The buffer ended before the declared number of events was read.
+    Truncated {
+        /// Index of the event being decoded when input ran out.
+        at_event: u64,
+    },
+    /// An event carried an unknown tag byte.
+    UnknownTag {
+        /// The offending tag.
+        tag: u8,
+        /// Index of the event with the bad tag.
+        at_event: u64,
+    },
+    /// Decoded events were not monotonically ordered by `instret`.
+    NonMonotonic {
+        /// Index of the out-of-order event.
+        at_event: u64,
+    },
+}
+
+impl fmt::Display for ReadTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadTraceError::BadMagic { found } => {
+                write!(f, "bad trace magic {found:?}, expected {MAGIC:?}")
+            }
+            ReadTraceError::UnsupportedVersion { found } => {
+                write!(f, "unsupported trace version {found}, expected {VERSION}")
+            }
+            ReadTraceError::Truncated { at_event } => {
+                write!(f, "trace truncated while decoding event {at_event}")
+            }
+            ReadTraceError::UnknownTag { tag, at_event } => {
+                write!(f, "unknown event tag {tag} at event {at_event}")
+            }
+            ReadTraceError::NonMonotonic { at_event } => {
+                write!(f, "event {at_event} has instret lower than its predecessor")
+            }
+        }
+    }
+}
+
+impl Error for ReadTraceError {}
+
+/// Serializes a trace into the binary format.
+///
+/// The inverse of [`read_trace`]; the two round-trip exactly.
+#[must_use]
+pub fn write_trace(trace: &Trace) -> Bytes {
+    // Header + worst-case 26 bytes per event.
+    let mut buf = BytesMut::with_capacity(22 + trace.len() * 26);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u64_le(trace.len() as u64);
+    buf.put_u64_le(trace.total_instructions());
+    for event in trace.events() {
+        match *event {
+            TraceEvent::Branch(b) => {
+                buf.put_u8(b.class.to_tag());
+                buf.put_u64_le(b.pc);
+                buf.put_u8(u8::from(b.taken));
+                buf.put_u64_le(b.target);
+                buf.put_u64_le(b.instret);
+            }
+            TraceEvent::Trap(t) => {
+                buf.put_u8(TRAP_TAG);
+                buf.put_u64_le(t.pc);
+                buf.put_u64_le(t.instret);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a trace from the binary format produced by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns a [`ReadTraceError`] if the magic or version do not match, the
+/// buffer is truncated, an event tag is unknown, or events are not ordered
+/// by instruction count.
+pub fn read_trace(mut bytes: &[u8]) -> Result<Trace, ReadTraceError> {
+    if bytes.remaining() < 4 || &bytes[..4] != MAGIC {
+        let mut found = [0u8; 4];
+        let n = bytes.remaining().min(4);
+        found[..n].copy_from_slice(&bytes[..n]);
+        return Err(ReadTraceError::BadMagic { found });
+    }
+    bytes.advance(4);
+    if bytes.remaining() < 2 {
+        return Err(ReadTraceError::Truncated { at_event: 0 });
+    }
+    let version = bytes.get_u16_le();
+    if version != VERSION {
+        return Err(ReadTraceError::UnsupportedVersion { found: version });
+    }
+    if bytes.remaining() < 16 {
+        return Err(ReadTraceError::Truncated { at_event: 0 });
+    }
+    let count = bytes.get_u64_le();
+    let total = bytes.get_u64_le();
+
+    let capacity = usize::try_from(count).unwrap_or(usize::MAX).min(1 << 24);
+    let mut trace = Trace::with_capacity(capacity);
+    let mut last_instret = 0u64;
+    for i in 0..count {
+        if bytes.remaining() < 1 {
+            return Err(ReadTraceError::Truncated { at_event: i });
+        }
+        let tag = bytes.get_u8();
+        let event = if tag == TRAP_TAG {
+            if bytes.remaining() < 16 {
+                return Err(ReadTraceError::Truncated { at_event: i });
+            }
+            let pc = bytes.get_u64_le();
+            let instret = bytes.get_u64_le();
+            TraceEvent::Trap(TrapRecord::new(pc, instret))
+        } else {
+            let class = BranchClass::from_tag(tag)
+                .ok_or(ReadTraceError::UnknownTag { tag, at_event: i })?;
+            if bytes.remaining() < 25 {
+                return Err(ReadTraceError::Truncated { at_event: i });
+            }
+            let pc = bytes.get_u64_le();
+            let taken = bytes.get_u8() != 0;
+            let target = bytes.get_u64_le();
+            let instret = bytes.get_u64_le();
+            TraceEvent::Branch(BranchRecord { pc, class, taken, target, instret })
+        };
+        if event.instret() < last_instret {
+            return Err(ReadTraceError::NonMonotonic { at_event: i });
+        }
+        last_instret = event.instret();
+        trace.push(event);
+    }
+    if total >= last_instret {
+        trace.set_total_instructions(total);
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        t.push(BranchRecord::conditional(0x1000, true, 0x0f00, 10));
+        t.push(BranchRecord::unconditional(0x0f10, BranchClass::Call, 0x4000, 14));
+        t.push(TrapRecord::new(0x4004, 20));
+        t.push(BranchRecord::unconditional(0x4010, BranchClass::Return, 0x0f14, 25));
+        t.push(BranchRecord::conditional(0x1000, false, 0x0f00, 31));
+        t.set_total_instructions(40);
+        t
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let t = sample_trace();
+        let bytes = write_trace(&t);
+        let back = read_trace(&bytes).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let t = Trace::new();
+        let back = read_trace(&write_trace(&t)).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_trace(b"NOPE....").unwrap_err();
+        assert!(matches!(err, ReadTraceError::BadMagic { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut bytes = write_trace(&sample_trace()).to_vec();
+        bytes[4] = 99;
+        let err = read_trace(&bytes).unwrap_err();
+        assert_eq!(err, ReadTraceError::UnsupportedVersion { found: 99 });
+    }
+
+    #[test]
+    fn rejects_truncation_mid_event() {
+        let bytes = write_trace(&sample_trace());
+        let cut = &bytes[..bytes.len() - 5];
+        let err = read_trace(cut).unwrap_err();
+        assert!(matches!(err, ReadTraceError::Truncated { .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_tag() {
+        let mut bytes = write_trace(&sample_trace()).to_vec();
+        // First event tag lives right after the 22-byte header.
+        bytes[22] = 42;
+        let err = read_trace(&bytes).unwrap_err();
+        assert_eq!(err, ReadTraceError::UnknownTag { tag: 42, at_event: 0 });
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let msg = ReadTraceError::Truncated { at_event: 7 }.to_string();
+        assert!(msg.contains("event 7"));
+    }
+}

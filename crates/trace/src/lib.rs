@@ -1,0 +1,45 @@
+//! Trace substrate for the Two-Level Adaptive Branch Prediction reproduction.
+//!
+//! The original study (Yeh & Patt, *Alternative Implementations of Two-Level
+//! Adaptive Branch Prediction*) drove its branch-prediction simulator with
+//! instruction/address traces produced by a Motorola 88100 instruction-level
+//! simulator running the SPEC'89 benchmarks. This crate provides the
+//! equivalent plumbing for our reproduction:
+//!
+//! * [`BranchRecord`] / [`TraceEvent`] — the events a trace generator emits
+//!   and a predictor simulator consumes: branches (with class, direction and
+//!   target) and traps (used to trigger simulated context switches), each
+//!   stamped with the cumulative dynamic instruction count.
+//! * [`Trace`] — an in-memory event sequence with query helpers.
+//! * [`io`] — a compact binary on-disk format with a versioned header.
+//! * [`synth`] — seeded synthetic trace generators (loops, biased coins,
+//!   repeating patterns, correlated branches, Markov chains) used by unit
+//!   tests, property tests, benches and the examples.
+//! * [`stats`] — the branch-mix statistics behind the paper's Figure 4 and
+//!   the static-branch counts behind Table 1.
+//!
+//! # Example
+//!
+//! ```
+//! use tlabp_trace::synth::LoopNest;
+//! use tlabp_trace::stats::BranchMix;
+//!
+//! // A doubly nested loop: 10 outer iterations of a 50-iteration inner loop.
+//! let trace = LoopNest::new(&[10, 50]).generate();
+//! let mix = BranchMix::from_trace(&trace);
+//! assert!(mix.conditional > 0);
+//! assert!(trace.conditional_branches().count() > 500);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod record;
+mod trace;
+
+pub mod io;
+pub mod stats;
+pub mod synth;
+
+pub use record::{BranchClass, BranchRecord, TrapRecord};
+pub use trace::{Trace, TraceEvent};

@@ -1,0 +1,199 @@
+//! Trace statistics: the branch-class mix of Figure 4 and the
+//! static-conditional-branch counts of Table 1.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::BranchClass;
+use crate::trace::Trace;
+
+/// Dynamic branch-class distribution of a trace (the paper's Figure 4).
+///
+/// The paper observes that roughly 80 percent of dynamic branches are
+/// conditional, which is why conditional-branch prediction is the mechanism
+/// that matters most.
+///
+/// # Example
+///
+/// ```
+/// use tlabp_trace::synth::LoopNest;
+/// use tlabp_trace::stats::BranchMix;
+///
+/// let mix = BranchMix::from_trace(&LoopNest::new(&[100]).generate());
+/// assert_eq!(mix.total(), 100);
+/// assert_eq!(mix.fraction(tlabp_trace::BranchClass::Conditional), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchMix {
+    /// Dynamic conditional branches.
+    pub conditional: u64,
+    /// Dynamic unconditional jumps.
+    pub unconditional: u64,
+    /// Dynamic calls.
+    pub calls: u64,
+    /// Dynamic returns.
+    pub returns: u64,
+}
+
+impl BranchMix {
+    /// Tallies the branch classes of a trace.
+    #[must_use]
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut mix = BranchMix::default();
+        for branch in trace.branches() {
+            match branch.class {
+                BranchClass::Conditional => mix.conditional += 1,
+                BranchClass::Unconditional => mix.unconditional += 1,
+                BranchClass::Call => mix.calls += 1,
+                BranchClass::Return => mix.returns += 1,
+            }
+        }
+        mix
+    }
+
+    /// Total dynamic branches of all classes.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.conditional + self.unconditional + self.calls + self.returns
+    }
+
+    /// Count for one class.
+    #[must_use]
+    pub fn count(&self, class: BranchClass) -> u64 {
+        match class {
+            BranchClass::Conditional => self.conditional,
+            BranchClass::Unconditional => self.unconditional,
+            BranchClass::Call => self.calls,
+            BranchClass::Return => self.returns,
+        }
+    }
+
+    /// Fraction of dynamic branches in `class` (0 if the trace has no
+    /// branches).
+    #[must_use]
+    pub fn fraction(&self, class: BranchClass) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(class) as f64 / total as f64
+        }
+    }
+}
+
+/// Summary statistics for one trace, as reported in the paper's Section 4.1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Number of distinct static conditional branch addresses (Table 1).
+    pub static_conditional_branches: usize,
+    /// Number of dynamic conditional branch executions.
+    pub dynamic_conditional_branches: u64,
+    /// Fraction of dynamic conditional branches that were taken.
+    pub taken_rate: f64,
+    /// Fraction of all dynamic instructions that were branches.
+    pub branch_instruction_fraction: f64,
+    /// Dynamic branch-class mix (Figure 4).
+    pub mix: BranchMix,
+    /// Number of trap events (context-switch triggers).
+    pub traps: u64,
+    /// Total dynamic instructions.
+    pub total_instructions: u64,
+}
+
+impl TraceSummary {
+    /// Computes the summary for a trace.
+    #[must_use]
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mix = BranchMix::from_trace(trace);
+        let mut statics = HashSet::new();
+        let mut dynamic = 0u64;
+        let mut taken = 0u64;
+        for branch in trace.conditional_branches() {
+            statics.insert(branch.pc);
+            dynamic += 1;
+            taken += u64::from(branch.taken);
+        }
+        let traps = trace.iter().filter(|e| e.as_branch().is_none()).count() as u64;
+        let total_instructions = trace.total_instructions();
+        TraceSummary {
+            static_conditional_branches: statics.len(),
+            dynamic_conditional_branches: dynamic,
+            taken_rate: if dynamic == 0 { 0.0 } else { taken as f64 / dynamic as f64 },
+            branch_instruction_fraction: if total_instructions == 0 {
+                0.0
+            } else {
+                mix.total() as f64 / total_instructions as f64
+            },
+            mix,
+            traps,
+            total_instructions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{BranchRecord, TrapRecord};
+    use crate::synth::{BiasedCoins, LoopNest};
+
+    #[test]
+    fn mix_counts_each_class() {
+        let mut trace = Trace::new();
+        trace.push(BranchRecord::conditional(0x10, true, 0x4, 1));
+        trace.push(BranchRecord::unconditional(0x20, BranchClass::Unconditional, 0x60, 2));
+        trace.push(BranchRecord::unconditional(0x60, BranchClass::Call, 0x100, 3));
+        trace.push(BranchRecord::unconditional(0x108, BranchClass::Return, 0x64, 4));
+        trace.push(BranchRecord::conditional(0x10, false, 0x4, 5));
+
+        let mix = BranchMix::from_trace(&trace);
+        assert_eq!(mix.conditional, 2);
+        assert_eq!(mix.unconditional, 1);
+        assert_eq!(mix.calls, 1);
+        assert_eq!(mix.returns, 1);
+        assert_eq!(mix.total(), 5);
+        assert!((mix.fraction(BranchClass::Conditional) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_has_zero_fractions() {
+        let mix = BranchMix::from_trace(&Trace::new());
+        assert_eq!(mix.total(), 0);
+        assert_eq!(mix.fraction(BranchClass::Call), 0.0);
+    }
+
+    #[test]
+    fn summary_counts_static_branches() {
+        let trace = BiasedCoins::uniform(17, 0.5, 10, 1).generate();
+        let summary = TraceSummary::from_trace(&trace);
+        assert_eq!(summary.static_conditional_branches, 17);
+        assert_eq!(summary.dynamic_conditional_branches, 170);
+    }
+
+    #[test]
+    fn summary_taken_rate_for_loop() {
+        // 100-iteration loop: 99 taken, 1 not taken.
+        let summary = TraceSummary::from_trace(&LoopNest::new(&[100]).generate());
+        assert!((summary.taken_rate - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_counts_traps() {
+        let mut trace = Trace::new();
+        trace.push(BranchRecord::conditional(0x10, true, 0x4, 1));
+        trace.push(TrapRecord::new(0x20, 2));
+        trace.push(TrapRecord::new(0x24, 3));
+        let summary = TraceSummary::from_trace(&trace);
+        assert_eq!(summary.traps, 2);
+    }
+
+    #[test]
+    fn branch_fraction_uses_total_instructions() {
+        let mut trace = Trace::new();
+        trace.push(BranchRecord::conditional(0x10, true, 0x4, 10));
+        trace.set_total_instructions(100);
+        let summary = TraceSummary::from_trace(&trace);
+        assert!((summary.branch_instruction_fraction - 0.01).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,416 @@
+//! Seeded synthetic trace generators.
+//!
+//! These generators produce the controlled branch behaviors used throughout
+//! the test suite, the benches and the examples: counted loop nests (the
+//! behavior that makes the paper's floating-point benchmarks nearly
+//! perfectly predictable), biased coins (irregular data-dependent branches),
+//! fixed repeating patterns (the case the two-level predictor learns
+//! exactly), correlated branches (where global history beats per-branch
+//! counters), and per-branch Markov chains.
+//!
+//! All randomized generators take an explicit seed and are fully
+//! deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::record::BranchRecord;
+use crate::trace::Trace;
+
+/// Base code address used for synthetic branch pcs.
+const CODE_BASE: u64 = 0x1_0000;
+/// Synthetic branches are spaced this many bytes apart (one 4-byte
+/// instruction word, so branch addresses are dense the way real code is —
+/// this matters for the set-indexing of practical branch history tables).
+const PC_STRIDE: u64 = 4;
+/// Synthetic instructions elapsing between consecutive branches.
+const INSTS_PER_BRANCH: u64 = 4;
+
+fn synth_pc(index: usize) -> u64 {
+    CODE_BASE + index as u64 * PC_STRIDE
+}
+
+/// A counted loop nest, innermost loop last.
+///
+/// `LoopNest::new(&[10, 50])` models
+/// `for i in 0..10 { for j in 0..50 { .. } }`: each loop level contributes
+/// one backward conditional branch that is taken on every iteration except
+/// the last. This is the regular behavior of the paper's `matrix300` /
+/// `tomcatv` style benchmarks.
+///
+/// # Example
+///
+/// ```
+/// use tlabp_trace::synth::LoopNest;
+///
+/// let trace = LoopNest::new(&[3, 4]).generate();
+/// // Inner branch executes 3*4 times, outer 3 times.
+/// assert_eq!(trace.conditional_branches().count(), 15);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopNest {
+    counts: Vec<u64>,
+}
+
+impl LoopNest {
+    /// Creates a loop nest with the given per-level iteration counts
+    /// (outermost first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty or any count is zero.
+    #[must_use]
+    pub fn new(counts: &[u64]) -> Self {
+        assert!(!counts.is_empty(), "loop nest needs at least one level");
+        assert!(counts.iter().all(|&c| c > 0), "loop counts must be positive");
+        LoopNest { counts: counts.to_vec() }
+    }
+
+    /// Generates the trace for one complete execution of the nest.
+    #[must_use]
+    pub fn generate(&self) -> Trace {
+        let mut trace = Trace::new();
+        let mut instret = 0;
+        self.run_level(0, &mut trace, &mut instret);
+        trace.set_total_instructions(instret + INSTS_PER_BRANCH);
+        trace
+    }
+
+    fn run_level(&self, level: usize, trace: &mut Trace, instret: &mut u64) {
+        let pc = synth_pc(level);
+        let target = pc.saturating_sub(PC_STRIDE / 2); // backward branch
+        for i in 0..self.counts[level] {
+            if level + 1 < self.counts.len() {
+                self.run_level(level + 1, trace, instret);
+            }
+            *instret += INSTS_PER_BRANCH;
+            let taken = i + 1 != self.counts[level];
+            trace.push(BranchRecord::conditional(pc, taken, target, *instret));
+        }
+    }
+}
+
+/// Independent biased coin flips for a set of static branches.
+///
+/// Each of `branches` static conditional branches is visited round-robin;
+/// branch *i* is taken with probability `taken_prob[i]`. This models the
+/// irregular, data-dependent branches of the paper's integer benchmarks,
+/// for which history-based prediction is hardest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BiasedCoins {
+    taken_prob: Vec<f64>,
+    occurrences: usize,
+    seed: u64,
+}
+
+impl BiasedCoins {
+    /// Creates a generator with one probability per static branch.
+    ///
+    /// `occurrences` is the number of dynamic executions *per branch*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taken_prob` is empty or contains values outside `[0, 1]`.
+    #[must_use]
+    pub fn new(taken_prob: &[f64], occurrences: usize, seed: u64) -> Self {
+        assert!(!taken_prob.is_empty(), "need at least one branch");
+        assert!(
+            taken_prob.iter().all(|p| (0.0..=1.0).contains(p)),
+            "probabilities must be in [0, 1]"
+        );
+        BiasedCoins { taken_prob: taken_prob.to_vec(), occurrences, seed }
+    }
+
+    /// Creates a generator where every branch has the same taken probability.
+    #[must_use]
+    pub fn uniform(branches: usize, taken_prob: f64, occurrences: usize, seed: u64) -> Self {
+        BiasedCoins::new(&vec![taken_prob; branches], occurrences, seed)
+    }
+
+    /// Generates the trace.
+    #[must_use]
+    pub fn generate(&self) -> Trace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut trace = Trace::new();
+        let mut instret = 0;
+        for _ in 0..self.occurrences {
+            for (i, &p) in self.taken_prob.iter().enumerate() {
+                instret += INSTS_PER_BRANCH;
+                let pc = synth_pc(i);
+                let taken = rng.random_bool(p);
+                trace.push(BranchRecord::conditional(pc, taken, pc + PC_STRIDE * 4, instret));
+            }
+        }
+        trace
+    }
+}
+
+/// A single static branch that repeats a fixed outcome pattern.
+///
+/// This is the canonical demonstration of the paper's mechanism: once the
+/// pattern history table has seen each k-bit history of the pattern, a
+/// two-level predictor with history length ≥ the pattern's "distinguishing
+/// length" predicts it perfectly, while a per-branch two-bit counter cannot.
+///
+/// # Example
+///
+/// ```
+/// use tlabp_trace::synth::RepeatingPattern;
+///
+/// // Alternating taken / not-taken.
+/// let trace = RepeatingPattern::new(&[true, false], 100).generate();
+/// assert_eq!(trace.conditional_branches().count(), 200);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepeatingPattern {
+    pattern: Vec<bool>,
+    repetitions: usize,
+}
+
+impl RepeatingPattern {
+    /// Creates a generator repeating `pattern` `repetitions` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` is empty.
+    #[must_use]
+    pub fn new(pattern: &[bool], repetitions: usize) -> Self {
+        assert!(!pattern.is_empty(), "pattern must be non-empty");
+        RepeatingPattern { pattern: pattern.to_vec(), repetitions }
+    }
+
+    /// Generates the trace.
+    #[must_use]
+    pub fn generate(&self) -> Trace {
+        let mut trace = Trace::new();
+        let mut instret = 0;
+        let pc = synth_pc(0);
+        for _ in 0..self.repetitions {
+            for &taken in &self.pattern {
+                instret += INSTS_PER_BRANCH;
+                trace.push(BranchRecord::conditional(pc, taken, pc + PC_STRIDE, instret));
+            }
+        }
+        trace
+    }
+}
+
+/// Correlated branches: the outcome of the last branch is a boolean
+/// function of the two feeder branches before it.
+///
+/// Each round executes three static branches: two independent "feeder"
+/// branches whose outcomes are random coin flips, and one "dependent"
+/// branch whose outcome is `feeder_a XOR feeder_b` (or `AND` / `OR`).
+/// Per-branch schemes with no pattern history (e.g. a branch target buffer
+/// of two-bit counters) cannot exceed 50% on the XOR dependent branch, while
+/// a global-history two-level predictor learns it exactly — the behavior
+/// the paper attributes to inter-branch correlation captured by GAg.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Correlation {
+    /// Dependent branch taken iff exactly one feeder was taken.
+    Xor,
+    /// Dependent branch taken iff both feeders were taken.
+    And,
+    /// Dependent branch taken iff at least one feeder was taken.
+    Or,
+}
+
+/// Generator for correlated-branch traces; see [`Correlation`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelatedBranches {
+    correlation: Correlation,
+    rounds: usize,
+    feeder_taken_prob: f64,
+    seed: u64,
+}
+
+impl CorrelatedBranches {
+    /// Creates a generator running `rounds` rounds of two feeders plus one
+    /// dependent branch, feeders taken with probability `feeder_taken_prob`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feeder_taken_prob` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(correlation: Correlation, rounds: usize, feeder_taken_prob: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&feeder_taken_prob),
+            "probability must be in [0, 1]"
+        );
+        CorrelatedBranches { correlation, rounds, feeder_taken_prob, seed }
+    }
+
+    /// Generates the trace.
+    #[must_use]
+    pub fn generate(&self) -> Trace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut trace = Trace::new();
+        let mut instret = 0;
+        for _ in 0..self.rounds {
+            let a = rng.random_bool(self.feeder_taken_prob);
+            let b = rng.random_bool(self.feeder_taken_prob);
+            let dep = match self.correlation {
+                Correlation::Xor => a ^ b,
+                Correlation::And => a && b,
+                Correlation::Or => a || b,
+            };
+            for (i, taken) in [(0usize, a), (1, b), (2, dep)] {
+                instret += INSTS_PER_BRANCH;
+                let pc = synth_pc(i);
+                trace.push(BranchRecord::conditional(pc, taken, pc + PC_STRIDE, instret));
+            }
+        }
+        trace
+    }
+}
+
+/// Per-branch two-state Markov chains.
+///
+/// Each static branch holds a hidden taken/not-taken state; after each
+/// execution it stays in its state with probability `persistence` and flips
+/// otherwise. High persistence produces long runs (phase-like behavior,
+/// favorable to counters); persistence near 0 produces alternation
+/// (favorable to history-based prediction).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkovBranches {
+    branches: usize,
+    persistence: f64,
+    occurrences: usize,
+    seed: u64,
+}
+
+impl MarkovBranches {
+    /// Creates a generator with `branches` static branches executed
+    /// round-robin `occurrences` times each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branches == 0` or `persistence` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(branches: usize, persistence: f64, occurrences: usize, seed: u64) -> Self {
+        assert!(branches > 0, "need at least one branch");
+        assert!((0.0..=1.0).contains(&persistence), "persistence must be in [0, 1]");
+        MarkovBranches { branches, persistence, occurrences, seed }
+    }
+
+    /// Generates the trace.
+    #[must_use]
+    pub fn generate(&self) -> Trace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut state: Vec<bool> = (0..self.branches).map(|_| rng.random_bool(0.5)).collect();
+        let mut trace = Trace::new();
+        let mut instret = 0;
+        for _ in 0..self.occurrences {
+            for (i, s) in state.iter_mut().enumerate() {
+                instret += INSTS_PER_BRANCH;
+                let pc = synth_pc(i);
+                trace.push(BranchRecord::conditional(pc, *s, pc + PC_STRIDE, instret));
+                if !rng.random_bool(self.persistence) {
+                    *s = !*s;
+                }
+            }
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_nest_counts_and_directions() {
+        let trace = LoopNest::new(&[3]).generate();
+        let dirs: Vec<bool> = trace.conditional_branches().map(|b| b.taken).collect();
+        assert_eq!(dirs, vec![true, true, false]);
+        assert!(trace.conditional_branches().all(|b| b.is_backward()));
+    }
+
+    #[test]
+    fn nested_loop_inner_executions() {
+        let trace = LoopNest::new(&[2, 5]).generate();
+        let inner_pc = synth_pc(1);
+        let inner: Vec<bool> = trace
+            .conditional_branches()
+            .filter(|b| b.pc == inner_pc)
+            .map(|b| b.taken)
+            .collect();
+        assert_eq!(inner.len(), 10);
+        // Inner loop exits (not taken) exactly twice, once per outer iteration.
+        assert_eq!(inner.iter().filter(|&&t| !t).count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn loop_nest_rejects_zero_count() {
+        let _ = LoopNest::new(&[3, 0]);
+    }
+
+    #[test]
+    fn biased_coins_deterministic_and_biased() {
+        let gen = BiasedCoins::uniform(4, 0.9, 500, 7);
+        let a = gen.generate();
+        let b = gen.generate();
+        assert_eq!(a, b, "same seed must give identical traces");
+        let taken = a.conditional_branches().filter(|br| br.taken).count();
+        let total = a.conditional_branches().count();
+        assert_eq!(total, 2000);
+        let rate = taken as f64 / total as f64;
+        assert!((0.85..=0.95).contains(&rate), "rate {rate} not near 0.9");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = BiasedCoins::uniform(2, 0.5, 100, 1).generate();
+        let b = BiasedCoins::uniform(2, 0.5, 100, 2).generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn repeating_pattern_is_exact() {
+        let trace = RepeatingPattern::new(&[true, true, false], 4).generate();
+        let dirs: Vec<bool> = trace.conditional_branches().map(|b| b.taken).collect();
+        assert_eq!(dirs.len(), 12);
+        assert_eq!(&dirs[..3], &[true, true, false]);
+        assert_eq!(&dirs[9..], &[true, true, false]);
+    }
+
+    #[test]
+    fn correlated_xor_holds_every_round() {
+        let trace = CorrelatedBranches::new(Correlation::Xor, 200, 0.5, 3).generate();
+        let branches: Vec<_> = trace.conditional_branches().collect();
+        assert_eq!(branches.len(), 600);
+        for round in branches.chunks(3) {
+            assert_eq!(round[2].taken, round[0].taken ^ round[1].taken);
+        }
+    }
+
+    #[test]
+    fn correlated_and_or_semantics() {
+        for (corr, f) in [
+            (Correlation::And, (|a, b| a && b) as fn(bool, bool) -> bool),
+            (Correlation::Or, |a, b| a || b),
+        ] {
+            let trace = CorrelatedBranches::new(corr, 50, 0.5, 11).generate();
+            for round in trace.conditional_branches().collect::<Vec<_>>().chunks(3) {
+                assert_eq!(round[2].taken, f(round[0].taken, round[1].taken));
+            }
+        }
+    }
+
+    #[test]
+    fn markov_high_persistence_has_long_runs() {
+        let trace = MarkovBranches::new(1, 0.98, 2000, 5).generate();
+        let dirs: Vec<bool> = trace.conditional_branches().map(|b| b.taken).collect();
+        let flips = dirs.windows(2).filter(|w| w[0] != w[1]).count();
+        // Expected flips ≈ 2000 * 0.02 = 40; allow generous slack.
+        assert!(flips < 120, "too many flips for persistence 0.98: {flips}");
+    }
+
+    #[test]
+    fn instret_is_strictly_increasing() {
+        let trace = CorrelatedBranches::new(Correlation::Xor, 20, 0.4, 9).generate();
+        let instrets: Vec<u64> = trace.iter().map(|e| e.instret()).collect();
+        assert!(instrets.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,301 @@
+//! In-memory traces: ordered sequences of branch and trap events.
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::{BranchRecord, TrapRecord};
+
+/// One event in an instruction trace.
+///
+/// A trace records only the events the branch-prediction study needs —
+/// branches and traps — each stamped with the cumulative dynamic instruction
+/// count, rather than every executed instruction. This matches the
+/// information content the paper's simulator extracts from its full
+/// Motorola 88100 instruction traces while staying compact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A dynamic branch instance.
+    Branch(BranchRecord),
+    /// A trap (context-switch trigger).
+    Trap(TrapRecord),
+}
+
+impl TraceEvent {
+    /// The cumulative instruction count at this event.
+    #[must_use]
+    pub fn instret(&self) -> u64 {
+        match self {
+            TraceEvent::Branch(b) => b.instret,
+            TraceEvent::Trap(t) => t.instret,
+        }
+    }
+
+    /// The program counter of the instruction that produced this event.
+    #[must_use]
+    pub fn pc(&self) -> u64 {
+        match self {
+            TraceEvent::Branch(b) => b.pc,
+            TraceEvent::Trap(t) => t.pc,
+        }
+    }
+
+    /// Returns the contained branch record, if this is a branch event.
+    #[must_use]
+    pub fn as_branch(&self) -> Option<&BranchRecord> {
+        match self {
+            TraceEvent::Branch(b) => Some(b),
+            TraceEvent::Trap(_) => None,
+        }
+    }
+}
+
+impl From<BranchRecord> for TraceEvent {
+    fn from(record: BranchRecord) -> Self {
+        TraceEvent::Branch(record)
+    }
+}
+
+impl From<TrapRecord> for TraceEvent {
+    fn from(record: TrapRecord) -> Self {
+        TraceEvent::Trap(record)
+    }
+}
+
+/// An ordered, in-memory instruction trace.
+///
+/// `Trace` wraps a vector of [`TraceEvent`]s in program order together with
+/// the total number of instructions the generating run executed (which may
+/// exceed the `instret` of the final event, since non-branch instructions
+/// can follow the last branch).
+///
+/// # Example
+///
+/// ```
+/// use tlabp_trace::{BranchRecord, Trace, TraceEvent};
+///
+/// let mut trace = Trace::new();
+/// trace.push(BranchRecord::conditional(0x10, true, 0x4, 5));
+/// trace.push(BranchRecord::conditional(0x10, false, 0x4, 9));
+/// trace.set_total_instructions(12);
+///
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.conditional_branches().count(), 2);
+/// assert_eq!(trace.total_instructions(), 12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    total_instructions: u64,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Creates an empty trace with pre-allocated capacity for `n` events.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        Trace { events: Vec::with_capacity(n), total_instructions: 0 }
+    }
+
+    /// Creates a trace from a vector of events.
+    ///
+    /// `total_instructions` is initialized to the last event's `instret`
+    /// (0 if empty); adjust it with [`Trace::set_total_instructions`] if the
+    /// run continued past the last event.
+    #[must_use]
+    pub fn from_events(events: Vec<TraceEvent>) -> Self {
+        let total = events.last().map_or(0, TraceEvent::instret);
+        Trace { events, total_instructions: total }
+    }
+
+    /// Appends an event (anything convertible into [`TraceEvent`]).
+    ///
+    /// The total instruction count is raised to the event's `instret` if it
+    /// was lower.
+    pub fn push(&mut self, event: impl Into<TraceEvent>) {
+        let event = event.into();
+        self.total_instructions = self.total_instructions.max(event.instret());
+        self.events.push(event);
+    }
+
+    /// Number of events (branches + traps) in the trace.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace contains no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total dynamic instructions executed by the generating run.
+    #[must_use]
+    pub fn total_instructions(&self) -> u64 {
+        self.total_instructions
+    }
+
+    /// Overrides the total dynamic instruction count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is less than the `instret` of the last event.
+    pub fn set_total_instructions(&mut self, total: u64) {
+        let min = self.events.last().map_or(0, TraceEvent::instret);
+        assert!(total >= min, "total instructions {total} below final event instret {min}");
+        self.total_instructions = total;
+    }
+
+    /// All events in program order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Iterates over all events.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Iterates over all branch records (any class), in program order.
+    pub fn branches(&self) -> impl Iterator<Item = &BranchRecord> {
+        self.events.iter().filter_map(TraceEvent::as_branch)
+    }
+
+    /// Iterates over conditional-branch records only, in program order.
+    pub fn conditional_branches(&self) -> impl Iterator<Item = &BranchRecord> {
+        self.branches().filter(|b| b.class.is_conditional())
+    }
+
+    /// Appends every event of `other` after this trace's events.
+    ///
+    /// Events of `other` have their `instret` shifted by this trace's
+    /// current total so the combined trace remains monotonic — useful for
+    /// splicing per-phase traces together.
+    pub fn append_shifted(&mut self, other: &Trace) {
+        let base = self.total_instructions;
+        for event in &other.events {
+            let shifted = match *event {
+                TraceEvent::Branch(mut b) => {
+                    b.instret += base;
+                    TraceEvent::Branch(b)
+                }
+                TraceEvent::Trap(mut t) => {
+                    t.instret += base;
+                    TraceEvent::Trap(t)
+                }
+            };
+            self.events.push(shifted);
+        }
+        self.total_instructions = base + other.total_instructions;
+    }
+}
+
+impl FromIterator<TraceEvent> for Trace {
+    fn from_iter<I: IntoIterator<Item = TraceEvent>>(iter: I) -> Self {
+        Trace::from_events(iter.into_iter().collect())
+    }
+}
+
+impl Extend<TraceEvent> for Trace {
+    fn extend<I: IntoIterator<Item = TraceEvent>>(&mut self, iter: I) {
+        for event in iter {
+            self.push(event);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceEvent;
+    type IntoIter = std::slice::Iter<'a, TraceEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = TraceEvent;
+    type IntoIter = std::vec::IntoIter<TraceEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::BranchClass;
+
+    fn cond(pc: u64, taken: bool, instret: u64) -> BranchRecord {
+        BranchRecord::conditional(pc, taken, pc + 8, instret)
+    }
+
+    #[test]
+    fn push_tracks_total_instructions() {
+        let mut t = Trace::new();
+        t.push(cond(0x10, true, 4));
+        t.push(TrapRecord::new(0x20, 9));
+        assert_eq!(t.total_instructions(), 9);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn from_events_uses_last_instret() {
+        let t = Trace::from_events(vec![cond(0, true, 3).into(), cond(0, false, 7).into()]);
+        assert_eq!(t.total_instructions(), 7);
+    }
+
+    #[test]
+    fn conditional_filter_skips_other_classes() {
+        let mut t = Trace::new();
+        t.push(cond(0x10, true, 1));
+        t.push(BranchRecord::unconditional(0x18, BranchClass::Call, 0x100, 2));
+        t.push(cond(0x110, false, 3));
+        assert_eq!(t.conditional_branches().count(), 2);
+        assert_eq!(t.branches().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "below final event")]
+    fn set_total_rejects_regression() {
+        let mut t = Trace::new();
+        t.push(cond(0, true, 10));
+        t.set_total_instructions(5);
+    }
+
+    #[test]
+    fn append_shifted_keeps_monotonic_instret() {
+        let mut a = Trace::new();
+        a.push(cond(0x10, true, 5));
+        a.set_total_instructions(8);
+        let mut b = Trace::new();
+        b.push(cond(0x20, false, 3));
+        b.set_total_instructions(4);
+
+        a.append_shifted(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.events()[1].instret(), 11);
+        assert_eq!(a.total_instructions(), 12);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let t: Trace = vec![TraceEvent::from(cond(0, true, 1))].into_iter().collect();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn iteration_both_ways() {
+        let mut t = Trace::new();
+        t.push(cond(0, true, 1));
+        assert_eq!((&t).into_iter().count(), 1);
+        assert_eq!(t.clone().into_iter().count(), 1);
+        assert_eq!(t.iter().count(), 1);
+    }
+}

@@ -1,0 +1,254 @@
+//! Shared code-generation helpers for the workload programs.
+
+use tlabp_isa::inst::{AluOp, Cond, Inst, Reg};
+use tlabp_isa::program::{Label, ProgramBuilder};
+
+/// Conventional register assignments used by the generated workloads.
+pub mod regs {
+    use tlabp_isa::inst::Reg;
+
+    /// LCG state (the program's pseudo-random data source).
+    pub const RNG: Reg = Reg::new(30);
+    /// Scratch register for extracted random values.
+    pub const RAND: Reg = Reg::new(29);
+    /// General scratch.
+    pub const TMP: Reg = Reg::new(28);
+    /// Second LCG state, used for *reproducible* data fills: reseeding it
+    /// at a known point makes the filled data identical on every pass, so
+    /// the branch sequences it induces repeat — the structure
+    /// history-based predictors exploit in real programs.
+    pub const FILL_RNG: Reg = Reg::new(27);
+}
+
+/// Multiplier of the 64-bit LCG (Knuth's MMIX constants).
+pub const LCG_MUL: i64 = 6364136223846793005;
+/// Increment of the 64-bit LCG.
+pub const LCG_INC: i64 = 1442695040888963407;
+
+/// Emits `seed` initialization for the in-program random source.
+pub fn seed_rng(b: &mut ProgramBuilder, seed: i64) {
+    b.li(regs::RNG, seed);
+}
+
+/// Emits one LCG step and leaves a non-negative pseudo-random value in
+/// `regs::RAND`, reduced modulo `modulus` (must be positive).
+///
+/// Cost: 5 instructions, no branches — random data without perturbing the
+/// branch statistics under study.
+pub fn emit_rand(b: &mut ProgramBuilder, modulus: i64) {
+    assert!(modulus > 0, "modulus must be positive");
+    // rng = rng * MUL + INC
+    b.alu_imm(AluOp::Mul, regs::RNG, regs::RNG, LCG_MUL);
+    b.alu_imm(AluOp::Add, regs::RNG, regs::RNG, LCG_INC);
+    // rand = (rng >> 33) % modulus  (logical-ish: shr is arithmetic, so
+    // mask the sign first by shifting one extra bit and anding).
+    b.alu_imm(AluOp::Shr, regs::RAND, regs::RNG, 33);
+    b.alu_imm(AluOp::And, regs::RAND, regs::RAND, i64::MAX >> 33);
+    b.alu_imm(AluOp::Rem, regs::RAND, regs::RAND, modulus);
+}
+
+/// Emits reseeding of the fill RNG (see [`regs::FILL_RNG`]).
+pub fn seed_fill_rng(b: &mut ProgramBuilder, seed: i64) {
+    b.li(regs::FILL_RNG, seed);
+}
+
+/// Emits a *cyclic* reseed of the fill RNG: the seed is a function of
+/// `counter % modulus`, so the data (and the branch sequences it induces)
+/// cycles with period `modulus` — varied enough to be non-trivial,
+/// repetitive enough for history-based predictors to learn.
+pub fn seed_fill_rng_periodic(b: &mut ProgramBuilder, counter: Reg, modulus: i64, base: i64) {
+    assert!(modulus >= 1);
+    b.alu_imm(AluOp::Rem, regs::TMP, counter, modulus);
+    b.alu_imm(AluOp::Mul, regs::TMP, regs::TMP, 7919);
+    b.alu_imm(AluOp::Add, regs::TMP, regs::TMP, base);
+    b.add(regs::FILL_RNG, regs::TMP, Reg::ZERO);
+}
+
+/// Like [`emit_rand`] but drawing from the reproducible fill RNG; leaves
+/// the value in `regs::RAND`.
+pub fn emit_fill_rand(b: &mut ProgramBuilder, modulus: i64) {
+    assert!(modulus > 0, "modulus must be positive");
+    b.alu_imm(AluOp::Mul, regs::FILL_RNG, regs::FILL_RNG, LCG_MUL);
+    b.alu_imm(AluOp::Add, regs::FILL_RNG, regs::FILL_RNG, LCG_INC);
+    b.alu_imm(AluOp::Shr, regs::RAND, regs::FILL_RNG, 33);
+    b.alu_imm(AluOp::And, regs::RAND, regs::RAND, i64::MAX >> 33);
+    b.alu_imm(AluOp::Rem, regs::RAND, regs::RAND, modulus);
+}
+
+/// Emits the header of a counted loop: initializes `counter` to zero and
+/// binds the returned body label. Close it with [`counted_loop_end`].
+pub fn counted_loop_begin(
+    b: &mut ProgramBuilder,
+    name: &str,
+    counter: Reg,
+) -> Label {
+    b.li(counter, 0);
+    let body = b.label(name);
+    b.bind(body);
+    body
+}
+
+/// Emits the back edge of a counted loop: `counter += 1;
+/// if counter < limit_reg goto body`.
+pub fn counted_loop_end(b: &mut ProgramBuilder, body: Label, counter: Reg, limit: Reg) {
+    b.addi(counter, counter, 1);
+    b.branch(Cond::Lt, counter, limit, body);
+}
+
+/// Emits a data-dependent `if rand < threshold_of(percent)` guard with
+/// the then-block *inline*: draws a random value and skips the "then"
+/// region when the condition fails. Returns the join label to bind after
+/// emitting the then-block.
+///
+/// Use this for then-blocks that execute most of the time
+/// (`percent_taken >= 50`): the skip branch is then a forward branch that
+/// is rarely taken, the layout a compiler produces. For rare then-blocks
+/// use [`RareGuards`], which moves them out of line.
+pub fn emit_random_guard(b: &mut ProgramBuilder, name: &str, percent_taken: i64) -> Label {
+    assert!((0..=100).contains(&percent_taken));
+    emit_rand(b, 100);
+    b.li(regs::TMP, percent_taken);
+    let skip = b.label(name);
+    // Branch *around* the then-block when rand >= percent (forward,
+    // usually not taken for high percentages — realistic compiler shape).
+    b.branch(Cond::Ge, regs::RAND, regs::TMP, skip);
+    skip
+}
+
+/// Collects rarely executed guard bodies and emits them *out of line*, the
+/// way a compiler lays out error/fixup paths: the guard is a forward
+/// branch that is rarely taken, the common path falls through, and the
+/// fixup block lives past the hot code with a jump back.
+///
+/// Bodies are restricted to label-free instructions (ALU/memory), which
+/// is all the workload fixups need.
+#[derive(Debug, Default)]
+pub struct RareGuards {
+    pending: Vec<(Label, Label, Vec<Inst>)>,
+}
+
+impl RareGuards {
+    /// Creates an empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        RareGuards::default()
+    }
+
+    /// Emits `if rand%100 < percent_then { body }` with `body` deferred
+    /// out of line; the guard branch is taken `percent_then`% of the time.
+    pub fn random(
+        &mut self,
+        b: &mut ProgramBuilder,
+        name: &str,
+        percent_then: i64,
+        body: Vec<Inst>,
+    ) {
+        assert!((0..=100).contains(&percent_then));
+        emit_rand(b, 100);
+        b.li(regs::TMP, percent_then);
+        let fixup = b.label(format!("{name}_fix"));
+        let resume = b.label(format!("{name}_res"));
+        b.branch(Cond::Lt, regs::RAND, regs::TMP, fixup);
+        b.bind(resume);
+        self.pending.push((fixup, resume, body));
+    }
+
+    /// Emits `if (counter + phase) % modulus == 0 { body }` — a *periodic*
+    /// guard: its outcome repeats with period `modulus` in `counter`,
+    /// which pattern-history predictors learn exactly while per-branch
+    /// counters only capture the (modulus-1)/modulus bias.
+    pub fn periodic(
+        &mut self,
+        b: &mut ProgramBuilder,
+        name: &str,
+        counter: Reg,
+        phase: i64,
+        modulus: i64,
+        body: Vec<Inst>,
+    ) {
+        assert!(modulus >= 2, "period must be at least 2");
+        b.alu_imm(AluOp::Add, regs::TMP, counter, phase);
+        b.alu_imm(AluOp::Rem, regs::TMP, regs::TMP, modulus);
+        let fixup = b.label(format!("{name}_fix"));
+        let resume = b.label(format!("{name}_res"));
+        b.branch(Cond::Eq, regs::TMP, Reg::ZERO, fixup);
+        b.bind(resume);
+        self.pending.push((fixup, resume, body));
+    }
+
+    /// Emits every deferred fixup block (call once, after the hot code of
+    /// the enclosing function/section, before its return).
+    pub fn flush(self, b: &mut ProgramBuilder) {
+        for (fixup, resume, body) in self.pending {
+            b.bind(fixup);
+            for inst in body {
+                b.inst(inst);
+            }
+            b.jump(resume);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlabp_isa::vm::Vm;
+
+    #[test]
+    fn rand_values_are_in_range_and_vary() {
+        let mut b = ProgramBuilder::new();
+        seed_rng(&mut b, 42);
+        // Store 16 draws mod 10 into memory[0..16].
+        let base = Reg::new(1);
+        b.li(base, 0);
+        for i in 0..16 {
+            emit_rand(&mut b, 10);
+            b.st(regs::RAND, base, i);
+        }
+        b.halt();
+        let mut vm = Vm::with_limits(b.build().unwrap(), 64, 10_000);
+        vm.run().unwrap();
+        let draws: Vec<i64> = (0..16).map(|i| vm.mem(i)).collect();
+        assert!(draws.iter().all(|&v| (0..10).contains(&v)), "{draws:?}");
+        let distinct: std::collections::HashSet<i64> = draws.iter().copied().collect();
+        assert!(distinct.len() > 3, "draws should vary: {draws:?}");
+    }
+
+    #[test]
+    fn counted_loop_runs_exactly_n_times() {
+        let mut b = ProgramBuilder::new();
+        let counter = Reg::new(1);
+        let limit = Reg::new(2);
+        let acc = Reg::new(3);
+        b.li(limit, 7);
+        b.li(acc, 0);
+        let body = counted_loop_begin(&mut b, "loop", counter);
+        b.addi(acc, acc, 1);
+        counted_loop_end(&mut b, body, counter, limit);
+        b.halt();
+        let mut vm = Vm::with_limits(b.build().unwrap(), 64, 10_000);
+        vm.run().unwrap();
+        assert_eq!(vm.reg(acc), 7);
+    }
+
+    #[test]
+    fn random_guard_takes_roughly_the_requested_fraction() {
+        let mut b = ProgramBuilder::new();
+        seed_rng(&mut b, 7);
+        let counter = Reg::new(1);
+        let limit = Reg::new(2);
+        let hits = Reg::new(3);
+        b.li(limit, 1000);
+        b.li(hits, 0);
+        let body = counted_loop_begin(&mut b, "loop", counter);
+        let join = emit_random_guard(&mut b, "skip", 30);
+        b.addi(hits, hits, 1); // then-block: executed ~30% of the time
+        b.bind(join);
+        counted_loop_end(&mut b, body, counter, limit);
+        b.halt();
+        let mut vm = Vm::with_limits(b.build().unwrap(), 64, 1_000_000);
+        vm.run().unwrap();
+        let hits = vm.reg(hits);
+        assert!((200..=400).contains(&hits), "expected ~300 hits, got {hits}");
+    }
+}

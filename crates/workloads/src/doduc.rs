@@ -1,0 +1,194 @@
+//! `doduc` stand-in: Monte-Carlo nuclear-reactor kernel.
+//!
+//! The original is a large FORTRAN Monte-Carlo simulation with many
+//! subroutines and data-dependent conditionals — the paper groups it with
+//! the integer benchmarks as "more interesting ... many conditional
+//! branches and irregular branch behavior". Table 2: training on
+//! `tiny doducin`, testing on `doducin`.
+//!
+//! The stand-in is a bank of subroutines, each mixing probability-skewed
+//! guards (probabilities vary per subroutine), short variable-trip loops,
+//! and carried state, driven from a repeated main loop.
+
+use tlabp_isa::inst::{AluOp, Cond, Inst, Reg};
+use tlabp_isa::program::{Label, Program, ProgramBuilder};
+
+use crate::benchmark::DataSet;
+use crate::codegen::{self, regs};
+
+/// Number of simulated subroutines (Table 1: 1149 static conditional
+/// branches for doduc).
+const FUNCTIONS: usize = 150;
+
+/// Hot subroutines, each called three times back-to-back per round.
+const HOT: usize = 18;
+/// Cold subroutines activated per round (rotating window).
+const ROTATE: usize = 12;
+
+pub(crate) fn program(data_set: DataSet) -> Program {
+    let (rounds, seed) = match data_set {
+        // "tiny doducin": a shorter run over different data.
+        DataSet::Training => (60, 0x5eed_1001),
+        DataSet::Testing => (160, 0x5eed_1002),
+    };
+    build(rounds, seed)
+}
+
+fn build(rounds: i64, seed: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let round = Reg::new(20);
+    let round_limit = Reg::new(21);
+    let segment = Reg::new(22);
+    let probe = Reg::new(23);
+
+    codegen::seed_rng(&mut b, seed);
+
+    // Declare all function labels up front so the driver can call forward.
+    let entries: Vec<Label> =
+        (0..FUNCTIONS).map(|f| b.label(format!("fn{f}"))).collect();
+    let driver_end = b.label("driver_end");
+
+    let cold = FUNCTIONS - HOT;
+    let segments = cold / ROTATE;
+
+    b.li(round_limit, rounds);
+    let driver = codegen::counted_loop_begin(&mut b, "driver", round);
+    {
+        // Hot physics kernels dominate the dynamic profile; back-to-back
+        // calls keep BHT reuse distances short, like real inner loops.
+        for entry in &entries[..HOT] {
+            for _ in 0..3 {
+                b.call(*entry);
+            }
+        }
+        // Rotating cold slice: every subroutine executes over the run.
+        b.alu_imm(AluOp::Rem, segment, round, segments as i64);
+        for s in 0..segments {
+            let skip = b.label(format!("dseg{s}_skip"));
+            b.li(probe, s as i64);
+            b.branch(Cond::Ne, segment, probe, skip);
+            for entry in &entries[HOT + s * ROTATE..HOT + (s + 1) * ROTATE] {
+                b.call(*entry);
+            }
+            b.bind(skip);
+        }
+    }
+    codegen::counted_loop_end(&mut b, driver, round, round_limit);
+    b.jump(driver_end);
+
+    for (f, entry) in entries.iter().enumerate() {
+        b.bind(*entry);
+        // Irregular padding breaks code-stride aliasing across the
+        // replicated subroutines.
+        for _ in 0..(f * 41 + 7) % 23 {
+            b.nop();
+        }
+        emit_function(&mut b, f);
+        b.ret();
+    }
+
+    b.bind(driver_end);
+    b.halt();
+    b.build().expect("doduc generator binds all labels")
+}
+
+/// One physics subroutine: three skewed guards, a variable-trip inner
+/// loop with two data-dependent branches, and an accumulator update.
+fn emit_function(b: &mut ProgramBuilder, f: usize) {
+    let acc = Reg::new(1);
+    let trip = Reg::new(2);
+    let counter = Reg::new(3);
+    let sample = Reg::new(4);
+    let threshold = Reg::new(5);
+
+    let round = Reg::new(20); // driver round counter (see `build`)
+    let mut fixups = codegen::RareGuards::new();
+
+    // Guard 1: common fast path, inline then-block (94-98%).
+    let p1 = 94 + ((f * 7 + 5) % 5) as i64;
+    let j1 = codegen::emit_random_guard(b, &format!("fn{f}_g1"), p1);
+    b.alu_imm(AluOp::Add, acc, acc, 1);
+    b.bind(j1);
+    // Guard 2: rare correction path, out of line (1-5%).
+    let p2 = 1 + ((f * 13 + 31) % 5) as i64;
+    fixups.random(
+        b,
+        &format!("fn{f}_g2"),
+        p2,
+        vec![Inst::AluImm { op: AluOp::Sub, rd: acc, a: acc, imm: 1 }],
+    );
+    // Guard 3: periodic in the driver round (every 2nd-6th round) —
+    // repeating structure only pattern history captures.
+    fixups.periodic(
+        b,
+        &format!("fn{f}_g3"),
+        round,
+        (f % 5) as i64,
+        2 + (f % 5) as i64,
+        vec![Inst::AluImm { op: AluOp::Xor, rd: acc, a: acc, imm: 3 }],
+    );
+
+    // Inner loop over a *fixed* per-subroutine sample stream (the same
+    // input deck is processed every round): the per-call branch sequence
+    // repeats exactly — learnable by pattern history, opaque to
+    // per-branch counters, which only see the bias.
+    codegen::seed_fill_rng(b, 0x0d0d_0000 + f as i64 * 211);
+    codegen::emit_fill_rand(b, 6);
+    b.addi(trip, regs::RAND, 1);
+    b.li(counter, 0);
+    let body = b.label(format!("fn{f}_loop"));
+    b.bind(body);
+    {
+        codegen::emit_fill_rand(b, 100);
+        b.alu_imm(AluOp::Add, sample, regs::RAND, 0);
+        // Low-bits test: fires for one sample in four, and the sample
+        // stream repeats — biased for counters, exact for history.
+        b.alu_imm(AluOp::And, threshold, sample, 3);
+        let even = b.label(format!("fn{f}_even"));
+        b.branch(Cond::Ne, threshold, Reg::ZERO, even);
+        b.alu_imm(AluOp::Add, acc, acc, 2);
+        b.bind(even);
+        // Magnitude branch: taken ~70% (and repeats with the stream).
+        b.li(threshold, 70);
+        let small = b.label(format!("fn{f}_small"));
+        b.branch(Cond::Lt, sample, threshold, small);
+        b.alu_imm(AluOp::Mul, acc, acc, 3);
+        b.bind(small);
+    }
+    b.addi(counter, counter, 1);
+    b.branch(Cond::Lt, counter, trip, body);
+
+    // Cold paths past the hot code; control never falls into them.
+    let over = b.label(format!("fn{f}_over"));
+    b.jump(over);
+    fixups.flush(b);
+    b.bind(over);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlabp_isa::vm::Vm;
+    use tlabp_trace::stats::TraceSummary;
+
+    #[test]
+    fn irregular_but_biased_taken() {
+        let program = program(DataSet::Testing);
+        let mut vm = Vm::with_limits(program, 1 << 20, 80_000_000);
+        vm.run().unwrap();
+        let trace = vm.into_trace();
+        let summary = TraceSummary::from_trace(&trace);
+        assert!(summary.static_conditional_branches >= 6 * FUNCTIONS);
+        assert!(summary.dynamic_conditional_branches > 80_000);
+        // Irregular: taken rate well away from 1.0, unlike the FP
+        // loop-bound codes.
+        assert!(
+            summary.taken_rate < 0.92,
+            "doduc should be irregular, taken rate {}",
+            summary.taken_rate
+        );
+        // Calls/returns present (subroutine-heavy).
+        assert!(summary.mix.calls > 5_000);
+        assert_eq!(summary.mix.calls, summary.mix.returns);
+    }
+}

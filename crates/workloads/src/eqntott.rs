@@ -1,0 +1,260 @@
+//! `eqntott` stand-in: comparison-dominated truth-table manipulation.
+//!
+//! The original converts boolean equations to truth tables; its run time
+//! is dominated by a comparison routine over bit vectors called from
+//! sorting — heavily data-dependent compare-and-branch loops. Table 2
+//! lists only a testing input (`int_pri_3.eqn`); no training set.
+//!
+//! The stand-in runs families of classic comparison kernels over
+//! pseudo-random arrays: insertion sort (data-dependent inner `while`),
+//! binary search, mostly-equal vector comparison, and scan loops.
+
+use tlabp_isa::inst::{AluOp, Cond, Inst, Reg};
+use tlabp_isa::program::{Program, ProgramBuilder};
+
+use crate::benchmark::DataSet;
+use crate::codegen::{self, regs};
+
+/// Number of replicated kernel families (Table 1: 277 static conditional
+/// branches for eqntott).
+const FAMILIES: usize = 8;
+
+const ARRAY_BASE: i64 = 0;
+const VEC_A_BASE: i64 = 200_000;
+const VEC_B_BASE: i64 = 210_000;
+
+pub(crate) fn program(data_set: DataSet) -> Program {
+    let (n, rounds, seed) = match data_set {
+        DataSet::Training => (20, 10, 0x5eed_6001),
+        DataSet::Testing => (24, 24, 0x5eed_6002),
+    };
+    build(n, rounds, seed)
+}
+
+fn build(n: i64, rounds: i64, seed: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let round = Reg::new(20);
+    let round_limit = Reg::new(21);
+    let n_reg = Reg::new(19);
+
+    codegen::seed_rng(&mut b, seed);
+    b.li(n_reg, n);
+
+    b.li(round_limit, rounds);
+    let rounds_loop = codegen::counted_loop_begin(&mut b, "round", round);
+    let rep = Reg::new(16);
+    let rep_limit = Reg::new(17);
+    for family in 0..FAMILIES {
+        emit_fill(&mut b, family, n_reg);
+        emit_insertion_sort(&mut b, family, n_reg);
+        emit_binary_searches(&mut b, family, n_reg);
+        // Bit-vector comparison dominates real eqntott (it is the routine
+        // the paper's related work singles out): repeat the scan, as the
+        // quadratic compare loop does.
+        b.li(rep_limit, 8);
+        let rep_loop = codegen::counted_loop_begin(&mut b, &format!("f{family}_reps"), rep);
+        emit_vector_compare(&mut b, family, n_reg);
+        codegen::counted_loop_end(&mut b, rep_loop, rep, rep_limit);
+        emit_scan(&mut b, family, n_reg);
+    }
+    codegen::counted_loop_end(&mut b, rounds_loop, round, round_limit);
+    b.halt();
+    b.build().expect("eqntott generator binds all labels")
+}
+
+/// Fills the working array with keys from a *cyclic* stream (period 2 in
+/// the round counter: the same two inputs alternate, so the sort's branch
+/// sequences repeat — real eqntott reprocesses similar truth tables) and
+/// the two bit vectors with mostly-equal words.
+fn emit_fill(b: &mut ProgramBuilder, family: usize, n_reg: Reg) {
+    let i = Reg::new(1);
+    let addr = Reg::new(2);
+    let round = Reg::new(20); // driver round counter (see `build`)
+    let mut fixups = codegen::RareGuards::new();
+    codegen::seed_fill_rng_periodic(b, round, 2, 0x0e97_0000 + family as i64 * 389);
+    let fill = codegen::counted_loop_begin(b, &format!("f{family}_fill"), i);
+    codegen::emit_fill_rand(b, 10_000);
+    b.addi(addr, i, ARRAY_BASE);
+    b.st(regs::RAND, addr, 0);
+    // Vector A word.
+    codegen::emit_fill_rand(b, 64);
+    b.addi(addr, i, VEC_A_BASE);
+    b.st(regs::RAND, addr, 0);
+    // Vector B: equal to A ~90% of the time (eqntott's comparisons are
+    // mostly-equal until a late difference); the rare divergence is a
+    // cold out-of-line path.
+    b.addi(addr, i, VEC_B_BASE);
+    b.st(regs::RAND, addr, 0);
+    fixups.random(
+        b,
+        &format!("f{family}_diff"),
+        10,
+        vec![
+            Inst::AluImm { op: AluOp::Add, rd: regs::RAND, a: regs::RAND, imm: 1 },
+            Inst::Store { src: regs::RAND, base: addr, offset: 0 },
+        ],
+    );
+    codegen::counted_loop_end(b, fill, i, n_reg);
+    let over = b.label(format!("f{family}_fill_over"));
+    b.jump(over);
+    fixups.flush(b);
+    b.bind(over);
+}
+
+/// Insertion sort: the inner while-loop trip count depends entirely on
+/// the data — the irregular behavior that punishes static schemes.
+fn emit_insertion_sort(b: &mut ProgramBuilder, family: usize, n_reg: Reg) {
+    let i = Reg::new(1);
+    let j = Reg::new(2);
+    let key = Reg::new(3);
+    let cur = Reg::new(4);
+    let addr = Reg::new(5);
+    let one = Reg::new(6);
+
+    b.li(one, 1);
+    b.li(i, 1);
+    // Bottom-tested loops, the shape a compiler emits: backward branches
+    // are taken while iterating.
+    let outer = b.label(format!("f{family}_sort_i"));
+    b.bind(outer);
+    {
+        b.addi(addr, i, ARRAY_BASE);
+        b.ld(key, addr, 0);
+        b.add(j, i, Reg::ZERO);
+        let shift = b.label(format!("f{family}_sort_w"));
+        let place = b.label(format!("f{family}_sort_p"));
+        b.bind(shift);
+        b.branch(Cond::Le, j, Reg::ZERO, place);
+        b.addi(addr, j, ARRAY_BASE - 1);
+        b.ld(cur, addr, 0);
+        b.branch(Cond::Le, cur, key, place);
+        b.addi(addr, j, ARRAY_BASE);
+        b.st(cur, addr, 0);
+        b.sub(j, j, one);
+        b.branch(Cond::Gt, j, Reg::ZERO, shift); // backward, mostly taken
+        b.bind(place);
+        b.addi(addr, j, ARRAY_BASE);
+        b.st(key, addr, 0);
+    }
+    b.add(i, i, one);
+    b.branch(Cond::Lt, i, n_reg, outer); // backward, taken n-2 times
+}
+
+/// Binary searches over the (now sorted) array: log-depth compare chains.
+fn emit_binary_searches(b: &mut ProgramBuilder, family: usize, n_reg: Reg) {
+    let q = Reg::new(1);
+    let queries = Reg::new(2);
+    let lo = Reg::new(3);
+    let hi = Reg::new(4);
+    let mid = Reg::new(5);
+    let value = Reg::new(6);
+    let addr = Reg::new(7);
+    let needle = Reg::new(8);
+
+    b.li(queries, 16);
+    let loop_q = codegen::counted_loop_begin(b, &format!("f{family}_bs_q"), q);
+    {
+        // Needles come from the same cyclic stream as the data, so the
+        // search paths repeat (real queries hit recurring keys).
+        codegen::emit_fill_rand(b, 10_000);
+        b.add(needle, regs::RAND, Reg::ZERO);
+        b.li(lo, 0);
+        b.add(hi, n_reg, Reg::ZERO);
+        let probe = b.label(format!("f{family}_bs_probe"));
+        let found = b.label(format!("f{family}_bs_out"));
+        b.bind(probe);
+        b.branch(Cond::Ge, lo, hi, found);
+        b.add(mid, lo, hi);
+        b.alu_imm(AluOp::Shr, mid, mid, 1);
+        b.addi(addr, mid, ARRAY_BASE);
+        b.ld(value, addr, 0);
+        let go_right = b.label(format!("f{family}_bs_r"));
+        b.branch(Cond::Lt, value, needle, go_right);
+        b.add(hi, mid, Reg::ZERO);
+        b.jump(probe);
+        b.bind(go_right);
+        b.addi(lo, mid, 1);
+        b.jump(probe);
+        b.bind(found);
+    }
+    codegen::counted_loop_end(b, loop_q, q, queries);
+}
+
+/// Bit-vector comparison: scan until the first difference; with
+/// mostly-equal vectors the not-equal exit is rare — the signature
+/// eqntott branch profile.
+fn emit_vector_compare(b: &mut ProgramBuilder, family: usize, n_reg: Reg) {
+    let i = Reg::new(1);
+    let a = Reg::new(2);
+    let v = Reg::new(3);
+    let addr = Reg::new(4);
+
+    let scan = codegen::counted_loop_begin(b, &format!("f{family}_cmp"), i);
+    b.addi(addr, i, VEC_A_BASE);
+    b.ld(a, addr, 0);
+    b.addi(addr, i, VEC_B_BASE);
+    b.ld(v, addr, 0);
+    let equal = b.label(format!("f{family}_cmp_eq"));
+    b.branch(Cond::Eq, a, v, equal);
+    b.alu_imm(AluOp::Add, Reg::new(9), Reg::new(9), 1); // difference tally
+    b.bind(equal);
+    codegen::counted_loop_end(b, scan, i, n_reg);
+}
+
+/// Min/max scan with two data-dependent updates.
+fn emit_scan(b: &mut ProgramBuilder, family: usize, n_reg: Reg) {
+    let i = Reg::new(1);
+    let value = Reg::new(2);
+    let min = Reg::new(3);
+    let max = Reg::new(4);
+    let addr = Reg::new(5);
+
+    b.li(min, i64::MAX);
+    b.li(max, i64::MIN);
+    let scan = codegen::counted_loop_begin(b, &format!("f{family}_scan"), i);
+    b.addi(addr, i, ARRAY_BASE);
+    b.ld(value, addr, 0);
+    let not_min = b.label(format!("f{family}_nmin"));
+    b.branch(Cond::Ge, value, min, not_min);
+    b.add(min, value, Reg::ZERO);
+    b.bind(not_min);
+    let not_max = b.label(format!("f{family}_nmax"));
+    b.branch(Cond::Le, value, max, not_max);
+    b.add(max, value, Reg::ZERO);
+    b.bind(not_max);
+    codegen::counted_loop_end(b, scan, i, n_reg);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlabp_isa::vm::Vm;
+    use tlabp_trace::stats::TraceSummary;
+
+    #[test]
+    fn comparison_heavy_and_irregular() {
+        let program = program(DataSet::Testing);
+        let mut vm = Vm::with_limits(program, 1 << 20, 80_000_000);
+        vm.run().unwrap();
+        let summary = TraceSummary::from_trace(&vm.into_trace());
+        assert!(summary.static_conditional_branches >= 10 * FAMILIES);
+        assert!(summary.dynamic_conditional_branches > 80_000);
+        assert!(
+            summary.taken_rate < 0.95,
+            "eqntott should be data-dependent, taken rate {}",
+            summary.taken_rate
+        );
+    }
+
+    #[test]
+    fn sort_really_sorts() {
+        // Run one round and check the array is sorted at halt.
+        let program = build(16, 1, 777);
+        let mut vm = Vm::with_limits(program, 1 << 20, 80_000_000);
+        vm.run().unwrap();
+        let values: Vec<i64> = (0..16).map(|w| vm.mem(w)).collect();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        assert_eq!(values, sorted);
+    }
+}

@@ -1,0 +1,221 @@
+//! `espresso` stand-in: bit-matrix cover manipulation.
+//!
+//! The original minimizes boolean functions by manipulating cube covers —
+//! row/column sweeps over bit matrices with containment tests, bit tests
+//! and early-exit scans, all data-dependent. Table 2: training on `cps`,
+//! testing on `bca`.
+
+use tlabp_isa::inst::{AluOp, Cond, Inst, Reg};
+use tlabp_isa::program::{Program, ProgramBuilder};
+
+use crate::benchmark::DataSet;
+use crate::codegen::{self, regs};
+
+/// Replicated routine families (Table 1: 556 static conditional branches
+/// for espresso; sized to keep the executed-everywhere working set inside
+/// the 512-entry BHT).
+const FAMILIES: usize = 16;
+
+/// Rows in the bit matrix.
+const ROWS: i64 = 24;
+/// Bits tested per row in the bit-scan loops.
+const BITS: i64 = 16;
+
+const MATRIX_BASE: i64 = 300_000;
+
+pub(crate) fn program(data_set: DataSet) -> Program {
+    let (rounds, density, seed) = match data_set {
+        // "cps" vs "bca": different cover density and length.
+        DataSet::Training => (4, 3, 0x5eed_7001),
+        DataSet::Testing => (12, 5, 0x5eed_7002),
+    };
+    build(rounds, density, seed)
+}
+
+fn build(rounds: i64, density: i64, seed: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let round = Reg::new(20);
+    let round_limit = Reg::new(21);
+    let rows = Reg::new(19);
+    let bits = Reg::new(18);
+
+    codegen::seed_rng(&mut b, seed);
+    b.li(rows, ROWS);
+    b.li(bits, BITS);
+
+    b.li(round_limit, rounds);
+    let rounds_loop = codegen::counted_loop_begin(&mut b, "round", round);
+    for family in 0..FAMILIES {
+        emit_fill(&mut b, family, rows, density);
+        emit_containment_pairs(&mut b, family, rows);
+        emit_bit_scan(&mut b, family, rows, bits);
+        emit_guard_chain(&mut b, family);
+    }
+    codegen::counted_loop_end(&mut b, rounds_loop, round, round_limit);
+    b.halt();
+    b.build().expect("espresso generator binds all labels")
+}
+
+/// Fills the matrix rows with *reproducible* sparse cube masks: the fill
+/// RNG is reseeded per family, so the cover is identical on every round —
+/// the induced branch sequences repeat, which is the structure
+/// history-based prediction exploits. `density` perturbs the seed
+/// (different covers between data sets) without changing code layout.
+fn emit_fill(b: &mut ProgramBuilder, family: usize, rows: Reg, density: i64) {
+    let i = Reg::new(1);
+    let addr = Reg::new(2);
+    let word = Reg::new(3);
+    codegen::seed_fill_rng(b, 0x0e59_0000 + family as i64 * 97 + density);
+    let probe = Reg::new(4);
+    let fill = codegen::counted_loop_begin(b, &format!("e{family}_fill"), i);
+    let copy_row = b.label(format!("e{family}_copy"));
+    let store_row = b.label(format!("e{family}_store"));
+    // Covers contain recurring cube shapes: only the first 6 rows are
+    // fresh; later rows repeat them (row i = row i-6). The periodic
+    // structure is what history-based predictors exploit downstream.
+    b.li(probe, 6);
+    b.branch(Cond::Ge, i, probe, copy_row);
+    // Sparse fresh row: AND of two draws sets each bit with p ≈ 0.25,
+    // like a real cover where most literals are absent.
+    codegen::emit_fill_rand(b, 1 << BITS);
+    b.add(word, regs::RAND, Reg::ZERO);
+    codegen::emit_fill_rand(b, 1 << BITS);
+    b.alu(AluOp::And, word, word, regs::RAND);
+    b.jump(store_row);
+    b.bind(copy_row);
+    b.addi(addr, i, MATRIX_BASE - 6);
+    b.ld(word, addr, 0);
+    b.bind(store_row);
+    b.addi(addr, i, MATRIX_BASE);
+    b.st(word, addr, 0);
+    codegen::counted_loop_end(b, fill, i, rows);
+}
+
+/// All-pairs containment test: `if (row_i & row_j) == row_i` — the core
+/// espresso cover check, data-dependent per pair.
+fn emit_containment_pairs(b: &mut ProgramBuilder, family: usize, rows: Reg) {
+    let i = Reg::new(1);
+    let j = Reg::new(2);
+    let row_i = Reg::new(3);
+    let row_j = Reg::new(4);
+    let meet = Reg::new(5);
+    let addr = Reg::new(6);
+    let contained = Reg::new(7);
+
+    let outer = codegen::counted_loop_begin(b, &format!("e{family}_ci"), i);
+    {
+        b.addi(addr, i, MATRIX_BASE);
+        b.ld(row_i, addr, 0);
+        let inner = codegen::counted_loop_begin(b, &format!("e{family}_cj"), j);
+        {
+            b.addi(addr, j, MATRIX_BASE);
+            b.ld(row_j, addr, 0);
+            b.alu(AluOp::And, meet, row_i, row_j);
+            let skip = b.label(format!("e{family}_cs"));
+            b.branch(Cond::Ne, meet, row_i, skip);
+            b.addi(contained, contained, 1);
+            b.bind(skip);
+        }
+        codegen::counted_loop_end(b, inner, j, rows);
+    }
+    codegen::counted_loop_end(b, outer, i, rows);
+}
+
+/// Per-row bit scan with a ~50/50 bit-test branch — the irregular core.
+fn emit_bit_scan(b: &mut ProgramBuilder, family: usize, rows: Reg, bits: Reg) {
+    let i = Reg::new(1);
+    let bit = Reg::new(2);
+    let row = Reg::new(3);
+    let probe = Reg::new(4);
+    let addr = Reg::new(5);
+    let ones = Reg::new(7);
+
+    let outer = codegen::counted_loop_begin(b, &format!("e{family}_bi"), i);
+    {
+        b.addi(addr, i, MATRIX_BASE);
+        b.ld(row, addr, 0);
+        let inner = codegen::counted_loop_begin(b, &format!("e{family}_bb"), bit);
+        {
+            b.alu(AluOp::Shr, probe, row, bit);
+            b.alu_imm(AluOp::And, probe, probe, 1);
+            let clear = b.label(format!("e{family}_bc"));
+            b.branch(Cond::Eq, probe, Reg::ZERO, clear);
+            b.addi(ones, ones, 1);
+            b.bind(clear);
+        }
+        codegen::counted_loop_end(b, inner, bit, bits);
+    }
+    codegen::counted_loop_end(b, outer, i, rows);
+}
+
+/// A chain of skewed guards standing in for espresso's many heuristic
+/// cutoffs.
+fn emit_guard_chain(b: &mut ProgramBuilder, family: usize) {
+    let acc = Reg::new(9);
+    let round = Reg::new(20); // driver round counter (see `build`)
+    let mut fixups = codegen::RareGuards::new();
+    for g in 0..8 {
+        // Mostly one-sided cutoffs (real heuristic guards fire rarely or
+        // almost always), some periodic in the round, one in five a
+        // genuine coin-flip region.
+        let h = family * 11 + g * 17;
+        match h % 5 {
+            0 | 1 => {
+                let percent = 91 + (h % 8) as i64;
+                let join = codegen::emit_random_guard(b, &format!("e{family}_g{g}"), percent);
+                b.alu_imm(AluOp::Add, acc, acc, 1);
+                b.bind(join);
+            }
+            2 => {
+                fixups.random(
+                    b,
+                    &format!("e{family}_g{g}"),
+                    2 + (h % 8) as i64,
+                    vec![Inst::AluImm { op: AluOp::Add, rd: acc, a: acc, imm: 2 }],
+                );
+            }
+            3 => {
+                fixups.periodic(
+                    b,
+                    &format!("e{family}_g{g}"),
+                    round,
+                    (h % 3) as i64,
+                    2 + (h % 4) as i64,
+                    vec![Inst::AluImm { op: AluOp::Xor, rd: acc, a: acc, imm: 1 }],
+                );
+            }
+            _ => {
+                let percent = (40 + h % 25) as i64;
+                let join = codegen::emit_random_guard(b, &format!("e{family}_g{g}"), percent);
+                b.alu_imm(AluOp::Sub, acc, acc, 1);
+                b.bind(join);
+            }
+        }
+    }
+    let over = b.label(format!("e{family}_over"));
+    b.jump(over);
+    fixups.flush(b);
+    b.bind(over);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlabp_isa::vm::Vm;
+    use tlabp_trace::stats::TraceSummary;
+
+    #[test]
+    fn bit_level_irregularity() {
+        let program = program(DataSet::Testing);
+        let mut vm = Vm::with_limits(program, 1 << 20, 80_000_000);
+        vm.run().unwrap();
+        let summary = TraceSummary::from_trace(&vm.into_trace());
+        assert!(summary.static_conditional_branches >= 12 * FAMILIES);
+        assert!(summary.dynamic_conditional_branches > 80_000);
+        assert!(
+            summary.taken_rate < 0.95,
+            "espresso is data-dependent, taken rate {}",
+            summary.taken_rate
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! `fpppp` stand-in: enormous straight-line basic blocks.
+//!
+//! The original (quantum chemistry two-electron integrals) is famous for
+//! very long straight-line code with few, extremely well-behaved branches:
+//! "there are very few conditional branches in fpppp and all the
+//! conditional branches have regular behavior". Table 2 lists the `natoms`
+//! testing input with no training set.
+//!
+//! The stand-in runs a long chain of arithmetic blocks, each guarded by a
+//! branch that fires at most ~1% of the time, with sparse fixed-trip inner
+//! loops; the branch-per-instruction ratio is kept low, matching the
+//! paper's ~5% figure for the floating-point benchmarks.
+
+use tlabp_isa::inst::{AluOp, Inst, Reg};
+use tlabp_isa::program::{Program, ProgramBuilder};
+
+use crate::benchmark::DataSet;
+use crate::codegen::{self};
+
+/// Number of straight-line blocks (Table 1: 653 static conditional
+/// branches; we stay near the 512-entry BHT's comfortable capacity since
+/// every block executes on every iteration).
+const BLOCKS: usize = 160;
+
+pub(crate) fn program(data_set: DataSet) -> Program {
+    let (iterations, seed) = match data_set {
+        DataSet::Training => (100, 0x5eed_5001),
+        DataSet::Testing => (200, 0x5eed_5002),
+    };
+    build(iterations, seed)
+}
+
+fn build(iterations: i64, seed: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let acc = Reg::new(1);
+    let x = Reg::new(2);
+    let y = Reg::new(3);
+    let inner = Reg::new(5);
+    let inner_limit = Reg::new(6); // six trips per inner loop
+    let outer = Reg::new(20);
+    let outer_limit = Reg::new(21);
+
+    codegen::seed_rng(&mut b, seed);
+    b.li(acc, 1);
+    b.li(inner_limit, 6);
+
+    b.li(outer_limit, iterations);
+    let mut fixups = codegen::RareGuards::new();
+    let outer_loop = codegen::counted_loop_begin(&mut b, "outer", outer);
+    for block in 0..BLOCKS {
+        // Long arithmetic block: 18 dependent ALU operations.
+        for step in 0..9 {
+            b.alu_imm(AluOp::Mul, x, acc, 3 + step);
+            b.alu_imm(AluOp::Xor, y, x, 0x55);
+            b.add(acc, acc, y);
+        }
+        b.alu_imm(AluOp::And, acc, acc, 0xff_ffff);
+
+        // Rare denormal-style fixup (~1%), out of line.
+        fixups.random(
+            &mut b,
+            &format!("blk{block}"),
+            1,
+            vec![Inst::AluImm { op: AluOp::Add, rd: acc, a: acc, imm: 7 }],
+        );
+
+        // Fixed-trip inner loop on every other block: fpppp's dynamic
+        // branches are dominated by perfectly regular loop back-edges.
+        if block % 2 == 0 {
+            let body = codegen::counted_loop_begin(&mut b, &format!("blk{block}_l"), inner);
+            b.alu_imm(AluOp::Add, acc, acc, 1);
+            codegen::counted_loop_end(&mut b, body, inner, inner_limit);
+        }
+    }
+    codegen::counted_loop_end(&mut b, outer_loop, outer, outer_limit);
+    let over = b.label("fixups_over");
+    b.jump(over);
+    fixups.flush(&mut b);
+    b.bind(over);
+    b.halt();
+    b.build().expect("fpppp generator binds all labels")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlabp_isa::vm::Vm;
+    use tlabp_trace::stats::TraceSummary;
+
+    #[test]
+    fn branches_are_sparse_and_one_sided() {
+        let program = program(DataSet::Testing);
+        let mut vm = Vm::with_limits(program, 1 << 20, 80_000_000);
+        vm.run().unwrap();
+        let summary = TraceSummary::from_trace(&vm.into_trace());
+        assert!(
+            summary.branch_instruction_fraction < 0.15,
+            "fpppp should be branch-sparse, got {}",
+            summary.branch_instruction_fraction
+        );
+        // Loop back-edges dominate: taken-biased overall.
+        assert!(summary.taken_rate > 0.55, "taken rate {}", summary.taken_rate);
+        assert!(summary.static_conditional_branches >= BLOCKS);
+        assert!(summary.dynamic_conditional_branches > 80_000);
+    }
+}

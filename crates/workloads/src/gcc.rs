@@ -1,0 +1,243 @@
+//! `gcc` stand-in: a huge generated control-flow graph with frequent
+//! traps.
+//!
+//! The original compiler is the paper's stress case: by far the most
+//! static conditional branches (Table 1: 6922) and "the large number of
+//! traps in gcc" makes it the benchmark whose prediction accuracy
+//! degrades most under context switches (Section 5.1.4). Table 2:
+//! training on `cexp.i`, testing on `dbxout.i`.
+//!
+//! The stand-in generates several hundred "compiler pass" functions, each
+//! a chain of guards with per-branch skewed probabilities plus a
+//! variable-trip scan loop, driven by a main loop that emits an
+//! OS-trap after every 64th function call.
+
+use tlabp_isa::inst::{AluOp, Cond, Inst, Reg};
+use tlabp_isa::program::{Label, Program, ProgramBuilder};
+
+use crate::benchmark::DataSet;
+use crate::codegen::{self, regs};
+
+/// Number of generated functions (Table 1: 6922 static conditional
+/// branches for gcc; at ~11 branches per function this lands in the same
+/// order of magnitude).
+const FUNCTIONS: usize = 400;
+
+/// Hot functions, called several times on every pass — real programs
+/// concentrate their dynamic branches on a small static working set,
+/// which is what lets a 512-entry BHT work at all.
+const HOT: usize = 20;
+/// How many times each hot function is called back-to-back per pass —
+/// real call sites loop locally, which keeps BHT reuse distances short.
+const HOT_REPS: usize = 4;
+/// Cold functions activated per pass (a rotating window, so every static
+/// branch is eventually exercised).
+const ROTATE: usize = 8;
+
+pub(crate) fn program(data_set: DataSet) -> Program {
+    let (passes, seed) = match data_set {
+        // "cexp.i" is a much smaller source file than "dbxout.i".
+        DataSet::Training => (48, 0x5eed_9001),
+        DataSet::Testing => (130, 0x5eed_9002),
+    };
+    build(passes, seed)
+}
+
+fn build(passes: i64, seed: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let pass = Reg::new(20);
+    let pass_limit = Reg::new(21);
+    let segment = Reg::new(22);
+    let probe = Reg::new(23);
+
+    codegen::seed_rng(&mut b, seed);
+
+    let entries: Vec<Label> = (0..FUNCTIONS).map(|f| b.label(format!("cc{f}"))).collect();
+    let end = b.label("end");
+
+    let cold = FUNCTIONS - HOT;
+    let segments = cold / ROTATE;
+
+    b.li(pass_limit, passes);
+    let driver = codegen::counted_loop_begin(&mut b, "driver", pass);
+    {
+        // Hot working set: each hot function called several times
+        // back-to-back (short BHT reuse distances, like real loops over
+        // call sites).
+        for entry in &entries[..HOT] {
+            for _ in 0..HOT_REPS {
+                b.call(*entry);
+            }
+        }
+        // Simulated system call (file IO): the trace trap triggers a
+        // context switch in the simulator — gcc's signature behavior.
+        b.trap(0);
+
+        // One rotating segment of cold functions per pass.
+        b.alu_imm(AluOp::Rem, segment, pass, segments as i64);
+        for s in 0..segments {
+            let skip = b.label(format!("seg{s}_skip"));
+            b.li(probe, s as i64);
+            b.branch(Cond::Ne, segment, probe, skip);
+            for entry in &entries[HOT + s * ROTATE..HOT + (s + 1) * ROTATE] {
+                b.call(*entry);
+            }
+            b.bind(skip);
+        }
+        b.trap(1);
+    }
+    codegen::counted_loop_end(&mut b, driver, pass, pass_limit);
+    b.jump(end);
+
+    for (f, entry) in entries.iter().enumerate() {
+        b.bind(*entry);
+        // Irregular function padding: breaks code-stride aliasing in
+        // set-indexed prediction tables, as real variable-size functions
+        // do.
+        for _ in 0..(f * 37 + 13) % 23 {
+            b.nop();
+        }
+        emit_pass_function(&mut b, f);
+        b.ret();
+    }
+
+    b.bind(end);
+    b.halt();
+    b.build().expect("gcc generator binds all labels")
+}
+
+/// One compiler-pass function: eight skewed guards (per-branch
+/// probabilities spread across 5%–95%) and a short scan loop with two
+/// data-dependent branches.
+fn emit_pass_function(b: &mut ProgramBuilder, f: usize) {
+    let acc = Reg::new(1);
+    let trip = Reg::new(2);
+    let counter = Reg::new(3);
+    let token = Reg::new(4);
+    let probe = Reg::new(5);
+
+    let pass = Reg::new(20); // driver pass counter (see `build`)
+    let mut fixups = codegen::RareGuards::new();
+    for g in 0..8 {
+        let h = f * 37 + g * 53 + 11;
+        // Real compiler branches are heavily skewed: most guards fire
+        // almost never or almost always; some are periodic in the pass
+        // (e.g. "dump after every Nth pass"); a minority sit in the
+        // middle.
+        match h % 8 {
+            0..=2 => {
+                // Common fast path, inline.
+                let percent = 93 + (h % 6) as i64;
+                let join = codegen::emit_random_guard(b, &format!("cc{f}_g{g}"), percent);
+                b.alu_imm(AluOp::Add, acc, acc, (g + 1) as i64);
+                b.bind(join);
+            }
+            3 | 4 => {
+                // Rare error/edge path, out of line.
+                let percent = 1 + (h % 7) as i64;
+                fixups.random(
+                    b,
+                    &format!("cc{f}_g{g}"),
+                    percent,
+                    vec![Inst::AluImm { op: AluOp::Add, rd: acc, a: acc, imm: 9 }],
+                );
+            }
+            5 | 6 => {
+                // Periodic in the pass number: pure repeating structure.
+                fixups.periodic(
+                    b,
+                    &format!("cc{f}_g{g}"),
+                    pass,
+                    (h % 7) as i64,
+                    2 + (h % 5) as i64,
+                    vec![Inst::AluImm { op: AluOp::Xor, rd: acc, a: acc, imm: 5 }],
+                );
+            }
+            _ => {
+                // Genuinely hard data-dependent branch (biased, as real
+                // hard branches still are).
+                let percent = (62 + h % 24) as i64;
+                let join = codegen::emit_random_guard(b, &format!("cc{f}_g{g}"), percent);
+                b.alu_imm(AluOp::Sub, acc, acc, 1);
+                b.bind(join);
+            }
+        }
+    }
+
+    // Token scan loop over a *fixed* per-function token stream: a
+    // compiler re-scans the same source constructs on every pass, so the
+    // branch sequence repeats exactly — trivial for pattern history,
+    // while counters only get the stream's bias.
+    let _ = pass; // pass drives the periodic guards above
+    codegen::seed_fill_rng(b, 0x6cc0_0000 + f as i64 * 131);
+    codegen::emit_fill_rand(b, 4);
+    b.addi(trip, regs::RAND, 3);
+    b.li(counter, 0);
+    let body = b.label(format!("cc{f}_scan"));
+    b.bind(body);
+    {
+        codegen::emit_fill_rand(b, 256);
+        b.add(token, regs::RAND, Reg::ZERO);
+        // Is it an "identifier"? (three of four token kinds are.)
+        b.alu_imm(AluOp::And, probe, token, 3);
+        let not_ident = b.label(format!("cc{f}_ni"));
+        b.branch(Cond::Eq, probe, Reg::ZERO, not_ident);
+        b.alu_imm(AluOp::Add, acc, acc, 1);
+        b.bind(not_ident);
+        // Is it "rare punctuation"? (~6%)
+        b.li(probe, 16);
+        let not_punct = b.label(format!("cc{f}_np"));
+        b.branch(Cond::Ge, token, probe, not_punct);
+        b.alu_imm(AluOp::Sub, acc, acc, 1);
+        b.bind(not_punct);
+    }
+    b.addi(counter, counter, 1);
+    b.branch(Cond::Lt, counter, trip, body);
+
+    // Cold paths past the hot code.
+    let over = b.label(format!("cc{f}_over"));
+    b.jump(over);
+    fixups.flush(b);
+    b.bind(over);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlabp_isa::vm::Vm;
+    use tlabp_trace::stats::TraceSummary;
+
+    #[test]
+    fn large_static_footprint_and_many_traps() {
+        let program = program(DataSet::Testing);
+        let mut vm = Vm::with_limits(program, 1 << 20, 80_000_000);
+        vm.run().unwrap();
+        let summary = TraceSummary::from_trace(&vm.into_trace());
+        assert!(
+            summary.static_conditional_branches > 3000,
+            "gcc must have thousands of static branches, got {}",
+            summary.static_conditional_branches
+        );
+        assert!(
+            summary.traps > 100,
+            "gcc must trap frequently, got {} traps",
+            summary.traps
+        );
+        assert!(summary.dynamic_conditional_branches > 100_000);
+    }
+
+    #[test]
+    fn training_input_is_smaller() {
+        let train = {
+            let mut vm = Vm::with_limits(program(DataSet::Training), 1 << 20, 80_000_000);
+            vm.run().unwrap();
+            vm.into_trace()
+        };
+        let test = {
+            let mut vm = Vm::with_limits(program(DataSet::Testing), 1 << 20, 80_000_000);
+            vm.run().unwrap();
+            vm.into_trace()
+        };
+        assert!(train.total_instructions() < test.total_instructions() / 2);
+    }
+}

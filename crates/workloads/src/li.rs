@@ -1,0 +1,334 @@
+//! `li` (xlisp) stand-in: recursive interpreter workloads.
+//!
+//! Table 2 is explicit about this benchmark's inputs: training runs the
+//! *tower of hanoi*, testing runs *eight queens* — both classic xlisp
+//! test programs dominated by recursion. The stand-in implements both
+//! solvers natively (recursive calls through the VM call stack, arguments
+//! on an explicit data stack) inside one program; an embedded mode flag
+//! selects which solver the run exercises, so the program text — and every
+//! static branch address — is identical across data sets while the
+//! exercised paths differ, which is exactly the hazard profiling-based
+//! predictors face.
+//!
+//! Shared "interpreter runtime" helpers (list scans and a mark-sweep-like
+//! pass) run in both modes, giving the profiled schemes partial coverage.
+
+use tlabp_isa::inst::{AluOp, Cond, Reg};
+use tlabp_isa::program::{Program, ProgramBuilder};
+
+use crate::benchmark::DataSet;
+use crate::codegen::{self, regs};
+
+/// Stack pointer register for the explicit argument stack.
+const SP: Reg = Reg::new(26);
+/// Board/argument memory for the queens solver.
+const BOARD_BASE: i64 = 400_000;
+/// Argument stack region.
+const STACK_BASE: i64 = 450_000;
+/// Heap region scanned by the GC-like helper.
+const HEAP_BASE: i64 = 460_000;
+/// Number of replicated runtime-helper families.
+const HELPERS: usize = 60;
+
+pub(crate) fn program(data_set: DataSet) -> Program {
+    // mode 0 = tower of hanoi (training), mode 1 = eight queens (testing).
+    let (mode, hanoi_depth, queens_n, repeats, seed) = match data_set {
+        DataSet::Training => (0, 13, 8, 2, 0x5eed_8001),
+        DataSet::Testing => (1, 13, 8, 2, 0x5eed_8002),
+    };
+    build(mode, hanoi_depth, queens_n, repeats, seed)
+}
+
+fn build(mode: i64, hanoi_depth: i64, queens_n: i64, repeats: i64, seed: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let mode_reg = Reg::new(25);
+    let repeat = Reg::new(20);
+    let repeat_limit = Reg::new(21);
+    let arg = Reg::new(10); // first argument to callees
+    let solutions = Reg::new(11);
+    let moves = Reg::new(12);
+    let n_queens = Reg::new(24);
+
+    codegen::seed_rng(&mut b, seed);
+    b.li(mode_reg, mode);
+    b.li(SP, STACK_BASE);
+    b.li(n_queens, queens_n);
+
+    let hanoi = b.label("hanoi");
+    let queens = b.label("queens");
+    let safe = b.label("safe");
+    let helpers_start = b.label("helpers");
+    let end = b.label("end");
+
+    b.li(repeat_limit, repeats);
+    let driver = codegen::counted_loop_begin(&mut b, "driver", repeat);
+    {
+        // Shared runtime helpers run in both modes and dominate the
+        // dynamic profile, like the interpreter loop in real xlisp.
+        for _ in 0..10 {
+            b.call(helpers_start);
+        }
+
+        // Mode dispatch: one branch, then the selected solver.
+        let run_queens = b.label("run_queens");
+        let dispatched = b.label("dispatched");
+        b.branch(Cond::Ne, mode_reg, Reg::ZERO, run_queens);
+        b.li(arg, hanoi_depth);
+        b.call(hanoi);
+        b.jump(dispatched);
+        b.bind(run_queens);
+        b.li(arg, 0); // start at row 0
+        b.call(queens);
+        b.bind(dispatched);
+    }
+    codegen::counted_loop_end(&mut b, driver, repeat, repeat_limit);
+    b.jump(end);
+
+    // ---- hanoi(n): if n == 0 return; hanoi(n-1); moves++; hanoi(n-1) ----
+    b.bind(hanoi);
+    {
+        let recurse = b.label("hanoi_rec");
+        b.branch(Cond::Gt, arg, Reg::ZERO, recurse);
+        b.ret();
+        b.bind(recurse);
+        // push n, call hanoi(n-1)
+        b.st(arg, SP, 0);
+        b.addi(SP, SP, 1);
+        b.addi(arg, arg, -1);
+        b.call(hanoi);
+        // pop n, count the move
+        b.addi(SP, SP, -1);
+        b.ld(arg, SP, 0);
+        b.addi(moves, moves, 1);
+        // second recursive call
+        b.addi(arg, arg, -1);
+        b.call(hanoi);
+        b.ret();
+    }
+
+    // ---- queens(row): for col in 0..n: if safe: place; recurse/record ----
+    b.bind(queens);
+    {
+        let row = Reg::new(13);
+        let col = Reg::new(14);
+        let col_loop = b.label("q_col");
+        let col_next = b.label("q_next");
+        let col_done = b.label("q_done");
+        let recurse = b.label("q_rec");
+        let after = b.label("q_after");
+
+        b.add(row, arg, Reg::ZERO);
+        b.li(col, 0);
+        b.bind(col_loop);
+        {
+            // safe(row, col)? returns verdict in r15.
+            // Save row/col across the call on the data stack.
+            b.st(row, SP, 0);
+            b.st(col, SP, 1);
+            b.addi(SP, SP, 2);
+            b.call(safe);
+            b.addi(SP, SP, -2);
+            b.ld(row, SP, 0);
+            b.ld(col, SP, 1);
+            b.branch(Cond::Eq, Reg::new(15), Reg::ZERO, col_next);
+
+            // place queen: board[row] = col
+            b.addi(Reg::new(16), row, BOARD_BASE);
+            b.st(col, Reg::new(16), 0);
+            // last row? count a solution, else recurse.
+            b.addi(Reg::new(17), n_queens, -1);
+            b.branch(Cond::Lt, row, Reg::new(17), recurse);
+            b.addi(solutions, solutions, 1);
+            b.jump(after);
+            b.bind(recurse);
+            b.st(row, SP, 0);
+            b.st(col, SP, 1);
+            b.addi(SP, SP, 2);
+            b.addi(arg, row, 1);
+            b.call(queens);
+            b.addi(SP, SP, -2);
+            b.ld(row, SP, 0);
+            b.ld(col, SP, 1);
+            b.bind(after);
+        }
+        b.bind(col_next);
+        b.addi(col, col, 1);
+        // Bottom-tested: backward branch taken n-1 of n times.
+        b.branch(Cond::Lt, col, n_queens, col_loop);
+        b.bind(col_done);
+        b.ret();
+    }
+
+    // ---- safe(row=stack[-2], col=stack[-1]) -> r15 ----
+    b.bind(safe);
+    {
+        let row = Reg::new(13);
+        let col = Reg::new(14);
+        let verdict = Reg::new(15);
+        let prev = Reg::new(16);
+        let prev_col = Reg::new(17);
+        let diff = Reg::new(18);
+        let diff2 = Reg::new(19);
+
+        b.ld(row, SP, -2);
+        b.ld(col, SP, -1);
+        b.li(verdict, 1);
+        b.li(prev, 0);
+        let scan = b.label("safe_scan");
+        let unsafe_exit = b.label("safe_no");
+        let done = b.label("safe_done");
+        // Row 0 has nothing to check.
+        b.branch(Cond::Le, row, Reg::ZERO, done);
+        b.bind(scan);
+        {
+            b.addi(diff, prev, BOARD_BASE);
+            b.ld(prev_col, diff, 0);
+            // Different column in the common case: taken-biased test.
+            let col_ok = b.label(format!("safe_colok_{}", 0));
+            b.branch(Cond::Ne, prev_col, col, col_ok);
+            b.jump(unsafe_exit);
+            b.bind(col_ok);
+            // same diagonal? |row - prev| == |col - prev_col|
+            b.sub(diff, row, prev);
+            b.sub(diff2, col, prev_col);
+            let abs_ok = b.label(format!("safe_abs_{}", 0));
+            b.branch(Cond::Ge, diff2, Reg::ZERO, abs_ok);
+            b.sub(diff2, Reg::ZERO, diff2);
+            b.bind(abs_ok);
+            let diag_ok = b.label(format!("safe_diagok_{}", 0));
+            b.branch(Cond::Ne, diff, diff2, diag_ok);
+            b.jump(unsafe_exit);
+            b.bind(diag_ok);
+        }
+        b.addi(prev, prev, 1);
+        // Bottom-tested: backward branch taken while rows remain.
+        b.branch(Cond::Lt, prev, row, scan);
+        b.jump(done);
+        b.bind(unsafe_exit);
+        b.li(verdict, 0);
+        b.bind(done);
+        b.ret();
+    }
+
+    // ---- shared runtime helpers: list scans + mark-like sweep ----
+    b.bind(helpers_start);
+    {
+        let i = Reg::new(1);
+        let limit = Reg::new(2);
+        let addr = Reg::new(3);
+        let cell = Reg::new(4);
+        let marked = Reg::new(5);
+        b.li(limit, 64);
+        // Seed the heap with *reproducible* tagged cells: the fill RNG is
+        // reseeded here, so every sweep (and every driver round) walks the
+        // same tag sequence — a repeating pattern history captures.
+        codegen::seed_fill_rng(&mut b, 0x11_0000 + seed);
+        let fill = codegen::counted_loop_begin(&mut b, "heap_fill", i);
+        // AND of two draws: each tag bit set with p = 0.25 — biased the
+        // way real type tags are, not a fair coin.
+        codegen::emit_fill_rand(&mut b, 8);
+        b.add(cell, regs::RAND, Reg::ZERO);
+        codegen::emit_fill_rand(&mut b, 8);
+        b.alu(AluOp::And, cell, cell, regs::RAND);
+        b.addi(addr, i, HEAP_BASE);
+        b.st(cell, addr, 0);
+        codegen::counted_loop_end(&mut b, fill, i, limit);
+
+        for h in 0..HELPERS {
+            // Irregular padding breaks code-stride aliasing across the
+            // replicated helpers.
+            for _ in 0..(h * 31 + 3) % 23 {
+                b.nop();
+            }
+            // Sweep: branch on cell tag (data-dependent), two tag tests.
+            let sweep = codegen::counted_loop_begin(&mut b, &format!("h{h}_sweep"), i);
+            b.addi(addr, i, HEAP_BASE);
+            b.ld(cell, addr, 0);
+            let not_pair = b.label(format!("h{h}_np"));
+            b.alu_imm(AluOp::And, marked, cell, 1);
+            b.branch(Cond::Eq, marked, Reg::ZERO, not_pair);
+            b.addi(Reg::new(6), Reg::new(6), 1);
+            b.bind(not_pair);
+            let not_atom = b.label(format!("h{h}_na"));
+            b.alu_imm(AluOp::And, marked, cell, 2);
+            b.branch(Cond::Eq, marked, Reg::ZERO, not_atom);
+            b.addi(Reg::new(7), Reg::new(7), 1);
+            b.bind(not_atom);
+            let not_str = b.label(format!("h{h}_ns"));
+            b.alu_imm(AluOp::And, marked, cell, 4);
+            b.branch(Cond::Eq, marked, Reg::ZERO, not_str);
+            b.addi(Reg::new(8), Reg::new(8), 1);
+            b.bind(not_str);
+            codegen::counted_loop_end(&mut b, sweep, i, limit);
+        }
+        b.ret();
+    }
+
+    b.bind(end);
+    b.halt();
+    b.build().expect("li generator binds all labels")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlabp_isa::vm::Vm;
+    use tlabp_trace::stats::TraceSummary;
+    use tlabp_trace::BranchClass;
+
+    #[test]
+    fn eight_queens_finds_92_solutions() {
+        // Run the testing mode once (repeats=1) and read the solution
+        // counter (r11) — the canonical eight-queens answer is 92.
+        let program = build(1, 13, 8, 1, 1);
+        let mut vm = Vm::with_limits(program, 1 << 20, 80_000_000);
+        vm.run().unwrap();
+        assert_eq!(vm.reg(Reg::new(11)), 92);
+    }
+
+    #[test]
+    fn hanoi_counts_moves() {
+        // hanoi(n) makes 2^n - 1 moves.
+        let program = build(0, 10, 8, 1, 1);
+        let mut vm = Vm::with_limits(program, 1 << 20, 80_000_000);
+        vm.run().unwrap();
+        assert_eq!(vm.reg(Reg::new(12)), (1 << 10) - 1);
+    }
+
+    #[test]
+    fn recursion_shows_in_branch_mix() {
+        let program = program(DataSet::Testing);
+        let mut vm = Vm::with_limits(program, 1 << 20, 80_000_000);
+        vm.run().unwrap();
+        let trace = vm.into_trace();
+        let summary = TraceSummary::from_trace(&trace);
+        assert!(summary.mix.count(BranchClass::Return) > 5_000, "{:?}", summary.mix);
+        assert_eq!(summary.mix.calls, summary.mix.returns);
+        assert!(summary.dynamic_conditional_branches > 40_000);
+    }
+
+    #[test]
+    fn modes_exercise_different_paths() {
+        let train = {
+            let mut vm = Vm::with_limits(program(DataSet::Training), 1 << 20, 80_000_000);
+            vm.run().unwrap();
+            vm.into_trace()
+        };
+        let test = {
+            let mut vm = Vm::with_limits(program(DataSet::Testing), 1 << 20, 80_000_000);
+            vm.run().unwrap();
+            vm.into_trace()
+        };
+        use std::collections::HashSet;
+        let train_pcs: HashSet<u64> = train.conditional_branches().map(|b| b.pc).collect();
+        let test_pcs: HashSet<u64> = test.conditional_branches().map(|b| b.pc).collect();
+        assert!(
+            test_pcs.difference(&train_pcs).count() > 3,
+            "testing must exercise branches training never saw"
+        );
+        assert!(
+            test_pcs.intersection(&train_pcs).count() > 10,
+            "shared runtime helpers must overlap"
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! # SPEC'89-like synthetic workloads
+//!
+//! The paper evaluates nine SPEC benchmarks (Table 1/2): five floating
+//! point (`doduc`, `fpppp`, `matrix300`, `spice2g6`, `tomcatv`) and four
+//! integer (`eqntott`, `espresso`, `gcc`, `li`). The benchmark sources and
+//! reference inputs are proprietary and the original Motorola 88100 traces
+//! no longer exist, so this crate provides nine *programs for our
+//! mini-RISC ISA* that stand in for them (DESIGN.md, substitution 2).
+//!
+//! Each workload is built to reproduce the property of its namesake that
+//! matters for branch prediction:
+//!
+//! * the floating-point stand-ins are loop-regular and highly predictable
+//!   (`fpppp`, `matrix300`, `tomcatv` especially — "repetitive loop
+//!   execution; thus a very high prediction accuracy is attainable,
+//!   independent of the predictors used");
+//! * the integer stand-ins (`eqntott`, `espresso`, `gcc`, `li`) have many
+//!   conditional branches with irregular, data-dependent behavior — "it is
+//!   on the integer benchmarks where a branch predictor's mettle is
+//!   tested";
+//! * static conditional-branch counts are on the order of Table 1's
+//!   (gcc large ≈ thousands, the others hundreds);
+//! * each benchmark has distinct *training* and *testing* inputs
+//!   (Table 2); the four whose Table 2 training entry is "NA"
+//!   (`eqntott`, `fpppp`, `matrix300`, `tomcatv`) report
+//!   [`Benchmark::has_training_set`] `false` and are excluded from
+//!   profiled-scheme averages, exactly as the paper excludes them from
+//!   Figure 11's Static Training curves;
+//! * `gcc` emits many traps (the paper attributes its outsized
+//!   context-switch degradation to "the large number of traps in gcc").
+//!
+//! Programs self-generate their input data from a seeded linear
+//! congruential generator *inside the ISA*, so a data set is just a seed
+//! and scale parameters; everything is bit-for-bit reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use tlabp_workloads::{Benchmark, DataSet};
+//!
+//! let li = Benchmark::by_name("li").expect("li exists");
+//! let trace = li.trace(DataSet::Testing);
+//! assert!(trace.conditional_branches().count() > 10_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod benchmark;
+mod codegen;
+
+mod doduc;
+mod eqntott;
+mod espresso;
+mod fpppp;
+mod gcc;
+mod li;
+mod matrix300;
+mod spice2g6;
+mod tomcatv;
+
+pub use benchmark::{Benchmark, BenchmarkKind, DataSet};

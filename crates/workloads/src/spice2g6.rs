@@ -1,0 +1,190 @@
+//! `spice2g6` stand-in: circuit-simulation timestep loop.
+//!
+//! The original alternates device-model evaluation with Newton iteration;
+//! branch behavior is phase-like — device states persist across timesteps
+//! and flip occasionally. Table 2: training on `short greycode.in`,
+//! testing on `greycode.in`.
+//!
+//! The stand-in keeps one persistent mode word per device in data memory;
+//! each timestep evaluates every device (branches conditioned on the mode,
+//! which flips with ~10% probability per step — a two-state Markov chain)
+//! and runs a convergence loop whose trip count is data-dependent.
+
+use tlabp_isa::inst::{AluOp, Cond, Inst, Reg};
+use tlabp_isa::program::{Label, Program, ProgramBuilder};
+
+use crate::benchmark::DataSet;
+use crate::codegen::{self, regs};
+
+/// Number of device-model subroutines (Table 1: 606 static conditional
+/// branches for spice2g6). Kept comfortably inside the 512-entry BHT's
+/// reach, since every device is evaluated on every timestep.
+const DEVICES: usize = 36;
+
+/// Data-memory base of the per-device mode words.
+const STATE_BASE: i64 = 500_000;
+
+pub(crate) fn program(data_set: DataSet) -> Program {
+    let (timesteps, seed) = match data_set {
+        // "short greycode.in".
+        DataSet::Training => (55, 0x5eed_2001),
+        DataSet::Testing => (145, 0x5eed_2002),
+    };
+    build(timesteps, seed)
+}
+
+fn build(timesteps: i64, seed: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let step = Reg::new(20);
+    let step_limit = Reg::new(21);
+
+    codegen::seed_rng(&mut b, seed);
+
+    let entries: Vec<Label> = (0..DEVICES).map(|d| b.label(format!("dev{d}"))).collect();
+    let end = b.label("end");
+
+    // Initialize device modes to pseudo-random 0/1.
+    let init = Reg::new(1);
+    let init_limit = Reg::new(2);
+    let addr = Reg::new(3);
+    b.li(init_limit, DEVICES as i64);
+    let init_loop = codegen::counted_loop_begin(&mut b, "init", init);
+    codegen::emit_rand(&mut b, 2);
+    b.addi(addr, init, STATE_BASE);
+    b.st(regs::RAND, addr, 0);
+    codegen::counted_loop_end(&mut b, init_loop, init, init_limit);
+
+    b.li(step_limit, timesteps);
+    let stepper = codegen::counted_loop_begin(&mut b, "step", step);
+    for entry in &entries {
+        // Each device model is evaluated several times per timestep
+        // (Newton re-evaluations), giving the bursty reuse pattern real
+        // simulators have.
+        for _ in 0..3 {
+            b.call(*entry);
+        }
+    }
+    codegen::counted_loop_end(&mut b, stepper, step, step_limit);
+    b.jump(end);
+
+    for (d, entry) in entries.iter().enumerate() {
+        b.bind(*entry);
+        // Irregular padding breaks code-stride aliasing across devices.
+        for _ in 0..(d * 29 + 5) % 23 {
+            b.nop();
+        }
+        emit_device(&mut b, d);
+        b.ret();
+    }
+
+    b.bind(end);
+    b.halt();
+    b.build().expect("spice2g6 generator binds all labels")
+}
+
+/// One device model: three mode-conditioned branches (phase-like: the mode
+/// persists across timesteps), a Markov mode update with a periodic
+/// re-anchor to the device's nominal operating region, and a convergence
+/// loop with a data-dependent trip count.
+fn emit_device(b: &mut ProgramBuilder, d: usize) {
+    let mode = Reg::new(4);
+    let addr = Reg::new(5);
+    let acc = Reg::new(6);
+    let delta = Reg::new(7);
+    let eps = Reg::new(8);
+    let step = Reg::new(20); // timestep counter (see `build`)
+
+    // Each device has a nominal operating region; the bias is a stable,
+    // data-set-independent property of the device (this is what lets
+    // profiling-based schemes transfer between training and testing).
+    let nominal = i64::from((d * 7) % 10 < 7);
+
+    b.li(addr, STATE_BASE + d as i64);
+    b.ld(mode, addr, 0);
+
+    // Three branches conditioned on the persistent mode: while the mode
+    // holds, they repeat the same direction every timestep (runs), which
+    // counters predict well; mode flips create the mispredictions.
+    for g in 0..3 {
+        let skip = b.label(format!("dev{d}_m{g}"));
+        b.branch(Cond::Eq, mode, Reg::ZERO, skip);
+        b.alu_imm(AluOp::Add, acc, acc, 1 + g as i64);
+        b.bind(skip);
+    }
+
+    // Markov update: flip the mode with ~6% probability (devices dwell in
+    // an operating region for many timesteps). The flip path is cold and
+    // lives out of line.
+    let mut fixups = codegen::RareGuards::new();
+    fixups.random(
+        b,
+        &format!("dev{d}_flip"),
+        2,
+        vec![
+            Inst::AluImm { op: AluOp::Xor, rd: mode, a: mode, imm: 1 },
+            Inst::Store { src: mode, base: addr, offset: 0 },
+        ],
+    );
+    // The operating point drifts back to nominal on a periodic schedule
+    // (the input waveform repeats), giving each device a stable long-run
+    // bias.
+    fixups.periodic(
+        b,
+        &format!("dev{d}_anchor"),
+        step,
+        (d % 24) as i64,
+        24,
+        vec![
+            Inst::LoadImm { rd: mode, imm: nominal },
+            Inst::Store { src: mode, base: addr, offset: 0 },
+        ],
+    );
+
+    // Newton-style convergence loop: the starting residual depends on the
+    // device's mode (deterministic given the mode), so the trip count is
+    // phase-like rather than white noise.
+    b.alu_imm(AluOp::Mul, delta, mode, 9);
+    b.addi(delta, delta, 3);
+    b.li(eps, 0);
+    let converge = b.label(format!("dev{d}_newton"));
+    b.bind(converge);
+    b.alu_imm(AluOp::Shr, delta, delta, 1);
+    b.alu_imm(AluOp::Add, acc, acc, 1);
+    b.branch(Cond::Gt, delta, eps, converge);
+
+    // Cold flip path past the hot code.
+    let over = b.label(format!("dev{d}_over"));
+    b.jump(over);
+    fixups.flush(b);
+    b.bind(over);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlabp_isa::vm::Vm;
+    use tlabp_trace::stats::TraceSummary;
+
+    #[test]
+    fn phase_like_branch_behavior() {
+        let program = program(DataSet::Testing);
+        let mut vm = Vm::with_limits(program, 1 << 20, 80_000_000);
+        vm.run().unwrap();
+        let summary = TraceSummary::from_trace(&vm.into_trace());
+        assert!(summary.static_conditional_branches >= 5 * DEVICES);
+        assert!(summary.dynamic_conditional_branches > 80_000);
+        assert!(summary.mix.calls > 10_000);
+    }
+
+    #[test]
+    fn modes_persist_in_memory_between_steps() {
+        let program = build(3, 1234);
+        let mut vm = Vm::with_limits(program, 1 << 20, 80_000_000);
+        vm.run().unwrap();
+        // All mode words are still 0/1 after the run.
+        for d in 0..DEVICES {
+            let mode = vm.mem((STATE_BASE as usize) + d);
+            assert!(mode == 0 || mode == 1, "device {d} mode {mode}");
+        }
+    }
+}

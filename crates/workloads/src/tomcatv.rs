@@ -1,0 +1,146 @@
+//! `tomcatv` stand-in: 2-D mesh-generation sweeps.
+//!
+//! The original is a vectorizable mesh generator: regular doubly nested
+//! sweeps over a grid, with occasional residual checks that almost never
+//! fire. Table 2 lists its input as "Built-in" with no training set.
+
+use tlabp_isa::inst::{AluOp, Inst, Reg};
+use tlabp_isa::program::{Program, ProgramBuilder};
+
+use crate::benchmark::DataSet;
+use crate::codegen::{self, regs};
+
+/// Number of sweep sections (static-branch budget; Table 1: 370).
+const SECTIONS: usize = 60;
+
+const GRID_BASE: i64 = 0;
+const OUT_BASE: i64 = 100_000;
+
+pub(crate) fn program(data_set: DataSet) -> Program {
+    let (n, passes, seed) = match data_set {
+        DataSet::Training => (12, 2, 0x5eed_4001),
+        DataSet::Testing => (24, 3, 0x5eed_4002),
+    };
+    build(n, passes, seed)
+}
+
+fn build(n: i64, passes: i64, seed: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let (i, j) = (Reg::new(1), Reg::new(2));
+    let n_reg = Reg::new(4);
+    let addr = Reg::new(6);
+    let value = Reg::new(7);
+    let neighbor = Reg::new(8);
+    let pass = Reg::new(20);
+    let pass_limit = Reg::new(21);
+    let fill = Reg::new(22);
+    let fill_limit = Reg::new(23);
+
+    codegen::seed_rng(&mut b, seed);
+    b.li(n_reg, n);
+
+    b.li(fill_limit, n * n);
+    let fill_loop = codegen::counted_loop_begin(&mut b, "fill", fill);
+    codegen::emit_rand(&mut b, 5000);
+    b.addi(addr, fill, GRID_BASE);
+    b.st(regs::RAND, addr, 0);
+    codegen::counted_loop_end(&mut b, fill_loop, fill, fill_limit);
+
+    b.li(pass_limit, passes);
+    let pass_loop = codegen::counted_loop_begin(&mut b, "pass", pass);
+    for section in 0..SECTIONS {
+        emit_sweep(&mut b, section, n_reg, i, j, addr, value, neighbor);
+    }
+    codegen::counted_loop_end(&mut b, pass_loop, pass, pass_limit);
+    b.halt();
+    b.build().expect("tomcatv generator binds all labels")
+}
+
+/// One mesh sweep: `for i { for j { out = f(grid); if residual big: fixup } }`.
+///
+/// Static branches per section: two loop exits plus two rarely-firing
+/// residual guards.
+#[allow(clippy::too_many_arguments)]
+fn emit_sweep(
+    b: &mut ProgramBuilder,
+    section: usize,
+    n_reg: Reg,
+    i: Reg,
+    j: Reg,
+    addr: Reg,
+    value: Reg,
+    neighbor: Reg,
+) {
+    // Irregular padding breaks code-stride aliasing across sections.
+    for _ in 0..(section * 47 + 9) % 23 {
+        b.nop();
+    }
+    let mut fixups = codegen::RareGuards::new();
+    let i_loop = codegen::counted_loop_begin(b, &format!("sw{section}_i"), i);
+    {
+        let j_loop = codegen::counted_loop_begin(b, &format!("sw{section}_j"), j);
+        {
+            // value = grid[i*n + j]; neighbor = grid[i*n + j] (offset 1
+            // when j+1 < n is not checked — wraps inside the row buffer,
+            // harmless for the branch study).
+            b.alu(AluOp::Mul, addr, i, n_reg);
+            b.add(addr, addr, j);
+            b.addi(addr, addr, GRID_BASE);
+            b.ld(value, addr, 0);
+            b.ld(neighbor, addr, 0);
+            b.add(value, value, neighbor);
+            b.alu_imm(AluOp::Shr, value, value, 1);
+
+            b.alu_imm(AluOp::Add, addr, addr, OUT_BASE - GRID_BASE);
+            b.st(value, addr, 0);
+        }
+        codegen::counted_loop_end(b, j_loop, j, n_reg);
+
+        // Per-row residual checks (outside the inner loop, so loop
+        // back-edges dominate the dynamic mix as in the real code).
+        // Rare residual fixup (~2%), out of line like a compiler lays out
+        // cold paths.
+        fixups.random(
+            b,
+            &format!("sw{section}_resA"),
+            2,
+            vec![Inst::AluImm { op: AluOp::Add, rd: value, a: value, imm: 1 }],
+        );
+        // Boundary-row correction: periodic in i (every 8th row) —
+        // perfectly learnable by pattern history.
+        fixups.periodic(
+            b,
+            &format!("sw{section}_resB"),
+            i,
+            (section % 8) as i64,
+            8,
+            vec![Inst::AluImm { op: AluOp::Sub, rd: value, a: value, imm: 1 }],
+        );
+    }
+    codegen::counted_loop_end(b, i_loop, i, n_reg);
+    // Cold fixup blocks live past the sweep; control never falls into
+    // them.
+    let over = b.label(format!("sw{section}_over"));
+    b.jump(over);
+    fixups.flush(b);
+    b.bind(over);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlabp_isa::vm::Vm;
+    use tlabp_trace::stats::TraceSummary;
+
+    #[test]
+    fn sweeps_are_highly_regular() {
+        let program = program(DataSet::Testing);
+        let mut vm = Vm::with_limits(program, 1 << 20, 80_000_000);
+        vm.run().unwrap();
+        let summary = TraceSummary::from_trace(&vm.into_trace());
+        // Loop branches dominate; guard branches are "taken" (skip) ~98%.
+        assert!(summary.taken_rate > 0.8, "taken rate {}", summary.taken_rate);
+        assert!(summary.static_conditional_branches >= 4 * SECTIONS);
+        assert!(summary.dynamic_conditional_branches > 100_000);
+    }
+}

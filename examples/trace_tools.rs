@@ -1,0 +1,53 @@
+//! Trace tooling: generate a workload trace, save it in the binary trace
+//! format, reload it, and inspect its statistics — the workflow for
+//! sharing traces between machines or caching expensive generation.
+//!
+//! ```text
+//! cargo run --release --example trace_tools
+//! ```
+
+use std::fs;
+
+use tlabp::trace::io::{read_trace, write_trace};
+use tlabp::trace::stats::{BranchMix, TraceSummary};
+use tlabp::trace::BranchClass;
+use tlabp::workloads::{Benchmark, DataSet};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Generate a real workload trace by running the li benchmark (the
+    // eight-queens testing input of Table 2) on the mini-RISC VM.
+    let benchmark = Benchmark::by_name("li").expect("li is in the suite");
+    let trace = benchmark.trace(DataSet::Testing);
+    println!("generated {} trace events", trace.len());
+
+    // Serialize to the compact binary format and write it to a temp file.
+    let bytes = write_trace(&trace);
+    let path = std::env::temp_dir().join("li_testing.tlbp");
+    fs::write(&path, &bytes)?;
+    println!(
+        "wrote {} ({:.1} MiB, {:.1} bytes/event)",
+        path.display(),
+        bytes.len() as f64 / (1024.0 * 1024.0),
+        bytes.len() as f64 / trace.len() as f64
+    );
+
+    // Read it back and verify the round trip.
+    let reloaded = read_trace(&fs::read(&path)?)?;
+    assert_eq!(trace, reloaded, "binary round trip must be lossless");
+    println!("round trip verified");
+
+    // Inspect: the Figure 4 branch-class mix and Table 1-style summary.
+    let mix = BranchMix::from_trace(&reloaded);
+    println!("\nbranch mix (paper Figure 4):");
+    for class in BranchClass::ALL {
+        println!("  {:<14} {:>6.1}%", class.to_string(), 100.0 * mix.fraction(class));
+    }
+    let summary = TraceSummary::from_trace(&reloaded);
+    println!("\nstatic conditional branches: {}", summary.static_conditional_branches);
+    println!("dynamic conditional branches: {}", summary.dynamic_conditional_branches);
+    println!("taken rate: {:.1}%", 100.0 * summary.taken_rate);
+    println!("traps: {}", summary.traps);
+
+    fs::remove_file(&path).ok();
+    Ok(())
+}

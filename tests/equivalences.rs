@@ -1,0 +1,153 @@
+//! Structural equivalences between schemes: degenerate configurations of
+//! the per-address predictors must collapse onto the global ones, and
+//! composed schemes must match their building blocks. These pin down the
+//! relationships the paper's Section 2.2 describes.
+
+use tlabp::core::automaton::Automaton;
+use tlabp::core::bht::BhtConfig;
+use tlabp::core::predictor::BranchPredictor;
+use tlabp::core::schemes::{Btb, Gag, Gshare, Pag, Pap};
+use tlabp::trace::BranchRecord;
+
+/// A single-branch outcome stream (pc constant).
+fn stream(len: usize, seed: u64) -> Vec<BranchRecord> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|i| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            BranchRecord::conditional(0, (state >> 62) & 1 == 1, 0x40, i as u64 + 1)
+        })
+        .collect()
+}
+
+fn decisions(predictor: &mut dyn BranchPredictor, records: &[BranchRecord]) -> Vec<bool> {
+    records
+        .iter()
+        .map(|record| {
+            let predicted = predictor.predict(record);
+            predictor.update(record);
+            predicted
+        })
+        .collect()
+}
+
+/// For a single static branch, GAg, PAg and PAp are the same machine:
+/// one history register over one pattern table.
+#[test]
+fn per_address_schemes_collapse_to_gag_on_one_branch() {
+    for seed in [3u64, 17, 99] {
+        let records = stream(600, seed);
+        let mut gag = Gag::new(10, Automaton::A2);
+        let reference = decisions(&mut gag, &records);
+
+        let mut pag = Pag::new(10, BhtConfig::Ideal, Automaton::A2);
+        let mut pap = Pap::new(10, BhtConfig::Ideal, Automaton::A2);
+        let mut pag_tiny = Pag::new(10, BhtConfig::Cache { entries: 1, ways: 1 }, Automaton::A2);
+        assert_eq!(decisions(&mut pag, &records), reference, "PAg/IBHT, seed {seed}");
+        assert_eq!(decisions(&mut pap, &records), reference, "PAp/IBHT, seed {seed}");
+        assert_eq!(
+            decisions(&mut pag_tiny, &records),
+            reference,
+            "PAg/1-entry cache, seed {seed}"
+        );
+    }
+}
+
+/// Gshare's XOR with a zero address is the identity, so at pc 0 gshare
+/// *is* GAg.
+#[test]
+fn gshare_at_address_zero_is_gag() {
+    let records = stream(500, 7);
+    let mut gag = Gag::new(12, Automaton::A2);
+    let mut gshare = Gshare::new(12, Automaton::A2);
+    assert_eq!(decisions(&mut gshare, &records), decisions(&mut gag, &records));
+}
+
+/// A BTB entry for one branch is just the bare automaton.
+#[test]
+fn btb_on_one_branch_is_the_bare_automaton() {
+    for automaton in [Automaton::A2, Automaton::LastTime] {
+        let records = stream(400, 23);
+        let mut btb = Btb::paper_default(automaton);
+        let got = decisions(&mut btb, &records);
+
+        // Reference: run the automaton directly.
+        let mut state = automaton.initial_state();
+        let expected: Vec<bool> = records
+            .iter()
+            .map(|record| {
+                let predicted = automaton.predict(state);
+                state = automaton.update(state, record.taken);
+                predicted
+            })
+            .collect();
+        assert_eq!(got, expected, "{automaton}");
+    }
+}
+
+/// The history-length hierarchy: on a learnable pattern whose period is
+/// below every k tested, all two-level variations converge to the same
+/// steady state (perfect prediction).
+#[test]
+fn all_variations_agree_in_steady_state_on_short_patterns() {
+    let pattern = [true, false, true, true];
+    let records: Vec<BranchRecord> = (0..800usize)
+        .map(|i| BranchRecord::conditional(0x80, pattern[i % 4], 0x20, i as u64 + 1))
+        .collect();
+    for k in [6u32, 8, 12] {
+        let mut gag = Gag::new(k, Automaton::A2);
+        let mut pag = Pag::new(k, BhtConfig::PAPER_DEFAULT, Automaton::A2);
+        let gag_tail = &decisions(&mut gag, &records)[400..];
+        let pag_tail = &decisions(&mut pag, &records)[400..];
+        let actual_tail: Vec<bool> = records[400..].iter().map(|r| r.taken).collect();
+        assert_eq!(gag_tail, actual_tail.as_slice(), "GAg k={k}");
+        assert_eq!(pag_tail, actual_tail.as_slice(), "PAg k={k}");
+    }
+}
+
+/// Two interleaved branches: PAg with an ideal BHT must behave as two
+/// independent GAg machines over a shared pattern table would.
+#[test]
+fn pag_is_per_branch_histories_over_a_shared_table() {
+    use tlabp::core::pht::PatternHistoryTable;
+    use tlabp::core::history::HistoryRegister;
+
+    let mut records = Vec::new();
+    let mut state = 123u64;
+    for i in 0..500u64 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+        records.push(BranchRecord::conditional(
+            if i % 2 == 0 { 0x100 } else { 0x200 },
+            (state >> 61) & 1 == 1,
+            0x40,
+            i + 1,
+        ));
+    }
+
+    let mut pag = Pag::new(6, BhtConfig::Ideal, Automaton::A2);
+    let got = decisions(&mut pag, &records);
+
+    // Reference: hand-rolled per-branch histories + shared PHT, with the
+    // paper's miss policy (all-ones then first-result extension).
+    let mut pht = PatternHistoryTable::new(6, Automaton::A2);
+    let mut histories: std::collections::HashMap<u64, (HistoryRegister, bool)> =
+        std::collections::HashMap::new();
+    let expected: Vec<bool> = records
+        .iter()
+        .map(|record| {
+            let (history, fresh) = histories
+                .entry(record.pc)
+                .or_insert((HistoryRegister::all_ones(6), true));
+            let predicted = pht.predict(history.pattern());
+            pht.update(history.pattern(), record.taken);
+            if *fresh {
+                history.fill(record.taken);
+                *fresh = false;
+            } else {
+                history.shift_in(record.taken);
+            }
+            predicted
+        })
+        .collect();
+    assert_eq!(got, expected);
+}

@@ -1,0 +1,158 @@
+//! Fast checks of the paper's qualitative claims on controlled synthetic
+//! traces (the full-suite versions live in the experiments harness).
+
+use tlabp::core::automaton::Automaton;
+use tlabp::core::config::SchemeConfig;
+use tlabp::core::cost::{BhtGeometry, CostModel};
+use tlabp::sim::runner::{simulate, SimConfig};
+use tlabp::trace::synth::{BiasedCoins, CorrelatedBranches, Correlation, RepeatingPattern};
+use tlabp::trace::Trace;
+
+fn accuracy(config: &SchemeConfig, trace: &Trace) -> f64 {
+    let mut predictor = config.build().expect("non-training scheme");
+    simulate(&mut *predictor, trace, &SimConfig::no_context_switch()).accuracy()
+}
+
+/// "The mechanism uses two levels of branch history" — on a branch whose
+/// outcome depends on the outcomes of *other* branches, global history
+/// shines while per-branch counters are stuck at the bias.
+///
+/// The trace is two random feeder branches plus one XOR-dependent branch,
+/// so only one branch in three is predictable at all: a perfect global
+/// predictor tops out at (0.5 + 0.5 + 1.0) / 3 ≈ 67%, a counter at 50%.
+#[test]
+fn global_history_captures_correlation() {
+    let trace = CorrelatedBranches::new(Correlation::Xor, 4000, 0.5, 42).generate();
+    let gag = accuracy(&SchemeConfig::gag(8), &trace);
+    let btb = accuracy(&SchemeConfig::btb(Automaton::A2), &trace);
+    assert!(
+        gag > 0.62,
+        "GAg must learn the XOR branch (ceiling ≈ 0.67): {gag:.4}"
+    );
+    assert!(btb < 0.58, "a per-branch counter cannot learn XOR: {btb:.4}");
+    assert!(gag > btb + 0.08, "GAg {gag:.4} vs BTB {btb:.4}");
+}
+
+/// Figure 5's reasoning: the four-state automata "maintain more history
+/// information than Last-Time ... they are therefore more tolerant to the
+/// deviations in the execution history". Inject sparse deviations into a
+/// learnable pattern: Last-Time pays for each deviation twice (it flips
+/// the entry, then mispredicts the return to normal), A2 pays once.
+#[test]
+fn four_state_automata_tolerate_deviations() {
+    use tlabp::trace::BranchRecord;
+
+    let pattern = [true, true, false, true, true, true, false];
+    let mut trace = Trace::new();
+    let mut instret = 0u64;
+    for i in 0..6000u64 {
+        instret += 4;
+        let base = pattern[(i % 7) as usize];
+        // Deterministic sparse deviation: every 47th execution flips.
+        let taken = if i % 47 == 13 { !base } else { base };
+        trace.push(BranchRecord::conditional(0x40, taken, 0x10, instret));
+    }
+    let a2 = accuracy(&SchemeConfig::pag(8), &trace);
+    let lt = accuracy(&SchemeConfig::pag(8).with_automaton(Automaton::LastTime), &trace);
+    assert!(
+        a2 > lt,
+        "A2 ({a2:.4}) must beat Last-Time ({lt:.4}) under deviations"
+    );
+    assert!(a2 > 0.95, "A2 should still nail the noisy pattern: {a2:.4}");
+}
+
+/// Figure 7's monotonicity: more global history never hurts much, and
+/// markedly helps on long patterns.
+#[test]
+fn longer_global_history_helps_on_long_patterns() {
+    // Period-15 pattern built from long runs of taken: its 6-bit windows
+    // (e.g. six consecutive "taken") are ambiguous — they occur at
+    // multiple positions with different successors — while every
+    // 14-bit window is unique.
+    let pattern = [
+        true, true, true, true, true, true, true, false, // 7 taken, exit
+        true, true, true, true, true, true, // 6 taken
+        false, // second exit
+    ];
+    let trace = RepeatingPattern::new(&pattern, 1500).generate();
+    let short = accuracy(&SchemeConfig::gag(6), &trace);
+    let long = accuracy(&SchemeConfig::gag(14), &trace);
+    assert!(
+        long > short + 0.05,
+        "GAg(14) = {long:.4} must clearly beat GAg(6) = {short:.4}"
+    );
+    assert!(long > 0.99, "GAg(14) should be near-perfect: {long:.4}");
+}
+
+/// Section 4.2: initialization biases predictions toward taken, so a
+/// taken-heavy cold-start stream is predicted well immediately.
+#[test]
+fn cold_start_predicts_taken() {
+    let trace = BiasedCoins::uniform(32, 1.0, 4, 7).generate();
+    for config in [
+        SchemeConfig::gag(8),
+        SchemeConfig::pag(8),
+        SchemeConfig::pap(8),
+        SchemeConfig::btb(Automaton::A2),
+    ] {
+        let acc = accuracy(&config, &trace);
+        assert!(
+            (acc - 1.0).abs() < 1e-12,
+            "{config}: all-taken cold start must be perfect, got {acc}"
+        );
+    }
+}
+
+/// Figure 8 / Section 5.1.3: at roughly equal accuracy, PAg is the
+/// cheapest of the three variations under the Section 3.4 cost model.
+#[test]
+fn pag_is_cheapest_at_equal_accuracy() {
+    let model = CostModel::paper_default();
+    let gag = SchemeConfig::gag(18).cost(&model).unwrap();
+    let pag = SchemeConfig::pag(12).cost(&model).unwrap();
+    let pap = SchemeConfig::pap(8).cost(&model).unwrap();
+    assert!(pag < gag && pag < pap, "PAg {pag} vs GAg {gag}, PAp {pap}");
+}
+
+/// Equation 4: GAg's cost doubles (asymptotically) with each history bit.
+#[test]
+fn gag_cost_grows_exponentially() {
+    let model = CostModel::paper_default();
+    let mut previous = model.gag_cost(6, 2);
+    for k in 7..=18 {
+        let cost = model.gag_cost(k, 2);
+        assert!(cost > previous * 1.5, "k={k}: {cost} vs {previous}");
+        previous = cost;
+    }
+}
+
+/// Equations 5/6: PAg and PAp costs are linear in the BHT size, with PAp's
+/// slope dominated by the per-entry pattern tables.
+#[test]
+fn pap_slope_exceeds_pag_slope() {
+    let model = CostModel::paper_default();
+    let small = BhtGeometry { entries: 256, ways: 4 };
+    let large = BhtGeometry { entries: 1024, ways: 4 };
+    let pag_slope = model.pag_cost(large, 10, 2) - model.pag_cost(small, 10, 2);
+    let pap_slope = model.pap_cost(large, 10, 2) - model.pap_cost(small, 10, 2);
+    assert!(
+        pap_slope > 10.0 * pag_slope,
+        "PAp slope {pap_slope} must dwarf PAg slope {pag_slope}"
+    );
+}
+
+/// Section 3.3: an ideal BHT can only help relative to a practical one.
+#[test]
+fn ideal_bht_dominates_practical_bht() {
+    // A working set of 2000 branches overflows a 512-entry BHT.
+    let trace = BiasedCoins::uniform(2000, 0.85, 40, 3).generate();
+    let practical = accuracy(&SchemeConfig::pag(8), &trace);
+    let ideal = accuracy(
+        &SchemeConfig::pag(8).with_bht(tlabp::core::BhtConfig::Ideal),
+        &trace,
+    );
+    assert!(
+        ideal >= practical,
+        "ideal ({ideal:.4}) must be at least practical ({practical:.4})"
+    );
+}
