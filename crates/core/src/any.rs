@@ -1,0 +1,139 @@
+//! A monomorphized sum of every concrete predictor.
+//!
+//! [`SchemeConfig::build`](crate::config::SchemeConfig::build) returns
+//! `Box<dyn BranchPredictor>`, which pays one virtual dispatch per
+//! `predict`/`update` — twice per simulated branch on the simulator's hot
+//! loop. [`AnyPredictor`] wraps the same schemes in an enum so a generic
+//! `simulate<P: BranchPredictor>` instantiation resolves every call
+//! statically: the per-branch cost becomes a jump table the optimizer can
+//! hoist out of the loop, and the scheme methods inline into the
+//! simulation loop body.
+//!
+//! The two factories on [`SchemeConfig`](crate::config::SchemeConfig)
+//! ([`build_any`](crate::config::SchemeConfig::build_any),
+//! [`build_any_trained`](crate::config::SchemeConfig::build_any_trained))
+//! construct exactly the same predictor state as their boxed
+//! counterparts, so the two paths are bit-identical — a differential test
+//! in `tlabp-sim` runs every catalog scheme through both and asserts
+//! equal results.
+//!
+//! # Example
+//!
+//! ```
+//! use tlabp_core::config::SchemeConfig;
+//! use tlabp_core::predictor::BranchPredictor;
+//! use tlabp_trace::BranchRecord;
+//!
+//! let mut p = SchemeConfig::pag(12).build_any()?;
+//! let branch = BranchRecord::conditional(0x40, true, 0x10, 1);
+//! let predicted = p.predict(&branch);
+//! p.update(&branch);
+//! assert!(predicted);
+//! # Ok::<(), tlabp_core::config::BuildError>(())
+//! ```
+
+use tlabp_trace::BranchRecord;
+
+use crate::predictor::BranchPredictor;
+use crate::schemes::{AlwaysTaken, Btb, Btfn, Gag, Pag, Pap, Profiling};
+
+/// Every concrete predictor behind one statically dispatched type.
+///
+/// GSg and PSg do not appear as variants: their training constructors
+/// yield a preset [`Gag`] / [`Pag`] (the Static Training schemes are the
+/// adaptive structures with frozen pattern tables), so they map onto
+/// those variants.
+#[derive(Debug, Clone)]
+#[allow(missing_docs)] // variant names mirror the scheme structs
+pub enum AnyPredictor {
+    Gag(Gag),
+    Pag(Pag),
+    Pap(Pap),
+    Btb(Btb),
+    AlwaysTaken(AlwaysTaken),
+    Btfn(Btfn),
+    Profiling(Profiling),
+}
+
+macro_rules! delegate {
+    ($self:ident, $p:ident => $body:expr) => {
+        match $self {
+            AnyPredictor::Gag($p) => $body,
+            AnyPredictor::Pag($p) => $body,
+            AnyPredictor::Pap($p) => $body,
+            AnyPredictor::Btb($p) => $body,
+            AnyPredictor::AlwaysTaken($p) => $body,
+            AnyPredictor::Btfn($p) => $body,
+            AnyPredictor::Profiling($p) => $body,
+        }
+    };
+}
+
+impl BranchPredictor for AnyPredictor {
+    #[inline]
+    fn predict(&mut self, branch: &BranchRecord) -> bool {
+        delegate!(self, p => p.predict(branch))
+    }
+
+    #[inline]
+    fn update(&mut self, branch: &BranchRecord) {
+        delegate!(self, p => p.update(branch));
+    }
+
+    #[inline]
+    fn context_switch(&mut self) {
+        delegate!(self, p => p.context_switch());
+    }
+
+    #[inline]
+    fn step(&mut self, branch: &BranchRecord) -> bool {
+        delegate!(self, p => p.step(branch))
+    }
+
+    fn name(&self) -> String {
+        delegate!(self, p => p.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::Automaton;
+    use crate::config::SchemeConfig;
+
+    #[test]
+    fn any_matches_boxed_on_a_branch_sequence() {
+        let config = SchemeConfig::pag(8);
+        let mut boxed = config.build().unwrap();
+        let mut any = config.build_any().unwrap();
+        for i in 0..2000u64 {
+            let pc = 0x1000 + (i % 17) * 4;
+            let taken = (i * 7 + i / 13) % 3 != 0;
+            let b = BranchRecord::conditional(pc, taken, pc + 8, i + 1);
+            assert_eq!(boxed.predict(&b), any.predict(&b), "branch {i}");
+            boxed.update(&b);
+            any.update(&b);
+            if i % 500 == 250 {
+                boxed.context_switch();
+                any.context_switch();
+            }
+        }
+        assert_eq!(boxed.name(), any.name());
+    }
+
+    #[test]
+    fn every_kind_builds_a_variant() {
+        assert!(matches!(
+            SchemeConfig::gag(6).build_any().unwrap(),
+            AnyPredictor::Gag(_)
+        ));
+        assert!(matches!(
+            SchemeConfig::btb(Automaton::A2).build_any().unwrap(),
+            AnyPredictor::Btb(_)
+        ));
+        assert!(matches!(
+            SchemeConfig::btfn().build_any().unwrap(),
+            AnyPredictor::Btfn(_)
+        ));
+    }
+}

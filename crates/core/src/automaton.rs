@@ -34,15 +34,13 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 /// The state of a pattern-history automaton.
 ///
 /// States are small integers; the meaning depends on the automaton. For the
 /// counter-like automata (A2/A3/A4), 0 is strongly-not-taken and 3 is
 /// strongly-taken. For A1 the two bits are the last two outcomes. For
 /// Last-Time and PresetBit the single bit is the prediction itself.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct State(u8);
 
 impl State {
@@ -84,7 +82,7 @@ impl fmt::Display for State {
 /// s = a2.update(s, false); // second not-taken: now weakly not-taken (1)
 /// assert!(!a2.predict(s));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Automaton {
     /// One bit recording the last outcome for this pattern.
     LastTime,

@@ -13,15 +13,12 @@
 //! missing branch is known, "the result bit is extended throughout the
 //!   history register".
 
-use std::collections::HashMap;
-
-use serde::{Deserialize, Serialize};
-
+use crate::fxhash::FxHashMap;
 use crate::history::HistoryRegister;
 
 /// Selects a branch history table implementation for the per-address
 /// schemes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BhtConfig {
     /// One history register per static branch, never evicted (IBHT).
     Ideal,
@@ -76,7 +73,7 @@ impl BhtConfig {
 }
 
 /// Hit/miss counters for a branch history table.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BhtStats {
     /// Accesses that found the branch's entry.
     pub hits: u64,
@@ -97,7 +94,7 @@ impl BhtStats {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct IdealEntry {
     history: HistoryRegister,
     fresh: bool,
@@ -109,10 +106,10 @@ struct IdealEntry {
 /// The paper simulates the IBHT "to show the accuracy loss due to the
 /// history interference in a practical branch history table
 /// implementation".
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IdealBht {
     history_bits: u32,
-    entries: HashMap<u64, IdealEntry>,
+    entries: FxHashMap<u64, IdealEntry>,
     stats: BhtStats,
 }
 
@@ -120,7 +117,7 @@ impl IdealBht {
     /// Creates an empty ideal table for `history_bits`-bit registers.
     #[must_use]
     pub fn new(history_bits: u32) -> Self {
-        IdealBht { history_bits, entries: HashMap::new(), stats: BhtStats::default() }
+        IdealBht { history_bits, entries: FxHashMap::default(), stats: BhtStats::default() }
     }
 
     /// Looks up `pc`, allocating an all-ones entry on first sight.
@@ -143,6 +140,24 @@ impl IdealBht {
     #[must_use]
     pub fn pattern(&self, pc: u64) -> Option<usize> {
         self.entries.get(&pc).map(|e| e.history.pattern())
+    }
+
+    /// Fused [`IdealBht::access`] + [`IdealBht::pattern`]: one map lookup
+    /// instead of two.
+    #[inline]
+    pub fn access_pattern(&mut self, pc: u64) -> usize {
+        let history_bits = self.history_bits;
+        let mut hit = true;
+        let entry = self.entries.entry(pc).or_insert_with(|| {
+            hit = false;
+            IdealEntry { history: HistoryRegister::all_ones(history_bits), fresh: true }
+        });
+        if hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        entry.history.pattern()
     }
 
     /// Records the resolved outcome for `pc`: extends the result bit
@@ -188,7 +203,7 @@ impl IdealBht {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct CacheSlot {
     valid: bool,
     tag: u64,
@@ -216,7 +231,7 @@ struct CacheSlot {
 /// assert!(bht.access(0x4000), "second access hits");
 /// assert_eq!(bht.pattern(0x4000), Some(0)); // result bit extended through
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheBht {
     sets: usize,
     ways: usize,
@@ -290,17 +305,29 @@ impl CacheBht {
         let set = self.set_index(pc);
         let tag = self.tag(pc);
         let base = set * self.ways;
-        (base..base + self.ways).find(|&i| self.slots[i].valid && self.slots[i].tag == tag)
+        self.slots[base..base + self.ways]
+            .iter()
+            .position(|slot| slot.valid && slot.tag == tag)
+            .map(|way| base + way)
     }
 
     /// Looks up `pc`, allocating on miss (evicting the LRU way of the set).
     /// Returns `true` on hit.
     pub fn access(&mut self, pc: u64) -> bool {
+        self.access_slot(pc).1
+    }
+
+    /// Fused lookup: like [`CacheBht::access`], but returns the physical
+    /// slot index holding `pc` so callers can touch the entry again
+    /// ([`CacheBht::pattern_at`], [`CacheBht::record_outcome_at`]) without
+    /// re-running the tag search. The second element is the hit flag.
+    #[inline]
+    pub fn access_slot(&mut self, pc: u64) -> (usize, bool) {
         self.clock += 1;
         if let Some(i) = self.find(pc) {
             self.slots[i].last_used = self.clock;
             self.stats.hits += 1;
-            return true;
+            return (i, true);
         }
         self.stats.misses += 1;
         let set = self.set_index(pc);
@@ -316,7 +343,35 @@ impl CacheBht {
         slot.history = HistoryRegister::all_ones(history_bits);
         slot.fresh = true;
         slot.last_used = self.clock;
-        false
+        (victim, false)
+    }
+
+    /// The pattern in physical slot `slot` (from [`CacheBht::access_slot`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn pattern_at(&self, slot: usize) -> usize {
+        self.slots[slot].history.pattern()
+    }
+
+    /// Records the resolved outcome directly into physical slot `slot`
+    /// (fill if fresh, else shift) without a tag search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    #[inline]
+    pub fn record_outcome_at(&mut self, slot: usize, taken: bool) {
+        let slot = &mut self.slots[slot];
+        if slot.fresh {
+            slot.history.fill(taken);
+            slot.fresh = false;
+        } else {
+            slot.history.shift_in(taken);
+        }
     }
 
     /// The current pattern for `pc`, if resident.
@@ -369,12 +424,32 @@ impl CacheBht {
 }
 
 /// Either branch history table implementation behind one interface.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BranchHistoryTable {
     /// Unbounded per-branch table.
     Ideal(IdealBht),
     /// Practical cache implementation.
     Cache(CacheBht),
+}
+
+/// Opaque handle returned by [`BranchHistoryTable::access_pattern`],
+/// locating the entry just touched so the outcome write can skip the
+/// second lookup on the cache implementation.
+#[derive(Debug, Clone, Copy)]
+pub struct BhtCursor(usize);
+
+impl BhtCursor {
+    const KEYED: usize = usize::MAX;
+
+    /// The physical cache slot, or `None` for the keyed (ideal) table.
+    #[must_use]
+    pub fn slot(self) -> Option<usize> {
+        if self.0 == Self::KEYED {
+            None
+        } else {
+            Some(self.0)
+        }
+    }
 }
 
 impl BranchHistoryTable {
@@ -383,6 +458,39 @@ impl BranchHistoryTable {
         match self {
             BranchHistoryTable::Ideal(t) => t.access(pc),
             BranchHistoryTable::Cache(t) => t.access(pc),
+        }
+    }
+
+    /// Fused [`BranchHistoryTable::access`] +
+    /// [`BranchHistoryTable::pattern`]: one lookup resolving the entry,
+    /// its pre-update pattern, and a [`BhtCursor`] for
+    /// [`BranchHistoryTable::record_outcome_at`].
+    #[inline]
+    pub fn access_pattern(&mut self, pc: u64) -> (usize, BhtCursor) {
+        match self {
+            BranchHistoryTable::Ideal(t) => {
+                (t.access_pattern(pc), BhtCursor(BhtCursor::KEYED))
+            }
+            BranchHistoryTable::Cache(t) => {
+                let (slot, _hit) = t.access_slot(pc);
+                (t.pattern_at(slot), BhtCursor(slot))
+            }
+        }
+    }
+
+    /// Records the resolved outcome at the entry `cursor` points to
+    /// (from [`BranchHistoryTable::access_pattern`] with the same `pc`,
+    /// with no intervening flush).
+    #[inline]
+    pub fn record_outcome_at(&mut self, cursor: BhtCursor, pc: u64, taken: bool) {
+        match self {
+            BranchHistoryTable::Ideal(t) => {
+                t.record_outcome(pc, taken);
+            }
+            BranchHistoryTable::Cache(t) => t.record_outcome_at(
+                cursor.slot().expect("cache table always yields a slot cursor"),
+                taken,
+            ),
         }
     }
 

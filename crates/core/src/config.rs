@@ -14,6 +14,7 @@ use std::str::FromStr;
 
 use tlabp_trace::Trace;
 
+use crate::any::AnyPredictor;
 use crate::automaton::Automaton;
 use crate::bht::BhtConfig;
 use crate::cost::{BhtGeometry, CostModel};
@@ -306,6 +307,65 @@ impl SchemeConfig {
             )),
             SchemeKind::Profiling => Box::new(Profiling::train(training)),
             _ => self.build().expect("non-training scheme builds without a trace"),
+        }
+    }
+
+    /// Builds the same predictor as [`SchemeConfig::build`] wrapped in the
+    /// statically dispatched [`AnyPredictor`] enum, for monomorphized
+    /// simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::NeedsTraining`] for GSg, PSg and Profiling;
+    /// use [`SchemeConfig::build_any_trained`] for those.
+    pub fn build_any(&self) -> Result<AnyPredictor, BuildError> {
+        if self.needs_training() {
+            return Err(BuildError::NeedsTraining { config: self.to_string() });
+        }
+        Ok(match self.kind {
+            SchemeKind::Gag => AnyPredictor::Gag(Gag::new(self.history_bits, self.automaton)),
+            SchemeKind::Pag => AnyPredictor::Pag(Pag::new(
+                self.history_bits,
+                self.bht.unwrap_or(BhtConfig::PAPER_DEFAULT),
+                self.automaton,
+            )),
+            SchemeKind::Pap => AnyPredictor::Pap(Pap::new(
+                self.history_bits,
+                self.bht.unwrap_or(BhtConfig::PAPER_DEFAULT),
+                self.automaton,
+            )),
+            SchemeKind::Btb => {
+                let (entries, ways) = match self.bht {
+                    Some(BhtConfig::Cache { entries, ways }) => (entries, ways),
+                    _ => (512, 4),
+                };
+                AnyPredictor::Btb(Btb::new(entries, ways, self.automaton))
+            }
+            SchemeKind::AlwaysTaken => AnyPredictor::AlwaysTaken(AlwaysTaken::new()),
+            SchemeKind::Btfn => AnyPredictor::Btfn(Btfn::new()),
+            SchemeKind::Gsg | SchemeKind::Psg | SchemeKind::Profiling => {
+                unreachable!("training schemes handled above")
+            }
+        })
+    }
+
+    /// Builds the same predictor as [`SchemeConfig::build_trained`] wrapped
+    /// in the statically dispatched [`AnyPredictor`] enum.
+    ///
+    /// GSg and PSg produce preset [`Gag`]/[`Pag`] structures, so they land
+    /// in those variants.
+    #[must_use]
+    pub fn build_any_trained(&self, training: &Trace) -> AnyPredictor {
+        match self.kind {
+            SchemeKind::Gsg => {
+                AnyPredictor::Gag(Gsg::new(&train_global(training, self.history_bits)))
+            }
+            SchemeKind::Psg => AnyPredictor::Pag(Psg::new(
+                &train_per_address(training, self.history_bits),
+                self.bht.unwrap_or(BhtConfig::PAPER_DEFAULT),
+            )),
+            SchemeKind::Profiling => AnyPredictor::Profiling(Profiling::train(training)),
+            _ => self.build_any().expect("non-training scheme builds without a trace"),
         }
     }
 

@@ -7,15 +7,13 @@
 //! Equation 3 and the simplified closed forms the paper derives for GAg
 //! (Equation 4), PAg (Equation 5) and PAp (Equation 6).
 
-use serde::{Deserialize, Serialize};
-
 /// The constant base costs of Section 3.4: C_s, C_d, C_c, C_m, C_sh, C_i
 /// and C_a.
 ///
 /// The paper does not publish numeric values; the default sets every
 /// constant to 1.0, which preserves the relative comparisons (who is
 /// cheapest at equal accuracy) the paper draws from the model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostConstants {
     /// C_s — one bit of storage.
     pub storage: f64,
@@ -48,7 +46,7 @@ impl Default for CostConstants {
 }
 
 /// Geometry of a branch history table for costing purposes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BhtGeometry {
     /// Table size `h` (number of entries). Must be a power of two.
     pub entries: usize,
@@ -94,7 +92,7 @@ impl BhtGeometry {
 /// let pap = model.pap_cost(BhtGeometry::PAPER_DEFAULT, 6, 2);
 /// assert!(pag < gag && pag < pap, "PAg is the cheapest at equal accuracy");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     constants: CostConstants,
     address_bits: u32,

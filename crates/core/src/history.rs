@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Maximum supported history register length.
 ///
 /// The paper evaluates up to 18 bits (Figure 7); we allow some headroom
@@ -35,7 +33,7 @@ pub const MAX_HISTORY_BITS: u32 = 24;
 /// hr.fill(false);
 /// assert_eq!(hr.pattern(), 0b0000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HistoryRegister {
     bits: u32,
     len: u32,

@@ -51,10 +51,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod any;
 pub mod automaton;
 pub mod bht;
 pub mod config;
 pub mod cost;
+pub mod fxhash;
 pub mod history;
 pub mod pht;
 pub mod predictor;
@@ -62,6 +64,7 @@ pub mod schemes;
 pub mod speculative;
 pub mod target_cache;
 
+pub use any::AnyPredictor;
 pub use automaton::Automaton;
 pub use bht::BhtConfig;
 pub use config::{SchemeConfig, SchemeKind};

@@ -1,7 +1,5 @@
 //! The pattern history table (PHT) of the paper's Section 2.1.
 
-use serde::{Deserialize, Serialize};
-
 use crate::automaton::{Automaton, State};
 
 /// A pattern history table: `2^k` automaton states indexed by the content
@@ -30,7 +28,7 @@ use crate::automaton::{Automaton, State};
 /// assert!(!pht.predict(0b1010)); // learned not-taken for this pattern
 /// assert!(pht.predict(0b0101)); // other patterns unaffected
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PatternHistoryTable {
     automaton: Automaton,
     history_bits: u32,
@@ -102,6 +100,19 @@ impl PatternHistoryTable {
     pub fn update(&mut self, pattern: usize, taken: bool) {
         let state = self.states[pattern];
         self.states[pattern] = self.automaton.update(state, taken);
+    }
+
+    /// Fused [`PatternHistoryTable::predict`] +
+    /// [`PatternHistoryTable::update`]: one table access instead of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` is out of range.
+    #[inline]
+    pub fn predict_update(&mut self, pattern: usize, taken: bool) -> bool {
+        let state = self.states[pattern];
+        self.states[pattern] = self.automaton.update(state, taken);
+        self.automaton.predict(state)
     }
 
     /// The current state of the entry for `pattern`.

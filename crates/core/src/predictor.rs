@@ -56,6 +56,19 @@ pub trait BranchPredictor {
         self.update(branch);
         predicted == branch.taken
     }
+
+    /// Fused predict-then-update, returning the prediction.
+    ///
+    /// Semantically identical to [`BranchPredictor::predict`] followed by
+    /// [`BranchPredictor::update`] with the same record. The hot two-level
+    /// schemes override it to resolve their first-level table entry once
+    /// per branch instead of once per call; `tests/differential.rs` pins
+    /// the equivalence for every catalog scheme.
+    fn step(&mut self, branch: &BranchRecord) -> bool {
+        let predicted = self.predict(branch);
+        self.update(branch);
+        predicted
+    }
 }
 
 impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
@@ -73,6 +86,10 @@ impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
 
     fn name(&self) -> String {
         (**self).name()
+    }
+
+    fn step(&mut self, branch: &BranchRecord) -> bool {
+        (**self).step(branch)
     }
 }
 

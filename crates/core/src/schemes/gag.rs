@@ -108,6 +108,14 @@ impl BranchPredictor for Gag {
         self.history.fill(true);
     }
 
+    #[inline]
+    fn step(&mut self, branch: &BranchRecord) -> bool {
+        let pattern = self.history.pattern();
+        let predicted = self.pht.predict_update(pattern, branch.taken);
+        self.history.shift_in(branch.taken);
+        predicted
+    }
+
     fn name(&self) -> String {
         self.label.clone()
     }

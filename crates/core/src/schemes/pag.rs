@@ -164,6 +164,14 @@ impl BranchPredictor for Pag {
         }
     }
 
+    #[inline]
+    fn step(&mut self, branch: &BranchRecord) -> bool {
+        let (pattern, cursor) = self.bht.access_pattern(branch.pc);
+        let predicted = self.pht.predict_update(pattern, branch.taken);
+        self.bht.record_outcome_at(cursor, branch.pc, branch.taken);
+        predicted
+    }
+
     fn name(&self) -> String {
         self.label.clone()
     }

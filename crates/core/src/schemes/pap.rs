@@ -1,7 +1,7 @@
 //! PAp: Per-address branch history table, per-address pattern history
 //! tables.
 
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 
 use tlabp_trace::BranchRecord;
 
@@ -51,7 +51,7 @@ enum PapTables {
     /// One PHT per physical BHT slot (practical implementation).
     PerSlot(Vec<PatternHistoryTable>),
     /// One PHT per static branch (ideal implementation).
-    PerBranch(HashMap<u64, PatternHistoryTable>),
+    PerBranch(FxHashMap<u64, PatternHistoryTable>),
 }
 
 impl Pap {
@@ -65,7 +65,7 @@ impl Pap {
     pub fn new(history_bits: u32, bht: BhtConfig, automaton: Automaton) -> Self {
         let table = bht.build(history_bits);
         let tables = match bht {
-            BhtConfig::Ideal => PapTables::PerBranch(HashMap::new()),
+            BhtConfig::Ideal => PapTables::PerBranch(FxHashMap::default()),
             BhtConfig::Cache { entries, .. } => PapTables::PerSlot(vec![
                     PatternHistoryTable::new(history_bits, automaton);
                     entries
@@ -134,6 +134,25 @@ impl BranchPredictor for Pap {
     fn context_switch(&mut self) {
         // Flush the BHT; all pattern history tables are retained.
         self.bht.flush();
+    }
+
+    #[inline]
+    fn step(&mut self, branch: &BranchRecord) -> bool {
+        let (pattern, cursor) = self.bht.access_pattern(branch.pc);
+        let history_bits = self.history_bits;
+        let automaton = self.automaton;
+        let table = match (&mut self.tables, cursor.slot()) {
+            (PapTables::PerSlot(tables), Some(slot)) => &mut tables[slot],
+            (PapTables::PerBranch(map), _) => map
+                .entry(branch.pc)
+                .or_insert_with(|| PatternHistoryTable::new(history_bits, automaton)),
+            (PapTables::PerSlot(_), None) => {
+                unreachable!("cache BHT always yields a slot cursor")
+            }
+        };
+        let predicted = table.predict_update(pattern, branch.taken);
+        self.bht.record_outcome_at(cursor, branch.pc, branch.taken);
+        predicted
     }
 
     fn name(&self) -> String {

@@ -1,7 +1,7 @@
 //! The static prediction schemes the paper compares against: Always
 //! Taken, Backward-Taken/Forward-Not-Taken, and Profiling.
 
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 
 use tlabp_trace::{BranchRecord, Trace};
 
@@ -94,14 +94,14 @@ impl BranchPredictor for Btfn {
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Profiling {
-    predictions: HashMap<u64, bool>,
+    predictions: FxHashMap<u64, bool>,
 }
 
 impl Profiling {
     /// Builds per-branch majority predictions from a training trace.
     #[must_use]
     pub fn train(training: &Trace) -> Self {
-        let mut counts: HashMap<u64, (u64, u64)> = HashMap::new();
+        let mut counts: FxHashMap<u64, (u64, u64)> = FxHashMap::default();
         for branch in training.conditional_branches() {
             let entry = counts.entry(branch.pc).or_insert((0, 0));
             entry.0 += u64::from(branch.taken);

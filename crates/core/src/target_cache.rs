@@ -8,8 +8,6 @@
 //! block is even decoded; on a miss the sequential path is fetched and a
 //! static prediction decides after decode whether to squash.
 
-use serde::{Deserialize, Serialize};
-
 use tlabp_trace::BranchRecord;
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,7 +20,7 @@ struct TargetSlot {
 
 /// What the fetch engine did for one branch, as determined by the target
 /// cache and the direction prediction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FetchOutcome {
     /// Cache hit, branch predicted taken, cached target was correct: the
     /// taken path was fetched with no bubble.
@@ -59,7 +57,7 @@ impl FetchOutcome {
 }
 
 /// Counters for target-cache behavior.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TargetCacheStats {
     /// Lookups that found an entry for the fetch address.
     pub hits: u64,

@@ -5,7 +5,8 @@ use tlabp_core::bht::BhtConfig;
 use tlabp_core::schemes::Pag;
 use tlabp_core::speculative::{HistoryUpdatePolicy, MispredictRepair, SpeculativeGag};
 use tlabp_sim::report::Table;
-use tlabp_sim::runner::{simulate, SimConfig};
+use tlabp_sim::runner::{simulate, simulate_packed, SimConfig};
+use tlabp_sim::SweepPool;
 use tlabp_workloads::{Benchmark, DataSet};
 
 use crate::Ctx;
@@ -14,7 +15,8 @@ use crate::Ctx;
 /// across pipeline depths, on the GAg structure (where staleness hurts
 /// most because every branch shares the history register).
 pub fn ablation_speculative(ctx: &Ctx) {
-    let benchmarks = ["eqntott", "gcc", "tomcatv"];
+    const BENCHMARKS: [&str; 3] = ["eqntott", "gcc", "tomcatv"];
+    let benchmarks = BENCHMARKS;
     let mut table = Table::new(
         std::iter::once("policy".to_owned())
             .chain(benchmarks.iter().map(|b| (*b).to_owned()))
@@ -47,18 +49,27 @@ pub fn ablation_speculative(ctx: &Ctx) {
         })
         .collect();
 
-    for (name, policy) in policies {
-        let mut row = vec![name];
-        for benchmark in benchmarks {
-            let trace = ctx
-                .store()
-                .get(Benchmark::by_name(benchmark).expect("known benchmark"), DataSet::Testing);
-            let mut predictor = SpeculativeGag::new(12, Automaton::A2, policy);
-            let result =
-                simulate(&mut predictor, &trace, &SimConfig::no_context_switch());
-            row.push(format!("{:.2}", 100.0 * result.accuracy()));
-        }
-        table.push_row(row);
+    // A (policy × benchmark) cell matrix on the sweep pool.
+    let cells = policies.iter().flat_map(|(_, policy)| {
+        BENCHMARKS.iter().map(|benchmark| {
+            let policy = *policy;
+            let store = ctx.store().clone();
+            move || {
+                let packed = store.get_packed(
+                    Benchmark::by_name(benchmark).expect("known benchmark"),
+                    DataSet::Testing,
+                );
+                let mut predictor = SpeculativeGag::new(12, Automaton::A2, policy);
+                let result = simulate_packed(&mut predictor, &packed);
+                format!("{:.2}", 100.0 * result.accuracy())
+            }
+        })
+    });
+    let accuracies = SweepPool::global().run(cells);
+    for ((name, _), row) in policies.iter().zip(accuracies.chunks(benchmarks.len())) {
+        let mut cells = vec![name.clone()];
+        cells.extend_from_slice(row);
+        table.push_row(cells);
     }
     ctx.emit(
         "ablation_speculative",
@@ -76,16 +87,22 @@ pub fn ablation_flush_pht(ctx: &Ctx) {
         "flush PHT too %".into(),
         "cost of flushing (points)".into(),
     ]);
-    for benchmark in &Benchmark::ALL {
-        let trace = ctx.store().get(benchmark, DataSet::Testing);
-        let sim = SimConfig::paper_context_switch();
-        let run = |flush: bool| {
-            let mut p = Pag::new(12, BhtConfig::PAPER_DEFAULT, Automaton::A2);
-            p.set_flush_pht_on_context_switch(flush);
-            simulate(&mut p, &trace, &sim).accuracy()
-        };
-        let keep = run(false);
-        let flush = run(true);
+    // Context switches need the full trace (traps and instruction
+    // counts), so these pool cells use the unpacked simulation loop.
+    let cells = Benchmark::ALL.iter().flat_map(|benchmark| {
+        [false, true].map(|flush| {
+            let store = ctx.store().clone();
+            move || {
+                let trace = store.get(benchmark, DataSet::Testing);
+                let mut p = Pag::new(12, BhtConfig::PAPER_DEFAULT, Automaton::A2);
+                p.set_flush_pht_on_context_switch(flush);
+                simulate(&mut p, &trace, &SimConfig::paper_context_switch()).accuracy()
+            }
+        })
+    });
+    let accuracies = SweepPool::global().run(cells);
+    for (benchmark, pair) in Benchmark::ALL.iter().zip(accuracies.chunks(2)) {
+        let (keep, flush) = (pair[0], pair[1]);
         table.push_row(vec![
             benchmark.name().into(),
             format!("{:.2}", 100.0 * keep),

@@ -1,0 +1,105 @@
+//! Throughput harness: sequential baseline vs the sweep engine.
+//!
+//! Not a paper artifact. Measures the full-suite PAg(12) evaluation —
+//! the workhorse configuration of Figures 5–11 — two ways:
+//!
+//! * **sequential** — the pre-sweep code path: one boxed
+//!   `dyn BranchPredictor` per benchmark, the event-dispatching
+//!   simulation loop over the full trace, one benchmark after another
+//!   on the calling thread;
+//! * **sweep** — `run_sweep` on the persistent worker pool, which takes
+//!   the monomorphized packed-conditional fast path per cell.
+//!
+//! Both runs start from warmed trace caches, so the numbers compare
+//! simulation throughput, not VM trace generation. Results print as a
+//! table and land in `results/BENCH_sweep.json`; throughput is reported
+//! in simulated trace events per second (same numerator for both modes,
+//! so the speedup equals the wall-clock ratio).
+
+use std::time::Instant;
+
+use tlabp_core::config::SchemeConfig;
+use tlabp_sim::report::Table;
+use tlabp_sim::runner::{simulate, SimConfig};
+use tlabp_sim::sweep::run_sweep;
+use tlabp_sim::SweepPool;
+use tlabp_workloads::{Benchmark, DataSet};
+
+use crate::Ctx;
+
+/// Fastest of `n` timed runs, in seconds.
+fn best_of(n: u32, mut body: impl FnMut()) -> f64 {
+    (0..n)
+        .map(|_| {
+            let start = Instant::now();
+            body();
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// `cargo run -p tlabp-experiments --release -- bench`
+pub fn bench(ctx: &Ctx) {
+    let config = SchemeConfig::pag(12);
+    let sim = SimConfig::no_context_switch();
+    let iterations = 3;
+
+    // Warm every cache both modes touch.
+    let mut total_events = 0u64;
+    let mut total_conditionals = 0u64;
+    for benchmark in &Benchmark::ALL {
+        total_events += ctx.store().get(benchmark, DataSet::Testing).len() as u64;
+        total_conditionals +=
+            ctx.store().get_packed(benchmark, DataSet::Testing).len() as u64;
+    }
+
+    let sequential_secs = best_of(iterations, || {
+        for benchmark in &Benchmark::ALL {
+            let mut predictor = config.build().expect("PAg builds");
+            let trace = ctx.store().get(benchmark, DataSet::Testing);
+            let result = simulate(&mut *predictor, &trace, &sim);
+            assert!(result.predictions > 0);
+        }
+    });
+    let sweep_secs = best_of(iterations, || {
+        let suites = run_sweep(std::slice::from_ref(&config), ctx.store(), &sim);
+        assert_eq!(suites.len(), 1);
+    });
+
+    let seq_eps = total_events as f64 / sequential_secs;
+    let sweep_eps = total_events as f64 / sweep_secs;
+    let speedup = sequential_secs / sweep_secs;
+    let threads = SweepPool::global().threads();
+
+    let mut table = Table::new(vec![
+        "mode".into(),
+        "seconds (best of 3)".into(),
+        "events/sec".into(),
+        "speedup".into(),
+    ]);
+    table.push_row(vec![
+        "sequential dyn".into(),
+        format!("{sequential_secs:.3}"),
+        format!("{seq_eps:.0}"),
+        "1.00".into(),
+    ]);
+    table.push_row(vec![
+        format!("sweep ({threads} threads)"),
+        format!("{sweep_secs:.3}"),
+        format!("{sweep_eps:.0}"),
+        format!("{speedup:.2}"),
+    ]);
+    ctx.emit("BENCH_sweep_table", "Sweep throughput: full-suite PAg(12)", &table);
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"full-suite PAg(12), no context switches\",\n  \
+         \"iterations\": {iterations},\n  \
+         \"sweep_threads\": {threads},\n  \
+         \"total_trace_events\": {total_events},\n  \
+         \"total_conditional_branches\": {total_conditionals},\n  \
+         \"sequential\": {{ \"seconds\": {sequential_secs:.6}, \"events_per_sec\": {seq_eps:.1} }},\n  \
+         \"sweep\": {{ \"seconds\": {sweep_secs:.6}, \"events_per_sec\": {sweep_eps:.1} }},\n  \
+         \"speedup\": {speedup:.3}\n}}\n"
+    );
+    ctx.emit_raw("BENCH_sweep.json", &json);
+}

@@ -6,16 +6,20 @@ use tlabp_core::config::SchemeConfig;
 use tlabp_core::cost::CostModel;
 use tlabp_sim::report::{format_accuracy, suite_table, Table};
 use tlabp_sim::runner::SimConfig;
-use tlabp_sim::suite::run_suite;
-use tlabp_sim::SuiteResult;
+use tlabp_sim::sweep::run_sweep;
+use tlabp_sim::{SuiteResult, SweepPool};
 use tlabp_trace::stats::BranchMix;
 use tlabp_trace::BranchClass;
 use tlabp_workloads::{Benchmark, DataSet};
 
 use crate::Ctx;
 
+/// All figure drivers hand their whole configuration list to the sweep
+/// engine in one call, so cells from every configuration share the
+/// worker pool instead of each `run_suite` parallelizing only its own
+/// nine benchmarks.
 fn run_many(ctx: &Ctx, configs: &[SchemeConfig], sim: &SimConfig) -> Vec<SuiteResult> {
-    configs.iter().map(|c| run_suite(c, ctx.store(), sim)).collect()
+    run_sweep(configs, ctx.store(), sim)
 }
 
 /// Figure 4: distribution of dynamic branch instructions by class.
@@ -114,15 +118,14 @@ pub fn fig9(ctx: &Ctx) {
         SchemeConfig::pag(12),
         SchemeConfig::pap(8),
     ];
-    let mut results = Vec::new();
-    for base in bases {
-        results.push(run_suite(&base, ctx.store(), &SimConfig::no_context_switch()));
-        results.push(run_suite(
-            &base.with_context_switch(true),
-            ctx.store(),
-            &SimConfig::paper_context_switch(),
-        ));
-    }
+    // One sweep over the interleaved (no-CS, with-CS) pairs: the sweep
+    // cell honors each config's own `c` flag, so the plain configs run
+    // without context switches and the flagged ones with the paper model.
+    let configs: Vec<SchemeConfig> = bases
+        .iter()
+        .flat_map(|base| [*base, base.with_context_switch(true)])
+        .collect();
+    let results = run_many(ctx, &configs, &SimConfig::no_context_switch());
     let table = suite_table(&results);
     ctx.emit("fig9", "Figure 9: effect of context switches", &table);
 
@@ -182,9 +185,8 @@ pub fn fig11(ctx: &Ctx) {
 /// global-table interference the paper's conclusion identifies ("we are
 /// examining that 3 percent"). Compare it with GAg at equal table sizes.
 pub fn extensions(ctx: &Ctx) {
-    use tlabp_core::predictor::BranchPredictor;
     use tlabp_core::schemes::{Gag, Gshare};
-    use tlabp_sim::runner::simulate;
+    use tlabp_sim::runner::simulate_packed;
 
     let mut table = Table::new(vec![
         "benchmark".into(),
@@ -193,19 +195,30 @@ pub fn extensions(ctx: &Ctx) {
         "GAg(16) %".into(),
         "gshare(16) %".into(),
     ]);
-    let sim = SimConfig::no_context_switch();
-    for benchmark in &Benchmark::ALL {
-        let trace = ctx.store().get(benchmark, DataSet::Testing);
-        let acc = |mut p: Box<dyn BranchPredictor>| {
-            format!("{:.2}", 100.0 * simulate(&mut *p, &trace, &sim).accuracy())
-        };
-        table.push_row(vec![
-            benchmark.name().into(),
-            acc(Box::new(Gag::new(12, Automaton::A2))),
-            acc(Box::new(Gshare::new(12, Automaton::A2))),
-            acc(Box::new(Gag::new(16, Automaton::A2))),
-            acc(Box::new(Gshare::new(16, Automaton::A2))),
-        ]);
+    // A flat (benchmark × variant) matrix on the sweep pool; the gshare
+    // scheme lives outside SchemeConfig, so the cells build their own
+    // predictors instead of going through run_sweep.
+    let variants = 4usize;
+    let cells = Benchmark::ALL.iter().flat_map(|benchmark| {
+        (0..variants).map(move |variant| {
+            let store = ctx.store().clone();
+            move || {
+                let packed = store.get_packed(benchmark, DataSet::Testing);
+                let result = match variant {
+                    0 => simulate_packed(&mut Gag::new(12, Automaton::A2), &packed),
+                    1 => simulate_packed(&mut Gshare::new(12, Automaton::A2), &packed),
+                    2 => simulate_packed(&mut Gag::new(16, Automaton::A2), &packed),
+                    _ => simulate_packed(&mut Gshare::new(16, Automaton::A2), &packed),
+                };
+                format!("{:.2}", 100.0 * result.accuracy())
+            }
+        })
+    });
+    let accuracies = SweepPool::global().run(cells);
+    for (benchmark, row) in Benchmark::ALL.iter().zip(accuracies.chunks(variants)) {
+        let mut cells = vec![benchmark.name().to_owned()];
+        cells.extend_from_slice(row);
+        table.push_row(cells);
     }
     ctx.emit(
         "extensions_gshare",

@@ -20,7 +20,8 @@
 //!   extensions gshare vs GAg (beyond the paper)
 //!   analysis   misprediction characterization ("examining that 3 percent")
 //!   fetch      Section 3.2 fetch-path outcomes with target caching
-//!   all        everything above
+//!   bench      sweep-engine throughput vs the sequential baseline
+//!   all        everything above (except bench and calibrate)
 //! ```
 //!
 //! Each artifact prints an ASCII table and writes `results/<name>.csv`.
@@ -32,6 +33,7 @@ use std::process::ExitCode;
 
 mod ablations;
 mod analysis;
+mod bench;
 mod fetch;
 mod figures;
 mod tables;
@@ -52,6 +54,19 @@ impl Ctx {
         &self.store
     }
 
+    /// Writes `<file_name>` verbatim into the output directory.
+    pub fn emit_raw(&self, file_name: &str, contents: &str) {
+        if let Err(e) = fs::create_dir_all(&self.out_dir) {
+            eprintln!("warning: cannot create {}: {e}", self.out_dir.display());
+            return;
+        }
+        let path = self.out_dir.join(file_name);
+        match fs::write(&path, contents) {
+            Ok(()) => println!("[wrote {}]\n", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
+
     /// Prints the table under a heading and writes `<name>.csv`.
     pub fn emit(&self, name: &str, title: &str, table: &tlabp_sim::report::Table) {
         println!("== {title} ==");
@@ -70,7 +85,8 @@ impl Ctx {
 
 type Artifact = (&'static str, fn(&Ctx));
 
-const ARTIFACTS: [Artifact; 17] = [
+const ARTIFACTS: [Artifact; 18] = [
+    ("bench", bench::bench),
     ("table1", tables::table1),
     ("table2", tables::table2),
     ("table3", tables::table3),
@@ -123,7 +139,9 @@ fn main() -> ExitCode {
 
     let ctx = Ctx::new(out_dir);
     if artifact == "all" {
-        for (name, run) in ARTIFACTS.iter().filter(|(n, _)| *n != "calibrate") {
+        for (name, run) in
+            ARTIFACTS.iter().filter(|(n, _)| *n != "calibrate" && *n != "bench")
+        {
             println!(">>> {name}");
             run(&ctx);
         }

@@ -13,6 +13,10 @@
 //!   [`tlabp_core::config::SchemeConfig`] on all nine benchmarks in
 //!   parallel, training the profiled schemes per benchmark and skipping
 //!   the benchmarks without training data sets, as the paper does.
+//! * [`sweep`] — [`sweep::run_sweep`] executes a whole (scheme ×
+//!   benchmark) job matrix on the persistent worker pool ([`pool`]),
+//!   taking the monomorphized packed fast path per cell and
+//!   reassembling suite results in deterministic order.
 //! * [`metrics`] — per-benchmark accuracies and the Tot/Int/FP geometric
 //!   means.
 //! * [`report`] — ASCII tables and CSV for the experiment harness.
@@ -33,10 +37,14 @@
 #![warn(missing_docs)]
 
 pub mod metrics;
+pub mod pool;
 pub mod report;
 pub mod runner;
 pub mod suite;
+pub mod sweep;
 
 pub use metrics::{geometric_mean, SuiteResult};
-pub use runner::{simulate, SimConfig, SimResult};
+pub use pool::SweepPool;
+pub use runner::{simulate, simulate_packed, SimConfig, SimResult};
 pub use suite::{run_suite, TraceStore};
+pub use sweep::{run_sweep, run_sweep_on};

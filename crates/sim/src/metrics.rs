@@ -1,7 +1,5 @@
 //! Accuracy aggregation: the geometric means the paper reports.
 
-use serde::{Deserialize, Serialize};
-
 use tlabp_workloads::BenchmarkKind;
 
 /// Geometric mean of a slice of positive values.
@@ -39,7 +37,7 @@ pub fn geometric_mean(values: &[f64]) -> f64 {
 /// benchmark could not be measured (e.g. a profiled scheme on a benchmark
 /// with no training data set, like the missing Static Training points in
 /// the paper's Figure 11).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchmarkAccuracy {
     /// Benchmark name.
     pub benchmark: String,
@@ -54,7 +52,7 @@ pub struct BenchmarkAccuracy {
 }
 
 /// Serializable mirror of [`BenchmarkKind`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BenchmarkCategory {
     /// Integer benchmark.
     Integer,
@@ -73,7 +71,7 @@ impl From<BenchmarkKind> for BenchmarkCategory {
 
 /// A scheme's accuracies across the whole benchmark suite, with the
 /// paper's three geometric means.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SuiteResult {
     /// The scheme's configuration string.
     pub scheme: String,

@@ -1,9 +1,7 @@
 //! The trace-driven simulation loop.
 
-use serde::{Deserialize, Serialize};
-
 use tlabp_core::predictor::BranchPredictor;
-use tlabp_trace::{Trace, TraceEvent};
+use tlabp_trace::{PackedCond, Trace, TraceEvent};
 
 /// Context-switch simulation parameters (the paper's Section 5.1.4).
 ///
@@ -11,7 +9,7 @@ use tlabp_trace::{Trace, TraceEvent};
 /// instructions if no trap occurs, a context switch is simulated" — the
 /// 500,000 figure derives from a 50 MHz, 1-IPC machine switching every
 /// 10 ms.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ContextSwitchConfig {
     /// Instructions between forced switches when no trap intervenes.
     pub interval_instructions: u64,
@@ -26,7 +24,7 @@ impl Default for ContextSwitchConfig {
 }
 
 /// Simulation options.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimConfig {
     /// When `Some`, context switches flush first-level branch history.
     pub context_switch: Option<ContextSwitchConfig>,
@@ -47,7 +45,7 @@ impl SimConfig {
 }
 
 /// Result of simulating one predictor over one trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// The predictor's configuration name.
     pub scheme: String,
@@ -96,8 +94,8 @@ impl SimResult {
 /// assert!(result.accuracy() > 0.9);
 /// # Ok::<(), tlabp_core::config::BuildError>(())
 /// ```
-pub fn simulate(
-    predictor: &mut dyn BranchPredictor,
+pub fn simulate<P: BranchPredictor + ?Sized>(
+    predictor: &mut P,
     trace: &Trace,
     config: &SimConfig,
 ) -> SimResult {
@@ -143,6 +141,58 @@ pub fn simulate(
         }
     }
     result
+}
+
+/// Runs `predictor` over a packed conditional-branch stream — the
+/// simulator's fast path.
+///
+/// [`PackedCond`] drops everything a predictor never reads (targets,
+/// instruction counts, branch classes, traps), so this loop streams 8
+/// bytes per branch instead of a full [`TraceEvent`] and skips the
+/// event-kind dispatch entirely. Each branch goes through the fused
+/// [`BranchPredictor::step`] (one first-level table lookup instead of
+/// the reference path's several); combined with a monomorphized `P`
+/// (e.g. [`tlabp_core::any::AnyPredictor`]) the whole step inlines into
+/// the loop body.
+///
+/// Context switches cannot be modeled here: the packed stream has no
+/// instruction counts or traps. Callers must fall back to [`simulate`]
+/// on the full trace when `SimConfig::context_switch` is set; given
+/// that, this function is bit-identical to [`simulate`] with
+/// [`SimConfig::no_context_switch`] on the trace the stream was packed
+/// from (the differential tests in `tests/differential.rs` assert this
+/// for every catalog scheme).
+///
+/// # Example
+///
+/// ```
+/// use tlabp_core::config::SchemeConfig;
+/// use tlabp_sim::runner::simulate_packed;
+/// use tlabp_trace::synth::LoopNest;
+///
+/// let trace = LoopNest::new(&[50, 20]).generate();
+/// let packed = trace.pack_conditionals();
+/// let mut predictor = SchemeConfig::pag(6).build_any()?;
+/// let result = simulate_packed(&mut predictor, &packed);
+/// assert!(result.accuracy() > 0.9);
+/// # Ok::<(), tlabp_core::config::BuildError>(())
+/// ```
+pub fn simulate_packed<P: BranchPredictor + ?Sized>(
+    predictor: &mut P,
+    conditionals: &[PackedCond],
+) -> SimResult {
+    let mut correct = 0u64;
+    for cond in conditionals {
+        let branch = cond.to_record();
+        let predicted = predictor.step(&branch);
+        correct += u64::from(predicted == branch.taken);
+    }
+    SimResult {
+        scheme: predictor.name(),
+        predictions: conditionals.len() as u64,
+        correct,
+        context_switches: 0,
+    }
 }
 
 #[cfg(test)]

@@ -1,27 +1,41 @@
 //! Whole-suite orchestration: run predictor configurations across all
-//! nine benchmarks, with trace caching and parallel execution.
+//! nine benchmarks, with trace caching and pooled parallel execution.
 
-use std::sync::Arc;
-
-use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
 
 use tlabp_core::config::SchemeConfig;
-use tlabp_trace::Trace;
+use tlabp_trace::{PackedCond, Trace};
 use tlabp_workloads::{Benchmark, DataSet};
 
-use crate::metrics::{BenchmarkAccuracy, SuiteResult};
-use crate::runner::{simulate, SimConfig};
+use crate::metrics::SuiteResult;
+use crate::runner::SimConfig;
+use crate::sweep::run_sweep;
 
 /// A cache of generated benchmark traces.
 ///
 /// Workload generation (running the mini-RISC VM) is deterministic but
 /// not free; the store generates each (benchmark, data set) trace once
-/// and shares it across every scheme evaluation. It is safe to use from
-/// several threads.
-#[derive(Debug, Default)]
+/// and shares it across every scheme evaluation. Cloning the store is
+/// cheap and shares the cache, so sweep cells on other threads can hold
+/// their own handle.
+///
+/// Each cache slot initializes through its own [`OnceLock`]: when many
+/// sweep cells ask for the same ungenerated trace at once, exactly one
+/// thread runs the VM while the rest block on that slot — the map locks
+/// are only ever held to find or insert the (empty) slot, never during
+/// generation.
+#[derive(Debug, Clone, Default)]
 pub struct TraceStore {
-    cache: RwLock<HashMap<(&'static str, DataSetKey), Arc<Trace>>>,
+    cache: Arc<RwLock<SlotMap>>,
+}
+
+type SlotMap = HashMap<(&'static str, DataSetKey), Arc<TraceSlot>>;
+
+#[derive(Debug, Default)]
+struct TraceSlot {
+    trace: OnceLock<Arc<Trace>>,
+    packed: OnceLock<Arc<Vec<PackedCond>>>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -47,33 +61,53 @@ impl TraceStore {
     }
 
     /// Returns the trace for `(benchmark, data_set)`, generating it on
-    /// first use.
+    /// first use. Concurrent callers for the same key block until the
+    /// single generating thread finishes.
     #[must_use]
     pub fn get(&self, benchmark: &Benchmark, data_set: DataSet) -> Arc<Trace> {
-        let key = (benchmark.name(), DataSetKey::from(data_set));
-        if let Some(trace) = self.cache.read().get(&key) {
-            return Arc::clone(trace);
-        }
-        let trace = Arc::new(benchmark.trace(data_set));
-        self.cache.write().entry(key).or_insert_with(|| Arc::clone(&trace));
-        Arc::clone(&trace)
+        let slot = self.slot(benchmark.name(), data_set.into());
+        Arc::clone(slot.trace.get_or_init(|| Arc::new(benchmark.trace(data_set))))
     }
 
-    /// Number of cached traces.
+    /// Returns the packed conditional-branch stream for
+    /// `(benchmark, data_set)` — the input of
+    /// [`crate::runner::simulate_packed`] — packing it on first use.
+    #[must_use]
+    pub fn get_packed(&self, benchmark: &Benchmark, data_set: DataSet) -> Arc<Vec<PackedCond>> {
+        let slot = self.slot(benchmark.name(), data_set.into());
+        let trace = Arc::clone(slot.trace.get_or_init(|| Arc::new(benchmark.trace(data_set))));
+        Arc::clone(slot.packed.get_or_init(|| Arc::new(trace.pack_conditionals())))
+    }
+
+    /// Finds or inserts the (possibly uninitialized) slot for a key.
+    fn slot(&self, name: &'static str, key: DataSetKey) -> Arc<TraceSlot> {
+        if let Some(slot) = self.cache.read().expect("trace store lock").get(&(name, key)) {
+            return Arc::clone(slot);
+        }
+        let mut cache = self.cache.write().expect("trace store lock");
+        Arc::clone(cache.entry((name, key)).or_default())
+    }
+
+    /// Number of generated traces.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.cache.read().len()
+        self.cache
+            .read()
+            .expect("trace store lock")
+            .values()
+            .filter(|slot| slot.trace.get().is_some())
+            .count()
     }
 
-    /// Whether the store is empty.
+    /// Whether no trace has been generated yet.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.cache.read().is_empty()
+        self.len() == 0
     }
 }
 
-/// Runs `config` on every benchmark (in parallel) and collects the
-/// paper-style suite result.
+/// Runs `config` on every benchmark (on the global sweep pool) and
+/// collects the paper-style suite result.
 ///
 /// Profiled schemes (GSg/PSg/Profiling) are trained on each benchmark's
 /// *training* trace and measured on its *testing* trace; benchmarks whose
@@ -82,61 +116,15 @@ impl TraceStore {
 ///
 /// The context-switch setting comes from `config` itself (the `c` flag of
 /// Table 3) unless `sim.context_switch` already enables it.
+///
+/// This is a one-config sweep; batch drivers should hand their whole
+/// configuration list to [`run_sweep`] so cells from different configs
+/// share the pool.
 #[must_use]
 pub fn run_suite(config: &SchemeConfig, store: &TraceStore, sim: &SimConfig) -> SuiteResult {
-    let mut effective_sim = *sim;
-    if config.context_switch() && effective_sim.context_switch.is_none() {
-        effective_sim = SimConfig::paper_context_switch();
-    }
-
-    let rows: Vec<BenchmarkAccuracy> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = Benchmark::ALL
-            .iter()
-            .map(|benchmark| {
-                let sim = effective_sim;
-                scope.spawn(move |_| run_one(config, benchmark, store, &sim))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("benchmark thread panicked")).collect()
-    })
-    .expect("suite scope");
-
-    SuiteResult { scheme: config.to_string(), rows }
-}
-
-fn run_one(
-    config: &SchemeConfig,
-    benchmark: &Benchmark,
-    store: &TraceStore,
-    sim: &SimConfig,
-) -> BenchmarkAccuracy {
-    let unmeasured = |reason_predictions: u64| BenchmarkAccuracy {
-        benchmark: benchmark.name().to_owned(),
-        kind: benchmark.kind().into(),
-        accuracy: None,
-        context_switches: 0,
-        predictions: reason_predictions,
-    };
-
-    let mut predictor = if config.needs_training() {
-        if !benchmark.has_training_set() {
-            return unmeasured(0);
-        }
-        let training = store.get(benchmark, DataSet::Training);
-        config.build_trained(&training)
-    } else {
-        config.build().expect("non-training scheme builds")
-    };
-
-    let testing = store.get(benchmark, DataSet::Testing);
-    let result = simulate(&mut *predictor, &testing, sim);
-    BenchmarkAccuracy {
-        benchmark: benchmark.name().to_owned(),
-        kind: benchmark.kind().into(),
-        accuracy: Some(result.accuracy()),
-        context_switches: result.context_switches,
-        predictions: result.predictions,
-    }
+    run_sweep(std::slice::from_ref(config), store, sim)
+        .pop()
+        .expect("one config in, one suite result out")
 }
 
 #[cfg(test)]
@@ -154,6 +142,41 @@ mod tests {
         let first = store.get(b, DataSet::Testing);
         let second = store.get(b, DataSet::Testing);
         assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn packed_stream_matches_trace_conditionals() {
+        let store = small_store();
+        let b = Benchmark::by_name("li").unwrap();
+        let trace = store.get(b, DataSet::Testing);
+        let packed = store.get_packed(b, DataSet::Testing);
+        assert_eq!(packed.len(), trace.conditional_branches().count());
+        let again = store.get_packed(b, DataSet::Testing);
+        assert!(Arc::ptr_eq(&packed, &again), "packing happens once");
+        assert_eq!(store.len(), 1, "packed stream shares the trace slot");
+    }
+
+    #[test]
+    fn concurrent_getters_share_one_generation() {
+        // The old store generated outside any lock and only the winner's
+        // trace was cached: racing callers could each run the VM and end
+        // up holding distinct copies. The per-slot OnceLock makes every
+        // caller block on the single generating thread, so all handles
+        // must alias.
+        let store = small_store();
+        let b = Benchmark::by_name("li").unwrap();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let store = store.clone();
+                std::thread::spawn(move || store.get(b, DataSet::Testing))
+            })
+            .collect();
+        let traces: Vec<Arc<Trace>> =
+            handles.into_iter().map(|h| h.join().expect("getter thread")).collect();
+        for trace in &traces[1..] {
+            assert!(Arc::ptr_eq(&traces[0], trace), "every caller shares one generation");
+        }
         assert_eq!(store.len(), 1);
     }
 

@@ -33,8 +33,6 @@
 use std::error::Error;
 use std::fmt;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
 use crate::record::{BranchClass, BranchRecord, TrapRecord};
 use crate::trace::{Trace, TraceEvent};
 
@@ -106,30 +104,30 @@ impl Error for ReadTraceError {}
 ///
 /// The inverse of [`read_trace`]; the two round-trip exactly.
 #[must_use]
-pub fn write_trace(trace: &Trace) -> Bytes {
+pub fn write_trace(trace: &Trace) -> Vec<u8> {
     // Header + worst-case 26 bytes per event.
-    let mut buf = BytesMut::with_capacity(22 + trace.len() * 26);
-    buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
-    buf.put_u64_le(trace.len() as u64);
-    buf.put_u64_le(trace.total_instructions());
+    let mut buf = Vec::with_capacity(22 + trace.len() * 26);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(trace.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&trace.total_instructions().to_le_bytes());
     for event in trace.events() {
         match *event {
             TraceEvent::Branch(b) => {
-                buf.put_u8(b.class.to_tag());
-                buf.put_u64_le(b.pc);
-                buf.put_u8(u8::from(b.taken));
-                buf.put_u64_le(b.target);
-                buf.put_u64_le(b.instret);
+                buf.push(b.class.to_tag());
+                buf.extend_from_slice(&b.pc.to_le_bytes());
+                buf.push(u8::from(b.taken));
+                buf.extend_from_slice(&b.target.to_le_bytes());
+                buf.extend_from_slice(&b.instret.to_le_bytes());
             }
             TraceEvent::Trap(t) => {
-                buf.put_u8(TRAP_TAG);
-                buf.put_u64_le(t.pc);
-                buf.put_u64_le(t.instret);
+                buf.push(TRAP_TAG);
+                buf.extend_from_slice(&t.pc.to_le_bytes());
+                buf.extend_from_slice(&t.instret.to_le_bytes());
             }
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Deserializes a trace from the binary format produced by [`write_trace`].
@@ -139,52 +137,53 @@ pub fn write_trace(trace: &Trace) -> Bytes {
 /// Returns a [`ReadTraceError`] if the magic or version do not match, the
 /// buffer is truncated, an event tag is unknown, or events are not ordered
 /// by instruction count.
-pub fn read_trace(mut bytes: &[u8]) -> Result<Trace, ReadTraceError> {
-    if bytes.remaining() < 4 || &bytes[..4] != MAGIC {
+pub fn read_trace(bytes: &[u8]) -> Result<Trace, ReadTraceError> {
+    let mut cur = Cursor { bytes, pos: 0 };
+    if cur.remaining() < 4 || &bytes[..4] != MAGIC {
         let mut found = [0u8; 4];
-        let n = bytes.remaining().min(4);
+        let n = cur.remaining().min(4);
         found[..n].copy_from_slice(&bytes[..n]);
         return Err(ReadTraceError::BadMagic { found });
     }
-    bytes.advance(4);
-    if bytes.remaining() < 2 {
+    cur.pos = 4;
+    if cur.remaining() < 2 {
         return Err(ReadTraceError::Truncated { at_event: 0 });
     }
-    let version = bytes.get_u16_le();
+    let version = cur.get_u16_le();
     if version != VERSION {
         return Err(ReadTraceError::UnsupportedVersion { found: version });
     }
-    if bytes.remaining() < 16 {
+    if cur.remaining() < 16 {
         return Err(ReadTraceError::Truncated { at_event: 0 });
     }
-    let count = bytes.get_u64_le();
-    let total = bytes.get_u64_le();
+    let count = cur.get_u64_le();
+    let total = cur.get_u64_le();
 
     let capacity = usize::try_from(count).unwrap_or(usize::MAX).min(1 << 24);
     let mut trace = Trace::with_capacity(capacity);
     let mut last_instret = 0u64;
     for i in 0..count {
-        if bytes.remaining() < 1 {
+        if cur.remaining() < 1 {
             return Err(ReadTraceError::Truncated { at_event: i });
         }
-        let tag = bytes.get_u8();
+        let tag = cur.get_u8();
         let event = if tag == TRAP_TAG {
-            if bytes.remaining() < 16 {
+            if cur.remaining() < 16 {
                 return Err(ReadTraceError::Truncated { at_event: i });
             }
-            let pc = bytes.get_u64_le();
-            let instret = bytes.get_u64_le();
+            let pc = cur.get_u64_le();
+            let instret = cur.get_u64_le();
             TraceEvent::Trap(TrapRecord::new(pc, instret))
         } else {
             let class = BranchClass::from_tag(tag)
                 .ok_or(ReadTraceError::UnknownTag { tag, at_event: i })?;
-            if bytes.remaining() < 25 {
+            if cur.remaining() < 25 {
                 return Err(ReadTraceError::Truncated { at_event: i });
             }
-            let pc = bytes.get_u64_le();
-            let taken = bytes.get_u8() != 0;
-            let target = bytes.get_u64_le();
-            let instret = bytes.get_u64_le();
+            let pc = cur.get_u64_le();
+            let taken = cur.get_u8() != 0;
+            let target = cur.get_u64_le();
+            let instret = cur.get_u64_le();
             TraceEvent::Branch(BranchRecord { pc, class, taken, target, instret })
         };
         if event.instret() < last_instret {
@@ -197,6 +196,37 @@ pub fn read_trace(mut bytes: &[u8]) -> Result<Trace, ReadTraceError> {
         trace.set_total_instructions(total);
     }
     Ok(trace)
+}
+
+/// A minimal little-endian read cursor over a byte slice (replaces the
+/// external `bytes` crate so the build has no registry dependencies).
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self.bytes[self.pos];
+        self.pos += 1;
+        v
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let v = u16::from_le_bytes(self.bytes[self.pos..self.pos + 2].try_into().unwrap());
+        self.pos += 2;
+        v
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.bytes[self.pos..self.pos + 8].try_into().unwrap());
+        self.pos += 8;
+        v
+    }
 }
 
 #[cfg(test)]
@@ -237,7 +267,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_version() {
-        let mut bytes = write_trace(&sample_trace()).to_vec();
+        let mut bytes = write_trace(&sample_trace());
         bytes[4] = 99;
         let err = read_trace(&bytes).unwrap_err();
         assert_eq!(err, ReadTraceError::UnsupportedVersion { found: 99 });
@@ -253,7 +283,7 @@ mod tests {
 
     #[test]
     fn rejects_unknown_tag() {
-        let mut bytes = write_trace(&sample_trace()).to_vec();
+        let mut bytes = write_trace(&sample_trace());
         // First event tag lives right after the 22-byte header.
         bytes[22] = 42;
         let err = read_trace(&bytes).unwrap_err();

@@ -38,8 +38,9 @@ mod record;
 mod trace;
 
 pub mod io;
+pub mod rng;
 pub mod stats;
 pub mod synth;
 
 pub use record::{BranchClass, BranchRecord, TrapRecord};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{PackedCond, Trace, TraceEvent};

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The class of a dynamic branch instruction.
 ///
 /// The paper's Figure 4 breaks dynamic branches down into these four
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(BranchClass::Conditional.is_conditional());
 /// assert!(!BranchClass::Call.is_conditional());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum BranchClass {
     /// A conditional branch; may be taken or not taken.
     Conditional,
@@ -101,7 +99,7 @@ impl fmt::Display for BranchClass {
 /// assert!(backward.is_backward());
 /// assert_eq!(backward.class, BranchClass::Conditional);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BranchRecord {
     /// Address of the branch instruction.
     pub pc: u64,
@@ -154,7 +152,7 @@ impl BranchRecord {
 /// (Section 5.1.4). Trap records carry the trapping instruction's address
 /// and the cumulative instruction count so the simulator can honor both
 /// triggers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TrapRecord {
     /// Address of the trapping instruction.
     pub pc: u64,

@@ -3,8 +3,6 @@
 
 use std::collections::HashSet;
 
-use serde::{Deserialize, Serialize};
-
 use crate::record::BranchClass;
 use crate::trace::Trace;
 
@@ -24,7 +22,7 @@ use crate::trace::Trace;
 /// assert_eq!(mix.total(), 100);
 /// assert_eq!(mix.fraction(tlabp_trace::BranchClass::Conditional), 1.0);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BranchMix {
     /// Dynamic conditional branches.
     pub conditional: u64,
@@ -83,7 +81,7 @@ impl BranchMix {
 }
 
 /// Summary statistics for one trace, as reported in the paper's Section 4.1.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct TraceSummary {
     /// Number of distinct static conditional branch addresses (Table 1).
     pub static_conditional_branches: usize,

@@ -11,8 +11,7 @@
 //! All randomized generators take an explicit seed and are fully
 //! deterministic.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 use crate::record::BranchRecord;
 use crate::trace::Trace;
@@ -130,7 +129,7 @@ impl BiasedCoins {
     /// Generates the trace.
     #[must_use]
     pub fn generate(&self) -> Trace {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SmallRng::seed_from_u64(self.seed);
         let mut trace = Trace::new();
         let mut instret = 0;
         for _ in 0..self.occurrences {
@@ -243,7 +242,7 @@ impl CorrelatedBranches {
     /// Generates the trace.
     #[must_use]
     pub fn generate(&self) -> Trace {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SmallRng::seed_from_u64(self.seed);
         let mut trace = Trace::new();
         let mut instret = 0;
         for _ in 0..self.rounds {
@@ -296,7 +295,7 @@ impl MarkovBranches {
     /// Generates the trace.
     #[must_use]
     pub fn generate(&self) -> Trace {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SmallRng::seed_from_u64(self.seed);
         let mut state: Vec<bool> = (0..self.branches).map(|_| rng.random_bool(0.5)).collect();
         let mut trace = Trace::new();
         let mut instret = 0;

@@ -1,7 +1,5 @@
 //! In-memory traces: ordered sequences of branch and trap events.
 
-use serde::{Deserialize, Serialize};
-
 use crate::record::{BranchRecord, TrapRecord};
 
 /// One event in an instruction trace.
@@ -11,7 +9,7 @@ use crate::record::{BranchRecord, TrapRecord};
 /// count, rather than every executed instruction. This matches the
 /// information content the paper's simulator extracts from its full
 /// Motorola 88100 instruction traces while staying compact.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TraceEvent {
     /// A dynamic branch instance.
     Branch(BranchRecord),
@@ -81,7 +79,7 @@ impl From<TrapRecord> for TraceEvent {
 /// assert_eq!(trace.conditional_branches().count(), 2);
 /// assert_eq!(trace.total_instructions(), 12);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     events: Vec<TraceEvent>,
     total_instructions: u64,
@@ -171,6 +169,13 @@ impl Trace {
         self.branches().filter(|b| b.class.is_conditional())
     }
 
+    /// Packs every conditional branch into the compact [`PackedCond`]
+    /// stream consumed by the simulator's no-context-switch fast path.
+    #[must_use]
+    pub fn pack_conditionals(&self) -> Vec<PackedCond> {
+        self.conditional_branches().map(PackedCond::from_record).collect()
+    }
+
     /// Appends every event of `other` after this trace's events.
     ///
     /// Events of `other` have their `instret` shifted by this trace's
@@ -192,6 +197,88 @@ impl Trace {
             self.events.push(shifted);
         }
         self.total_instructions = base + other.total_instructions;
+    }
+}
+
+/// A conditional branch compressed into one 64-bit word:
+/// `pc << 2 | backward << 1 | taken`.
+///
+/// The simulation hot loop only ever reads three things from a
+/// conditional branch: its address (indexes every per-address structure),
+/// its resolved direction, and whether it jumps backward (the BTFN
+/// discriminator). Packing those into 8 bytes — versus the 40-byte
+/// [`TraceEvent`] — lets the no-context-switch fast path stream 5× fewer
+/// bytes per event through the cache.
+///
+/// # Example
+///
+/// ```
+/// use tlabp_trace::{BranchRecord, PackedCond};
+///
+/// let record = BranchRecord::conditional(0x1000, true, 0x0f00, 7);
+/// let packed = PackedCond::from_record(&record);
+/// assert_eq!(packed.pc(), 0x1000);
+/// assert!(packed.taken());
+/// assert!(packed.is_backward());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(transparent)]
+pub struct PackedCond(u64);
+
+impl PackedCond {
+    /// Packs the three prediction-relevant fields into one word.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `pc` needs more than 62 bits.
+    #[must_use]
+    pub fn new(pc: u64, taken: bool, backward: bool) -> Self {
+        debug_assert!(pc < 1 << 62, "pc {pc:#x} does not fit in 62 bits");
+        PackedCond(pc << 2 | u64::from(backward) << 1 | u64::from(taken))
+    }
+
+    /// Packs a conditional branch record.
+    #[must_use]
+    pub fn from_record(record: &BranchRecord) -> Self {
+        PackedCond::new(record.pc, record.taken, record.is_backward())
+    }
+
+    /// The branch instruction's address.
+    #[must_use]
+    pub fn pc(self) -> u64 {
+        self.0 >> 2
+    }
+
+    /// The resolved direction.
+    #[must_use]
+    pub fn taken(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Whether the branch jumps backward (target ≤ pc).
+    #[must_use]
+    pub fn is_backward(self) -> bool {
+        self.0 & 2 != 0
+    }
+
+    /// Expands back into a [`BranchRecord`] carrying exactly the
+    /// information predictors observe.
+    ///
+    /// The target is synthesized to preserve [`BranchRecord::is_backward`]
+    /// and `instret` is zeroed — neither is read by any predictor, so a
+    /// simulation over expanded records is bit-identical to one over the
+    /// original conditional branches (see the differential tests).
+    #[must_use]
+    pub fn to_record(self) -> BranchRecord {
+        let pc = self.pc();
+        let target = if self.is_backward() { pc } else { pc + 4 };
+        BranchRecord::conditional(pc, self.taken(), target, 0)
+    }
+}
+
+impl From<&BranchRecord> for PackedCond {
+    fn from(record: &BranchRecord) -> Self {
+        PackedCond::from_record(record)
     }
 }
 

@@ -1,0 +1,8 @@
+#!/usr/bin/env sh
+# Full offline verification: release build, test suite, strict clippy.
+# Run from the repository root. Requires no network access.
+set -eux
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --all-targets -- -D warnings

@@ -1,12 +1,14 @@
 //! Model-based property test: the cache BHT must behave exactly like a
 //! straightforward reference implementation of a set-associative LRU
 //! cache of shift registers.
+//!
+//! Randomized op sequences come from the in-tree seeded [`SmallRng`]
+//! (no proptest), so every run exercises the same cases.
 
 use std::collections::VecDeque;
 
-use proptest::prelude::*;
-
 use tlabp::core::bht::CacheBht;
+use tlabp::trace::rng::SmallRng;
 
 /// Reference model: per set, an LRU-ordered list (most recent first) of
 /// (tag, history bits, fresh) entries.
@@ -95,37 +97,37 @@ enum Op {
     Flush,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    // Dense word-aligned pcs in a small range to force set conflicts.
-    let pc = (0u64..64).prop_map(|w| 0x1000 + w * 4);
-    prop_oneof![
-        4 => pc.clone().prop_map(Op::Access),
-        4 => (pc, any::<bool>()).prop_map(|(pc, taken)| Op::Record(pc, taken)),
-        1 => Just(Op::Flush),
-    ]
+/// Dense word-aligned pcs in a small range to force set conflicts.
+fn random_op(rng: &mut SmallRng) -> Op {
+    let pc = 0x1000 + rng.next_below(64) * 4;
+    match rng.next_below(9) {
+        0..=3 => Op::Access(pc),
+        4..=7 => Op::Record(pc, rng.random_bool(0.5)),
+        _ => Op::Flush,
+    }
 }
 
-proptest! {
-    #[test]
-    fn cache_bht_matches_reference_model(
-        ops in prop::collection::vec(op_strategy(), 1..400),
-        geometry in prop::sample::select(vec![(8usize, 1usize), (8, 2), (16, 4), (32, 4)]),
-        history_bits in 1u32..=16,
-    ) {
-        let (entries, ways) = geometry;
+#[test]
+fn cache_bht_matches_reference_model() {
+    let mut rng = SmallRng::seed_from_u64(0xB001);
+    const GEOMETRIES: [(usize, usize); 4] = [(8, 1), (8, 2), (16, 4), (32, 4)];
+    for case in 0..48u64 {
+        let (entries, ways) = GEOMETRIES[rng.next_below(4) as usize];
+        let history_bits = rng.next_range(1, 17) as u32;
         let mut real = CacheBht::new(entries, ways, history_bits);
         let mut model = ModelBht::new(entries, ways, history_bits);
-        for (step, op) in ops.into_iter().enumerate() {
-            match op {
+        let steps = rng.next_range(1, 400);
+        for step in 0..steps {
+            match random_op(&mut rng) {
                 Op::Access(pc) => {
                     let a = real.access(pc);
                     let b = model.access(pc);
-                    prop_assert_eq!(a, b, "hit/miss diverged at step {}", step);
+                    assert_eq!(a, b, "hit/miss diverged at step {step} of case {case}");
                 }
                 Op::Record(pc, taken) => {
                     let a = real.record_outcome(pc, taken);
                     let b = model.record_outcome(pc, taken);
-                    prop_assert_eq!(a, b, "record presence diverged at step {}", step);
+                    assert_eq!(a, b, "record presence diverged at step {step} of case {case}");
                 }
                 Op::Flush => {
                     real.flush();
@@ -135,12 +137,10 @@ proptest! {
             // Full-state comparison via observable patterns.
             for word in 0..64u64 {
                 let pc = 0x1000 + word * 4;
-                prop_assert_eq!(
+                assert_eq!(
                     real.pattern(pc),
                     model.pattern(pc),
-                    "pattern diverged for pc {:#x} at step {}",
-                    pc,
-                    step
+                    "pattern diverged for pc {pc:#x} at step {step} of case {case}"
                 );
             }
         }

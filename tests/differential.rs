@@ -1,0 +1,137 @@
+//! Differential tests pinning the fast simulation paths to the
+//! reference path.
+//!
+//! The sweep engine runs cells through a monomorphized
+//! [`AnyPredictor`] and, without context switches, over the packed
+//! conditional-branch stream. Neither transformation may change a
+//! single prediction: for every scheme in the catalog, the boxed
+//! `dyn BranchPredictor` over the full trace, the `AnyPredictor` over
+//! the full trace, and the `AnyPredictor` over the packed stream must
+//! produce identical [`SimResult`]s.
+
+use tlabp::core::automaton::Automaton;
+use tlabp::core::config::SchemeConfig;
+use tlabp::core::BhtConfig;
+use tlabp::sim::runner::{simulate, simulate_packed, SimConfig};
+use tlabp::sim::SimResult;
+use tlabp::trace::synth::{BiasedCoins, CorrelatedBranches, Correlation, LoopNest, MarkovBranches};
+use tlabp::trace::Trace;
+use tlabp::workloads::{Benchmark, DataSet};
+
+/// Every scheme kind the simulator supports, across automata, history
+/// lengths and BHT geometries (a superset of the paper's Table 3 axes).
+fn catalog() -> Vec<SchemeConfig> {
+    let mut configs = vec![
+        SchemeConfig::gag(6),
+        SchemeConfig::gag(12).with_automaton(Automaton::LastTime),
+        SchemeConfig::gag(18).with_automaton(Automaton::A4),
+        SchemeConfig::pag(8),
+        SchemeConfig::pag(12).with_automaton(Automaton::A3),
+        SchemeConfig::pag(10).with_bht(BhtConfig::Cache { entries: 256, ways: 1 }),
+        SchemeConfig::pag(12).with_bht(BhtConfig::Ideal),
+        SchemeConfig::pap(6),
+        SchemeConfig::pap(8).with_bht(BhtConfig::Ideal),
+        SchemeConfig::gsg(12),
+        SchemeConfig::psg(12),
+        SchemeConfig::btb(Automaton::A2),
+        SchemeConfig::btb(Automaton::LastTime),
+        SchemeConfig::always_taken(),
+        SchemeConfig::btfn(),
+        SchemeConfig::profiling(),
+    ];
+    // The same axes with the context-switch flag set.
+    for config in configs.clone() {
+        configs.push(config.with_context_switch(true));
+    }
+    configs
+}
+
+fn traces() -> Vec<(&'static str, Trace)> {
+    vec![
+        ("loop_nest", LoopNest::new(&[40, 11, 3]).generate()),
+        ("biased_coins", BiasedCoins::uniform(24, 0.7, 400, 7).generate()),
+        ("correlated", CorrelatedBranches::new(Correlation::Xor, 2000, 0.5, 11).generate()),
+        ("markov", MarkovBranches::new(16, 0.85, 3000, 23).generate()),
+        (
+            "li_testing",
+            Benchmark::by_name("li").expect("li exists").trace(DataSet::Testing),
+        ),
+    ]
+}
+
+fn run_all_paths(
+    config: &SchemeConfig,
+    trace: &Trace,
+    training: &Trace,
+    sim: &SimConfig,
+) -> (SimResult, SimResult, Option<SimResult>) {
+    let mut boxed = if config.needs_training() {
+        config.build_trained(training)
+    } else {
+        config.build().expect("builds")
+    };
+    let mut any = if config.needs_training() {
+        config.build_any_trained(training)
+    } else {
+        config.build_any().expect("builds")
+    };
+    let dyn_result = simulate(&mut *boxed, trace, sim);
+    let any_result = simulate(&mut any, trace, sim);
+    let packed_result = if sim.context_switch.is_none() {
+        let mut any = if config.needs_training() {
+            config.build_any_trained(training)
+        } else {
+            config.build_any().expect("builds")
+        };
+        Some(simulate_packed(&mut any, &trace.pack_conditionals()))
+    } else {
+        None
+    };
+    (dyn_result, any_result, packed_result)
+}
+
+/// The monomorphized and packed paths are bit-identical to the boxed
+/// reference for every catalog scheme on every trace, with and without
+/// context-switch simulation.
+#[test]
+fn every_catalog_scheme_is_path_invariant() {
+    let training = BiasedCoins::uniform(24, 0.7, 400, 8).generate();
+    for (trace_name, trace) in traces() {
+        for config in catalog() {
+            let sim = if config.context_switch() {
+                SimConfig::paper_context_switch()
+            } else {
+                SimConfig::no_context_switch()
+            };
+            let (dyn_result, any_result, packed_result) =
+                run_all_paths(&config, &trace, &training, &sim);
+            assert_eq!(
+                dyn_result, any_result,
+                "dyn vs AnyPredictor diverged for {config} on {trace_name}"
+            );
+            if let Some(packed_result) = packed_result {
+                assert_eq!(
+                    dyn_result, packed_result,
+                    "dyn vs packed diverged for {config} on {trace_name}"
+                );
+            }
+        }
+    }
+}
+
+/// The packed stream itself is lossless for prediction: pc, direction
+/// and backwardness survive the 8-byte encoding.
+#[test]
+fn packed_records_preserve_prediction_inputs() {
+    for (trace_name, trace) in traces() {
+        let packed = trace.pack_conditionals();
+        let originals: Vec<_> = trace.conditional_branches().collect();
+        assert_eq!(packed.len(), originals.len(), "{trace_name}");
+        for (cond, original) in packed.iter().zip(originals) {
+            let rebuilt = cond.to_record();
+            assert_eq!(rebuilt.pc, original.pc, "{trace_name}");
+            assert_eq!(rebuilt.taken, original.taken, "{trace_name}");
+            assert_eq!(rebuilt.is_backward(), original.is_backward(), "{trace_name}");
+        }
+    }
+}

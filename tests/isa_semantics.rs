@@ -1,13 +1,15 @@
 //! Property tests of the mini-RISC substrate: the VM's arithmetic matches
 //! a Rust reference evaluator, generated loops emit exactly the branches
 //! they should, and assembled programs behave like builder-built ones.
-
-use proptest::prelude::*;
+//!
+//! Randomized cases come from the in-tree seeded [`SmallRng`] (no
+//! proptest), so every run exercises the same inputs.
 
 use tlabp::isa::asm::assemble;
 use tlabp::isa::inst::{AluOp, Cond, Reg};
 use tlabp::isa::program::ProgramBuilder;
 use tlabp::isa::vm::Vm;
+use tlabp::trace::rng::SmallRng;
 
 fn eval_reference(op: AluOp, a: i64, b: i64) -> Option<i64> {
     Some(match op {
@@ -35,31 +37,39 @@ fn eval_reference(op: AluOp, a: i64, b: i64) -> Option<i64> {
     })
 }
 
-fn alu_op_strategy() -> impl Strategy<Value = AluOp> {
-    prop::sample::select(vec![
-        AluOp::Add,
-        AluOp::Sub,
-        AluOp::Mul,
-        AluOp::Div,
-        AluOp::Rem,
-        AluOp::And,
-        AluOp::Or,
-        AluOp::Xor,
-        AluOp::Shl,
-        AluOp::Shr,
-        AluOp::Slt,
-    ])
-}
+const ALU_OPS: [AluOp; 11] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::Div,
+    AluOp::Rem,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Shl,
+    AluOp::Shr,
+    AluOp::Slt,
+];
 
-proptest! {
-    /// Every ALU operation computes exactly what the Rust reference says,
-    /// including wrapping behavior; division by zero faults.
-    #[test]
-    fn alu_matches_reference(
-        op in alu_op_strategy(),
-        a in any::<i64>(),
-        b in any::<i64>(),
-    ) {
+/// Every ALU operation computes exactly what the Rust reference says,
+/// including wrapping behavior; division by zero faults.
+#[test]
+fn alu_matches_reference() {
+    let mut rng = SmallRng::seed_from_u64(0xC001);
+    for case in 0..256u64 {
+        let op = ALU_OPS[rng.next_below(ALU_OPS.len() as u64) as usize];
+        // Mix full-range and small operands so div/rem/shift edge cases
+        // (zero, negatives, i64::MIN) come up often.
+        let operand = |rng: &mut SmallRng| -> i64 {
+            match rng.next_below(4) {
+                0 => rng.next_u64() as i64,
+                1 => rng.next_range(0, 8) as i64 - 4,
+                2 => i64::MIN,
+                _ => i64::MAX - rng.next_below(4) as i64,
+            }
+        };
+        let a = operand(&mut rng);
+        let b = operand(&mut rng);
         let mut builder = ProgramBuilder::new();
         builder.li(Reg::new(1), a);
         builder.li(Reg::new(2), b);
@@ -69,18 +79,26 @@ proptest! {
         match eval_reference(op, a, b) {
             Some(expected) => {
                 vm.run().expect("program runs");
-                prop_assert_eq!(vm.reg(Reg::new(3)), expected);
+                assert_eq!(
+                    vm.reg(Reg::new(3)),
+                    expected,
+                    "{op:?}({a}, {b}) in case {case}"
+                );
             }
             None => {
-                prop_assert!(vm.run().is_err(), "division by zero must fault");
+                assert!(vm.run().is_err(), "division by zero must fault (case {case})");
             }
         }
     }
+}
 
-    /// A counted loop of n iterations emits exactly n conditional-branch
-    /// records, n-1 of them taken, all with the same pc.
-    #[test]
-    fn counted_loops_emit_exact_branch_counts(n in 1i64..200) {
+/// A counted loop of n iterations emits exactly n conditional-branch
+/// records, n-1 of them taken, all with the same pc.
+#[test]
+fn counted_loops_emit_exact_branch_counts() {
+    let mut rng = SmallRng::seed_from_u64(0xC002);
+    for _ in 0..32u64 {
+        let n = rng.next_range(1, 200) as i64;
         let mut builder = ProgramBuilder::new();
         let counter = Reg::new(1);
         let limit = Reg::new(2);
@@ -95,16 +113,21 @@ proptest! {
         vm.run().expect("program runs");
         let trace = vm.into_trace();
         let branches: Vec<_> = trace.conditional_branches().collect();
-        prop_assert_eq!(branches.len(), n as usize);
+        assert_eq!(branches.len(), n as usize);
         let taken = branches.iter().filter(|b| b.taken).count();
-        prop_assert_eq!(taken, n as usize - 1);
-        prop_assert!(branches.iter().all(|b| b.pc == branches[0].pc));
+        assert_eq!(taken, n as usize - 1);
+        assert!(branches.iter().all(|b| b.pc == branches[0].pc));
     }
+}
 
-    /// Text assembly and the builder API produce behaviorally identical
-    /// programs for a parameterized accumulate loop.
-    #[test]
-    fn assembler_and_builder_agree(n in 1i64..100, step in -50i64..50) {
+/// Text assembly and the builder API produce behaviorally identical
+/// programs for a parameterized accumulate loop.
+#[test]
+fn assembler_and_builder_agree() {
+    let mut rng = SmallRng::seed_from_u64(0xC003);
+    for _ in 0..32u64 {
+        let n = rng.next_range(1, 100) as i64;
+        let step = rng.next_range(0, 100) as i64 - 50;
         let source = format!(
             "       li   r1, 0
                     li   r2, {n}
@@ -128,20 +151,22 @@ proptest! {
         builder.halt();
         let built = builder.build().expect("valid program");
 
-        prop_assert_eq!(assembled.instructions(), built.instructions());
+        assert_eq!(assembled.instructions(), built.instructions());
 
         let mut vm_a = Vm::with_limits(assembled, 16, 100_000);
         let mut vm_b = Vm::with_limits(built, 16, 100_000);
         vm_a.run().expect("assembled program runs");
         vm_b.run().expect("built program runs");
-        prop_assert_eq!(vm_a.reg(Reg::new(3)), n.wrapping_mul(step));
-        prop_assert_eq!(vm_a.trace(), vm_b.trace());
+        assert_eq!(vm_a.reg(Reg::new(3)), n.wrapping_mul(step));
+        assert_eq!(vm_a.trace(), vm_b.trace());
     }
+}
 
-    /// Call/return nesting of arbitrary depth unwinds correctly and emits
-    /// balanced call/return records.
-    #[test]
-    fn call_return_balance(depth in 1usize..30) {
+/// Call/return nesting of arbitrary depth unwinds correctly and emits
+/// balanced call/return records.
+#[test]
+fn call_return_balance() {
+    for depth in [1usize, 2, 3, 7, 15, 29] {
         let mut builder = ProgramBuilder::new();
         let labels: Vec<_> =
             (0..depth).map(|i| builder.label(format!("fn{i}"))).collect();
@@ -157,7 +182,7 @@ proptest! {
         }
         let mut vm = Vm::with_limits(builder.build().expect("valid program"), 16, 100_000);
         vm.run().expect("program runs");
-        prop_assert_eq!(vm.reg(Reg::new(1)), depth as i64);
+        assert_eq!(vm.reg(Reg::new(1)), depth as i64);
         let trace = vm.into_trace();
         let calls = trace
             .branches()
@@ -167,7 +192,7 @@ proptest! {
             .branches()
             .filter(|b| b.class == tlabp::trace::BranchClass::Return)
             .count();
-        prop_assert_eq!(calls, depth);
-        prop_assert_eq!(returns, depth);
+        assert_eq!(calls, depth);
+        assert_eq!(returns, depth);
     }
 }

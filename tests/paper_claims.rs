@@ -5,7 +5,7 @@ use tlabp::core::automaton::Automaton;
 use tlabp::core::config::SchemeConfig;
 use tlabp::core::cost::{BhtGeometry, CostModel};
 use tlabp::sim::runner::{simulate, SimConfig};
-use tlabp::trace::synth::{BiasedCoins, CorrelatedBranches, Correlation, RepeatingPattern};
+use tlabp::trace::synth::{BiasedCoins, CorrelatedBranches, Correlation, MarkovBranches, RepeatingPattern};
 use tlabp::trace::Trace;
 
 fn accuracy(config: &SchemeConfig, trace: &Trace) -> f64 {
@@ -142,10 +142,15 @@ fn pap_slope_exceeds_pag_slope() {
 }
 
 /// Section 3.3: an ideal BHT can only help relative to a practical one.
+///
+/// The trace needs per-branch *structure* for the claim to be testable:
+/// on independent coin flips an evicted history register costs nothing,
+/// so the sign of the margin is pure noise. Persistent Markov branches
+/// make every eviction discard genuinely predictive history.
 #[test]
 fn ideal_bht_dominates_practical_bht() {
     // A working set of 2000 branches overflows a 512-entry BHT.
-    let trace = BiasedCoins::uniform(2000, 0.85, 40, 3).generate();
+    let trace = MarkovBranches::new(2000, 0.9, 40, 3).generate();
     let practical = accuracy(&SchemeConfig::pag(8), &trace);
     let ideal = accuracy(
         &SchemeConfig::pag(8).with_bht(tlabp::core::BhtConfig::Ideal),

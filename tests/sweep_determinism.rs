@@ -1,0 +1,53 @@
+//! Satellite: sweep results are independent of the worker pool size.
+//!
+//! The sweep engine executes cells work-stealing style, so the order in
+//! which cells *finish* depends on thread scheduling. The reassembly
+//! step must erase that: a sweep run on one worker and the same sweep
+//! run on many workers have to produce identical `Vec<SuiteResult>`s,
+//! in the submitted configuration order.
+
+use tlabp::core::automaton::Automaton;
+use tlabp::core::config::SchemeConfig;
+use tlabp::sim::runner::SimConfig;
+use tlabp::sim::sweep::run_sweep_on;
+use tlabp::sim::{SweepPool, TraceStore};
+
+fn sweep_configs() -> Vec<SchemeConfig> {
+    vec![
+        SchemeConfig::pag(8),
+        SchemeConfig::gag(10),
+        SchemeConfig::pag(8).with_context_switch(true),
+        SchemeConfig::profiling(),
+        SchemeConfig::btb(Automaton::A2),
+    ]
+}
+
+#[test]
+fn sweep_results_are_identical_across_pool_sizes() {
+    let configs = sweep_configs();
+    let sim = SimConfig::no_context_switch();
+    // Separate stores: each run generates (or reuses) its own traces, so
+    // agreement also covers trace-generation determinism.
+    let serial_pool = SweepPool::new(1);
+    let serial = run_sweep_on(&serial_pool, &configs, &TraceStore::new(), &sim);
+    let parallel_pool = SweepPool::new(8);
+    let parallel = run_sweep_on(&parallel_pool, &configs, &TraceStore::new(), &sim);
+
+    assert_eq!(serial.len(), configs.len());
+    assert_eq!(serial, parallel, "pool size changed the sweep output");
+    // Order matches the submitted configuration order.
+    for (config, result) in configs.iter().zip(&serial) {
+        assert_eq!(result.scheme, config.to_string());
+    }
+}
+
+#[test]
+fn repeated_sweeps_on_one_store_are_stable() {
+    let configs = vec![SchemeConfig::pag(8), SchemeConfig::gag(10)];
+    let sim = SimConfig::no_context_switch();
+    let store = TraceStore::new();
+    let pool = SweepPool::new(4);
+    let first = run_sweep_on(&pool, &configs, &store, &sim);
+    let second = run_sweep_on(&pool, &configs, &store, &sim);
+    assert_eq!(first, second);
+}
