@@ -43,7 +43,13 @@ use crate::schemes::{AlwaysTaken, Btb, Btfn, Gag, Pag, Pap, Profiling};
 /// yield a preset [`Gag`] / [`Pag`] (the Static Training schemes are the
 /// adaptive structures with frozen pattern tables), so they map onto
 /// those variants.
-#[derive(Debug, Clone)]
+///
+/// The [`Dyn`](AnyPredictor::Dyn) variant is the escape hatch for
+/// predictors outside the catalog (built through
+/// [`registry`](crate::registry) builders): it pays one virtual dispatch
+/// per call, which is exactly the cost model the execution engine
+/// advertises for externally-registered schemes. Everything else resolves
+/// statically.
 #[allow(missing_docs)] // variant names mirror the scheme structs
 pub enum AnyPredictor {
     Gag(Gag),
@@ -53,6 +59,23 @@ pub enum AnyPredictor {
     AlwaysTaken(AlwaysTaken),
     Btfn(Btfn),
     Profiling(Profiling),
+    /// An externally-registered predictor behind dynamic dispatch.
+    Dyn(Box<dyn BranchPredictor + Send>),
+}
+
+impl std::fmt::Debug for AnyPredictor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnyPredictor::Gag(p) => f.debug_tuple("Gag").field(p).finish(),
+            AnyPredictor::Pag(p) => f.debug_tuple("Pag").field(p).finish(),
+            AnyPredictor::Pap(p) => f.debug_tuple("Pap").field(p).finish(),
+            AnyPredictor::Btb(p) => f.debug_tuple("Btb").field(p).finish(),
+            AnyPredictor::AlwaysTaken(p) => f.debug_tuple("AlwaysTaken").field(p).finish(),
+            AnyPredictor::Btfn(p) => f.debug_tuple("Btfn").field(p).finish(),
+            AnyPredictor::Profiling(p) => f.debug_tuple("Profiling").field(p).finish(),
+            AnyPredictor::Dyn(p) => f.debug_tuple("Dyn").field(&p.name()).finish(),
+        }
+    }
 }
 
 macro_rules! delegate {
@@ -65,6 +88,7 @@ macro_rules! delegate {
             AnyPredictor::AlwaysTaken($p) => $body,
             AnyPredictor::Btfn($p) => $body,
             AnyPredictor::Profiling($p) => $body,
+            AnyPredictor::Dyn($p) => $body,
         }
     };
 }
@@ -123,17 +147,11 @@ mod tests {
 
     #[test]
     fn every_kind_builds_a_variant() {
-        assert!(matches!(
-            SchemeConfig::gag(6).build_any().unwrap(),
-            AnyPredictor::Gag(_)
-        ));
+        assert!(matches!(SchemeConfig::gag(6).build_any().unwrap(), AnyPredictor::Gag(_)));
         assert!(matches!(
             SchemeConfig::btb(Automaton::A2).build_any().unwrap(),
             AnyPredictor::Btb(_)
         ));
-        assert!(matches!(
-            SchemeConfig::btfn().build_any().unwrap(),
-            AnyPredictor::Btfn(_)
-        ));
+        assert!(matches!(SchemeConfig::btfn().build_any().unwrap(), AnyPredictor::Btfn(_)));
     }
 }

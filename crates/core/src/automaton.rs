@@ -113,13 +113,8 @@ impl Automaton {
     ];
 
     /// The adaptive automata evaluated in the paper's Figure 5.
-    pub const FIGURE5: [Automaton; 5] = [
-        Automaton::LastTime,
-        Automaton::A1,
-        Automaton::A2,
-        Automaton::A3,
-        Automaton::A4,
-    ];
+    pub const FIGURE5: [Automaton; 5] =
+        [Automaton::LastTime, Automaton::A1, Automaton::A2, Automaton::A3, Automaton::A4];
 
     /// Number of pattern history bits `s` an entry of this automaton needs.
     #[must_use]
@@ -239,11 +234,7 @@ pub struct ParseAutomatonError {
 
 impl fmt::Display for ParseAutomatonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "unknown automaton {:?}, expected one of LT, A1, A2, A3, A4, PB",
-            self.input
-        )
+        write!(f, "unknown automaton {:?}, expected one of LT, A1, A2, A3, A4, PB", self.input)
     }
 }
 

@@ -468,9 +468,7 @@ impl BranchHistoryTable {
     #[inline]
     pub fn access_pattern(&mut self, pc: u64) -> (usize, BhtCursor) {
         match self {
-            BranchHistoryTable::Ideal(t) => {
-                (t.access_pattern(pc), BhtCursor(BhtCursor::KEYED))
-            }
+            BranchHistoryTable::Ideal(t) => (t.access_pattern(pc), BhtCursor(BhtCursor::KEYED)),
             BranchHistoryTable::Cache(t) => {
                 let (slot, _hit) = t.access_slot(pc);
                 (t.pattern_at(slot), BhtCursor(slot))

@@ -298,9 +298,7 @@ impl SchemeConfig {
     #[must_use]
     pub fn build_trained(&self, training: &Trace) -> Box<dyn BranchPredictor> {
         match self.kind {
-            SchemeKind::Gsg => {
-                Box::new(Gsg::new(&train_global(training, self.history_bits)))
-            }
+            SchemeKind::Gsg => Box::new(Gsg::new(&train_global(training, self.history_bits))),
             SchemeKind::Psg => Box::new(Psg::new(
                 &train_per_address(training, self.history_bits),
                 self.bht.unwrap_or(BhtConfig::PAPER_DEFAULT),
@@ -389,7 +387,9 @@ impl SchemeConfig {
                 Some(model.pag_cost(geometry?, self.history_bits, pattern_bits))
             }
             SchemeKind::Pap => Some(model.pap_cost(geometry?, self.history_bits, pattern_bits)),
-            SchemeKind::Btb | SchemeKind::AlwaysTaken | SchemeKind::Btfn
+            SchemeKind::Btb
+            | SchemeKind::AlwaysTaken
+            | SchemeKind::Btfn
             | SchemeKind::Profiling => None,
         }
     }
@@ -411,11 +411,7 @@ impl fmt::Display for SchemeConfig {
             }
             SchemeKind::Gag | SchemeKind::Gsg => {
                 let k = self.history_bits;
-                write!(
-                    f,
-                    "{}(HR(1,,{k}-sr),1xPHT(2^{k},{}){cs})",
-                    self.kind, self.automaton
-                )
+                write!(f, "{}(HR(1,,{k}-sr),1xPHT(2^{k},{}){cs})", self.kind, self.automaton)
             }
             SchemeKind::Pag | SchemeKind::Psg | SchemeKind::Pap => {
                 let k = self.history_bits;
@@ -434,11 +430,7 @@ impl fmt::Display for SchemeConfig {
                 } else {
                     "1".to_owned()
                 };
-                write!(
-                    f,
-                    "{}({history},{set_size}xPHT(2^{k},{}){cs})",
-                    self.kind, self.automaton
-                )
+                write!(f, "{}({history},{set_size}xPHT(2^{k},{}){cs})", self.kind, self.automaton)
             }
         }
     }
@@ -498,9 +490,8 @@ impl FromStr for SchemeConfig {
             "Profiling" => return Ok(SchemeConfig::profiling()),
             _ => {}
         }
-        let open = s
-            .find('(')
-            .ok_or_else(|| ParseSchemeError::new(format!("unknown scheme {s:?}")))?;
+        let open =
+            s.find('(').ok_or_else(|| ParseSchemeError::new(format!("unknown scheme {s:?}")))?;
         if !s.ends_with(')') {
             return Err(ParseSchemeError::new("missing closing parenthesis"));
         }
@@ -509,8 +500,7 @@ impl FromStr for SchemeConfig {
         let parts = split_top_level(body);
 
         let context_switch = parts.last().map(|p| p.trim() == "c").unwrap_or(false);
-        let args: Vec<&str> =
-            parts[..parts.len() - usize::from(context_switch)].to_vec();
+        let args: Vec<&str> = parts[..parts.len() - usize::from(context_switch)].to_vec();
 
         match mnemonic {
             "BTB" => {
@@ -518,12 +508,10 @@ impl FromStr for SchemeConfig {
                     .first()
                     .ok_or_else(|| ParseSchemeError::new("BTB needs a history spec"))?;
                 let (entries, ways, content) = parse_table_spec(history)?;
-                let automaton: Automaton = content
-                    .parse()
-                    .map_err(|e| ParseSchemeError::new(format!("{e}")))?;
-                let entries = entries
-                    .parse::<usize>()
-                    .map_err(|_| ParseSchemeError::new("bad BTB size"))?;
+                let automaton: Automaton =
+                    content.parse().map_err(|e| ParseSchemeError::new(format!("{e}")))?;
+                let entries =
+                    entries.parse::<usize>().map_err(|_| ParseSchemeError::new("bad BTB size"))?;
                 let ways = ways
                     .parse::<usize>()
                     .map_err(|_| ParseSchemeError::new("bad BTB associativity"))?;
@@ -600,9 +588,7 @@ fn split_top_level(s: &str) -> Vec<&str> {
 /// Parses `NAME(size,assoc,content)` into its three fields.
 fn parse_table_spec(s: &str) -> Result<(&str, &str, &str), ParseSchemeError> {
     let s = s.trim();
-    let open = s
-        .find('(')
-        .ok_or_else(|| ParseSchemeError::new(format!("bad table spec {s:?}")))?;
+    let open = s.find('(').ok_or_else(|| ParseSchemeError::new(format!("bad table spec {s:?}")))?;
     if !s.ends_with(')') {
         return Err(ParseSchemeError::new(format!("bad table spec {s:?}")));
     }
@@ -629,9 +615,7 @@ fn parse_sr_content(s: &str) -> Result<u32, ParseSchemeError> {
 /// Parses `1xPHT(2^12,A2)` into `(12, Automaton::A2)`.
 fn parse_pattern_spec(s: &str) -> Result<(u32, Automaton), ParseSchemeError> {
     let s = s.trim();
-    let x = s
-        .find('x')
-        .ok_or_else(|| ParseSchemeError::new(format!("bad pattern spec {s:?}")))?;
+    let x = s.find('x').ok_or_else(|| ParseSchemeError::new(format!("bad pattern spec {s:?}")))?;
     // Set size prefix (1, 512, inf, ...) is implied by the scheme; skip it.
     let rest = &s[x + 1..];
     let (size, content) = parse_pht_body(rest)?;
@@ -662,12 +646,8 @@ fn parse_pht_body(s: &str) -> Result<(&str, &str), ParseSchemeError> {
         .and_then(|rest| rest.strip_suffix(')'))
         .ok_or_else(|| ParseSchemeError::new(format!("expected PHT(...), got {s:?}")))?;
     let mut fields = body.splitn(2, ',');
-    let size = fields
-        .next()
-        .ok_or_else(|| ParseSchemeError::new("PHT spec missing size"))?;
-    let content = fields
-        .next()
-        .ok_or_else(|| ParseSchemeError::new("PHT spec missing content"))?;
+    let size = fields.next().ok_or_else(|| ParseSchemeError::new("PHT spec missing size"))?;
+    let content = fields.next().ok_or_else(|| ParseSchemeError::new("PHT spec missing content"))?;
     Ok((size.trim(), content.trim()))
 }
 
@@ -682,22 +662,13 @@ mod tests {
             SchemeConfig::gag(12).with_context_switch(true).to_string(),
             "GAg(HR(1,,12-sr),1xPHT(2^12,A2),c)"
         );
-        assert_eq!(
-            SchemeConfig::pag(12).to_string(),
-            "PAg(BHT(512,4,12-sr),1xPHT(2^12,A2))"
-        );
+        assert_eq!(SchemeConfig::pag(12).to_string(), "PAg(BHT(512,4,12-sr),1xPHT(2^12,A2))");
         assert_eq!(
             SchemeConfig::pag(12).with_bht(BhtConfig::Ideal).to_string(),
             "PAg(IBHT(inf,,12-sr),1xPHT(2^12,A2))"
         );
-        assert_eq!(
-            SchemeConfig::pap(6).to_string(),
-            "PAp(BHT(512,4,6-sr),512xPHT(2^6,A2))"
-        );
-        assert_eq!(
-            SchemeConfig::psg(12).to_string(),
-            "PSg(BHT(512,4,12-sr),1xPHT(2^12,PB))"
-        );
+        assert_eq!(SchemeConfig::pap(6).to_string(), "PAp(BHT(512,4,6-sr),512xPHT(2^6,A2))");
+        assert_eq!(SchemeConfig::psg(12).to_string(), "PSg(BHT(512,4,12-sr),1xPHT(2^12,PB))");
         assert_eq!(
             SchemeConfig::btb(Automaton::A2).with_context_switch(true).to_string(),
             "BTB(BHT(512,4,A2),,c)"
@@ -749,8 +720,7 @@ mod tests {
 
     #[test]
     fn parse_accepts_decimal_pht_size() {
-        let parsed: SchemeConfig =
-            "PAg(BHT(512,4,12-sr),1xPHT(4096,A2))".parse().unwrap();
+        let parsed: SchemeConfig = "PAg(BHT(512,4,12-sr),1xPHT(4096,A2))".parse().unwrap();
         assert_eq!(parsed, SchemeConfig::pag(12));
     }
 
@@ -781,9 +751,7 @@ mod tests {
         assert!(err.to_string().contains("training"));
 
         let training = BiasedCoins::uniform(4, 0.8, 100, 3).generate();
-        for config in
-            [SchemeConfig::gsg(8), SchemeConfig::psg(8), SchemeConfig::profiling()]
-        {
+        for config in [SchemeConfig::gsg(8), SchemeConfig::psg(8), SchemeConfig::profiling()] {
             let predictor = config.build_trained(&training);
             assert!(!predictor.name().is_empty());
         }

@@ -140,15 +140,11 @@ impl CostModel {
         let j = f64::from(geometry.way_bits());
         let k = f64::from(history_bits);
         let assoc = geometry.ways as f64; // 2^j
-        assert!(
-            f64::from(self.address_bits) + j >= i,
-            "equation 3 requires a + j >= i"
-        );
+        assert!(f64::from(self.address_bits) + j >= i, "equation 3 requires a + j >= i");
 
         let tag_bits = a - i + j;
         let storage = h * (tag_bits + k + 1.0 + j) * c.storage;
-        let accessing =
-            h * c.decoder + assoc * tag_bits * c.comparator + assoc * k * c.mux;
+        let accessing = h * c.decoder + assoc * tag_bits * c.comparator + assoc * k * c.mux;
         let updating = h * k * c.shifter + assoc * j * c.incrementor;
         storage + accessing + updating
     }
@@ -199,8 +195,7 @@ impl CostModel {
     /// Panics if the geometry is invalid or `a + j < i`.
     #[must_use]
     pub fn pag_cost(&self, geometry: BhtGeometry, history_bits: u32, pattern_bits: u32) -> f64 {
-        self.pag_bht_term(geometry, history_bits)
-            + self.pht_simplified(history_bits, pattern_bits)
+        self.pag_bht_term(geometry, history_bits) + self.pht_simplified(history_bits, pattern_bits)
     }
 
     /// Simplified PAp cost (Equation 6): the PAg BHT term plus `h` pattern

@@ -22,7 +22,10 @@
 //!   caching ([`target_cache`]);
 //! * the Table 3 configuration notation ([`config::SchemeConfig`]), which
 //!   round-trips through `Display`/`FromStr` and builds any simulated
-//!   predictor.
+//!   predictor;
+//! * a process-wide [`registry`] of named builders for predictors outside
+//!   the catalog (e.g. [`schemes::Gshare`]), so the simulation engine can
+//!   execute them through the same job pipeline as Table 3 schemes.
 //!
 //! # Quick start
 //!
@@ -60,6 +63,7 @@ pub mod fxhash;
 pub mod history;
 pub mod pht;
 pub mod predictor;
+pub mod registry;
 pub mod schemes;
 pub mod speculative;
 pub mod target_cache;

@@ -129,12 +129,7 @@ impl BranchPredictor for Btb {
     }
 
     fn name(&self) -> String {
-        format!(
-            "BTB(BHT({},{},{}),)",
-            self.slots.len(),
-            self.ways,
-            self.automaton
-        )
+        format!("BTB(BHT({},{},{}),)", self.slots.len(), self.ways, self.automaton)
     }
 }
 

@@ -55,9 +55,7 @@ impl Gag {
     #[must_use]
     pub fn new(history_bits: u32, automaton: Automaton) -> Self {
         let pht = PatternHistoryTable::new(history_bits, automaton);
-        let label = format!(
-            "GAg(HR(1,,{history_bits}-sr),1xPHT(2^{history_bits},{automaton}))"
-        );
+        let label = format!("GAg(HR(1,,{history_bits}-sr),1xPHT(2^{history_bits},{automaton}))");
         Gag::with_pht(pht, label)
     }
 

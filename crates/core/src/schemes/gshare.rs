@@ -107,8 +107,7 @@ mod tests {
 
     #[test]
     fn learns_a_repeating_pattern_like_gag() {
-        let records: Vec<(u64, bool)> =
-            (0..600).map(|i| (0x100, i % 3 != 2)).collect();
+        let records: Vec<(u64, bool)> = (0..600).map(|i| (0x100, i % 3 != 2)).collect();
         let mut gshare = Gshare::new(8, Automaton::A2);
         let correct = run(&mut gshare, &records);
         assert!(correct > 560, "correct = {correct}");
@@ -128,10 +127,7 @@ mod tests {
         let mut gag = Gag::new(10, Automaton::A2);
         let gshare_correct = run(&mut gshare, &records);
         let gag_correct = run(&mut gag, &records);
-        assert!(
-            gshare_correct >= gag_correct,
-            "gshare {gshare_correct} vs GAg {gag_correct}"
-        );
+        assert!(gshare_correct >= gag_correct, "gshare {gshare_correct} vs GAg {gag_correct}");
         assert!(gshare_correct > 780, "gshare should be near perfect: {gshare_correct}");
     }
 

@@ -48,10 +48,8 @@ impl Pag {
     #[must_use]
     pub fn new(history_bits: u32, bht: BhtConfig, automaton: Automaton) -> Self {
         let pht = PatternHistoryTable::new(history_bits, automaton);
-        let label = format!(
-            "PAg({},1xPHT(2^{history_bits},{automaton}))",
-            bht_spec(bht, history_bits)
-        );
+        let label =
+            format!("PAg({},1xPHT(2^{history_bits},{automaton}))", bht_spec(bht, history_bits));
         Pag { bht: bht.build(history_bits), pht, label, flush_pht_on_switch: false }
     }
 
@@ -59,12 +57,7 @@ impl Pag {
     /// the assembly used by the PSg Static Training scheme.
     #[must_use]
     pub fn with_pht(bht: BhtConfig, pht: PatternHistoryTable, label: String) -> Self {
-        Pag {
-            bht: bht.build(pht.history_bits()),
-            pht,
-            label,
-            flush_pht_on_switch: false,
-        }
+        Pag { bht: bht.build(pht.history_bits()), pht, label, flush_pht_on_switch: false }
     }
 
     /// Ablation switch for Section 5.1.4's design decision: when enabled,
@@ -112,10 +105,7 @@ impl Pag {
     /// afterwards exactly as with `predict`.
     pub fn predict_diagnosed(&mut self, branch: &BranchRecord) -> PagDiagnostics {
         let bht_hit = self.bht.access(branch.pc);
-        let pattern = self
-            .bht
-            .pattern(branch.pc)
-            .expect("entry was just accessed or allocated");
+        let pattern = self.bht.pattern(branch.pc).expect("entry was just accessed or allocated");
         PagDiagnostics {
             predicted_taken: self.pht.predict(pattern),
             bht_hit,
@@ -137,10 +127,7 @@ pub(crate) fn bht_spec(bht: BhtConfig, history_bits: u32) -> String {
 impl BranchPredictor for Pag {
     fn predict(&mut self, branch: &BranchRecord) -> bool {
         self.bht.access(branch.pc);
-        let pattern = self
-            .bht
-            .pattern(branch.pc)
-            .expect("entry was just accessed or allocated");
+        let pattern = self.bht.pattern(branch.pc).expect("entry was just accessed or allocated");
         self.pht.predict(pattern)
     }
 

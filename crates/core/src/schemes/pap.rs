@@ -66,10 +66,9 @@ impl Pap {
         let table = bht.build(history_bits);
         let tables = match bht {
             BhtConfig::Ideal => PapTables::PerBranch(FxHashMap::default()),
-            BhtConfig::Cache { entries, .. } => PapTables::PerSlot(vec![
-                    PatternHistoryTable::new(history_bits, automaton);
-                    entries
-                ]),
+            BhtConfig::Cache { entries, .. } => {
+                PapTables::PerSlot(vec![PatternHistoryTable::new(history_bits, automaton); entries])
+            }
         };
         let set_size = match bht {
             BhtConfig::Ideal => "inf".to_owned(),
@@ -102,15 +101,12 @@ impl Pap {
         let automaton = self.automaton;
         match &mut self.tables {
             PapTables::PerSlot(tables) => {
-                let slot = self
-                    .bht
-                    .slot_of(pc)
-                    .expect("cache BHT entry resident after access");
+                let slot = self.bht.slot_of(pc).expect("cache BHT entry resident after access");
                 &mut tables[slot]
             }
-            PapTables::PerBranch(map) => map
-                .entry(pc)
-                .or_insert_with(|| PatternHistoryTable::new(history_bits, automaton)),
+            PapTables::PerBranch(map) => {
+                map.entry(pc).or_insert_with(|| PatternHistoryTable::new(history_bits, automaton))
+            }
         }
     }
 }
@@ -228,7 +224,7 @@ mod tests {
         let mut pap = Pap::new(2, BhtConfig::Cache { entries: 4, ways: 1 }, Automaton::LastTime);
         let a = branch(0, false, 1); // set 0
         let conflicting = branch(4 * 4, true, 2); // also set 0
-        // Train pattern 0b11 (fresh all-ones history) to "not taken" via A.
+                                                  // Train pattern 0b11 (fresh all-ones history) to "not taken" via A.
         pap.predict(&a);
         pap.update(&a);
         // B evicts A; fresh history = 0b11 again; its prediction comes from

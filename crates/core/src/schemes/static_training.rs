@@ -47,11 +47,7 @@ pub struct PresetTable {
 impl PresetTable {
     fn new(history_bits: u32) -> Self {
         let entries = 1usize << history_bits;
-        PresetTable {
-            history_bits,
-            taken_counts: vec![0; entries],
-            total_counts: vec![0; entries],
-        }
+        PresetTable { history_bits, taken_counts: vec![0; entries], total_counts: vec![0; entries] }
     }
 
     fn record(&mut self, pattern: usize, taken: bool) {

@@ -206,15 +206,11 @@ impl BranchPredictor for SpeculativeGag {
             HistoryUpdatePolicy::Speculative { delay, repair: MispredictRepair::Repair } => {
                 format!("spec-repair/{delay}")
             }
-            HistoryUpdatePolicy::Speculative {
-                delay,
-                repair: MispredictRepair::Reinitialize,
-            } => format!("spec-reinit/{delay}"),
+            HistoryUpdatePolicy::Speculative { delay, repair: MispredictRepair::Reinitialize } => {
+                format!("spec-reinit/{delay}")
+            }
         };
-        format!(
-            "GAg(HR(1,,{k}-sr),1xPHT(2^{k},{}),{policy})",
-            self.pht.automaton()
-        )
+        format!("GAg(HR(1,,{k}-sr),1xPHT(2^{k},{}),{policy})", self.pht.automaton())
     }
 }
 
@@ -245,20 +241,14 @@ mod tests {
         let policies = [
             HistoryUpdatePolicy::OnResolve { delay: 0 },
             HistoryUpdatePolicy::Speculative { delay: 0, repair: MispredictRepair::Repair },
-            HistoryUpdatePolicy::Speculative {
-                delay: 0,
-                repair: MispredictRepair::Reinitialize,
-            },
+            HistoryUpdatePolicy::Speculative { delay: 0, repair: MispredictRepair::Reinitialize },
         ];
         let mut reference = Gag::new(8, Automaton::A2);
         let expected = accuracy(&mut reference, &trace, 0);
         for policy in policies {
             let mut p = SpeculativeGag::new(8, Automaton::A2, policy);
             let got = accuracy(&mut p, &trace, 0);
-            assert!(
-                (got - expected).abs() < 1e-12,
-                "{policy:?}: {got} vs plain {expected}"
-            );
+            assert!((got - expected).abs() < 1e-12, "{policy:?}: {got} vs plain {expected}");
         }
     }
 

@@ -112,7 +112,13 @@ impl TargetCache {
         let sets = entries / ways;
         assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
         let empty = TargetSlot { valid: false, tag: 0, target: 0, last_used: 0 };
-        TargetCache { sets, ways, slots: vec![empty; entries], clock: 0, stats: TargetCacheStats::default() }
+        TargetCache {
+            sets,
+            ways,
+            slots: vec![empty; entries],
+            clock: 0,
+            stats: TargetCacheStats::default(),
+        }
     }
 
     fn set_index(&self, pc: u64) -> usize {
@@ -240,15 +246,9 @@ mod tests {
         let mut cache = TargetCache::new(64, 4);
         let b = not_taken(0x40);
         cache.resolve(&b);
-        assert_eq!(
-            cache.fetch(&b, false),
-            FetchOutcome::HitFallThrough { correct: true }
-        );
+        assert_eq!(cache.fetch(&b, false), FetchOutcome::HitFallThrough { correct: true });
         let b_taken = taken(0x40, 0x100);
-        assert_eq!(
-            cache.fetch(&b_taken, false),
-            FetchOutcome::HitFallThrough { correct: false }
-        );
+        assert_eq!(cache.fetch(&b_taken, false), FetchOutcome::HitFallThrough { correct: false });
     }
 
     #[test]

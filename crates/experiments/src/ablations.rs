@@ -2,12 +2,15 @@
 
 use tlabp_core::automaton::Automaton;
 use tlabp_core::bht::BhtConfig;
+use tlabp_core::config::SchemeConfig;
+use tlabp_core::registry;
 use tlabp_core::schemes::Pag;
 use tlabp_core::speculative::{HistoryUpdatePolicy, MispredictRepair, SpeculativeGag};
+use tlabp_sim::engine::execute;
+use tlabp_sim::plan::{Job, Plan};
 use tlabp_sim::report::Table;
-use tlabp_sim::runner::{simulate, simulate_packed, SimConfig};
-use tlabp_sim::SweepPool;
-use tlabp_workloads::{Benchmark, DataSet};
+use tlabp_sim::runner::SimConfig;
+use tlabp_workloads::Benchmark;
 
 use crate::Ctx;
 
@@ -16,10 +19,11 @@ use crate::Ctx;
 /// most because every branch shares the history register).
 pub fn ablation_speculative(ctx: &Ctx) {
     const BENCHMARKS: [&str; 3] = ["eqntott", "gcc", "tomcatv"];
-    let benchmarks = BENCHMARKS;
+    let benchmarks: Vec<&'static Benchmark> =
+        BENCHMARKS.iter().map(|name| Benchmark::by_name(name).expect("known benchmark")).collect();
     let mut table = Table::new(
         std::iter::once("policy".to_owned())
-            .chain(benchmarks.iter().map(|b| (*b).to_owned()))
+            .chain(BENCHMARKS.iter().map(|b| (*b).to_owned()))
             .collect(),
     );
 
@@ -27,16 +31,10 @@ pub fn ablation_speculative(ctx: &Ctx) {
         .iter()
         .flat_map(|&delay| {
             [
-                (
-                    format!("stale history, depth {delay}"),
-                    HistoryUpdatePolicy::OnResolve { delay },
-                ),
+                (format!("stale history, depth {delay}"), HistoryUpdatePolicy::OnResolve { delay }),
                 (
                     format!("speculative+repair, depth {delay}"),
-                    HistoryUpdatePolicy::Speculative {
-                        delay,
-                        repair: MispredictRepair::Repair,
-                    },
+                    HistoryUpdatePolicy::Speculative { delay, repair: MispredictRepair::Repair },
                 ),
                 (
                     format!("speculative+reinit, depth {delay}"),
@@ -49,26 +47,23 @@ pub fn ablation_speculative(ctx: &Ctx) {
         })
         .collect();
 
-    // A (policy × benchmark) cell matrix on the sweep pool.
-    let cells = policies.iter().flat_map(|(_, policy)| {
-        BENCHMARKS.iter().map(|benchmark| {
-            let policy = *policy;
-            let store = ctx.store().clone();
-            move || {
-                let packed = store.get_packed(
-                    Benchmark::by_name(benchmark).expect("known benchmark"),
-                    DataSet::Testing,
-                );
-                let mut predictor = SpeculativeGag::new(12, Automaton::A2, policy);
-                let result = simulate_packed(&mut predictor, &packed);
-                format!("{:.2}", 100.0 * result.accuracy())
-            }
+    // SpeculativeGag lives outside the Table 3 catalog: each policy
+    // variant registers a builder once, then the whole (policy ×
+    // benchmark) matrix is one plan.
+    for (name, policy) in &policies {
+        let policy = *policy;
+        registry::register(name, move || Box::new(SpeculativeGag::new(12, Automaton::A2, policy)));
+    }
+    let plan: Plan = policies
+        .iter()
+        .flat_map(|(name, _)| {
+            benchmarks.iter().map(move |&benchmark| Job::custom(name.clone(), benchmark))
         })
-    });
-    let accuracies = SweepPool::global().run(cells);
+        .collect();
+    let accuracies = execute(&plan, ctx.store()).accuracies();
     for ((name, _), row) in policies.iter().zip(accuracies.chunks(benchmarks.len())) {
         let mut cells = vec![name.clone()];
-        cells.extend_from_slice(row);
+        cells.extend(row.iter().map(|a| format!("{:.2}", 100.0 * a.expect("measurable"))));
         table.push_row(cells);
     }
     ctx.emit(
@@ -87,22 +82,28 @@ pub fn ablation_flush_pht(ctx: &Ctx) {
         "flush PHT too %".into(),
         "cost of flushing (points)".into(),
     ]);
-    // Context switches need the full trace (traps and instruction
-    // counts), so these pool cells use the unpacked simulation loop.
-    let cells = Benchmark::ALL.iter().flat_map(|benchmark| {
-        [false, true].map(|flush| {
-            let store = ctx.store().clone();
-            move || {
-                let trace = store.get(benchmark, DataSet::Testing);
-                let mut p = Pag::new(12, BhtConfig::PAPER_DEFAULT, Automaton::A2);
-                p.set_flush_pht_on_context_switch(flush);
-                simulate(&mut p, &trace, &SimConfig::paper_context_switch()).accuracy()
-            }
-        })
+    // The flush variant is a modified PAg outside the catalog; the keep
+    // variant is plain PAg(12). Both jobs simulate the paper's
+    // context-switch model, which the engine lowers onto the full-trace
+    // path (the packed stream has no traps or instruction counts).
+    registry::register("PAg(12)+flushPHT", || {
+        let mut p = Pag::new(12, BhtConfig::PAPER_DEFAULT, Automaton::A2);
+        p.set_flush_pht_on_context_switch(true);
+        Box::new(p)
     });
-    let accuracies = SweepPool::global().run(cells);
+    let sim = SimConfig::paper_context_switch();
+    let plan: Plan = Benchmark::ALL
+        .iter()
+        .flat_map(|benchmark| {
+            [
+                Job::scheme(SchemeConfig::pag(12), benchmark).with_sim(sim),
+                Job::custom("PAg(12)+flushPHT", benchmark).with_sim(sim),
+            ]
+        })
+        .collect();
+    let accuracies = execute(&plan, ctx.store()).accuracies();
     for (benchmark, pair) in Benchmark::ALL.iter().zip(accuracies.chunks(2)) {
-        let (keep, flush) = (pair[0], pair[1]);
+        let (keep, flush) = (pair[0].expect("measurable"), pair[1].expect("measurable"));
         table.push_row(vec![
             benchmark.name().into(),
             format!("{:.2}", 100.0 * keep),

@@ -4,34 +4,21 @@
 //! accuracy figures are not good enough ... We are examining that 3
 //! percent to try to characterize it and hopefully reduce it." This
 //! artifact performs that examination for PAg(12): every misprediction is
-//! attributed to one of three causes visible in the predictor's state at
-//! prediction time.
+//! attributed to one of the causes visible in the predictor's state at
+//! prediction time. The attribution loop itself lives in the execution
+//! engine ([`MetricSet::miss_breakdown`]); this driver only declares the
+//! plan and formats the buckets.
+//!
+//! [`MetricSet::miss_breakdown`]: tlabp_sim::plan::MetricSet
 
-use tlabp_core::automaton::Automaton;
-use tlabp_core::bht::BhtConfig;
-use tlabp_core::predictor::BranchPredictor;
-use tlabp_core::schemes::Pag;
+use tlabp_core::config::SchemeConfig;
+use tlabp_sim::engine::execute;
+use tlabp_sim::metrics::MissBreakdown;
+use tlabp_sim::plan::{Job, MetricSet, Plan};
 use tlabp_sim::report::Table;
-use tlabp_workloads::{Benchmark, DataSet};
+use tlabp_workloads::Benchmark;
 
 use crate::Ctx;
-
-#[derive(Default)]
-struct MissBuckets {
-    /// The branch's history register was not resident: the prediction came
-    /// from a fresh all-ones history (cold start / BHT capacity).
-    bht_miss: u64,
-    /// The PHT entry was in a weak state (1 or 2): the pattern was still
-    /// training or oscillating.
-    weak_pattern: u64,
-    /// The PHT entry was saturated (0 or 3) yet wrong, and the entry's
-    /// most recent update came from a *different* static branch: pattern
-    /// interference — the component gshare later attacked.
-    interference: u64,
-    /// Saturated yet wrong with the entry last updated by this same
-    /// branch: intrinsic data-dependent noise.
-    noise: u64,
-}
 
 /// Characterize the residual mispredictions of PAg(12) per benchmark.
 pub fn analysis(ctx: &Ctx) {
@@ -45,63 +32,39 @@ pub fn analysis(ctx: &Ctx) {
         "intrinsic noise %".into(),
     ]);
 
-    let mut total = MissBuckets::default();
+    let metrics = MetricSet { miss_breakdown: true, fetch: None };
+    let plan: Plan = Benchmark::ALL
+        .iter()
+        .map(|benchmark| Job::scheme(SchemeConfig::pag(12), benchmark).with_metrics(metrics))
+        .collect();
+    let results = execute(&plan, ctx.store());
+
+    let mut total = MissBreakdown::default();
     let mut total_mispredictions = 0u64;
     let mut total_predictions = 0u64;
-    for benchmark in &Benchmark::ALL {
-        let trace = ctx.store().get(benchmark, DataSet::Testing);
-        let mut predictor = Pag::new(12, BhtConfig::PAPER_DEFAULT, Automaton::A2);
-        let mut buckets = MissBuckets::default();
-        let mut mispredictions = 0u64;
-        let mut predictions = 0u64;
-        // Shadow of the global PHT: which static branch last updated each
-        // entry (for interference attribution).
-        let mut last_writer: Vec<Option<u64>> = vec![None; 1 << 12];
-        for branch in trace.conditional_branches() {
-            let diagnostics = predictor.predict_diagnosed(branch);
-            predictor.update(branch);
-            predictions += 1;
-            if diagnostics.predicted_taken != branch.taken {
-                mispredictions += 1;
-                if !diagnostics.bht_hit {
-                    buckets.bht_miss += 1;
-                } else if matches!(diagnostics.pattern_state.value(), 1 | 2) {
-                    buckets.weak_pattern += 1;
-                } else if last_writer[diagnostics.pattern]
-                    .is_some_and(|writer| writer != branch.pc)
-                {
-                    buckets.interference += 1;
-                } else {
-                    buckets.noise += 1;
-                }
-            }
-            last_writer[diagnostics.pattern] = Some(branch.pc);
-        }
+    for (job, outcome) in &results {
+        let measured = outcome.metrics().expect("PAg runs everywhere");
+        let buckets = measured.miss_breakdown.expect("PAg yields a breakdown");
+        let mispredictions = measured.sim.predictions - measured.sim.correct;
         let pct = |n: u64| format!("{:.1}", 100.0 * n as f64 / mispredictions.max(1) as f64);
         table.push_row(vec![
-            benchmark.name().into(),
+            job.trace.benchmark.name().into(),
             mispredictions.to_string(),
-            format!("{:.2}", 100.0 * mispredictions as f64 / predictions.max(1) as f64),
+            format!("{:.2}", 100.0 * measured.sim.miss_rate()),
             pct(buckets.bht_miss),
             pct(buckets.weak_pattern),
             pct(buckets.interference),
             pct(buckets.noise),
         ]);
-        total.bht_miss += buckets.bht_miss;
-        total.weak_pattern += buckets.weak_pattern;
-        total.interference += buckets.interference;
-        total.noise += buckets.noise;
+        total.accumulate(&buckets);
         total_mispredictions += mispredictions;
-        total_predictions += predictions;
+        total_predictions += measured.sim.predictions;
     }
     let pct = |n: u64| format!("{:.1}", 100.0 * n as f64 / total_mispredictions.max(1) as f64);
     table.push_row(vec![
         "TOTAL".into(),
         total_mispredictions.to_string(),
-        format!(
-            "{:.2}",
-            100.0 * total_mispredictions as f64 / total_predictions.max(1) as f64
-        ),
+        format!("{:.2}", 100.0 * total_mispredictions as f64 / total_predictions.max(1) as f64),
         pct(total.bht_miss),
         pct(total.weak_pattern),
         pct(total.interference),
@@ -113,9 +76,10 @@ pub fn analysis(ctx: &Ctx) {
         &table,
     );
 
-    // Sanity footer: the sum of buckets must equal the misprediction count.
+    // Sanity footer: the sum of buckets must equal the misprediction count
+    // (the engine asserts this per benchmark; re-check the totals here).
     assert_eq!(
-        total.bht_miss + total.weak_pattern + total.interference + total.noise,
+        total.total(),
         total_mispredictions,
         "every misprediction is classified exactly once"
     );

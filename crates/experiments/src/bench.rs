@@ -1,14 +1,16 @@
-//! Throughput harness: sequential baseline vs the sweep engine.
+//! Throughput harness: reference baseline vs the engine's fast path.
 //!
 //! Not a paper artifact. Measures the full-suite PAg(12) evaluation —
-//! the workhorse configuration of Figures 5–11 — two ways:
+//! the workhorse configuration of Figures 5–11 — two ways, both as plans
+//! on the execution engine:
 //!
-//! * **sequential** — the pre-sweep code path: one boxed
+//! * **reference** — each job forced onto the reference path (one boxed
 //!   `dyn BranchPredictor` per benchmark, the event-dispatching
-//!   simulation loop over the full trace, one benchmark after another
-//!   on the calling thread;
-//! * **sweep** — `run_sweep` on the persistent worker pool, which takes
-//!   the monomorphized packed-conditional fast path per cell.
+//!   simulation loop over the full trace), executed on a one-worker pool
+//!   so cells run strictly one after another: the pre-sweep code path;
+//! * **engine** — the same plan lowered normally, which takes the
+//!   monomorphized packed-conditional fast path per cell on the global
+//!   worker pool.
 //!
 //! Both runs start from warmed trace caches, so the numbers compare
 //! simulation throughput, not VM trace generation. Results print as a
@@ -19,9 +21,9 @@
 use std::time::Instant;
 
 use tlabp_core::config::SchemeConfig;
+use tlabp_sim::engine::{execute, execute_on};
+use tlabp_sim::plan::{Job, Plan};
 use tlabp_sim::report::Table;
-use tlabp_sim::runner::{simulate, SimConfig};
-use tlabp_sim::sweep::run_sweep;
 use tlabp_sim::SweepPool;
 use tlabp_workloads::{Benchmark, DataSet};
 
@@ -41,7 +43,6 @@ fn best_of(n: u32, mut body: impl FnMut()) -> f64 {
 /// `cargo run -p tlabp-experiments --release -- bench`
 pub fn bench(ctx: &Ctx) {
     let config = SchemeConfig::pag(12);
-    let sim = SimConfig::no_context_switch();
     let iterations = 3;
 
     // Warm every cache both modes touch.
@@ -49,21 +50,24 @@ pub fn bench(ctx: &Ctx) {
     let mut total_conditionals = 0u64;
     for benchmark in &Benchmark::ALL {
         total_events += ctx.store().get(benchmark, DataSet::Testing).len() as u64;
-        total_conditionals +=
-            ctx.store().get_packed(benchmark, DataSet::Testing).len() as u64;
+        total_conditionals += ctx.store().get_packed(benchmark, DataSet::Testing).len() as u64;
     }
 
+    let fast_plan: Plan =
+        Benchmark::ALL.iter().map(|benchmark| Job::scheme(config, benchmark)).collect();
+    let reference_plan: Plan = Benchmark::ALL
+        .iter()
+        .map(|benchmark| Job::scheme(config, benchmark).with_reference_path(true))
+        .collect();
+
+    let sequential_pool = SweepPool::new(1);
     let sequential_secs = best_of(iterations, || {
-        for benchmark in &Benchmark::ALL {
-            let mut predictor = config.build().expect("PAg builds");
-            let trace = ctx.store().get(benchmark, DataSet::Testing);
-            let result = simulate(&mut *predictor, &trace, &sim);
-            assert!(result.predictions > 0);
-        }
+        let results = execute_on(&sequential_pool, &reference_plan, ctx.store());
+        assert!(results.iter().all(|(_, o)| o.accuracy().is_some()));
     });
     let sweep_secs = best_of(iterations, || {
-        let suites = run_sweep(std::slice::from_ref(&config), ctx.store(), &sim);
-        assert_eq!(suites.len(), 1);
+        let results = execute(&fast_plan, ctx.store());
+        assert_eq!(results.len(), Benchmark::ALL.len());
     });
 
     let seq_eps = total_events as f64 / sequential_secs;

@@ -8,15 +8,17 @@
 //! predictor with a 4-way 512-entry target cache over *every* branch
 //! class (conditional, unconditional, call, return) and reports how often
 //! the fetch engine proceeds down the correct path with the target in
-//! hand.
+//! hand. The fetch loop itself lives in the execution engine
+//! ([`MetricSet::fetch`]); this driver only declares the plan and formats
+//! the counters.
+//!
+//! [`MetricSet::fetch`]: tlabp_sim::plan::MetricSet
 
-use tlabp_core::automaton::Automaton;
-use tlabp_core::bht::BhtConfig;
-use tlabp_core::predictor::BranchPredictor;
-use tlabp_core::schemes::Pag;
-use tlabp_core::target_cache::{FetchOutcome, TargetCache};
+use tlabp_core::config::SchemeConfig;
+use tlabp_sim::engine::execute;
+use tlabp_sim::plan::{Job, MetricSet, Plan, TargetCacheSpec};
 use tlabp_sim::report::Table;
-use tlabp_workloads::{Benchmark, DataSet};
+use tlabp_workloads::Benchmark;
 
 use crate::Ctx;
 
@@ -31,60 +33,24 @@ pub fn fetch(ctx: &Ctx) {
         "return-target misses %".into(),
     ]);
 
-    for benchmark in &Benchmark::ALL {
-        let trace = ctx.store().get(benchmark, DataSet::Testing);
-        let mut direction = Pag::new(12, BhtConfig::PAPER_DEFAULT, Automaton::A2);
-        let mut cache = TargetCache::new(512, 4);
+    let metrics = MetricSet { miss_breakdown: false, fetch: Some(TargetCacheSpec::PAPER_DEFAULT) };
+    let plan: Plan = Benchmark::ALL
+        .iter()
+        .map(|benchmark| Job::scheme(SchemeConfig::pag(12), benchmark).with_metrics(metrics))
+        .collect();
+    let results = execute(&plan, ctx.store());
 
-        let mut total = 0u64;
-        let mut correct_path = 0u64;
-        let mut no_bubble_taken = 0u64;
-        let mut squashes = 0u64;
-        let mut return_misses = 0u64;
-        for branch in trace.branches() {
-            // Direction: conditional branches consult the predictor;
-            // everything else is architecturally taken.
-            let predicted_taken = if branch.class.is_conditional() {
-                let predicted = direction.predict(branch);
-                direction.update(branch);
-                predicted
-            } else {
-                true
-            };
-            let outcome = cache.fetch(branch, predicted_taken);
-            cache.resolve(branch);
-
-            total += 1;
-            correct_path += u64::from(outcome.is_correct_path());
-            match outcome {
-                FetchOutcome::HitCorrectTarget => no_bubble_taken += 1,
-                FetchOutcome::HitWrongPath => {
-                    squashes += 1;
-                    // Returns are the class whose target moves between
-                    // executions (different call sites) — the classic
-                    // motivation for return-address stacks.
-                    if branch.class == tlabp_trace::BranchClass::Return {
-                        return_misses += 1;
-                    }
-                }
-                FetchOutcome::HitFallThrough { correct } | FetchOutcome::Miss { correct } => {
-                    squashes += u64::from(!correct);
-                }
-            }
-        }
-        let pct = |n: u64| format!("{:.2}", 100.0 * n as f64 / total.max(1) as f64);
+    for (job, outcome) in &results {
+        let stats = outcome.metrics().and_then(|m| m.fetch).expect("fetch stats requested");
+        let pct = |n: u64| format!("{:.2}", 100.0 * n as f64 / stats.branches.max(1) as f64);
         table.push_row(vec![
-            benchmark.name().into(),
-            total.to_string(),
-            pct(correct_path),
-            pct(no_bubble_taken),
-            pct(squashes),
-            pct(return_misses),
+            job.trace.benchmark.name().into(),
+            stats.branches.to_string(),
+            pct(stats.correct_path),
+            pct(stats.no_bubble_taken),
+            pct(stats.squashes),
+            pct(stats.return_target_misses),
         ]);
     }
-    ctx.emit(
-        "fetch",
-        "Section 3.2: fetch-path outcomes with target address caching",
-        &table,
-    );
+    ctx.emit("fetch", "Section 3.2: fetch-path outcomes with target address caching", &table);
 }

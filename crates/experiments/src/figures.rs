@@ -4,22 +4,22 @@ use tlabp_core::automaton::Automaton;
 use tlabp_core::bht::BhtConfig;
 use tlabp_core::config::SchemeConfig;
 use tlabp_core::cost::CostModel;
+use tlabp_sim::engine::execute;
+use tlabp_sim::plan::{Job, Plan};
 use tlabp_sim::report::{format_accuracy, suite_table, Table};
 use tlabp_sim::runner::SimConfig;
-use tlabp_sim::sweep::run_sweep;
-use tlabp_sim::{SuiteResult, SweepPool};
+use tlabp_sim::SuiteResult;
 use tlabp_trace::stats::BranchMix;
 use tlabp_trace::BranchClass;
 use tlabp_workloads::{Benchmark, DataSet};
 
 use crate::Ctx;
 
-/// All figure drivers hand their whole configuration list to the sweep
-/// engine in one call, so cells from every configuration share the
-/// worker pool instead of each `run_suite` parallelizing only its own
-/// nine benchmarks.
+/// All figure drivers express their whole configuration matrix as one
+/// [`Plan`] handed to the execution engine in a single call, so cells
+/// from every configuration share the worker pool.
 fn run_many(ctx: &Ctx, configs: &[SchemeConfig], sim: &SimConfig) -> Vec<SuiteResult> {
-    run_sweep(configs, ctx.store(), sim)
+    execute(&Plan::suites(configs, sim), ctx.store()).suites()
 }
 
 /// Figure 4: distribution of dynamic branch instructions by class.
@@ -48,10 +48,8 @@ pub fn fig4(ctx: &Ctx) {
 
 /// Figure 5: PAg(BHT(512,4,12-sr)) under each pattern automaton.
 pub fn fig5(ctx: &Ctx) {
-    let configs: Vec<SchemeConfig> = Automaton::FIGURE5
-        .iter()
-        .map(|&a| SchemeConfig::pag(12).with_automaton(a))
-        .collect();
+    let configs: Vec<SchemeConfig> =
+        Automaton::FIGURE5.iter().map(|&a| SchemeConfig::pag(12).with_automaton(a)).collect();
     let results = run_many(ctx, &configs, &SimConfig::no_context_switch());
     let table = suite_table(&results);
     ctx.emit("fig5", "Figure 5: effect of the pattern history automaton", &table);
@@ -72,8 +70,7 @@ pub fn fig6(ctx: &Ctx) {
 
 /// Figure 7: GAg accuracy as the global history register lengthens.
 pub fn fig7(ctx: &Ctx) {
-    let configs: Vec<SchemeConfig> =
-        (6..=18).step_by(2).map(SchemeConfig::gag).collect();
+    let configs: Vec<SchemeConfig> = (6..=18).step_by(2).map(SchemeConfig::gag).collect();
     let results = run_many(ctx, &configs, &SimConfig::no_context_switch());
     let table = suite_table(&results);
     ctx.emit("fig7", "Figure 7: effect of history register length on GAg", &table);
@@ -85,11 +82,7 @@ pub fn fig8(ctx: &Ctx) {
     // The paper's triple is GAg(18)/PAg(12)/PAp(6); with our workloads'
     // loop periods, PAp needs 8 history bits to reach the same band (see
     // EXPERIMENTS.md).
-    let configs = [
-        SchemeConfig::gag(18),
-        SchemeConfig::pag(12),
-        SchemeConfig::pap(8),
-    ];
+    let configs = [SchemeConfig::gag(18), SchemeConfig::pag(12), SchemeConfig::pap(8)];
     let results = run_many(ctx, &configs, &SimConfig::no_context_switch());
     let mut table = suite_table(&results);
     ctx.emit("fig8", "Figure 8: equal-accuracy configurations", &table);
@@ -113,18 +106,12 @@ pub fn fig8(ctx: &Ctx) {
 /// Figure 9: effect of context switches on the three ~equal-accuracy
 /// schemes.
 pub fn fig9(ctx: &Ctx) {
-    let bases = [
-        SchemeConfig::gag(18),
-        SchemeConfig::pag(12),
-        SchemeConfig::pap(8),
-    ];
+    let bases = [SchemeConfig::gag(18), SchemeConfig::pag(12), SchemeConfig::pap(8)];
     // One sweep over the interleaved (no-CS, with-CS) pairs: the sweep
     // cell honors each config's own `c` flag, so the plain configs run
     // without context switches and the flagged ones with the paper model.
-    let configs: Vec<SchemeConfig> = bases
-        .iter()
-        .flat_map(|base| [*base, base.with_context_switch(true)])
-        .collect();
+    let configs: Vec<SchemeConfig> =
+        bases.iter().flat_map(|base| [*base, base.with_context_switch(true)]).collect();
     let results = run_many(ctx, &configs, &SimConfig::no_context_switch());
     let table = suite_table(&results);
     ctx.emit("fig9", "Figure 9: effect of context switches", &table);
@@ -185,8 +172,16 @@ pub fn fig11(ctx: &Ctx) {
 /// global-table interference the paper's conclusion identifies ("we are
 /// examining that 3 percent"). Compare it with GAg at equal table sizes.
 pub fn extensions(ctx: &Ctx) {
-    use tlabp_core::schemes::{Gag, Gshare};
-    use tlabp_sim::runner::simulate_packed;
+    use tlabp_core::registry;
+    use tlabp_core::schemes::Gshare;
+
+    // gshare lives outside the Table 3 catalog, so it enters the engine
+    // through the predictor registry rather than a SchemeConfig.
+    for bits in [12u32, 16] {
+        registry::register(&format!("gshare({bits})"), move || {
+            Box::new(Gshare::new(bits, Automaton::A2))
+        });
+    }
 
     let mut table = Table::new(vec![
         "benchmark".into(),
@@ -195,29 +190,25 @@ pub fn extensions(ctx: &Ctx) {
         "GAg(16) %".into(),
         "gshare(16) %".into(),
     ]);
-    // A flat (benchmark × variant) matrix on the sweep pool; the gshare
-    // scheme lives outside SchemeConfig, so the cells build their own
-    // predictors instead of going through run_sweep.
+    // A flat benchmark-major (benchmark × variant) plan.
     let variants = 4usize;
-    let cells = Benchmark::ALL.iter().flat_map(|benchmark| {
-        (0..variants).map(move |variant| {
-            let store = ctx.store().clone();
-            move || {
-                let packed = store.get_packed(benchmark, DataSet::Testing);
-                let result = match variant {
-                    0 => simulate_packed(&mut Gag::new(12, Automaton::A2), &packed),
-                    1 => simulate_packed(&mut Gshare::new(12, Automaton::A2), &packed),
-                    2 => simulate_packed(&mut Gag::new(16, Automaton::A2), &packed),
-                    _ => simulate_packed(&mut Gshare::new(16, Automaton::A2), &packed),
-                };
-                format!("{:.2}", 100.0 * result.accuracy())
-            }
+    let plan: Plan = Benchmark::ALL
+        .iter()
+        .flat_map(|benchmark| {
+            [
+                Job::scheme(SchemeConfig::gag(12), benchmark),
+                Job::custom("gshare(12)", benchmark),
+                Job::scheme(SchemeConfig::gag(16), benchmark),
+                Job::custom("gshare(16)", benchmark),
+            ]
         })
-    });
-    let accuracies = SweepPool::global().run(cells);
+        .collect();
+    let accuracies = execute(&plan, ctx.store()).accuracies();
     for (benchmark, row) in Benchmark::ALL.iter().zip(accuracies.chunks(variants)) {
         let mut cells = vec![benchmark.name().to_owned()];
-        cells.extend_from_slice(row);
+        cells.extend(
+            row.iter().map(|a| format!("{:.2}", 100.0 * a.expect("all variants measurable"))),
+        );
         table.push_row(cells);
     }
     ctx.emit(

@@ -2,27 +2,13 @@
 //!
 //! ```text
 //! experiments <artifact> [--out DIR]
-//!
-//! artifacts:
-//!   table1   static conditional branches per benchmark (Table 1)
-//!   table2   training/testing data sets (Table 2)
-//!   table3   simulated predictor configurations (Table 3)
-//!   fig4     distribution of dynamic branch classes (Figure 4)
-//!   fig5     PAg with automata LT/A1/A2/A3/A4 (Figure 5)
-//!   fig6     GAg vs PAg vs PAp at equal history length (Figure 6)
-//!   fig7     GAg history-length sweep (Figure 7)
-//!   fig8     the ~97% configurations and their hardware costs (Figure 8)
-//!   fig9     context-switch effect (Figure 9)
-//!   fig10    BHT implementation effect on PAg (Figure 10)
-//!   fig11    comparison of all prediction schemes (Figure 11)
-//!   costs      cost-model curves (Equations 4-6)
-//!   ablations  design-choice ablations (speculative history, PHT flush)
-//!   extensions gshare vs GAg (beyond the paper)
-//!   analysis   misprediction characterization ("examining that 3 percent")
-//!   fetch      Section 3.2 fetch-path outcomes with target caching
-//!   bench      sweep-engine throughput vs the sequential baseline
-//!   all        everything above (except bench and calibrate)
 //! ```
+//!
+//! Run `experiments --help` for the artifact list — it is generated from
+//! the single [`ARTIFACTS`] registry, which is the only place an
+//! artifact's name, description and runner are declared. `all` iterates
+//! the same registry (skipping the artifacts marked as not part of the
+//! paper reproduction: `bench` and `calibrate`).
 //!
 //! Each artifact prints an ASCII table and writes `results/<name>.csv`.
 
@@ -83,27 +69,54 @@ impl Ctx {
     }
 }
 
-type Artifact = (&'static str, fn(&Ctx));
+/// One registered artifact: its CLI name, a one-line description for the
+/// usage text, the runner, and whether `all` includes it.
+struct Artifact {
+    name: &'static str,
+    description: &'static str,
+    run: fn(&Ctx),
+    /// `false` for helper artifacts outside the paper reproduction
+    /// (throughput benchmarking, calibration); `all` skips those.
+    in_all: bool,
+}
 
+const fn artifact(name: &'static str, description: &'static str, run: fn(&Ctx)) -> Artifact {
+    Artifact { name, description, run, in_all: true }
+}
+
+const fn helper(name: &'static str, description: &'static str, run: fn(&Ctx)) -> Artifact {
+    Artifact { name, description, run, in_all: false }
+}
+
+/// The single registry every dispatch path reads: lookup by name, the
+/// `all` iteration and the usage text all come from this table.
 const ARTIFACTS: [Artifact; 18] = [
-    ("bench", bench::bench),
-    ("table1", tables::table1),
-    ("table2", tables::table2),
-    ("table3", tables::table3),
-    ("fig4", figures::fig4),
-    ("fig5", figures::fig5),
-    ("fig6", figures::fig6),
-    ("fig7", figures::fig7),
-    ("fig8", figures::fig8),
-    ("fig9", figures::fig9),
-    ("fig10", figures::fig10),
-    ("fig11", figures::fig11),
-    ("costs", tables::costs),
-    ("ablations", ablations::ablations),
-    ("extensions", figures::extensions),
-    ("analysis", analysis::analysis),
-    ("fetch", fetch::fetch),
-    ("calibrate", figures::calibrate),
+    artifact("table1", "static conditional branches per benchmark (Table 1)", tables::table1),
+    artifact("table2", "training/testing data sets (Table 2)", tables::table2),
+    artifact("table3", "simulated predictor configurations (Table 3)", tables::table3),
+    artifact("fig4", "distribution of dynamic branch classes (Figure 4)", figures::fig4),
+    artifact("fig5", "PAg with automata LT/A1/A2/A3/A4 (Figure 5)", figures::fig5),
+    artifact("fig6", "GAg vs PAg vs PAp at equal history length (Figure 6)", figures::fig6),
+    artifact("fig7", "GAg history-length sweep (Figure 7)", figures::fig7),
+    artifact("fig8", "the ~97% configurations and their hardware costs (Figure 8)", figures::fig8),
+    artifact("fig9", "context-switch effect (Figure 9)", figures::fig9),
+    artifact("fig10", "BHT implementation effect on PAg (Figure 10)", figures::fig10),
+    artifact("fig11", "comparison of all prediction schemes (Figure 11)", figures::fig11),
+    artifact("costs", "cost-model curves (Equations 4-6)", tables::costs),
+    artifact(
+        "ablations",
+        "design-choice ablations (speculative history, PHT flush)",
+        ablations::ablations,
+    ),
+    artifact("extensions", "gshare vs GAg (beyond the paper)", figures::extensions),
+    artifact(
+        "analysis",
+        "misprediction characterization (\"examining that 3 percent\")",
+        analysis::analysis,
+    ),
+    artifact("fetch", "Section 3.2 fetch-path outcomes with target caching", fetch::fetch),
+    helper("bench", "engine throughput vs the sequential reference baseline", bench::bench),
+    helper("calibrate", "quick accuracy readout for reference schemes", figures::calibrate),
 ];
 
 fn main() -> ExitCode {
@@ -139,17 +152,15 @@ fn main() -> ExitCode {
 
     let ctx = Ctx::new(out_dir);
     if artifact == "all" {
-        for (name, run) in
-            ARTIFACTS.iter().filter(|(n, _)| *n != "calibrate" && *n != "bench")
-        {
-            println!(">>> {name}");
-            run(&ctx);
+        for entry in ARTIFACTS.iter().filter(|a| a.in_all) {
+            println!(">>> {}", entry.name);
+            (entry.run)(&ctx);
         }
         return ExitCode::SUCCESS;
     }
-    match ARTIFACTS.iter().find(|(name, _)| *name == artifact) {
-        Some((_, run)) => {
-            run(&ctx);
+    match ARTIFACTS.iter().find(|a| a.name == artifact) {
+        Some(entry) => {
+            (entry.run)(&ctx);
             ExitCode::SUCCESS
         }
         None => {
@@ -162,5 +173,11 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     println!("usage: experiments <artifact> [--out DIR]");
-    println!("artifacts: all, {}", ARTIFACTS.map(|(n, _)| n).join(", "));
+    println!("artifacts:");
+    let width = ARTIFACTS.iter().map(|a| a.name.len()).max().unwrap_or(0);
+    for entry in &ARTIFACTS {
+        let suffix = if entry.in_all { "" } else { " [not in `all`]" };
+        println!("  {:width$}  {}{suffix}", entry.name, entry.description);
+    }
+    println!("  {:width$}  every artifact above marked as part of the reproduction", "all");
 }

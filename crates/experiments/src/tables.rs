@@ -91,9 +91,7 @@ pub fn table3(ctx: &Ctx) {
         let text = config.to_string();
         let round_trip = text.parse::<SchemeConfig>().map(|c| c == config);
         let (entries, ways) = match config.bht() {
-            Some(BhtConfig::Cache { entries, ways }) => {
-                (entries.to_string(), ways.to_string())
-            }
+            Some(BhtConfig::Cache { entries, ways }) => (entries.to_string(), ways.to_string()),
             Some(BhtConfig::Ideal) => ("inf".into(), "-".into()),
             None => ("1".into(), "-".into()),
         };
@@ -122,13 +120,9 @@ pub fn all_table3_configs() -> Vec<SchemeConfig> {
         SchemeConfig::pag(12).with_bht(BhtConfig::Cache { entries: 256, ways: 4 }),
         SchemeConfig::pag(12).with_bht(BhtConfig::Cache { entries: 512, ways: 1 }),
     ];
-    for automaton in [
-        Automaton::A1,
-        Automaton::A2,
-        Automaton::A3,
-        Automaton::A4,
-        Automaton::LastTime,
-    ] {
+    for automaton in
+        [Automaton::A1, Automaton::A2, Automaton::A3, Automaton::A4, Automaton::LastTime]
+    {
         configs.push(SchemeConfig::pag(12).with_automaton(automaton));
     }
     configs.extend([
@@ -165,11 +159,8 @@ pub fn costs(ctx: &Ctx) {
     }
     ctx.emit("costs", "Hardware cost curves (Equations 3-6)", &table);
 
-    let mut scaling = Table::new(vec![
-        "BHT entries".into(),
-        "PAg k=12 (eq. 5)".into(),
-        "PAp k=6 (eq. 6)".into(),
-    ]);
+    let mut scaling =
+        Table::new(vec!["BHT entries".into(), "PAg k=12 (eq. 5)".into(), "PAp k=6 (eq. 6)".into()]);
     for entries in [128usize, 256, 512, 1024, 2048] {
         let g = BhtGeometry { entries, ways: 4 };
         scaling.push_row(vec![

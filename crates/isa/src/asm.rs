@@ -90,29 +90,21 @@ fn parse_statement(
     let mut parts = text.splitn(2, char::is_whitespace);
     let mnemonic = parts.next().expect("statement is non-empty").to_lowercase();
     let operand_text = parts.next().unwrap_or("");
-    let operands: Vec<&str> = operand_text
-        .split(',')
-        .map(str::trim)
-        .filter(|s| !s.is_empty())
-        .collect();
+    let operands: Vec<&str> =
+        operand_text.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
 
     let expect = |n: usize| -> Result<(), ProgramError> {
         if operands.len() == n {
             Ok(())
         } else {
-            Err(syntax(format!(
-                "{mnemonic} expects {n} operand(s), found {}",
-                operands.len()
-            )))
+            Err(syntax(format!("{mnemonic} expects {n} operand(s), found {}", operands.len())))
         }
     };
     let reg = |s: &str| -> Result<Reg, ProgramError> {
         let digits = s
             .strip_prefix(['r', 'R'])
             .ok_or_else(|| syntax(format!("expected register, got {s:?}")))?;
-        let index: u8 = digits
-            .parse()
-            .map_err(|_| syntax(format!("bad register {s:?}")))?;
+        let index: u8 = digits.parse().map_err(|_| syntax(format!("bad register {s:?}")))?;
         if index >= Reg::COUNT {
             return Err(syntax(format!("register {s} out of range")));
         }
@@ -127,10 +119,7 @@ fn parse_statement(
         parsed.map_err(|_| syntax(format!("bad immediate {s:?}")))
     };
     let target = |s: &str| -> Result<usize, ProgramError> {
-        labels
-            .get(s)
-            .copied()
-            .ok_or_else(|| syntax(format!("unknown label {s:?}")))
+        labels.get(s).copied().ok_or_else(|| syntax(format!("unknown label {s:?}")))
     };
 
     let alu_op = |name: &str| -> Option<AluOp> {
@@ -163,7 +152,12 @@ fn parse_statement(
 
     if let Some(op) = alu_op(&mnemonic) {
         expect(3)?;
-        return Ok(Inst::Alu { op, rd: reg(operands[0])?, a: reg(operands[1])?, b: reg(operands[2])? });
+        return Ok(Inst::Alu {
+            op,
+            rd: reg(operands[0])?,
+            a: reg(operands[1])?,
+            b: reg(operands[2])?,
+        });
     }
     if let Some(op) = mnemonic.strip_suffix('i').and_then(alu_op) {
         expect(3)?;
@@ -263,10 +257,7 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let p = assemble(
-            "; a comment\n\n  # another\n  nop ; trailing\n  halt # done\n",
-        )
-        .unwrap();
+        let p = assemble("; a comment\n\n  # another\n  nop ; trailing\n  halt # done\n").unwrap();
         assert_eq!(p.len(), 2);
     }
 

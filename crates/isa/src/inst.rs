@@ -226,10 +226,7 @@ impl Inst {
     /// accounting).
     #[must_use]
     pub fn is_branch(&self) -> bool {
-        matches!(
-            self,
-            Inst::Branch { .. } | Inst::Jump { .. } | Inst::Call { .. } | Inst::Ret
-        )
+        matches!(self, Inst::Branch { .. } | Inst::Jump { .. } | Inst::Call { .. } | Inst::Ret)
     }
 }
 

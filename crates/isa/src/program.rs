@@ -180,11 +180,7 @@ impl ProgramBuilder {
     /// Panics if the label is already bound (builder misuse is a
     /// programming error, unlike assembling untrusted text).
     pub fn bind(&mut self, label: Label) {
-        assert!(
-            self.bound[label.0].is_none(),
-            "label {:?} bound twice",
-            self.label_names[label.0]
-        );
+        assert!(self.bound[label.0].is_none(), "label {:?} bound twice", self.label_names[label.0]);
         self.bound[label.0] = Some(self.instructions.len());
     }
 
@@ -300,9 +296,7 @@ impl ProgramBuilder {
     pub fn build(mut self) -> Result<Program, ProgramError> {
         for &(at, label) in &self.fixups {
             let Some(target) = self.bound[label.0] else {
-                return Err(ProgramError::UnboundLabel {
-                    name: self.label_names[label.0].clone(),
-                });
+                return Err(ProgramError::UnboundLabel { name: self.label_names[label.0].clone() });
             };
             match &mut self.instructions[at] {
                 Inst::Branch { target: t, .. }

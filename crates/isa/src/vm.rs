@@ -236,7 +236,10 @@ impl Vm {
     pub fn run(&mut self) -> Result<RunOutcome, VmError> {
         loop {
             if self.instret >= self.max_instructions {
-                return Ok(RunOutcome { stop: StopReason::InstructionLimit, instructions: self.instret });
+                return Ok(RunOutcome {
+                    stop: StopReason::InstructionLimit,
+                    instructions: self.instret,
+                });
             }
             let pc = self.pc;
             let Some(&inst) = self.program.instructions().get(pc) else {
@@ -295,10 +298,8 @@ impl Vm {
                     next_pc = target;
                 }
                 Inst::Ret => {
-                    let return_to = self
-                        .call_stack
-                        .pop()
-                        .ok_or(VmError::ReturnWithoutCall { pc })?;
+                    let return_to =
+                        self.call_stack.pop().ok_or(VmError::ReturnWithoutCall { pc })?;
                     self.trace.push(BranchRecord::unconditional(
                         Program::address_of(pc),
                         BranchClass::Return,
@@ -346,13 +347,11 @@ mod tests {
 
     #[test]
     fn arithmetic_and_registers() {
-        let (vm, _) = run(
-            "li r1, 6
+        let (vm, _) = run("li r1, 6
              li r2, 7
              mul r3, r1, r2
              subi r4, r3, 2
-             halt",
-        );
+             halt");
         assert_eq!(vm.reg(Reg::new(3)), 42);
         assert_eq!(vm.reg(Reg::new(4)), 40);
     }
@@ -365,26 +364,22 @@ mod tests {
 
     #[test]
     fn loads_and_stores() {
-        let (vm, _) = run(
-            "li r1, 100
+        let (vm, _) = run("li r1, 100
              li r2, 55
              st r2, r1, 4
              ld r3, r1, 4
-             halt",
-        );
+             halt");
         assert_eq!(vm.mem(104), 55);
         assert_eq!(vm.reg(Reg::new(3)), 55);
     }
 
     #[test]
     fn loop_emits_conditional_trace() {
-        let (vm, outcome) = run(
-            "       li  r1, 0
+        let (vm, outcome) = run("       li  r1, 0
                     li  r2, 5
              top:   addi r1, r1, 1
                     blt r1, r2, top
-                    halt",
-        );
+                    halt");
         assert_eq!(outcome.stop, StopReason::Halted);
         let trace = vm.into_trace();
         let dirs: Vec<bool> = trace.conditional_branches().map(|b| b.taken).collect();
@@ -395,12 +390,10 @@ mod tests {
 
     #[test]
     fn call_and_return_trace_classes() {
-        let (vm, _) = run(
-            "       call fn
+        let (vm, _) = run("       call fn
                     halt
              fn:    nop
-                    ret",
-        );
+                    ret");
         let trace = vm.into_trace();
         let classes: Vec<BranchClass> = trace.branches().map(|b| b.class).collect();
         assert_eq!(classes, vec![BranchClass::Call, BranchClass::Return]);
@@ -411,13 +404,11 @@ mod tests {
 
     #[test]
     fn nested_calls_unwind_correctly() {
-        let (vm, _) = run(
-            "       call a
+        let (vm, _) = run("       call a
                     halt
              a:     call b
                     ret
-             b:     ret",
-        );
+             b:     ret");
         assert_eq!(vm.reg(Reg::ZERO), 0); // reached halt without error
         let trace = vm.trace();
         assert_eq!(trace.branches().count(), 4);
@@ -478,14 +469,12 @@ mod tests {
 
     #[test]
     fn shift_operations() {
-        let (vm, _) = run(
-            "li r1, 1
+        let (vm, _) = run("li r1, 1
              li r2, 4
              shl r3, r1, r2
              li r4, -16
              shri r5, r4, 2
-             halt",
-        );
+             halt");
         assert_eq!(vm.reg(Reg::new(3)), 16);
         assert_eq!(vm.reg(Reg::new(5)), -4, "shr is arithmetic");
     }

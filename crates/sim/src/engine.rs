@@ -1,0 +1,609 @@
+//! The execution engine: lower a [`Plan`] onto the best simulation
+//! paths, run it on the worker pool, reassemble deterministically.
+//!
+//! The engine is the single funnel between "describe a measurement"
+//! ([`crate::plan`]) and "numbers came out" ([`ResultSet`]). Lowering
+//! picks one execution path per job:
+//!
+//! * **packed** — monomorphized [`AnyPredictor`] over the packed
+//!   conditional-branch stream ([`crate::runner::simulate_packed`]);
+//!   chosen for catalog schemes whenever no context switches are
+//!   simulated. The fastest path.
+//! * **full-trace** — [`AnyPredictor`] over the full event trace
+//!   ([`crate::runner::simulate`]); chosen when context switches are
+//!   simulated (the packed stream carries no traps or instruction
+//!   counts).
+//! * **dyn** — predictors outside the catalog, registered in
+//!   [`tlabp_core::registry`] and referenced by name, run behind
+//!   [`AnyPredictor::Dyn`] on either stream. One virtual dispatch per
+//!   call, paid only by externally-registered schemes.
+//! * **reference** — a boxed `dyn BranchPredictor` over the full event
+//!   trace, bypassing every fast path. Never chosen by lowering; jobs
+//!   opt in ([`Job::reference_path`]) for differential testing and as
+//!   the throughput harness baseline.
+//!
+//! Execution runs every cell on a [`SweepPool`] (idle workers pull the
+//! next cell as they finish) after pre-generating each distinct trace
+//! the plan needs exactly once. Reassembly restores plan order, so the
+//! output is a pure function of the plan: pool size and thread
+//! scheduling never leak into a [`ResultSet`] (asserted by the
+//! 1-vs-8-worker determinism test).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use tlabp_core::config::SchemeConfig;
+//! use tlabp_sim::engine::execute;
+//! use tlabp_sim::plan::{Job, Plan};
+//! use tlabp_sim::suite::TraceStore;
+//! use tlabp_workloads::Benchmark;
+//!
+//! let plan: Plan = Benchmark::ALL
+//!     .iter()
+//!     .map(|b| Job::scheme(SchemeConfig::pag(12), b))
+//!     .collect();
+//! let results = execute(&plan, &TraceStore::new());
+//! assert_eq!(results.len(), Benchmark::ALL.len());
+//! ```
+
+use std::collections::HashSet;
+
+use tlabp_core::any::AnyPredictor;
+use tlabp_core::config::SchemeConfig;
+use tlabp_core::predictor::BranchPredictor;
+use tlabp_core::registry::{self, DynBuilder};
+use tlabp_core::schemes::Pag;
+use tlabp_core::target_cache::{FetchOutcome, TargetCache};
+use tlabp_trace::{BranchClass, Trace};
+use tlabp_workloads::DataSet;
+
+use crate::metrics::{BenchmarkAccuracy, FetchStats, MissBreakdown, SuiteResult};
+use crate::plan::{Job, MetricSet, Plan, PredictorSpec, TargetCacheSpec, TraceKey};
+use crate::pool::SweepPool;
+use crate::runner::{simulate, simulate_packed, SimConfig, SimResult};
+use crate::suite::TraceStore;
+
+/// Everything a job produced when it was measurable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobMetrics {
+    /// The accuracy counters (always computed).
+    pub sim: SimResult,
+    /// Misprediction attribution, when requested and the predictor is
+    /// PAg-structured.
+    pub miss_breakdown: Option<MissBreakdown>,
+    /// Fetch-path statistics, when requested.
+    pub fetch: Option<FetchStats>,
+}
+
+/// The outcome of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// The job ran; metrics attached.
+    Measured(JobMetrics),
+    /// The job could not be measured (e.g. a profiled scheme on a
+    /// benchmark without a training set — the paper's "NA" cells).
+    Skipped {
+        /// Why the job was skipped.
+        reason: String,
+    },
+}
+
+impl JobOutcome {
+    /// The accuracy in `[0, 1]`, if measured.
+    #[must_use]
+    pub fn accuracy(&self) -> Option<f64> {
+        match self {
+            JobOutcome::Measured(m) => Some(m.sim.accuracy()),
+            JobOutcome::Skipped { .. } => None,
+        }
+    }
+
+    /// The full metrics, if measured.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&JobMetrics> {
+        match self {
+            JobOutcome::Measured(m) => Some(m),
+            JobOutcome::Skipped { .. } => None,
+        }
+    }
+}
+
+/// The outcomes of a plan, in plan order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    rows: Vec<(Job, JobOutcome)>,
+}
+
+impl ResultSet {
+    /// Number of rows (equal to the plan's job count).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the plan had no jobs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates `(job, outcome)` pairs in plan order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Job, &JobOutcome)> {
+        self.rows.iter().map(|(job, outcome)| (job, outcome))
+    }
+
+    /// The outcome of the `index`-th job.
+    #[must_use]
+    pub fn outcome(&self, index: usize) -> &JobOutcome {
+        &self.rows[index].1
+    }
+
+    /// Per-job accuracies in plan order (`None` for skipped jobs).
+    #[must_use]
+    pub fn accuracies(&self) -> Vec<Option<f64>> {
+        self.rows.iter().map(|(_, outcome)| outcome.accuracy()).collect()
+    }
+
+    /// Reassembles consecutive jobs into per-predictor
+    /// [`SuiteResult`]s: a new suite starts whenever the job label
+    /// changes (or a benchmark repeats within the current suite). A plan
+    /// built by [`Plan::suites`] yields exactly one suite per
+    /// configuration, each with one row per benchmark in
+    /// [`Benchmark::ALL`](tlabp_workloads::Benchmark::ALL) order.
+    #[must_use]
+    pub fn suites(&self) -> Vec<SuiteResult> {
+        let mut suites: Vec<SuiteResult> = Vec::new();
+        for (job, outcome) in &self.rows {
+            let label = job.label();
+            let row = benchmark_row(job, outcome);
+            match suites.last_mut() {
+                Some(suite)
+                    if suite.scheme == label
+                        && !suite.rows.iter().any(|r| r.benchmark == row.benchmark) =>
+                {
+                    suite.rows.push(row);
+                }
+                _ => suites.push(SuiteResult { scheme: label, rows: vec![row] }),
+            }
+        }
+        suites
+    }
+}
+
+impl<'a> IntoIterator for &'a ResultSet {
+    type Item = (&'a Job, &'a JobOutcome);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (Job, JobOutcome)>,
+        fn(&'a (Job, JobOutcome)) -> (&'a Job, &'a JobOutcome),
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.iter().map(|(job, outcome)| (job, outcome))
+    }
+}
+
+fn benchmark_row(job: &Job, outcome: &JobOutcome) -> BenchmarkAccuracy {
+    let benchmark = job.trace.benchmark;
+    match outcome {
+        JobOutcome::Measured(m) => BenchmarkAccuracy {
+            benchmark: benchmark.name().to_owned(),
+            kind: benchmark.kind().into(),
+            accuracy: Some(m.sim.accuracy()),
+            context_switches: m.sim.context_switches,
+            predictions: m.sim.predictions,
+        },
+        JobOutcome::Skipped { .. } => BenchmarkAccuracy {
+            benchmark: benchmark.name().to_owned(),
+            kind: benchmark.kind().into(),
+            accuracy: None,
+            context_switches: 0,
+            predictions: 0,
+        },
+    }
+}
+
+/// Executes `plan` on the process-wide [`SweepPool::global`] pool.
+///
+/// # Panics
+///
+/// Panics if a job references a custom predictor name with no registered
+/// builder (a programming error caught before any cell runs).
+#[must_use]
+pub fn execute(plan: &Plan, store: &TraceStore) -> ResultSet {
+    execute_on(SweepPool::global(), plan, store)
+}
+
+/// [`execute`] on an explicit pool — determinism tests use this to
+/// compare single-worker and many-worker executions.
+///
+/// # Panics
+///
+/// See [`execute`].
+#[must_use]
+pub fn execute_on(pool: &SweepPool, plan: &Plan, store: &TraceStore) -> ResultSet {
+    // Phase 0: lower on the submitting thread, so unknown registry names
+    // and unsatisfiable jobs fail fast and deterministically.
+    let lowered: Vec<Lowered> = plan.jobs().iter().map(lower).collect();
+
+    // Phase 1: pre-generate each distinct trace exactly once, as pool
+    // jobs, so no simulation cell ever blocks on the VM.
+    let mut seen: HashSet<(&'static str, DataSet)> = HashSet::new();
+    let mut needed: Vec<TraceKey> = Vec::new();
+    for (job, low) in plan.jobs().iter().zip(&lowered) {
+        let mut need = |key: TraceKey| {
+            if seen.insert((key.benchmark.name(), key.data_set)) {
+                needed.push(key);
+            }
+        };
+        if let Lowered::Run(cell) = low {
+            need(job.trace);
+            if cell.needs_training() {
+                need(TraceKey { benchmark: job.trace.benchmark, data_set: DataSet::Training });
+            }
+        }
+    }
+    pool.run(needed.into_iter().map(|key| {
+        let store = store.clone();
+        move || {
+            let _generated = store.get(key.benchmark, key.data_set);
+        }
+    }));
+
+    // Phase 2: one pool cell per runnable job; idle workers pull cells.
+    let cells = lowered.into_iter().map(|low| {
+        let store = store.clone();
+        move || match low {
+            Lowered::Skip { reason } => JobOutcome::Skipped { reason },
+            Lowered::Run(cell) => run_cell(&cell, &store),
+        }
+    });
+    let outcomes = pool.run(cells);
+
+    // Phase 3: reassemble in plan order (pool.run already restores
+    // submission order regardless of completion order).
+    ResultSet { rows: plan.jobs().iter().cloned().zip(outcomes).collect() }
+}
+
+/// How a job's predictor gets built on the worker.
+enum BuildSpec {
+    /// A catalog scheme, monomorphized ([`AnyPredictor`]).
+    Scheme(SchemeConfig),
+    /// A registered builder, dynamically dispatched.
+    Custom(DynBuilder),
+}
+
+impl BuildSpec {
+    fn build_any(&self, store: &TraceStore, trace: TraceKey) -> AnyPredictor {
+        match self {
+            BuildSpec::Scheme(config) if config.needs_training() => {
+                config.build_any_trained(&store.get(trace.benchmark, DataSet::Training))
+            }
+            BuildSpec::Scheme(config) => config.build_any().expect("non-training scheme builds"),
+            BuildSpec::Custom(builder) => AnyPredictor::Dyn(builder()),
+        }
+    }
+
+    fn build_boxed(&self, store: &TraceStore, trace: TraceKey) -> Box<dyn BranchPredictor> {
+        match self {
+            BuildSpec::Scheme(config) if config.needs_training() => {
+                config.build_trained(&store.get(trace.benchmark, DataSet::Training))
+            }
+            BuildSpec::Scheme(config) => config.build().expect("non-training scheme builds"),
+            BuildSpec::Custom(builder) => builder(),
+        }
+    }
+}
+
+/// Which simulation loop a job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExecPath {
+    /// Packed conditional stream, fused `step` loop.
+    Packed,
+    /// Full event trace with context-switch modeling.
+    FullTrace,
+    /// Boxed `dyn` predictor over the full event trace (opt-in only).
+    Reference,
+}
+
+/// A lowered job: everything the worker closure needs, `Send + 'static`.
+struct Cell {
+    build: BuildSpec,
+    path: ExecPath,
+    trace: TraceKey,
+    sim: SimConfig,
+    metrics: MetricSet,
+}
+
+impl Cell {
+    fn needs_training(&self) -> bool {
+        matches!(&self.build, BuildSpec::Scheme(config) if config.needs_training())
+    }
+}
+
+enum Lowered {
+    Skip { reason: String },
+    Run(Cell),
+}
+
+/// The planner: pick the execution path and effective simulation options
+/// for one job (see the module docs for the path-selection rules).
+fn lower(job: &Job) -> Lowered {
+    let build = match &job.spec {
+        PredictorSpec::Scheme(config) => {
+            if config.needs_training() && !job.trace.benchmark.has_training_set() {
+                return Lowered::Skip {
+                    reason: format!(
+                        "{config} needs a training trace but {} has no training set",
+                        job.trace.benchmark.name()
+                    ),
+                };
+            }
+            BuildSpec::Scheme(*config)
+        }
+        PredictorSpec::Custom(name) => match registry::builder(name) {
+            Some(builder) => BuildSpec::Custom(builder),
+            None => panic!(
+                "no predictor registered under {name:?}; \
+                 call tlabp_core::registry::register before executing the plan"
+            ),
+        },
+    };
+
+    // A scheme's own `c` flag upgrades a no-switch sim to the paper's
+    // context-switch model (Table 3 semantics, as in `run_suite`).
+    let mut sim = job.sim;
+    if let PredictorSpec::Scheme(config) = &job.spec {
+        if config.context_switch() && sim.context_switch.is_none() {
+            sim = SimConfig::paper_context_switch();
+        }
+    }
+
+    let path = if job.reference_path {
+        ExecPath::Reference
+    } else if sim.context_switch.is_none() {
+        ExecPath::Packed
+    } else {
+        ExecPath::FullTrace
+    };
+
+    Lowered::Run(Cell { build, path, trace: job.trace, sim, metrics: job.metrics })
+}
+
+/// Runs one lowered cell on a worker thread.
+fn run_cell(cell: &Cell, store: &TraceStore) -> JobOutcome {
+    if cell.path == ExecPath::Reference {
+        let mut boxed = cell.build.build_boxed(store, cell.trace);
+        let full = store.get(cell.trace.benchmark, cell.trace.data_set);
+        let sim = simulate(&mut *boxed, &full, &cell.sim);
+        return JobOutcome::Measured(JobMetrics { sim, miss_breakdown: None, fetch: None });
+    }
+
+    // Instrumented metrics replay the full trace through dedicated
+    // observation loops (each with a fresh predictor, so the loops are
+    // independent). Their conditional-branch accuracy counters are
+    // identical to the standard no-switch loop, so whichever ran also
+    // supplies the job's SimResult.
+    let miss_breakdown = cell.metrics.miss_breakdown.then(|| {
+        let full = store.get(cell.trace.benchmark, cell.trace.data_set);
+        match cell.build.build_any(store, cell.trace) {
+            AnyPredictor::Pag(mut pag) => Some(run_miss_breakdown(&mut pag, &full)),
+            _ => None,
+        }
+    });
+    let fetch = cell.metrics.fetch.map(|spec| {
+        let mut predictor = cell.build.build_any(store, cell.trace);
+        let full = store.get(cell.trace.benchmark, cell.trace.data_set);
+        run_fetch(&mut predictor, &full, spec)
+    });
+
+    let sim = if let Some(Some((sim, _))) = &miss_breakdown {
+        sim.clone()
+    } else if let Some((sim, _)) = &fetch {
+        sim.clone()
+    } else {
+        let mut predictor = cell.build.build_any(store, cell.trace);
+        match cell.path {
+            ExecPath::Packed => simulate_packed(
+                &mut predictor,
+                &store.get_packed(cell.trace.benchmark, cell.trace.data_set),
+            ),
+            ExecPath::FullTrace => simulate(
+                &mut predictor,
+                &store.get(cell.trace.benchmark, cell.trace.data_set),
+                &cell.sim,
+            ),
+            ExecPath::Reference => unreachable!("handled above"),
+        }
+    };
+
+    JobOutcome::Measured(JobMetrics {
+        sim,
+        miss_breakdown: miss_breakdown.flatten().map(|(_, b)| b),
+        fetch: fetch.map(|(_, f)| f),
+    })
+}
+
+/// The misprediction-attribution loop: every misprediction of a
+/// PAg-structured predictor lands in exactly one [`MissBreakdown`]
+/// bucket, classified from the predictor's state at prediction time.
+fn run_miss_breakdown(pag: &mut Pag, trace: &Trace) -> (SimResult, MissBreakdown) {
+    let mut result =
+        SimResult { scheme: pag.name(), predictions: 0, correct: 0, context_switches: 0 };
+    let mut buckets = MissBreakdown::default();
+    // Shadow of the global PHT: which static branch last updated each
+    // entry (for interference attribution). Grown on demand so any
+    // history length works.
+    let mut last_writer: Vec<Option<u64>> = Vec::new();
+    for branch in trace.conditional_branches() {
+        let diagnostics = pag.predict_diagnosed(branch);
+        pag.update(branch);
+        result.predictions += 1;
+        result.correct += u64::from(diagnostics.predicted_taken == branch.taken);
+        if last_writer.len() <= diagnostics.pattern {
+            last_writer.resize(diagnostics.pattern + 1, None);
+        }
+        if diagnostics.predicted_taken != branch.taken {
+            if !diagnostics.bht_hit {
+                buckets.bht_miss += 1;
+            } else if matches!(diagnostics.pattern_state.value(), 1 | 2) {
+                buckets.weak_pattern += 1;
+            } else if last_writer[diagnostics.pattern].is_some_and(|writer| writer != branch.pc) {
+                buckets.interference += 1;
+            } else {
+                buckets.noise += 1;
+            }
+        }
+        last_writer[diagnostics.pattern] = Some(branch.pc);
+    }
+    assert_eq!(
+        buckets.total(),
+        result.predictions - result.correct,
+        "every misprediction is classified exactly once"
+    );
+    (result, buckets)
+}
+
+/// The Section 3.2 fetch-path loop: the direction predictor handles
+/// conditional branches (everything else is architecturally taken) and a
+/// target cache supplies target addresses for every branch class.
+fn run_fetch<P: BranchPredictor>(
+    predictor: &mut P,
+    trace: &Trace,
+    spec: TargetCacheSpec,
+) -> (SimResult, FetchStats) {
+    let mut result =
+        SimResult { scheme: predictor.name(), predictions: 0, correct: 0, context_switches: 0 };
+    let mut stats = FetchStats::default();
+    let mut cache = TargetCache::new(spec.entries, spec.ways);
+    for branch in trace.branches() {
+        let predicted_taken = if branch.class.is_conditional() {
+            let predicted = predictor.predict(branch);
+            predictor.update(branch);
+            result.predictions += 1;
+            result.correct += u64::from(predicted == branch.taken);
+            predicted
+        } else {
+            true
+        };
+        let outcome = cache.fetch(branch, predicted_taken);
+        cache.resolve(branch);
+
+        stats.branches += 1;
+        stats.correct_path += u64::from(outcome.is_correct_path());
+        match outcome {
+            FetchOutcome::HitCorrectTarget => stats.no_bubble_taken += 1,
+            FetchOutcome::HitWrongPath => {
+                stats.squashes += 1;
+                if branch.class == BranchClass::Return {
+                    stats.return_target_misses += 1;
+                }
+            }
+            FetchOutcome::HitFallThrough { correct } | FetchOutcome::Miss { correct } => {
+                stats.squashes += u64::from(!correct);
+            }
+        }
+    }
+    (result, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlabp_core::automaton::Automaton;
+    use tlabp_core::schemes::Gshare;
+    use tlabp_workloads::Benchmark;
+
+    fn li() -> &'static Benchmark {
+        Benchmark::by_name("li").expect("li exists")
+    }
+
+    #[test]
+    fn engine_matches_run_sweep_semantics() {
+        let store = TraceStore::new();
+        let configs = [SchemeConfig::pag(8), SchemeConfig::profiling()];
+        let plan = Plan::suites(&configs, &SimConfig::no_context_switch());
+        let suites = execute(&plan, &store).suites();
+        assert_eq!(suites.len(), 2);
+        assert_eq!(suites[0].scheme, configs[0].to_string());
+        assert_eq!(suites[0].rows.len(), Benchmark::ALL.len());
+        // Profiling skips the benchmarks without training sets.
+        let missing = suites[1].rows.iter().filter(|r| r.accuracy.is_none()).count();
+        assert_eq!(missing, Benchmark::ALL.iter().filter(|b| !b.has_training_set()).count());
+    }
+
+    #[test]
+    fn custom_spec_runs_through_the_registry() {
+        registry::register("engine-test-gshare", || Box::new(Gshare::new(10, Automaton::A2)));
+        let store = TraceStore::new();
+        let plan: Plan = [Job::custom("engine-test-gshare", li())].into_iter().collect();
+        let results = execute(&plan, &store);
+        let accuracy = results.outcome(0).accuracy().expect("measured");
+        assert!(accuracy > 0.8, "gshare on li: {accuracy}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no predictor registered")]
+    fn unknown_custom_name_fails_fast() {
+        let plan: Plan = [Job::custom("engine-test-unregistered", li())].into_iter().collect();
+        let _ = execute(&plan, &TraceStore::new());
+    }
+
+    #[test]
+    fn reference_path_matches_fast_path() {
+        let store = TraceStore::new();
+        let fast: Plan = [Job::scheme(SchemeConfig::pag(8), li())].into_iter().collect();
+        let reference: Plan = [Job::scheme(SchemeConfig::pag(8), li()).with_reference_path(true)]
+            .into_iter()
+            .collect();
+        let fast_out = execute(&fast, &store);
+        let reference_out = execute(&reference, &store);
+        assert_eq!(
+            fast_out.outcome(0).metrics().unwrap().sim,
+            reference_out.outcome(0).metrics().unwrap().sim,
+            "reference and fast paths must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn miss_breakdown_buckets_sum_to_mispredictions() {
+        let store = TraceStore::new();
+        let plan: Plan = [Job::scheme(SchemeConfig::pag(12), li())
+            .with_metrics(MetricSet { miss_breakdown: true, fetch: None })]
+        .into_iter()
+        .collect();
+        let results = execute(&plan, &store);
+        let metrics = results.outcome(0).metrics().expect("measured");
+        let breakdown = metrics.miss_breakdown.expect("PAg yields a breakdown");
+        assert_eq!(breakdown.total(), metrics.sim.predictions - metrics.sim.correct);
+        assert!(metrics.sim.predictions > 0);
+    }
+
+    #[test]
+    fn miss_breakdown_is_none_for_non_pag() {
+        let store = TraceStore::new();
+        let plan: Plan = [Job::scheme(SchemeConfig::gag(10), li())
+            .with_metrics(MetricSet { miss_breakdown: true, fetch: None })]
+        .into_iter()
+        .collect();
+        let results = execute(&plan, &store);
+        let metrics = results.outcome(0).metrics().expect("measured");
+        assert!(metrics.miss_breakdown.is_none());
+        assert!(metrics.sim.predictions > 0, "accuracy still measured");
+    }
+
+    #[test]
+    fn fetch_metric_reports_all_branch_classes() {
+        let store = TraceStore::new();
+        let plan: Plan = [Job::scheme(SchemeConfig::pag(12), li()).with_metrics(MetricSet {
+            miss_breakdown: false,
+            fetch: Some(TargetCacheSpec::PAPER_DEFAULT),
+        })]
+        .into_iter()
+        .collect();
+        let results = execute(&plan, &store);
+        let metrics = results.outcome(0).metrics().expect("measured");
+        let fetch = metrics.fetch.expect("fetch stats requested");
+        assert!(fetch.branches > metrics.sim.predictions, "all classes > conditionals only");
+        assert!(fetch.correct_path <= fetch.branches);
+    }
+}

@@ -9,14 +9,21 @@
 //! * [`runner`] — [`runner::simulate`] drives one predictor over one
 //!   trace, honoring the trap/500k-instruction context-switch model of
 //!   Section 5.1.4.
+//! * [`plan`] — the declarative job IR: a [`plan::Job`] names a
+//!   predictor, a trace, simulation options and the metrics wanted; a
+//!   [`plan::Plan`] is an ordered batch. Pure data, no execution.
+//! * [`engine`] — [`engine::execute`] lowers each job onto the best
+//!   execution path (packed fast path, full-trace, or dynamic dispatch
+//!   for registry predictors), runs the batch on the persistent worker
+//!   pool ([`pool`]) and reassembles a typed [`engine::ResultSet`] in
+//!   deterministic plan order.
 //! * [`suite`] — [`suite::run_suite`] evaluates a
-//!   [`tlabp_core::config::SchemeConfig`] on all nine benchmarks in
-//!   parallel, training the profiled schemes per benchmark and skipping
-//!   the benchmarks without training data sets, as the paper does.
+//!   [`tlabp_core::config::SchemeConfig`] on all nine benchmarks,
+//!   training the profiled schemes per benchmark and skipping the
+//!   benchmarks without training data sets, as the paper does.
 //! * [`sweep`] — [`sweep::run_sweep`] executes a whole (scheme ×
-//!   benchmark) job matrix on the persistent worker pool ([`pool`]),
-//!   taking the monomorphized packed fast path per cell and
-//!   reassembling suite results in deterministic order.
+//!   benchmark) matrix: a thin wrapper over [`Plan::suites`](plan::Plan::suites)
+//!   plus [`engine::execute`].
 //! * [`metrics`] — per-benchmark accuracies and the Tot/Int/FP geometric
 //!   means.
 //! * [`report`] — ASCII tables and CSV for the experiment harness.
@@ -36,14 +43,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod metrics;
+pub mod plan;
 pub mod pool;
 pub mod report;
 pub mod runner;
 pub mod suite;
 pub mod sweep;
 
+pub use engine::{execute, execute_on, JobMetrics, JobOutcome, ResultSet};
 pub use metrics::{geometric_mean, SuiteResult};
+pub use plan::{Job, MetricSet, Plan, PredictorSpec, TargetCacheSpec, TraceKey};
 pub use pool::SweepPool;
 pub use runner::{simulate, simulate_packed, SimConfig, SimResult};
 pub use suite::{run_suite, TraceStore};

@@ -25,10 +25,7 @@ pub fn geometric_mean(values: &[f64]) -> f64 {
     if values.is_empty() {
         return f64::NAN;
     }
-    assert!(
-        values.iter().all(|&v| v > 0.0),
-        "geometric mean requires positive values"
-    );
+    assert!(values.iter().all(|&v| v > 0.0), "geometric mean requires positive values");
     let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
     (log_sum / values.len() as f64).exp()
 }
@@ -67,6 +64,67 @@ impl From<BenchmarkKind> for BenchmarkCategory {
             BenchmarkKind::FloatingPoint => BenchmarkCategory::FloatingPoint,
         }
     }
+}
+
+/// Misprediction attribution for a PAg-structured predictor — the
+/// paper's concluding "examining that 3 percent" analysis, produced by
+/// jobs requesting [`MetricSet::miss_breakdown`].
+///
+/// Every misprediction lands in exactly one bucket; the engine asserts
+/// that the buckets sum to the misprediction count.
+///
+/// [`MetricSet::miss_breakdown`]: crate::plan::MetricSet
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MissBreakdown {
+    /// The branch's history register was not resident: the prediction
+    /// came from a fresh all-ones history (cold start / BHT capacity).
+    pub bht_miss: u64,
+    /// The PHT entry was in a weak state (1 or 2): the pattern was still
+    /// training or oscillating.
+    pub weak_pattern: u64,
+    /// The PHT entry was saturated yet wrong, and its most recent update
+    /// came from a *different* static branch: pattern interference — the
+    /// component gshare later attacked.
+    pub interference: u64,
+    /// Saturated yet wrong with the entry last updated by this same
+    /// branch: intrinsic data-dependent noise.
+    pub noise: u64,
+}
+
+impl MissBreakdown {
+    /// Total mispredictions across the four buckets.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.bht_miss + self.weak_pattern + self.interference + self.noise
+    }
+
+    /// Adds another breakdown bucket-wise (for suite-level totals).
+    pub fn accumulate(&mut self, other: &MissBreakdown) {
+        self.bht_miss += other.bht_miss;
+        self.weak_pattern += other.weak_pattern;
+        self.interference += other.interference;
+        self.noise += other.noise;
+    }
+}
+
+/// Fetch-path outcome counts for the Section 3.2 target-caching model,
+/// produced by jobs requesting [`MetricSet::fetch`].
+///
+/// [`MetricSet::fetch`]: crate::plan::MetricSet
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FetchStats {
+    /// Branches of every class seen by the fetch engine.
+    pub branches: u64,
+    /// Fetches that proceeded down the correct path.
+    pub correct_path: u64,
+    /// Taken branches fetched with the correct cached target in hand
+    /// (no pipeline bubble).
+    pub no_bubble_taken: u64,
+    /// Wrong-path fetches that must be squashed.
+    pub squashes: u64,
+    /// Squashes caused by a stale cached *return* target — the classic
+    /// motivation for return-address stacks.
+    pub return_target_misses: u64,
 }
 
 /// A scheme's accuracies across the whole benchmark suite, with the
@@ -131,6 +189,21 @@ mod tests {
     fn gmean_basics() {
         assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
         assert!((geometric_mean(&[0.9]) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmean_of_empty_slice_is_nan() {
+        // Pinned: empty input yields NaN (not a panic, not 0) so callers
+        // like `format_accuracy` can render missing means uniformly.
+        assert!(geometric_mean(&[]).is_nan());
+    }
+
+    #[test]
+    fn gmean_of_single_element_is_identity() {
+        for v in [1e-9, 0.5, 1.0, 123.456] {
+            let g = geometric_mean(&[v]);
+            assert!((g - v).abs() < 1e-12 * v.max(1.0), "gmean([{v}]) = {g}");
+        }
     }
 
     #[test]

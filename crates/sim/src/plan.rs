@@ -1,0 +1,333 @@
+//! The declarative job IR: describe *what* to measure, not *how*.
+//!
+//! A [`Job`] names four things — a predictor ([`PredictorSpec`]), a trace
+//! ([`TraceKey`]), the simulation options ([`SimConfig`]) and the metrics
+//! wanted ([`MetricSet`]). A [`Plan`] is an ordered batch of jobs. Every
+//! experiment in the harness, from the paper's figures to the ablations
+//! and the throughput benchmark, is a plan; the execution engine
+//! ([`crate::engine`]) lowers each job onto the best execution path and
+//! runs the whole batch on the worker pool.
+//!
+//! The IR is pure data: constructing a plan performs no simulation, no
+//! trace generation and no predictor construction, so plans can be built,
+//! inspected, stored and replayed (this is the seam a future server mode
+//! plugs into — a request *is* a plan).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use tlabp_core::config::SchemeConfig;
+//! use tlabp_sim::engine::execute;
+//! use tlabp_sim::plan::Plan;
+//! use tlabp_sim::runner::SimConfig;
+//! use tlabp_sim::suite::TraceStore;
+//!
+//! let configs: Vec<_> = (6..=12).map(SchemeConfig::pag).collect();
+//! let plan = Plan::suites(&configs, &SimConfig::no_context_switch());
+//! let results = execute(&plan, &TraceStore::new());
+//! for suite in results.suites() {
+//!     println!("{}: {:.2}%", suite.scheme, suite.total_gmean() * 100.0);
+//! }
+//! ```
+
+use tlabp_core::config::SchemeConfig;
+use tlabp_workloads::{Benchmark, DataSet};
+
+use crate::runner::SimConfig;
+
+/// Which predictor a job simulates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredictorSpec {
+    /// A Table 3 catalog configuration. Lowered to the monomorphized
+    /// fast paths ([`tlabp_core::any::AnyPredictor`], and the packed
+    /// conditional stream when no context switches are simulated).
+    Scheme(SchemeConfig),
+    /// A predictor registered under this name in
+    /// [`tlabp_core::registry`]. Runs behind `Box<dyn BranchPredictor>`
+    /// — the only path that still pays dynamic dispatch.
+    Custom(String),
+}
+
+impl PredictorSpec {
+    /// A registered-builder spec by name.
+    #[must_use]
+    pub fn custom(name: impl Into<String>) -> Self {
+        PredictorSpec::Custom(name.into())
+    }
+
+    /// The display label: the Table 3 configuration string for schemes,
+    /// the registered name for custom predictors. Result rows group into
+    /// suites by this label.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            PredictorSpec::Scheme(config) => config.to_string(),
+            PredictorSpec::Custom(name) => name.clone(),
+        }
+    }
+}
+
+impl From<SchemeConfig> for PredictorSpec {
+    fn from(config: SchemeConfig) -> Self {
+        PredictorSpec::Scheme(config)
+    }
+}
+
+/// Which benchmark trace a job runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceKey {
+    /// The workload.
+    pub benchmark: &'static Benchmark,
+    /// Training or testing data set. Jobs normally measure on
+    /// [`DataSet::Testing`]; training traces are consumed implicitly by
+    /// profiled schemes.
+    pub data_set: DataSet,
+}
+
+impl TraceKey {
+    /// The testing trace of `benchmark` — the measurement input of every
+    /// paper experiment.
+    #[must_use]
+    pub fn testing(benchmark: &'static Benchmark) -> Self {
+        TraceKey { benchmark, data_set: DataSet::Testing }
+    }
+}
+
+/// Geometry of the target cache used by the fetch-path metric
+/// (Section 3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TargetCacheSpec {
+    /// Number of cache entries.
+    pub entries: usize,
+    /// Set associativity.
+    pub ways: usize,
+}
+
+impl TargetCacheSpec {
+    /// The paper's 4-way 512-entry geometry.
+    pub const PAPER_DEFAULT: TargetCacheSpec = TargetCacheSpec { entries: 512, ways: 4 };
+}
+
+impl Default for TargetCacheSpec {
+    fn default() -> Self {
+        TargetCacheSpec::PAPER_DEFAULT
+    }
+}
+
+/// Which metrics a job should produce beyond the always-computed
+/// prediction-accuracy counters.
+///
+/// The instrumented metrics replay the trace through dedicated
+/// observation loops; they model no context switches (they reproduce the
+/// paper's Section 3 analyses, which are measured without switches).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricSet {
+    /// Attribute every misprediction to a cause (BHT miss, weak pattern,
+    /// interference, intrinsic noise). Only meaningful for PAg-structured
+    /// predictors; other predictors yield no breakdown.
+    pub miss_breakdown: bool,
+    /// Run the Section 3.2 fetch-path model (direction predictor plus a
+    /// target cache over every branch class) with this cache geometry.
+    pub fetch: Option<TargetCacheSpec>,
+}
+
+impl MetricSet {
+    /// Only the accuracy counters (the default).
+    pub const ACCURACY: MetricSet = MetricSet { miss_breakdown: false, fetch: None };
+}
+
+/// One unit of simulation work: predictor × trace × options × metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// What to simulate.
+    pub spec: PredictorSpec,
+    /// What to simulate it on.
+    pub trace: TraceKey,
+    /// Context-switch options. A scheme whose `c` flag is set upgrades a
+    /// no-switch `sim` to the paper's context-switch model, exactly as
+    /// `run_suite` always has.
+    pub sim: SimConfig,
+    /// Extra instrumented metrics to compute.
+    pub metrics: MetricSet,
+    /// Force the reference execution path (boxed `dyn` predictor over the
+    /// full event trace), bypassing the fast paths. Used by the
+    /// throughput harness as its baseline and by differential tests.
+    pub reference_path: bool,
+}
+
+impl Job {
+    /// A job measuring `config` on `benchmark`'s testing trace with no
+    /// context switches and accuracy metrics only.
+    #[must_use]
+    pub fn scheme(config: SchemeConfig, benchmark: &'static Benchmark) -> Self {
+        Job {
+            spec: PredictorSpec::Scheme(config),
+            trace: TraceKey::testing(benchmark),
+            sim: SimConfig::no_context_switch(),
+            metrics: MetricSet::ACCURACY,
+            reference_path: false,
+        }
+    }
+
+    /// A job measuring the registered predictor `name` on `benchmark`'s
+    /// testing trace.
+    #[must_use]
+    pub fn custom(name: impl Into<String>, benchmark: &'static Benchmark) -> Self {
+        Job {
+            spec: PredictorSpec::custom(name),
+            trace: TraceKey::testing(benchmark),
+            sim: SimConfig::no_context_switch(),
+            metrics: MetricSet::ACCURACY,
+            reference_path: false,
+        }
+    }
+
+    /// Replaces the simulation options.
+    #[must_use]
+    pub fn with_sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Replaces the metric selection.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: MetricSet) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Forces (or releases) the reference execution path.
+    #[must_use]
+    pub fn with_reference_path(mut self, reference: bool) -> Self {
+        self.reference_path = reference;
+        self
+    }
+
+    /// The job's display label (see [`PredictorSpec::label`]).
+    #[must_use]
+    pub fn label(&self) -> String {
+        self.spec.label()
+    }
+}
+
+/// An ordered batch of jobs. Execution order never affects results — the
+/// engine reassembles outcomes in plan order regardless of which worker
+/// finishes first.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Plan {
+    jobs: Vec<Job>,
+}
+
+impl Plan {
+    /// An empty plan.
+    #[must_use]
+    pub fn new() -> Self {
+        Plan::default()
+    }
+
+    /// Appends a job.
+    pub fn push(&mut self, job: Job) {
+        self.jobs.push(job);
+    }
+
+    /// The jobs, in plan order.
+    #[must_use]
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Number of jobs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the plan has no jobs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The full-suite matrix: every configuration on every benchmark
+    /// (configuration-major, benchmarks in [`Benchmark::ALL`] order), all
+    /// with the same simulation options. [`ResultSet::suites`]
+    /// reassembles the outcomes into one
+    /// [`SuiteResult`](crate::metrics::SuiteResult) per configuration.
+    ///
+    /// [`ResultSet::suites`]: crate::engine::ResultSet::suites
+    #[must_use]
+    pub fn suites(configs: &[SchemeConfig], sim: &SimConfig) -> Plan {
+        configs
+            .iter()
+            .flat_map(|&config| {
+                Benchmark::ALL
+                    .iter()
+                    .map(move |benchmark| Job::scheme(config, benchmark).with_sim(*sim))
+            })
+            .collect()
+    }
+}
+
+impl FromIterator<Job> for Plan {
+    fn from_iter<I: IntoIterator<Item = Job>>(iter: I) -> Self {
+        Plan { jobs: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Job> for Plan {
+    fn extend<I: IntoIterator<Item = Job>>(&mut self, iter: I) {
+        self.jobs.extend(iter);
+    }
+}
+
+impl IntoIterator for Plan {
+    type Item = Job;
+    type IntoIter = std::vec::IntoIter<Job>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.jobs.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_matrix_is_config_major() {
+        let configs = [SchemeConfig::pag(8), SchemeConfig::gag(10)];
+        let plan = Plan::suites(&configs, &SimConfig::no_context_switch());
+        assert_eq!(plan.len(), 2 * Benchmark::ALL.len());
+        let first = &plan.jobs()[0];
+        assert_eq!(first.label(), configs[0].to_string());
+        assert_eq!(first.trace.benchmark.name(), Benchmark::ALL[0].name());
+        let second_block = &plan.jobs()[Benchmark::ALL.len()];
+        assert_eq!(second_block.label(), configs[1].to_string());
+    }
+
+    #[test]
+    fn job_builders_compose() {
+        let benchmark = Benchmark::by_name("li").unwrap();
+        let job = Job::scheme(SchemeConfig::pag(12), benchmark)
+            .with_sim(SimConfig::paper_context_switch())
+            .with_metrics(MetricSet { miss_breakdown: true, fetch: None })
+            .with_reference_path(true);
+        assert!(job.reference_path);
+        assert!(job.metrics.miss_breakdown);
+        assert!(job.sim.context_switch.is_some());
+
+        let custom = Job::custom("gshare(12)", benchmark);
+        assert_eq!(custom.label(), "gshare(12)");
+        assert_eq!(custom.trace.data_set, DataSet::Testing);
+    }
+
+    #[test]
+    fn plan_collects_and_extends() {
+        let benchmark = Benchmark::by_name("li").unwrap();
+        let mut plan: Plan = (6..9).map(|k| Job::scheme(SchemeConfig::gag(k), benchmark)).collect();
+        plan.extend([Job::custom("x", benchmark)]);
+        assert_eq!(plan.len(), 4);
+        assert!(!plan.is_empty());
+        assert!(Plan::new().is_empty());
+    }
+}

@@ -52,14 +52,17 @@ impl SweepPool {
         SweepPool { injector, threads }
     }
 
-    /// The process-wide pool, sized to the machine's available
-    /// parallelism, started on first use.
+    /// The process-wide pool, started on first use. Sized to the
+    /// machine's available parallelism, unless the `TLABP_THREADS`
+    /// environment variable holds a positive integer — then that wins
+    /// (useful for benchmarking scaling or taming CI machines).
     #[must_use]
     pub fn global() -> &'static SweepPool {
         static GLOBAL: OnceLock<SweepPool> = OnceLock::new();
         GLOBAL.get_or_init(|| {
-            let threads = thread::available_parallelism().map_or(1, |n| n.get());
-            SweepPool::new(threads)
+            let detected = thread::available_parallelism().map_or(1, |n| n.get());
+            let env = std::env::var("TLABP_THREADS").ok();
+            SweepPool::new(configured_threads(env.as_deref(), detected))
         })
     }
 
@@ -97,13 +100,19 @@ impl SweepPool {
 
         let mut slots: Vec<Option<T>> = (0..submitted).map(|_| None).collect();
         for _ in 0..submitted {
-            let (index, value) = results_out
-                .recv()
-                .expect("a sweep job panicked before reporting its result");
+            let (index, value) =
+                results_out.recv().expect("a sweep job panicked before reporting its result");
             slots[index] = Some(value);
         }
         slots.into_iter().map(|slot| slot.expect("every job reports once")).collect()
     }
+}
+
+/// Resolves the global pool size: a positive integer in `env_value`
+/// (the `TLABP_THREADS` variable) overrides the detected core count;
+/// anything unset, non-numeric or zero falls back to `detected`.
+fn configured_threads(env_value: Option<&str>, detected: usize) -> usize {
+    env_value.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n > 0).unwrap_or(detected)
 }
 
 fn worker_loop(queue: &Mutex<Receiver<Job>>) {
@@ -162,6 +171,17 @@ mod tests {
         let b = SweepPool::global();
         assert!(std::ptr::eq(a, b));
         assert!(a.threads() >= 1);
+    }
+
+    #[test]
+    fn env_override_parses_positive_integers_only() {
+        assert_eq!(configured_threads(Some("3"), 8), 3);
+        assert_eq!(configured_threads(Some(" 12 "), 8), 12);
+        assert_eq!(configured_threads(Some("0"), 8), 8, "zero falls back");
+        assert_eq!(configured_threads(Some("-2"), 8), 8, "negative falls back");
+        assert_eq!(configured_threads(Some("lots"), 8), 8, "garbage falls back");
+        assert_eq!(configured_threads(Some(""), 8), 8);
+        assert_eq!(configured_threads(None, 8), 8);
     }
 
     #[test]

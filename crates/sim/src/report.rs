@@ -176,6 +176,40 @@ mod tests {
     }
 
     #[test]
+    fn csv_quotes_cells_with_commas() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.push_row(vec!["x,y".into(), "plain".into()]);
+        assert_eq!(t.to_csv(), "a,b\n\"x,y\",plain\n");
+    }
+
+    #[test]
+    fn csv_doubles_embedded_quotes() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.push_row(vec!["say \"hi\"".into()]);
+        assert_eq!(t.to_csv(), "a\n\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn csv_quotes_cells_with_newlines() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.push_row(vec!["two\nlines".into()]);
+        assert_eq!(t.to_csv(), "a\n\"two\nlines\"\n");
+    }
+
+    #[test]
+    fn csv_escapes_headers_too() {
+        let t = Table::new(vec!["k,v".into()]);
+        assert_eq!(t.to_csv(), "\"k,v\"\n");
+    }
+
+    #[test]
+    fn csv_leaves_plain_cells_unquoted() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.push_row(vec!["97.13".into(), "BTFN".into()]);
+        assert_eq!(t.to_csv(), "a,b\n97.13,BTFN\n");
+    }
+
+    #[test]
     fn accuracy_formatting() {
         assert_eq!(format_accuracy(Some(0.9713)), "97.13");
         assert_eq!(format_accuracy(None), "--");

@@ -99,15 +99,9 @@ pub fn simulate<P: BranchPredictor + ?Sized>(
     trace: &Trace,
     config: &SimConfig,
 ) -> SimResult {
-    let mut result = SimResult {
-        scheme: predictor.name(),
-        predictions: 0,
-        correct: 0,
-        context_switches: 0,
-    };
-    let mut next_interval_switch = config
-        .context_switch
-        .map(|cs| cs.interval_instructions);
+    let mut result =
+        SimResult { scheme: predictor.name(), predictions: 0, correct: 0, context_switches: 0 };
+    let mut next_interval_switch = config.context_switch.map(|cs| cs.interval_instructions);
 
     for event in trace.iter() {
         // Interval-based context switch ("every 500,000 instructions if no
@@ -133,8 +127,7 @@ pub fn simulate<P: BranchPredictor + ?Sized>(
                         predictor.context_switch();
                         result.context_switches += 1;
                         // A trap-triggered switch restarts the interval.
-                        next_interval_switch =
-                            Some(trap.instret + cs.interval_instructions);
+                        next_interval_switch = Some(trap.instret + cs.interval_instructions);
                     }
                 }
             }
@@ -208,12 +201,7 @@ mod tests {
     fn counts_only_conditional_branches() {
         let mut trace = Trace::new();
         trace.push(BranchRecord::conditional(0x10, true, 0x4, 1));
-        trace.push(BranchRecord::unconditional(
-            0x20,
-            tlabp_trace::BranchClass::Call,
-            0x100,
-            2,
-        ));
+        trace.push(BranchRecord::unconditional(0x20, tlabp_trace::BranchClass::Call, 0x100, 2));
         trace.push(TrapRecord::new(0x104, 3));
         let mut p = Pag::new(4, BhtConfig::PAPER_DEFAULT, Automaton::A2);
         let result = simulate(&mut p, &trace, &SimConfig::no_context_switch());
@@ -266,12 +254,7 @@ mod tests {
         let mut instret = 0;
         for i in 0..3000u64 {
             instret += 4;
-            trace.push(BranchRecord::conditional(
-                0x40,
-                pattern[(i % 3) as usize],
-                0x10,
-                instret,
-            ));
+            trace.push(BranchRecord::conditional(0x40, pattern[(i % 3) as usize], 0x10, instret));
             if i % 10 == 9 {
                 instret += 1;
                 trace.push(TrapRecord::new(0x80, instret));
@@ -283,10 +266,7 @@ mod tests {
         };
         let without = accuracy(&SimConfig::no_context_switch());
         let with = accuracy(&SimConfig::paper_context_switch());
-        assert!(
-            with < without,
-            "flushing must hurt: with={with} without={without}"
-        );
+        assert!(with < without, "flushing must hurt: with={with} without={without}");
     }
 
     #[test]

@@ -183,11 +183,7 @@ mod tests {
     #[test]
     fn suite_runs_pag_on_all_benchmarks() {
         let store = small_store();
-        let result = run_suite(
-            &SchemeConfig::pag(8),
-            &store,
-            &SimConfig::no_context_switch(),
-        );
+        let result = run_suite(&SchemeConfig::pag(8), &store, &SimConfig::no_context_switch());
         assert_eq!(result.rows.len(), 9);
         assert!(result.rows.iter().all(|r| r.accuracy.is_some()));
         let gmean = result.total_gmean();
@@ -197,11 +193,7 @@ mod tests {
     #[test]
     fn profiled_scheme_skips_na_benchmarks() {
         let store = small_store();
-        let result = run_suite(
-            &SchemeConfig::profiling(),
-            &store,
-            &SimConfig::no_context_switch(),
-        );
+        let result = run_suite(&SchemeConfig::profiling(), &store, &SimConfig::no_context_switch());
         let missing: Vec<&str> = result
             .rows
             .iter()

@@ -1,25 +1,12 @@
-//! The sweep engine: a flat (scheme × benchmark) job matrix executed on
-//! the persistent worker pool.
+//! Full-suite sweeps: the (scheme × benchmark) matrix as a plan.
 //!
-//! Experiment drivers used to loop over configurations and fire one
-//! short-lived thread per benchmark inside each `run_suite` call, on the
-//! interpreted `dyn BranchPredictor` simulation path. The sweep engine
-//! replaces that with three phases:
-//!
-//! 1. **Pre-generate** — every (benchmark, data set) trace the matrix
-//!    needs is generated exactly once through the [`TraceStore`], as
-//!    pool jobs, so no simulation cell ever blocks on the VM.
-//! 2. **Execute** — the matrix is flattened into cells; idle workers
-//!    pull the next cell as they finish (see [`SweepPool`]), so a slow
-//!    benchmark under one scheme overlaps with everything else. Each
-//!    cell builds a monomorphized [`AnyPredictor`](tlabp_core::any::AnyPredictor)
-//!    and, when no context switches are simulated, runs the packed
-//!    conditional-branch fast path ([`simulate_packed`]).
-//! 3. **Reassemble** — cell results are stitched back into one
-//!    [`SuiteResult`] per configuration, in the caller's configuration
-//!    order and the benchmark order of [`Benchmark::ALL`]. Output is a
-//!    pure function of the inputs: pool size and scheduling never leak
-//!    into it (asserted by the 1-vs-N-thread determinism test).
+//! Historically this module owned its own three-phase executor
+//! (pre-generate traces, flatten cells, reassemble suites). That logic
+//! now lives in the general [`crate::engine`]; `run_sweep` survives as
+//! the convenience entry point for the most common plan shape — every
+//! configuration on every benchmark — expressed as
+//! [`Plan::suites`](crate::plan::Plan::suites) and executed by
+//! [`engine::execute_on`](crate::engine::execute_on).
 //!
 //! # Example
 //!
@@ -37,11 +24,12 @@
 //! ```
 
 use tlabp_core::config::SchemeConfig;
-use tlabp_workloads::{Benchmark, DataSet};
 
-use crate::metrics::{BenchmarkAccuracy, SuiteResult};
+use crate::engine;
+use crate::metrics::SuiteResult;
+use crate::plan::Plan;
 use crate::pool::SweepPool;
-use crate::runner::{simulate, simulate_packed, SimConfig};
+use crate::runner::SimConfig;
 use crate::suite::TraceStore;
 
 /// Runs every configuration over every benchmark on the process-wide
@@ -65,94 +53,13 @@ pub fn run_sweep_on(
     store: &TraceStore,
     sim: &SimConfig,
 ) -> Vec<SuiteResult> {
-    // Phase 1: pre-generate each needed trace once, in parallel.
-    let needs_training = configs.iter().any(SchemeConfig::needs_training);
-    let mut needed: Vec<(&'static Benchmark, DataSet)> = Vec::new();
-    for benchmark in &Benchmark::ALL {
-        needed.push((benchmark, DataSet::Testing));
-        if needs_training && benchmark.has_training_set() {
-            needed.push((benchmark, DataSet::Training));
-        }
-    }
-    pool.run(needed.into_iter().map(|(benchmark, data_set)| {
-        let store = store.clone();
-        move || {
-            let _generated = store.get(benchmark, data_set);
-        }
-    }));
-
-    // Phase 2: flatten the matrix and let idle workers pull cells.
-    let cells = configs.iter().flat_map(|config| {
-        Benchmark::ALL.iter().map(|benchmark| {
-            let config = *config;
-            let sim = *sim;
-            let store = store.clone();
-            move || run_cell(&config, benchmark, &store, &sim)
-        })
-    });
-    let mut rows = pool.run(cells).into_iter();
-
-    // Phase 3: reassemble per-config suites in deterministic order.
-    configs
-        .iter()
-        .map(|config| SuiteResult {
-            scheme: config.to_string(),
-            rows: rows.by_ref().take(Benchmark::ALL.len()).collect(),
-        })
-        .collect()
-}
-
-/// Evaluates one (scheme, benchmark) cell.
-///
-/// Training schemes on benchmarks without a training set yield the
-/// unmeasured row (`accuracy: None`), as in `run_suite`. Cells without
-/// context-switch simulation take the packed monomorphized fast path;
-/// the differential tests pin it bit-identical to the boxed full-trace
-/// loop.
-fn run_cell(
-    config: &SchemeConfig,
-    benchmark: &Benchmark,
-    store: &TraceStore,
-    sim: &SimConfig,
-) -> BenchmarkAccuracy {
-    let mut effective_sim = *sim;
-    if config.context_switch() && effective_sim.context_switch.is_none() {
-        effective_sim = SimConfig::paper_context_switch();
-    }
-
-    let mut predictor = if config.needs_training() {
-        if !benchmark.has_training_set() {
-            return BenchmarkAccuracy {
-                benchmark: benchmark.name().to_owned(),
-                kind: benchmark.kind().into(),
-                accuracy: None,
-                context_switches: 0,
-                predictions: 0,
-            };
-        }
-        let training = store.get(benchmark, DataSet::Training);
-        config.build_any_trained(&training)
-    } else {
-        config.build_any().expect("non-training scheme builds")
-    };
-
-    let result = if effective_sim.context_switch.is_none() {
-        simulate_packed(&mut predictor, &store.get_packed(benchmark, DataSet::Testing))
-    } else {
-        simulate(&mut predictor, &store.get(benchmark, DataSet::Testing), &effective_sim)
-    };
-    BenchmarkAccuracy {
-        benchmark: benchmark.name().to_owned(),
-        kind: benchmark.kind().into(),
-        accuracy: Some(result.accuracy()),
-        context_switches: result.context_switches,
-        predictions: result.predictions,
-    }
+    engine::execute_on(pool, &Plan::suites(configs, sim), store).suites()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tlabp_workloads::Benchmark;
 
     #[test]
     fn sweep_preserves_config_order() {
@@ -164,8 +71,7 @@ mod tests {
             assert_eq!(suite.scheme, config.to_string());
             assert_eq!(suite.rows.len(), Benchmark::ALL.len());
         }
-        let names: Vec<&str> =
-            suites[0].rows.iter().map(|r| r.benchmark.as_str()).collect();
+        let names: Vec<&str> = suites[0].rows.iter().map(|r| r.benchmark.as_str()).collect();
         let expected: Vec<&str> = Benchmark::ALL.iter().map(Benchmark::name).collect();
         assert_eq!(names, expected, "rows follow Benchmark::ALL order");
     }
@@ -178,11 +84,22 @@ mod tests {
     }
 
     #[test]
-    fn training_traces_generated_only_when_needed() {
+    fn traces_generated_only_for_measurable_cells() {
         let store = TraceStore::new();
         let _ = run_sweep(&[SchemeConfig::profiling()], &store, &SimConfig::no_context_switch());
-        let with_training =
-            Benchmark::ALL.iter().filter(|b| b.has_training_set()).count();
-        assert_eq!(store.len(), Benchmark::ALL.len() + with_training);
+        // A profiled scheme only runs where a training set exists, so the
+        // engine generates a testing and a training trace for exactly
+        // those benchmarks and never touches the rest.
+        let with_training = Benchmark::ALL.iter().filter(|b| b.has_training_set()).count();
+        assert_eq!(store.len(), 2 * with_training);
+    }
+
+    #[test]
+    fn duplicate_configs_yield_separate_suites() {
+        let store = TraceStore::new();
+        let configs = [SchemeConfig::btfn(), SchemeConfig::btfn()];
+        let suites = run_sweep(&configs, &store, &SimConfig::no_context_switch());
+        assert_eq!(suites.len(), 2, "duplicate configs must not merge");
+        assert_eq!(suites[0], suites[1]);
     }
 }

@@ -129,10 +129,7 @@ impl BranchRecord {
     /// [`BranchRecord::conditional`] for those.
     #[must_use]
     pub fn unconditional(pc: u64, class: BranchClass, target: u64, instret: u64) -> Self {
-        assert!(
-            !class.is_conditional(),
-            "use BranchRecord::conditional for conditional branches"
-        );
+        assert!(!class.is_conditional(), "use BranchRecord::conditional for conditional branches");
         BranchRecord { pc, class, taken: true, target, instret }
     }
 

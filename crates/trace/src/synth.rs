@@ -232,10 +232,7 @@ impl CorrelatedBranches {
     /// Panics if `feeder_taken_prob` is outside `[0, 1]`.
     #[must_use]
     pub fn new(correlation: Correlation, rounds: usize, feeder_taken_prob: f64, seed: u64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&feeder_taken_prob),
-            "probability must be in [0, 1]"
-        );
+        assert!((0.0..=1.0).contains(&feeder_taken_prob), "probability must be in [0, 1]");
         CorrelatedBranches { correlation, rounds, feeder_taken_prob, seed }
     }
 
@@ -329,11 +326,8 @@ mod tests {
     fn nested_loop_inner_executions() {
         let trace = LoopNest::new(&[2, 5]).generate();
         let inner_pc = synth_pc(1);
-        let inner: Vec<bool> = trace
-            .conditional_branches()
-            .filter(|b| b.pc == inner_pc)
-            .map(|b| b.taken)
-            .collect();
+        let inner: Vec<bool> =
+            trace.conditional_branches().filter(|b| b.pc == inner_pc).map(|b| b.taken).collect();
         assert_eq!(inner.len(), 10);
         // Inner loop exits (not taken) exactly twice, once per outer iteration.
         assert_eq!(inner.iter().filter(|&&t| !t).count(), 2);

@@ -220,11 +220,8 @@ mod tests {
 
     #[test]
     fn table2_na_entries() {
-        let no_training: Vec<&str> = Benchmark::ALL
-            .iter()
-            .filter(|b| !b.has_training_set())
-            .map(|b| b.name())
-            .collect();
+        let no_training: Vec<&str> =
+            Benchmark::ALL.iter().filter(|b| !b.has_training_set()).map(|b| b.name()).collect();
         assert_eq!(no_training, vec!["eqntott", "fpppp", "matrix300", "tomcatv"]);
     }
 
@@ -241,9 +238,7 @@ mod tests {
                 "{}: instruction counts differ between data sets",
                 b.name()
             );
-            for (i, (a, c)) in
-                train.instructions().iter().zip(test.instructions()).enumerate()
-            {
+            for (i, (a, c)) in train.instructions().iter().zip(test.instructions()).enumerate() {
                 assert_eq!(
                     std::mem::discriminant(a),
                     std::mem::discriminant(c),

@@ -77,11 +77,7 @@ pub fn emit_fill_rand(b: &mut ProgramBuilder, modulus: i64) {
 
 /// Emits the header of a counted loop: initializes `counter` to zero and
 /// binds the returned body label. Close it with [`counted_loop_end`].
-pub fn counted_loop_begin(
-    b: &mut ProgramBuilder,
-    name: &str,
-    counter: Reg,
-) -> Label {
+pub fn counted_loop_begin(b: &mut ProgramBuilder, name: &str, counter: Reg) -> Label {
     b.li(counter, 0);
     let body = b.label(name);
     b.bind(body);

@@ -44,8 +44,7 @@ fn build(rounds: i64, seed: i64) -> Program {
     codegen::seed_rng(&mut b, seed);
 
     // Declare all function labels up front so the driver can call forward.
-    let entries: Vec<Label> =
-        (0..FUNCTIONS).map(|f| b.label(format!("fn{f}"))).collect();
+    let entries: Vec<Label> = (0..FUNCTIONS).map(|f| b.label(format!("fn{f}"))).collect();
     let driver_end = b.label("driver_end");
 
     let cold = FUNCTIONS - HOT;

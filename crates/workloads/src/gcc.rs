@@ -218,11 +218,7 @@ mod tests {
             "gcc must have thousands of static branches, got {}",
             summary.static_conditional_branches
         );
-        assert!(
-            summary.traps > 100,
-            "gcc must trap frequently, got {} traps",
-            summary.traps
-        );
+        assert!(summary.traps > 100, "gcc must trap frequently, got {} traps", summary.traps);
         assert!(summary.dynamic_conditional_branches > 100_000);
     }
 

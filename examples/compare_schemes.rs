@@ -34,10 +34,7 @@ fn main() {
     // The paper's headline: Two-Level Adaptive Branch Prediction is
     // superior to every other known scheme.
     let two_level = results[0].total_gmean();
-    let best_other = results[3..]
-        .iter()
-        .map(|r| r.total_gmean())
-        .fold(f64::NEG_INFINITY, f64::max);
+    let best_other = results[3..].iter().map(|r| r.total_gmean()).fold(f64::NEG_INFINITY, f64::max);
     println!(
         "two-level PAg(12): {:.2}%   best non-two-level scheme: {:.2}%   margin: {:.2} points",
         100.0 * two_level,

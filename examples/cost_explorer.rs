@@ -30,8 +30,7 @@ fn main() {
     println!("\nmeasuring candidate configurations (this runs the full suite)...\n");
     let store = TraceStore::new();
     let sim = SimConfig::no_context_switch();
-    let candidates =
-        [SchemeConfig::gag(18), SchemeConfig::pag(12), SchemeConfig::pap(8)];
+    let candidates = [SchemeConfig::gag(18), SchemeConfig::pag(12), SchemeConfig::pap(8)];
     println!("{:<42} {:>10} {:>14}", "configuration", "accuracy", "cost");
     let mut best: Option<(String, f64)> = None;
     for config in candidates {

@@ -1,8 +1,10 @@
 #!/usr/bin/env sh
-# Full offline verification: release build, test suite, strict clippy.
+# Full offline verification: release build, test suite, strict clippy
+# across the whole workspace, and formatting.
 # Run from the repository root. Requires no network access.
 set -eux
 
 cargo build --release --workspace
 cargo test -q --workspace
-cargo clippy --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --all --check

@@ -56,10 +56,7 @@ impl ModelBht {
     fn pattern(&self, pc: u64) -> Option<usize> {
         let set = self.set_of(pc);
         let tag = self.tag_of(pc);
-        self.sets[set]
-            .iter()
-            .find(|&&(t, _, _)| t == tag)
-            .map(|&(_, history, _)| history as usize)
+        self.sets[set].iter().find(|&&(t, _, _)| t == tag).map(|&(_, history, _)| history as usize)
     }
 
     fn record_outcome(&mut self, pc: u64, taken: bool) -> bool {

@@ -52,10 +52,7 @@ fn traces() -> Vec<(&'static str, Trace)> {
         ("biased_coins", BiasedCoins::uniform(24, 0.7, 400, 7).generate()),
         ("correlated", CorrelatedBranches::new(Correlation::Xor, 2000, 0.5, 11).generate()),
         ("markov", MarkovBranches::new(16, 0.85, 3000, 23).generate()),
-        (
-            "li_testing",
-            Benchmark::by_name("li").expect("li exists").trace(DataSet::Testing),
-        ),
+        ("li_testing", Benchmark::by_name("li").expect("li exists").trace(DataSet::Testing)),
     ]
 }
 
@@ -116,6 +113,38 @@ fn every_catalog_scheme_is_path_invariant() {
                 );
             }
         }
+    }
+}
+
+/// The execution engine's three lowerings agree job-for-job: a scheme
+/// job on the fast path, the same scheme forced onto the reference path,
+/// and the same predictor entering as a registry-built custom job (the
+/// `AnyPredictor::Dyn` escape hatch) all produce identical accuracy
+/// counters.
+#[test]
+fn engine_paths_agree_for_every_lowering() {
+    use tlabp::core::registry;
+    use tlabp::sim::engine::execute;
+    use tlabp::sim::plan::{Job, Plan};
+    use tlabp::sim::TraceStore;
+
+    let li = Benchmark::by_name("li").expect("li exists");
+    let configs = [SchemeConfig::pag(8), SchemeConfig::gag(10).with_automaton(Automaton::A3)];
+    for config in configs {
+        let name = format!("differential-dyn-{config}");
+        registry::register(&name, move || Box::new(config.build_any().expect("builds")));
+        let plan: Plan = [
+            Job::scheme(config, li),
+            Job::scheme(config, li).with_reference_path(true),
+            Job::custom(name.clone(), li),
+        ]
+        .into_iter()
+        .collect();
+        let results = execute(&plan, &TraceStore::new());
+        let sims: Vec<&SimResult> =
+            results.iter().map(|(_, outcome)| &outcome.metrics().expect("measured").sim).collect();
+        assert_eq!(sims[0], sims[1], "fast vs reference diverged for {config}");
+        assert_eq!(sims[0], sims[2], "fast vs dyn diverged for {config}");
     }
 }
 

@@ -45,11 +45,7 @@ fn per_address_schemes_collapse_to_gag_on_one_branch() {
         let mut pag_tiny = Pag::new(10, BhtConfig::Cache { entries: 1, ways: 1 }, Automaton::A2);
         assert_eq!(decisions(&mut pag, &records), reference, "PAg/IBHT, seed {seed}");
         assert_eq!(decisions(&mut pap, &records), reference, "PAp/IBHT, seed {seed}");
-        assert_eq!(
-            decisions(&mut pag_tiny, &records),
-            reference,
-            "PAg/1-entry cache, seed {seed}"
-        );
+        assert_eq!(decisions(&mut pag_tiny, &records), reference, "PAg/1-entry cache, seed {seed}");
     }
 }
 
@@ -109,8 +105,8 @@ fn all_variations_agree_in_steady_state_on_short_patterns() {
 /// independent GAg machines over a shared pattern table would.
 #[test]
 fn pag_is_per_branch_histories_over_a_shared_table() {
-    use tlabp::core::pht::PatternHistoryTable;
     use tlabp::core::history::HistoryRegister;
+    use tlabp::core::pht::PatternHistoryTable;
 
     let mut records = Vec::new();
     let mut state = 123u64;
@@ -135,9 +131,8 @@ fn pag_is_per_branch_histories_over_a_shared_table() {
     let expected: Vec<bool> = records
         .iter()
         .map(|record| {
-            let (history, fresh) = histories
-                .entry(record.pc)
-                .or_insert((HistoryRegister::all_ones(6), true));
+            let (history, fresh) =
+                histories.entry(record.pc).or_insert((HistoryRegister::all_ones(6), true));
             let predicted = pht.predict(history.pattern());
             pht.update(history.pattern(), record.taken);
             if *fresh {

@@ -79,11 +79,7 @@ fn alu_matches_reference() {
         match eval_reference(op, a, b) {
             Some(expected) => {
                 vm.run().expect("program runs");
-                assert_eq!(
-                    vm.reg(Reg::new(3)),
-                    expected,
-                    "{op:?}({a}, {b}) in case {case}"
-                );
+                assert_eq!(vm.reg(Reg::new(3)), expected, "{op:?}({a}, {b}) in case {case}");
             }
             None => {
                 assert!(vm.run().is_err(), "division by zero must fault (case {case})");
@@ -168,8 +164,7 @@ fn assembler_and_builder_agree() {
 fn call_return_balance() {
     for depth in [1usize, 2, 3, 7, 15, 29] {
         let mut builder = ProgramBuilder::new();
-        let labels: Vec<_> =
-            (0..depth).map(|i| builder.label(format!("fn{i}"))).collect();
+        let labels: Vec<_> = (0..depth).map(|i| builder.label(format!("fn{i}"))).collect();
         builder.call(labels[0]);
         builder.halt();
         for (i, label) in labels.iter().enumerate() {
@@ -184,14 +179,9 @@ fn call_return_balance() {
         vm.run().expect("program runs");
         assert_eq!(vm.reg(Reg::new(1)), depth as i64);
         let trace = vm.into_trace();
-        let calls = trace
-            .branches()
-            .filter(|b| b.class == tlabp::trace::BranchClass::Call)
-            .count();
-        let returns = trace
-            .branches()
-            .filter(|b| b.class == tlabp::trace::BranchClass::Return)
-            .count();
+        let calls = trace.branches().filter(|b| b.class == tlabp::trace::BranchClass::Call).count();
+        let returns =
+            trace.branches().filter(|b| b.class == tlabp::trace::BranchClass::Return).count();
         assert_eq!(calls, depth);
         assert_eq!(returns, depth);
     }

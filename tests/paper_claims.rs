@@ -5,7 +5,9 @@ use tlabp::core::automaton::Automaton;
 use tlabp::core::config::SchemeConfig;
 use tlabp::core::cost::{BhtGeometry, CostModel};
 use tlabp::sim::runner::{simulate, SimConfig};
-use tlabp::trace::synth::{BiasedCoins, CorrelatedBranches, Correlation, MarkovBranches, RepeatingPattern};
+use tlabp::trace::synth::{
+    BiasedCoins, CorrelatedBranches, Correlation, MarkovBranches, RepeatingPattern,
+};
 use tlabp::trace::Trace;
 
 fn accuracy(config: &SchemeConfig, trace: &Trace) -> f64 {
@@ -25,10 +27,7 @@ fn global_history_captures_correlation() {
     let trace = CorrelatedBranches::new(Correlation::Xor, 4000, 0.5, 42).generate();
     let gag = accuracy(&SchemeConfig::gag(8), &trace);
     let btb = accuracy(&SchemeConfig::btb(Automaton::A2), &trace);
-    assert!(
-        gag > 0.62,
-        "GAg must learn the XOR branch (ceiling ≈ 0.67): {gag:.4}"
-    );
+    assert!(gag > 0.62, "GAg must learn the XOR branch (ceiling ≈ 0.67): {gag:.4}");
     assert!(btb < 0.58, "a per-branch counter cannot learn XOR: {btb:.4}");
     assert!(gag > btb + 0.08, "GAg {gag:.4} vs BTB {btb:.4}");
 }
@@ -54,10 +53,7 @@ fn four_state_automata_tolerate_deviations() {
     }
     let a2 = accuracy(&SchemeConfig::pag(8), &trace);
     let lt = accuracy(&SchemeConfig::pag(8).with_automaton(Automaton::LastTime), &trace);
-    assert!(
-        a2 > lt,
-        "A2 ({a2:.4}) must beat Last-Time ({lt:.4}) under deviations"
-    );
+    assert!(a2 > lt, "A2 ({a2:.4}) must beat Last-Time ({lt:.4}) under deviations");
     assert!(a2 > 0.95, "A2 should still nail the noisy pattern: {a2:.4}");
 }
 
@@ -71,16 +67,13 @@ fn longer_global_history_helps_on_long_patterns() {
     // 14-bit window is unique.
     let pattern = [
         true, true, true, true, true, true, true, false, // 7 taken, exit
-        true, true, true, true, true, true, // 6 taken
+        true, true, true, true, true, true,  // 6 taken
         false, // second exit
     ];
     let trace = RepeatingPattern::new(&pattern, 1500).generate();
     let short = accuracy(&SchemeConfig::gag(6), &trace);
     let long = accuracy(&SchemeConfig::gag(14), &trace);
-    assert!(
-        long > short + 0.05,
-        "GAg(14) = {long:.4} must clearly beat GAg(6) = {short:.4}"
-    );
+    assert!(long > short + 0.05, "GAg(14) = {long:.4} must clearly beat GAg(6) = {short:.4}");
     assert!(long > 0.99, "GAg(14) should be near-perfect: {long:.4}");
 }
 
@@ -135,10 +128,7 @@ fn pap_slope_exceeds_pag_slope() {
     let large = BhtGeometry { entries: 1024, ways: 4 };
     let pag_slope = model.pag_cost(large, 10, 2) - model.pag_cost(small, 10, 2);
     let pap_slope = model.pap_cost(large, 10, 2) - model.pap_cost(small, 10, 2);
-    assert!(
-        pap_slope > 10.0 * pag_slope,
-        "PAp slope {pap_slope} must dwarf PAg slope {pag_slope}"
-    );
+    assert!(pap_slope > 10.0 * pag_slope, "PAp slope {pap_slope} must dwarf PAg slope {pag_slope}");
 }
 
 /// Section 3.3: an ideal BHT can only help relative to a practical one.
@@ -152,12 +142,6 @@ fn ideal_bht_dominates_practical_bht() {
     // A working set of 2000 branches overflows a 512-entry BHT.
     let trace = MarkovBranches::new(2000, 0.9, 40, 3).generate();
     let practical = accuracy(&SchemeConfig::pag(8), &trace);
-    let ideal = accuracy(
-        &SchemeConfig::pag(8).with_bht(tlabp::core::BhtConfig::Ideal),
-        &trace,
-    );
-    assert!(
-        ideal >= practical,
-        "ideal ({ideal:.4}) must be at least practical ({practical:.4})"
-    );
+    let ideal = accuracy(&SchemeConfig::pag(8).with_bht(tlabp::core::BhtConfig::Ideal), &trace);
+    assert!(ideal >= practical, "ideal ({ideal:.4}) must be at least practical ({practical:.4})");
 }

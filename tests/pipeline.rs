@@ -22,11 +22,7 @@ fn workload_to_prediction_pipeline() {
     let mut predictor = SchemeConfig::pag(12).build().expect("PAg builds");
     let result = simulate(&mut *predictor, &reloaded, &SimConfig::default());
     assert!(result.predictions > 40_000);
-    assert!(
-        result.accuracy() > 0.8,
-        "PAg(12) on li: {:.4}",
-        result.accuracy()
-    );
+    assert!(result.accuracy() > 0.8, "PAg(12) on li: {:.4}", result.accuracy());
 }
 
 #[test]
@@ -100,12 +96,7 @@ fn training_schemes_train_on_training_trace_and_run_on_testing() {
     for config in [SchemeConfig::psg(10), SchemeConfig::gsg(10), SchemeConfig::profiling()] {
         let mut predictor = config.build_trained(&training);
         let result = simulate(&mut *predictor, &testing, &SimConfig::default());
-        assert!(
-            result.accuracy() > 0.6,
-            "{}: accuracy {:.4}",
-            config,
-            result.accuracy()
-        );
+        assert!(result.accuracy() > 0.6, "{}: accuracy {:.4}", config, result.accuracy());
     }
 }
 

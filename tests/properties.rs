@@ -79,8 +79,7 @@ fn history_register_matches_reference_model() {
             hr.shift_in(taken);
             model.remove(0);
             model.push(taken);
-            let expected: usize =
-                model.iter().fold(0, |acc, &bit| (acc << 1) | usize::from(bit));
+            let expected: usize = model.iter().fold(0, |acc, &bit| (acc << 1) | usize::from(bit));
             assert_eq!(hr.pattern(), expected);
             for (age, &bit) in model.iter().rev().enumerate() {
                 assert_eq!(hr.outcome(age as u32), bit);
@@ -146,7 +145,7 @@ fn scheme_notation_round_trips() {
         let k = rng.next_range(1, 19) as u32;
         let automaton = random_automaton(&mut rng);
         let entries = 1usize << rng.next_range(4, 12);
-        let ways = (1usize << rng.next_below(4)) .min(entries);
+        let ways = (1usize << rng.next_below(4)).min(entries);
         let bht = BhtConfig::Cache { entries, ways };
         let config = match rng.next_below(4) {
             0 => SchemeConfig::gag(k).with_automaton(automaton),
@@ -173,11 +172,8 @@ fn speculative_gag_with_zero_delay_equals_gag() {
             MispredictRepair::Reinitialize
         };
         let mut plain = Gag::new(8, Atm::A2);
-        let mut speculative = SpeculativeGag::new(
-            8,
-            Atm::A2,
-            HistoryUpdatePolicy::Speculative { delay: 0, repair },
-        );
+        let mut speculative =
+            SpeculativeGag::new(8, Atm::A2, HistoryUpdatePolicy::Speculative { delay: 0, repair });
         for (i, taken) in random_outcomes(&mut rng).into_iter().enumerate() {
             let record = BranchRecord::conditional(0x100, taken, 0x40, i as u64 + 1);
             let a = plain.predict(&record);

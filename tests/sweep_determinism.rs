@@ -51,3 +51,42 @@ fn repeated_sweeps_on_one_store_are_stable() {
     let second = run_sweep_on(&pool, &configs, &store, &sim);
     assert_eq!(first, second);
 }
+
+/// The same independence holds for a heterogeneous plan: scheme jobs,
+/// context-switch jobs, registry-built custom jobs and instrumented
+/// metric jobs mixed in one batch must come back bit-identical whether
+/// one worker or eight executed them.
+#[test]
+fn engine_results_are_identical_across_pool_sizes() {
+    use tlabp::core::registry;
+    use tlabp::sim::engine::execute_on;
+    use tlabp::sim::plan::{Job, MetricSet, Plan, TargetCacheSpec};
+    use tlabp::workloads::Benchmark;
+
+    registry::register("determinism-dyn-pag8", || {
+        Box::new(SchemeConfig::pag(8).build_any().expect("builds"))
+    });
+    let plan: Plan = Benchmark::ALL
+        .iter()
+        .flat_map(|benchmark| {
+            [
+                Job::scheme(SchemeConfig::pag(8), benchmark),
+                Job::scheme(SchemeConfig::gag(10).with_context_switch(true), benchmark),
+                Job::custom("determinism-dyn-pag8", benchmark),
+                Job::scheme(SchemeConfig::pag(12), benchmark)
+                    .with_metrics(MetricSet { miss_breakdown: true, fetch: None }),
+                Job::scheme(SchemeConfig::pag(12), benchmark).with_metrics(MetricSet {
+                    miss_breakdown: false,
+                    fetch: Some(TargetCacheSpec::PAPER_DEFAULT),
+                }),
+            ]
+        })
+        .collect();
+
+    let serial_pool = SweepPool::new(1);
+    let serial = execute_on(&serial_pool, &plan, &TraceStore::new());
+    let parallel_pool = SweepPool::new(8);
+    let parallel = execute_on(&parallel_pool, &plan, &TraceStore::new());
+    assert_eq!(serial.len(), plan.len());
+    assert_eq!(serial, parallel, "pool size changed the engine output");
+}

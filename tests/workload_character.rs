@@ -22,10 +22,8 @@ fn regular_fp_benchmarks_are_easy_for_everyone() {
     for name in ["fpppp", "matrix300", "tomcatv"] {
         let trace = Benchmark::by_name(name).unwrap().trace(DataSet::Testing);
         // Even a plain 2-bit-counter BTB does well here.
-        let mut btb =
-            SchemeConfig::btb(tlabp::core::Automaton::A2).build().expect("BTB builds");
-        let accuracy =
-            simulate(&mut *btb, &trace, &SimConfig::no_context_switch()).accuracy();
+        let mut btb = SchemeConfig::btb(tlabp::core::Automaton::A2).build().expect("BTB builds");
+        let accuracy = simulate(&mut *btb, &trace, &SimConfig::no_context_switch()).accuracy();
         assert!(accuracy > 0.8, "{name}: BTB accuracy {accuracy:.4}");
     }
 }
@@ -50,10 +48,7 @@ fn two_level_edge_is_larger_on_integer_codes() {
         }
         edges.push(edge_sum / f64::from(count));
     }
-    assert!(
-        edges[0] > 0.0 && edges[1] > 0.0,
-        "two-level must win on both groups: {edges:?}"
-    );
+    assert!(edges[0] > 0.0 && edges[1] > 0.0, "two-level must win on both groups: {edges:?}");
 }
 
 /// gcc is the static-branch giant and the trap factory.
@@ -70,10 +65,7 @@ fn gcc_character() {
 fn li_is_recursion_heavy() {
     let s = summary("li");
     let return_fraction = s.mix.fraction(BranchClass::Return);
-    assert!(
-        return_fraction > 0.02,
-        "li returns fraction {return_fraction:.4}"
-    );
+    assert!(return_fraction > 0.02, "li returns fraction {return_fraction:.4}");
     assert_eq!(s.mix.calls, s.mix.returns, "calls and returns must balance");
 }
 
@@ -122,12 +114,7 @@ fn training_inputs_are_smaller() {
 fn programs_are_substantial() {
     for benchmark in &Benchmark::ALL {
         let program = benchmark.program(DataSet::Testing);
-        assert!(
-            program.len() > 500,
-            "{}: only {} instructions",
-            benchmark.name(),
-            program.len()
-        );
+        assert!(program.len() > 500, "{}: only {} instructions", benchmark.name(), program.len());
         assert!(program.static_conditional_branches() > 50, "{}", benchmark.name());
     }
 }
