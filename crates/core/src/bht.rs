@@ -72,6 +72,33 @@ impl BhtConfig {
     }
 }
 
+/// The identity of a first-level table's *state evolution*: its
+/// implementation, geometry and history width.
+///
+/// A branch history table is outcome-driven — every mutation
+/// (allocation, LRU touch, history fill/shift, eviction) depends only on
+/// the access sequence and the resolved directions, never on any
+/// prediction. Two tables with equal signatures, stepped over the same
+/// stream, therefore hold identical state at every event. The fused
+/// sweep exploits this: predictors in a batch whose tables share a
+/// signature are driven by one table walked once per chunk (see
+/// `BranchPredictor::shared_bht` in [`crate::predictor`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BhtSignature {
+    /// Table implementation and geometry.
+    pub config: BhtConfig,
+    /// History register width in bits.
+    pub history_bits: u32,
+}
+
+impl BhtSignature {
+    /// Builds a fresh table in this signature's initial state.
+    #[must_use]
+    pub fn build(self) -> BranchHistoryTable {
+        self.config.build(self.history_bits)
+    }
+}
+
 /// Hit/miss counters for a branch history table.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BhtStats {
@@ -110,6 +137,11 @@ struct IdealEntry {
 pub struct IdealBht {
     history_bits: u32,
     entries: FxHashMap<u64, IdealEntry>,
+    /// Entries keyed by dense interned id instead of pc — the fused
+    /// sweep's fast path (see [`IdealBht::access_pattern_id`]). A
+    /// predictor instance is driven either entirely by pc or entirely by
+    /// id, so at most one of the two stores is ever populated.
+    dense: Vec<Option<IdealEntry>>,
     stats: BhtStats,
 }
 
@@ -117,7 +149,12 @@ impl IdealBht {
     /// Creates an empty ideal table for `history_bits`-bit registers.
     #[must_use]
     pub fn new(history_bits: u32) -> Self {
-        IdealBht { history_bits, entries: FxHashMap::default(), stats: BhtStats::default() }
+        IdealBht {
+            history_bits,
+            entries: FxHashMap::default(),
+            dense: Vec::new(),
+            stats: BhtStats::default(),
+        }
     }
 
     /// Looks up `pc`, allocating an all-ones entry on first sight.
@@ -160,6 +197,51 @@ impl IdealBht {
         entry.history.pattern()
     }
 
+    /// [`IdealBht::access_pattern`] keyed by a dense interned id: a
+    /// bounds check and vector index replace the hash lookup.
+    ///
+    /// `id` must alias one pc bijectively over this table's lifetime
+    /// (one trace's interning — see `tlabp_trace::InternedConds`), and
+    /// the instance must not also be driven through the pc-keyed
+    /// methods; then hits, misses and patterns are bit-identical to
+    /// [`IdealBht::access_pattern`] on the aliased pcs.
+    #[inline]
+    pub fn access_pattern_id(&mut self, id: u32) -> usize {
+        let index = id as usize;
+        if index >= self.dense.len() {
+            self.dense.resize(index + 1, None);
+        }
+        match &self.dense[index] {
+            Some(entry) => {
+                self.stats.hits += 1;
+                entry.history.pattern()
+            }
+            None => {
+                self.stats.misses += 1;
+                let entry = IdealEntry {
+                    history: HistoryRegister::all_ones(self.history_bits),
+                    fresh: true,
+                };
+                let pattern = entry.history.pattern();
+                self.dense[index] = Some(entry);
+                pattern
+            }
+        }
+    }
+
+    /// [`IdealBht::record_outcome`] keyed by a dense interned id.
+    #[inline]
+    pub fn record_outcome_id(&mut self, id: u32, taken: bool) {
+        if let Some(Some(entry)) = self.dense.get_mut(id as usize) {
+            if entry.fresh {
+                entry.history.fill(taken);
+                entry.fresh = false;
+            } else {
+                entry.history.shift_in(taken);
+            }
+        }
+    }
+
     /// Records the resolved outcome for `pc`: extends the result bit
     /// through a fresh register, otherwise shifts it in. Returns `false`
     /// if `pc` has no entry (e.g. it was flushed between predict and
@@ -179,21 +261,22 @@ impl IdealBht {
         }
     }
 
-    /// Number of distinct static branches seen.
+    /// Number of distinct static branches seen (by pc or by id).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.len() + self.dense.iter().filter(|e| e.is_some()).count()
     }
 
     /// Whether the table holds no entries.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// Discards all entries (context switch).
     pub fn flush(&mut self) {
         self.entries.clear();
+        self.dense.clear();
     }
 
     /// Access statistics.
@@ -239,6 +322,12 @@ pub struct CacheBht {
     slots: Vec<CacheSlot>,
     clock: u64,
     stats: BhtStats,
+    /// Per-interned-id memo of the derived lookup key `(set base, tag)`.
+    /// The mapping is a pure function of the pc (no table state), so it
+    /// survives flushes; dense ids make caching it a vector index, which
+    /// the pc-keyed path could only match by paying a hash lookup. Only
+    /// [`CacheBht::access_slot_interned`] touches this.
+    id_keys: Vec<Option<(u32, u64)>>,
 }
 
 impl CacheBht {
@@ -272,6 +361,7 @@ impl CacheBht {
             slots: vec![empty; entries],
             clock: 0,
             stats: BhtStats::default(),
+            id_keys: Vec::new(),
         }
     }
 
@@ -323,19 +413,51 @@ impl CacheBht {
     /// re-running the tag search. The second element is the hit flag.
     #[inline]
     pub fn access_slot(&mut self, pc: u64) -> (usize, bool) {
+        let base = self.set_index(pc) * self.ways;
+        let tag = self.tag(pc);
+        self.access_set(base, tag)
+    }
+
+    /// [`CacheBht::access_slot`] with the derived key `(set base, tag)`
+    /// memoized per interned id, so the steady state replaces the
+    /// index/tag arithmetic (including a division) with one vector read.
+    /// Same bijection contract as [`IdealBht::access_pattern_id`].
+    #[inline]
+    pub fn access_slot_interned(&mut self, id: u32, pc: u64) -> (usize, bool) {
+        let index = id as usize;
+        if index >= self.id_keys.len() {
+            self.id_keys.resize(index + 1, None);
+        }
+        let (base, tag) = match self.id_keys[index] {
+            Some(key) => key,
+            None => {
+                let key = ((self.set_index(pc) * self.ways) as u32, self.tag(pc));
+                self.id_keys[index] = Some(key);
+                key
+            }
+        };
+        self.access_set(base as usize, tag)
+    }
+
+    /// The access/replacement core shared by the pc-keyed and id-memoized
+    /// lookups: LRU-touch the matching way of the set at `base`, or
+    /// allocate over the least recently used one.
+    #[inline]
+    fn access_set(&mut self, base: usize, tag: u64) -> (usize, bool) {
         self.clock += 1;
-        if let Some(i) = self.find(pc) {
+        let hit = self.slots[base..base + self.ways]
+            .iter()
+            .position(|slot| slot.valid && slot.tag == tag);
+        if let Some(way) = hit {
+            let i = base + way;
             self.slots[i].last_used = self.clock;
             self.stats.hits += 1;
             return (i, true);
         }
         self.stats.misses += 1;
-        let set = self.set_index(pc);
-        let base = set * self.ways;
         let victim = (base..base + self.ways)
             .min_by_key(|&i| (self.slots[i].valid, self.slots[i].last_used))
             .expect("set has at least one way");
-        let tag = self.tag(pc);
         let history_bits = self.history_bits;
         let slot = &mut self.slots[victim];
         slot.valid = true;
@@ -453,6 +575,22 @@ impl BhtCursor {
 }
 
 impl BranchHistoryTable {
+    /// This table's [`BhtSignature`]: a fresh
+    /// [`BhtSignature::build`] of it evolves identically to this table
+    /// from its initial state.
+    #[must_use]
+    pub fn signature(&self) -> BhtSignature {
+        match self {
+            BranchHistoryTable::Ideal(t) => {
+                BhtSignature { config: BhtConfig::Ideal, history_bits: t.history_bits }
+            }
+            BranchHistoryTable::Cache(t) => BhtSignature {
+                config: BhtConfig::Cache { entries: t.slots.len(), ways: t.ways },
+                history_bits: t.history_bits,
+            },
+        }
+    }
+
     /// Looks up `pc`, allocating on miss. Returns `true` on hit.
     pub fn access(&mut self, pc: u64) -> bool {
         match self {
@@ -473,6 +611,39 @@ impl BranchHistoryTable {
                 let (slot, _hit) = t.access_slot(pc);
                 (t.pattern_at(slot), BhtCursor(slot))
             }
+        }
+    }
+
+    /// [`BranchHistoryTable::access_pattern`] for an interned stream:
+    /// the ideal table indexes directly by the dense `id` (no hash); the
+    /// cache table memoizes the pc's derived `(set, tag)` key per id
+    /// ([`CacheBht::access_slot_interned`]).
+    ///
+    /// The caller owes the same bijection contract as
+    /// [`IdealBht::access_pattern_id`]: `id` and `pc` alias each other
+    /// for this table's lifetime.
+    #[inline]
+    pub fn access_pattern_interned(&mut self, id: u32, pc: u64) -> (usize, BhtCursor) {
+        match self {
+            BranchHistoryTable::Ideal(t) => (t.access_pattern_id(id), BhtCursor(BhtCursor::KEYED)),
+            BranchHistoryTable::Cache(t) => {
+                let (slot, _hit) = t.access_slot_interned(id, pc);
+                (t.pattern_at(slot), BhtCursor(slot))
+            }
+        }
+    }
+
+    /// [`BranchHistoryTable::record_outcome_at`] for an interned stream
+    /// (the `id` that [`BranchHistoryTable::access_pattern_interned`] was
+    /// just called with, in place of the pc).
+    #[inline]
+    pub fn record_outcome_at_interned(&mut self, cursor: BhtCursor, id: u32, taken: bool) {
+        match self {
+            BranchHistoryTable::Ideal(t) => t.record_outcome_id(id, taken),
+            BranchHistoryTable::Cache(t) => t.record_outcome_at(
+                cursor.slot().expect("cache table always yields a slot cursor"),
+                taken,
+            ),
         }
     }
 
@@ -570,6 +741,68 @@ mod tests {
         bht.flush();
         assert!(bht.is_empty());
         assert_eq!(bht.pattern(0x10), None);
+    }
+
+    #[test]
+    fn ideal_id_path_matches_pc_path() {
+        // The same access/outcome sequence, once keyed by pc and once by
+        // a dense alias of each pc, must produce identical patterns and
+        // identical hit/miss statistics.
+        let pcs = [0x100u64, 0x204, 0x308, 0x100, 0x40c, 0x204, 0x100, 0x510, 0x308, 0x204];
+        let mut by_pc = IdealBht::new(6);
+        let mut by_id = IdealBht::new(6);
+        let mut ids: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        for (i, &pc) in pcs.iter().cycle().take(200).enumerate() {
+            let next = ids.len() as u32;
+            let id = *ids.entry(pc).or_insert(next);
+            let taken = (i * 7 + i / 3) % 3 != 0;
+            assert_eq!(by_pc.access_pattern(pc), by_id.access_pattern_id(id), "event {i}");
+            by_pc.record_outcome(pc, taken);
+            by_id.record_outcome_id(id, taken);
+        }
+        assert_eq!(by_pc.stats(), by_id.stats());
+        assert_eq!(by_pc.len(), by_id.len());
+    }
+
+    #[test]
+    fn ideal_id_path_flushes_too() {
+        let mut bht = IdealBht::new(4);
+        bht.access_pattern_id(3);
+        assert_eq!(bht.len(), 1);
+        bht.flush();
+        assert!(bht.is_empty());
+        // Post-flush access misses and reallocates all-ones.
+        assert_eq!(bht.access_pattern_id(3), 0b1111);
+        assert_eq!(bht.stats().misses, 2);
+    }
+
+    #[test]
+    fn cache_id_memo_path_matches_pc_path() {
+        // Conflicting pcs (several share sets in a tiny table) driven
+        // once through the pc-keyed lookup and once through the
+        // id-memoized one: slots, hit flags, patterns and stats must
+        // agree event for event, across a mid-stream flush (the memo is
+        // pc-derived, not table state, so it survives).
+        let pcs = [0x100u64, 0x204, 0x308, 0x100, 0x40c, 0x204, 0x100, 0x510, 0x308, 0x204];
+        let mut by_pc = CacheBht::new(8, 2, 6);
+        let mut by_id = CacheBht::new(8, 2, 6);
+        let mut ids: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        for (i, &pc) in pcs.iter().cycle().take(200).enumerate() {
+            let next = ids.len() as u32;
+            let id = *ids.entry(pc).or_insert(next);
+            if i == 77 {
+                by_pc.flush();
+                by_id.flush();
+            }
+            let taken = (i * 7 + i / 3) % 3 != 0;
+            let (slot_pc, hit_pc) = by_pc.access_slot(pc);
+            let (slot_id, hit_id) = by_id.access_slot_interned(id, pc);
+            assert_eq!((slot_pc, hit_pc), (slot_id, hit_id), "event {i}");
+            assert_eq!(by_pc.pattern_at(slot_pc), by_id.pattern_at(slot_id), "event {i}");
+            by_pc.record_outcome_at(slot_pc, taken);
+            by_id.record_outcome_at(slot_id, taken);
+        }
+        assert_eq!(by_pc.stats(), by_id.stats());
     }
 
     #[test]
@@ -687,6 +920,23 @@ mod tests {
             bht.flush();
             assert_eq!(bht.pattern(0x123_4560), None);
         }
+    }
+
+    #[test]
+    fn signature_round_trips_through_build() {
+        for config in BhtConfig::FIGURE10 {
+            for history_bits in [6, 12] {
+                let table = config.build(history_bits);
+                let signature = table.signature();
+                assert_eq!(signature, BhtSignature { config, history_bits });
+                assert_eq!(signature.build().signature(), signature);
+            }
+        }
+        assert_ne!(
+            BhtConfig::PAPER_DEFAULT.build(6).signature(),
+            BhtConfig::PAPER_DEFAULT.build(12).signature(),
+            "history width is part of the signature"
+        );
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use tlabp_trace::BranchRecord;
 
+use crate::bht::{BhtCursor, BhtSignature};
+
 /// A dynamic (or static) conditional-branch predictor under trace-driven
 /// simulation.
 ///
@@ -69,6 +71,93 @@ pub trait BranchPredictor {
         self.update(branch);
         predicted
     }
+
+    /// [`BranchPredictor::step`] against a pc-interned stream: `id` is
+    /// the dense per-trace alias of `branch.pc` (see
+    /// `tlabp_trace::InternedConds`).
+    ///
+    /// The contract a caller must uphold: over this predictor's lifetime,
+    /// equal ids always accompany equal pcs and vice versa (one trace's
+    /// interning, never mixed with pc-keyed stepping). Under it, schemes
+    /// with ideal per-address state override this to index a dense vector
+    /// by `id` instead of hashing `branch.pc`, bit-identically. The
+    /// default ignores `id` and falls back to [`BranchPredictor::step`],
+    /// which is always correct.
+    fn step_interned(&mut self, id: u32, branch: &BranchRecord) -> bool {
+        let _ = id;
+        self.step(branch)
+    }
+
+    /// Steps every `(id, record)` of `block` in order, returning how many
+    /// predictions matched the resolved direction.
+    ///
+    /// This is the fused sweep's inner loop: the caller decodes a chunk
+    /// of the interned stream once and hands it to each predictor of the
+    /// batch, so per-event dispatch (the `AnyPredictor` variant match, or
+    /// a `dyn` call) is paid once per block instead of once per event,
+    /// and each predictor's tables stay cache-hot for the whole chunk.
+    fn step_interned_block(&mut self, block: &[(u32, BranchRecord)]) -> u64 {
+        let mut correct = 0u64;
+        for (id, branch) in block {
+            correct += u64::from(self.step_interned(*id, branch) == branch.taken);
+        }
+        correct
+    }
+
+    /// The signature of this predictor's first-level branch history
+    /// table, if its stepping factors as "walk the table, then consume
+    /// `(pattern, cursor)`" — i.e. [`BranchPredictor::step_interned`] is
+    /// equivalent to `bht.access_pattern_interned` +
+    /// [`BranchPredictor::step_shared`] + `bht.record_outcome_at_interned`.
+    ///
+    /// Table evolution is outcome-driven (see
+    /// [`BhtSignature`]), so the fused sweep walks *one* driver table per
+    /// signature group and feeds the resulting patterns to every member
+    /// through [`BranchPredictor::step_shared_block`] — each member's own
+    /// table is then left untouched. A predictor returning `Some` must
+    /// implement [`BranchPredictor::step_shared`]. The default `None`
+    /// opts out (correct for global-history and non-two-level schemes).
+    fn shared_bht(&self) -> Option<BhtSignature> {
+        None
+    }
+
+    /// One step against an externally-walked first-level table:
+    /// `pattern` and `cursor` are what this predictor's own
+    /// `bht.access_pattern_interned(id, branch.pc)` would have returned
+    /// at this point of the stream. Returns the prediction.
+    ///
+    /// Must be bit-identical to [`BranchPredictor::step_interned`] minus
+    /// the table walk. Only called when [`BranchPredictor::shared_bht`]
+    /// returns `Some`; the default panics to catch predictors that
+    /// advertise a signature without implementing the consumption step.
+    fn step_shared(
+        &mut self,
+        pattern: usize,
+        cursor: BhtCursor,
+        id: u32,
+        branch: &BranchRecord,
+    ) -> bool {
+        let _ = (pattern, cursor, id, branch);
+        unimplemented!("predictors advertising shared_bht must implement step_shared")
+    }
+
+    /// [`BranchPredictor::step_shared`] over a whole chunk: `patterns[i]`
+    /// belongs to `block[i]`. Returns how many predictions matched the
+    /// resolved direction. Like
+    /// [`BranchPredictor::step_interned_block`], overriding types hoist
+    /// their dispatch out of the per-event loop.
+    fn step_shared_block(
+        &mut self,
+        block: &[(u32, BranchRecord)],
+        patterns: &[(usize, BhtCursor)],
+    ) -> u64 {
+        debug_assert_eq!(block.len(), patterns.len());
+        let mut correct = 0u64;
+        for ((id, branch), (pattern, cursor)) in block.iter().zip(patterns) {
+            correct += u64::from(self.step_shared(*pattern, *cursor, *id, branch) == branch.taken);
+        }
+        correct
+    }
 }
 
 impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
@@ -90,6 +179,36 @@ impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
 
     fn step(&mut self, branch: &BranchRecord) -> bool {
         (**self).step(branch)
+    }
+
+    fn step_interned(&mut self, id: u32, branch: &BranchRecord) -> bool {
+        (**self).step_interned(id, branch)
+    }
+
+    fn step_interned_block(&mut self, block: &[(u32, BranchRecord)]) -> u64 {
+        (**self).step_interned_block(block)
+    }
+
+    fn shared_bht(&self) -> Option<BhtSignature> {
+        (**self).shared_bht()
+    }
+
+    fn step_shared(
+        &mut self,
+        pattern: usize,
+        cursor: BhtCursor,
+        id: u32,
+        branch: &BranchRecord,
+    ) -> bool {
+        (**self).step_shared(pattern, cursor, id, branch)
+    }
+
+    fn step_shared_block(
+        &mut self,
+        block: &[(u32, BranchRecord)],
+        patterns: &[(usize, BhtCursor)],
+    ) -> u64 {
+        (**self).step_shared_block(block, patterns)
     }
 }
 

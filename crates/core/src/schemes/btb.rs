@@ -44,6 +44,9 @@ pub struct Btb {
     ways: usize,
     slots: Vec<BtbSlot>,
     clock: u64,
+    /// Per-interned-id memo of `(set base, tag)` — pc-derived, never
+    /// flushed; see `CacheBht::access_slot_interned` for the idea.
+    id_keys: Vec<Option<(u32, u64)>>,
 }
 
 impl Btb {
@@ -65,7 +68,7 @@ impl Btb {
         assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
         let empty =
             BtbSlot { valid: false, tag: 0, state: automaton.initial_state(), last_used: 0 };
-        Btb { automaton, sets, ways, slots: vec![empty; entries], clock: 0 }
+        Btb { automaton, sets, ways, slots: vec![empty; entries], clock: 0, id_keys: Vec::new() }
     }
 
     /// The paper's standard configuration: 4-way, 512 entries.
@@ -82,31 +85,53 @@ impl Btb {
         (pc >> 2) / self.sets as u64
     }
 
-    fn find(&self, pc: u64) -> Option<usize> {
-        let set = self.set_index(pc);
+    fn find_or_allocate(&mut self, pc: u64) -> usize {
+        let base = self.set_index(pc) * self.ways;
         let tag = self.tag(pc);
-        let base = set * self.ways;
-        (base..base + self.ways).find(|&i| self.slots[i].valid && self.slots[i].tag == tag)
+        self.touch_set(base, tag)
     }
 
-    fn find_or_allocate(&mut self, pc: u64) -> usize {
+    fn find_or_allocate_interned(&mut self, id: u32, pc: u64) -> usize {
+        let index = id as usize;
+        if index >= self.id_keys.len() {
+            self.id_keys.resize(index + 1, None);
+        }
+        let (base, tag) = match self.id_keys[index] {
+            Some(key) => key,
+            None => {
+                let key = ((self.set_index(pc) * self.ways) as u32, self.tag(pc));
+                self.id_keys[index] = Some(key);
+                key
+            }
+        };
+        self.touch_set(base as usize, tag)
+    }
+
+    fn touch_set(&mut self, base: usize, tag: u64) -> usize {
         self.clock += 1;
-        if let Some(i) = self.find(pc) {
+        let hit = self.slots[base..base + self.ways]
+            .iter()
+            .position(|slot| slot.valid && slot.tag == tag);
+        if let Some(way) = hit {
+            let i = base + way;
             self.slots[i].last_used = self.clock;
             return i;
         }
-        let set = self.set_index(pc);
-        let base = set * self.ways;
         let victim = (base..base + self.ways)
             .min_by_key(|&i| (self.slots[i].valid, self.slots[i].last_used))
             .expect("set has at least one way");
-        let tag = self.tag(pc);
         let slot = &mut self.slots[victim];
         slot.valid = true;
         slot.tag = tag;
         slot.state = self.automaton.initial_state();
         slot.last_used = self.clock;
         victim
+    }
+
+    fn step_at(&mut self, i: usize, taken: bool) -> bool {
+        let state = self.slots[i].state;
+        self.slots[i].state = self.automaton.update(state, taken);
+        self.automaton.predict(state)
     }
 }
 
@@ -126,6 +151,24 @@ impl BranchPredictor for Btb {
         for slot in &mut self.slots {
             slot.valid = false;
         }
+    }
+
+    // One table access per event instead of predict's + update's
+    // separate searches. Bit-identical: update's search after predict
+    // always re-hits the slot predict just touched (same pc, no
+    // intervening access), and collapsing its second LRU touch preserves
+    // the relative `last_used` order every replacement decision is based
+    // on (each event still moves exactly its own slot to most-recent).
+    #[inline]
+    fn step(&mut self, branch: &BranchRecord) -> bool {
+        let i = self.find_or_allocate(branch.pc);
+        self.step_at(i, branch.taken)
+    }
+
+    #[inline]
+    fn step_interned(&mut self, id: u32, branch: &BranchRecord) -> bool {
+        let i = self.find_or_allocate_interned(id, branch.pc);
+        self.step_at(i, branch.taken)
     }
 
     fn name(&self) -> String {

@@ -6,7 +6,7 @@ use crate::fxhash::FxHashMap;
 use tlabp_trace::BranchRecord;
 
 use crate::automaton::Automaton;
-use crate::bht::{BhtConfig, BhtStats, BranchHistoryTable};
+use crate::bht::{BhtConfig, BhtCursor, BhtSignature, BhtStats, BranchHistoryTable};
 use crate::pht::PatternHistoryTable;
 use crate::predictor::BranchPredictor;
 use crate::schemes::pag::bht_spec;
@@ -50,8 +50,16 @@ pub struct Pap {
 enum PapTables {
     /// One PHT per physical BHT slot (practical implementation).
     PerSlot(Vec<PatternHistoryTable>),
-    /// One PHT per static branch (ideal implementation).
-    PerBranch(FxHashMap<u64, PatternHistoryTable>),
+    /// One PHT per static branch (ideal implementation). The pc-keyed
+    /// map serves the ordinary paths; the dense vector serves
+    /// [`BranchPredictor::step_interned`], which indexes by the branch's
+    /// interned id instead of hashing the pc. A predictor instance only
+    /// ever populates one of the two (the simulation paths never mix
+    /// keying modes on one instance).
+    PerBranch {
+        keyed: FxHashMap<u64, PatternHistoryTable>,
+        interned: Vec<Option<PatternHistoryTable>>,
+    },
 }
 
 impl Pap {
@@ -65,7 +73,9 @@ impl Pap {
     pub fn new(history_bits: u32, bht: BhtConfig, automaton: Automaton) -> Self {
         let table = bht.build(history_bits);
         let tables = match bht {
-            BhtConfig::Ideal => PapTables::PerBranch(FxHashMap::default()),
+            BhtConfig::Ideal => {
+                PapTables::PerBranch { keyed: FxHashMap::default(), interned: Vec::new() }
+            }
             BhtConfig::Cache { entries, .. } => {
                 PapTables::PerSlot(vec![PatternHistoryTable::new(history_bits, automaton); entries])
             }
@@ -92,7 +102,9 @@ impl Pap {
     pub fn pattern_table_count(&self) -> usize {
         match &self.tables {
             PapTables::PerSlot(v) => v.len(),
-            PapTables::PerBranch(m) => m.len(),
+            PapTables::PerBranch { keyed, interned } => {
+                keyed.len() + interned.iter().filter(|t| t.is_some()).count()
+            }
         }
     }
 
@@ -104,8 +116,8 @@ impl Pap {
                 let slot = self.bht.slot_of(pc).expect("cache BHT entry resident after access");
                 &mut tables[slot]
             }
-            PapTables::PerBranch(map) => {
-                map.entry(pc).or_insert_with(|| PatternHistoryTable::new(history_bits, automaton))
+            PapTables::PerBranch { keyed, .. } => {
+                keyed.entry(pc).or_insert_with(|| PatternHistoryTable::new(history_bits, automaton))
             }
         }
     }
@@ -139,7 +151,7 @@ impl BranchPredictor for Pap {
         let automaton = self.automaton;
         let table = match (&mut self.tables, cursor.slot()) {
             (PapTables::PerSlot(tables), Some(slot)) => &mut tables[slot],
-            (PapTables::PerBranch(map), _) => map
+            (PapTables::PerBranch { keyed, .. }, _) => keyed
                 .entry(branch.pc)
                 .or_insert_with(|| PatternHistoryTable::new(history_bits, automaton)),
             (PapTables::PerSlot(_), None) => {
@@ -149,6 +161,65 @@ impl BranchPredictor for Pap {
         let predicted = table.predict_update(pattern, branch.taken);
         self.bht.record_outcome_at(cursor, branch.pc, branch.taken);
         predicted
+    }
+
+    #[inline]
+    fn step_interned(&mut self, id: u32, branch: &BranchRecord) -> bool {
+        let (pattern, cursor) = self.bht.access_pattern_interned(id, branch.pc);
+        let history_bits = self.history_bits;
+        let automaton = self.automaton;
+        let table = match (&mut self.tables, cursor.slot()) {
+            (PapTables::PerSlot(tables), Some(slot)) => &mut tables[slot],
+            (PapTables::PerBranch { interned, .. }, _) => {
+                let index = id as usize;
+                if index >= interned.len() {
+                    interned.resize(index + 1, None);
+                }
+                interned[index]
+                    .get_or_insert_with(|| PatternHistoryTable::new(history_bits, automaton))
+            }
+            (PapTables::PerSlot(_), None) => {
+                unreachable!("cache BHT always yields a slot cursor")
+            }
+        };
+        let predicted = table.predict_update(pattern, branch.taken);
+        self.bht.record_outcome_at_interned(cursor, id, branch.taken);
+        predicted
+    }
+
+    fn shared_bht(&self) -> Option<BhtSignature> {
+        Some(self.bht.signature())
+    }
+
+    // The externally-walked table has the same signature as this
+    // predictor's own, so its cursor resolves the same physical slot (and
+    // its allocations pick the same victims) — `tables` stays keyed
+    // exactly as in `step_interned`.
+    #[inline]
+    fn step_shared(
+        &mut self,
+        pattern: usize,
+        cursor: BhtCursor,
+        id: u32,
+        branch: &BranchRecord,
+    ) -> bool {
+        let history_bits = self.history_bits;
+        let automaton = self.automaton;
+        let table = match (&mut self.tables, cursor.slot()) {
+            (PapTables::PerSlot(tables), Some(slot)) => &mut tables[slot],
+            (PapTables::PerBranch { interned, .. }, _) => {
+                let index = id as usize;
+                if index >= interned.len() {
+                    interned.resize(index + 1, None);
+                }
+                interned[index]
+                    .get_or_insert_with(|| PatternHistoryTable::new(history_bits, automaton))
+            }
+            (PapTables::PerSlot(_), None) => {
+                unreachable!("cache BHT always yields a slot cursor")
+            }
+        };
+        table.predict_update(pattern, branch.taken)
     }
 
     fn name(&self) -> String {

@@ -1,8 +1,10 @@
-//! Throughput harness: reference baseline vs the engine's fast path.
+//! Throughput harness: reference baseline vs the engine's fast paths.
 //!
-//! Not a paper artifact. Measures the full-suite PAg(12) evaluation —
-//! the workhorse configuration of Figures 5–11 — two ways, both as plans
-//! on the execution engine:
+//! Not a paper artifact. Two sections, both built as plans on the
+//! execution engine:
+//!
+//! **Single scheme** — the full-suite PAg(12) evaluation (the workhorse
+//! configuration of Figures 5–11) measured two ways:
 //!
 //! * **reference** — each job forced onto the reference path (one boxed
 //!   `dyn BranchPredictor` per benchmark, the event-dispatching
@@ -12,11 +14,25 @@
 //!   monomorphized packed-conditional fast path per cell on the global
 //!   worker pool.
 //!
-//! Both runs start from warmed trace caches, so the numbers compare
-//! simulation throughput, not VM trace generation. Results print as a
-//! table and land in `results/BENCH_sweep.json`; throughput is reported
-//! in simulated trace events per second (same numerator for both modes,
-//! so the speedup equals the wall-clock ratio).
+//! **Multi scheme** — the full catalog sweep (every Table 3
+//! configuration on every benchmark), the shape every real experiment
+//! driver has, measured two ways:
+//!
+//! * **per-cell** — fusion disabled ([`Job::fuse`] off), so every job
+//!   runs its own pass over the packed stream: the pre-fusion engine;
+//! * **fused** — the default lowering, which groups the plan's jobs by
+//!   trace and runs batched passes over the pc-interned stream
+//!   ([`tlabp_sim::runner::simulate_fused`]).
+//!
+//! All runs start from warmed trace caches, so the numbers compare
+//! simulation throughput, not VM trace generation. Within each section
+//! the throughput numerator is identical across modes (trace events for
+//! the single-scheme pair, measured predictions for the catalog pair),
+//! so each reported speedup equals the wall-clock ratio. Results print
+//! as tables and land in `results/BENCH_sweep.json`.
+//!
+//! Timing iterations default to 3 (best-of); the `TLABP_BENCH_ITERS`
+//! environment variable overrides (CI smoke runs set 1).
 
 use std::time::Instant;
 
@@ -24,9 +40,11 @@ use tlabp_core::config::SchemeConfig;
 use tlabp_sim::engine::{execute, execute_on};
 use tlabp_sim::plan::{Job, Plan};
 use tlabp_sim::report::Table;
+use tlabp_sim::runner::SimConfig;
 use tlabp_sim::SweepPool;
 use tlabp_workloads::{Benchmark, DataSet};
 
+use crate::tables::all_table3_configs;
 use crate::Ctx;
 
 /// Fastest of `n` timed runs, in seconds.
@@ -40,10 +58,23 @@ fn best_of(n: u32, mut body: impl FnMut()) -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
+/// Timing iterations: `TLABP_BENCH_ITERS` when it holds a positive
+/// integer, else 3.
+fn bench_iterations() -> u32 {
+    std::env::var("TLABP_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u32>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3)
+}
+
 /// `cargo run -p tlabp-experiments --release -- bench`
 pub fn bench(ctx: &Ctx) {
     let config = SchemeConfig::pag(12);
-    let iterations = 3;
+    let iterations = bench_iterations();
+    let threads = SweepPool::global().threads();
+
+    // ---- Single scheme: full-suite PAg(12), reference vs engine. ----
 
     // Warm every cache both modes touch.
     let mut total_events = 0u64;
@@ -72,12 +103,11 @@ pub fn bench(ctx: &Ctx) {
 
     let seq_eps = total_events as f64 / sequential_secs;
     let sweep_eps = total_events as f64 / sweep_secs;
-    let speedup = sequential_secs / sweep_secs;
-    let threads = SweepPool::global().threads();
+    let sweep_speedup = sequential_secs / sweep_secs;
 
     let mut table = Table::new(vec![
         "mode".into(),
-        "seconds (best of 3)".into(),
+        format!("seconds (best of {iterations})"),
         "events/sec".into(),
         "speedup".into(),
     ]);
@@ -91,19 +121,86 @@ pub fn bench(ctx: &Ctx) {
         format!("sweep ({threads} threads)"),
         format!("{sweep_secs:.3}"),
         format!("{sweep_eps:.0}"),
-        format!("{speedup:.2}"),
+        format!("{sweep_speedup:.2}"),
     ]);
     ctx.emit("BENCH_sweep_table", "Sweep throughput: full-suite PAg(12)", &table);
 
+    // ---- Multi scheme: full catalog sweep, per-cell vs fused. ----
+
+    let configs = all_table3_configs();
+    let fused_plan = Plan::suites(&configs, &SimConfig::no_context_switch());
+    let cell_plan: Plan =
+        fused_plan.jobs().iter().map(|job| job.clone().with_fusion(false)).collect();
+
+    // One throwaway execution warms the training traces and interned
+    // streams and supplies the shared numerator: the predictions every
+    // measured job makes (identical across modes by construction —
+    // fusion never changes results, asserted by the differential suite).
+    let warm = execute(&fused_plan, ctx.store());
+    let multi_predictions: u64 =
+        warm.iter().filter_map(|(_, o)| o.metrics()).map(|m| m.sim.predictions).sum();
+
+    let cell_secs = best_of(iterations, || {
+        let results = execute(&cell_plan, ctx.store());
+        assert_eq!(results.len(), cell_plan.len());
+    });
+    let fused_secs = best_of(iterations, || {
+        let results = execute(&fused_plan, ctx.store());
+        assert_eq!(results.len(), fused_plan.len());
+    });
+
+    let cell_eps = multi_predictions as f64 / cell_secs;
+    let fused_eps = multi_predictions as f64 / fused_secs;
+    let fused_speedup = cell_secs / fused_secs;
+
+    let mut fused_table = Table::new(vec![
+        "mode".into(),
+        format!("seconds (best of {iterations})"),
+        "predictions/sec".into(),
+        "speedup".into(),
+    ]);
+    fused_table.push_row(vec![
+        format!("per-cell ({threads} threads)"),
+        format!("{cell_secs:.3}"),
+        format!("{cell_eps:.0}"),
+        "1.00".into(),
+    ]);
+    fused_table.push_row(vec![
+        format!("fused ({threads} threads)"),
+        format!("{fused_secs:.3}"),
+        format!("{fused_eps:.0}"),
+        format!("{fused_speedup:.2}"),
+    ]);
+    ctx.emit(
+        "BENCH_fused_table",
+        &format!(
+            "Fused trace passes: {} Table 3 configs x {} benchmarks",
+            configs.len(),
+            Benchmark::ALL.len()
+        ),
+        &fused_table,
+    );
+
     let json = format!(
-        "{{\n  \"benchmark\": \"full-suite PAg(12), no context switches\",\n  \
-         \"iterations\": {iterations},\n  \
+        "{{\n  \"iterations\": {iterations},\n  \
          \"sweep_threads\": {threads},\n  \
-         \"total_trace_events\": {total_events},\n  \
-         \"total_conditional_branches\": {total_conditionals},\n  \
-         \"sequential\": {{ \"seconds\": {sequential_secs:.6}, \"events_per_sec\": {seq_eps:.1} }},\n  \
-         \"sweep\": {{ \"seconds\": {sweep_secs:.6}, \"events_per_sec\": {sweep_eps:.1} }},\n  \
-         \"speedup\": {speedup:.3}\n}}\n"
+         \"single_scheme\": {{\n    \
+           \"benchmark\": \"full-suite PAg(12), no context switches\",\n    \
+           \"total_trace_events\": {total_events},\n    \
+           \"total_conditional_branches\": {total_conditionals},\n    \
+           \"sequential\": {{ \"seconds\": {sequential_secs:.6}, \"events_per_sec\": {seq_eps:.1} }},\n    \
+           \"sweep\": {{ \"seconds\": {sweep_secs:.6}, \"events_per_sec\": {sweep_eps:.1} }},\n    \
+           \"speedup\": {sweep_speedup:.3}\n  }},\n  \
+         \"multi_scheme\": {{\n    \
+           \"benchmark\": \"all Table 3 configs x all benchmarks, no context switches\",\n    \
+           \"configs\": {n_configs},\n    \
+           \"jobs\": {n_jobs},\n    \
+           \"measured_predictions\": {multi_predictions},\n    \
+           \"cell\": {{ \"seconds\": {cell_secs:.6}, \"events_per_sec\": {cell_eps:.1} }},\n    \
+           \"fused\": {{ \"seconds\": {fused_secs:.6}, \"events_per_sec\": {fused_eps:.1} }},\n    \
+           \"speedup\": {fused_speedup:.3}\n  }}\n}}\n",
+        n_configs = configs.len(),
+        n_jobs = fused_plan.len(),
     );
     ctx.emit_raw("BENCH_sweep.json", &json);
 }

@@ -8,7 +8,12 @@
 //! * **packed** — monomorphized [`AnyPredictor`] over the packed
 //!   conditional-branch stream ([`crate::runner::simulate_packed`]);
 //!   chosen for catalog schemes whenever no context switches are
-//!   simulated. The fastest path.
+//!   simulated. Packed-path jobs that share a trace are additionally
+//!   **fused**: the engine groups them by [`TraceKey`] and runs each
+//!   group as batched single passes over the pc-interned stream
+//!   ([`crate::runner::simulate_fused`]), amortizing stream decode and
+//!   dispatch across the batch. Bit-identical to per-cell execution and
+//!   on by default; [`Job::fuse`] opts a job out.
 //! * **full-trace** — [`AnyPredictor`] over the full event trace
 //!   ([`crate::runner::simulate`]); chosen when context switches are
 //!   simulated (the packed stream carries no traps or instruction
@@ -46,7 +51,7 @@
 //! assert_eq!(results.len(), Benchmark::ALL.len());
 //! ```
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 
 use tlabp_core::any::AnyPredictor;
 use tlabp_core::config::SchemeConfig;
@@ -60,7 +65,7 @@ use tlabp_workloads::DataSet;
 use crate::metrics::{BenchmarkAccuracy, FetchStats, MissBreakdown, SuiteResult};
 use crate::plan::{Job, MetricSet, Plan, PredictorSpec, TargetCacheSpec, TraceKey};
 use crate::pool::SweepPool;
-use crate::runner::{simulate, simulate_packed, SimConfig, SimResult};
+use crate::runner::{simulate, simulate_fused, simulate_packed, SimConfig, SimResult};
 use crate::suite::TraceStore;
 
 /// Everything a job produced when it was measurable.
@@ -226,42 +231,137 @@ pub fn execute_on(pool: &SweepPool, plan: &Plan, store: &TraceStore) -> ResultSe
     let lowered: Vec<Lowered> = plan.jobs().iter().map(lower).collect();
 
     // Phase 1: pre-generate each distinct trace exactly once, as pool
-    // jobs, so no simulation cell ever blocks on the VM.
-    let mut seen: HashSet<(&'static str, DataSet)> = HashSet::new();
-    let mut needed: Vec<TraceKey> = Vec::new();
+    // jobs, in the deepest derived form any of its cells needs (deeper
+    // forms initialize the shallower ones in the same store slot), so no
+    // simulation cell ever blocks on the VM or an interning pass.
+    let mut positions: HashMap<(&'static str, DataSet), usize> = HashMap::new();
+    let mut needed: Vec<(TraceKey, TraceForm)> = Vec::new();
     for (job, low) in plan.jobs().iter().zip(&lowered) {
-        let mut need = |key: TraceKey| {
-            if seen.insert((key.benchmark.name(), key.data_set)) {
-                needed.push(key);
+        let Lowered::Run(cell) = low else { continue };
+        let mut need = |key: TraceKey, form: TraceForm| {
+            if let Some(&pos) = positions.get(&(key.benchmark.name(), key.data_set)) {
+                needed[pos].1 = needed[pos].1.max(form);
+            } else {
+                positions.insert((key.benchmark.name(), key.data_set), needed.len());
+                needed.push((key, form));
             }
         };
-        if let Lowered::Run(cell) = low {
-            need(job.trace);
-            if cell.needs_training() {
-                need(TraceKey { benchmark: job.trace.benchmark, data_set: DataSet::Training });
-            }
+        need(job.trace, cell.trace_form());
+        if cell.needs_training() {
+            need(
+                TraceKey { benchmark: job.trace.benchmark, data_set: DataSet::Training },
+                TraceForm::Full,
+            );
         }
     }
-    pool.run(needed.into_iter().map(|key| {
+    pool.run(needed.into_iter().map(|(key, form)| {
         let store = store.clone();
-        move || {
-            let _generated = store.get(key.benchmark, key.data_set);
+        move || match form {
+            TraceForm::Full => {
+                let _ = store.get(key.benchmark, key.data_set);
+            }
+            TraceForm::Packed => {
+                let _ = store.get_packed(key.benchmark, key.data_set);
+            }
+            TraceForm::Interned => {
+                let _ = store.get_interned(key.benchmark, key.data_set);
+            }
         }
     }));
 
-    // Phase 2: one pool cell per runnable job; idle workers pull cells.
-    let cells = lowered.into_iter().map(|low| {
-        let store = store.clone();
-        move || match low {
-            Lowered::Skip { reason } => JobOutcome::Skipped { reason },
-            Lowered::Run(cell) => run_cell(&cell, &store),
+    // Phase 2: resolve skips inline and partition runnable cells into
+    // fused trace-groups (fusible cells sharing a trace) and singleton
+    // cells. Groups form in first-seen plan order, so grouping is a pure
+    // function of the plan.
+    let mut slots: Vec<Option<JobOutcome>> = vec![None; plan.len()];
+    let mut singles: Vec<(usize, Cell)> = Vec::new();
+    let mut group_of: HashMap<(&'static str, DataSet), usize> = HashMap::new();
+    let mut groups: Vec<Vec<(usize, Cell)>> = Vec::new();
+    for (index, low) in lowered.into_iter().enumerate() {
+        match low {
+            Lowered::Skip { reason } => slots[index] = Some(JobOutcome::Skipped { reason }),
+            Lowered::Run(cell) if cell.fusible() => {
+                let key = (cell.trace.benchmark.name(), cell.trace.data_set);
+                let group = *group_of.entry(key).or_insert_with(|| {
+                    groups.push(Vec::new());
+                    groups.len() - 1
+                });
+                groups[group].push((index, cell));
+            }
+            Lowered::Run(cell) => singles.push((index, cell)),
         }
-    });
-    let outcomes = pool.run(cells);
+    }
 
-    // Phase 3: reassemble in plan order (pool.run already restores
-    // submission order regardless of completion order).
+    // Phase 3: schedule singleton cells and fused batches as pool tasks.
+    // Every task reports `(job index, outcome)` pairs that scatter into
+    // plan-order slots, so neither task granularity nor completion order
+    // can leak into the output.
+    type Task = Box<dyn FnOnce() -> Vec<(usize, JobOutcome)> + Send + 'static>;
+    let mut tasks: Vec<Task> = Vec::new();
+    for (index, cell) in singles {
+        let store = store.clone();
+        tasks.push(Box::new(move || vec![(index, run_cell(&cell, &store))]));
+    }
+    for batch in groups.into_iter().flat_map(split_into_batches) {
+        let store = store.clone();
+        tasks.push(Box::new(move || run_fused_batch(batch, &store)));
+    }
+    for (index, outcome) in pool.run(tasks).into_iter().flatten() {
+        debug_assert!(slots[index].is_none(), "each job reports exactly once");
+        slots[index] = Some(outcome);
+    }
+
+    // Phase 4: reassemble in plan order.
+    let outcomes = slots.into_iter().map(|slot| slot.expect("every job produced one outcome"));
     ResultSet { rows: plan.jobs().iter().cloned().zip(outcomes).collect() }
+}
+
+/// Largest number of predictors stepped together in one fused pass.
+///
+/// Bounds a batch's working set — every predictor's tables must stay
+/// cache-resident while the batch replays a decoded chunk — while still
+/// amortizing stream decode over many predictors. Oversized trace-groups
+/// split into nearly-even contiguous batches, which also gives the pool
+/// balanced tasks to schedule.
+const MAX_FUSE_BATCH: usize = 16;
+
+/// Nearly-even batch sizes for a trace-group of `n` cells: as few
+/// batches as [`MAX_FUSE_BATCH`] allows, sizes differing by at most one
+/// (17 cells become 9 + 8, not 16 + 1).
+fn batch_sizes(n: usize) -> Vec<usize> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let batches = n.div_ceil(MAX_FUSE_BATCH);
+    let base = n / batches;
+    let extra = n % batches;
+    (0..batches).map(|i| base + usize::from(i < extra)).collect()
+}
+
+/// Splits one trace-group into contiguous [`batch_sizes`] batches,
+/// preserving plan order within and across batches.
+fn split_into_batches(group: Vec<(usize, Cell)>) -> Vec<Vec<(usize, Cell)>> {
+    let sizes = batch_sizes(group.len());
+    let mut cells = group.into_iter();
+    sizes.into_iter().map(|size| cells.by_ref().take(size).collect()).collect()
+}
+
+/// Runs one fused batch on a worker thread: a single pass over the
+/// trace's interned conditional stream stepping every predictor of the
+/// batch ([`simulate_fused`]).
+fn run_fused_batch(batch: Vec<(usize, Cell)>, store: &TraceStore) -> Vec<(usize, JobOutcome)> {
+    let trace = batch[0].1.trace;
+    let interned = store.get_interned(trace.benchmark, trace.data_set);
+    let mut predictors: Vec<AnyPredictor> =
+        batch.iter().map(|(_, cell)| cell.build.build_any(store, cell.trace)).collect();
+    let sims = simulate_fused(&mut predictors, &interned);
+    batch
+        .into_iter()
+        .zip(sims)
+        .map(|((index, _), sim)| {
+            (index, JobOutcome::Measured(JobMetrics { sim, miss_breakdown: None, fetch: None }))
+        })
+        .collect()
 }
 
 /// How a job's predictor gets built on the worker.
@@ -312,11 +412,46 @@ struct Cell {
     trace: TraceKey,
     sim: SimConfig,
     metrics: MetricSet,
+    fuse: bool,
+}
+
+/// The derived forms of a trace, ordered by derivation depth. Producing
+/// a deeper form initializes every shallower one in the same
+/// [`TraceStore`] slot, so pre-generation computes each key's *maximum*
+/// required form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum TraceForm {
+    /// The full event trace.
+    Full,
+    /// Plus the packed conditional-branch stream.
+    Packed,
+    /// Plus the pc-interned conditional stream.
+    Interned,
 }
 
 impl Cell {
     fn needs_training(&self) -> bool {
         matches!(&self.build, BuildSpec::Scheme(config) if config.needs_training())
+    }
+
+    /// Whether the engine may run this cell inside a fused trace pass:
+    /// the packed path (full-trace and reference cells step events the
+    /// interned stream can't represent), accuracy-only metrics (the
+    /// instrumented loops observe predictor internals per event), and
+    /// the job's consent ([`Job::fuse`]).
+    fn fusible(&self) -> bool {
+        self.fuse && self.path == ExecPath::Packed && self.metrics == MetricSet::ACCURACY
+    }
+
+    /// The deepest trace form this cell reads.
+    fn trace_form(&self) -> TraceForm {
+        if self.fusible() {
+            TraceForm::Interned
+        } else if self.path == ExecPath::Packed {
+            TraceForm::Packed
+        } else {
+            TraceForm::Full
+        }
     }
 }
 
@@ -366,7 +501,7 @@ fn lower(job: &Job) -> Lowered {
         ExecPath::FullTrace
     };
 
-    Lowered::Run(Cell { build, path, trace: job.trace, sim, metrics: job.metrics })
+    Lowered::Run(Cell { build, path, trace: job.trace, sim, metrics: job.metrics, fuse: job.fuse })
 }
 
 /// Runs one lowered cell on a worker thread.
@@ -589,6 +724,80 @@ mod tests {
         let metrics = results.outcome(0).metrics().expect("measured");
         assert!(metrics.miss_breakdown.is_none());
         assert!(metrics.sim.predictions > 0, "accuracy still measured");
+    }
+
+    #[test]
+    fn fused_plan_matches_per_cell_plan_bit_for_bit() {
+        let store = TraceStore::new();
+        let configs = [
+            SchemeConfig::pag(8),
+            SchemeConfig::gag(10),
+            SchemeConfig::pap(6),
+            SchemeConfig::btfn(),
+        ];
+        let benchmarks = [li(), Benchmark::by_name("eqntott").unwrap()];
+        let fused: Plan = benchmarks
+            .iter()
+            .flat_map(|&b| configs.iter().map(move |&c| Job::scheme(c, b)))
+            .collect();
+        let per_cell: Plan =
+            fused.jobs().iter().map(|job| job.clone().with_fusion(false)).collect();
+        let fused_out = execute(&fused, &store);
+        let per_cell_out = execute(&per_cell, &store);
+        for index in 0..fused.len() {
+            assert_eq!(
+                fused_out.outcome(index).metrics().unwrap().sim,
+                per_cell_out.outcome(index).metrics().unwrap().sim,
+                "job {index} must be fusion-invariant"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_plan_fuses_eligible_jobs_and_falls_back_for_the_rest() {
+        // One plan holding every scheduling class at once: fusible cells,
+        // a context-switch (full-trace) cell, an instrumented cell, a
+        // fusion-off cell and a skip. The outcomes must match the same
+        // jobs run as singleton per-cell plans.
+        let store = TraceStore::new();
+        let jobs = [
+            Job::scheme(SchemeConfig::pag(8), li()),
+            Job::scheme(SchemeConfig::gag(10).with_context_switch(true), li()),
+            Job::scheme(SchemeConfig::pag(12), li())
+                .with_metrics(MetricSet { miss_breakdown: true, fetch: None }),
+            Job::scheme(SchemeConfig::pap(6), li()).with_fusion(false),
+            Job::scheme(SchemeConfig::profiling(), Benchmark::by_name("eqntott").unwrap()),
+            Job::scheme(SchemeConfig::btfn(), li()),
+        ];
+        let mixed: Plan = jobs.iter().cloned().collect();
+        let mixed_out = execute(&mixed, &store);
+        for (index, job) in jobs.iter().enumerate() {
+            let single: Plan = [job.clone().with_fusion(false)].into_iter().collect();
+            let single_out = execute(&single, &store);
+            assert_eq!(
+                mixed_out.outcome(index),
+                single_out.outcome(0),
+                "job {index} ({}) must not depend on its batch",
+                job.label()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_sizes_are_capped_and_nearly_even() {
+        assert_eq!(batch_sizes(0), Vec::<usize>::new());
+        assert_eq!(batch_sizes(1), vec![1]);
+        assert_eq!(batch_sizes(MAX_FUSE_BATCH), vec![MAX_FUSE_BATCH]);
+        assert_eq!(batch_sizes(17), vec![9, 8]);
+        assert_eq!(batch_sizes(33), vec![11, 11, 11]);
+        for n in 0..10 * MAX_FUSE_BATCH {
+            let sizes = batch_sizes(n);
+            assert_eq!(sizes.iter().sum::<usize>(), n, "sizes partition {n} cells");
+            assert!(sizes.iter().all(|&s| 0 < s && s <= MAX_FUSE_BATCH), "cap holds for {n}");
+            if let (Some(min), Some(max)) = (sizes.iter().min(), sizes.iter().max()) {
+                assert!(max - min <= 1, "sizes for {n} differ by more than one: {sizes:?}");
+            }
+        }
     }
 
     #[test]

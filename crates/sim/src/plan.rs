@@ -153,6 +153,14 @@ pub struct Job {
     /// full event trace), bypassing the fast paths. Used by the
     /// throughput harness as its baseline and by differential tests.
     pub reference_path: bool,
+    /// Allow the engine to fuse this job with other jobs of the plan that
+    /// share its trace into a single pass over the interned conditional
+    /// stream (on by default; fusion never changes results). Jobs that
+    /// lower to the full-trace or reference path, or that request
+    /// instrumented metrics, are fusion-ineligible regardless. Disabling
+    /// this forces the per-cell packed path — the throughput harness uses
+    /// that as the fused mode's baseline.
+    pub fuse: bool,
 }
 
 impl Job {
@@ -166,6 +174,7 @@ impl Job {
             sim: SimConfig::no_context_switch(),
             metrics: MetricSet::ACCURACY,
             reference_path: false,
+            fuse: true,
         }
     }
 
@@ -179,6 +188,7 @@ impl Job {
             sim: SimConfig::no_context_switch(),
             metrics: MetricSet::ACCURACY,
             reference_path: false,
+            fuse: true,
         }
     }
 
@@ -200,6 +210,13 @@ impl Job {
     #[must_use]
     pub fn with_reference_path(mut self, reference: bool) -> Self {
         self.reference_path = reference;
+        self
+    }
+
+    /// Permits (or forbids) fusing this job into a shared trace pass.
+    #[must_use]
+    pub fn with_fusion(mut self, fuse: bool) -> Self {
+        self.fuse = fuse;
         self
     }
 

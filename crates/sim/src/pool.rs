@@ -55,7 +55,9 @@ impl SweepPool {
     /// The process-wide pool, started on first use. Sized to the
     /// machine's available parallelism, unless the `TLABP_THREADS`
     /// environment variable holds a positive integer — then that wins
-    /// (useful for benchmarking scaling or taming CI machines).
+    /// (useful for benchmarking scaling or taming CI machines). A set
+    /// but invalid value (empty, non-numeric, zero) is ignored with a
+    /// warning on stderr.
     #[must_use]
     pub fn global() -> &'static SweepPool {
         static GLOBAL: OnceLock<SweepPool> = OnceLock::new();
@@ -109,10 +111,34 @@ impl SweepPool {
 }
 
 /// Resolves the global pool size: a positive integer in `env_value`
-/// (the `TLABP_THREADS` variable) overrides the detected core count;
-/// anything unset, non-numeric or zero falls back to `detected`.
+/// (the `TLABP_THREADS` variable) overrides the detected core count.
+/// Anything unset falls back to `detected` silently; a set-but-invalid
+/// value (empty, non-numeric, zero) also falls back but warns on stderr
+/// — a typo'd override silently running at full width is the kind of
+/// surprise that ruins a scaling benchmark.
 fn configured_threads(env_value: Option<&str>, detected: usize) -> usize {
-    env_value.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n > 0).unwrap_or(detected)
+    match thread_override(env_value) {
+        Ok(Some(threads)) => threads,
+        Ok(None) => detected,
+        Err(raw) => {
+            eprintln!(
+                "warning: ignoring TLABP_THREADS={raw:?} (expected a positive integer); \
+                 using {detected} detected thread(s)"
+            );
+            detected
+        }
+    }
+}
+
+/// Parses the `TLABP_THREADS` override: `Ok(None)` when unset,
+/// `Ok(Some(n))` for a positive integer, `Err(raw value)` for anything
+/// else (empty, non-numeric, zero).
+fn thread_override(env_value: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = env_value else { return Ok(None) };
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(Some(n)),
+        _ => Err(raw.to_owned()),
+    }
 }
 
 fn worker_loop(queue: &Mutex<Receiver<Job>>) {
@@ -182,6 +208,22 @@ mod tests {
         assert_eq!(configured_threads(Some("lots"), 8), 8, "garbage falls back");
         assert_eq!(configured_threads(Some(""), 8), 8);
         assert_eq!(configured_threads(None, 8), 8);
+    }
+
+    #[test]
+    fn thread_override_distinguishes_unset_from_invalid() {
+        // Unset is the normal case — no warning warranted.
+        assert_eq!(thread_override(None), Ok(None));
+        // Valid overrides win, whitespace tolerated.
+        assert_eq!(thread_override(Some("1")), Ok(Some(1)));
+        assert_eq!(thread_override(Some(" 12 ")), Ok(Some(12)));
+        // Set-but-invalid values surface the raw text for the warning.
+        assert_eq!(thread_override(Some("0")), Err("0".to_owned()));
+        assert_eq!(thread_override(Some("")), Err(String::new()));
+        assert_eq!(thread_override(Some("  ")), Err("  ".to_owned()));
+        assert_eq!(thread_override(Some("-2")), Err("-2".to_owned()));
+        assert_eq!(thread_override(Some("3.5")), Err("3.5".to_owned()));
+        assert_eq!(thread_override(Some("lots")), Err("lots".to_owned()));
     }
 
     #[test]

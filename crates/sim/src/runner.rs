@@ -1,7 +1,8 @@
 //! The trace-driven simulation loop.
 
+use tlabp_core::bht::{BhtCursor, BhtSignature, BranchHistoryTable};
 use tlabp_core::predictor::BranchPredictor;
-use tlabp_trace::{PackedCond, Trace, TraceEvent};
+use tlabp_trace::{BranchRecord, InternedConds, PackedCond, Trace, TraceEvent};
 
 /// Context-switch simulation parameters (the paper's Section 5.1.4).
 ///
@@ -188,6 +189,126 @@ pub fn simulate_packed<P: BranchPredictor + ?Sized>(
     }
 }
 
+/// How many interned events one fused chunk decodes at a time.
+///
+/// Each chunk is decoded into a stack of `(id, BranchRecord)` pairs once
+/// and then replayed through every predictor of the batch, so the decode
+/// cost and the per-predictor dispatch are amortized over the chunk while
+/// the scratch buffer (~12 KiB at 256 events) stays L1-resident. Within a
+/// chunk each predictor runs a tight monomorphic loop with its own tables
+/// cache-hot.
+const FUSE_CHUNK: usize = 256;
+
+/// Runs a batch of predictors over one pc-interned conditional stream in
+/// a single pass — the engine's fused sweep path.
+///
+/// Equivalent to calling [`simulate_packed`] once per predictor on the
+/// stream the interning came from, and bit-identical to it (the
+/// differential tests pin this for every catalog scheme): the stream
+/// expands to the same [`BranchRecord`]s, and
+/// [`BranchPredictor::step_interned`] is step with a dense alias for the
+/// pc. The fused walk reads and decodes the stream once for the whole
+/// batch instead of once per predictor, and hands each predictor whole
+/// chunks ([`BranchPredictor::step_interned_block`]) so per-event
+/// dispatch collapses to per-chunk dispatch.
+///
+/// On top of the shared decode, predictors whose first-level tables have
+/// equal [`BhtSignature`]s (via [`BranchPredictor::shared_bht`]) are
+/// grouped behind one *driver* table: table evolution is outcome-driven,
+/// so the driver's per-event `(pattern, cursor)` sequence is exactly
+/// what each member's own table would have produced, and the members
+/// consume it through [`BranchPredictor::step_shared_block`] without
+/// touching their own tables. In a Table 3-style sweep most
+/// configurations share the paper-default `BHT(512,4,k)`, so the
+/// dominant set-associative search runs once per group instead of once
+/// per predictor. Predictors with unique signatures (or none) fall back
+/// to the solo [`BranchPredictor::step_interned_block`] walk.
+///
+/// Like [`simulate_packed`], this models no context switches.
+///
+/// # Example
+///
+/// ```
+/// use tlabp_core::config::SchemeConfig;
+/// use tlabp_sim::runner::simulate_fused;
+/// use tlabp_trace::synth::LoopNest;
+/// use tlabp_trace::InternedConds;
+///
+/// let trace = LoopNest::new(&[50, 20]).generate();
+/// let interned = InternedConds::from_trace(&trace);
+/// let mut batch = vec![
+///     SchemeConfig::pag(6).build_any()?,
+///     SchemeConfig::gag(8).build_any()?,
+/// ];
+/// let results = simulate_fused(&mut batch, &interned);
+/// assert!(results.iter().all(|r| r.accuracy() > 0.9));
+/// # Ok::<(), tlabp_core::config::BuildError>(())
+/// ```
+pub fn simulate_fused<P: BranchPredictor>(
+    predictors: &mut [P],
+    interned: &InternedConds,
+) -> Vec<SimResult> {
+    // Partition the batch: predictors sharing a first-level signature
+    // ride one driver table; everyone else (unique signatures included —
+    // a driver would only duplicate their own walk) steps solo. Both the
+    // group list and the member lists keep first-seen order, so the
+    // partition is a pure function of the batch.
+    let mut shared: Vec<(BhtSignature, Vec<usize>)> = Vec::new();
+    let mut solo: Vec<usize> = Vec::new();
+    for (index, predictor) in predictors.iter().enumerate() {
+        match predictor.shared_bht() {
+            Some(signature) => match shared.iter_mut().find(|(s, _)| *s == signature) {
+                Some((_, members)) => members.push(index),
+                None => shared.push((signature, vec![index])),
+            },
+            None => solo.push(index),
+        }
+    }
+    shared.retain_mut(|(_, members)| {
+        if members.len() == 1 {
+            solo.push(members[0]);
+        }
+        members.len() > 1
+    });
+    let mut drivers: Vec<BranchHistoryTable> =
+        shared.iter().map(|(signature, _)| signature.build()).collect();
+
+    let mut correct = vec![0u64; predictors.len()];
+    let mut block: Vec<(u32, BranchRecord)> = Vec::with_capacity(FUSE_CHUNK);
+    let mut patterns: Vec<(usize, BhtCursor)> = Vec::with_capacity(FUSE_CHUNK);
+    for chunk in interned.events().chunks(FUSE_CHUNK) {
+        block.clear();
+        block.extend(chunk.iter().map(|event| (event.id(), interned.record(*event))));
+        for &index in &solo {
+            correct[index] += predictors[index].step_interned_block(&block);
+        }
+        for ((_, members), driver) in shared.iter().zip(drivers.iter_mut()) {
+            // access → record per event is the exact operation order of
+            // the per-cell step loop, so the driver's (pattern, cursor)
+            // stream matches each member's own table bit for bit.
+            patterns.clear();
+            for (id, branch) in &block {
+                let (pattern, cursor) = driver.access_pattern_interned(*id, branch.pc);
+                driver.record_outcome_at_interned(cursor, *id, branch.taken);
+                patterns.push((pattern, cursor));
+            }
+            for &index in members {
+                correct[index] += predictors[index].step_shared_block(&block, &patterns);
+            }
+        }
+    }
+    predictors
+        .iter()
+        .zip(correct)
+        .map(|(predictor, correct)| SimResult {
+            scheme: predictor.name(),
+            predictions: interned.len() as u64,
+            correct,
+            context_switches: 0,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +396,50 @@ mod tests {
         let result = simulate(&mut p, &Trace::new(), &SimConfig::default());
         assert_eq!(result.accuracy(), 0.0);
         assert_eq!(result.miss_rate(), 1.0);
+    }
+
+    #[test]
+    fn fused_batch_matches_packed_per_predictor() {
+        use tlabp_core::config::SchemeConfig;
+        use tlabp_trace::synth::MarkovBranches;
+        use tlabp_trace::InternedConds;
+
+        let trace = MarkovBranches::new(16, 0.85, 3000, 23).generate();
+        let packed = trace.pack_conditionals();
+        let interned = InternedConds::from_packed(&packed);
+        // A batch larger than one chunk's worth of variety: ideal and
+        // cache BHTs, per-address tables, static schemes — including two
+        // shared-BHT groups, each spanning schemes (PAg + PAp on the
+        // cache geometry BHT(512,4,8); PAg + PAp on the ideal table at 12
+        // bits), plus signature-less and singleton-signature predictors.
+        let configs = [
+            SchemeConfig::pag(8),
+            SchemeConfig::pag(8).with_automaton(tlabp_core::automaton::Automaton::A3),
+            SchemeConfig::pap(8),
+            SchemeConfig::pag(12).with_bht(tlabp_core::bht::BhtConfig::Ideal),
+            SchemeConfig::pap(12).with_bht(tlabp_core::bht::BhtConfig::Ideal),
+            SchemeConfig::pap(6),
+            SchemeConfig::gag(10),
+            SchemeConfig::btfn(),
+        ];
+        let mut batch: Vec<_> = configs.iter().map(|c| c.build_any().expect("builds")).collect();
+        let fused = simulate_fused(&mut batch, &interned);
+        for (config, fused_result) in configs.iter().zip(&fused) {
+            let mut alone = config.build_any().expect("builds");
+            let packed_result = simulate_packed(&mut alone, &packed);
+            assert_eq!(fused_result, &packed_result, "{config}");
+        }
+    }
+
+    #[test]
+    fn fused_batch_on_empty_stream_reports_zero_predictions() {
+        use tlabp_core::config::SchemeConfig;
+        use tlabp_trace::InternedConds;
+        let mut batch = vec![SchemeConfig::gag(6).build_any().expect("builds")];
+        let results = simulate_fused(&mut batch, &InternedConds::default());
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].predictions, 0);
+        assert_eq!(results[0].accuracy(), 0.0);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, OnceLock, RwLock};
 
 use tlabp_core::config::SchemeConfig;
-use tlabp_trace::{PackedCond, Trace};
+use tlabp_trace::{InternedConds, PackedCond, Trace};
 use tlabp_workloads::{Benchmark, DataSet};
 
 use crate::metrics::SuiteResult;
@@ -36,6 +36,7 @@ type SlotMap = HashMap<(&'static str, DataSetKey), Arc<TraceSlot>>;
 struct TraceSlot {
     trace: OnceLock<Arc<Trace>>,
     packed: OnceLock<Arc<Vec<PackedCond>>>,
+    interned: OnceLock<Arc<InternedConds>>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -77,6 +78,21 @@ impl TraceStore {
         let slot = self.slot(benchmark.name(), data_set.into());
         let trace = Arc::clone(slot.trace.get_or_init(|| Arc::new(benchmark.trace(data_set))));
         Arc::clone(slot.packed.get_or_init(|| Arc::new(trace.pack_conditionals())))
+    }
+
+    /// Returns the pc-interned conditional stream for
+    /// `(benchmark, data_set)` — the input of
+    /// [`crate::runner::simulate_fused`] — interning it on first use.
+    ///
+    /// All three forms (trace, packed, interned) share one slot, each
+    /// behind its own `OnceLock`, so every derivation happens exactly
+    /// once per key however many cells race for it.
+    #[must_use]
+    pub fn get_interned(&self, benchmark: &Benchmark, data_set: DataSet) -> Arc<InternedConds> {
+        let slot = self.slot(benchmark.name(), data_set.into());
+        let trace = Arc::clone(slot.trace.get_or_init(|| Arc::new(benchmark.trace(data_set))));
+        let packed = slot.packed.get_or_init(|| Arc::new(trace.pack_conditionals()));
+        Arc::clone(slot.interned.get_or_init(|| Arc::new(InternedConds::from_packed(packed))))
     }
 
     /// Finds or inserts the (possibly uninitialized) slot for a key.
@@ -155,6 +171,21 @@ mod tests {
         let again = store.get_packed(b, DataSet::Testing);
         assert!(Arc::ptr_eq(&packed, &again), "packing happens once");
         assert_eq!(store.len(), 1, "packed stream shares the trace slot");
+    }
+
+    #[test]
+    fn interned_stream_is_cached_and_consistent() {
+        let store = small_store();
+        let b = Benchmark::by_name("li").unwrap();
+        let interned = store.get_interned(b, DataSet::Testing);
+        let packed = store.get_packed(b, DataSet::Testing);
+        assert_eq!(interned.len(), packed.len());
+        for (event, cond) in interned.events().iter().zip(packed.iter()) {
+            assert_eq!(interned.record(*event), cond.to_record());
+        }
+        let again = store.get_interned(b, DataSet::Testing);
+        assert!(Arc::ptr_eq(&interned, &again), "interning happens once");
+        assert_eq!(store.len(), 1, "interned stream shares the trace slot");
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //!   target) and traps (used to trigger simulated context switches), each
 //!   stamped with the cumulative dynamic instruction count.
 //! * [`Trace`] — an in-memory event sequence with query helpers.
+//! * [`PackedCond`] / [`InternedConds`] — compact conditional-branch
+//!   streams for the simulator's fast paths: 8 bytes per event, and a
+//!   pc-interned 4-byte form whose dense ids let per-address predictor
+//!   state become direct vector indexing.
 //! * [`io`] — a compact binary on-disk format with a versioned header.
 //! * [`synth`] — seeded synthetic trace generators (loops, biased coins,
 //!   repeating patterns, correlated branches, Markov chains) used by unit
@@ -34,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod intern;
 mod record;
 mod trace;
 
@@ -42,5 +47,6 @@ pub mod rng;
 pub mod stats;
 pub mod synth;
 
+pub use intern::{InternedCond, InternedConds};
 pub use record::{BranchClass, BranchRecord, TrapRecord};
 pub use trace::{PackedCond, Trace, TraceEvent};

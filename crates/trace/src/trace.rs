@@ -226,15 +226,24 @@ impl Trace {
 pub struct PackedCond(u64);
 
 impl PackedCond {
+    /// How many program-counter bits the packing preserves: the two flag
+    /// bits leave 62 of the 64 for the address.
+    pub const PC_BITS: u32 = 62;
+
+    /// Mask selecting the packable low [`PackedCond::PC_BITS`] of a pc.
+    pub const PC_MASK: u64 = (1 << Self::PC_BITS) - 1;
+
     /// Packs the three prediction-relevant fields into one word.
     ///
-    /// # Panics
-    ///
-    /// Panics (debug builds) if `pc` needs more than 62 bits.
+    /// Addresses wider than [`PackedCond::PC_BITS`] are masked to their
+    /// low 62 bits — deterministically, in every build profile. (Every
+    /// trace generator in this repository stays far below that bound;
+    /// the mask pins the behavior for arbitrary external traces instead
+    /// of letting the shift silently drop bits in release and trap in
+    /// debug.)
     #[must_use]
     pub fn new(pc: u64, taken: bool, backward: bool) -> Self {
-        debug_assert!(pc < 1 << 62, "pc {pc:#x} does not fit in 62 bits");
-        PackedCond(pc << 2 | u64::from(backward) << 1 | u64::from(taken))
+        PackedCond((pc & Self::PC_MASK) << 2 | u64::from(backward) << 1 | u64::from(taken))
     }
 
     /// Packs a conditional branch record.
@@ -384,5 +393,64 @@ mod tests {
         assert_eq!((&t).into_iter().count(), 1);
         assert_eq!(t.clone().into_iter().count(), 1);
         assert_eq!(t.iter().count(), 1);
+    }
+
+    #[test]
+    fn packed_cond_round_trips_any_packable_pc() {
+        use crate::rng::SmallRng;
+        let mut rng = SmallRng::seed_from_u64(0x9A11);
+        for i in 0..10_000u64 {
+            // Cover the full packable width, including the top bits: draw
+            // a random bit width in [1, 62] and a random pc below it.
+            let bits = rng.next_range(1, u64::from(PackedCond::PC_BITS) + 1) as u32;
+            let pc = rng.next_u64() >> (64 - bits);
+            let taken = rng.random_bool(0.5);
+            let backward = rng.random_bool(0.5);
+            let packed = PackedCond::new(pc, taken, backward);
+            assert_eq!(packed.pc(), pc, "iteration {i}: pc {pc:#x} ({bits} bits)");
+            assert_eq!(packed.taken(), taken, "iteration {i}");
+            assert_eq!(packed.is_backward(), backward, "iteration {i}");
+            let record = packed.to_record();
+            assert_eq!(record.pc, pc);
+            assert_eq!(record.taken, taken);
+            assert_eq!(record.is_backward(), backward);
+        }
+    }
+
+    #[test]
+    fn packed_cond_masks_out_of_range_pcs_deterministically() {
+        use crate::rng::SmallRng;
+        assert_eq!(PackedCond::PC_BITS, 62, "pc << 2 leaves 62 bits");
+        let mut rng = SmallRng::seed_from_u64(0x9A12);
+        for _ in 0..10_000u64 {
+            // Force at least one of the two unpackable top bits on.
+            let pc = rng.next_u64() | 1 << 63;
+            let taken = rng.random_bool(0.5);
+            let backward = rng.random_bool(0.5);
+            let wide = PackedCond::new(pc, taken, backward);
+            let masked = PackedCond::new(pc & PackedCond::PC_MASK, taken, backward);
+            assert_eq!(wide, masked, "out-of-range pc {pc:#x} must mask, not scramble");
+            assert_eq!(wide.pc(), pc & PackedCond::PC_MASK);
+            assert_eq!(wide.taken(), taken);
+            assert_eq!(wide.is_backward(), backward);
+        }
+    }
+
+    #[test]
+    fn packed_cond_round_trips_structured_records() {
+        use crate::rng::SmallRng;
+        let mut rng = SmallRng::seed_from_u64(0x9A13);
+        for i in 0..2_000u64 {
+            let pc = rng.next_below(PackedCond::PC_MASK + 1);
+            let taken = rng.random_bool(0.7);
+            // Exercise both forward and backward targets around pc.
+            let target = if rng.random_bool(0.5) { pc.saturating_sub(16) } else { pc + 16 };
+            let record = BranchRecord::conditional(pc, taken, target, i);
+            let packed = PackedCond::from_record(&record);
+            let rebuilt = packed.to_record();
+            assert_eq!(rebuilt.pc, record.pc);
+            assert_eq!(rebuilt.taken, record.taken);
+            assert_eq!(rebuilt.is_backward(), record.is_backward());
+        }
     }
 }

@@ -1,6 +1,8 @@
 #!/usr/bin/env sh
 # Full offline verification: release build, test suite, strict clippy
-# across the whole workspace, and formatting.
+# across the whole workspace, formatting, the differential/determinism
+# suites under release optimization (the fast paths the benchmarks
+# exercise), and a one-iteration smoke run of the throughput harness.
 # Run from the repository root. Requires no network access.
 set -eux
 
@@ -8,3 +10,5 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all --check
+cargo test --release -q -p tlabp --test differential --test sweep_determinism
+TLABP_BENCH_ITERS=1 cargo run -q -p tlabp-experiments --release -- bench --out "$(mktemp -d)"

@@ -3,10 +3,12 @@
 //!
 //! The sweep engine runs cells through a monomorphized
 //! [`AnyPredictor`] and, without context switches, over the packed
-//! conditional-branch stream. Neither transformation may change a
-//! single prediction: for every scheme in the catalog, the boxed
-//! `dyn BranchPredictor` over the full trace, the `AnyPredictor` over
-//! the full trace, and the `AnyPredictor` over the packed stream must
+//! conditional-branch stream — and fuses packed-path jobs that share a
+//! trace into batched passes over the pc-interned stream. None of these
+//! transformations may change a single prediction: for every scheme in
+//! the catalog, the boxed `dyn BranchPredictor` over the full trace,
+//! the `AnyPredictor` over the full trace, the `AnyPredictor` over the
+//! packed stream, and the fused batch over the interned stream must
 //! produce identical [`SimResult`]s.
 
 use tlabp::core::automaton::Automaton;
@@ -145,6 +147,81 @@ fn engine_paths_agree_for_every_lowering() {
             results.iter().map(|(_, outcome)| &outcome.metrics().expect("measured").sim).collect();
         assert_eq!(sims[0], sims[1], "fast vs reference diverged for {config}");
         assert_eq!(sims[0], sims[2], "fast vs dyn diverged for {config}");
+    }
+}
+
+/// Fusion is invisible: for every catalog scheme — including the
+/// context-switch variants, which are fusion-ineligible and must fall
+/// back to per-cell execution inside a fused plan — a fused plan, the
+/// same plan with fusion disabled, and the same plan forced onto the
+/// reference path produce identical outcomes job for job: measured
+/// counters and skip reasons alike.
+#[test]
+fn fused_per_cell_and_reference_plans_agree_job_for_job() {
+    use tlabp::sim::engine::execute;
+    use tlabp::sim::plan::{Job, Plan};
+    use tlabp::sim::TraceStore;
+
+    let li = Benchmark::by_name("li").expect("li exists");
+    let eqntott = Benchmark::by_name("eqntott").expect("eqntott exists");
+    let mut jobs: Vec<Job> = catalog().into_iter().map(|config| Job::scheme(config, li)).collect();
+    // eqntott has no training set: profiled schemes must skip (with the
+    // same reason) on every path, alongside fusible neighbors.
+    jobs.extend(
+        [SchemeConfig::profiling(), SchemeConfig::gsg(12), SchemeConfig::pag(8)]
+            .map(|config| Job::scheme(config, eqntott)),
+    );
+
+    let store = TraceStore::new();
+    let fused: Plan = jobs.iter().cloned().collect();
+    let per_cell: Plan = jobs.iter().map(|job| job.clone().with_fusion(false)).collect();
+    let reference: Plan = jobs.iter().map(|job| job.clone().with_reference_path(true)).collect();
+
+    let fused_out = execute(&fused, &store);
+    let cell_out = execute(&per_cell, &store);
+    let reference_out = execute(&reference, &store);
+    for (index, job) in jobs.iter().enumerate() {
+        let label = job.label();
+        let benchmark = job.trace.benchmark.name();
+        assert_eq!(
+            fused_out.outcome(index),
+            cell_out.outcome(index),
+            "fused vs per-cell diverged for {label} on {benchmark}"
+        );
+        assert_eq!(
+            fused_out.outcome(index),
+            reference_out.outcome(index),
+            "fused vs reference diverged for {label} on {benchmark}"
+        );
+    }
+}
+
+/// A fused batch's composition never affects its members: every catalog
+/// scheme measured alone in its own single-job fused plan matches the
+/// outcome it gets inside the all-schemes fused plan (where it shares
+/// batches with 15 other predictors).
+#[test]
+fn fused_outcomes_are_independent_of_batch_composition() {
+    use tlabp::sim::engine::execute;
+    use tlabp::sim::plan::{Job, Plan};
+    use tlabp::sim::TraceStore;
+
+    let li = Benchmark::by_name("li").expect("li exists");
+    // The no-switch half of the catalog: every scheme that actually
+    // lowers to the fusible packed path.
+    let fusible: Vec<SchemeConfig> =
+        catalog().into_iter().filter(|config| !config.context_switch()).collect();
+    let store = TraceStore::new();
+    let multi: Plan = fusible.iter().map(|&config| Job::scheme(config, li)).collect();
+    let multi_out = execute(&multi, &store);
+    for (index, &config) in fusible.iter().enumerate() {
+        let single: Plan = [Job::scheme(config, li)].into_iter().collect();
+        let single_out = execute(&single, &store);
+        assert_eq!(
+            multi_out.outcome(index),
+            single_out.outcome(0),
+            "{config} outcome depends on its batch"
+        );
     }
 }
 
