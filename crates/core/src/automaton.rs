@@ -198,6 +198,31 @@ impl Automaton {
         State(next)
     }
 
+    /// A 256-entry lookup table fusing δ and λ for the bit-packed PHT.
+    ///
+    /// Index the table with the byte `(state << 1) | taken`; the entry's
+    /// low two bits are the successor state and bit 2 is the prediction λ
+    /// made from the *pre-update* state — exactly the contract of
+    /// [`crate::pht::PatternHistoryTable::predict_update`].
+    ///
+    /// Only the low bits of the index are meaningful: the stored state is
+    /// masked to the automaton's state space before δ/λ are consulted, so
+    /// every one of the 256 byte values is a valid index and the replay
+    /// loop's `lut[byte as usize]` never needs a bounds check.
+    #[must_use]
+    pub fn packed_lut(self) -> [u8; 256] {
+        let mask = self.state_count() - 1;
+        let mut lut = [0u8; 256];
+        for (index, entry) in lut.iter_mut().enumerate() {
+            let taken = index & 1 != 0;
+            let state = State::new(((index >> 1) as u8) & mask);
+            let next = self.update(state, taken).value();
+            let predicted = u8::from(self.predict(state));
+            *entry = next | (predicted << 2);
+        }
+        lut
+    }
+
     /// The short name used by the paper's Table 3 configuration strings.
     #[must_use]
     pub fn table3_name(self) -> &'static str {

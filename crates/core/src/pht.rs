@@ -152,6 +152,296 @@ impl PatternHistoryTable {
     }
 }
 
+/// A bit-packed pattern history table for the replay path: 2-bit automaton
+/// states, 32 per `u64` word, stepped through a per-automaton 256-entry
+/// lookup table fusing δ and λ ([`Automaton::packed_lut`]).
+///
+/// Behaviorally identical to [`PatternHistoryTable`] (pinned by the
+/// round-trip tests below and by `tests/differential.rs`), but the whole
+/// transition is branchless: read two bits, index the LUT with
+/// `(state << 1) | taken`, write two bits back, report bit 2. A `2^12`
+/// table is 1 KiB of words — L1-resident for the entire replay.
+#[derive(Debug, Clone)]
+pub struct PackedPht {
+    automaton: Automaton,
+    history_bits: u32,
+    lut: [u8; 256],
+    words: Vec<u64>,
+}
+
+impl PackedPht {
+    /// Creates a packed table equivalent to
+    /// [`PatternHistoryTable::new`]: every entry at the automaton's
+    /// initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history_bits` is zero or exceeds
+    /// [`crate::history::MAX_HISTORY_BITS`].
+    #[must_use]
+    pub fn new(history_bits: u32, automaton: Automaton) -> Self {
+        assert!(
+            (1..=crate::history::MAX_HISTORY_BITS).contains(&history_bits),
+            "history bits {history_bits} out of range"
+        );
+        let entries = 1usize << history_bits;
+        let initial = u64::from(automaton.initial_state().value());
+        let mut word = 0u64;
+        for slot in 0..32 {
+            word |= initial << (slot * 2);
+        }
+        PackedPht {
+            automaton,
+            history_bits,
+            lut: automaton.packed_lut(),
+            words: vec![word; entries.div_ceil(32)],
+        }
+    }
+
+    /// Packs an existing table, preserving every entry's current state —
+    /// the path by which the Static Training preset tables (GSg/PSg) and
+    /// any pre-warmed table enter the replay loop.
+    #[must_use]
+    pub fn from_table(table: &PatternHistoryTable) -> Self {
+        let mut packed = PackedPht::new(table.history_bits(), table.automaton());
+        for pattern in 0..table.len() {
+            packed.set_state(pattern, table.state(pattern));
+        }
+        packed
+    }
+
+    /// The automaton stored in each entry.
+    #[must_use]
+    pub fn automaton(&self) -> Automaton {
+        self.automaton
+    }
+
+    /// The history-register length `k` this table is sized for.
+    #[must_use]
+    pub fn history_bits(&self) -> u32 {
+        self.history_bits
+    }
+
+    /// Number of entries (`2^k`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        1usize << self.history_bits
+    }
+
+    /// Always `false`; a table has at least two entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The current state of the entry for `pattern`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` is out of range.
+    #[must_use]
+    pub fn state(&self, pattern: usize) -> State {
+        assert!(pattern < self.len(), "pattern {pattern} out of range");
+        let shift = (pattern & 31) * 2;
+        State::new(((self.words[pattern >> 5] >> shift) & 0b11) as u8)
+    }
+
+    /// Overwrites the state of the entry for `pattern`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` is out of range or `state` is invalid for the
+    /// table's automaton.
+    pub fn set_state(&mut self, pattern: usize, state: State) {
+        assert!(pattern < self.len(), "pattern {pattern} out of range");
+        assert!(
+            self.automaton.is_valid_state(state),
+            "state {state} invalid for {}",
+            self.automaton
+        );
+        let shift = (pattern & 31) * 2;
+        let word = &mut self.words[pattern >> 5];
+        *word = (*word & !(0b11 << shift)) | (u64::from(state.value()) << shift);
+    }
+
+    /// Fused predict + update, identical in contract to
+    /// [`PatternHistoryTable::predict_update`]: the returned prediction is
+    /// λ of the entry's state *before* the transition.
+    ///
+    /// This is the replay inner loop, so the word index is wrapped by
+    /// masking rather than bounds-checked — `x & (len - 1)` is always in
+    /// range, which lets the check compile away. In-range patterns (the
+    /// only ones a stream derived at this table's width can carry, and
+    /// debug-asserted here) are unaffected.
+    #[inline]
+    pub fn predict_update(&mut self, pattern: usize, taken: bool) -> bool {
+        debug_assert!(pattern < self.len(), "pattern {pattern} out of range");
+        let shift = (pattern & 31) * 2;
+        let index = (pattern >> 5) & (self.words.len() - 1);
+        let word = &mut self.words[index];
+        let state = ((*word >> shift) & 0b11) as u8;
+        let entry = self.lut[usize::from((state << 1) | u8::from(taken))];
+        *word = (*word & !(0b11 << shift)) | (u64::from(entry & 0b11) << shift);
+        entry & 0b100 != 0
+    }
+}
+
+/// A bank of equally-sized [`PackedPht`]s interleaved into one
+/// allocation: word `w` of member `m` lives at index `w * members + m`,
+/// so every member's entry for one pattern sits on the same (or the
+/// next) cache line.
+///
+/// This is how a replay batch walks many second levels over one shared
+/// pattern stream. Separately-allocated tables make the batched walk
+/// hostage to the allocator: members hit identical offsets in distinct
+/// buffers back to back, and buffers landing 4 KiB-congruent (common
+/// once the heap has churned) turn every member's load into a false
+/// store-forwarding conflict with the previous member's store.
+/// Interleaving makes the batch's per-event traffic contiguous instead.
+///
+/// Each member keeps its own automaton transition word, so a bank can
+/// mix automata — the automaton-ablation sweep is exactly that. The
+/// transition word compresses the member's [`Automaton::packed_lut`]
+/// into a `u32` (8 live `(state, taken)` inputs × 4-bit entries), so
+/// stepping a member shifts a register instead of loading from a
+/// 256-byte table — one dependent load per member-step instead of two.
+/// Final member states stay in the bank (replay only needs the
+/// prediction counts), so there is no write-back to the source tables.
+#[derive(Debug, Clone)]
+pub struct PackedPhtBank {
+    history_bits: u32,
+    members: usize,
+    word_mask: usize,
+    luts: Vec<u32>,
+    words: Vec<u64>,
+}
+
+impl PackedPhtBank {
+    /// Interleaves `tables` into a bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables` is empty or its members disagree on
+    /// `history_bits`.
+    #[must_use]
+    pub fn new(tables: &[PackedPht]) -> Self {
+        let first = tables.first().expect("a bank needs at least one member");
+        assert!(
+            tables.iter().all(|t| t.history_bits == first.history_bits),
+            "bank members must share one table geometry"
+        );
+        let members = tables.len();
+        let word_count = first.words.len();
+        let mut words = vec![0u64; word_count * members];
+        for (member, table) in tables.iter().enumerate() {
+            for (index, &word) in table.words.iter().enumerate() {
+                words[index * members + member] = word;
+            }
+        }
+        let luts = tables
+            .iter()
+            .map(|table| {
+                (0..8).fold(0u32, |flags, index| flags | u32::from(table.lut[index]) << (index * 4))
+            })
+            .collect();
+        PackedPhtBank {
+            history_bits: first.history_bits,
+            members,
+            word_mask: word_count - 1,
+            luts,
+            words,
+        }
+    }
+
+    /// The history-register length `k` every member is sized for.
+    #[must_use]
+    pub fn history_bits(&self) -> u32 {
+        self.history_bits
+    }
+
+    /// Number of member tables.
+    #[must_use]
+    pub fn members(&self) -> usize {
+        self.members
+    }
+
+    /// [`PackedPht::predict_update`] on every member's entry for
+    /// `pattern`, calling `sink(member, predicted)` in member order.
+    #[inline]
+    pub fn predict_update_each(
+        &mut self,
+        pattern: usize,
+        taken: bool,
+        mut sink: impl FnMut(usize, bool),
+    ) {
+        debug_assert!(pattern >> 5 <= self.word_mask, "pattern {pattern} out of range");
+        let shift = (pattern & 31) * 2;
+        let base = ((pattern >> 5) & self.word_mask) * self.members;
+        let row = &mut self.words[base..base + self.members];
+        for (member, (word, &flags)) in row.iter_mut().zip(&self.luts).enumerate() {
+            let state = ((*word >> shift) & 0b11) as u32;
+            let entry = (flags >> (((state << 1) | u32::from(taken)) * 4)) & 0b111;
+            *word = (*word & !(0b11 << shift)) | (u64::from(entry & 0b11) << shift);
+            sink(member, entry & 0b100 != 0);
+        }
+    }
+
+    /// [`PackedPhtBank::predict_update_each`] specialized for counting:
+    /// adds 1 to `corrects[member]` for every member whose prediction
+    /// matches `taken`. The replay inner loop — everything (row, LUTs,
+    /// counters) advances in one zip with no per-member indexing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `corrects` is shorter than [`PackedPhtBank::members`].
+    #[inline]
+    pub fn predict_update_count(&mut self, pattern: usize, taken: bool, corrects: &mut [u64]) {
+        debug_assert!(pattern >> 5 <= self.word_mask, "pattern {pattern} out of range");
+        assert!(corrects.len() >= self.members, "one counter per member");
+        let shift = (pattern & 31) * 2;
+        let base = ((pattern >> 5) & self.word_mask) * self.members;
+        let row = &mut self.words[base..base + self.members];
+        for ((word, &flags), correct) in row.iter_mut().zip(&self.luts).zip(corrects) {
+            let state = ((*word >> shift) & 0b11) as u32;
+            let entry = (flags >> (((state << 1) | u32::from(taken)) * 4)) & 0b111;
+            *word = (*word & !(0b11 << shift)) | (u64::from(entry & 0b11) << shift);
+            *correct += u64::from((entry & 0b100 != 0) == taken);
+        }
+    }
+
+    /// [`PackedPhtBank::predict_update_count`] with the member count as a
+    /// compile-time constant: the member loop fully unrolls and the
+    /// counters live in a fixed array the optimizer can keep in
+    /// registers. Callers dispatch on [`PackedPhtBank::members`] and fall
+    /// back to the dynamic variant for sizes they didn't specialize.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `N` differs from [`PackedPhtBank::members`].
+    #[inline]
+    pub fn predict_update_count_fixed<const N: usize>(
+        &mut self,
+        pattern: usize,
+        taken: bool,
+        corrects: &mut [u64; N],
+    ) {
+        debug_assert!(pattern >> 5 <= self.word_mask, "pattern {pattern} out of range");
+        assert_eq!(N, self.members, "bank walked at the wrong width");
+        let shift = (pattern & 31) * 2;
+        let base = ((pattern >> 5) & self.word_mask) * N;
+        let row: &mut [u64; N] =
+            (&mut self.words[base..base + N]).try_into().expect("row is N words");
+        let luts: &[u32; N] = self.luts[..N].try_into().expect("one lut per member");
+        for member in 0..N {
+            let word = &mut row[member];
+            let state = ((*word >> shift) & 0b11) as u32;
+            let entry = (luts[member] >> (((state << 1) | u32::from(taken)) * 4)) & 0b111;
+            *word = (*word & !(0b11 << shift)) | (u64::from(entry & 0b11) << shift);
+            corrects[member] += u64::from((entry & 0b100 != 0) == taken);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,5 +519,110 @@ mod tests {
         pht.update(2, true);
         pht.update(2, true);
         assert!(!pht.predict(2), "preset bit must not learn");
+    }
+
+    #[test]
+    fn packed_pht_matches_unpacked_on_random_walks() {
+        let mut rng = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for automaton in Automaton::ALL {
+            let mut pht = PatternHistoryTable::new(6, automaton);
+            let mut packed = PackedPht::from_table(&pht);
+            assert_eq!(packed.len(), pht.len());
+            for _ in 0..4000 {
+                let r = next();
+                let pattern = (r as usize >> 8) & (pht.len() - 1);
+                let taken = r & 1 != 0;
+                assert_eq!(
+                    packed.predict_update(pattern, taken),
+                    pht.predict_update(pattern, taken),
+                    "{automaton} pattern {pattern} taken {taken}"
+                );
+            }
+            for pattern in 0..pht.len() {
+                assert_eq!(packed.state(pattern), pht.state(pattern), "{automaton} {pattern}");
+            }
+        }
+    }
+
+    #[test]
+    fn bank_matches_individual_packed_tables() {
+        let mut rng = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        // A mixed-automata bank, as the ablation sweeps build.
+        let mut tables: Vec<PackedPht> =
+            Automaton::ALL.iter().map(|&automaton| PackedPht::new(7, automaton)).collect();
+        let mut bank = PackedPhtBank::new(&tables);
+        assert_eq!(bank.members(), tables.len());
+        assert_eq!(bank.history_bits(), 7);
+        for _ in 0..4000 {
+            let r = next();
+            let pattern = (r as usize >> 8) & (tables[0].len() - 1);
+            let taken = r & 1 != 0;
+            let mut banked = Vec::new();
+            bank.predict_update_each(pattern, taken, |member, predicted| {
+                banked.push((member, predicted));
+            });
+            for (member, table) in tables.iter_mut().enumerate() {
+                assert_eq!(
+                    banked[member],
+                    (member, table.predict_update(pattern, taken)),
+                    "member {member} diverged at pattern {pattern}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share one table geometry")]
+    fn bank_rejects_mixed_geometries() {
+        let _ = PackedPhtBank::new(&[
+            PackedPht::new(6, Automaton::A2),
+            PackedPht::new(8, Automaton::A2),
+        ]);
+    }
+
+    #[test]
+    fn packed_pht_round_trips_preset_states() {
+        // A PSg-style preset table: mixed 0/1 states under PresetBit.
+        let mut pht = PatternHistoryTable::new(4, Automaton::PresetBit);
+        for pattern in 0..pht.len() {
+            pht.set_state(pattern, State::new(u8::from(pattern % 3 == 0)));
+        }
+        let mut packed = PackedPht::from_table(&pht);
+        for pattern in 0..pht.len() {
+            assert_eq!(packed.state(pattern), pht.state(pattern));
+            // Updates never move a preset bit.
+            assert_eq!(packed.predict_update(pattern, true), pht.predict_update(pattern, true));
+            assert_eq!(packed.state(pattern), pht.state(pattern));
+        }
+    }
+
+    #[test]
+    fn packed_pht_word_boundaries() {
+        // Entries 31/32/33 straddle the first word boundary.
+        let mut packed = PackedPht::new(6, Automaton::A2);
+        packed.predict_update(31, false);
+        packed.predict_update(32, false);
+        assert_eq!(packed.state(31), State::new(2));
+        assert_eq!(packed.state(32), State::new(2));
+        assert_eq!(packed.state(33), State::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn packed_pht_state_rejects_out_of_range_pattern() {
+        let packed = PackedPht::new(2, Automaton::A2);
+        let _ = packed.state(4);
     }
 }

@@ -97,6 +97,18 @@ impl Pap {
         self.bht.stats()
     }
 
+    /// The per-table history-register length `k`.
+    #[must_use]
+    pub fn history_bits(&self) -> u32 {
+        self.history_bits
+    }
+
+    /// The automaton stored in every pattern table entry.
+    #[must_use]
+    pub fn automaton(&self) -> Automaton {
+        self.automaton
+    }
+
     /// Number of pattern history tables currently instantiated.
     #[must_use]
     pub fn pattern_table_count(&self) -> usize {

@@ -1,41 +1,58 @@
 //! Throughput harness: reference baseline vs the engine's fast paths.
 //!
-//! Not a paper artifact. Two sections, both built as plans on the
-//! execution engine:
+//! Not a paper artifact. Three sections, each built as plans on the
+//! execution engine and each runnable alone via `--section <name>`
+//! (mirroring the ARTIFACTS registry dispatch):
 //!
-//! **Single scheme** — the full-suite PAg(12) evaluation (the workhorse
+//! **single** — the full-suite PAg(12) evaluation (the workhorse
 //! configuration of Figures 5–11) measured two ways:
 //!
 //! * **reference** — each job forced onto the reference path (one boxed
 //!   `dyn BranchPredictor` per benchmark, the event-dispatching
 //!   simulation loop over the full trace), executed on a one-worker pool
 //!   so cells run strictly one after another: the pre-sweep code path;
-//! * **engine** — the same plan lowered normally, which takes the
-//!   monomorphized packed-conditional fast path per cell on the global
-//!   worker pool.
+//! * **engine** — the same plan lowered normally on the global worker
+//!   pool.
 //!
-//! **Multi scheme** — the full catalog sweep (every Table 3
-//! configuration on every benchmark), the shape every real experiment
-//! driver has, measured two ways:
+//! **multi** — the full catalog sweep (every Table 3 configuration on
+//! every benchmark), the shape every real experiment driver has,
+//! measured two ways:
 //!
 //! * **per-cell** — fusion disabled ([`Job::fuse`] off), so every job
 //!   runs its own pass over the packed stream: the pre-fusion engine;
-//! * **fused** — the default lowering, which groups the plan's jobs by
-//!   trace and runs batched passes over the pc-interned stream
-//!   ([`tlabp_sim::runner::simulate_fused`]).
+//! * **fused** — replay disabled ([`Job::replay`] off) but fusion on, so
+//!   the plan's jobs group by trace into batched passes over the
+//!   pc-interned stream ([`tlabp_sim::runner::simulate_fused`]): the
+//!   PR 3 engine.
 //!
-//! All runs start from warmed trace caches, so the numbers compare
-//! simulation throughput, not VM trace generation. Within each section
-//! the throughput numerator is identical across modes (trace events for
-//! the single-scheme pair, measured predictions for the catalog pair),
-//! so each reported speedup equals the wall-clock ratio. Results print
-//! as tables and land in `results/BENCH_sweep.json`.
+//! **replay** — the automaton-ablation sweep (every Figure 5 automaton
+//! on PAg(12) plus the PSg(12) preset second level, all sharing the
+//! paper-default `BHT(512,4,12)` first level, on every benchmark),
+//! measured two ways:
+//!
+//! * **fused** — replay disabled: every job re-walks the shared BHT
+//!   inside its fused batch (the PR 3 path, this section's baseline);
+//! * **replay** — the default lowering, which materializes the
+//!   first-level pattern stream once per benchmark and replays each
+//!   job's bit-packed second level over it
+//!   ([`tlabp_sim::runner::simulate_replay`]).
+//!
+//! All runs start from warmed trace caches (including materialized
+//! pattern streams), so the numbers compare simulation throughput, not
+//! VM trace generation or stream derivation. Within each section the
+//! throughput numerator is identical across modes (trace events for the
+//! single-scheme pair, measured predictions for the other two), so each
+//! reported speedup equals the wall-clock ratio. Results print as
+//! tables; a full (unfiltered) run lands in `results/BENCH_sweep.json`.
+//! Every run ends with the per-form cache-bytes report, warning when the
+//! total exceeds the `TLABP_CACHE_BYTES` soft cap (default 1 GiB).
 //!
 //! Timing iterations default to 3 (best-of); the `TLABP_BENCH_ITERS`
 //! environment variable overrides (CI smoke runs set 1).
 
 use std::time::Instant;
 
+use tlabp_core::automaton::Automaton;
 use tlabp_core::config::SchemeConfig;
 use tlabp_sim::engine::{execute, execute_on};
 use tlabp_sim::plan::{Job, Plan};
@@ -68,13 +85,59 @@ fn bench_iterations() -> u32 {
         .unwrap_or(3)
 }
 
-/// `cargo run -p tlabp-experiments --release -- bench`
+/// Soft cap for the trace-cache footprint report: `TLABP_CACHE_BYTES`
+/// when it holds a positive integer (bytes), else 1 GiB.
+fn cache_bytes_cap() -> usize {
+    std::env::var("TLABP_CACHE_BYTES")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1 << 30)
+}
+
+/// A bench section: runs its measurement and returns the JSON fragment
+/// (a `"name": {...}` member) it contributes to `BENCH_sweep.json`.
+type Section = fn(&Ctx, u32, usize) -> String;
+
+/// The registered bench sections, in run order.
+const SECTIONS: [(&str, Section); 3] =
+    [("single", single_section), ("multi", multi_section), ("replay", replay_section)];
+
+/// `cargo run -p tlabp-experiments --release -- bench [--section NAME]`
 pub fn bench(ctx: &Ctx) {
-    let config = SchemeConfig::pag(12);
     let iterations = bench_iterations();
     let threads = SweepPool::global().threads();
 
-    // ---- Single scheme: full-suite PAg(12), reference vs engine. ----
+    match ctx.section() {
+        Some(name) => match SECTIONS.iter().find(|(section, _)| *section == name) {
+            Some((_, run)) => {
+                run(ctx, iterations, threads);
+                println!("[section {name:?} only: not rewriting BENCH_sweep.json]\n");
+            }
+            None => {
+                eprintln!("unknown bench section {name:?}");
+                eprintln!("sections: {}", SECTIONS.map(|(section, _)| section).join(", "));
+                std::process::exit(2);
+            }
+        },
+        None => {
+            let fragments: Vec<String> =
+                SECTIONS.iter().map(|(_, run)| run(ctx, iterations, threads)).collect();
+            let json = format!(
+                "{{\n  \"iterations\": {iterations},\n  \
+                 \"sweep_threads\": {threads},\n{}\n}}\n",
+                fragments.join(",\n")
+            );
+            ctx.emit_raw("BENCH_sweep.json", &json);
+        }
+    }
+
+    report_cache_bytes(ctx);
+}
+
+/// Single scheme: full-suite PAg(12), reference vs engine.
+fn single_section(ctx: &Ctx, iterations: u32, threads: usize) -> String {
+    let config = SchemeConfig::pag(12);
 
     // Warm every cache both modes touch.
     let mut total_events = 0u64;
@@ -125,10 +188,27 @@ pub fn bench(ctx: &Ctx) {
     ]);
     ctx.emit("BENCH_sweep_table", "Sweep throughput: full-suite PAg(12)", &table);
 
-    // ---- Multi scheme: full catalog sweep, per-cell vs fused. ----
+    format!(
+        "  \"single_scheme\": {{\n    \
+           \"benchmark\": \"full-suite PAg(12), no context switches\",\n    \
+           \"total_trace_events\": {total_events},\n    \
+           \"total_conditional_branches\": {total_conditionals},\n    \
+           \"sequential\": {{ \"seconds\": {sequential_secs:.6}, \"events_per_sec\": {seq_eps:.1} }},\n    \
+           \"sweep\": {{ \"seconds\": {sweep_secs:.6}, \"events_per_sec\": {sweep_eps:.1} }},\n    \
+           \"speedup\": {sweep_speedup:.3}\n  }}"
+    )
+}
 
+/// Multi scheme: full catalog sweep, per-cell vs fused.
+fn multi_section(ctx: &Ctx, iterations: u32, threads: usize) -> String {
     let configs = all_table3_configs();
-    let fused_plan = Plan::suites(&configs, &SimConfig::no_context_switch());
+    // Replay off in both modes: this section isolates what fusion buys
+    // over per-cell passes (the PR 3 comparison); the replay section
+    // below measures what replay buys over fusion.
+    let fused_plan: Plan = Plan::suites(&configs, &SimConfig::no_context_switch())
+        .into_iter()
+        .map(|job| job.with_replay(false))
+        .collect();
     let cell_plan: Plan =
         fused_plan.jobs().iter().map(|job| job.clone().with_fusion(false)).collect();
 
@@ -181,26 +261,117 @@ pub fn bench(ctx: &Ctx) {
         &fused_table,
     );
 
-    let json = format!(
-        "{{\n  \"iterations\": {iterations},\n  \
-         \"sweep_threads\": {threads},\n  \
-         \"single_scheme\": {{\n    \
-           \"benchmark\": \"full-suite PAg(12), no context switches\",\n    \
-           \"total_trace_events\": {total_events},\n    \
-           \"total_conditional_branches\": {total_conditionals},\n    \
-           \"sequential\": {{ \"seconds\": {sequential_secs:.6}, \"events_per_sec\": {seq_eps:.1} }},\n    \
-           \"sweep\": {{ \"seconds\": {sweep_secs:.6}, \"events_per_sec\": {sweep_eps:.1} }},\n    \
-           \"speedup\": {sweep_speedup:.3}\n  }},\n  \
-         \"multi_scheme\": {{\n    \
+    format!(
+        "  \"multi_scheme\": {{\n    \
            \"benchmark\": \"all Table 3 configs x all benchmarks, no context switches\",\n    \
            \"configs\": {n_configs},\n    \
            \"jobs\": {n_jobs},\n    \
            \"measured_predictions\": {multi_predictions},\n    \
            \"cell\": {{ \"seconds\": {cell_secs:.6}, \"events_per_sec\": {cell_eps:.1} }},\n    \
            \"fused\": {{ \"seconds\": {fused_secs:.6}, \"events_per_sec\": {fused_eps:.1} }},\n    \
-           \"speedup\": {fused_speedup:.3}\n  }}\n}}\n",
+           \"speedup\": {fused_speedup:.3}\n  }}",
         n_configs = configs.len(),
         n_jobs = fused_plan.len(),
+    )
+}
+
+/// Replay: the automaton-ablation sweep, fused vs pattern-stream replay.
+fn replay_section(ctx: &Ctx, iterations: u32, threads: usize) -> String {
+    // Every second-level variant of the paper-default first level: all
+    // six automata (the five of Figure 5 plus the untrained preset bit)
+    // on PAg(12). All six share BHT(512,4,12), so fused execution
+    // already rides one driver walk per benchmark — the strongest
+    // available baseline — and replay shares one materialized stream per
+    // benchmark. The trained PSg variant is deliberately absent: both
+    // modes would rebuild (re-train) it inside the timed region, adding
+    // a constant that measures training, not the sweep.
+    let configs: Vec<SchemeConfig> = Automaton::ALL
+        .iter()
+        .map(|&automaton| SchemeConfig::pag(12).with_automaton(automaton))
+        .collect();
+    let replay_plan = Plan::suites(&configs, &SimConfig::no_context_switch());
+    let fused_plan: Plan =
+        replay_plan.jobs().iter().map(|job| job.clone().with_replay(false)).collect();
+
+    // Warm run on the replay lowering: generates traces and derives and
+    // caches every pattern stream — so the timed runs below measure
+    // replay, not derivation — and supplies the shared numerator (replay
+    // is bit-identical to fusion, asserted by the differential suite).
+    let warm = execute(&replay_plan, ctx.store());
+    let replay_predictions: u64 =
+        warm.iter().filter_map(|(_, o)| o.metrics()).map(|m| m.sim.predictions).sum();
+
+    let fused_secs = best_of(iterations, || {
+        let results = execute(&fused_plan, ctx.store());
+        assert_eq!(results.len(), fused_plan.len());
+    });
+    let replay_secs = best_of(iterations, || {
+        let results = execute(&replay_plan, ctx.store());
+        assert_eq!(results.len(), replay_plan.len());
+    });
+
+    let fused_eps = replay_predictions as f64 / fused_secs;
+    let replay_eps = replay_predictions as f64 / replay_secs;
+    let replay_speedup = fused_secs / replay_secs;
+
+    let mut table = Table::new(vec![
+        "mode".into(),
+        format!("seconds (best of {iterations})"),
+        "predictions/sec".into(),
+        "speedup".into(),
+    ]);
+    table.push_row(vec![
+        format!("fused ({threads} threads)"),
+        format!("{fused_secs:.3}"),
+        format!("{fused_eps:.0}"),
+        "1.00".into(),
+    ]);
+    table.push_row(vec![
+        format!("replay ({threads} threads)"),
+        format!("{replay_secs:.3}"),
+        format!("{replay_eps:.0}"),
+        format!("{replay_speedup:.2}"),
+    ]);
+    ctx.emit(
+        "BENCH_replay_table",
+        &format!(
+            "Pattern-stream replay: {} automaton ablations x {} benchmarks",
+            configs.len(),
+            Benchmark::ALL.len()
+        ),
+        &table,
     );
-    ctx.emit_raw("BENCH_sweep.json", &json);
+
+    format!(
+        "  \"replay\": {{\n    \
+           \"benchmark\": \"automaton ablations on BHT(512,4,12) x all benchmarks, no context switches\",\n    \
+           \"configs\": {n_configs},\n    \
+           \"jobs\": {n_jobs},\n    \
+           \"measured_predictions\": {replay_predictions},\n    \
+           \"fused\": {{ \"seconds\": {fused_secs:.6}, \"events_per_sec\": {fused_eps:.1} }},\n    \
+           \"replay\": {{ \"seconds\": {replay_secs:.6}, \"events_per_sec\": {replay_eps:.1} }},\n    \
+           \"speedup\": {replay_speedup:.3}\n  }}",
+        n_configs = configs.len(),
+        n_jobs = replay_plan.len(),
+    )
+}
+
+/// Per-form cache footprint of everything the run materialized, with the
+/// `TLABP_CACHE_BYTES` soft-cap warning.
+fn report_cache_bytes(ctx: &Ctx) {
+    let bytes = ctx.store().cache_bytes();
+    let mib = |n: usize| format!("{:.2}", n as f64 / (1024.0 * 1024.0));
+    let mut table = Table::new(vec!["cached form".into(), "bytes".into(), "MiB".into()]);
+    table.push_row(vec!["packed".into(), bytes.packed.to_string(), mib(bytes.packed)]);
+    table.push_row(vec!["interned".into(), bytes.interned.to_string(), mib(bytes.interned)]);
+    table.push_row(vec!["pattern streams".into(), bytes.streams.to_string(), mib(bytes.streams)]);
+    table.push_row(vec!["total".into(), bytes.total().to_string(), mib(bytes.total())]);
+    ctx.emit("BENCH_cache_bytes", "Trace cache footprint by form", &table);
+    let cap = cache_bytes_cap();
+    if bytes.total() > cap {
+        eprintln!(
+            "warning: trace cache holds {} bytes, above the TLABP_CACHE_BYTES soft cap of {cap}",
+            bytes.total()
+        );
+    }
 }

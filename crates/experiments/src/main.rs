@@ -1,7 +1,7 @@
 //! Experiment harness: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments <artifact> [--out DIR]
+//! experiments <artifact> [--out DIR] [--section NAME]
 //! ```
 //!
 //! Run `experiments --help` for the artifact list — it is generated from
@@ -24,20 +24,28 @@ mod fetch;
 mod figures;
 mod tables;
 
-/// Shared experiment context: the trace cache and the output directory.
+/// Shared experiment context: the trace cache, the output directory and
+/// the optional `--section` filter (honored by the artifacts that have
+/// named sections, currently `bench`).
 pub struct Ctx {
     store: tlabp_sim::TraceStore,
     out_dir: PathBuf,
+    section: Option<String>,
 }
 
 impl Ctx {
-    fn new(out_dir: PathBuf) -> Self {
-        Ctx { store: tlabp_sim::TraceStore::new(), out_dir }
+    fn new(out_dir: PathBuf, section: Option<String>) -> Self {
+        Ctx { store: tlabp_sim::TraceStore::new(), out_dir, section }
     }
 
     /// The shared trace cache.
     pub fn store(&self) -> &tlabp_sim::TraceStore {
         &self.store
+    }
+
+    /// The `--section` filter, if one was given.
+    pub fn section(&self) -> Option<&str> {
+        self.section.as_deref()
     }
 
     /// Writes `<file_name>` verbatim into the output directory.
@@ -90,7 +98,7 @@ const fn helper(name: &'static str, description: &'static str, run: fn(&Ctx)) ->
 
 /// The single registry every dispatch path reads: lookup by name, the
 /// `all` iteration and the usage text all come from this table.
-const ARTIFACTS: [Artifact; 18] = [
+const ARTIFACTS: [Artifact; 19] = [
     artifact("table1", "static conditional branches per benchmark (Table 1)", tables::table1),
     artifact("table2", "training/testing data sets (Table 2)", tables::table2),
     artifact("table3", "simulated predictor configurations (Table 3)", tables::table3),
@@ -115,6 +123,11 @@ const ARTIFACTS: [Artifact; 18] = [
         analysis::analysis,
     ),
     artifact("fetch", "Section 3.2 fetch-path outcomes with target caching", fetch::fetch),
+    artifact(
+        "grid",
+        "automaton x history-width x scheme accuracy grid (beyond the paper)",
+        tables::grid,
+    ),
     helper("bench", "engine throughput vs the sequential reference baseline", bench::bench),
     helper("calibrate", "quick accuracy readout for reference schemes", figures::calibrate),
 ];
@@ -123,6 +136,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut artifact = None;
     let mut out_dir = PathBuf::from("results");
+    let mut section = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -130,6 +144,13 @@ fn main() -> ExitCode {
                 Some(dir) => out_dir = PathBuf::from(dir),
                 None => {
                     eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--section" => match iter.next() {
+                Some(name) => section = Some(name.clone()),
+                None => {
+                    eprintln!("--section requires a section name");
                     return ExitCode::FAILURE;
                 }
             },
@@ -150,7 +171,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
 
-    let ctx = Ctx::new(out_dir);
+    let ctx = Ctx::new(out_dir, section);
     if artifact == "all" {
         for entry in ARTIFACTS.iter().filter(|a| a.in_all) {
             println!(">>> {}", entry.name);
@@ -172,7 +193,7 @@ fn main() -> ExitCode {
 }
 
 fn print_usage() {
-    println!("usage: experiments <artifact> [--out DIR]");
+    println!("usage: experiments <artifact> [--out DIR] [--section NAME]");
     println!("artifacts:");
     let width = ARTIFACTS.iter().map(|a| a.name.len()).max().unwrap_or(0);
     for entry in &ARTIFACTS {

@@ -5,6 +5,7 @@ use tlabp_core::bht::BhtConfig;
 use tlabp_core::config::SchemeConfig;
 use tlabp_core::cost::{BhtGeometry, CostModel};
 use tlabp_sim::report::Table;
+use tlabp_sim::SimConfig;
 use tlabp_trace::stats::TraceSummary;
 use tlabp_workloads::{Benchmark, DataSet};
 
@@ -134,6 +135,42 @@ pub fn all_table3_configs() -> Vec<SchemeConfig> {
         SchemeConfig::btb(Automaton::LastTime),
     ]);
     configs
+}
+
+/// The full automaton x history-width x scheme accuracy grid (beyond the
+/// paper's figures, which each slice this space along one axis). 75
+/// suite evaluations; affordable because every cell lowers to a
+/// pattern-stream replay, so each (scheme, width, benchmark) trace walk
+/// happens once and the five automata replay over it.
+pub fn grid(ctx: &Ctx) {
+    type MakeScheme = fn(u32) -> SchemeConfig;
+    let widths = [4u32, 6, 8, 10, 12];
+    let schemes: [(&str, MakeScheme); 3] =
+        [("GAg", SchemeConfig::gag), ("PAg", SchemeConfig::pag), ("PAp", SchemeConfig::pap)];
+    let configs: Vec<SchemeConfig> = schemes
+        .iter()
+        .flat_map(|&(_, make)| widths.iter().map(move |&k| make(k)))
+        .flat_map(|config| {
+            Automaton::FIGURE5.iter().map(move |&automaton| config.with_automaton(automaton))
+        })
+        .collect();
+    let results = tlabp_sim::run_sweep(&configs, ctx.store(), &SimConfig::no_context_switch());
+
+    let mut header = vec!["scheme".into(), "k".into()];
+    header.extend(Automaton::FIGURE5.iter().map(|a| format!("{a} Tot GMean %")));
+    let mut table = Table::new(header);
+    let mut rows = results.iter();
+    for (name, _) in schemes {
+        for k in widths {
+            let mut row = vec![name.to_string(), k.to_string()];
+            for _ in Automaton::FIGURE5 {
+                let result = rows.next().expect("one result per config");
+                row.push(format!("{:.2}", result.total_gmean() * 100.0));
+            }
+            table.push_row(row);
+        }
+    }
+    ctx.emit("grid", "Accuracy grid: scheme x history width x automaton", &table);
 }
 
 /// Cost-model curves: Equations 4-6 as functions of the history length,

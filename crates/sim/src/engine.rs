@@ -5,6 +5,14 @@
 //! ([`crate::plan`]) and "numbers came out" ([`ResultSet`]). Lowering
 //! picks one execution path per job:
 //!
+//! * **replay** — bit-packed second-level replay over a materialized
+//!   first-level pattern stream ([`crate::runner::simulate_replay`]);
+//!   chosen for fusion-eligible catalog schemes whose first level maps
+//!   to a [`StreamKey`]. The engine derives each (trace, key) stream
+//!   once ([`TraceStore::get_pattern_stream`]) and replays every
+//!   matching job's PHT over it — automaton ablations and same-geometry
+//!   scheme variants never re-walk the BHT. Bit-identical to every
+//!   other path and on by default; [`Job::replay`] opts a job out.
 //! * **packed** — monomorphized [`AnyPredictor`] over the packed
 //!   conditional-branch stream ([`crate::runner::simulate_packed`]);
 //!   chosen for catalog schemes whenever no context switches are
@@ -65,7 +73,10 @@ use tlabp_workloads::DataSet;
 use crate::metrics::{BenchmarkAccuracy, FetchStats, MissBreakdown, SuiteResult};
 use crate::plan::{Job, MetricSet, Plan, PredictorSpec, TargetCacheSpec, TraceKey};
 use crate::pool::SweepPool;
-use crate::runner::{simulate, simulate_fused, simulate_packed, SimConfig, SimResult};
+use crate::runner::{
+    replay_stream_key, simulate, simulate_fused, simulate_packed, simulate_replay_many, SimConfig,
+    SimResult, StreamKey,
+};
 use crate::suite::TraceStore;
 
 /// Everything a job produced when it was measurable.
@@ -233,9 +244,14 @@ pub fn execute_on(pool: &SweepPool, plan: &Plan, store: &TraceStore) -> ResultSe
     // Phase 1: pre-generate each distinct trace exactly once, as pool
     // jobs, in the deepest derived form any of its cells needs (deeper
     // forms initialize the shallower ones in the same store slot), so no
-    // simulation cell ever blocks on the VM or an interning pass.
+    // simulation cell ever blocks on the VM or an interning pass. Replay
+    // cells additionally pre-derive each distinct (trace, stream key)
+    // pattern stream in the same barrier; stream derivation chains
+    // through the interned form itself, so it never races ahead of it.
     let mut positions: HashMap<(&'static str, DataSet), usize> = HashMap::new();
     let mut needed: Vec<(TraceKey, TraceForm)> = Vec::new();
+    let mut stream_positions: HashMap<(&'static str, DataSet, StreamKey), ()> = HashMap::new();
+    let mut streams_needed: Vec<(TraceKey, StreamKey)> = Vec::new();
     for (job, low) in plan.jobs().iter().zip(&lowered) {
         let Lowered::Run(cell) = low else { continue };
         let mut need = |key: TraceKey, form: TraceForm| {
@@ -253,33 +269,62 @@ pub fn execute_on(pool: &SweepPool, plan: &Plan, store: &TraceStore) -> ResultSe
                 TraceForm::Full,
             );
         }
+        if let Some(stream_key) = cell.replay {
+            let dedup = (job.trace.benchmark.name(), job.trace.data_set, stream_key);
+            if stream_positions.insert(dedup, ()).is_none() {
+                streams_needed.push((job.trace, stream_key));
+            }
+        }
     }
-    pool.run(needed.into_iter().map(|(key, form)| {
+    enum PreGen {
+        Form(TraceKey, TraceForm),
+        Stream(TraceKey, StreamKey),
+    }
+    let pre_gen = needed
+        .into_iter()
+        .map(|(key, form)| PreGen::Form(key, form))
+        .chain(streams_needed.into_iter().map(|(key, stream)| PreGen::Stream(key, stream)));
+    pool.run(pre_gen.map(|item| {
         let store = store.clone();
-        move || match form {
-            TraceForm::Full => {
+        move || match item {
+            PreGen::Form(key, TraceForm::Full) => {
                 let _ = store.get(key.benchmark, key.data_set);
             }
-            TraceForm::Packed => {
+            PreGen::Form(key, TraceForm::Packed) => {
                 let _ = store.get_packed(key.benchmark, key.data_set);
             }
-            TraceForm::Interned => {
+            PreGen::Form(key, TraceForm::Interned) => {
                 let _ = store.get_interned(key.benchmark, key.data_set);
+            }
+            PreGen::Stream(key, stream) => {
+                let _ = store.get_pattern_stream(key.benchmark, key.data_set, stream);
             }
         }
     }));
 
     // Phase 2: resolve skips inline and partition runnable cells into
-    // fused trace-groups (fusible cells sharing a trace) and singleton
-    // cells. Groups form in first-seen plan order, so grouping is a pure
+    // replay groups (replay-lowered cells sharing a stream), fused
+    // trace-groups (fusible cells sharing a trace) and singleton cells.
+    // Groups form in first-seen plan order, so grouping is a pure
     // function of the plan.
     let mut slots: Vec<Option<JobOutcome>> = vec![None; plan.len()];
     let mut singles: Vec<(usize, Cell)> = Vec::new();
     let mut group_of: HashMap<(&'static str, DataSet), usize> = HashMap::new();
     let mut groups: Vec<Vec<(usize, Cell)>> = Vec::new();
+    let mut replay_group_of: HashMap<(&'static str, DataSet, StreamKey), usize> = HashMap::new();
+    let mut replay_groups: Vec<Vec<(usize, Cell)>> = Vec::new();
     for (index, low) in lowered.into_iter().enumerate() {
         match low {
             Lowered::Skip { reason } => slots[index] = Some(JobOutcome::Skipped { reason }),
+            Lowered::Run(cell) if cell.replay.is_some() => {
+                let stream_key = cell.replay.expect("just matched");
+                let key = (cell.trace.benchmark.name(), cell.trace.data_set, stream_key);
+                let group = *replay_group_of.entry(key).or_insert_with(|| {
+                    replay_groups.push(Vec::new());
+                    replay_groups.len() - 1
+                });
+                replay_groups[group].push((index, cell));
+            }
             Lowered::Run(cell) if cell.fusible() => {
                 let key = (cell.trace.benchmark.name(), cell.trace.data_set);
                 let group = *group_of.entry(key).or_insert_with(|| {
@@ -305,6 +350,10 @@ pub fn execute_on(pool: &SweepPool, plan: &Plan, store: &TraceStore) -> ResultSe
     for batch in groups.into_iter().flat_map(split_into_batches) {
         let store = store.clone();
         tasks.push(Box::new(move || run_fused_batch(batch, &store)));
+    }
+    for batch in replay_groups.into_iter().flat_map(split_into_batches) {
+        let store = store.clone();
+        tasks.push(Box::new(move || run_replay_batch(batch, &store)));
     }
     for (index, outcome) in pool.run(tasks).into_iter().flatten() {
         debug_assert!(slots[index].is_none(), "each job reports exactly once");
@@ -364,6 +413,27 @@ fn run_fused_batch(batch: Vec<(usize, Cell)>, store: &TraceStore) -> Vec<(usize,
         .collect()
 }
 
+/// Runs one replay batch on a worker thread: fetch the batch's shared
+/// materialized pattern stream once (already derived in phase 1) and walk
+/// the members' bit-packed second levels over it in a single fused pass
+/// ([`simulate_replay_many`]).
+fn run_replay_batch(batch: Vec<(usize, Cell)>, store: &TraceStore) -> Vec<(usize, JobOutcome)> {
+    let trace = batch[0].1.trace;
+    let key = batch[0].1.replay.expect("replay batch members carry their stream key");
+    let stream = store.get_pattern_stream(trace.benchmark, trace.data_set, key);
+    let predictors: Vec<AnyPredictor> =
+        batch.iter().map(|(_, cell)| cell.build.build_any(store, cell.trace)).collect();
+    let sims = simulate_replay_many(&predictors, &stream)
+        .expect("replay lowering only selects schemes with a second level");
+    batch
+        .into_iter()
+        .zip(sims)
+        .map(|((index, _), sim)| {
+            (index, JobOutcome::Measured(JobMetrics { sim, miss_breakdown: None, fetch: None }))
+        })
+        .collect()
+}
+
 /// How a job's predictor gets built on the worker.
 enum BuildSpec {
     /// A catalog scheme, monomorphized ([`AnyPredictor`]).
@@ -413,6 +483,9 @@ struct Cell {
     sim: SimConfig,
     metrics: MetricSet,
     fuse: bool,
+    /// `Some` when the cell lowers to pattern-stream replay: the
+    /// first-level stream key it replays over.
+    replay: Option<StreamKey>,
 }
 
 /// The derived forms of a trace, ordered by derivation depth. Producing
@@ -501,7 +574,32 @@ fn lower(job: &Job) -> Lowered {
         ExecPath::FullTrace
     };
 
-    Lowered::Run(Cell { build, path, trace: job.trace, sim, metrics: job.metrics, fuse: job.fuse })
+    // Pattern-stream replay: a fusion-eligible catalog scheme whose first
+    // level maps to a stream key replays the materialized stream instead
+    // of walking it. The fusion-eligibility gate keeps `with_fusion(false)`
+    // meaning "per-cell packed path" (the throughput baselines) and
+    // `with_replay(false)` meaning "PR 3 fused path".
+    let replay = match &job.spec {
+        PredictorSpec::Scheme(config)
+            if job.replay
+                && job.fuse
+                && path == ExecPath::Packed
+                && job.metrics == MetricSet::ACCURACY =>
+        {
+            replay_stream_key(*config)
+        }
+        _ => None,
+    };
+
+    Lowered::Run(Cell {
+        build,
+        path,
+        trace: job.trace,
+        sim,
+        metrics: job.metrics,
+        fuse: job.fuse,
+        replay,
+    })
 }
 
 /// Runs one lowered cell on a worker thread.

@@ -13,10 +13,10 @@
 //!   predictor, a trace, simulation options and the metrics wanted; a
 //!   [`plan::Plan`] is an ordered batch. Pure data, no execution.
 //! * [`engine`] — [`engine::execute`] lowers each job onto the best
-//!   execution path (packed fast path, full-trace, or dynamic dispatch
-//!   for registry predictors), runs the batch on the persistent worker
-//!   pool ([`pool`]) and reassembles a typed [`engine::ResultSet`] in
-//!   deterministic plan order.
+//!   execution path (pattern-stream replay, packed fast path,
+//!   full-trace, or dynamic dispatch for registry predictors), runs the
+//!   batch on the persistent worker pool ([`pool`]) and reassembles a
+//!   typed [`engine::ResultSet`] in deterministic plan order.
 //! * [`suite`] — [`suite::run_suite`] evaluates a
 //!   [`tlabp_core::config::SchemeConfig`] on all nine benchmarks,
 //!   training the profiled schemes per benchmark and skipping the
@@ -56,6 +56,9 @@ pub use engine::{execute, execute_on, JobMetrics, JobOutcome, ResultSet};
 pub use metrics::{geometric_mean, SuiteResult};
 pub use plan::{Job, MetricSet, Plan, PredictorSpec, TargetCacheSpec, TraceKey};
 pub use pool::SweepPool;
-pub use runner::{simulate, simulate_packed, SimConfig, SimResult};
-pub use suite::{run_suite, TraceStore};
+pub use runner::{
+    derive_pattern_stream, replay_stream_key, simulate, simulate_fused, simulate_packed,
+    simulate_replay, simulate_replay_many, ReplayPht, SimConfig, SimResult, StreamKey,
+};
+pub use suite::{run_suite, CacheBytes, TraceStore};
 pub use sweep::{run_sweep, run_sweep_on};

@@ -161,6 +161,15 @@ pub struct Job {
     /// this forces the per-cell packed path — the throughput harness uses
     /// that as the fused mode's baseline.
     pub fuse: bool,
+    /// Allow the engine to lower this job to the pattern-stream replay
+    /// path (on by default; replay never changes results). Replay applies
+    /// when the predictor is a catalog scheme whose first level maps to a
+    /// [`crate::runner::StreamKey`] and the job is otherwise
+    /// fusion-eligible: the engine then materializes the first-level
+    /// stream once per (trace, key) and replays only the second level.
+    /// Disabling this falls back to the fused / packed paths — the
+    /// throughput harness uses that as the replay mode's baseline.
+    pub replay: bool,
 }
 
 impl Job {
@@ -175,6 +184,7 @@ impl Job {
             metrics: MetricSet::ACCURACY,
             reference_path: false,
             fuse: true,
+            replay: true,
         }
     }
 
@@ -189,6 +199,7 @@ impl Job {
             metrics: MetricSet::ACCURACY,
             reference_path: false,
             fuse: true,
+            replay: true,
         }
     }
 
@@ -217,6 +228,13 @@ impl Job {
     #[must_use]
     pub fn with_fusion(mut self, fuse: bool) -> Self {
         self.fuse = fuse;
+        self
+    }
+
+    /// Permits (or forbids) lowering this job to pattern-stream replay.
+    #[must_use]
+    pub fn with_replay(mut self, replay: bool) -> Self {
+        self.replay = replay;
         self
     }
 

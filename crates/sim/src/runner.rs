@@ -1,8 +1,12 @@
 //! The trace-driven simulation loop.
 
-use tlabp_core::bht::{BhtCursor, BhtSignature, BranchHistoryTable};
+use tlabp_core::any::AnyPredictor;
+use tlabp_core::bht::{BhtConfig, BhtCursor, BhtSignature, BranchHistoryTable};
+use tlabp_core::config::{SchemeConfig, SchemeKind};
+use tlabp_core::history::HistoryRegister;
+use tlabp_core::pht::{PackedPht, PackedPhtBank};
 use tlabp_core::predictor::BranchPredictor;
-use tlabp_trace::{BranchRecord, InternedConds, PackedCond, Trace, TraceEvent};
+use tlabp_trace::{BranchRecord, InternedConds, PackedCond, PatternStream, Trace, TraceEvent};
 
 /// Context-switch simulation parameters (the paper's Section 5.1.4).
 ///
@@ -309,6 +313,317 @@ pub fn simulate_fused<P: BranchPredictor>(
         .collect()
 }
 
+/// Identifies the first-level mechanism a [`PatternStream`] was derived
+/// from: a lone global history register, or a branch history table with a
+/// specific implementation and geometry.
+///
+/// Two predictors with the same stream key produce — by construction —
+/// exactly the same first-level `(pattern, outcome)` sequence over a given
+/// trace, whatever automaton sits in their second level. The key is
+/// therefore the cache index for materialized streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamKey {
+    /// A single k-bit global history register (GAg/GSg): the degenerate
+    /// signature with no table at all.
+    Global {
+        /// The history register length `k`.
+        history_bits: u32,
+    },
+    /// A branch history table walk (PAg/PAp/PSg).
+    Bht(BhtSignature),
+}
+
+impl StreamKey {
+    /// The pattern width of streams derived under this key.
+    #[must_use]
+    pub fn history_bits(self) -> u32 {
+        match self {
+            StreamKey::Global { history_bits } => history_bits,
+            StreamKey::Bht(signature) => signature.history_bits,
+        }
+    }
+}
+
+/// The stream key a scheme configuration's first level corresponds to, or
+/// `None` when the scheme has no (pattern → PHT) second level to replay
+/// (BTB, static predictors, profiling).
+///
+/// Any two configurations mapping to the same key differ only in their
+/// second level — automaton choice, PHT initialization, preset bits — and
+/// can therefore replay one shared materialized stream.
+#[must_use]
+pub fn replay_stream_key(config: SchemeConfig) -> Option<StreamKey> {
+    match config.kind() {
+        SchemeKind::Gag | SchemeKind::Gsg => {
+            Some(StreamKey::Global { history_bits: config.history_bits() })
+        }
+        SchemeKind::Pag | SchemeKind::Psg | SchemeKind::Pap => Some(StreamKey::Bht(BhtSignature {
+            config: config.bht().unwrap_or(BhtConfig::PAPER_DEFAULT),
+            history_bits: config.history_bits(),
+        })),
+        SchemeKind::Btb | SchemeKind::AlwaysTaken | SchemeKind::Btfn | SchemeKind::Profiling => {
+            None
+        }
+    }
+}
+
+/// Materializes the first-level `(pattern, outcome)` stream for `key` by
+/// walking the interned conditional stream once.
+///
+/// * [`StreamKey::Global`] replays a fresh all-ones history register —
+///   the exact walk `Gag::step` performs (pattern read *before* the
+///   shift-in), so GAg/GSg replay is bit-identical by construction.
+/// * [`StreamKey::Bht`] builds the signature's table and performs the
+///   access → record walk of [`simulate_fused`]'s driver loop, in the
+///   same operation order; table evolution is outcome-driven, so the
+///   emitted patterns match what every same-signature predictor's own
+///   table would produce. Each event also records its *lane* — the cache
+///   slot the entry resolved to, or the interned id under an ideal BHT —
+///   which is the per-address table selector PAp's second level needs.
+#[must_use]
+pub fn derive_pattern_stream(interned: &InternedConds, key: StreamKey) -> PatternStream {
+    match key {
+        StreamKey::Global { history_bits } => {
+            let mut history = HistoryRegister::all_ones(history_bits);
+            let mut stream = PatternStream::with_capacity(history_bits, interned.len(), false);
+            for event in interned.events() {
+                let taken = event.taken();
+                stream.push(history.pattern(), taken);
+                history.shift_in(taken);
+            }
+            stream
+        }
+        StreamKey::Bht(signature) => {
+            let mut driver = signature.build();
+            let mut stream =
+                PatternStream::with_capacity(signature.history_bits, interned.len(), true);
+            for event in interned.events() {
+                let id = event.id();
+                let taken = event.taken();
+                let (pattern, cursor) = driver.access_pattern_interned(id, interned.pc_of(id));
+                driver.record_outcome_at_interned(cursor, id, taken);
+                let lane = cursor.slot().map_or(id, |slot| slot as u32);
+                stream.push_with_lane(pattern, taken, lane);
+            }
+            stream
+        }
+    }
+}
+
+/// The bit-packed second level a replay walks: one shared table (GAg,
+/// PAg, and the GSg/PSg preset assemblies) or one table per stream lane
+/// (PAp's per-slot / per-branch pattern tables).
+#[derive(Debug, Clone)]
+pub enum ReplayPht {
+    /// All events index a single pattern history table.
+    Single(PackedPht),
+    /// Each event indexes the table its lane selects; tables materialize
+    /// lazily from the template on first use (a never-touched table is
+    /// indistinguishable from a freshly created one).
+    PerLane {
+        /// The initial-state table cloned for each new lane.
+        template: PackedPht,
+    },
+}
+
+impl ReplayPht {
+    /// Extracts the second level of an already-built predictor, or `None`
+    /// when the predictor has no replayable second level.
+    ///
+    /// Building from the *constructed* predictor rather than its config
+    /// keeps preset tables (GSg/PSg) intact: the packed table starts from
+    /// the exact per-entry states the predictor would run with.
+    #[must_use]
+    pub fn for_predictor(predictor: &AnyPredictor) -> Option<ReplayPht> {
+        match predictor {
+            AnyPredictor::Gag(g) => Some(ReplayPht::Single(PackedPht::from_table(g.pht()))),
+            AnyPredictor::Pag(p) => Some(ReplayPht::Single(PackedPht::from_table(p.pht()))),
+            AnyPredictor::Pap(p) => Some(ReplayPht::PerLane {
+                template: PackedPht::new(p.history_bits(), p.automaton()),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Replays `predictor`'s second level over a materialized first-level
+/// stream, or returns `None` when the predictor has no replayable second
+/// level.
+///
+/// The caller must hand in a stream derived under the predictor's own
+/// [`StreamKey`] (checked by debug assertions on pattern width and
+/// lanedness). Given that, the walk is bit-identical to [`simulate`]
+/// without context switches — the stream *is* the first level's output,
+/// and the packed table transition equals
+/// [`tlabp_core::pht::PatternHistoryTable::predict_update`] on all
+/// inputs — which `tests/differential.rs` pins for every catalog scheme
+/// and every automaton.
+///
+/// Like the other fast paths, replay models no context switches.
+///
+/// # Example
+///
+/// ```
+/// use tlabp_core::config::SchemeConfig;
+/// use tlabp_sim::runner::{derive_pattern_stream, replay_stream_key, simulate_replay};
+/// use tlabp_trace::synth::LoopNest;
+/// use tlabp_trace::InternedConds;
+///
+/// let trace = LoopNest::new(&[50, 20]).generate();
+/// let interned = InternedConds::from_trace(&trace);
+/// let config = SchemeConfig::pag(6);
+/// let stream = derive_pattern_stream(&interned, replay_stream_key(config).unwrap());
+/// let predictor = config.build_any()?;
+/// let result = simulate_replay(&predictor, &stream).unwrap();
+/// assert!(result.accuracy() > 0.9);
+/// # Ok::<(), tlabp_core::config::BuildError>(())
+/// ```
+#[must_use]
+pub fn simulate_replay(predictor: &AnyPredictor, stream: &PatternStream) -> Option<SimResult> {
+    let correct = match ReplayPht::for_predictor(predictor)? {
+        ReplayPht::Single(mut pht) => replay_single(&mut pht, stream),
+        ReplayPht::PerLane { template } => replay_per_lane(&template, stream),
+    };
+    Some(SimResult {
+        scheme: predictor.name(),
+        predictions: stream.len() as u64,
+        correct,
+        context_switches: 0,
+    })
+}
+
+/// [`simulate_replay`] for a whole batch sharing one stream, in one pass:
+/// every event is decoded once and pushed through each member's packed
+/// table back to back, with the members' tables interleaved into one
+/// allocation ([`PackedPhtBank`]) so the batch's per-event traffic is
+/// contiguous instead of scattered across per-table buffers.
+///
+/// Returns `None` (and replays nobody) unless every member has a
+/// replayable second level. All members must be sized for the stream's
+/// pattern width — the same contract as [`simulate_replay`], which the
+/// engine guarantees by grouping batches per [`StreamKey`]. Per-lane
+/// members (PAp) take their own pass: their per-event table selection
+/// doesn't interleave with the shared single-table walk.
+#[must_use]
+pub fn simulate_replay_many(
+    predictors: &[AnyPredictor],
+    stream: &PatternStream,
+) -> Option<Vec<SimResult>> {
+    let phts: Vec<ReplayPht> =
+        predictors.iter().map(ReplayPht::for_predictor).collect::<Option<_>>()?;
+    let mut corrects = vec![0u64; phts.len()];
+    let mut single_indices: Vec<usize> = Vec::new();
+    let mut single_tables: Vec<PackedPht> = Vec::new();
+    for (index, pht) in phts.into_iter().enumerate() {
+        match pht {
+            ReplayPht::Single(pht) => {
+                single_indices.push(index);
+                single_tables.push(pht);
+            }
+            ReplayPht::PerLane { template } => {
+                corrects[index] = replay_per_lane(&template, stream);
+            }
+        }
+    }
+    match single_tables.as_mut_slice() {
+        [] => {}
+        [pht] => corrects[single_indices[0]] = replay_single(pht, stream),
+        _ => {
+            let mut bank = PackedPhtBank::new(&single_tables);
+            debug_assert_eq!(bank.history_bits(), stream.history_bits());
+            let banked = replay_bank(&mut bank, stream);
+            for (member, &index) in single_indices.iter().enumerate() {
+                corrects[index] = banked[member];
+            }
+        }
+    }
+    Some(
+        predictors
+            .iter()
+            .zip(corrects)
+            .map(|(predictor, correct)| SimResult {
+                scheme: predictor.name(),
+                predictions: stream.len() as u64,
+                correct,
+                context_switches: 0,
+            })
+            .collect(),
+    )
+}
+
+/// Walks an interleaved bank over the stream; returns each member's
+/// correct-prediction count in member order. Common batch widths
+/// dispatch to a monomorphized walk whose member loop is fully unrolled;
+/// anything wider falls back to the dynamic loop.
+fn replay_bank(bank: &mut PackedPhtBank, stream: &PatternStream) -> Vec<u64> {
+    fn fixed<const N: usize>(bank: &mut PackedPhtBank, stream: &PatternStream) -> Vec<u64> {
+        let mut corrects = [0u64; N];
+        for &event in stream.events() {
+            let taken = PatternStream::event_taken(event);
+            bank.predict_update_count_fixed(
+                PatternStream::event_pattern(event),
+                taken,
+                &mut corrects,
+            );
+        }
+        corrects.to_vec()
+    }
+    match bank.members() {
+        2 => fixed::<2>(bank, stream),
+        3 => fixed::<3>(bank, stream),
+        4 => fixed::<4>(bank, stream),
+        5 => fixed::<5>(bank, stream),
+        6 => fixed::<6>(bank, stream),
+        7 => fixed::<7>(bank, stream),
+        8 => fixed::<8>(bank, stream),
+        members => {
+            let mut corrects = vec![0u64; members];
+            for &event in stream.events() {
+                let taken = PatternStream::event_taken(event);
+                bank.predict_update_count(
+                    PatternStream::event_pattern(event),
+                    taken,
+                    &mut corrects,
+                );
+            }
+            corrects
+        }
+    }
+}
+
+/// Walks one shared packed table over the stream; returns the number of
+/// correct predictions.
+fn replay_single(pht: &mut PackedPht, stream: &PatternStream) -> u64 {
+    debug_assert_eq!(pht.history_bits(), stream.history_bits());
+    let mut correct = 0u64;
+    for &event in stream.events() {
+        let taken = PatternStream::event_taken(event);
+        let predicted = pht.predict_update(PatternStream::event_pattern(event), taken);
+        correct += u64::from(predicted == taken);
+    }
+    correct
+}
+
+/// Walks lane-selected packed tables over the stream, materializing each
+/// lane's table from the template on first use; returns the number of
+/// correct predictions.
+fn replay_per_lane(template: &PackedPht, stream: &PatternStream) -> u64 {
+    debug_assert_eq!(template.history_bits(), stream.history_bits());
+    debug_assert!(stream.is_laned(), "per-lane replay needs a BHT-derived stream");
+    let mut correct = 0u64;
+    let mut tables: Vec<PackedPht> = Vec::new();
+    for (&event, &lane) in stream.events().iter().zip(stream.lanes()) {
+        let lane = lane as usize;
+        if lane >= tables.len() {
+            tables.resize(lane + 1, template.clone());
+        }
+        let taken = PatternStream::event_taken(event);
+        let predicted = tables[lane].predict_update(PatternStream::event_pattern(event), taken);
+        correct += u64::from(predicted == taken);
+    }
+    correct
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -440,6 +755,64 @@ mod tests {
         assert_eq!(results.len(), 1);
         assert_eq!(results[0].predictions, 0);
         assert_eq!(results[0].accuracy(), 0.0);
+    }
+
+    #[test]
+    fn replay_matches_packed_for_every_stream_key_scheme() {
+        use tlabp_core::config::SchemeConfig;
+        use tlabp_trace::synth::MarkovBranches;
+        use tlabp_trace::InternedConds;
+
+        let trace = MarkovBranches::new(24, 0.8, 4000, 7).generate();
+        let packed = trace.pack_conditionals();
+        let interned = InternedConds::from_packed(&packed);
+        let configs = [
+            SchemeConfig::gag(8),
+            SchemeConfig::pag(8),
+            SchemeConfig::pag(8).with_automaton(Automaton::LastTime),
+            SchemeConfig::pap(6),
+            SchemeConfig::pap(10).with_bht(BhtConfig::Ideal),
+        ];
+        for config in configs {
+            let key = replay_stream_key(config).expect("two-level scheme");
+            let stream = derive_pattern_stream(&interned, key);
+            assert_eq!(stream.len(), interned.len());
+            let predictor = config.build_any().expect("builds");
+            let replayed = simulate_replay(&predictor, &stream).expect("replayable");
+            let mut alone = config.build_any().expect("builds");
+            let reference = simulate_packed(&mut alone, &packed);
+            assert_eq!(replayed, reference, "{config}");
+        }
+    }
+
+    #[test]
+    fn schemes_without_second_level_have_no_stream_key() {
+        use tlabp_core::config::SchemeConfig;
+        assert!(replay_stream_key(SchemeConfig::btfn()).is_none());
+        assert!(replay_stream_key(SchemeConfig::always_taken()).is_none());
+        assert!(replay_stream_key(SchemeConfig::btb(Automaton::A2)).is_none());
+        let predictor = SchemeConfig::btfn().build_any().expect("builds");
+        let stream = PatternStream::new(4, false);
+        assert!(simulate_replay(&predictor, &stream).is_none());
+    }
+
+    #[test]
+    fn same_key_configs_share_one_stream() {
+        use tlabp_core::config::SchemeConfig;
+        let pag = replay_stream_key(SchemeConfig::pag(12)).unwrap();
+        let pap = replay_stream_key(SchemeConfig::pap(12)).unwrap();
+        let psg = replay_stream_key(SchemeConfig::psg(12)).unwrap();
+        assert_eq!(pag, pap);
+        assert_eq!(pag, psg);
+        let gag = replay_stream_key(SchemeConfig::gag(12)).unwrap();
+        let gsg = replay_stream_key(SchemeConfig::gsg(12)).unwrap();
+        assert_eq!(gag, gsg);
+        assert_ne!(gag, pag);
+        assert_ne!(pag, replay_stream_key(SchemeConfig::pag(10)).unwrap());
+        assert_ne!(
+            pag,
+            replay_stream_key(SchemeConfig::pag(12).with_bht(BhtConfig::Ideal)).unwrap()
+        );
     }
 
     #[test]

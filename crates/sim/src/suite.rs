@@ -2,14 +2,14 @@
 //! nine benchmarks, with trace caching and pooled parallel execution.
 
 use std::collections::HashMap;
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use tlabp_core::config::SchemeConfig;
-use tlabp_trace::{InternedConds, PackedCond, Trace};
+use tlabp_trace::{InternedConds, PackedCond, PatternStream, Trace};
 use tlabp_workloads::{Benchmark, DataSet};
 
 use crate::metrics::SuiteResult;
-use crate::runner::SimConfig;
+use crate::runner::{derive_pattern_stream, SimConfig, StreamKey};
 use crate::sweep::run_sweep;
 
 /// A cache of generated benchmark traces.
@@ -37,6 +37,10 @@ struct TraceSlot {
     trace: OnceLock<Arc<Trace>>,
     packed: OnceLock<Arc<Vec<PackedCond>>>,
     interned: OnceLock<Arc<InternedConds>>,
+    // One materialized first-level stream per StreamKey. The mutex guards
+    // only the map (find or insert the cell); each cell's derivation runs
+    // behind its own OnceLock, exactly like the three fixed forms above.
+    streams: Mutex<HashMap<StreamKey, Arc<OnceLock<Arc<PatternStream>>>>>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -95,6 +99,55 @@ impl TraceStore {
         Arc::clone(slot.interned.get_or_init(|| Arc::new(InternedConds::from_packed(packed))))
     }
 
+    /// Returns the materialized first-level stream for
+    /// `(benchmark, data_set, key)` — the input of
+    /// [`crate::runner::simulate_replay`] — deriving it on first use.
+    ///
+    /// The fourth cached form, keyed per first-level [`StreamKey`] rather
+    /// than only per trace. The derivation chains through the interned
+    /// stream (and thus the packed stream and the trace), each stage
+    /// behind its own `OnceLock`, so every derivation happens exactly once
+    /// per key however many replay cells race for it.
+    #[must_use]
+    pub fn get_pattern_stream(
+        &self,
+        benchmark: &Benchmark,
+        data_set: DataSet,
+        key: StreamKey,
+    ) -> Arc<PatternStream> {
+        let slot = self.slot(benchmark.name(), data_set.into());
+        let cell = {
+            let mut streams = slot.streams.lock().expect("stream map lock");
+            Arc::clone(streams.entry(key).or_default())
+        };
+        if let Some(stream) = cell.get() {
+            return Arc::clone(stream);
+        }
+        let interned = self.get_interned(benchmark, data_set);
+        Arc::clone(cell.get_or_init(|| Arc::new(derive_pattern_stream(&interned, key))))
+    }
+
+    /// Heap bytes currently held by each cached trace form, across every
+    /// slot in the store.
+    #[must_use]
+    pub fn cache_bytes(&self) -> CacheBytes {
+        let mut bytes = CacheBytes::default();
+        for slot in self.cache.read().expect("trace store lock").values() {
+            if let Some(packed) = slot.packed.get() {
+                bytes.packed += packed.len() * std::mem::size_of::<PackedCond>();
+            }
+            if let Some(interned) = slot.interned.get() {
+                bytes.interned += interned.len() * 4 + interned.distinct_pcs() * 8;
+            }
+            for cell in slot.streams.lock().expect("stream map lock").values() {
+                if let Some(stream) = cell.get() {
+                    bytes.streams += stream.bytes();
+                }
+            }
+        }
+        bytes
+    }
+
     /// Finds or inserts the (possibly uninitialized) slot for a key.
     fn slot(&self, name: &'static str, key: DataSetKey) -> Arc<TraceSlot> {
         if let Some(slot) = self.cache.read().expect("trace store lock").get(&(name, key)) {
@@ -119,6 +172,28 @@ impl TraceStore {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// Per-form heap footprint of a [`TraceStore`]'s cache hierarchy, in
+/// bytes. Reported by `experiments bench` so the growing set of cached
+/// forms stays visible.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheBytes {
+    /// Packed conditional streams (8 bytes per event).
+    pub packed: usize,
+    /// Interned conditional streams (4 bytes per event + the id→pc table).
+    pub interned: usize,
+    /// Materialized first-level pattern streams (4 bytes per event, plus
+    /// 4 more per event for laned BHT-derived streams).
+    pub streams: usize,
+}
+
+impl CacheBytes {
+    /// Total bytes across all cached forms.
+    #[must_use]
+    pub fn total(self) -> usize {
+        self.packed + self.interned + self.streams
     }
 }
 
@@ -186,6 +261,45 @@ mod tests {
         let again = store.get_interned(b, DataSet::Testing);
         assert!(Arc::ptr_eq(&interned, &again), "interning happens once");
         assert_eq!(store.len(), 1, "interned stream shares the trace slot");
+    }
+
+    #[test]
+    fn pattern_streams_are_cached_per_key() {
+        use tlabp_core::bht::{BhtConfig, BhtSignature};
+
+        let store = small_store();
+        let b = Benchmark::by_name("li").unwrap();
+        let global = StreamKey::Global { history_bits: 8 };
+        let bht =
+            StreamKey::Bht(BhtSignature { config: BhtConfig::PAPER_DEFAULT, history_bits: 8 });
+        let first = store.get_pattern_stream(b, DataSet::Testing, global);
+        let again = store.get_pattern_stream(b, DataSet::Testing, global);
+        assert!(Arc::ptr_eq(&first, &again), "derivation happens once per key");
+        let other = store.get_pattern_stream(b, DataSet::Testing, bht);
+        assert!(!Arc::ptr_eq(&first, &other));
+        assert_eq!(first.len(), store.get_interned(b, DataSet::Testing).len());
+        assert_eq!(other.len(), first.len());
+        assert!(!first.is_laned());
+        assert!(other.is_laned());
+        assert_eq!(store.len(), 1, "streams share the trace slot");
+    }
+
+    #[test]
+    fn cache_bytes_counts_every_form() {
+        let store = small_store();
+        assert_eq!(store.cache_bytes(), CacheBytes::default());
+        let b = Benchmark::by_name("li").unwrap();
+        let packed = store.get_packed(b, DataSet::Testing);
+        let bytes = store.cache_bytes();
+        assert_eq!(bytes.packed, packed.len() * 8);
+        assert_eq!(bytes.interned, 0);
+        let interned = store.get_interned(b, DataSet::Testing);
+        let stream =
+            store.get_pattern_stream(b, DataSet::Testing, StreamKey::Global { history_bits: 6 });
+        let bytes = store.cache_bytes();
+        assert_eq!(bytes.interned, interned.len() * 4 + interned.distinct_pcs() * 8);
+        assert_eq!(bytes.streams, stream.bytes());
+        assert_eq!(bytes.total(), bytes.packed + bytes.interned + bytes.streams);
     }
 
     #[test]

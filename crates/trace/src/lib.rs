@@ -15,6 +15,9 @@
 //!   streams for the simulator's fast paths: 8 bytes per event, and a
 //!   pc-interned 4-byte form whose dense ids let per-address predictor
 //!   state become direct vector indexing.
+//! * [`PatternStream`] — a materialized first-level (pattern, outcome)
+//!   stream: the simulator derives it once per first-level signature and
+//!   replays second-level (PHT automaton) variants over it.
 //! * [`io`] — a compact binary on-disk format with a versioned header.
 //! * [`synth`] — seeded synthetic trace generators (loops, biased coins,
 //!   repeating patterns, correlated branches, Markov chains) used by unit
@@ -39,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod intern;
+mod pattern_stream;
 mod record;
 mod trace;
 
@@ -48,5 +52,6 @@ pub mod stats;
 pub mod synth;
 
 pub use intern::{InternedCond, InternedConds};
+pub use pattern_stream::{PatternStream, MAX_PATTERN_BITS};
 pub use record::{BranchClass, BranchRecord, TrapRecord};
 pub use trace::{PackedCond, Trace, TraceEvent};

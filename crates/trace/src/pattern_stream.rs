@@ -1,0 +1,208 @@
+//! Materialized first-level (pattern, outcome) streams.
+//!
+//! The two-level structure factorizes: the first level (history registers /
+//! BHT) evolves from branch outcomes alone, independent of which automaton
+//! sits in the pattern history table. A [`PatternStream`] captures the
+//! first level's entire output for one trace — the PHT index and the
+//! resolved direction of every conditional branch — so that second-level
+//! variants (automaton ablations, preset tables) can be replayed without
+//! re-walking the BHT or even decoding branch records.
+//!
+//! Each event packs into one `u32`: `pattern << 1 | taken`. Patterns are at
+//! most 24 bits (the workspace-wide history ceiling), so the packing is
+//! lossless. Schemes with per-address pattern tables (PAp) additionally
+//! need to know *which* table each event resolved to; for those streams a
+//! parallel `lanes` vector carries the per-event table selector (cache-BHT
+//! slot or interned branch id).
+//!
+//! This crate only defines the container; the derivation walk lives in
+//! `tlabp-sim::runner`, next to the fused simulation loop whose first-level
+//! ordering it must reproduce bit-for-bit.
+
+/// Maximum pattern width storable in a packed event.
+pub const MAX_PATTERN_BITS: u32 = 24;
+
+/// A materialized stream of first-level `(pattern, outcome)` events, with
+/// an optional per-event lane selector for per-address second levels.
+///
+/// # Example
+///
+/// ```
+/// use tlabp_trace::PatternStream;
+///
+/// let mut stream = PatternStream::new(4, false);
+/// stream.push(0b1010, true);
+/// stream.push(0b0101, false);
+/// assert_eq!(stream.len(), 2);
+/// assert_eq!(PatternStream::event_pattern(stream.events()[0]), 0b1010);
+/// assert!(PatternStream::event_taken(stream.events()[0]));
+/// assert!(!PatternStream::event_taken(stream.events()[1]));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PatternStream {
+    history_bits: u32,
+    events: Vec<u32>,
+    lanes: Vec<u32>,
+    laned: bool,
+}
+
+impl PatternStream {
+    /// Creates an empty stream for `history_bits`-bit patterns. When
+    /// `laned` is set, every push must supply a lane selector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history_bits` is zero or exceeds [`MAX_PATTERN_BITS`].
+    #[must_use]
+    pub fn new(history_bits: u32, laned: bool) -> Self {
+        Self::with_capacity(history_bits, 0, laned)
+    }
+
+    /// Creates an empty stream with pre-allocated room for `capacity`
+    /// events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history_bits` is zero or exceeds [`MAX_PATTERN_BITS`].
+    #[must_use]
+    pub fn with_capacity(history_bits: u32, capacity: usize, laned: bool) -> Self {
+        assert!(
+            (1..=MAX_PATTERN_BITS).contains(&history_bits),
+            "history bits {history_bits} out of range"
+        );
+        PatternStream {
+            history_bits,
+            events: Vec::with_capacity(capacity),
+            lanes: Vec::with_capacity(if laned { capacity } else { 0 }),
+            laned,
+        }
+    }
+
+    /// Appends one event to an unlaned stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertions) if the stream is laned or `pattern` does
+    /// not fit in `history_bits`.
+    #[inline]
+    pub fn push(&mut self, pattern: usize, taken: bool) {
+        debug_assert!(!self.laned, "laned stream needs push_with_lane");
+        debug_assert!(pattern < (1usize << self.history_bits), "pattern {pattern} out of range");
+        self.events.push(((pattern as u32) << 1) | u32::from(taken));
+    }
+
+    /// Appends one event plus its second-level lane selector.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertions) if the stream is unlaned or `pattern`
+    /// does not fit in `history_bits`.
+    #[inline]
+    pub fn push_with_lane(&mut self, pattern: usize, taken: bool, lane: u32) {
+        debug_assert!(self.laned, "unlaned stream: use push");
+        debug_assert!(pattern < (1usize << self.history_bits), "pattern {pattern} out of range");
+        self.events.push(((pattern as u32) << 1) | u32::from(taken));
+        self.lanes.push(lane);
+    }
+
+    /// The packed events, in trace order.
+    #[must_use]
+    pub fn events(&self) -> &[u32] {
+        &self.events
+    }
+
+    /// Per-event lane selectors; empty for unlaned streams.
+    #[must_use]
+    pub fn lanes(&self) -> &[u32] {
+        &self.lanes
+    }
+
+    /// Whether every event carries a lane selector.
+    #[must_use]
+    pub fn is_laned(&self) -> bool {
+        self.laned
+    }
+
+    /// The pattern width the stream was derived at.
+    #[must_use]
+    pub fn history_bits(&self) -> u32 {
+        self.history_bits
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the stream holds no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Heap bytes held by the stream's vectors.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        (self.events.capacity() + self.lanes.capacity()) * std::mem::size_of::<u32>()
+    }
+
+    /// Decodes the pattern of a packed event.
+    #[inline]
+    #[must_use]
+    pub fn event_pattern(event: u32) -> usize {
+        (event >> 1) as usize
+    }
+
+    /// Decodes the resolved direction of a packed event.
+    #[inline]
+    #[must_use]
+    pub fn event_taken(event: u32) -> bool {
+        event & 1 != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip() {
+        let mut stream = PatternStream::new(MAX_PATTERN_BITS, false);
+        let max = (1usize << MAX_PATTERN_BITS) - 1;
+        for (pattern, taken) in [(0, false), (1, true), (max, true), (max, false), (12345, true)] {
+            stream.push(pattern, taken);
+        }
+        let decoded: Vec<(usize, bool)> = stream
+            .events()
+            .iter()
+            .map(|&e| (PatternStream::event_pattern(e), PatternStream::event_taken(e)))
+            .collect();
+        assert_eq!(decoded, vec![(0, false), (1, true), (max, true), (max, false), (12345, true)]);
+        assert!(!stream.is_laned());
+        assert!(stream.lanes().is_empty());
+    }
+
+    #[test]
+    fn laned_streams_keep_vectors_parallel() {
+        let mut stream = PatternStream::with_capacity(6, 3, true);
+        stream.push_with_lane(5, true, 7);
+        stream.push_with_lane(9, false, 0);
+        assert_eq!(stream.len(), 2);
+        assert_eq!(stream.lanes(), &[7, 0]);
+        assert!(stream.is_laned());
+        assert!(stream.bytes() >= 2 * 2 * std::mem::size_of::<u32>());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_zero_history_bits() {
+        let _ = PatternStream::new(0, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_oversized_history_bits() {
+        let _ = PatternStream::new(MAX_PATTERN_BITS + 1, false);
+    }
+}

@@ -225,6 +225,143 @@ fn fused_outcomes_are_independent_of_batch_composition() {
     }
 }
 
+/// Every replay-eligible scheme structure crossed with every automaton
+/// (Last-Time and the four-state counters via `with_automaton`, the
+/// PresetBit 2-state packing via the trained GSg/PSg schemes): replaying
+/// the materialized pattern stream through the bit-packed PHT is
+/// bit-identical to the packed fast path and to the boxed reference on
+/// every trace.
+#[test]
+fn replay_is_bit_identical_for_every_scheme_and_automaton() {
+    use tlabp::sim::runner::{derive_pattern_stream, replay_stream_key, simulate_replay};
+    use tlabp::trace::InternedConds;
+
+    let structures = [
+        SchemeConfig::gag(8),
+        SchemeConfig::pag(8),
+        SchemeConfig::pag(10).with_bht(BhtConfig::Cache { entries: 256, ways: 1 }),
+        SchemeConfig::pag(12).with_bht(BhtConfig::Ideal),
+        SchemeConfig::pap(6),
+    ];
+    let mut configs: Vec<SchemeConfig> = structures
+        .iter()
+        .flat_map(|&config| {
+            Automaton::FIGURE5.iter().map(move |&automaton| config.with_automaton(automaton))
+        })
+        .collect();
+    configs.extend([SchemeConfig::gsg(12), SchemeConfig::psg(12)]);
+
+    let training = BiasedCoins::uniform(24, 0.7, 400, 8).generate();
+    let sim = SimConfig::no_context_switch();
+    for (trace_name, trace) in traces() {
+        let interned = InternedConds::from_trace(&trace);
+        for &config in &configs {
+            let key = replay_stream_key(config).expect("catalog scheme has a stream key");
+            let stream = derive_pattern_stream(&interned, key);
+            let predictor = if config.needs_training() {
+                config.build_any_trained(&training)
+            } else {
+                config.build_any().expect("builds")
+            };
+            let replayed =
+                simulate_replay(&predictor, &stream).expect("catalog scheme has a replay PHT");
+
+            let mut packed = if config.needs_training() {
+                config.build_any_trained(&training)
+            } else {
+                config.build_any().expect("builds")
+            };
+            let packed_result = simulate_packed(&mut packed, &trace.pack_conditionals());
+            assert_eq!(
+                replayed, packed_result,
+                "replay vs packed diverged for {config} on {trace_name}"
+            );
+
+            let mut boxed = if config.needs_training() {
+                config.build_trained(&training)
+            } else {
+                config.build().expect("builds")
+            };
+            let dyn_result = simulate(&mut *boxed, &trace, &sim);
+            assert_eq!(
+                replayed, dyn_result,
+                "replay vs reference diverged for {config} on {trace_name}"
+            );
+        }
+    }
+}
+
+/// The engine's replay lowering is invisible: the default plan (replay
+/// on), the same plan with replay disabled (fused execution), and the
+/// same plan forced onto the reference path produce identical outcomes
+/// job for job — including the profiled schemes that skip benchmarks
+/// without training sets.
+#[test]
+fn replay_fused_and_reference_plans_agree_job_for_job() {
+    use tlabp::sim::engine::execute;
+    use tlabp::sim::plan::{Job, Plan};
+    use tlabp::sim::TraceStore;
+
+    let li = Benchmark::by_name("li").expect("li exists");
+    let eqntott = Benchmark::by_name("eqntott").expect("eqntott exists");
+    let mut jobs: Vec<Job> = catalog().into_iter().map(|config| Job::scheme(config, li)).collect();
+    jobs.extend(
+        [SchemeConfig::psg(12), SchemeConfig::gsg(12), SchemeConfig::pag(8)]
+            .map(|config| Job::scheme(config, eqntott)),
+    );
+
+    let store = TraceStore::new();
+    let replay: Plan = jobs.iter().cloned().collect();
+    let fused: Plan = jobs.iter().map(|job| job.clone().with_replay(false)).collect();
+    let reference: Plan = jobs.iter().map(|job| job.clone().with_reference_path(true)).collect();
+
+    let replay_out = execute(&replay, &store);
+    let fused_out = execute(&fused, &store);
+    let reference_out = execute(&reference, &store);
+    for (index, job) in jobs.iter().enumerate() {
+        let label = job.label();
+        let benchmark = job.trace.benchmark.name();
+        assert_eq!(
+            replay_out.outcome(index),
+            fused_out.outcome(index),
+            "replay vs fused diverged for {label} on {benchmark}"
+        );
+        assert_eq!(
+            replay_out.outcome(index),
+            reference_out.outcome(index),
+            "replay vs reference diverged for {label} on {benchmark}"
+        );
+    }
+}
+
+/// The bit-packed PHT's lookup table agrees with `Automaton::update` and
+/// `Automaton::predict` on all 256 (state, taken) inputs, for every
+/// automaton — including the 2-state Last-Time and PresetBit packings,
+/// whose stored state is the masked low bit of the index.
+#[test]
+fn packed_lut_matches_automaton_on_all_256_inputs() {
+    use tlabp::core::automaton::State;
+
+    for automaton in Automaton::ALL {
+        let lut = automaton.packed_lut();
+        let mask = automaton.state_count() - 1;
+        for (index, &entry) in lut.iter().enumerate() {
+            let taken = index & 1 != 0;
+            let state = State::new(((index >> 1) as u8) & mask);
+            assert_eq!(
+                entry & 0b11,
+                automaton.update(state, taken).value(),
+                "{automaton} next state diverged at index {index}"
+            );
+            assert_eq!(
+                entry & 0b100 != 0,
+                automaton.predict(state),
+                "{automaton} prediction diverged at index {index}"
+            );
+        }
+    }
+}
+
 /// The packed stream itself is lossless for prediction: pc, direction
 /// and backwardness survive the 8-byte encoding.
 #[test]

@@ -52,11 +52,12 @@ fn repeated_sweeps_on_one_store_are_stable() {
     assert_eq!(first, second);
 }
 
-/// The same independence holds for a heterogeneous plan: scheme jobs
-/// (which the engine groups into fused trace passes), context-switch
-/// jobs, registry-built custom jobs, fusion-disabled jobs and
-/// instrumented metric jobs mixed in one batch must come back
-/// bit-identical whether one worker or eight executed them.
+/// The same independence holds for a heterogeneous plan: replay-lowered
+/// scheme jobs (sharing materialized pattern streams), replay-disabled
+/// jobs (fused trace passes), context-switch jobs, registry-built custom
+/// jobs, fusion-disabled jobs, reference-path jobs and instrumented
+/// metric jobs mixed in one batch must come back bit-identical whether
+/// one worker or eight executed them.
 #[test]
 fn engine_results_are_identical_across_pool_sizes() {
     use tlabp::core::registry;
@@ -72,17 +73,21 @@ fn engine_results_are_identical_across_pool_sizes() {
         .iter()
         .flat_map(|benchmark| {
             [
-                // Fusible: these share the benchmark's trace, so the
-                // engine runs them (and the custom job below) as one
-                // fused batch per benchmark.
+                // Replay-lowered: the three scheme jobs share the
+                // benchmark's pattern streams; the custom escape hatch
+                // fuses over the interned stream instead.
                 Job::scheme(SchemeConfig::pag(8), benchmark),
                 Job::scheme(SchemeConfig::pag(12).with_bht(BhtConfig::Ideal), benchmark),
                 Job::scheme(SchemeConfig::pap(6), benchmark),
                 Job::custom("determinism-dyn-pag8", benchmark),
+                // Replay opt-out: same scheme job on the fused path.
+                Job::scheme(SchemeConfig::pag(8), benchmark).with_replay(false),
                 // Fusion-ineligible fallbacks: context switches, an
-                // explicit opt-out, and instrumented metrics.
+                // explicit opt-out, the reference path, and instrumented
+                // metrics.
                 Job::scheme(SchemeConfig::gag(10).with_context_switch(true), benchmark),
                 Job::scheme(SchemeConfig::pap(6), benchmark).with_fusion(false),
+                Job::scheme(SchemeConfig::gag(10), benchmark).with_reference_path(true),
                 Job::scheme(SchemeConfig::pag(12), benchmark)
                     .with_metrics(MetricSet { miss_breakdown: true, fetch: None }),
                 Job::scheme(SchemeConfig::pag(12), benchmark).with_metrics(MetricSet {
