@@ -1,6 +1,6 @@
 //! Throughput harness: reference baseline vs the engine's fast paths.
 //!
-//! Not a paper artifact. Three sections, each built as plans on the
+//! Not a paper artifact. Four sections, each built as plans on the
 //! execution engine and each runnable alone via `--section <name>`
 //! (mirroring the ARTIFACTS registry dispatch):
 //!
@@ -37,7 +37,14 @@
 //!   job's bit-packed second level over it
 //!   ([`tlabp_sim::runner::simulate_replay`]).
 //!
-//! All runs start from warmed trace caches (including materialized
+//! **cold_start** — trace *ingestion* rather than simulation: VM
+//! generation plus form derivation for the ablation plan, measured lazy
+//! and serial (no cache), through the engine's parallel prefetch
+//! barrier, and as a warm disk-cache load
+//! ([`tlabp_sim::TraceStore::with_cache_dir`]). Lands in
+//! `results/BENCH_cold_start.csv`.
+//!
+//! All other runs start from warmed trace caches (including materialized
 //! pattern streams), so the numbers compare simulation throughput, not
 //! VM trace generation or stream derivation. Within each section the
 //! throughput numerator is identical across modes (trace events for the
@@ -54,11 +61,11 @@ use std::time::Instant;
 
 use tlabp_core::automaton::Automaton;
 use tlabp_core::config::SchemeConfig;
-use tlabp_sim::engine::{execute, execute_on};
+use tlabp_sim::engine::{execute, execute_on, prefetch_on};
 use tlabp_sim::plan::{Job, Plan};
 use tlabp_sim::report::Table;
 use tlabp_sim::runner::SimConfig;
-use tlabp_sim::SweepPool;
+use tlabp_sim::{SweepPool, TraceStore};
 use tlabp_workloads::{Benchmark, DataSet};
 
 use crate::tables::all_table3_configs;
@@ -100,8 +107,12 @@ fn cache_bytes_cap() -> usize {
 type Section = fn(&Ctx, u32, usize) -> String;
 
 /// The registered bench sections, in run order.
-const SECTIONS: [(&str, Section); 3] =
-    [("single", single_section), ("multi", multi_section), ("replay", replay_section)];
+const SECTIONS: [(&str, Section); 4] = [
+    ("single", single_section),
+    ("multi", multi_section),
+    ("replay", replay_section),
+    ("cold_start", cold_start_section),
+];
 
 /// `cargo run -p tlabp-experiments --release -- bench [--section NAME]`
 pub fn bench(ctx: &Ctx) {
@@ -356,6 +367,92 @@ fn replay_section(ctx: &Ctx, iterations: u32, threads: usize) -> String {
     )
 }
 
+/// Cold start: trace ingestion (VM generation + form derivation) for the
+/// automaton-ablation plan, measured three ways — lazy serial with no
+/// cache at all, the engine's parallel prefetch barrier, and a warm
+/// disk-cache load. Unlike the other sections, the interesting state here
+/// is an *empty* store, so every timed iteration builds a fresh one.
+fn cold_start_section(ctx: &Ctx, iterations: u32, threads: usize) -> String {
+    let configs: Vec<SchemeConfig> = Automaton::ALL
+        .iter()
+        .map(|&automaton| SchemeConfig::pag(12).with_automaton(automaton))
+        .collect();
+    let plan = Plan::suites(&configs, &SimConfig::no_context_switch());
+
+    // (a) Cold, serial: one worker generates and derives every form in
+    // sequence — what every lazy first touch cost before the prefetch
+    // barrier existed.
+    let serial_pool = SweepPool::new(1);
+    let cold_serial_secs = best_of(iterations, || {
+        let cold = TraceStore::new();
+        prefetch_on(&serial_pool, &plan, &cold);
+        assert_eq!(cold.len(), Benchmark::ALL.len());
+    });
+
+    // (b) Cold, parallel: the same work fanned across the global pool by
+    // the prefetch barrier, still without any disk cache.
+    let prefetch_secs = best_of(iterations, || {
+        let cold = TraceStore::new();
+        prefetch_on(SweepPool::global(), &plan, &cold);
+        assert_eq!(cold.len(), Benchmark::ALL.len());
+    });
+
+    // (c) Warm disk: populate an artifact directory once (untimed), then
+    // time fresh stores hydrating from it — no VM, no derivation.
+    let dir = std::env::temp_dir().join(format!("tlabp-bench-cold-start-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    prefetch_on(SweepPool::global(), &plan, &TraceStore::with_cache_dir(&dir));
+    let warm_disk_secs = best_of(iterations, || {
+        let warm = TraceStore::with_cache_dir(&dir);
+        prefetch_on(SweepPool::global(), &plan, &warm);
+        assert_eq!(warm.len(), Benchmark::ALL.len());
+    });
+    let disk_bytes = TraceStore::with_cache_dir(&dir).cache_bytes().disk;
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let prefetch_speedup = cold_serial_secs / prefetch_secs;
+    let warm_speedup = cold_serial_secs / warm_disk_secs;
+
+    let mut table = Table::new(vec![
+        "mode".into(),
+        format!("seconds (best of {iterations})"),
+        "speedup".into(),
+    ]);
+    table.push_row(vec![
+        "cold VM, serial (1 thread)".into(),
+        format!("{cold_serial_secs:.3}"),
+        "1.00".into(),
+    ]);
+    table.push_row(vec![
+        format!("cold VM, prefetch ({threads} threads)"),
+        format!("{prefetch_secs:.3}"),
+        format!("{prefetch_speedup:.2}"),
+    ]);
+    table.push_row(vec![
+        "warm disk cache".into(),
+        format!("{warm_disk_secs:.3}"),
+        format!("{warm_speedup:.2}"),
+    ]);
+    ctx.emit(
+        "BENCH_cold_start",
+        &format!(
+            "Cold-start ingestion: {} benchmarks, {} disk-artifact bytes",
+            Benchmark::ALL.len(),
+            disk_bytes
+        ),
+        &table,
+    );
+
+    format!(
+        "  \"cold_start\": {{\n    \
+           \"benchmark\": \"trace generation + derivation for the automaton-ablation plan\",\n    \
+           \"disk_artifact_bytes\": {disk_bytes},\n    \
+           \"cold_serial\": {{ \"seconds\": {cold_serial_secs:.6} }},\n    \
+           \"prefetch\": {{ \"seconds\": {prefetch_secs:.6}, \"speedup\": {prefetch_speedup:.3} }},\n    \
+           \"warm_disk\": {{ \"seconds\": {warm_disk_secs:.6}, \"speedup\": {warm_speedup:.3} }}\n  }}"
+    )
+}
+
 /// Per-form cache footprint of everything the run materialized, with the
 /// `TLABP_CACHE_BYTES` soft-cap warning.
 fn report_cache_bytes(ctx: &Ctx) {
@@ -365,6 +462,7 @@ fn report_cache_bytes(ctx: &Ctx) {
     table.push_row(vec!["packed".into(), bytes.packed.to_string(), mib(bytes.packed)]);
     table.push_row(vec!["interned".into(), bytes.interned.to_string(), mib(bytes.interned)]);
     table.push_row(vec!["pattern streams".into(), bytes.streams.to_string(), mib(bytes.streams)]);
+    table.push_row(vec!["disk artifacts".into(), bytes.disk.to_string(), mib(bytes.disk)]);
     table.push_row(vec!["total".into(), bytes.total().to_string(), mib(bytes.total())]);
     ctx.emit("BENCH_cache_bytes", "Trace cache footprint by form", &table);
     let cap = cache_bytes_cap();

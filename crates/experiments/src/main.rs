@@ -35,7 +35,12 @@ pub struct Ctx {
 
 impl Ctx {
     fn new(out_dir: PathBuf, section: Option<String>) -> Self {
-        Ctx { store: tlabp_sim::TraceStore::new(), out_dir, section }
+        // Drivers persist trace artifacts across processes by default
+        // (TLABP_TRACE_DIR overrides the directory; set it empty to
+        // disable): the first run after a clean checkout pays for VM
+        // generation and derivation once, every later driver hydrates
+        // from disk.
+        Ctx { store: tlabp_sim::TraceStore::persistent(), out_dir, section }
     }
 
     /// The shared trace cache.

@@ -218,6 +218,25 @@ fn benchmark_row(job: &Job, outcome: &JobOutcome) -> BenchmarkAccuracy {
     }
 }
 
+/// Execution-phase toggles for [`execute_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Run the parallel prefetch barrier (phase 1) before any simulation
+    /// cell: every distinct trace form and pattern stream the plan needs
+    /// is generated/derived/loaded as its own pool task up front. On by
+    /// default; turning it off restores the lazy path where the first
+    /// cell to touch a form pays for it while sibling workers idle behind
+    /// the slot's `OnceLock` — kept reachable as the cold-start benchmark
+    /// baseline and for the determinism suite's prefetch-vs-lazy case.
+    pub prefetch: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { prefetch: true }
+    }
+}
+
 /// Executes `plan` on the process-wide [`SweepPool::global`] pool.
 ///
 /// # Panics
@@ -237,70 +256,29 @@ pub fn execute(plan: &Plan, store: &TraceStore) -> ResultSet {
 /// See [`execute`].
 #[must_use]
 pub fn execute_on(pool: &SweepPool, plan: &Plan, store: &TraceStore) -> ResultSet {
+    execute_with(pool, plan, store, ExecOptions::default())
+}
+
+/// [`execute_on`] with explicit [`ExecOptions`].
+///
+/// # Panics
+///
+/// See [`execute`].
+#[must_use]
+pub fn execute_with(
+    pool: &SweepPool,
+    plan: &Plan,
+    store: &TraceStore,
+    options: ExecOptions,
+) -> ResultSet {
     // Phase 0: lower on the submitting thread, so unknown registry names
     // and unsatisfiable jobs fail fast and deterministically.
     let lowered: Vec<Lowered> = plan.jobs().iter().map(lower).collect();
 
-    // Phase 1: pre-generate each distinct trace exactly once, as pool
-    // jobs, in the deepest derived form any of its cells needs (deeper
-    // forms initialize the shallower ones in the same store slot), so no
-    // simulation cell ever blocks on the VM or an interning pass. Replay
-    // cells additionally pre-derive each distinct (trace, stream key)
-    // pattern stream in the same barrier; stream derivation chains
-    // through the interned form itself, so it never races ahead of it.
-    let mut positions: HashMap<(&'static str, DataSet), usize> = HashMap::new();
-    let mut needed: Vec<(TraceKey, TraceForm)> = Vec::new();
-    let mut stream_positions: HashMap<(&'static str, DataSet, StreamKey), ()> = HashMap::new();
-    let mut streams_needed: Vec<(TraceKey, StreamKey)> = Vec::new();
-    for (job, low) in plan.jobs().iter().zip(&lowered) {
-        let Lowered::Run(cell) = low else { continue };
-        let mut need = |key: TraceKey, form: TraceForm| {
-            if let Some(&pos) = positions.get(&(key.benchmark.name(), key.data_set)) {
-                needed[pos].1 = needed[pos].1.max(form);
-            } else {
-                positions.insert((key.benchmark.name(), key.data_set), needed.len());
-                needed.push((key, form));
-            }
-        };
-        need(job.trace, cell.trace_form());
-        if cell.needs_training() {
-            need(
-                TraceKey { benchmark: job.trace.benchmark, data_set: DataSet::Training },
-                TraceForm::Full,
-            );
-        }
-        if let Some(stream_key) = cell.replay {
-            let dedup = (job.trace.benchmark.name(), job.trace.data_set, stream_key);
-            if stream_positions.insert(dedup, ()).is_none() {
-                streams_needed.push((job.trace, stream_key));
-            }
-        }
+    // Phase 1: the prefetch barrier (see `prefetch_lowered`).
+    if options.prefetch {
+        prefetch_lowered(pool, plan, &lowered, store);
     }
-    enum PreGen {
-        Form(TraceKey, TraceForm),
-        Stream(TraceKey, StreamKey),
-    }
-    let pre_gen = needed
-        .into_iter()
-        .map(|(key, form)| PreGen::Form(key, form))
-        .chain(streams_needed.into_iter().map(|(key, stream)| PreGen::Stream(key, stream)));
-    pool.run(pre_gen.map(|item| {
-        let store = store.clone();
-        move || match item {
-            PreGen::Form(key, TraceForm::Full) => {
-                let _ = store.get(key.benchmark, key.data_set);
-            }
-            PreGen::Form(key, TraceForm::Packed) => {
-                let _ = store.get_packed(key.benchmark, key.data_set);
-            }
-            PreGen::Form(key, TraceForm::Interned) => {
-                let _ = store.get_interned(key.benchmark, key.data_set);
-            }
-            PreGen::Stream(key, stream) => {
-                let _ = store.get_pattern_stream(key.benchmark, key.data_set, stream);
-            }
-        }
-    }));
 
     // Phase 2: resolve skips inline and partition runnable cells into
     // replay groups (replay-lowered cells sharing a stream), fused
@@ -363,6 +341,90 @@ pub fn execute_on(pool: &SweepPool, plan: &Plan, store: &TraceStore) -> ResultSe
     // Phase 4: reassemble in plan order.
     let outcomes = slots.into_iter().map(|slot| slot.expect("every job produced one outcome"));
     ResultSet { rows: plan.jobs().iter().cloned().zip(outcomes).collect() }
+}
+
+/// Runs only the prefetch pass of [`execute`] for `plan`: every distinct
+/// trace form and pattern stream the plan's runnable jobs need is
+/// generated (or, for a disk-backed store, loaded) across `pool`, and the
+/// call returns once all of them are resident in `store`.
+///
+/// This is `execute`'s phase 1 exposed on its own, for warming a store
+/// ahead of time (e.g. populating a [`TraceStore::with_cache_dir`]
+/// directory) and for measuring ingestion cost separately from
+/// simulation (the bench's `cold_start` section).
+///
+/// # Panics
+///
+/// See [`execute`].
+pub fn prefetch_on(pool: &SweepPool, plan: &Plan, store: &TraceStore) {
+    let lowered: Vec<Lowered> = plan.jobs().iter().map(lower).collect();
+    prefetch_lowered(pool, plan, &lowered, store);
+}
+
+/// Phase 1 of execution: pre-generate each distinct trace exactly once,
+/// as pool jobs, in the deepest derived form any of its cells needs
+/// (deeper forms initialize the shallower ones in the same store slot),
+/// so no simulation cell ever blocks on the VM or an interning pass.
+/// Replay cells additionally pre-derive each distinct (trace, stream key)
+/// pattern stream in the same barrier; stream derivation chains through
+/// the interned form itself, so it never races ahead of it. With a
+/// disk-backed store, each of these tasks starts by hydrating its slot
+/// from the artifact cache, so a warm directory turns the whole barrier
+/// into parallel file loads.
+fn prefetch_lowered(pool: &SweepPool, plan: &Plan, lowered: &[Lowered], store: &TraceStore) {
+    let mut positions: HashMap<(&'static str, DataSet), usize> = HashMap::new();
+    let mut needed: Vec<(TraceKey, TraceForm)> = Vec::new();
+    let mut stream_positions: HashMap<(&'static str, DataSet, StreamKey), ()> = HashMap::new();
+    let mut streams_needed: Vec<(TraceKey, StreamKey)> = Vec::new();
+    for (job, low) in plan.jobs().iter().zip(lowered) {
+        let Lowered::Run(cell) = low else { continue };
+        let mut need = |key: TraceKey, form: TraceForm| {
+            if let Some(&pos) = positions.get(&(key.benchmark.name(), key.data_set)) {
+                needed[pos].1 = needed[pos].1.max(form);
+            } else {
+                positions.insert((key.benchmark.name(), key.data_set), needed.len());
+                needed.push((key, form));
+            }
+        };
+        need(job.trace, cell.trace_form());
+        if cell.needs_training() {
+            need(
+                TraceKey { benchmark: job.trace.benchmark, data_set: DataSet::Training },
+                TraceForm::Full,
+            );
+        }
+        if let Some(stream_key) = cell.replay {
+            let dedup = (job.trace.benchmark.name(), job.trace.data_set, stream_key);
+            if stream_positions.insert(dedup, ()).is_none() {
+                streams_needed.push((job.trace, stream_key));
+            }
+        }
+    }
+    enum PreGen {
+        Form(TraceKey, TraceForm),
+        Stream(TraceKey, StreamKey),
+    }
+    let pre_gen = needed
+        .into_iter()
+        .map(|(key, form)| PreGen::Form(key, form))
+        .chain(streams_needed.into_iter().map(|(key, stream)| PreGen::Stream(key, stream)));
+    pool.run(pre_gen.map(|item| {
+        let store = store.clone();
+        move || match item {
+            PreGen::Form(key, TraceForm::Full) => {
+                let _ = store.get(key.benchmark, key.data_set);
+            }
+            PreGen::Form(key, TraceForm::Packed) => {
+                let _ = store.get_packed(key.benchmark, key.data_set);
+            }
+            PreGen::Form(key, TraceForm::Interned) => {
+                let _ = store.get_interned(key.benchmark, key.data_set);
+            }
+            PreGen::Stream(key, stream) => {
+                let _ = store.get_pattern_stream(key.benchmark, key.data_set, stream);
+            }
+        }
+    }));
 }
 
 /// Largest number of predictors stepped together in one fused pass.

@@ -52,7 +52,9 @@ pub mod runner;
 pub mod suite;
 pub mod sweep;
 
-pub use engine::{execute, execute_on, JobMetrics, JobOutcome, ResultSet};
+pub use engine::{
+    execute, execute_on, execute_with, prefetch_on, ExecOptions, JobMetrics, JobOutcome, ResultSet,
+};
 pub use metrics::{geometric_mean, SuiteResult};
 pub use plan::{Job, MetricSet, Plan, PredictorSpec, TargetCacheSpec, TraceKey};
 pub use pool::SweepPool;
@@ -60,5 +62,5 @@ pub use runner::{
     derive_pattern_stream, replay_stream_key, simulate, simulate_fused, simulate_packed,
     simulate_replay, simulate_replay_many, ReplayPht, SimConfig, SimResult, StreamKey,
 };
-pub use suite::{run_suite, CacheBytes, TraceStore};
+pub use suite::{run_suite, CacheBytes, TraceStore, DEFAULT_TRACE_DIR, TRACE_DIR_ENV};
 pub use sweep::{run_sweep, run_sweep_on};

@@ -342,6 +342,66 @@ impl StreamKey {
             StreamKey::Bht(signature) => signature.history_bits,
         }
     }
+
+    /// Encodes the key as the opaque byte tag stored in v2 artifact
+    /// containers (`tlabp-trace::io` holds stream keys as raw bytes — the
+    /// trace crate cannot name simulator types). Layout: a one-byte
+    /// variant tag (0 = global, 1 = ideal BHT, 2 = cache BHT) followed by
+    /// the variant's little-endian fields. The inverse of
+    /// [`StreamKey::from_bytes`].
+    #[must_use]
+    pub fn to_bytes(self) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(21);
+        match self {
+            StreamKey::Global { history_bits } => {
+                bytes.push(0);
+                bytes.extend_from_slice(&history_bits.to_le_bytes());
+            }
+            StreamKey::Bht(BhtSignature { config: BhtConfig::Ideal, history_bits }) => {
+                bytes.push(1);
+                bytes.extend_from_slice(&history_bits.to_le_bytes());
+            }
+            StreamKey::Bht(BhtSignature {
+                config: BhtConfig::Cache { entries, ways },
+                history_bits,
+            }) => {
+                bytes.push(2);
+                bytes.extend_from_slice(&history_bits.to_le_bytes());
+                bytes.extend_from_slice(&(entries as u64).to_le_bytes());
+                bytes.extend_from_slice(&(ways as u64).to_le_bytes());
+            }
+        }
+        bytes
+    }
+
+    /// Decodes a key from its [`StreamKey::to_bytes`] encoding, or `None`
+    /// for any malformed input (unknown tag, wrong length, geometry that
+    /// does not fit `usize`) — an unrecognized key in a cache file is
+    /// skipped, never trusted.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let (&tag, rest) = bytes.split_first()?;
+        let u32_at = |range: std::ops::Range<usize>| {
+            rest.get(range).map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+        };
+        let usize_at = |range: std::ops::Range<usize>| {
+            rest.get(range)
+                .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+                .and_then(|v| usize::try_from(v).ok())
+        };
+        match tag {
+            0 if rest.len() == 4 => Some(StreamKey::Global { history_bits: u32_at(0..4)? }),
+            1 if rest.len() == 4 => Some(StreamKey::Bht(BhtSignature {
+                config: BhtConfig::Ideal,
+                history_bits: u32_at(0..4)?,
+            })),
+            2 if rest.len() == 20 => Some(StreamKey::Bht(BhtSignature {
+                config: BhtConfig::Cache { entries: usize_at(4..12)?, ways: usize_at(12..20)? },
+                history_bits: u32_at(0..4)?,
+            })),
+            _ => None,
+        }
+    }
 }
 
 /// The stream key a scheme configuration's first level corresponds to, or
@@ -813,6 +873,31 @@ mod tests {
             pag,
             replay_stream_key(SchemeConfig::pag(12).with_bht(BhtConfig::Ideal)).unwrap()
         );
+    }
+
+    #[test]
+    fn stream_key_bytes_round_trip_and_reject_garbage() {
+        let keys = [
+            StreamKey::Global { history_bits: 18 },
+            StreamKey::Bht(BhtSignature { config: BhtConfig::Ideal, history_bits: 6 }),
+            StreamKey::Bht(BhtSignature { config: BhtConfig::PAPER_DEFAULT, history_bits: 12 }),
+            StreamKey::Bht(BhtSignature {
+                config: BhtConfig::Cache { entries: 256, ways: 1 },
+                history_bits: 24,
+            }),
+        ];
+        let mut encodings = std::collections::HashSet::new();
+        for key in keys {
+            let bytes = key.to_bytes();
+            assert_eq!(StreamKey::from_bytes(&bytes), Some(key));
+            assert!(encodings.insert(bytes), "{key:?}: encoding collides");
+        }
+        assert_eq!(StreamKey::from_bytes(&[]), None);
+        assert_eq!(StreamKey::from_bytes(&[9, 0, 0, 0, 0]), None);
+        assert_eq!(StreamKey::from_bytes(&[0, 0, 0, 0]), None, "short global");
+        let mut long = StreamKey::Global { history_bits: 4 }.to_bytes();
+        long.push(0);
+        assert_eq!(StreamKey::from_bytes(&long), None, "trailing byte");
     }
 
     #[test]

@@ -1,16 +1,27 @@
 //! Whole-suite orchestration: run predictor configurations across all
-//! nine benchmarks, with trace caching and pooled parallel execution.
+//! nine benchmarks, with trace caching (in memory and on disk) and
+//! pooled parallel execution.
 
 use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use tlabp_core::config::SchemeConfig;
+use tlabp_trace::io::{read_artifacts, write_artifacts, ARTIFACT_VERSION};
 use tlabp_trace::{InternedConds, PackedCond, PatternStream, Trace};
 use tlabp_workloads::{Benchmark, DataSet};
 
 use crate::metrics::SuiteResult;
 use crate::runner::{derive_pattern_stream, SimConfig, StreamKey};
 use crate::sweep::run_sweep;
+
+/// Environment variable naming the disk cache directory.
+pub const TRACE_DIR_ENV: &str = "TLABP_TRACE_DIR";
+/// Default disk cache directory when [`TRACE_DIR_ENV`] is unset but
+/// persistence was requested ([`TraceStore::persistent`]).
+pub const DEFAULT_TRACE_DIR: &str = "target/trace-cache";
 
 /// A cache of generated benchmark traces.
 ///
@@ -25,9 +36,26 @@ use crate::sweep::run_sweep;
 /// thread runs the VM while the rest block on that slot — the map locks
 /// are only ever held to find or insert the (empty) slot, never during
 /// generation.
+///
+/// # Disk tier
+///
+/// A store built with [`TraceStore::persistent`],
+/// [`TraceStore::from_env`] or [`TraceStore::with_cache_dir`]
+/// additionally persists every slot as a v2 artifact container
+/// (`tlabp_trace::io`): on the first touch of a slot the store tries to
+/// hydrate all four forms from `<dir>/<bench>-<set>-v2-<fingerprint>.tlabp`
+/// without running the VM; whenever a getter actually generates or
+/// derives something new, the slot is re-written atomically (temp file +
+/// rename). File names carry the container version and the
+/// workload-codegen fingerprint ([`Benchmark::fingerprint`]), so stale
+/// artifacts from an older format or an edited workload generator are
+/// simply never opened. A file that exists but fails its checksum or
+/// decode is ignored with a warning and the slot regenerates — a corrupt
+/// cache can cost time, never correctness.
 #[derive(Debug, Clone, Default)]
 pub struct TraceStore {
     cache: Arc<RwLock<SlotMap>>,
+    disk: Option<Arc<DiskTier>>,
 }
 
 type SlotMap = HashMap<(&'static str, DataSetKey), Arc<TraceSlot>>;
@@ -41,6 +69,132 @@ struct TraceSlot {
     // only the map (find or insert the cell); each cell's derivation runs
     // behind its own OnceLock, exactly like the three fixed forms above.
     streams: Mutex<HashMap<StreamKey, Arc<OnceLock<Arc<PatternStream>>>>>,
+    // Disk-tier state: the workload fingerprint (computed once), a
+    // hydration gate so the artifact file is read at most once per slot,
+    // and a write lock serializing re-persists of this slot.
+    fingerprint: OnceLock<u64>,
+    hydrated: OnceLock<()>,
+    write_lock: Mutex<()>,
+}
+
+/// The persistence layer of a [`TraceStore`]: one artifact container per
+/// (benchmark, data set) under a cache directory.
+#[derive(Debug)]
+struct DiskTier {
+    dir: PathBuf,
+    temp_counter: AtomicU64,
+}
+
+impl DiskTier {
+    /// The artifact path for a slot. The container version and workload
+    /// fingerprint are part of the name, so a format bump or workload
+    /// edit invalidates by construction — the old file is just never
+    /// looked up again.
+    fn path_for(&self, name: &str, data_set: DataSet, fingerprint: u64) -> PathBuf {
+        let set = match data_set {
+            DataSet::Training => "training",
+            DataSet::Testing => "testing",
+        };
+        self.dir.join(format!("{name}-{set}-v{ARTIFACT_VERSION}-{fingerprint:016x}.tlabp"))
+    }
+
+    /// Fills whatever forms the slot's artifact file holds. Missing file
+    /// is a plain miss; a present-but-unreadable file warns and behaves
+    /// as a miss (the next persist overwrites it).
+    fn hydrate(&self, slot: &TraceSlot, benchmark: &Benchmark, data_set: DataSet) {
+        let fingerprint = *slot.fingerprint.get_or_init(|| benchmark.fingerprint(data_set));
+        let path = self.path_for(benchmark.name(), data_set, fingerprint);
+        let Ok(bytes) = fs::read(&path) else { return };
+        let bundle = match read_artifacts(&bytes) {
+            Ok(bundle) => bundle,
+            Err(err) => {
+                eprintln!(
+                    "warning: ignoring corrupt trace artifact {} ({err}); regenerating",
+                    path.display()
+                );
+                return;
+            }
+        };
+        if bundle.fingerprint != fingerprint {
+            return;
+        }
+        if let Some(trace) = bundle.trace {
+            let _ = slot.trace.set(Arc::new(trace));
+        }
+        if let Some(packed) = bundle.packed {
+            let _ = slot.packed.set(Arc::new(packed));
+        }
+        if let Some(interned) = bundle.interned {
+            let _ = slot.interned.set(Arc::new(interned));
+        }
+        let mut streams = slot.streams.lock().expect("stream map lock");
+        for (key_bytes, stream) in bundle.streams {
+            // An undecodable key (written by a future scheme variant) is
+            // skipped, not trusted.
+            let Some(key) = StreamKey::from_bytes(&key_bytes) else { continue };
+            let _ = streams.entry(key).or_default().set(Arc::new(stream));
+        }
+    }
+
+    /// Atomically rewrites the slot's artifact file with every form
+    /// currently materialized. I/O failures warn and leave the previous
+    /// file (if any) intact — persistence is an accelerator, never a
+    /// correctness dependency.
+    fn persist(&self, slot: &TraceSlot, benchmark: &Benchmark, data_set: DataSet) {
+        let _guard = slot.write_lock.lock().expect("slot write lock");
+        let fingerprint = *slot.fingerprint.get_or_init(|| benchmark.fingerprint(data_set));
+        let trace = slot.trace.get().cloned();
+        let packed = slot.packed.get().cloned();
+        let interned = slot.interned.get().cloned();
+        let mut streams: Vec<(Vec<u8>, Arc<PatternStream>)> = {
+            let map = slot.streams.lock().expect("stream map lock");
+            map.iter()
+                .filter_map(|(key, cell)| cell.get().map(|s| (key.to_bytes(), Arc::clone(s))))
+                .collect()
+        };
+        // Deterministic section order keeps repeated persists of the same
+        // content byte-identical.
+        streams.sort_by(|a, b| a.0.cmp(&b.0));
+        let refs: Vec<(Vec<u8>, &PatternStream)> =
+            streams.iter().map(|(key, stream)| (key.clone(), stream.as_ref())).collect();
+        let bytes = write_artifacts(
+            fingerprint,
+            trace.as_deref(),
+            packed.as_deref().map(Vec::as_slice),
+            interned.as_deref(),
+            &refs,
+        );
+        let path = self.path_for(benchmark.name(), data_set, fingerprint);
+        if let Err(err) = self.write_atomic(&path, &bytes) {
+            eprintln!("warning: failed to write trace artifact {} ({err})", path.display());
+        }
+    }
+
+    /// Writes via a unique temp file in the same directory, then renames
+    /// over the target, so readers only ever observe complete files.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let temp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.temp_counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&temp, bytes)?;
+        fs::rename(&temp, path).inspect_err(|_| {
+            let _ = fs::remove_file(&temp);
+        })
+    }
+
+    /// Total size of the artifact files currently in the cache directory.
+    fn disk_bytes(&self) -> usize {
+        let Ok(entries) = fs::read_dir(&self.dir) else { return 0 };
+        entries
+            .filter_map(Result::ok)
+            .filter(|entry| entry.path().extension().is_some_and(|ext| ext == "tlabp"))
+            .filter_map(|entry| entry.metadata().ok())
+            .map(|meta| meta.len() as usize)
+            .sum()
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -59,10 +213,51 @@ impl From<DataSet> for DataSetKey {
 }
 
 impl TraceStore {
-    /// Creates an empty store.
+    /// Creates an empty, memory-only store.
     #[must_use]
     pub fn new() -> Self {
         TraceStore::default()
+    }
+
+    /// Creates a store with the disk tier enabled: artifacts live under
+    /// [`TRACE_DIR_ENV`] if set, else [`DEFAULT_TRACE_DIR`]. Setting the
+    /// variable to an empty string disables persistence entirely.
+    #[must_use]
+    pub fn persistent() -> Self {
+        match std::env::var(TRACE_DIR_ENV) {
+            Ok(dir) if dir.is_empty() => TraceStore::new(),
+            Ok(dir) => TraceStore::with_cache_dir(dir),
+            Err(_) => TraceStore::with_cache_dir(DEFAULT_TRACE_DIR),
+        }
+    }
+
+    /// Creates a store whose disk tier is enabled only when
+    /// [`TRACE_DIR_ENV`] is set (and non-empty). This is the constructor
+    /// for test suites: plain runs stay hermetic and memory-only, while
+    /// CI can opt the same tests into the disk path by exporting the
+    /// variable.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var(TRACE_DIR_ENV) {
+            Ok(dir) if !dir.is_empty() => TraceStore::with_cache_dir(dir),
+            _ => TraceStore::new(),
+        }
+    }
+
+    /// Creates a store persisting artifacts under `dir` (created on first
+    /// write; a missing directory just means every lookup misses).
+    #[must_use]
+    pub fn with_cache_dir(dir: impl Into<PathBuf>) -> Self {
+        TraceStore {
+            cache: Arc::default(),
+            disk: Some(Arc::new(DiskTier { dir: dir.into(), temp_counter: AtomicU64::new(0) })),
+        }
+    }
+
+    /// The disk cache directory, if the disk tier is enabled.
+    #[must_use]
+    pub fn cache_dir(&self) -> Option<&Path> {
+        self.disk.as_deref().map(|disk| disk.dir.as_path())
     }
 
     /// Returns the trace for `(benchmark, data_set)`, generating it on
@@ -70,8 +265,16 @@ impl TraceStore {
     /// single generating thread finishes.
     #[must_use]
     pub fn get(&self, benchmark: &Benchmark, data_set: DataSet) -> Arc<Trace> {
-        let slot = self.slot(benchmark.name(), data_set.into());
-        Arc::clone(slot.trace.get_or_init(|| Arc::new(benchmark.trace(data_set))))
+        let slot = self.slot_hydrated(benchmark, data_set);
+        let mut generated = false;
+        let trace = Arc::clone(slot.trace.get_or_init(|| {
+            generated = true;
+            Arc::new(benchmark.trace(data_set))
+        }));
+        if generated {
+            self.persist(&slot, benchmark, data_set);
+        }
+        trace
     }
 
     /// Returns the packed conditional-branch stream for
@@ -79,9 +282,13 @@ impl TraceStore {
     /// [`crate::runner::simulate_packed`] — packing it on first use.
     #[must_use]
     pub fn get_packed(&self, benchmark: &Benchmark, data_set: DataSet) -> Arc<Vec<PackedCond>> {
-        let slot = self.slot(benchmark.name(), data_set.into());
-        let trace = Arc::clone(slot.trace.get_or_init(|| Arc::new(benchmark.trace(data_set))));
-        Arc::clone(slot.packed.get_or_init(|| Arc::new(trace.pack_conditionals())))
+        let slot = self.slot_hydrated(benchmark, data_set);
+        let mut generated = false;
+        let packed = Arc::clone(Self::packed_of(&slot, benchmark, data_set, &mut generated));
+        if generated {
+            self.persist(&slot, benchmark, data_set);
+        }
+        packed
     }
 
     /// Returns the pc-interned conditional stream for
@@ -93,10 +300,13 @@ impl TraceStore {
     /// once per key however many cells race for it.
     #[must_use]
     pub fn get_interned(&self, benchmark: &Benchmark, data_set: DataSet) -> Arc<InternedConds> {
-        let slot = self.slot(benchmark.name(), data_set.into());
-        let trace = Arc::clone(slot.trace.get_or_init(|| Arc::new(benchmark.trace(data_set))));
-        let packed = slot.packed.get_or_init(|| Arc::new(trace.pack_conditionals()));
-        Arc::clone(slot.interned.get_or_init(|| Arc::new(InternedConds::from_packed(packed))))
+        let slot = self.slot_hydrated(benchmark, data_set);
+        let mut generated = false;
+        let interned = Self::interned_of(&slot, benchmark, data_set, &mut generated);
+        if generated {
+            self.persist(&slot, benchmark, data_set);
+        }
+        interned
     }
 
     /// Returns the materialized first-level stream for
@@ -115,7 +325,7 @@ impl TraceStore {
         data_set: DataSet,
         key: StreamKey,
     ) -> Arc<PatternStream> {
-        let slot = self.slot(benchmark.name(), data_set.into());
+        let slot = self.slot_hydrated(benchmark, data_set);
         let cell = {
             let mut streams = slot.streams.lock().expect("stream map lock");
             Arc::clone(streams.entry(key).or_default())
@@ -123,12 +333,80 @@ impl TraceStore {
         if let Some(stream) = cell.get() {
             return Arc::clone(stream);
         }
-        let interned = self.get_interned(benchmark, data_set);
-        Arc::clone(cell.get_or_init(|| Arc::new(derive_pattern_stream(&interned, key))))
+        let mut generated = false;
+        let interned = Self::interned_of(&slot, benchmark, data_set, &mut generated);
+        let stream = Arc::clone(cell.get_or_init(|| {
+            generated = true;
+            Arc::new(derive_pattern_stream(&interned, key))
+        }));
+        if generated {
+            self.persist(&slot, benchmark, data_set);
+        }
+        stream
     }
 
-    /// Heap bytes currently held by each cached trace form, across every
-    /// slot in the store.
+    /// The trace → packed derivation chain on a slot; sets `generated`
+    /// when any stage actually ran (vs. was already cached or hydrated).
+    fn packed_of<'s>(
+        slot: &'s TraceSlot,
+        benchmark: &Benchmark,
+        data_set: DataSet,
+        generated: &mut bool,
+    ) -> &'s Arc<Vec<PackedCond>> {
+        // Packing reads the full trace, so a hydrated packed form without
+        // its trace must not force trace regeneration: only consult the
+        // trace OnceLock when packing actually needs to run.
+        if let Some(packed) = slot.packed.get() {
+            return packed;
+        }
+        let trace = Arc::clone(slot.trace.get_or_init(|| {
+            *generated = true;
+            Arc::new(benchmark.trace(data_set))
+        }));
+        slot.packed.get_or_init(|| {
+            *generated = true;
+            Arc::new(trace.pack_conditionals())
+        })
+    }
+
+    /// The trace → packed → interned derivation chain on a slot.
+    fn interned_of(
+        slot: &TraceSlot,
+        benchmark: &Benchmark,
+        data_set: DataSet,
+        generated: &mut bool,
+    ) -> Arc<InternedConds> {
+        if let Some(interned) = slot.interned.get() {
+            return Arc::clone(interned);
+        }
+        let packed = Arc::clone(Self::packed_of(slot, benchmark, data_set, generated));
+        Arc::clone(slot.interned.get_or_init(|| {
+            *generated = true;
+            Arc::new(InternedConds::from_packed(&packed))
+        }))
+    }
+
+    /// Finds or creates the slot and, when the disk tier is on, hydrates
+    /// it from its artifact file exactly once.
+    fn slot_hydrated(&self, benchmark: &Benchmark, data_set: DataSet) -> Arc<TraceSlot> {
+        let slot = self.slot(benchmark.name(), data_set.into());
+        if let Some(disk) = &self.disk {
+            slot.hydrated.get_or_init(|| disk.hydrate(&slot, benchmark, data_set));
+        }
+        slot
+    }
+
+    /// Re-persists a slot after a getter generated something new; no-op
+    /// for memory-only stores.
+    fn persist(&self, slot: &TraceSlot, benchmark: &Benchmark, data_set: DataSet) {
+        if let Some(disk) = &self.disk {
+            disk.persist(slot, benchmark, data_set);
+        }
+    }
+
+    /// Bytes currently held by each cached trace form, across every slot
+    /// in the store, plus the on-disk artifact footprint when the disk
+    /// tier is enabled.
     #[must_use]
     pub fn cache_bytes(&self) -> CacheBytes {
         let mut bytes = CacheBytes::default();
@@ -144,6 +422,9 @@ impl TraceStore {
                     bytes.streams += stream.bytes();
                 }
             }
+        }
+        if let Some(disk) = &self.disk {
+            bytes.disk = disk.disk_bytes();
         }
         bytes
     }
@@ -175,9 +456,9 @@ impl TraceStore {
     }
 }
 
-/// Per-form heap footprint of a [`TraceStore`]'s cache hierarchy, in
-/// bytes. Reported by `experiments bench` so the growing set of cached
-/// forms stays visible.
+/// Per-form footprint of a [`TraceStore`]'s cache hierarchy, in bytes.
+/// Reported by `experiments bench` so the growing set of cached forms
+/// stays visible.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheBytes {
     /// Packed conditional streams (8 bytes per event).
@@ -187,13 +468,16 @@ pub struct CacheBytes {
     /// Materialized first-level pattern streams (4 bytes per event, plus
     /// 4 more per event for laned BHT-derived streams).
     pub streams: usize,
+    /// On-disk artifact containers in the cache directory (0 for
+    /// memory-only stores).
+    pub disk: usize,
 }
 
 impl CacheBytes {
-    /// Total bytes across all cached forms.
+    /// Total bytes across all cached forms, in memory and on disk.
     #[must_use]
     pub fn total(self) -> usize {
-        self.packed + self.interned + self.streams
+        self.packed + self.interned + self.streams + self.disk
     }
 }
 
@@ -299,7 +583,36 @@ mod tests {
         let bytes = store.cache_bytes();
         assert_eq!(bytes.interned, interned.len() * 4 + interned.distinct_pcs() * 8);
         assert_eq!(bytes.streams, stream.bytes());
-        assert_eq!(bytes.total(), bytes.packed + bytes.interned + bytes.streams);
+        assert_eq!(bytes.disk, 0, "memory-only store has no disk footprint");
+        assert_eq!(bytes.total(), bytes.packed + bytes.interned + bytes.streams + bytes.disk);
+    }
+
+    #[test]
+    fn disk_tier_persists_and_rehydrates_slots() {
+        let dir =
+            std::env::temp_dir().join(format!("tlabp-suite-disk-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let b = Benchmark::by_name("li").unwrap();
+        let key = StreamKey::Global { history_bits: 6 };
+
+        let store = TraceStore::with_cache_dir(&dir);
+        assert_eq!(store.cache_dir(), Some(dir.as_path()));
+        let interned = store.get_interned(b, DataSet::Testing);
+        let stream = store.get_pattern_stream(b, DataSet::Testing, key);
+        let bytes = store.cache_bytes();
+        assert!(bytes.disk > 0, "persist should leave an artifact on disk");
+        assert!(bytes.total() > bytes.packed + bytes.interned + bytes.streams);
+
+        // A fresh store over the same directory hydrates every form from
+        // disk; the handles are new allocations with identical content.
+        let warm = TraceStore::with_cache_dir(&dir);
+        let warm_interned = warm.get_interned(b, DataSet::Testing);
+        let warm_stream = warm.get_pattern_stream(b, DataSet::Testing, key);
+        assert_eq!(*warm_interned, *interned);
+        assert_eq!(*warm_stream, *stream);
+        assert!(!Arc::ptr_eq(&warm_interned, &interned));
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -51,6 +51,23 @@ impl InternedCond {
         InternedCond(id << 2 | u32::from(backward) << 1 | u32::from(taken))
     }
 
+    /// The raw 32-bit encoding (`id << 2 | backward << 1 | taken`) — the
+    /// on-disk representation of the v2 artifact container's interned
+    /// section ([`crate::io`]).
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs an interned conditional from its raw encoding. Every
+    /// 32-bit value decodes (the id field spans the remaining width);
+    /// whether the id is *meaningful* depends on the owning stream's
+    /// id→pc table, which [`InternedConds::from_raw_parts`] validates.
+    #[must_use]
+    pub fn from_bits(bits: u32) -> Self {
+        InternedCond(bits)
+    }
+
     /// The dense id of the branch's pc within its stream.
     #[must_use]
     pub fn id(self) -> u32 {
@@ -115,6 +132,31 @@ impl InternedConds {
     #[must_use]
     pub fn from_trace(trace: &Trace) -> Self {
         InternedConds::from_packed(&trace.pack_conditionals())
+    }
+
+    /// Reassembles a stream from its parts (the inverse of
+    /// [`InternedConds::events`] + [`InternedConds::pcs`]), or `None`
+    /// when the parts are inconsistent: an event id outside the pc table,
+    /// or a pc table that is not an injective image of distinct
+    /// addresses. Deserialization uses this so a corrupted or truncated
+    /// artifact can never yield a stream whose id↔pc mapping is not the
+    /// bijection the fused simulation path relies on.
+    #[must_use]
+    pub fn from_raw_parts(events: Vec<InternedCond>, pcs: Vec<u64>) -> Option<Self> {
+        let distinct: std::collections::HashSet<u64> = pcs.iter().copied().collect();
+        if distinct.len() != pcs.len() {
+            return None;
+        }
+        if events.iter().any(|event| event.id() as usize >= pcs.len()) {
+            return None;
+        }
+        Some(InternedConds { events, pcs })
+    }
+
+    /// The id→pc table, indexed by id.
+    #[must_use]
+    pub fn pcs(&self) -> &[u64] {
+        &self.pcs
     }
 
     /// The interned events, in stream order.

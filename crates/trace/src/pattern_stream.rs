@@ -105,6 +105,33 @@ impl PatternStream {
         self.lanes.push(lane);
     }
 
+    /// Reassembles a stream from its parts (the inverse of
+    /// [`PatternStream::events`] + [`PatternStream::lanes`]), or `None`
+    /// when the parts are inconsistent: `history_bits` out of range, a
+    /// lane vector whose length does not match its lanedness, or an event
+    /// whose pattern does not fit in `history_bits`. Deserialization uses
+    /// this so a corrupted artifact can never yield a stream that indexes
+    /// past the end of a replayed pattern history table.
+    #[must_use]
+    pub fn from_raw_parts(
+        history_bits: u32,
+        events: Vec<u32>,
+        lanes: Vec<u32>,
+        laned: bool,
+    ) -> Option<Self> {
+        if !(1..=MAX_PATTERN_BITS).contains(&history_bits) {
+            return None;
+        }
+        let expected_lanes = if laned { events.len() } else { 0 };
+        if lanes.len() != expected_lanes {
+            return None;
+        }
+        if events.iter().any(|&event| event >> 1 >= 1 << history_bits) {
+            return None;
+        }
+        Some(PatternStream { history_bits, events, lanes, laned })
+    }
+
     /// The packed events, in trace order.
     #[must_use]
     pub fn events(&self) -> &[u32] {

@@ -270,6 +270,24 @@ impl PackedCond {
         self.0 & 2 != 0
     }
 
+    /// The raw 64-bit encoding (`pc << 2 | backward << 1 | taken`) — the
+    /// on-disk representation of the v2 artifact container's packed
+    /// section ([`crate::io`]).
+    #[must_use]
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a packed conditional from its raw encoding.
+    ///
+    /// Every 64-bit value is a valid encoding (the pc field spans the
+    /// full remaining width), so this is total — the inverse of
+    /// [`PackedCond::bits`].
+    #[must_use]
+    pub fn from_bits(bits: u64) -> Self {
+        PackedCond(bits)
+    }
+
     /// Expands back into a [`BranchRecord`] carrying exactly the
     /// information predictors observe.
     ///

@@ -61,6 +61,11 @@ pub struct Benchmark {
 }
 
 impl Benchmark {
+    /// Data-memory words every benchmark VM runs with.
+    pub const VM_MEMORY_WORDS: usize = 1 << 20;
+    /// Instruction budget every benchmark VM runs with.
+    pub const VM_MAX_INSTRUCTIONS: u64 = 80_000_000;
+
     /// All nine benchmarks, integer first (as the paper's tables list
     /// them).
     pub const ALL: [Benchmark; 9] = [
@@ -187,9 +192,48 @@ impl Benchmark {
     #[must_use]
     pub fn trace(&self, data_set: DataSet) -> Trace {
         let program = self.program(data_set);
-        let mut vm = Vm::with_limits(program, 1 << 20, 80_000_000);
+        let mut vm = Vm::with_limits(program, Self::VM_MEMORY_WORDS, Self::VM_MAX_INSTRUCTIONS);
         vm.run().unwrap_or_else(|e| panic!("workload {} faulted: {e}", self.name));
         vm.into_trace()
+    }
+
+    /// A fingerprint of everything that determines this benchmark's trace
+    /// for `data_set`: the generated instruction sequence and the VM
+    /// limits it runs under. Disk-cached trace artifacts are keyed by it,
+    /// so editing a workload generator (or the VM budget) invalidates the
+    /// stale cache entries automatically instead of silently replaying an
+    /// outdated trace.
+    ///
+    /// The hash folds the `Debug` rendering of each instruction — the
+    /// rendering is a total, injective description of the instruction, and
+    /// hashing text keeps this independent of in-memory layout.
+    #[must_use]
+    pub fn fingerprint(&self, data_set: DataSet) -> u64 {
+        const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+        let fold = |hash: u64, word: u64| (hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+        let fold_bytes = |mut hash: u64, bytes: &[u8]| {
+            let mut chunks = bytes.chunks_exact(8);
+            for chunk in &mut chunks {
+                hash = fold(hash, u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+            }
+            let rest = chunks.remainder();
+            if !rest.is_empty() {
+                let mut word = [0u8; 8];
+                word[..rest.len()].copy_from_slice(rest);
+                hash = fold(hash, u64::from_le_bytes(word));
+            }
+            fold(hash, bytes.len() as u64)
+        };
+        let program = self.program(data_set);
+        let mut hash = fold(0, Self::VM_MEMORY_WORDS as u64);
+        hash = fold(hash, Self::VM_MAX_INSTRUCTIONS);
+        let mut rendered = String::new();
+        for inst in program.instructions() {
+            rendered.clear();
+            fmt::write(&mut rendered, format_args!("{inst:?}")).expect("fmt to String");
+            hash = fold_bytes(hash, rendered.as_bytes());
+        }
+        hash
     }
 }
 
@@ -284,6 +328,21 @@ mod tests {
         // to our simulation results" — holds in aggregate.
         let mean = taken_rates.iter().sum::<f64>() / taken_rates.len() as f64;
         assert!(mean > 0.5, "suite mean taken rate {mean} should exceed 0.5");
+    }
+
+    /// Fingerprints must separate programs (across benchmarks *and*
+    /// across data sets, whose immediates differ) while staying stable
+    /// for repeated builds of the same program.
+    #[test]
+    fn fingerprints_are_stable_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for b in &Benchmark::ALL {
+            for ds in [DataSet::Training, DataSet::Testing] {
+                let fp = b.fingerprint(ds);
+                assert_eq!(fp, b.fingerprint(ds), "{}: fingerprint not deterministic", b.name());
+                assert!(seen.insert(fp), "{}/{ds:?}: fingerprint collides", b.name());
+            }
+        }
     }
 
     #[test]

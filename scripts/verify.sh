@@ -10,5 +10,5 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all --check
-cargo test --release -q -p tlabp --test differential --test sweep_determinism
+cargo test --release -q -p tlabp --test differential --test sweep_determinism --test disk_cache
 TLABP_BENCH_ITERS=1 cargo run -q -p tlabp-experiments --release -- bench --out "$(mktemp -d)"

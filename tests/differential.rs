@@ -142,7 +142,7 @@ fn engine_paths_agree_for_every_lowering() {
         ]
         .into_iter()
         .collect();
-        let results = execute(&plan, &TraceStore::new());
+        let results = execute(&plan, &TraceStore::from_env());
         let sims: Vec<&SimResult> =
             results.iter().map(|(_, outcome)| &outcome.metrics().expect("measured").sim).collect();
         assert_eq!(sims[0], sims[1], "fast vs reference diverged for {config}");
@@ -172,7 +172,7 @@ fn fused_per_cell_and_reference_plans_agree_job_for_job() {
             .map(|config| Job::scheme(config, eqntott)),
     );
 
-    let store = TraceStore::new();
+    let store = TraceStore::from_env();
     let fused: Plan = jobs.iter().cloned().collect();
     let per_cell: Plan = jobs.iter().map(|job| job.clone().with_fusion(false)).collect();
     let reference: Plan = jobs.iter().map(|job| job.clone().with_reference_path(true)).collect();
@@ -211,7 +211,7 @@ fn fused_outcomes_are_independent_of_batch_composition() {
     // lowers to the fusible packed path.
     let fusible: Vec<SchemeConfig> =
         catalog().into_iter().filter(|config| !config.context_switch()).collect();
-    let store = TraceStore::new();
+    let store = TraceStore::from_env();
     let multi: Plan = fusible.iter().map(|&config| Job::scheme(config, li)).collect();
     let multi_out = execute(&multi, &store);
     for (index, &config) in fusible.iter().enumerate() {
@@ -310,7 +310,7 @@ fn replay_fused_and_reference_plans_agree_job_for_job() {
             .map(|config| Job::scheme(config, eqntott)),
     );
 
-    let store = TraceStore::new();
+    let store = TraceStore::from_env();
     let replay: Plan = jobs.iter().cloned().collect();
     let fused: Plan = jobs.iter().map(|job| job.clone().with_replay(false)).collect();
     let reference: Plan = jobs.iter().map(|job| job.clone().with_reference_path(true)).collect();

@@ -105,3 +105,47 @@ fn engine_results_are_identical_across_pool_sizes() {
     assert_eq!(serial.len(), plan.len());
     assert_eq!(serial, parallel, "pool size changed the engine output");
 }
+
+/// Tentpole guard: the prefetch barrier is a scheduling change only.
+/// Executing a plan against *cold* stores — every trace generated,
+/// derived (and possibly disk-hydrated) during the run itself — must
+/// produce bit-identical `ResultSet`s whether ingestion happens lazily
+/// under one worker or fanned across eight workers by the prefetch pass.
+/// Stores come from `TraceStore::from_env()`, so the default run proves
+/// it memory-only and the CI warm-cache step (`TLABP_TRACE_DIR` set)
+/// proves it through the disk tier.
+#[test]
+fn cold_store_prefetch_matches_lazy_across_pool_sizes() {
+    use tlabp::core::BhtConfig;
+    use tlabp::sim::engine::{execute_with, ExecOptions};
+    use tlabp::sim::plan::{Job, Plan};
+    use tlabp::workloads::Benchmark;
+
+    // Replay-lowered, fused and full-trace jobs in one plan, so every
+    // ingestion product (trace, packed, interned, pattern streams) is in
+    // play on the cold path.
+    let plan: Plan = [Benchmark::by_name("li").unwrap(), Benchmark::by_name("eqntott").unwrap()]
+        .iter()
+        .flat_map(|&benchmark| {
+            [
+                Job::scheme(SchemeConfig::pag(8), benchmark),
+                Job::scheme(SchemeConfig::pag(8).with_bht(BhtConfig::Ideal), benchmark),
+                Job::scheme(SchemeConfig::gag(10), benchmark).with_replay(false),
+                Job::scheme(SchemeConfig::pag(8).with_context_switch(true), benchmark),
+            ]
+        })
+        .collect();
+
+    let lazy_pool = SweepPool::new(1);
+    let lazy =
+        execute_with(&lazy_pool, &plan, &TraceStore::from_env(), ExecOptions { prefetch: false });
+    let prefetch_pool = SweepPool::new(8);
+    let prefetched = execute_with(
+        &prefetch_pool,
+        &plan,
+        &TraceStore::from_env(),
+        ExecOptions { prefetch: true },
+    );
+    assert_eq!(lazy.len(), plan.len());
+    assert_eq!(lazy, prefetched, "prefetch changed the engine output");
+}
