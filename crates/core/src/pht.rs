@@ -1,6 +1,7 @@
 //! The pattern history table (PHT) of the paper's Section 2.1.
 
 use crate::automaton::{Automaton, State};
+use crate::simd::{Kernel, SimdMode};
 
 /// A pattern history table: `2^k` automaton states indexed by the content
 /// of a k-bit history register.
@@ -442,6 +443,695 @@ impl PackedPhtBank {
     }
 }
 
+/// Bit 0 of every nibble lane.
+const NIBBLE_LO: u64 = 0x1111_1111_1111_1111;
+/// Bits 0–1 (the stored 2-bit state) of every nibble lane.
+const NIBBLE_STATE: u64 = 0x3333_3333_3333_3333;
+/// Member nibbles per transposed word.
+const LANES_PER_WORD: usize = 16;
+/// Events between accumulator flushes: each nibble of the per-column
+/// accumulator gains at most one per event and holds up to 15.
+const ACC_FLUSH_EVENTS: usize = 15;
+
+/// Per-bank data of the transposed SWAR kernel, shared by the
+/// single-table and per-lane banks.
+///
+/// Every member's fused transition `f(s1, s0) = lut[(s << 1) | taken]`
+/// (3 output bits: next state low/high, prediction) is expanded in the
+/// AND–XOR (Reed–Muller) basis
+///
+/// ```text
+/// f(s1, s0) = c0 ^ (c1 & s0) ^ (c2 & s1) ^ (c3 & s1 & s0)
+/// ```
+///
+/// which is exact for *any* boolean function of the two state bits — so a
+/// bank freely mixes automata per lane. The four coefficients are stored
+/// as nibble-lane masks (3 live bits per member nibble), one set per
+/// resolved direction, letting one `u64` op advance 16 members at once.
+struct BankKernel {
+    members: usize,
+    /// Transposed words per table row (`ceil(members / 16)`).
+    cols: usize,
+    /// Coefficient masks, direction-major then coefficient-major:
+    /// `coeff[((taken * 4) + k) * cols + col]` — so each direction's four
+    /// column vectors are contiguous for the vector bodies.
+    coeff: Vec<u64>,
+    /// Nibble bit 2 set for every occupied member lane, per column: masks
+    /// the kernel's prediction bits and (xored in when the branch was not
+    /// taken) converts them to correctness bits.
+    pred_occ: Vec<u64>,
+    /// Per-member compressed LUTs ([`PackedPhtBank`]-style `u32`s) for
+    /// the scalar reference body.
+    luts: Vec<u32>,
+}
+
+impl BankKernel {
+    fn new(tables: &[PackedPht]) -> BankKernel {
+        let members = tables.len();
+        let cols = members.div_ceil(LANES_PER_WORD);
+        let mut coeff = vec![0u64; 2 * 4 * cols];
+        let mut pred_occ = vec![0u64; cols];
+        let mut luts = Vec::with_capacity(members);
+        for (member, table) in tables.iter().enumerate() {
+            let col = member / LANES_PER_WORD;
+            let shift = (member % LANES_PER_WORD) * 4;
+            for taken in 0..2usize {
+                let f = |state: usize| table.lut[(state << 1) | taken] & 0b111;
+                let (f0, f1, f2, f3) = (f(0), f(1), f(2), f(3));
+                for (k, bits) in [f0, f0 ^ f1, f0 ^ f2, f0 ^ f1 ^ f2 ^ f3].into_iter().enumerate() {
+                    coeff[((taken * 4) + k) * cols + col] |= u64::from(bits) << shift;
+                }
+            }
+            pred_occ[col] |= 0b100u64 << shift;
+            luts.push(
+                (0..8)
+                    .fold(0u32, |flags, index| flags | u32::from(table.lut[index]) << (index * 4)),
+            );
+        }
+        BankKernel { members, cols, coeff, pred_occ, luts }
+    }
+}
+
+/// Lane-transposes the members' current states: row `pattern`, column
+/// `member / 16`, nibble `member % 16`.
+fn transpose_states(tables: &[PackedPht], rows: usize, cols: usize) -> Vec<u64> {
+    let mut words = vec![0u64; rows * cols];
+    for (member, table) in tables.iter().enumerate() {
+        let col = member / LANES_PER_WORD;
+        let shift = (member % LANES_PER_WORD) * 4;
+        for (pattern, row) in words.chunks_exact_mut(cols).enumerate() {
+            row[col] |= u64::from(table.state(pattern).value()) << shift;
+        }
+    }
+    words
+}
+
+/// One column of the portable SWAR body: advance 16 member nibbles and
+/// accumulate their correctness bits.
+#[inline(always)]
+fn step_col_swar(
+    row: &mut [u64],
+    ct: &[u64],
+    pred_occ: &[u64],
+    not_taken: u64,
+    acc: &mut [u64],
+    cols: usize,
+    col: usize,
+) {
+    let w = row[col];
+    let lo = w & NIBBLE_LO;
+    let hi = (w >> 1) & NIBBLE_LO;
+    let hl = hi & lo;
+    // `x * 7` spreads each nibble's bit 0 across bits 0–2 (no nibble
+    // carries: 7 < 16), broadcasting a state bit to all three coefficient
+    // bit positions.
+    let out = ct[col]
+        ^ (ct[cols + col] & lo.wrapping_mul(7))
+        ^ (ct[2 * cols + col] & hi.wrapping_mul(7))
+        ^ (ct[3 * cols + col] & hl.wrapping_mul(7));
+    row[col] = out & NIBBLE_STATE;
+    let occ = pred_occ[col];
+    // Bit 2 of each occupied nibble is the member's prediction; xoring in
+    // the occupancy mask on a not-taken branch flips it to "was correct".
+    acc[col] += ((out & occ) ^ (occ & not_taken)) >> 2;
+}
+
+/// The portable `u64` SWAR body over a whole row.
+#[inline(always)]
+fn step_row_swar(row: &mut [u64], ct: &[u64], pred_occ: &[u64], not_taken: u64, acc: &mut [u64]) {
+    let cols = row.len();
+    for col in 0..cols {
+        step_col_swar(row, ct, pred_occ, not_taken, acc, cols, col);
+    }
+}
+
+/// The scalar reference body: per-member LUT steps in the same
+/// transposed layout, counting directly (no bit-sliced accumulator).
+#[inline(always)]
+fn step_row_scalar(row: &mut [u64], luts: &[u32], taken: bool, counts: &mut [u64]) {
+    for (member, (&flags, count)) in luts.iter().zip(counts.iter_mut()).enumerate() {
+        let col = member / LANES_PER_WORD;
+        let shift = (member % LANES_PER_WORD) * 4;
+        let state = ((row[col] >> shift) & 0b11) as u32;
+        let entry = (flags >> (((state << 1) | u32::from(taken)) * 4)) & 0b111;
+        row[col] = (row[col] & !(0xFu64 << shift)) | (u64::from(entry & 0b11) << shift);
+        *count += u64::from((entry & 0b100 != 0) == taken);
+    }
+}
+
+/// `std::arch` widenings of the SWAR body — the crate's sole sanctioned
+/// `unsafe` (see the crate-root lint note). Both bodies compute exactly
+/// the portable algebra on 2 (`SSE2`) or 4 (`AVX2`) columns per vector
+/// op, with a portable tail; all pointer arithmetic derives from slices
+/// whose lengths are asserted up front.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    #![allow(unsafe_code)]
+
+    use std::arch::x86_64::{
+        __m128i, __m256i, _mm256_add_epi64, _mm256_and_si256, _mm256_loadu_si256,
+        _mm256_set1_epi64x, _mm256_slli_epi64, _mm256_srli_epi64, _mm256_storeu_si256,
+        _mm256_sub_epi64, _mm256_xor_si256, _mm_add_epi64, _mm_and_si128, _mm_loadu_si128,
+        _mm_set1_epi64x, _mm_slli_epi64, _mm_srli_epi64, _mm_storeu_si128, _mm_sub_epi64,
+        _mm_xor_si128,
+    };
+
+    use super::{step_col_swar, NIBBLE_LO, NIBBLE_STATE};
+
+    /// Safe wrapper: SSE2 is part of the x86_64 baseline, so the
+    /// `target_feature` body is always callable here.
+    pub(super) fn step_row_sse2_dyn(
+        row: &mut [u64],
+        ct: &[u64],
+        pred_occ: &[u64],
+        not_taken: u64,
+        acc: &mut [u64],
+    ) {
+        unsafe { step_row_sse2(row, ct, pred_occ, not_taken, acc) }
+    }
+
+    /// Safe wrapper with defense-in-depth feature re-check (a cached
+    /// atomic load): kernel resolution already verified AVX2, but a
+    /// mis-routed call degrades to the portable body instead of UB.
+    pub(super) fn step_row_avx2_dyn(
+        row: &mut [u64],
+        ct: &[u64],
+        pred_occ: &[u64],
+        not_taken: u64,
+        acc: &mut [u64],
+    ) {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            unsafe { step_row_avx2(row, ct, pred_occ, not_taken, acc) }
+        } else {
+            super::step_row_swar(row, ct, pred_occ, not_taken, acc);
+        }
+    }
+
+    #[inline]
+    fn load2(slice: &[u64], at: usize) -> __m128i {
+        let pair: &[u64] = &slice[at..at + 2];
+        // SAFETY: `pair` is a live, bounds-checked &[u64] of length 2 —
+        // 16 readable bytes; `loadu` has no alignment requirement.
+        unsafe { _mm_loadu_si128(pair.as_ptr().cast()) }
+    }
+
+    #[inline]
+    fn store2(slice: &mut [u64], at: usize, value: __m128i) {
+        let pair: &mut [u64] = &mut slice[at..at + 2];
+        // SAFETY: as `load2`, writable.
+        unsafe { _mm_storeu_si128(pair.as_mut_ptr().cast(), value) }
+    }
+
+    #[inline]
+    fn load4(slice: &[u64], at: usize) -> __m256i {
+        let quad: &[u64] = &slice[at..at + 4];
+        // SAFETY: bounds-checked 32 readable bytes, unaligned load.
+        unsafe { _mm256_loadu_si256(quad.as_ptr().cast()) }
+    }
+
+    #[inline]
+    fn store4(slice: &mut [u64], at: usize, value: __m256i) {
+        let quad: &mut [u64] = &mut slice[at..at + 4];
+        // SAFETY: as `load4`, writable.
+        unsafe { _mm256_storeu_si256(quad.as_mut_ptr().cast(), value) }
+    }
+
+    /// # Safety
+    ///
+    /// Requires SSE2 (always present on x86_64).
+    #[target_feature(enable = "sse2")]
+    unsafe fn step_row_sse2(
+        row: &mut [u64],
+        ct: &[u64],
+        pred_occ: &[u64],
+        not_taken: u64,
+        acc: &mut [u64],
+    ) {
+        let cols = row.len();
+        assert_eq!(ct.len(), 4 * cols, "coefficients per column");
+        assert_eq!(pred_occ.len(), cols, "occupancy per column");
+        assert_eq!(acc.len(), cols, "accumulator per column");
+        let lane = _mm_set1_epi64x(NIBBLE_LO as i64);
+        let state_mask = _mm_set1_epi64x(NIBBLE_STATE as i64);
+        let nt = _mm_set1_epi64x(not_taken as i64);
+        let mut col = 0;
+        while col + 2 <= cols {
+            let w = load2(row, col);
+            let lo = _mm_and_si128(w, lane);
+            let hi = _mm_and_si128(_mm_srli_epi64(w, 1), lane);
+            let hl = _mm_and_si128(hi, lo);
+            // x * 7 == (x << 3) - x, dodging the missing 64-bit multiply.
+            let sp_lo = _mm_sub_epi64(_mm_slli_epi64(lo, 3), lo);
+            let sp_hi = _mm_sub_epi64(_mm_slli_epi64(hi, 3), hi);
+            let sp_hl = _mm_sub_epi64(_mm_slli_epi64(hl, 3), hl);
+            let out = _mm_xor_si128(
+                _mm_xor_si128(load2(ct, col), _mm_and_si128(load2(ct, cols + col), sp_lo)),
+                _mm_xor_si128(
+                    _mm_and_si128(load2(ct, 2 * cols + col), sp_hi),
+                    _mm_and_si128(load2(ct, 3 * cols + col), sp_hl),
+                ),
+            );
+            store2(row, col, _mm_and_si128(out, state_mask));
+            let occ = load2(pred_occ, col);
+            let correct =
+                _mm_srli_epi64(_mm_xor_si128(_mm_and_si128(out, occ), _mm_and_si128(occ, nt)), 2);
+            store2(acc, col, _mm_add_epi64(load2(acc, col), correct));
+            col += 2;
+        }
+        while col < cols {
+            step_col_swar(row, ct, pred_occ, not_taken, acc, cols, col);
+            col += 1;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2 (checked by the caller).
+    #[target_feature(enable = "avx2")]
+    unsafe fn step_row_avx2(
+        row: &mut [u64],
+        ct: &[u64],
+        pred_occ: &[u64],
+        not_taken: u64,
+        acc: &mut [u64],
+    ) {
+        let cols = row.len();
+        assert_eq!(ct.len(), 4 * cols, "coefficients per column");
+        assert_eq!(pred_occ.len(), cols, "occupancy per column");
+        assert_eq!(acc.len(), cols, "accumulator per column");
+        let lane = _mm256_set1_epi64x(NIBBLE_LO as i64);
+        let state_mask = _mm256_set1_epi64x(NIBBLE_STATE as i64);
+        let nt = _mm256_set1_epi64x(not_taken as i64);
+        let mut col = 0;
+        while col + 4 <= cols {
+            let w = load4(row, col);
+            let lo = _mm256_and_si256(w, lane);
+            let hi = _mm256_and_si256(_mm256_srli_epi64(w, 1), lane);
+            let hl = _mm256_and_si256(hi, lo);
+            let sp_lo = _mm256_sub_epi64(_mm256_slli_epi64(lo, 3), lo);
+            let sp_hi = _mm256_sub_epi64(_mm256_slli_epi64(hi, 3), hi);
+            let sp_hl = _mm256_sub_epi64(_mm256_slli_epi64(hl, 3), hl);
+            let out = _mm256_xor_si256(
+                _mm256_xor_si256(load4(ct, col), _mm256_and_si256(load4(ct, cols + col), sp_lo)),
+                _mm256_xor_si256(
+                    _mm256_and_si256(load4(ct, 2 * cols + col), sp_hi),
+                    _mm256_and_si256(load4(ct, 3 * cols + col), sp_hl),
+                ),
+            );
+            store4(row, col, _mm256_and_si256(out, state_mask));
+            let occ = load4(pred_occ, col);
+            let correct = _mm256_srli_epi64(
+                _mm256_xor_si256(_mm256_and_si256(out, occ), _mm256_and_si256(occ, nt)),
+                2,
+            );
+            store4(acc, col, _mm256_add_epi64(load4(acc, col), correct));
+            col += 4;
+        }
+        while col < cols {
+            step_col_swar(row, ct, pred_occ, not_taken, acc, cols, col);
+            col += 1;
+        }
+    }
+}
+
+/// A lane-transposed bank of equally-sized [`PackedPht`]s for the SWAR
+/// replay kernel: 4-bit lanes, 16 members per `u64`, one (or a few)
+/// words per table *row* — the dual of [`PackedPhtBank`]'s member-major
+/// interleave. A replayed event touches `ceil(members / 16)` words
+/// instead of one word per member, and one round of bit-sliced logic
+/// steps all 16 lanes of a word at once.
+///
+/// Patterns index rows *masked to the bank's width*
+/// (`pattern & (2^k - 1)`). Because a k-bit history register's content
+/// is exactly the low k bits of any wider register fed the same
+/// outcomes, a stream derived at width `K >= k` replays a width-k bank
+/// bit-identically — the width-fold contract the engine's transposed
+/// sweep lowering builds on (pinned by `tests/differential.rs`).
+///
+/// Prediction *counting* is bit-sliced too: bit 2 of each advanced
+/// nibble (λ of the pre-update state, xored with the event's direction)
+/// lands in a per-column nibble accumulator, flushed to 64-bit
+/// per-member counters every [`ACC_FLUSH_EVENTS`] events.
+#[derive(Debug)]
+pub struct TransposedPhtBank {
+    history_bits: u32,
+    row_mask: usize,
+    kernel: BankKernel,
+    words: Vec<u64>,
+    acc: Vec<u64>,
+    counts: Vec<u64>,
+}
+
+impl std::fmt::Debug for BankKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BankKernel")
+            .field("members", &self.members)
+            .field("cols", &self.cols)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TransposedPhtBank {
+    /// Transposes `tables` into a bank, preserving every member's
+    /// current per-entry state (preset GSg/PSg assemblies included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables` is empty or its members disagree on
+    /// `history_bits`.
+    #[must_use]
+    pub fn new(tables: &[PackedPht]) -> Self {
+        let first = tables.first().expect("a bank needs at least one member");
+        assert!(
+            tables.iter().all(|t| t.history_bits == first.history_bits),
+            "bank members must share one table geometry"
+        );
+        let rows = 1usize << first.history_bits;
+        let kernel = BankKernel::new(tables);
+        let words = transpose_states(tables, rows, kernel.cols);
+        let acc = vec![0u64; kernel.cols];
+        let counts = vec![0u64; kernel.members];
+        TransposedPhtBank {
+            history_bits: first.history_bits,
+            row_mask: rows - 1,
+            kernel,
+            words,
+            acc,
+            counts,
+        }
+    }
+
+    /// The history-register length `k` every member is sized for.
+    #[must_use]
+    pub fn history_bits(&self) -> u32 {
+        self.history_bits
+    }
+
+    /// Number of member tables.
+    #[must_use]
+    pub fn members(&self) -> usize {
+        self.kernel.members
+    }
+
+    /// Replays a block of packed `pattern << 1 | taken` events (patterns
+    /// masked to the bank's width, see the type docs) through every
+    /// member, adding each member's correct predictions to its
+    /// [`TransposedPhtBank::counts`] slot. `mode` picks the kernel body;
+    /// every body is bit-identical.
+    pub fn replay(&mut self, events: &[u32], mode: SimdMode) {
+        match mode.kernel() {
+            Kernel::Scalar => self.replay_scalar(events),
+            _ if self.kernel.cols == 1 => self.replay_swar1(events),
+            Kernel::Swar => self.replay_bitsliced(events, step_row_swar),
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Sse2 => self.replay_bitsliced(events, x86::step_row_sse2_dyn),
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx2 => self.replay_bitsliced(events, x86::step_row_avx2_dyn),
+            #[cfg(not(target_arch = "x86_64"))]
+            Kernel::Sse2 | Kernel::Avx2 => self.replay_bitsliced(events, step_row_swar),
+        }
+    }
+
+    /// Per-member correct-prediction counts accumulated by
+    /// [`TransposedPhtBank::replay`] so far, in member order.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The current state of `member`'s entry for `pattern`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` or `member` is out of range.
+    #[must_use]
+    pub fn state(&self, pattern: usize, member: usize) -> State {
+        assert!(pattern <= self.row_mask, "pattern {pattern} out of range");
+        assert!(member < self.kernel.members, "member {member} out of range");
+        let word = self.words[pattern * self.kernel.cols + member / LANES_PER_WORD];
+        State::new(((word >> ((member % LANES_PER_WORD) * 4)) & 0b11) as u8)
+    }
+
+    /// The hot shape — every real batch has ≤ 16 same-width members, so
+    /// the whole bank is one word per row and the column loop, slicing
+    /// and per-column accumulator indexing all collapse.
+    fn replay_swar1(&mut self, events: &[u32]) {
+        debug_assert_eq!(self.kernel.cols, 1);
+        let occ = self.kernel.pred_occ[0];
+        let coeff: [u64; 8] = self.kernel.coeff[..8].try_into().expect("2 directions × 4");
+        for chunk in events.chunks(ACC_FLUSH_EVENTS) {
+            let mut acc = 0u64;
+            for &event in chunk {
+                let pattern = (event >> 1) as usize & self.row_mask;
+                let not_taken = u64::from(event & 1).wrapping_sub(1);
+                let ct = (event as usize & 1) * 4;
+                let w = self.words[pattern];
+                let lo = w & NIBBLE_LO;
+                let hi = (w >> 1) & NIBBLE_LO;
+                let hl = hi & lo;
+                let out = coeff[ct]
+                    ^ (coeff[ct + 1] & lo.wrapping_mul(7))
+                    ^ (coeff[ct + 2] & hi.wrapping_mul(7))
+                    ^ (coeff[ct + 3] & hl.wrapping_mul(7));
+                self.words[pattern] = out & NIBBLE_STATE;
+                acc += ((out & occ) ^ (occ & not_taken)) >> 2;
+            }
+            self.acc[0] = acc;
+            self.flush_acc();
+        }
+    }
+
+    /// The general multi-column bit-sliced walk, parameterized over a
+    /// row-step body (portable / SSE2 / AVX2).
+    fn replay_bitsliced(
+        &mut self,
+        events: &[u32],
+        step: impl Fn(&mut [u64], &[u64], &[u64], u64, &mut [u64]),
+    ) {
+        let cols = self.kernel.cols;
+        for chunk in events.chunks(ACC_FLUSH_EVENTS) {
+            for &event in chunk {
+                let pattern = (event >> 1) as usize & self.row_mask;
+                let not_taken = u64::from(event & 1).wrapping_sub(1);
+                let base = pattern * cols;
+                let ct = &self.kernel.coeff[(event as usize & 1) * 4 * cols..][..4 * cols];
+                step(
+                    &mut self.words[base..base + cols],
+                    ct,
+                    &self.kernel.pred_occ,
+                    not_taken,
+                    &mut self.acc,
+                );
+            }
+            self.flush_acc();
+        }
+    }
+
+    fn replay_scalar(&mut self, events: &[u32]) {
+        let cols = self.kernel.cols;
+        for &event in events {
+            let pattern = (event >> 1) as usize & self.row_mask;
+            let base = pattern * cols;
+            step_row_scalar(
+                &mut self.words[base..base + cols],
+                &self.kernel.luts,
+                event & 1 != 0,
+                &mut self.counts,
+            );
+        }
+    }
+
+    fn flush_acc(&mut self) {
+        for (member, count) in self.counts.iter_mut().enumerate() {
+            *count += (self.acc[member / LANES_PER_WORD] >> ((member % LANES_PER_WORD) * 4)) & 0xF;
+        }
+        self.acc.fill(0);
+    }
+}
+
+/// [`TransposedPhtBank`] for per-address second levels (PAp): one
+/// transposed table per stream *lane*, materialized from the members'
+/// template states on a lane's first event — behaviorally identical to
+/// per-lane [`PackedPht`] clones, sharing one kernel, one accumulator
+/// and one counter set across lanes.
+#[derive(Debug)]
+pub struct TransposedLanePhtBank {
+    history_bits: u32,
+    row_mask: usize,
+    kernel: BankKernel,
+    template: Vec<u64>,
+    lanes: Vec<Vec<u64>>,
+    acc: Vec<u64>,
+    counts: Vec<u64>,
+}
+
+impl TransposedLanePhtBank {
+    /// Builds a lane bank whose per-lane tables start from the members'
+    /// current states in `templates`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `templates` is empty or its members disagree on
+    /// `history_bits`.
+    #[must_use]
+    pub fn new(templates: &[PackedPht]) -> Self {
+        let first = templates.first().expect("a bank needs at least one member");
+        assert!(
+            templates.iter().all(|t| t.history_bits == first.history_bits),
+            "bank members must share one table geometry"
+        );
+        let rows = 1usize << first.history_bits;
+        let kernel = BankKernel::new(templates);
+        let template = transpose_states(templates, rows, kernel.cols);
+        let acc = vec![0u64; kernel.cols];
+        let counts = vec![0u64; kernel.members];
+        TransposedLanePhtBank {
+            history_bits: first.history_bits,
+            row_mask: rows - 1,
+            kernel,
+            template,
+            lanes: Vec::new(),
+            acc,
+            counts,
+        }
+    }
+
+    /// The history-register length `k` every member is sized for.
+    #[must_use]
+    pub fn history_bits(&self) -> u32 {
+        self.history_bits
+    }
+
+    /// Number of member tables (per lane).
+    #[must_use]
+    pub fn members(&self) -> usize {
+        self.kernel.members
+    }
+
+    /// Replays a block of events with their per-event lane selectors
+    /// (patterns masked to the bank's width, as in
+    /// [`TransposedPhtBank::replay`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events` and `lanes` differ in length.
+    pub fn replay(&mut self, events: &[u32], lanes: &[u32], mode: SimdMode) {
+        assert_eq!(events.len(), lanes.len(), "one lane selector per event");
+        match mode.kernel() {
+            Kernel::Scalar => self.replay_scalar(events, lanes),
+            _ if self.kernel.cols == 1 => self.replay_swar1(events, lanes),
+            Kernel::Swar => self.replay_bitsliced(events, lanes, step_row_swar),
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Sse2 => self.replay_bitsliced(events, lanes, x86::step_row_sse2_dyn),
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx2 => self.replay_bitsliced(events, lanes, x86::step_row_avx2_dyn),
+            #[cfg(not(target_arch = "x86_64"))]
+            Kernel::Sse2 | Kernel::Avx2 => self.replay_bitsliced(events, lanes, step_row_swar),
+        }
+    }
+
+    /// Per-member correct-prediction counts accumulated so far.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Ensures `lane`'s table exists (cloned from the template on first
+    /// touch).
+    #[inline]
+    fn lane_table(&mut self, lane: usize) {
+        if lane >= self.lanes.len() {
+            self.lanes.resize_with(lane + 1, Vec::new);
+        }
+        let table = &mut self.lanes[lane];
+        if table.is_empty() {
+            table.extend_from_slice(&self.template);
+        }
+    }
+
+    fn replay_swar1(&mut self, events: &[u32], lanes: &[u32]) {
+        debug_assert_eq!(self.kernel.cols, 1);
+        let occ = self.kernel.pred_occ[0];
+        let coeff: [u64; 8] = self.kernel.coeff[..8].try_into().expect("2 directions × 4");
+        for (echunk, lchunk) in events.chunks(ACC_FLUSH_EVENTS).zip(lanes.chunks(ACC_FLUSH_EVENTS))
+        {
+            let mut acc = 0u64;
+            for (&event, &lane) in echunk.iter().zip(lchunk) {
+                let pattern = (event >> 1) as usize & self.row_mask;
+                let not_taken = u64::from(event & 1).wrapping_sub(1);
+                let ct = (event as usize & 1) * 4;
+                self.lane_table(lane as usize);
+                let table = &mut self.lanes[lane as usize];
+                let w = table[pattern];
+                let lo = w & NIBBLE_LO;
+                let hi = (w >> 1) & NIBBLE_LO;
+                let hl = hi & lo;
+                let out = coeff[ct]
+                    ^ (coeff[ct + 1] & lo.wrapping_mul(7))
+                    ^ (coeff[ct + 2] & hi.wrapping_mul(7))
+                    ^ (coeff[ct + 3] & hl.wrapping_mul(7));
+                table[pattern] = out & NIBBLE_STATE;
+                acc += ((out & occ) ^ (occ & not_taken)) >> 2;
+            }
+            self.acc[0] = acc;
+            self.flush_acc();
+        }
+    }
+
+    fn replay_bitsliced(
+        &mut self,
+        events: &[u32],
+        lanes: &[u32],
+        step: impl Fn(&mut [u64], &[u64], &[u64], u64, &mut [u64]),
+    ) {
+        let cols = self.kernel.cols;
+        for (echunk, lchunk) in events.chunks(ACC_FLUSH_EVENTS).zip(lanes.chunks(ACC_FLUSH_EVENTS))
+        {
+            for (&event, &lane) in echunk.iter().zip(lchunk) {
+                let pattern = (event >> 1) as usize & self.row_mask;
+                let not_taken = u64::from(event & 1).wrapping_sub(1);
+                let base = pattern * cols;
+                let direction = event as usize & 1;
+                self.lane_table(lane as usize);
+                let table = &mut self.lanes[lane as usize];
+                let ct = &self.kernel.coeff[direction * 4 * cols..][..4 * cols];
+                step(
+                    &mut table[base..base + cols],
+                    ct,
+                    &self.kernel.pred_occ,
+                    not_taken,
+                    &mut self.acc,
+                );
+            }
+            self.flush_acc();
+        }
+    }
+
+    fn replay_scalar(&mut self, events: &[u32], lanes: &[u32]) {
+        let cols = self.kernel.cols;
+        for (&event, &lane) in events.iter().zip(lanes) {
+            let pattern = (event >> 1) as usize & self.row_mask;
+            let taken = event & 1 != 0;
+            let base = pattern * cols;
+            self.lane_table(lane as usize);
+            let table = &mut self.lanes[lane as usize];
+            step_row_scalar(
+                &mut table[base..base + cols],
+                &self.kernel.luts,
+                taken,
+                &mut self.counts,
+            );
+        }
+    }
+
+    fn flush_acc(&mut self) {
+        for (member, count) in self.counts.iter_mut().enumerate() {
+            *count += (self.acc[member / LANES_PER_WORD] >> ((member % LANES_PER_WORD) * 4)) & 0xF;
+        }
+        self.acc.fill(0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -624,5 +1314,191 @@ mod tests {
     fn packed_pht_state_rejects_out_of_range_pattern() {
         let packed = PackedPht::new(2, Automaton::A2);
         let _ = packed.state(4);
+    }
+
+    const EVERY_MODE: [SimdMode; 5] =
+        [SimdMode::Auto, SimdMode::Swar, SimdMode::Scalar, SimdMode::Sse2, SimdMode::Avx2];
+
+    fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+        let mut rng = seed;
+        move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        }
+    }
+
+    /// Random packed events whose patterns span `pattern_bits` (possibly
+    /// wider than the bank under test, exercising the width fold).
+    fn random_events(pattern_bits: u32, count: usize, seed: u64) -> Vec<u32> {
+        let mut next = xorshift(seed);
+        (0..count)
+            .map(|_| {
+                let r = next();
+                ((r as u32 >> 8) & ((1 << pattern_bits) - 1)) << 1 | (r as u32 & 1)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn transposed_bank_matches_packed_tables_on_random_walks() {
+        // Mixed automata, width 6; events carry width-8 patterns so the
+        // walk also exercises the bank's width fold (mask to 6 bits).
+        let mut tables: Vec<PackedPht> =
+            Automaton::ALL.iter().map(|&automaton| PackedPht::new(6, automaton)).collect();
+        let events = random_events(8, 5000, 0x2545_f491_4f6c_dd1d);
+        for mode in EVERY_MODE {
+            let mut bank = TransposedPhtBank::new(&tables);
+            assert_eq!(bank.members(), tables.len());
+            assert_eq!(bank.history_bits(), 6);
+            bank.replay(&events, mode);
+            let mut reference = vec![0u64; tables.len()];
+            let mut shadow: Vec<PackedPht> = tables.clone();
+            for &event in &events {
+                let pattern = (event >> 1) as usize & 0b11_1111;
+                let taken = event & 1 != 0;
+                for (member, table) in shadow.iter_mut().enumerate() {
+                    reference[member] += u64::from(table.predict_update(pattern, taken) == taken);
+                }
+            }
+            assert_eq!(bank.counts(), &reference[..], "{mode:?} counts diverged");
+            for (member, table) in shadow.iter().enumerate() {
+                for pattern in 0..table.len() {
+                    assert_eq!(
+                        bank.state(pattern, member),
+                        table.state(pattern),
+                        "{mode:?} member {member} pattern {pattern}"
+                    );
+                }
+            }
+        }
+        // Presets survive transposition: rebuild member 0 as a preset
+        // table and confirm the initial states round-trip.
+        let mut preset = PatternHistoryTable::new(6, Automaton::PresetBit);
+        for pattern in 0..preset.len() {
+            preset.set_state(pattern, State::new(u8::from(pattern % 3 == 0)));
+        }
+        tables[0] = PackedPht::from_table(&preset);
+        let bank = TransposedPhtBank::new(&tables);
+        for pattern in 0..preset.len() {
+            assert_eq!(bank.state(pattern, 0), preset.state(pattern));
+        }
+    }
+
+    #[test]
+    fn transposed_bank_exhaustive_transitions_match_the_automata() {
+        // Every (automaton, valid state, direction) transition input,
+        // stepped one event at a time through a one-member bank under
+        // every kernel body.
+        for automaton in Automaton::ALL {
+            for state in 0..automaton.state_count() {
+                let state = State::new(state);
+                if !automaton.is_valid_state(state) {
+                    continue;
+                }
+                for taken in [false, true] {
+                    for mode in EVERY_MODE {
+                        let mut table = PackedPht::new(1, automaton);
+                        table.set_state(0, state);
+                        table.set_state(1, state);
+                        let mut bank = TransposedPhtBank::new(&[table.clone()]);
+                        let event = u32::from(taken);
+                        bank.replay(&[event], mode);
+                        let predicted = table.predict_update(0, taken);
+                        assert_eq!(
+                            bank.state(0, 0),
+                            table.state(0),
+                            "{automaton} {state} taken={taken} {mode:?}: next state"
+                        );
+                        assert_eq!(
+                            bank.counts()[0],
+                            u64::from(predicted == taken),
+                            "{automaton} {state} taken={taken} {mode:?}: correctness"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_bank_wide_membership_spans_words() {
+        // 40 members = 3 columns: the SSE2 pair loop, the AVX2 quad loop
+        // and both portable tails all run.
+        let tables: Vec<PackedPht> =
+            (0..40).map(|i| PackedPht::new(5, Automaton::ALL[i % Automaton::ALL.len()])).collect();
+        let events = random_events(5, 3000, 0x9e37_79b9_7f4a_7c15);
+        let reference = {
+            let mut bank = TransposedPhtBank::new(&tables);
+            bank.replay(&events, SimdMode::Scalar);
+            bank.counts().to_vec()
+        };
+        assert!(reference.iter().all(|&c| c > 0), "walk long enough to count");
+        for mode in EVERY_MODE {
+            let mut bank = TransposedPhtBank::new(&tables);
+            bank.replay(&events, mode);
+            assert_eq!(bank.counts(), &reference[..], "{mode:?} diverged on a 3-column bank");
+        }
+    }
+
+    #[test]
+    fn transposed_lane_bank_matches_per_lane_packed_tables() {
+        let templates: Vec<PackedPht> =
+            Automaton::ALL.iter().map(|&automaton| PackedPht::new(4, automaton)).collect();
+        let mut next = xorshift(0x0123_4567_89ab_cdef);
+        let mut events = Vec::new();
+        let mut lanes = Vec::new();
+        for _ in 0..4000 {
+            let r = next();
+            // Width-6 patterns against width-4 banks: fold in play.
+            events.push(((r as u32 >> 8) & 0b11_1111) << 1 | (r as u32 & 1));
+            lanes.push((r >> 40) as u32 % 7);
+        }
+        let mut reference = vec![0u64; templates.len()];
+        let mut shadow: Vec<Vec<PackedPht>> = Vec::new();
+        for (&event, &lane) in events.iter().zip(&lanes) {
+            let lane = lane as usize;
+            if lane >= shadow.len() {
+                shadow.resize_with(lane + 1, || templates.clone());
+            }
+            let pattern = (event >> 1) as usize & 0b1111;
+            let taken = event & 1 != 0;
+            for (member, table) in shadow[lane].iter_mut().enumerate() {
+                reference[member] += u64::from(table.predict_update(pattern, taken) == taken);
+            }
+        }
+        for mode in EVERY_MODE {
+            let mut bank = TransposedLanePhtBank::new(&templates);
+            assert_eq!(bank.members(), templates.len());
+            assert_eq!(bank.history_bits(), 4);
+            bank.replay(&events, &lanes, mode);
+            assert_eq!(bank.counts(), &reference[..], "{mode:?} lane counts diverged");
+        }
+    }
+
+    #[test]
+    fn transposed_replay_accumulates_across_blocks() {
+        // Splitting the event stream into arbitrary replay() calls must
+        // not change the result (the engine feeds blocks).
+        let tables: Vec<PackedPht> =
+            Automaton::FIGURE5.iter().map(|&automaton| PackedPht::new(6, automaton)).collect();
+        let events = random_events(6, 2048, 0xdead_beef_cafe_f00d);
+        let mut whole = TransposedPhtBank::new(&tables);
+        whole.replay(&events, SimdMode::Swar);
+        let mut split = TransposedPhtBank::new(&tables);
+        for block in events.chunks(97) {
+            split.replay(block, SimdMode::Swar);
+        }
+        assert_eq!(whole.counts(), split.counts());
+    }
+
+    #[test]
+    #[should_panic(expected = "share one table geometry")]
+    fn transposed_bank_rejects_mixed_geometries() {
+        let _ = TransposedPhtBank::new(&[
+            PackedPht::new(6, Automaton::A2),
+            PackedPht::new(8, Automaton::A2),
+        ]);
     }
 }

@@ -1,0 +1,168 @@
+//! Kernel selection for the transposed replay path.
+//!
+//! The transposed pattern-history bank ([`crate::pht::TransposedPhtBank`])
+//! carries one bit-sliced SWAR kernel in three bodies: a portable `u64`
+//! implementation, `std::arch` SSE2/AVX2 widenings of the same algebra,
+//! and a scalar per-member reference loop in the identical transposed
+//! layout. All four are bit-identical by construction (and pinned so by
+//! `tests/differential.rs`); [`SimdMode`] picks which one runs.
+//!
+//! The mode comes from the `TLABP_SIMD` environment variable:
+//!
+//! * `auto` (default) — runtime feature detection: AVX2 if the CPU has
+//!   it, else SSE2, else the portable `u64` SWAR body. On non-x86_64
+//!   targets `auto` is always the portable body.
+//! * `swar` — force the portable `u64` body, bypassing `std::arch`.
+//! * `scalar` — force the per-member scalar reference loop.
+//! * `sse2` / `avx2` — force one `std::arch` body (differential testing
+//!   of the vector paths); silently falls back to the portable body when
+//!   the CPU or target lacks the feature, so a forced run is always
+//!   well-defined.
+//!
+//! Detection is per *use*, not per process: a forced mode handed through
+//! an API (e.g. `ExecOptions::simd`) overrides the environment, which is
+//! how the in-process differential suites pin each body without racing
+//! on environment mutation.
+
+use std::sync::OnceLock;
+
+/// Which body of the transposed replay kernel to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SimdMode {
+    /// Runtime feature detection: the widest available vector body.
+    #[default]
+    Auto,
+    /// The portable `u64` SWAR body, no `std::arch`.
+    Swar,
+    /// The scalar per-member reference loop (transposed layout, no
+    /// bit-slicing) — the differential baseline.
+    Scalar,
+    /// Force the SSE2 body (falls back to `Swar` off x86_64).
+    Sse2,
+    /// Force the AVX2 body (falls back to `Swar` when unavailable).
+    Avx2,
+}
+
+impl SimdMode {
+    /// Parses a `TLABP_SIMD` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized value: a forced kernel that silently
+    /// decayed to `auto` would invalidate the differential run that
+    /// asked for it.
+    #[must_use]
+    pub fn parse(value: &str) -> SimdMode {
+        match value.to_ascii_lowercase().as_str() {
+            "auto" => SimdMode::Auto,
+            "swar" => SimdMode::Swar,
+            "scalar" => SimdMode::Scalar,
+            "sse2" => SimdMode::Sse2,
+            "avx2" => SimdMode::Avx2,
+            other => panic!("TLABP_SIMD={other:?}: expected auto|swar|scalar|sse2|avx2"),
+        }
+    }
+
+    /// The mode selected by the `TLABP_SIMD` environment variable
+    /// (default [`SimdMode::Auto`]), read once per process.
+    ///
+    /// # Panics
+    ///
+    /// See [`SimdMode::parse`].
+    #[must_use]
+    pub fn from_env() -> SimdMode {
+        static MODE: OnceLock<SimdMode> = OnceLock::new();
+        *MODE.get_or_init(|| match std::env::var("TLABP_SIMD") {
+            Ok(value) => SimdMode::parse(&value),
+            Err(_) => SimdMode::Auto,
+        })
+    }
+
+    /// Resolves the mode to the kernel body that will actually run on
+    /// this machine.
+    #[must_use]
+    pub(crate) fn kernel(self) -> Kernel {
+        match self {
+            SimdMode::Scalar => Kernel::Scalar,
+            SimdMode::Swar => Kernel::Swar,
+            SimdMode::Sse2 => {
+                if cfg!(target_arch = "x86_64") {
+                    Kernel::Sse2
+                } else {
+                    Kernel::Swar
+                }
+            }
+            SimdMode::Avx2 => {
+                if avx2_available() {
+                    Kernel::Avx2
+                } else {
+                    Kernel::Swar
+                }
+            }
+            SimdMode::Auto => {
+                if avx2_available() {
+                    Kernel::Avx2
+                } else if cfg!(target_arch = "x86_64") {
+                    Kernel::Sse2
+                } else {
+                    Kernel::Swar
+                }
+            }
+        }
+    }
+}
+
+/// A concrete kernel body (post feature detection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Kernel {
+    Scalar,
+    Swar,
+    Sse2,
+    Avx2,
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn avx2_available() -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_every_documented_value() {
+        assert_eq!(SimdMode::parse("auto"), SimdMode::Auto);
+        assert_eq!(SimdMode::parse("SWAR"), SimdMode::Swar);
+        assert_eq!(SimdMode::parse("scalar"), SimdMode::Scalar);
+        assert_eq!(SimdMode::parse("sse2"), SimdMode::Sse2);
+        assert_eq!(SimdMode::parse("Avx2"), SimdMode::Avx2);
+    }
+
+    #[test]
+    #[should_panic(expected = "TLABP_SIMD")]
+    fn parse_rejects_unknown_values() {
+        let _ = SimdMode::parse("avx512");
+    }
+
+    #[test]
+    fn forced_modes_resolve_to_a_runnable_kernel() {
+        // Whatever the host, every mode must land on some body; the
+        // bit-identity of the bodies makes the fallback inconsequential.
+        for mode in
+            [SimdMode::Auto, SimdMode::Swar, SimdMode::Scalar, SimdMode::Sse2, SimdMode::Avx2]
+        {
+            let kernel = mode.kernel();
+            if mode == SimdMode::Scalar {
+                assert_eq!(kernel, Kernel::Scalar);
+            } else if mode == SimdMode::Swar {
+                assert_eq!(kernel, Kernel::Swar);
+            }
+        }
+    }
+}

@@ -28,14 +28,18 @@
 //! **replay** — the automaton-ablation sweep (every Figure 5 automaton
 //! on PAg(12) plus the PSg(12) preset second level, all sharing the
 //! paper-default `BHT(512,4,12)` first level, on every benchmark),
-//! measured two ways:
+//! measured three ways:
 //!
 //! * **fused** — replay disabled: every job re-walks the shared BHT
 //!   inside its fused batch (the PR 3 path, this section's baseline);
-//! * **replay** — the default lowering, which materializes the
-//!   first-level pattern stream once per benchmark and replays each
-//!   job's bit-packed second level over it
-//!   ([`tlabp_sim::runner::simulate_replay`]).
+//! * **replay scalar** — the transposed replay lowering forced onto the
+//!   scalar per-member kernel body
+//!   ([`tlabp_core::SimdMode::Scalar`]): one stream walk for the
+//!   whole batch, no bit-slicing — the PR 4-equivalent path;
+//! * **replay** — the default lowering: the same single stream walk
+//!   through the bit-sliced SWAR/`std::arch` kernel
+//!   ([`tlabp_sim::runner::simulate_replay_transposed`]), body chosen
+//!   by `TLABP_SIMD` (default: runtime feature detection).
 //!
 //! **cold_start** — trace *ingestion* rather than simulation: VM
 //! generation plus form derivation for the ablation plan, measured lazy
@@ -61,7 +65,8 @@ use std::time::Instant;
 
 use tlabp_core::automaton::Automaton;
 use tlabp_core::config::SchemeConfig;
-use tlabp_sim::engine::{execute, execute_on, prefetch_on};
+use tlabp_core::SimdMode;
+use tlabp_sim::engine::{execute, execute_on, execute_with, prefetch_on, ExecOptions};
 use tlabp_sim::plan::{Job, Plan};
 use tlabp_sim::report::Table;
 use tlabp_sim::runner::SimConfig;
@@ -316,14 +321,26 @@ fn replay_section(ctx: &Ctx, iterations: u32, threads: usize) -> String {
         let results = execute(&fused_plan, ctx.store());
         assert_eq!(results.len(), fused_plan.len());
     });
+    let scalar_secs = best_of(iterations, || {
+        let results = execute_with(
+            SweepPool::global(),
+            &replay_plan,
+            ctx.store(),
+            ExecOptions { simd: SimdMode::Scalar, ..ExecOptions::default() },
+        );
+        assert_eq!(results.len(), replay_plan.len());
+    });
     let replay_secs = best_of(iterations, || {
         let results = execute(&replay_plan, ctx.store());
         assert_eq!(results.len(), replay_plan.len());
     });
 
     let fused_eps = replay_predictions as f64 / fused_secs;
+    let scalar_eps = replay_predictions as f64 / scalar_secs;
     let replay_eps = replay_predictions as f64 / replay_secs;
+    let scalar_speedup = fused_secs / scalar_secs;
     let replay_speedup = fused_secs / replay_secs;
+    let simd_speedup = scalar_secs / replay_secs;
 
     let mut table = Table::new(vec![
         "mode".into(),
@@ -338,7 +355,13 @@ fn replay_section(ctx: &Ctx, iterations: u32, threads: usize) -> String {
         "1.00".into(),
     ]);
     table.push_row(vec![
-        format!("replay ({threads} threads)"),
+        format!("replay scalar ({threads} threads)"),
+        format!("{scalar_secs:.3}"),
+        format!("{scalar_eps:.0}"),
+        format!("{scalar_speedup:.2}"),
+    ]);
+    table.push_row(vec![
+        format!("replay simd ({threads} threads)"),
         format!("{replay_secs:.3}"),
         format!("{replay_eps:.0}"),
         format!("{replay_speedup:.2}"),
@@ -346,7 +369,7 @@ fn replay_section(ctx: &Ctx, iterations: u32, threads: usize) -> String {
     ctx.emit(
         "BENCH_replay_table",
         &format!(
-            "Pattern-stream replay: {} automaton ablations x {} benchmarks",
+            "Pattern-stream replay: {} automaton ablations x {} benchmarks (simd vs scalar: {simd_speedup:.2}x)",
             configs.len(),
             Benchmark::ALL.len()
         ),
@@ -360,7 +383,9 @@ fn replay_section(ctx: &Ctx, iterations: u32, threads: usize) -> String {
            \"jobs\": {n_jobs},\n    \
            \"measured_predictions\": {replay_predictions},\n    \
            \"fused\": {{ \"seconds\": {fused_secs:.6}, \"events_per_sec\": {fused_eps:.1} }},\n    \
+           \"replay_scalar\": {{ \"seconds\": {scalar_secs:.6}, \"events_per_sec\": {scalar_eps:.1} }},\n    \
            \"replay\": {{ \"seconds\": {replay_secs:.6}, \"events_per_sec\": {replay_eps:.1} }},\n    \
+           \"simd_speedup\": {simd_speedup:.3},\n    \
            \"speedup\": {replay_speedup:.3}\n  }}",
         n_configs = configs.len(),
         n_jobs = replay_plan.len(),
@@ -412,6 +437,9 @@ fn cold_start_section(ctx: &Ctx, iterations: u32, threads: usize) -> String {
 
     let prefetch_speedup = cold_serial_secs / prefetch_secs;
     let warm_speedup = cold_serial_secs / warm_disk_secs;
+    // The measured cores, recorded with the numbers: prefetch-vs-serial
+    // speedup is bounded by this, so the figure is meaningless without it.
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
 
     let mut table = Table::new(vec![
         "mode".into(),
@@ -436,7 +464,7 @@ fn cold_start_section(ctx: &Ctx, iterations: u32, threads: usize) -> String {
     ctx.emit(
         "BENCH_cold_start",
         &format!(
-            "Cold-start ingestion: {} benchmarks, {} disk-artifact bytes",
+            "Cold-start ingestion: {} benchmarks, {} disk-artifact bytes, {host_cores}-core host",
             Benchmark::ALL.len(),
             disk_bytes
         ),
@@ -446,6 +474,7 @@ fn cold_start_section(ctx: &Ctx, iterations: u32, threads: usize) -> String {
     format!(
         "  \"cold_start\": {{\n    \
            \"benchmark\": \"trace generation + derivation for the automaton-ablation plan\",\n    \
+           \"host_cores\": {host_cores},\n    \
            \"disk_artifact_bytes\": {disk_bytes},\n    \
            \"cold_serial\": {{ \"seconds\": {cold_serial_secs:.6} }},\n    \
            \"prefetch\": {{ \"seconds\": {prefetch_secs:.6}, \"speedup\": {prefetch_speedup:.3} }},\n    \

@@ -5,14 +5,21 @@
 //! ([`crate::plan`]) and "numbers came out" ([`ResultSet`]). Lowering
 //! picks one execution path per job:
 //!
-//! * **replay** — bit-packed second-level replay over a materialized
-//!   first-level pattern stream ([`crate::runner::simulate_replay`]);
-//!   chosen for fusion-eligible catalog schemes whose first level maps
-//!   to a [`StreamKey`]. The engine derives each (trace, key) stream
-//!   once ([`TraceStore::get_pattern_stream`]) and replays every
-//!   matching job's PHT over it — automaton ablations and same-geometry
-//!   scheme variants never re-walk the BHT. Bit-identical to every
-//!   other path and on by default; [`Job::replay`] opts a job out.
+//! * **replay** — transposed, SWAR-vectorized second-level replay over
+//!   a materialized first-level pattern stream
+//!   ([`crate::runner::simulate_replay_transposed`]); chosen for
+//!   fusion-eligible catalog schemes whose first level maps to a
+//!   [`StreamKey`]. Jobs group by the *width-erased* fold class of that
+//!   key ([`StreamKey::fold_key`]): an entire width × automaton grid
+//!   column shares one batch, the engine derives **one** stream per
+//!   (trace, fold class) — at the batch's widest member width
+//!   ([`TraceStore::get_pattern_stream`]) — and every member's
+//!   bit-sliced PHT bank updates in the same walk, each member masking
+//!   patterns down to its own width. Automaton ablations and width
+//!   variants alike never re-walk the BHT or even re-read the stream.
+//!   The kernel body is selectable ([`ExecOptions::simd`], default the
+//!   `TLABP_SIMD` environment variable). Bit-identical to every other
+//!   path and on by default; [`Job::replay`] opts a job out.
 //! * **packed** — monomorphized [`AnyPredictor`] over the packed
 //!   conditional-branch stream ([`crate::runner::simulate_packed`]);
 //!   chosen for catalog schemes whenever no context switches are
@@ -66,6 +73,7 @@ use tlabp_core::config::SchemeConfig;
 use tlabp_core::predictor::BranchPredictor;
 use tlabp_core::registry::{self, DynBuilder};
 use tlabp_core::schemes::Pag;
+use tlabp_core::simd::SimdMode;
 use tlabp_core::target_cache::{FetchOutcome, TargetCache};
 use tlabp_trace::{BranchClass, Trace};
 use tlabp_workloads::DataSet;
@@ -74,8 +82,8 @@ use crate::metrics::{BenchmarkAccuracy, FetchStats, MissBreakdown, SuiteResult};
 use crate::plan::{Job, MetricSet, Plan, PredictorSpec, TargetCacheSpec, TraceKey};
 use crate::pool::SweepPool;
 use crate::runner::{
-    replay_stream_key, simulate, simulate_fused, simulate_packed, simulate_replay_many, SimConfig,
-    SimResult, StreamKey,
+    replay_stream_key, simulate, simulate_fused, simulate_packed, simulate_replay_transposed,
+    FoldKey, SimConfig, SimResult, StreamKey,
 };
 use crate::suite::TraceStore;
 
@@ -229,11 +237,19 @@ pub struct ExecOptions {
     /// the slot's `OnceLock` — kept reachable as the cold-start benchmark
     /// baseline and for the determinism suite's prefetch-vs-lazy case.
     pub prefetch: bool,
+    /// Which body of the transposed replay kernel executes replay
+    /// batches. Defaults to the `TLABP_SIMD` environment variable
+    /// (itself defaulting to runtime feature detection); the bench
+    /// harness and the differential suites force specific bodies here
+    /// without mutating process environment. Every body is
+    /// bit-identical, so this is a throughput knob, never a results
+    /// knob.
+    pub simd: SimdMode,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { prefetch: true }
+        ExecOptions { prefetch: true, simd: SimdMode::from_env() }
     }
 }
 
@@ -280,58 +296,50 @@ pub fn execute_with(
         prefetch_lowered(pool, plan, &lowered, store);
     }
 
-    // Phase 2: resolve skips inline and partition runnable cells into
-    // replay groups (replay-lowered cells sharing a stream), fused
-    // trace-groups (fusible cells sharing a trace) and singleton cells.
-    // Groups form in first-seen plan order, so grouping is a pure
-    // function of the plan.
+    // Phase 2: resolve skips inline and partition runnable cells via the
+    // same pure [`partition_batches`] the prefetch pass used, so both
+    // phases agree — batch for batch — on which streams the plan needs.
+    let partition = partition_batches(&lowered);
     let mut slots: Vec<Option<JobOutcome>> = vec![None; plan.len()];
-    let mut singles: Vec<(usize, Cell)> = Vec::new();
-    let mut group_of: HashMap<(&'static str, DataSet), usize> = HashMap::new();
-    let mut groups: Vec<Vec<(usize, Cell)>> = Vec::new();
-    let mut replay_group_of: HashMap<(&'static str, DataSet, StreamKey), usize> = HashMap::new();
-    let mut replay_groups: Vec<Vec<(usize, Cell)>> = Vec::new();
-    for (index, low) in lowered.into_iter().enumerate() {
-        match low {
-            Lowered::Skip { reason } => slots[index] = Some(JobOutcome::Skipped { reason }),
-            Lowered::Run(cell) if cell.replay.is_some() => {
-                let stream_key = cell.replay.expect("just matched");
-                let key = (cell.trace.benchmark.name(), cell.trace.data_set, stream_key);
-                let group = *replay_group_of.entry(key).or_insert_with(|| {
-                    replay_groups.push(Vec::new());
-                    replay_groups.len() - 1
-                });
-                replay_groups[group].push((index, cell));
+    let mut cells: Vec<Option<Cell>> = lowered
+        .into_iter()
+        .enumerate()
+        .map(|(index, low)| match low {
+            Lowered::Skip { reason } => {
+                slots[index] = Some(JobOutcome::Skipped { reason });
+                None
             }
-            Lowered::Run(cell) if cell.fusible() => {
-                let key = (cell.trace.benchmark.name(), cell.trace.data_set);
-                let group = *group_of.entry(key).or_insert_with(|| {
-                    groups.push(Vec::new());
-                    groups.len() - 1
-                });
-                groups[group].push((index, cell));
-            }
-            Lowered::Run(cell) => singles.push((index, cell)),
-        }
-    }
+            Lowered::Run(cell) => Some(cell),
+        })
+        .collect();
+    let claim = |indices: &[usize], cells: &mut Vec<Option<Cell>>| -> Vec<(usize, Cell)> {
+        indices
+            .iter()
+            .map(|&index| (index, cells[index].take().expect("each cell is scheduled once")))
+            .collect()
+    };
 
-    // Phase 3: schedule singleton cells and fused batches as pool tasks.
-    // Every task reports `(job index, outcome)` pairs that scatter into
-    // plan-order slots, so neither task granularity nor completion order
-    // can leak into the output.
+    // Phase 3: schedule singleton cells and fused/replay batches as pool
+    // tasks. Every task reports `(job index, outcome)` pairs that scatter
+    // into plan-order slots, so neither task granularity nor completion
+    // order can leak into the output.
     type Task = Box<dyn FnOnce() -> Vec<(usize, JobOutcome)> + Send + 'static>;
     let mut tasks: Vec<Task> = Vec::new();
-    for (index, cell) in singles {
+    for &index in &partition.singles {
+        let cell = cells[index].take().expect("each cell is scheduled once");
         let store = store.clone();
         tasks.push(Box::new(move || vec![(index, run_cell(&cell, &store))]));
     }
-    for batch in groups.into_iter().flat_map(split_into_batches) {
+    for indices in &partition.fused {
+        let batch = claim(indices, &mut cells);
         let store = store.clone();
         tasks.push(Box::new(move || run_fused_batch(batch, &store)));
     }
-    for batch in replay_groups.into_iter().flat_map(split_into_batches) {
+    for indices in &partition.replay {
+        let batch = claim(indices, &mut cells);
         let store = store.clone();
-        tasks.push(Box::new(move || run_replay_batch(batch, &store)));
+        let simd = options.simd;
+        tasks.push(Box::new(move || run_replay_batch(batch, &store, simd)));
     }
     for (index, outcome) in pool.run(tasks).into_iter().flatten() {
         debug_assert!(slots[index].is_none(), "each job reports exactly once");
@@ -365,17 +373,20 @@ pub fn prefetch_on(pool: &SweepPool, plan: &Plan, store: &TraceStore) {
 /// as pool jobs, in the deepest derived form any of its cells needs
 /// (deeper forms initialize the shallower ones in the same store slot),
 /// so no simulation cell ever blocks on the VM or an interning pass.
-/// Replay cells additionally pre-derive each distinct (trace, stream key)
-/// pattern stream in the same barrier; stream derivation chains through
-/// the interned form itself, so it never races ahead of it. With a
-/// disk-backed store, each of these tasks starts by hydrating its slot
-/// from the artifact cache, so a warm directory turns the whole barrier
-/// into parallel file loads.
+/// Replay batches additionally pre-derive their *representative* pattern
+/// streams in the same barrier: the partition is recomputed here (it is
+/// a pure function of the lowered plan), and each replay batch
+/// contributes exactly one (trace, rep key) stream — the widest member
+/// width of its fold group — deduplicated across batches up front, so a
+/// width × automaton grid sweep derives one stream per (trace, fold
+/// class) instead of one per configuration. Stream derivation chains
+/// through the interned form itself, so it never races ahead of it.
+/// With a disk-backed store, each of these tasks starts by hydrating its
+/// slot from the artifact cache, so a warm directory turns the whole
+/// barrier into parallel file loads.
 fn prefetch_lowered(pool: &SweepPool, plan: &Plan, lowered: &[Lowered], store: &TraceStore) {
     let mut positions: HashMap<(&'static str, DataSet), usize> = HashMap::new();
     let mut needed: Vec<(TraceKey, TraceForm)> = Vec::new();
-    let mut stream_positions: HashMap<(&'static str, DataSet, StreamKey), ()> = HashMap::new();
-    let mut streams_needed: Vec<(TraceKey, StreamKey)> = Vec::new();
     for (job, low) in plan.jobs().iter().zip(lowered) {
         let Lowered::Run(cell) = low else { continue };
         let mut need = |key: TraceKey, form: TraceForm| {
@@ -393,11 +404,21 @@ fn prefetch_lowered(pool: &SweepPool, plan: &Plan, lowered: &[Lowered], store: &
                 TraceForm::Full,
             );
         }
-        if let Some(stream_key) = cell.replay {
-            let dedup = (job.trace.benchmark.name(), job.trace.data_set, stream_key);
-            if stream_positions.insert(dedup, ()).is_none() {
-                streams_needed.push((job.trace, stream_key));
-            }
+    }
+    let mut stream_positions: HashMap<(&'static str, DataSet, StreamKey), ()> = HashMap::new();
+    let mut streams_needed: Vec<(TraceKey, StreamKey)> = Vec::new();
+    for indices in &partition_batches(lowered).replay {
+        let cell_at = |index: usize| match &lowered[index] {
+            Lowered::Run(cell) => cell,
+            Lowered::Skip { .. } => unreachable!("partition only batches runnable cells"),
+        };
+        let trace = cell_at(indices[0]).trace;
+        let rep = replay_rep_key(indices.iter().map(|&index| {
+            cell_at(index).replay.expect("replay batch members carry their stream key")
+        }));
+        let dedup = (trace.benchmark.name(), trace.data_set, rep);
+        if stream_positions.insert(dedup, ()).is_none() {
+            streams_needed.push((trace, rep));
         }
     }
     enum PreGen {
@@ -436,25 +457,108 @@ fn prefetch_lowered(pool: &SweepPool, plan: &Plan, lowered: &[Lowered], store: &
 /// balanced tasks to schedule.
 const MAX_FUSE_BATCH: usize = 16;
 
-/// Nearly-even batch sizes for a trace-group of `n` cells: as few
-/// batches as [`MAX_FUSE_BATCH`] allows, sizes differing by at most one
-/// (17 cells become 9 + 8, not 16 + 1).
-fn batch_sizes(n: usize) -> Vec<usize> {
+/// Largest number of members walked together in one transposed replay
+/// batch.
+///
+/// Replay batches group by fold class, so a Table 3-style grid packs an
+/// entire scheme column — every width × automaton combination — into
+/// one group (e.g. 5 widths × 5 automata × {PAg, PAp} = 50 members on
+/// the shared paper-default BHT). The cap is sized to keep such a group
+/// in a *single* batch (one stream walk for the whole column) while the
+/// per-width sub-banks the transposed walk builds stay at or under 16
+/// members — one u64 word per PHT row, the SWAR kernel's fastest shape.
+const MAX_REPLAY_BATCH: usize = 64;
+
+/// Nearly-even batch sizes for a group of `n` cells: as few batches as
+/// `cap` allows, sizes differing by at most one (17 cells at cap 16
+/// become 9 + 8, not 16 + 1).
+fn batch_sizes(n: usize, cap: usize) -> Vec<usize> {
     if n == 0 {
         return Vec::new();
     }
-    let batches = n.div_ceil(MAX_FUSE_BATCH);
+    let batches = n.div_ceil(cap);
     let base = n / batches;
     let extra = n % batches;
     (0..batches).map(|i| base + usize::from(i < extra)).collect()
 }
 
-/// Splits one trace-group into contiguous [`batch_sizes`] batches,
-/// preserving plan order within and across batches.
-fn split_into_batches(group: Vec<(usize, Cell)>) -> Vec<Vec<(usize, Cell)>> {
-    let sizes = batch_sizes(group.len());
-    let mut cells = group.into_iter();
-    sizes.into_iter().map(|size| cells.by_ref().take(size).collect()).collect()
+/// Splits one group of job indices into contiguous [`batch_sizes`]
+/// batches, preserving plan order within and across batches.
+fn split_into_batches(group: Vec<usize>, cap: usize) -> Vec<Vec<usize>> {
+    let sizes = batch_sizes(group.len(), cap);
+    let mut indices = group.into_iter();
+    sizes.into_iter().map(|size| indices.by_ref().take(size).collect()).collect()
+}
+
+/// The engine's scheduling partition: which runnable jobs execute as
+/// singleton cells, which execute in fused trace-batches, and which
+/// execute in transposed replay batches — all as indices into the
+/// lowered plan.
+///
+/// Produced by [`partition_batches`], a pure function of the lowered
+/// plan, and consumed by *both* the prefetch pass (phase 1, to derive
+/// each replay batch's representative stream up front) and the
+/// scheduler (phase 3) — so the two phases can never disagree about
+/// which artifacts the plan needs.
+struct Partition {
+    /// Jobs that run alone ([`run_cell`]).
+    singles: Vec<usize>,
+    /// Fused trace-batches ([`run_fused_batch`]), capped at
+    /// [`MAX_FUSE_BATCH`].
+    fused: Vec<Vec<usize>>,
+    /// Transposed replay batches ([`run_replay_batch`]), capped at
+    /// [`MAX_REPLAY_BATCH`].
+    replay: Vec<Vec<usize>>,
+}
+
+/// Partitions runnable cells into [`Partition`] batches. Replay-lowered
+/// cells group by `(trace, fold class)` — the width-*erased*
+/// [`StreamKey::fold_key`] — so automaton ablations *and* width variants
+/// of one first-level mechanism share a batch; fusible cells group by
+/// trace; everything else runs alone. Groups form in first-seen plan
+/// order and split into nearly-even contiguous batches, so the partition
+/// is a pure function of the plan.
+fn partition_batches(lowered: &[Lowered]) -> Partition {
+    let mut singles: Vec<usize> = Vec::new();
+    let mut fused_of: HashMap<(&'static str, DataSet), usize> = HashMap::new();
+    let mut fused: Vec<Vec<usize>> = Vec::new();
+    let mut replay_of: HashMap<(&'static str, DataSet, FoldKey), usize> = HashMap::new();
+    let mut replay: Vec<Vec<usize>> = Vec::new();
+    for (index, low) in lowered.iter().enumerate() {
+        let Lowered::Run(cell) = low else { continue };
+        if let Some(stream_key) = cell.replay {
+            let key = (cell.trace.benchmark.name(), cell.trace.data_set, stream_key.fold_key());
+            let group = *replay_of.entry(key).or_insert_with(|| {
+                replay.push(Vec::new());
+                replay.len() - 1
+            });
+            replay[group].push(index);
+        } else if cell.fusible() {
+            let key = (cell.trace.benchmark.name(), cell.trace.data_set);
+            let group = *fused_of.entry(key).or_insert_with(|| {
+                fused.push(Vec::new());
+                fused.len() - 1
+            });
+            fused[group].push(index);
+        } else {
+            singles.push(index);
+        }
+    }
+    Partition {
+        singles,
+        fused: fused.into_iter().flat_map(|g| split_into_batches(g, MAX_FUSE_BATCH)).collect(),
+        replay: replay.into_iter().flat_map(|g| split_into_batches(g, MAX_REPLAY_BATCH)).collect(),
+    }
+}
+
+/// The representative stream key of a replay batch: the key of its
+/// widest member (first-seen on ties, so the choice is deterministic).
+/// Every member shares the batch's fold class, and the width fold lets
+/// any narrower member replay the representative's stream by masking —
+/// so this is the *only* stream the batch derives or fetches.
+fn replay_rep_key(keys: impl Iterator<Item = StreamKey>) -> StreamKey {
+    keys.reduce(|best, key| if key.history_bits() > best.history_bits() { key } else { best })
+        .expect("replay batches are non-empty")
 }
 
 /// Runs one fused batch on a worker thread: a single pass over the
@@ -475,17 +579,26 @@ fn run_fused_batch(batch: Vec<(usize, Cell)>, store: &TraceStore) -> Vec<(usize,
         .collect()
 }
 
-/// Runs one replay batch on a worker thread: fetch the batch's shared
-/// materialized pattern stream once (already derived in phase 1) and walk
-/// the members' bit-packed second levels over it in a single fused pass
-/// ([`simulate_replay_many`]).
-fn run_replay_batch(batch: Vec<(usize, Cell)>, store: &TraceStore) -> Vec<(usize, JobOutcome)> {
+/// Runs one replay batch on a worker thread: fetch the batch's
+/// *representative* pattern stream once (the widest member width of the
+/// fold group, already derived in phase 1) and walk every member's
+/// bit-sliced transposed PHT bank over it in a single SWAR pass
+/// ([`simulate_replay_transposed`]).
+fn run_replay_batch(
+    batch: Vec<(usize, Cell)>,
+    store: &TraceStore,
+    simd: SimdMode,
+) -> Vec<(usize, JobOutcome)> {
     let trace = batch[0].1.trace;
-    let key = batch[0].1.replay.expect("replay batch members carry their stream key");
+    let key = replay_rep_key(
+        batch
+            .iter()
+            .map(|(_, cell)| cell.replay.expect("replay batch members carry their stream key")),
+    );
     let stream = store.get_pattern_stream(trace.benchmark, trace.data_set, key);
     let predictors: Vec<AnyPredictor> =
         batch.iter().map(|(_, cell)| cell.build.build_any(store, cell.trace)).collect();
-    let sims = simulate_replay_many(&predictors, &stream)
+    let sims = simulate_replay_transposed(&predictors, &stream, simd)
         .expect("replay lowering only selects schemes with a second level");
     batch
         .into_iter()
@@ -945,18 +1058,61 @@ mod tests {
 
     #[test]
     fn batch_sizes_are_capped_and_nearly_even() {
-        assert_eq!(batch_sizes(0), Vec::<usize>::new());
-        assert_eq!(batch_sizes(1), vec![1]);
-        assert_eq!(batch_sizes(MAX_FUSE_BATCH), vec![MAX_FUSE_BATCH]);
-        assert_eq!(batch_sizes(17), vec![9, 8]);
-        assert_eq!(batch_sizes(33), vec![11, 11, 11]);
-        for n in 0..10 * MAX_FUSE_BATCH {
-            let sizes = batch_sizes(n);
-            assert_eq!(sizes.iter().sum::<usize>(), n, "sizes partition {n} cells");
-            assert!(sizes.iter().all(|&s| 0 < s && s <= MAX_FUSE_BATCH), "cap holds for {n}");
-            if let (Some(min), Some(max)) = (sizes.iter().min(), sizes.iter().max()) {
-                assert!(max - min <= 1, "sizes for {n} differ by more than one: {sizes:?}");
+        assert_eq!(batch_sizes(0, MAX_FUSE_BATCH), Vec::<usize>::new());
+        assert_eq!(batch_sizes(1, MAX_FUSE_BATCH), vec![1]);
+        assert_eq!(batch_sizes(MAX_FUSE_BATCH, MAX_FUSE_BATCH), vec![MAX_FUSE_BATCH]);
+        assert_eq!(batch_sizes(17, MAX_FUSE_BATCH), vec![9, 8]);
+        assert_eq!(batch_sizes(33, MAX_FUSE_BATCH), vec![11, 11, 11]);
+        assert_eq!(batch_sizes(MAX_REPLAY_BATCH, MAX_REPLAY_BATCH), vec![MAX_REPLAY_BATCH]);
+        assert_eq!(batch_sizes(65, MAX_REPLAY_BATCH), vec![33, 32]);
+        for cap in [MAX_FUSE_BATCH, MAX_REPLAY_BATCH] {
+            for n in 0..10 * cap {
+                let sizes = batch_sizes(n, cap);
+                assert_eq!(sizes.iter().sum::<usize>(), n, "sizes partition {n} cells");
+                assert!(sizes.iter().all(|&s| 0 < s && s <= cap), "cap {cap} holds for {n}");
+                if let (Some(min), Some(max)) = (sizes.iter().min(), sizes.iter().max()) {
+                    assert!(max - min <= 1, "sizes for {n} differ by more than one: {sizes:?}");
+                }
             }
+        }
+    }
+
+    /// Fold-class grouping: a grid column's width × automaton variants
+    /// land in one replay batch with the widest member's key as
+    /// representative, so the whole column is one stream walk.
+    #[test]
+    fn replay_batches_fold_width_variants_into_one_stream() {
+        let plan: Plan = [4u32, 6, 8]
+            .iter()
+            .flat_map(|&bits| {
+                [
+                    Job::scheme(SchemeConfig::gag(bits), li()),
+                    Job::scheme(SchemeConfig::gag(bits).with_automaton(Automaton::LastTime), li()),
+                    Job::scheme(SchemeConfig::pag(bits), li()),
+                    Job::scheme(SchemeConfig::pap(bits), li()),
+                ]
+            })
+            .collect();
+        let lowered: Vec<Lowered> = plan.jobs().iter().map(lower).collect();
+        let partition = partition_batches(&lowered);
+        assert!(partition.singles.is_empty());
+        assert!(partition.fused.is_empty());
+        // One Global fold group (GAg × 2 automata × 3 widths) and one
+        // paper-default-BHT fold group (PAg + PAp × 3 widths).
+        assert_eq!(partition.replay.len(), 2);
+        assert_eq!(partition.replay[0].len(), 6);
+        assert_eq!(partition.replay[1].len(), 6);
+        for indices in &partition.replay {
+            let keys: Vec<StreamKey> = indices
+                .iter()
+                .map(|&index| match &lowered[index] {
+                    Lowered::Run(cell) => cell.replay.expect("replay cell"),
+                    Lowered::Skip { .. } => unreachable!(),
+                })
+                .collect();
+            let rep = replay_rep_key(keys.iter().copied());
+            assert_eq!(rep.history_bits(), 8, "widest member wins");
+            assert!(keys.iter().all(|key| key.fold_key() == rep.fold_key()));
         }
     }
 

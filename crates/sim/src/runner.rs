@@ -4,8 +4,9 @@ use tlabp_core::any::AnyPredictor;
 use tlabp_core::bht::{BhtConfig, BhtCursor, BhtSignature, BranchHistoryTable};
 use tlabp_core::config::{SchemeConfig, SchemeKind};
 use tlabp_core::history::HistoryRegister;
-use tlabp_core::pht::{PackedPht, PackedPhtBank};
+use tlabp_core::pht::{PackedPht, PackedPhtBank, TransposedLanePhtBank, TransposedPhtBank};
 use tlabp_core::predictor::BranchPredictor;
+use tlabp_core::simd::SimdMode;
 use tlabp_trace::{BranchRecord, InternedConds, PackedCond, PatternStream, Trace, TraceEvent};
 
 /// Context-switch simulation parameters (the paper's Section 5.1.4).
@@ -404,6 +405,55 @@ impl StreamKey {
     }
 }
 
+/// A [`StreamKey`] with the history width erased: the first-level
+/// *mechanism* (global register, or a BHT of a specific implementation
+/// and geometry) without the register length.
+///
+/// Two stream keys with the same fold key describe the same first-level
+/// walk at different widths — and those walks are *nested*: a history
+/// register holds the last `k` outcomes, so the width-`k` pattern at any
+/// point is the low `k` bits of the width-`K` pattern (`k ≤ K`) of the
+/// same walk. The all-ones initialization and the BHT's initialize-to-
+/// ones miss policy preserve this (all-ones at width `k` *is* the low
+/// `k` bits of all-ones at width `K`), and BHT entry replacement is
+/// driven by addresses alone, never by register contents, so lane
+/// selection is width-independent too. A stream derived at the widest
+/// width of a fold group therefore serves every member: each event's
+/// pattern is masked down to the member's own width (which the
+/// transposed bank does for free via its row mask). This is what lets
+/// the engine walk one cached stream for an entire width × automaton
+/// grid column instead of one stream per width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FoldKey {
+    /// A lone global history register (GAg/GSg), any width.
+    Global,
+    /// A branch history table walk with this implementation/geometry,
+    /// any register width.
+    Bht(BhtConfig),
+}
+
+impl StreamKey {
+    /// This key's width-erased fold class.
+    #[must_use]
+    pub fn fold_key(self) -> FoldKey {
+        match self {
+            StreamKey::Global { .. } => FoldKey::Global,
+            StreamKey::Bht(signature) => FoldKey::Bht(signature.config),
+        }
+    }
+
+    /// The same first-level mechanism at a different register width.
+    #[must_use]
+    pub fn with_history_bits(self, history_bits: u32) -> StreamKey {
+        match self {
+            StreamKey::Global { .. } => StreamKey::Global { history_bits },
+            StreamKey::Bht(signature) => {
+                StreamKey::Bht(BhtSignature { config: signature.config, history_bits })
+            }
+        }
+    }
+}
+
 /// The stream key a scheme configuration's first level corresponds to, or
 /// `None` when the scheme has no (pattern → PHT) second level to replay
 /// (BTB, static predictors, profiling).
@@ -595,6 +645,124 @@ pub fn simulate_replay_many(
             for (member, &index) in single_indices.iter().enumerate() {
                 corrects[index] = banked[member];
             }
+        }
+    }
+    Some(
+        predictors
+            .iter()
+            .zip(corrects)
+            .map(|(predictor, correct)| SimResult {
+                scheme: predictor.name(),
+                predictions: stream.len() as u64,
+                correct,
+                context_switches: 0,
+            })
+            .collect(),
+    )
+}
+
+/// Events per block of the transposed walk: 2<sup>14</sup> events is a
+/// 64 KiB slice of the stream (plus 64 KiB of lanes when laned), so when
+/// several width-banks walk the same stream the slice stays cache-hot
+/// across all of them instead of streaming the full multi-megabyte
+/// buffer once per bank.
+const REPLAY_BLOCK: usize = 1 << 14;
+
+/// The transposed, SWAR-vectorized form of [`simulate_replay_many`]:
+/// walks one materialized stream once, updating every member's
+/// bit-sliced second level in the same pass through
+/// [`TransposedPhtBank`] / [`TransposedLanePhtBank`].
+///
+/// Members are grouped by PHT width — one transposed bank per distinct
+/// width — and widths *narrower than the stream* are welcome: each
+/// bank masks event patterns down to its own row index, which is exactly
+/// the width fold [`StreamKey::fold_key`] justifies. The engine uses
+/// this to replay an entire width × automaton grid column (e.g. GAg(6),
+/// GAg(8), … GAg(12) across all five automata) over the single stream
+/// derived at the column's widest width. Banks walk the stream in
+/// [`REPLAY_BLOCK`]-event slices, interleaved, so the slice is read from
+/// cache by every bank after the first.
+///
+/// Returns `None` (and replays nobody) unless every member has a
+/// replayable second level; members wider than the stream are a caller
+/// bug (debug-asserted). Per-lane members (PAp) additionally require a
+/// laned stream. Bit-identical to per-member [`simulate_replay`] on the
+/// member's own-width stream for every kernel `mode` — pinned by
+/// `tests/differential.rs`.
+#[must_use]
+pub fn simulate_replay_transposed(
+    predictors: &[AnyPredictor],
+    stream: &PatternStream,
+    mode: SimdMode,
+) -> Option<Vec<SimResult>> {
+    // Group member tables by width, preserving first-seen order so the
+    // result assembly is a pure function of the batch.
+    struct WidthGroup {
+        history_bits: u32,
+        indices: Vec<usize>,
+        tables: Vec<PackedPht>,
+    }
+    fn insert(groups: &mut Vec<WidthGroup>, index: usize, table: PackedPht) {
+        let history_bits = table.history_bits();
+        match groups.iter_mut().find(|g| g.history_bits == history_bits) {
+            Some(group) => {
+                group.indices.push(index);
+                group.tables.push(table);
+            }
+            None => {
+                groups.push(WidthGroup { history_bits, indices: vec![index], tables: vec![table] })
+            }
+        }
+    }
+    let mut singles: Vec<WidthGroup> = Vec::new();
+    let mut laned: Vec<WidthGroup> = Vec::new();
+    for (index, predictor) in predictors.iter().enumerate() {
+        match ReplayPht::for_predictor(predictor)? {
+            ReplayPht::Single(table) => insert(&mut singles, index, table),
+            ReplayPht::PerLane { template } => insert(&mut laned, index, template),
+        }
+    }
+    let mut single_banks: Vec<(Vec<usize>, TransposedPhtBank)> = singles
+        .into_iter()
+        .map(|group| {
+            debug_assert!(group.history_bits <= stream.history_bits(), "member wider than stream");
+            (group.indices, TransposedPhtBank::new(&group.tables))
+        })
+        .collect();
+    let mut lane_banks: Vec<(Vec<usize>, TransposedLanePhtBank)> = laned
+        .into_iter()
+        .map(|group| {
+            debug_assert!(group.history_bits <= stream.history_bits(), "member wider than stream");
+            (group.indices, TransposedLanePhtBank::new(&group.tables))
+        })
+        .collect();
+    if lane_banks.is_empty() {
+        for block in stream.events().chunks(REPLAY_BLOCK) {
+            for (_, bank) in &mut single_banks {
+                bank.replay(block, mode);
+            }
+        }
+    } else {
+        debug_assert!(stream.is_laned(), "per-lane replay needs a BHT-derived stream");
+        let blocks = stream.events().chunks(REPLAY_BLOCK).zip(stream.lanes().chunks(REPLAY_BLOCK));
+        for (events, lanes) in blocks {
+            for (_, bank) in &mut single_banks {
+                bank.replay(events, mode);
+            }
+            for (_, bank) in &mut lane_banks {
+                bank.replay(events, lanes, mode);
+            }
+        }
+    }
+    let mut corrects = vec![0u64; predictors.len()];
+    for (indices, bank) in &single_banks {
+        for (member, &index) in indices.iter().enumerate() {
+            corrects[index] = bank.counts()[member];
+        }
+    }
+    for (indices, bank) in &lane_banks {
+        for (member, &index) in indices.iter().enumerate() {
+            corrects[index] = bank.counts()[member];
         }
     }
     Some(
@@ -898,6 +1066,116 @@ mod tests {
         let mut long = StreamKey::Global { history_bits: 4 }.to_bytes();
         long.push(0);
         assert_eq!(StreamKey::from_bytes(&long), None, "trailing byte");
+    }
+
+    #[test]
+    fn fold_keys_erase_width_and_nothing_else() {
+        use tlabp_core::config::SchemeConfig;
+        let gag8 = replay_stream_key(SchemeConfig::gag(8)).unwrap();
+        let gag12 = replay_stream_key(SchemeConfig::gag(12)).unwrap();
+        assert_eq!(gag8.fold_key(), gag12.fold_key());
+        assert_eq!(gag8.with_history_bits(12), gag12);
+        let pag8 = replay_stream_key(SchemeConfig::pag(8)).unwrap();
+        let pag12 = replay_stream_key(SchemeConfig::pag(12)).unwrap();
+        assert_eq!(pag8.fold_key(), pag12.fold_key());
+        assert_eq!(pag8.with_history_bits(12), pag12);
+        assert_ne!(gag8.fold_key(), pag8.fold_key());
+        let ideal = replay_stream_key(SchemeConfig::pag(8).with_bht(BhtConfig::Ideal)).unwrap();
+        assert_ne!(pag8.fold_key(), ideal.fold_key());
+        assert_eq!(ideal.history_bits(), ideal.with_history_bits(8).history_bits());
+    }
+
+    /// The width fold itself: a stream derived at width `K` carries, per
+    /// event, the width-`k` pattern in its low `k` bits, and identical
+    /// lanes — for both fold classes.
+    #[test]
+    fn wider_streams_embed_narrower_streams() {
+        use tlabp_trace::synth::MarkovBranches;
+        use tlabp_trace::InternedConds;
+        let trace = MarkovBranches::new(24, 0.8, 4000, 11).generate();
+        let interned = InternedConds::from_packed(&trace.pack_conditionals());
+        let keys = [
+            StreamKey::Global { history_bits: 12 },
+            StreamKey::Bht(BhtSignature { config: BhtConfig::PAPER_DEFAULT, history_bits: 12 }),
+            StreamKey::Bht(BhtSignature { config: BhtConfig::Ideal, history_bits: 12 }),
+        ];
+        for wide_key in keys {
+            let wide = derive_pattern_stream(&interned, wide_key);
+            let narrow = derive_pattern_stream(&interned, wide_key.with_history_bits(6));
+            assert_eq!(wide.len(), narrow.len());
+            let mask = (1u32 << 6) - 1;
+            for (&wide_event, &narrow_event) in wide.events().iter().zip(narrow.events()) {
+                let folded = ((PatternStream::event_pattern(wide_event) as u32 & mask) << 1)
+                    | u32::from(PatternStream::event_taken(wide_event));
+                assert_eq!(folded, narrow_event, "{wide_key:?}");
+            }
+            if wide.is_laned() {
+                assert_eq!(wide.lanes(), narrow.lanes(), "{wide_key:?}");
+            }
+        }
+    }
+
+    /// Transposed replay over a *wider* shared stream must equal each
+    /// member's own-width replay — the fold group contract.
+    #[test]
+    fn transposed_replay_matches_per_member_replay_across_widths() {
+        use tlabp_core::config::SchemeConfig;
+        use tlabp_core::SimdMode;
+        use tlabp_trace::synth::MarkovBranches;
+        use tlabp_trace::InternedConds;
+
+        let trace = MarkovBranches::new(24, 0.8, 5000, 3).generate();
+        let interned = InternedConds::from_packed(&trace.pack_conditionals());
+        let cases: [(&[SchemeConfig], StreamKey); 2] = [
+            (
+                &[
+                    SchemeConfig::gag(6),
+                    SchemeConfig::gag(10),
+                    SchemeConfig::gag(10).with_automaton(Automaton::LastTime),
+                    SchemeConfig::gag(8).with_automaton(Automaton::A3),
+                ],
+                StreamKey::Global { history_bits: 10 },
+            ),
+            (
+                &[
+                    SchemeConfig::pag(6),
+                    SchemeConfig::pag(10),
+                    SchemeConfig::pap(6),
+                    SchemeConfig::pap(10).with_automaton(Automaton::A4),
+                    SchemeConfig::pag(8).with_automaton(Automaton::A1),
+                ],
+                StreamKey::Bht(BhtSignature { config: BhtConfig::PAPER_DEFAULT, history_bits: 10 }),
+            ),
+        ];
+        for (configs, rep_key) in cases {
+            let shared = derive_pattern_stream(&interned, rep_key);
+            let predictors: Vec<AnyPredictor> =
+                configs.iter().map(|c| c.build_any().expect("builds")).collect();
+            for mode in [SimdMode::Auto, SimdMode::Swar, SimdMode::Scalar] {
+                let transposed =
+                    simulate_replay_transposed(&predictors, &shared, mode).expect("replayable");
+                for (config, result) in configs.iter().zip(&transposed) {
+                    let own_key = replay_stream_key(*config).expect("two-level");
+                    assert_eq!(own_key.fold_key(), rep_key.fold_key());
+                    let own_stream = derive_pattern_stream(&interned, own_key);
+                    let predictor = config.build_any().expect("builds");
+                    let own = simulate_replay(&predictor, &own_stream).expect("replayable");
+                    assert_eq!(result, &own, "{config} under {mode:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_replay_refuses_non_replayable_members() {
+        use tlabp_core::config::SchemeConfig;
+        use tlabp_core::SimdMode;
+        let predictors = vec![
+            SchemeConfig::gag(6).build_any().expect("builds"),
+            SchemeConfig::btfn().build_any().expect("builds"),
+        ];
+        let stream = PatternStream::new(6, false);
+        assert!(simulate_replay_transposed(&predictors, &stream, SimdMode::Auto).is_none());
     }
 
     #[test]

@@ -2,7 +2,10 @@
 # Full offline verification: release build, test suite, strict clippy
 # across the whole workspace, formatting, the differential/determinism
 # suites under release optimization (the fast paths the benchmarks
-# exercise), and a one-iteration smoke run of the throughput harness.
+# exercise) — repeated with each replay kernel body forced, proving
+# TLABP_SIMD is a throughput knob only — and one-iteration smoke runs
+# of the throughput harness (full, then the replay section alone under
+# the portable SWAR body).
 # Run from the repository root. Requires no network access.
 set -eux
 
@@ -11,4 +14,7 @@ cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all --check
 cargo test --release -q -p tlabp --test differential --test sweep_determinism --test disk_cache
+TLABP_SIMD=swar cargo test --release -q -p tlabp --test differential --test sweep_determinism
+TLABP_SIMD=scalar cargo test --release -q -p tlabp --test differential --test sweep_determinism
 TLABP_BENCH_ITERS=1 cargo run -q -p tlabp-experiments --release -- bench --out "$(mktemp -d)"
+TLABP_BENCH_ITERS=1 TLABP_SIMD=swar cargo run -q -p tlabp-experiments --release -- bench --section replay --out "$(mktemp -d)"

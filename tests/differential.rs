@@ -233,7 +233,10 @@ fn fused_outcomes_are_independent_of_batch_composition() {
 /// every trace.
 #[test]
 fn replay_is_bit_identical_for_every_scheme_and_automaton() {
-    use tlabp::sim::runner::{derive_pattern_stream, replay_stream_key, simulate_replay};
+    use tlabp::core::SimdMode;
+    use tlabp::sim::runner::{
+        derive_pattern_stream, replay_stream_key, simulate_replay, simulate_replay_transposed,
+    };
     use tlabp::trace::InternedConds;
 
     let structures = [
@@ -265,6 +268,22 @@ fn replay_is_bit_identical_for_every_scheme_and_automaton() {
             };
             let replayed =
                 simulate_replay(&predictor, &stream).expect("catalog scheme has a replay PHT");
+
+            // Every body of the transposed SWAR kernel reproduces the
+            // sequential replay bit for bit — scheme × automaton × trace.
+            for mode in [SimdMode::Swar, SimdMode::Scalar, SimdMode::Sse2, SimdMode::Avx2] {
+                let member = if config.needs_training() {
+                    config.build_any_trained(&training)
+                } else {
+                    config.build_any().expect("builds")
+                };
+                let transposed = simulate_replay_transposed(&[member], &stream, mode)
+                    .expect("catalog scheme has a replay PHT");
+                assert_eq!(
+                    transposed[0], replayed,
+                    "transposed {mode:?} vs replay diverged for {config} on {trace_name}"
+                );
+            }
 
             let mut packed = if config.needs_training() {
                 config.build_any_trained(&training)
@@ -359,6 +378,110 @@ fn packed_lut_matches_automaton_on_all_256_inputs() {
                 "{automaton} prediction diverged at index {index}"
             );
         }
+    }
+}
+
+/// Every body of the transposed SWAR kernel — portable u64, forced
+/// SSE2/AVX2, and the scalar transposed loop — agrees with
+/// `Automaton::update` / `Automaton::predict` on all 256 (state, taken)
+/// transition inputs, for every automaton: a one-member bank stepped
+/// through each input singly must land in the reference next state and
+/// count the reference correctness, under every `TLABP_SIMD` mode.
+#[test]
+fn transposed_kernels_match_automaton_on_all_256_inputs() {
+    use tlabp::core::automaton::State;
+    use tlabp::core::pht::{PackedPht, TransposedPhtBank};
+    use tlabp::core::SimdMode;
+
+    for automaton in Automaton::ALL {
+        let mask = automaton.state_count() - 1;
+        for index in 0..256usize {
+            let taken = index & 1 != 0;
+            let state = State::new(((index >> 1) as u8) & mask);
+            for mode in
+                [SimdMode::Auto, SimdMode::Swar, SimdMode::Scalar, SimdMode::Sse2, SimdMode::Avx2]
+            {
+                let mut table = PackedPht::new(1, automaton);
+                table.set_state(0, state);
+                table.set_state(1, state);
+                let mut bank = TransposedPhtBank::new(&[table]);
+                bank.replay(&[u32::from(taken)], mode);
+                assert_eq!(
+                    bank.state(0, 0),
+                    automaton.update(state, taken),
+                    "{automaton} next state diverged at index {index} under {mode:?}"
+                );
+                assert_eq!(
+                    bank.counts()[0],
+                    u64::from(automaton.predict(state) == taken),
+                    "{automaton} correctness diverged at index {index} under {mode:?}"
+                );
+            }
+        }
+    }
+}
+
+/// The full grid plan — every (scheme, width, automaton) cell of the
+/// Fig. 8 design-space artifact, where the engine's fold grouping packs
+/// entire width × automaton columns into single transposed batches over
+/// one shared stream — is lowering-invariant: the SWAR kernel, the
+/// scalar kernel, the auto-detected kernel and fused execution with
+/// replay disabled all agree job for job.
+#[test]
+fn grid_plan_is_invariant_across_replay_kernels_and_fusion() {
+    use tlabp::core::SimdMode;
+    use tlabp::sim::engine::{execute, execute_with, ExecOptions};
+    use tlabp::sim::plan::{Job, Plan};
+    use tlabp::sim::{SweepPool, TraceStore};
+
+    let benchmarks =
+        [Benchmark::by_name("li").expect("li exists"), Benchmark::by_name("eqntott").unwrap()];
+    let schemes: [fn(u32) -> SchemeConfig; 3] =
+        [SchemeConfig::gag, SchemeConfig::pag, SchemeConfig::pap];
+    let mut jobs: Vec<Job> = Vec::new();
+    for benchmark in benchmarks {
+        for scheme in schemes {
+            for width in [4u32, 6, 8, 10, 12] {
+                for &automaton in &Automaton::FIGURE5 {
+                    jobs.push(Job::scheme(scheme(width).with_automaton(automaton), benchmark));
+                }
+            }
+        }
+    }
+    let plan: Plan = jobs.iter().cloned().collect();
+    let fused: Plan = jobs.iter().map(|job| job.clone().with_replay(false)).collect();
+
+    let store = TraceStore::from_env();
+    let auto = execute(&plan, &store);
+    let fused_out = execute(&fused, &store);
+    let kernel = |simd| {
+        execute_with(
+            SweepPool::global(),
+            &plan,
+            &store,
+            ExecOptions { simd, ..ExecOptions::default() },
+        )
+    };
+    let swar = kernel(SimdMode::Swar);
+    let scalar = kernel(SimdMode::Scalar);
+    for (index, job) in jobs.iter().enumerate() {
+        let label = job.label();
+        let benchmark = job.trace.benchmark.name();
+        assert_eq!(
+            swar.outcome(index),
+            scalar.outcome(index),
+            "swar vs scalar diverged for {label} on {benchmark}"
+        );
+        assert_eq!(
+            swar.outcome(index),
+            auto.outcome(index),
+            "swar vs auto diverged for {label} on {benchmark}"
+        );
+        assert_eq!(
+            swar.outcome(index),
+            fused_out.outcome(index),
+            "swar vs fused diverged for {label} on {benchmark}"
+        );
     }
 }
 

@@ -137,15 +137,64 @@ fn cold_store_prefetch_matches_lazy_across_pool_sizes() {
         .collect();
 
     let lazy_pool = SweepPool::new(1);
-    let lazy =
-        execute_with(&lazy_pool, &plan, &TraceStore::from_env(), ExecOptions { prefetch: false });
+    let lazy = execute_with(
+        &lazy_pool,
+        &plan,
+        &TraceStore::from_env(),
+        ExecOptions { prefetch: false, ..ExecOptions::default() },
+    );
     let prefetch_pool = SweepPool::new(8);
     let prefetched = execute_with(
         &prefetch_pool,
         &plan,
         &TraceStore::from_env(),
-        ExecOptions { prefetch: true },
+        ExecOptions { prefetch: true, ..ExecOptions::default() },
     );
     assert_eq!(lazy.len(), plan.len());
     assert_eq!(lazy, prefetched, "prefetch changed the engine output");
+}
+
+/// Satellite: forcing any `TLABP_SIMD` kernel body through
+/// `ExecOptions::simd` is a throughput knob only — every body must
+/// produce bit-identical `ResultSet`s, across pool sizes, on a plan
+/// mixing replay-lowered width/automaton variants with non-replay jobs.
+#[test]
+fn forced_simd_paths_are_bit_identical_across_pool_sizes() {
+    use tlabp::core::SimdMode;
+    use tlabp::sim::engine::{execute_with, ExecOptions};
+    use tlabp::sim::plan::{Job, Plan};
+    use tlabp::workloads::Benchmark;
+
+    let plan: Plan = [Benchmark::by_name("li").unwrap(), Benchmark::by_name("eqntott").unwrap()]
+        .iter()
+        .flat_map(|&benchmark| {
+            [
+                Job::scheme(SchemeConfig::gag(8), benchmark),
+                Job::scheme(SchemeConfig::gag(12), benchmark),
+                Job::scheme(SchemeConfig::pag(8), benchmark),
+                Job::scheme(SchemeConfig::pag(12), benchmark),
+                Job::scheme(SchemeConfig::pap(8), benchmark),
+                Job::scheme(SchemeConfig::pag(12), benchmark).with_replay(false),
+                Job::scheme(SchemeConfig::btfn(), benchmark),
+            ]
+        })
+        .collect();
+
+    let store = TraceStore::new();
+    let baseline_pool = SweepPool::new(1);
+    let baseline = execute_with(
+        &baseline_pool,
+        &plan,
+        &store,
+        ExecOptions { simd: SimdMode::Scalar, ..ExecOptions::default() },
+    );
+    assert_eq!(baseline.len(), plan.len());
+    for simd in [SimdMode::Auto, SimdMode::Swar, SimdMode::Sse2, SimdMode::Avx2] {
+        for workers in [1, 8] {
+            let pool = SweepPool::new(workers);
+            let run =
+                execute_with(&pool, &plan, &store, ExecOptions { simd, ..ExecOptions::default() });
+            assert_eq!(baseline, run, "{simd:?} on {workers} workers diverged from scalar");
+        }
+    }
 }
