@@ -6,7 +6,6 @@ use tlabp_core::config::SchemeConfig;
 use tlabp_core::registry;
 use tlabp_core::schemes::Pag;
 use tlabp_core::speculative::{HistoryUpdatePolicy, MispredictRepair, SpeculativeGag};
-use tlabp_sim::engine::execute;
 use tlabp_sim::plan::{Job, Plan};
 use tlabp_sim::report::Table;
 use tlabp_sim::runner::SimConfig;
@@ -60,7 +59,7 @@ pub fn ablation_speculative(ctx: &Ctx) {
             benchmarks.iter().map(move |&benchmark| Job::custom(name.clone(), benchmark))
         })
         .collect();
-    let accuracies = execute(&plan, ctx.store()).accuracies();
+    let accuracies = ctx.run(&plan).accuracies();
     for ((name, _), row) in policies.iter().zip(accuracies.chunks(benchmarks.len())) {
         let mut cells = vec![name.clone()];
         cells.extend(row.iter().map(|a| format!("{:.2}", 100.0 * a.expect("measurable"))));
@@ -101,7 +100,7 @@ pub fn ablation_flush_pht(ctx: &Ctx) {
             ]
         })
         .collect();
-    let accuracies = execute(&plan, ctx.store()).accuracies();
+    let accuracies = ctx.run(&plan).accuracies();
     for (benchmark, pair) in Benchmark::ALL.iter().zip(accuracies.chunks(2)) {
         let (keep, flush) = (pair[0].expect("measurable"), pair[1].expect("measurable"));
         table.push_row(vec![

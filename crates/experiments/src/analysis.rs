@@ -12,13 +12,22 @@
 //! [`MetricSet::miss_breakdown`]: tlabp_sim::plan::MetricSet
 
 use tlabp_core::config::SchemeConfig;
-use tlabp_sim::engine::execute;
 use tlabp_sim::metrics::MissBreakdown;
 use tlabp_sim::plan::{Job, MetricSet, Plan};
 use tlabp_sim::report::Table;
 use tlabp_workloads::Benchmark;
 
 use crate::Ctx;
+
+/// The plan behind [`analysis`]: PAg(12) on every benchmark with the
+/// misprediction-attribution metric enabled.
+pub fn analysis_plan() -> Plan {
+    let metrics = MetricSet { miss_breakdown: true, fetch: None };
+    Benchmark::ALL
+        .iter()
+        .map(|benchmark| Job::scheme(SchemeConfig::pag(12), benchmark).with_metrics(metrics))
+        .collect()
+}
 
 /// Characterize the residual mispredictions of PAg(12) per benchmark.
 pub fn analysis(ctx: &Ctx) {
@@ -32,12 +41,7 @@ pub fn analysis(ctx: &Ctx) {
         "intrinsic noise %".into(),
     ]);
 
-    let metrics = MetricSet { miss_breakdown: true, fetch: None };
-    let plan: Plan = Benchmark::ALL
-        .iter()
-        .map(|benchmark| Job::scheme(SchemeConfig::pag(12), benchmark).with_metrics(metrics))
-        .collect();
-    let results = execute(&plan, ctx.store());
+    let results = ctx.run(&analysis_plan());
 
     let mut total = MissBreakdown::default();
     let mut total_mispredictions = 0u64;

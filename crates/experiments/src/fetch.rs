@@ -15,12 +15,21 @@
 //! [`MetricSet::fetch`]: tlabp_sim::plan::MetricSet
 
 use tlabp_core::config::SchemeConfig;
-use tlabp_sim::engine::execute;
 use tlabp_sim::plan::{Job, MetricSet, Plan, TargetCacheSpec};
 use tlabp_sim::report::Table;
 use tlabp_workloads::Benchmark;
 
 use crate::Ctx;
+
+/// The plan behind [`fetch`]: PAg(12) on every benchmark with the
+/// paper-default target cache in the fetch path.
+pub fn fetch_plan() -> Plan {
+    let metrics = MetricSet { miss_breakdown: false, fetch: Some(TargetCacheSpec::PAPER_DEFAULT) };
+    Benchmark::ALL
+        .iter()
+        .map(|benchmark| Job::scheme(SchemeConfig::pag(12), benchmark).with_metrics(metrics))
+        .collect()
+}
 
 /// Per-benchmark fetch-path statistics.
 pub fn fetch(ctx: &Ctx) {
@@ -33,12 +42,7 @@ pub fn fetch(ctx: &Ctx) {
         "return-target misses %".into(),
     ]);
 
-    let metrics = MetricSet { miss_breakdown: false, fetch: Some(TargetCacheSpec::PAPER_DEFAULT) };
-    let plan: Plan = Benchmark::ALL
-        .iter()
-        .map(|benchmark| Job::scheme(SchemeConfig::pag(12), benchmark).with_metrics(metrics))
-        .collect();
-    let results = execute(&plan, ctx.store());
+    let results = ctx.run(&fetch_plan());
 
     for (job, outcome) in &results {
         let stats = outcome.metrics().and_then(|m| m.fetch).expect("fetch stats requested");

@@ -4,22 +4,22 @@ use tlabp_core::automaton::Automaton;
 use tlabp_core::bht::BhtConfig;
 use tlabp_core::config::SchemeConfig;
 use tlabp_core::cost::CostModel;
-use tlabp_sim::engine::execute;
 use tlabp_sim::plan::{Job, Plan};
 use tlabp_sim::report::{format_accuracy, suite_table, Table};
 use tlabp_sim::runner::SimConfig;
-use tlabp_sim::SuiteResult;
 use tlabp_trace::stats::BranchMix;
 use tlabp_trace::BranchClass;
 use tlabp_workloads::{Benchmark, DataSet};
 
 use crate::Ctx;
 
-/// All figure drivers express their whole configuration matrix as one
-/// [`Plan`] handed to the execution engine in a single call, so cells
-/// from every configuration share the worker pool.
-fn run_many(ctx: &Ctx, configs: &[SchemeConfig], sim: &SimConfig) -> Vec<SuiteResult> {
-    execute(&Plan::suites(configs, sim), ctx.store()).suites()
+/// Every figure driver declares its whole configuration matrix as one
+/// [`Plan`] (exposed as a `*_plan()` function so `experiments plan` can
+/// serialize it for the sweep service) and hands it to the session core
+/// in a single call, so cells from every configuration share the worker
+/// pool.
+fn run_suites(ctx: &Ctx, plan: &Plan) -> Vec<tlabp_sim::SuiteResult> {
+    ctx.run(plan).suites()
 }
 
 /// Figure 4: distribution of dynamic branch instructions by class.
@@ -46,44 +46,65 @@ pub fn fig4(ctx: &Ctx) {
     ctx.emit("fig4", "Figure 4: distribution of dynamic branch instructions", &table);
 }
 
-/// Figure 5: PAg(BHT(512,4,12-sr)) under each pattern automaton.
-pub fn fig5(ctx: &Ctx) {
+/// The plan behind [`fig5`].
+pub fn fig5_plan() -> Plan {
     let configs: Vec<SchemeConfig> =
         Automaton::FIGURE5.iter().map(|&a| SchemeConfig::pag(12).with_automaton(a)).collect();
-    let results = run_many(ctx, &configs, &SimConfig::no_context_switch());
-    let table = suite_table(&results);
+    Plan::suites(&configs, &SimConfig::no_context_switch())
+}
+
+/// Figure 5: PAg(BHT(512,4,12-sr)) under each pattern automaton.
+pub fn fig5(ctx: &Ctx) {
+    let table = suite_table(&run_suites(ctx, &fig5_plan()));
     ctx.emit("fig5", "Figure 5: effect of the pattern history automaton", &table);
 }
 
-/// Figure 6: the three variations at equal history register lengths.
-pub fn fig6(ctx: &Ctx) {
+/// The plan behind [`fig6`].
+pub fn fig6_plan() -> Plan {
     let mut configs = Vec::new();
     for k in [6u32, 8, 10, 12] {
         configs.push(SchemeConfig::gag(k));
         configs.push(SchemeConfig::pag(k));
         configs.push(SchemeConfig::pap(k));
     }
-    let results = run_many(ctx, &configs, &SimConfig::no_context_switch());
-    let table = suite_table(&results);
+    Plan::suites(&configs, &SimConfig::no_context_switch())
+}
+
+/// Figure 6: the three variations at equal history register lengths.
+pub fn fig6(ctx: &Ctx) {
+    let table = suite_table(&run_suites(ctx, &fig6_plan()));
     ctx.emit("fig6", "Figure 6: GAg vs PAg vs PAp at equal history length", &table);
+}
+
+/// The plan behind [`fig7`].
+pub fn fig7_plan() -> Plan {
+    let configs: Vec<SchemeConfig> = (6..=18).step_by(2).map(SchemeConfig::gag).collect();
+    Plan::suites(&configs, &SimConfig::no_context_switch())
 }
 
 /// Figure 7: GAg accuracy as the global history register lengthens.
 pub fn fig7(ctx: &Ctx) {
-    let configs: Vec<SchemeConfig> = (6..=18).step_by(2).map(SchemeConfig::gag).collect();
-    let results = run_many(ctx, &configs, &SimConfig::no_context_switch());
-    let table = suite_table(&results);
+    let table = suite_table(&run_suites(ctx, &fig7_plan()));
     ctx.emit("fig7", "Figure 7: effect of history register length on GAg", &table);
+}
+
+/// The equal-accuracy triple of Figure 8. The paper's is
+/// GAg(18)/PAg(12)/PAp(6); with our workloads' loop periods, PAp needs 8
+/// history bits to reach the same band (see EXPERIMENTS.md).
+fn fig8_configs() -> [SchemeConfig; 3] {
+    [SchemeConfig::gag(18), SchemeConfig::pag(12), SchemeConfig::pap(8)]
+}
+
+/// The plan behind [`fig8`].
+pub fn fig8_plan() -> Plan {
+    Plan::suites(&fig8_configs(), &SimConfig::no_context_switch())
 }
 
 /// Figure 8: the three configurations that reach roughly equal accuracy,
 /// with their hardware cost estimates.
 pub fn fig8(ctx: &Ctx) {
-    // The paper's triple is GAg(18)/PAg(12)/PAp(6); with our workloads'
-    // loop periods, PAp needs 8 history bits to reach the same band (see
-    // EXPERIMENTS.md).
-    let configs = [SchemeConfig::gag(18), SchemeConfig::pag(12), SchemeConfig::pap(8)];
-    let results = run_many(ctx, &configs, &SimConfig::no_context_switch());
+    let configs = fig8_configs();
+    let results = run_suites(ctx, &fig8_plan());
     let mut table = suite_table(&results);
     ctx.emit("fig8", "Figure 8: equal-accuracy configurations", &table);
 
@@ -103,16 +124,20 @@ pub fn fig8(ctx: &Ctx) {
     ctx.emit("fig8_costs", "Figure 8: cost of the equal-accuracy configurations", &table);
 }
 
+/// The plan behind [`fig9`]: one sweep over the interleaved
+/// (no-CS, with-CS) pairs. The sweep cell honors each config's own `c`
+/// flag, so the plain configs run without context switches and the
+/// flagged ones with the paper model.
+pub fn fig9_plan() -> Plan {
+    let configs: Vec<SchemeConfig> =
+        fig8_configs().iter().flat_map(|base| [*base, base.with_context_switch(true)]).collect();
+    Plan::suites(&configs, &SimConfig::no_context_switch())
+}
+
 /// Figure 9: effect of context switches on the three ~equal-accuracy
 /// schemes.
 pub fn fig9(ctx: &Ctx) {
-    let bases = [SchemeConfig::gag(18), SchemeConfig::pag(12), SchemeConfig::pap(8)];
-    // One sweep over the interleaved (no-CS, with-CS) pairs: the sweep
-    // cell honors each config's own `c` flag, so the plain configs run
-    // without context switches and the flagged ones with the paper model.
-    let configs: Vec<SchemeConfig> =
-        bases.iter().flat_map(|base| [*base, base.with_context_switch(true)]).collect();
-    let results = run_many(ctx, &configs, &SimConfig::no_context_switch());
+    let results = run_suites(ctx, &fig9_plan());
     let table = suite_table(&results);
     ctx.emit("fig9", "Figure 9: effect of context switches", &table);
 
@@ -139,20 +164,24 @@ pub fn fig9(ctx: &Ctx) {
     ctx.emit("fig9_summary", "Figure 9: context-switch degradation", &summary);
 }
 
-/// Figure 10: effect of the BHT implementation on PAg (with context
-/// switches, as in the paper).
-pub fn fig10(ctx: &Ctx) {
+/// The plan behind [`fig10`].
+pub fn fig10_plan() -> Plan {
     let configs: Vec<SchemeConfig> = BhtConfig::FIGURE10
         .iter()
         .map(|&bht| SchemeConfig::pag(12).with_bht(bht).with_context_switch(true))
         .collect();
-    let results = run_many(ctx, &configs, &SimConfig::paper_context_switch());
-    let table = suite_table(&results);
+    Plan::suites(&configs, &SimConfig::paper_context_switch())
+}
+
+/// Figure 10: effect of the BHT implementation on PAg (with context
+/// switches, as in the paper).
+pub fn fig10(ctx: &Ctx) {
+    let table = suite_table(&run_suites(ctx, &fig10_plan()));
     ctx.emit("fig10", "Figure 10: effect of BHT implementation on PAg", &table);
 }
 
-/// Figure 11: the shoot-out against every other scheme.
-pub fn fig11(ctx: &Ctx) {
+/// The plan behind [`fig11`].
+pub fn fig11_plan() -> Plan {
     let configs = [
         SchemeConfig::pag(12),
         SchemeConfig::psg(12),
@@ -163,15 +192,21 @@ pub fn fig11(ctx: &Ctx) {
         SchemeConfig::btfn(),
         SchemeConfig::always_taken(),
     ];
-    let results = run_many(ctx, &configs, &SimConfig::no_context_switch());
-    let table = suite_table(&results);
+    Plan::suites(&configs, &SimConfig::no_context_switch())
+}
+
+/// Figure 11: the shoot-out against every other scheme.
+pub fn fig11(ctx: &Ctx) {
+    let table = suite_table(&run_suites(ctx, &fig11_plan()));
     ctx.emit("fig11", "Figure 11: comparison of branch prediction schemes", &table);
 }
 
-/// Extension beyond the paper: the gshare predictor attacks the residual
-/// global-table interference the paper's conclusion identifies ("we are
-/// examining that 3 percent"). Compare it with GAg at equal table sizes.
-pub fn extensions(ctx: &Ctx) {
+/// Registers the custom (outside-the-catalog) predictors that serialized
+/// plans may reference by name — currently the gshare pair of the
+/// extensions artifact. Idempotent; called by the drivers that need the
+/// builders and by the `exec`/`serve` commands before they execute
+/// client-supplied plans.
+pub fn register_custom_predictors() {
     use tlabp_core::registry;
     use tlabp_core::schemes::Gshare;
 
@@ -182,17 +217,12 @@ pub fn extensions(ctx: &Ctx) {
             Box::new(Gshare::new(bits, Automaton::A2))
         });
     }
+}
 
-    let mut table = Table::new(vec![
-        "benchmark".into(),
-        "GAg(12) %".into(),
-        "gshare(12) %".into(),
-        "GAg(16) %".into(),
-        "gshare(16) %".into(),
-    ]);
-    // A flat benchmark-major (benchmark × variant) plan.
-    let variants = 4usize;
-    let plan: Plan = Benchmark::ALL
+/// The plan behind [`extensions`]: a flat benchmark-major
+/// (benchmark × variant) matrix.
+pub fn extensions_plan() -> Plan {
+    Benchmark::ALL
         .iter()
         .flat_map(|benchmark| {
             [
@@ -202,8 +232,24 @@ pub fn extensions(ctx: &Ctx) {
                 Job::custom("gshare(16)", benchmark),
             ]
         })
-        .collect();
-    let accuracies = execute(&plan, ctx.store()).accuracies();
+        .collect()
+}
+
+/// Extension beyond the paper: the gshare predictor attacks the residual
+/// global-table interference the paper's conclusion identifies ("we are
+/// examining that 3 percent"). Compare it with GAg at equal table sizes.
+pub fn extensions(ctx: &Ctx) {
+    register_custom_predictors();
+
+    let mut table = Table::new(vec![
+        "benchmark".into(),
+        "GAg(12) %".into(),
+        "gshare(12) %".into(),
+        "GAg(16) %".into(),
+        "gshare(16) %".into(),
+    ]);
+    let variants = 4usize;
+    let accuracies = ctx.run(&extensions_plan()).accuracies();
     for (benchmark, row) in Benchmark::ALL.iter().zip(accuracies.chunks(variants)) {
         let mut cells = vec![benchmark.name().to_owned()];
         cells.extend(
@@ -218,9 +264,8 @@ pub fn extensions(ctx: &Ctx) {
     );
 }
 
-/// Calibration helper (not a paper artifact): a quick per-benchmark
-/// accuracy readout for a handful of reference schemes.
-pub fn calibrate(ctx: &Ctx) {
+/// The plan behind [`calibrate`].
+pub fn calibrate_plan() -> Plan {
     let configs = [
         SchemeConfig::pag(12),
         SchemeConfig::pag(12).with_bht(BhtConfig::Ideal),
@@ -231,7 +276,12 @@ pub fn calibrate(ctx: &Ctx) {
         SchemeConfig::btfn(),
         SchemeConfig::always_taken(),
     ];
-    let results = run_many(ctx, &configs, &SimConfig::no_context_switch());
-    let table = suite_table(&results);
+    Plan::suites(&configs, &SimConfig::no_context_switch())
+}
+
+/// Calibration helper (not a paper artifact): a quick per-benchmark
+/// accuracy readout for a handful of reference schemes.
+pub fn calibrate(ctx: &Ctx) {
+    let table = suite_table(&run_suites(ctx, &calibrate_plan()));
     ctx.emit("calibrate", "Calibration readout", &table);
 }

@@ -2,20 +2,29 @@
 //!
 //! ```text
 //! experiments <artifact> [--out DIR] [--section NAME]
+//! experiments plan <artifact> [--out DIR]     # serialize the artifact's Plan
+//! experiments exec <plan.json> [--out DIR]    # execute a serialized Plan in-process
+//! experiments serve                           # run the sweep daemon (TLABP_SERVE_ADDR)
+//! experiments client <plan.json> [--out DIR]  # submit a Plan to a running daemon
 //! ```
 //!
 //! Run `experiments --help` for the artifact list — it is generated from
 //! the single [`ARTIFACTS`] registry, which is the only place an
-//! artifact's name, description and runner are declared. `all` iterates
-//! the same registry (skipping the artifacts marked as not part of the
-//! paper reproduction: `bench` and `calibrate`).
+//! artifact's name, description, runner and (where it has one)
+//! serializable plan are declared. `all` iterates the same registry
+//! (skipping the artifacts marked as not part of the paper
+//! reproduction: `bench` and `calibrate`).
 //!
 //! Each artifact prints an ASCII table and writes `results/<name>.csv`.
+//! `plan`/`exec`/`client` instead exchange the engine's canonical JSON
+//! wire forms, so a result produced by the daemon can be diffed
+//! bit-for-bit against an in-process execution of the same plan.
 
 use std::env;
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 mod ablations;
 mod analysis;
@@ -46,6 +55,13 @@ impl Ctx {
     /// The shared trace cache.
     pub fn store(&self) -> &tlabp_sim::TraceStore {
         &self.store
+    }
+
+    /// Executes a plan on the session-oriented streaming core — the one
+    /// execution path every driver shares (and the same path the sweep
+    /// daemon runs per connection).
+    pub fn run(&self, plan: &tlabp_sim::Plan) -> tlabp_sim::ResultSet {
+        tlabp_sim::Session::new(self.store.clone()).run(plan)
     }
 
     /// The `--section` filter, if one was given.
@@ -83,55 +99,109 @@ impl Ctx {
 }
 
 /// One registered artifact: its CLI name, a one-line description for the
-/// usage text, the runner, and whether `all` includes it.
+/// usage text, the runner, the serializable plan behind the runner (for
+/// the artifacts whose work is one engine plan), and whether `all`
+/// includes it.
 struct Artifact {
     name: &'static str,
     description: &'static str,
     run: fn(&Ctx),
+    /// The plan the runner executes, for `experiments plan <name>`.
+    /// `None` for artifacts that do no simulation (tables 1-3, fig4,
+    /// costs) or that build registry state per variant inline
+    /// (ablations, bench).
+    plan: Option<fn() -> tlabp_sim::Plan>,
     /// `false` for helper artifacts outside the paper reproduction
     /// (throughput benchmarking, calibration); `all` skips those.
     in_all: bool,
 }
 
 const fn artifact(name: &'static str, description: &'static str, run: fn(&Ctx)) -> Artifact {
-    Artifact { name, description, run, in_all: true }
+    Artifact { name, description, run, plan: None, in_all: true }
+}
+
+const fn planned(
+    name: &'static str,
+    description: &'static str,
+    run: fn(&Ctx),
+    plan: fn() -> tlabp_sim::Plan,
+) -> Artifact {
+    Artifact { name, description, run, plan: Some(plan), in_all: true }
 }
 
 const fn helper(name: &'static str, description: &'static str, run: fn(&Ctx)) -> Artifact {
-    Artifact { name, description, run, in_all: false }
+    Artifact { name, description, run, plan: None, in_all: false }
 }
 
 /// The single registry every dispatch path reads: lookup by name, the
-/// `all` iteration and the usage text all come from this table.
+/// `all` iteration, `plan` lookup and the usage text all come from this
+/// table.
 const ARTIFACTS: [Artifact; 19] = [
     artifact("table1", "static conditional branches per benchmark (Table 1)", tables::table1),
     artifact("table2", "training/testing data sets (Table 2)", tables::table2),
     artifact("table3", "simulated predictor configurations (Table 3)", tables::table3),
     artifact("fig4", "distribution of dynamic branch classes (Figure 4)", figures::fig4),
-    artifact("fig5", "PAg with automata LT/A1/A2/A3/A4 (Figure 5)", figures::fig5),
-    artifact("fig6", "GAg vs PAg vs PAp at equal history length (Figure 6)", figures::fig6),
-    artifact("fig7", "GAg history-length sweep (Figure 7)", figures::fig7),
-    artifact("fig8", "the ~97% configurations and their hardware costs (Figure 8)", figures::fig8),
-    artifact("fig9", "context-switch effect (Figure 9)", figures::fig9),
-    artifact("fig10", "BHT implementation effect on PAg (Figure 10)", figures::fig10),
-    artifact("fig11", "comparison of all prediction schemes (Figure 11)", figures::fig11),
+    planned(
+        "fig5",
+        "PAg with automata LT/A1/A2/A3/A4 (Figure 5)",
+        figures::fig5,
+        figures::fig5_plan,
+    ),
+    planned(
+        "fig6",
+        "GAg vs PAg vs PAp at equal history length (Figure 6)",
+        figures::fig6,
+        figures::fig6_plan,
+    ),
+    planned("fig7", "GAg history-length sweep (Figure 7)", figures::fig7, figures::fig7_plan),
+    planned(
+        "fig8",
+        "the ~97% configurations and their hardware costs (Figure 8)",
+        figures::fig8,
+        figures::fig8_plan,
+    ),
+    planned("fig9", "context-switch effect (Figure 9)", figures::fig9, figures::fig9_plan),
+    planned(
+        "fig10",
+        "BHT implementation effect on PAg (Figure 10)",
+        figures::fig10,
+        figures::fig10_plan,
+    ),
+    planned(
+        "fig11",
+        "comparison of all prediction schemes (Figure 11)",
+        figures::fig11,
+        figures::fig11_plan,
+    ),
     artifact("costs", "cost-model curves (Equations 4-6)", tables::costs),
     artifact(
         "ablations",
         "design-choice ablations (speculative history, PHT flush)",
         ablations::ablations,
     ),
-    artifact("extensions", "gshare vs GAg (beyond the paper)", figures::extensions),
-    artifact(
+    planned(
+        "extensions",
+        "gshare vs GAg (beyond the paper)",
+        figures::extensions,
+        figures::extensions_plan,
+    ),
+    planned(
         "analysis",
         "misprediction characterization (\"examining that 3 percent\")",
         analysis::analysis,
+        analysis::analysis_plan,
     ),
-    artifact("fetch", "Section 3.2 fetch-path outcomes with target caching", fetch::fetch),
-    artifact(
+    planned(
+        "fetch",
+        "Section 3.2 fetch-path outcomes with target caching",
+        fetch::fetch,
+        fetch::fetch_plan,
+    ),
+    planned(
         "grid",
         "automaton x history-width x scheme accuracy grid (beyond the paper)",
         tables::grid,
+        tables::grid_plan,
     ),
     helper("bench", "engine throughput vs the sequential reference baseline", bench::bench),
     helper("calibrate", "quick accuracy readout for reference schemes", figures::calibrate),
@@ -139,7 +209,7 @@ const ARTIFACTS: [Artifact; 19] = [
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
-    let mut artifact = None;
+    let mut positional: Vec<String> = Vec::new();
     let mut out_dir = PathBuf::from("results");
     let mut section = None;
     let mut iter = args.iter();
@@ -163,7 +233,9 @@ fn main() -> ExitCode {
                 print_usage();
                 return ExitCode::SUCCESS;
             }
-            name if artifact.is_none() => artifact = Some(name.to_owned()),
+            name if !name.starts_with('-') && positional.len() < 2 => {
+                positional.push(name.to_owned());
+            }
             other => {
                 eprintln!("unexpected argument {other:?}");
                 return ExitCode::FAILURE;
@@ -171,27 +243,199 @@ fn main() -> ExitCode {
         }
     }
 
-    let Some(artifact) = artifact else {
+    let Some(command) = positional.first().cloned() else {
         print_usage();
         return ExitCode::FAILURE;
     };
+    let operand = positional.get(1).cloned();
+
+    match command.as_str() {
+        "plan" => return cmd_plan(operand.as_deref(), &out_dir),
+        "exec" => return cmd_exec(operand.as_deref(), &out_dir),
+        "serve" => return cmd_serve(),
+        "client" => return cmd_client(operand.as_deref(), &out_dir),
+        _ => {}
+    }
+    if let Some(extra) = operand {
+        eprintln!("unexpected argument {extra:?}");
+        return ExitCode::FAILURE;
+    }
 
     let ctx = Ctx::new(out_dir, section);
-    if artifact == "all" {
+    if command == "all" {
         for entry in ARTIFACTS.iter().filter(|a| a.in_all) {
             println!(">>> {}", entry.name);
             (entry.run)(&ctx);
         }
         return ExitCode::SUCCESS;
     }
-    match ARTIFACTS.iter().find(|a| a.name == artifact) {
+    match ARTIFACTS.iter().find(|a| a.name == command) {
         Some(entry) => {
             (entry.run)(&ctx);
             ExitCode::SUCCESS
         }
         None => {
-            eprintln!("unknown artifact {artifact:?}");
+            eprintln!("unknown artifact {command:?}");
             print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `experiments plan <artifact>`: serialize the artifact's plan to
+/// `<out>/<artifact>.plan.json` in the canonical wire form.
+fn cmd_plan(name: Option<&str>, out_dir: &Path) -> ExitCode {
+    let Some(name) = name else {
+        eprintln!("usage: experiments plan <artifact> [--out DIR]");
+        return ExitCode::FAILURE;
+    };
+    let Some(entry) = ARTIFACTS.iter().find(|a| a.name == name) else {
+        eprintln!("unknown artifact {name:?}");
+        return ExitCode::FAILURE;
+    };
+    let Some(make_plan) = entry.plan else {
+        eprintln!("artifact {name:?} has no serializable plan (it does no engine work)");
+        return ExitCode::FAILURE;
+    };
+    let plan = make_plan();
+    if let Err(e) = fs::create_dir_all(out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let path = out_dir.join(format!("{name}.plan.json"));
+    let mut text = plan.to_json_string();
+    text.push('\n');
+    match fs::write(&path, text) {
+        Ok(()) => {
+            println!(
+                "[wrote {} ({} jobs, hash {})]",
+                path.display(),
+                plan.len(),
+                plan.wire_hash_hex()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Reads and decodes a serialized plan file.
+fn load_plan(path: &str) -> Result<tlabp_sim::Plan, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    tlabp_sim::Plan::from_json_str(text.trim_end())
+        .map_err(|e| format!("cannot decode {path}: {e}"))
+}
+
+/// Output path for the results of the plan file at `input`:
+/// `<out>/<stem>.results.json` where `<stem>` drops a trailing
+/// `.plan.json` (or any single extension).
+fn results_path(input: &str, out_dir: &Path) -> PathBuf {
+    let file_name = Path::new(input).file_name().and_then(|n| n.to_str()).unwrap_or(input);
+    let stem = file_name
+        .strip_suffix(".plan.json")
+        .or_else(|| file_name.rsplit_once('.').map(|(stem, _)| stem))
+        .unwrap_or(file_name);
+    out_dir.join(format!("{stem}.results.json"))
+}
+
+fn write_results(path: &Path, results: &tlabp_sim::ResultSet) -> ExitCode {
+    if let Some(parent) = path.parent() {
+        if let Err(e) = fs::create_dir_all(parent) {
+            eprintln!("cannot create {}: {e}", parent.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut text = results.to_json_string();
+    text.push('\n');
+    match fs::write(path, text) {
+        Ok(()) => {
+            println!("[wrote {}]", path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `experiments exec <plan.json>`: execute a serialized plan in-process
+/// on the session core and write the canonical result JSON. The
+/// reference half of the service smoke test: `client` output must be
+/// byte-identical to this.
+fn cmd_exec(input: Option<&str>, out_dir: &Path) -> ExitCode {
+    let Some(input) = input else {
+        eprintln!("usage: experiments exec <plan.json> [--out DIR]");
+        return ExitCode::FAILURE;
+    };
+    figures::register_custom_predictors();
+    let plan = match load_plan(input) {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ctx = Ctx::new(out_dir.to_path_buf(), None);
+    let results = ctx.run(&plan);
+    write_results(&results_path(input, out_dir), &results)
+}
+
+/// `experiments serve`: run the sweep daemon per `TLABP_SERVE_ADDR` /
+/// `TLABP_SERVE_MEMO` / `TLABP_SERVE_WINDOW`, sharing one warm trace
+/// store and the global worker pool across every connection.
+fn cmd_serve() -> ExitCode {
+    figures::register_custom_predictors();
+    let config = tlabp_service::ServeConfig::from_env();
+    let store = tlabp_sim::TraceStore::persistent();
+    match tlabp_service::serve(&config, store, tlabp_sim::ExecOptions::default()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cannot serve on {}: {e}", config.addr);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `experiments client <plan.json>`: submit a serialized plan to the
+/// daemon at `TLABP_SERVE_ADDR` and write the streamed results as the
+/// same canonical JSON `exec` writes.
+fn cmd_client(input: Option<&str>, out_dir: &Path) -> ExitCode {
+    let Some(input) = input else {
+        eprintln!("usage: experiments client <plan.json> [--out DIR]");
+        return ExitCode::FAILURE;
+    };
+    let plan = match load_plan(input) {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = env::var(tlabp_service::SERVE_ADDR_ENV)
+        .unwrap_or_else(|_| tlabp_service::DEFAULT_SERVE_ADDR.to_owned());
+    let mut client = match tlabp_service::Client::connect_with_retry(&addr, Duration::from_secs(10))
+    {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match client.execute(&plan) {
+        Ok((results, done)) => {
+            println!(
+                "[{} jobs streamed from {addr}{}]",
+                done.jobs,
+                if done.memo { ", memoized" } else { "" }
+            );
+            write_results(&results_path(input, out_dir), &results)
+        }
+        Err(e) => {
+            eprintln!("sweep service error: {e}");
             ExitCode::FAILURE
         }
     }
@@ -199,6 +443,10 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     println!("usage: experiments <artifact> [--out DIR] [--section NAME]");
+    println!("       experiments plan <artifact> [--out DIR]");
+    println!("       experiments exec <plan.json> [--out DIR]");
+    println!("       experiments serve");
+    println!("       experiments client <plan.json> [--out DIR]");
     println!("artifacts:");
     let width = ARTIFACTS.iter().map(|a| a.name.len()).max().unwrap_or(0);
     for entry in &ARTIFACTS {
@@ -206,4 +454,9 @@ fn print_usage() {
         println!("  {:width$}  {}{suffix}", entry.name, entry.description);
     }
     println!("  {:width$}  every artifact above marked as part of the reproduction", "all");
+    println!(
+        "\nThe daemon commands honor TLABP_SERVE_ADDR (default {});",
+        tlabp_service::DEFAULT_SERVE_ADDR
+    );
+    println!("`serve` additionally honors TLABP_SERVE_MEMO and TLABP_SERVE_WINDOW.");
 }

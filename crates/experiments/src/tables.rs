@@ -137,16 +137,20 @@ pub fn all_table3_configs() -> Vec<SchemeConfig> {
     configs
 }
 
-/// The full automaton x history-width x scheme accuracy grid (beyond the
-/// paper's figures, which each slice this space along one axis). 75
-/// suite evaluations; affordable because every cell lowers to a
-/// pattern-stream replay, so each (scheme, width, benchmark) trace walk
-/// happens once and the five automata replay over it.
-pub fn grid(ctx: &Ctx) {
-    type MakeScheme = fn(u32) -> SchemeConfig;
-    let widths = [4u32, 6, 8, 10, 12];
-    let schemes: [(&str, MakeScheme); 3] =
-        [("GAg", SchemeConfig::gag), ("PAg", SchemeConfig::pag), ("PAp", SchemeConfig::pap)];
+/// A function making a scheme from a history width.
+type MakeScheme = fn(u32) -> SchemeConfig;
+
+/// The grid's axes: history widths and base schemes.
+fn grid_axes() -> ([u32; 5], [(&'static str, MakeScheme); 3]) {
+    (
+        [4u32, 6, 8, 10, 12],
+        [("GAg", SchemeConfig::gag), ("PAg", SchemeConfig::pag), ("PAp", SchemeConfig::pap)],
+    )
+}
+
+/// The plan behind [`grid`]: every (scheme, width, automaton) suite.
+pub fn grid_plan() -> tlabp_sim::Plan {
+    let (widths, schemes) = grid_axes();
     let configs: Vec<SchemeConfig> = schemes
         .iter()
         .flat_map(|&(_, make)| widths.iter().map(move |&k| make(k)))
@@ -154,7 +158,17 @@ pub fn grid(ctx: &Ctx) {
             Automaton::FIGURE5.iter().map(move |&automaton| config.with_automaton(automaton))
         })
         .collect();
-    let results = tlabp_sim::run_sweep(&configs, ctx.store(), &SimConfig::no_context_switch());
+    tlabp_sim::Plan::suites(&configs, &SimConfig::no_context_switch())
+}
+
+/// The full automaton x history-width x scheme accuracy grid (beyond the
+/// paper's figures, which each slice this space along one axis). 75
+/// suite evaluations; affordable because every cell lowers to a
+/// pattern-stream replay, so each (scheme, width, benchmark) trace walk
+/// happens once and the five automata replay over it.
+pub fn grid(ctx: &Ctx) {
+    let (widths, schemes) = grid_axes();
+    let results = ctx.run(&grid_plan()).suites();
 
     let mut header = vec!["scheme".into(), "k".into()];
     header.extend(Automaton::FIGURE5.iter().map(|a| format!("{a} Tot GMean %")));

@@ -1,0 +1,36 @@
+//! # Sweep-as-a-service daemon
+//!
+//! A thin network layer over the simulator's session-oriented streaming
+//! core ([`tlabp_sim::Session`]): clients serialize a
+//! [`Plan`](tlabp_sim::plan::Plan) onto a line-delimited, checksummed
+//! wire protocol ([`proto`]) and receive result frames streamed back in
+//! plan order as jobs finish, followed by a terminal `done` frame.
+//!
+//! * [`proto`] — the frame format: `TLBS <version> <kind> <len>
+//!   <payload> <checksum>`, versioned and checksummed like the v2 trace
+//!   artifact container, with a precise rejection taxonomy
+//!   ([`proto::FrameError`]).
+//! * [`server`] — [`server::SweepServer`]: one warm
+//!   [`TraceStore`](tlabp_sim::TraceStore) and the global worker pool
+//!   shared across all connections (fair admission: concurrent clients
+//!   interleave on the same workers in bounded windows), plus a memo
+//!   cache keyed by canonical plan JSON that replays previous responses
+//!   byte-for-byte with zero simulation work.
+//! * [`client`] — [`client::Client`]: submit plans, iterate streamed
+//!   outcomes, or drain a whole response into a
+//!   [`ResultSet`](tlabp_sim::ResultSet) bit-identical to an in-process
+//!   `execute` of the same plan.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ResultStream};
+pub use proto::{Done, FrameError, FrameKind, PROTOCOL_VERSION};
+pub use server::{
+    serve, ServeConfig, SweepServer, DEFAULT_MEMO_CAP, DEFAULT_SERVE_ADDR, SERVE_ADDR_ENV,
+    SERVE_MEMO_ENV, SERVE_WINDOW_ENV,
+};

@@ -1,0 +1,293 @@
+//! The sweep daemon: accepts serialized plans over TCP, streams results.
+//!
+//! One [`SweepServer`] owns the warm state every connection shares — a
+//! single [`TraceStore`] (traces generate once, ever) and the global
+//! [`SweepPool`](tlabp_sim::SweepPool) (simulation work from all clients
+//! interleaves on one fixed set of worker threads, which is what makes
+//! admission fair: a second client's jobs enqueue behind — not after —
+//! the first client's, draining in bounded windows rather than whole
+//! plans). A memo cache keyed by the canonical plan JSON replays
+//! previously-computed responses byte-for-byte with zero simulation
+//! work.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+
+use tlabp_core::registry;
+use tlabp_sim::plan::{Plan, PredictorSpec};
+use tlabp_sim::{ExecOptions, Session, SweepPool, TraceStore};
+
+use crate::proto::{
+    decode_frame, done_payload, encode_frame, error_payload, result_payload, FrameKind,
+};
+
+/// Environment variable naming the daemon's listen address.
+pub const SERVE_ADDR_ENV: &str = "TLABP_SERVE_ADDR";
+/// Default listen address when [`SERVE_ADDR_ENV`] is unset.
+pub const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7391";
+/// Environment variable capping the memo cache (entries; 0 disables).
+pub const SERVE_MEMO_ENV: &str = "TLABP_SERVE_MEMO";
+/// Default memo-cache capacity in cached responses.
+pub const DEFAULT_MEMO_CAP: usize = 64;
+/// Environment variable overriding the per-request streaming window
+/// (in-flight task cap). Unset means the session default
+/// (`2 * pool threads`).
+pub const SERVE_WINDOW_ENV: &str = "TLABP_SERVE_WINDOW";
+
+/// Daemon configuration, normally read from the environment.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`host:port`). Use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Memo-cache capacity in cached responses; 0 disables memoization.
+    pub memo_cap: usize,
+    /// Per-request streaming window override; `None` = session default.
+    pub window: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: DEFAULT_SERVE_ADDR.to_owned(),
+            memo_cap: DEFAULT_MEMO_CAP,
+            window: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reads [`SERVE_ADDR_ENV`], [`SERVE_MEMO_ENV`] and
+    /// [`SERVE_WINDOW_ENV`], falling back to the defaults for unset or
+    /// unparsable values.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mut config = ServeConfig::default();
+        if let Ok(addr) = std::env::var(SERVE_ADDR_ENV) {
+            if !addr.is_empty() {
+                config.addr = addr;
+            }
+        }
+        if let Some(cap) = read_env_usize(SERVE_MEMO_ENV) {
+            config.memo_cap = cap;
+        }
+        config.window = read_env_usize(SERVE_WINDOW_ENV).filter(|&w| w > 0);
+        config
+    }
+}
+
+fn read_env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+/// A memoized response: the pre-encoded `result` frame payloads, in plan
+/// order. Replaying the exact strings (rather than re-encoding a stored
+/// `ResultSet`) is what makes the memoized response byte-identical to
+/// the original one by construction.
+type MemoEntry = Arc<Vec<String>>;
+
+/// FIFO-evicting memo cache keyed by canonical plan JSON.
+struct MemoCache {
+    cap: usize,
+    entries: HashMap<String, MemoEntry>,
+    order: VecDeque<String>,
+}
+
+impl MemoCache {
+    fn new(cap: usize) -> Self {
+        MemoCache { cap, entries: HashMap::new(), order: VecDeque::new() }
+    }
+
+    fn get(&self, key: &str) -> Option<MemoEntry> {
+        self.entries.get(key).cloned()
+    }
+
+    fn insert(&mut self, key: String, entry: MemoEntry) {
+        if self.cap == 0 || self.entries.contains_key(&key) {
+            return;
+        }
+        while self.entries.len() >= self.cap {
+            match self.order.pop_front() {
+                Some(oldest) => {
+                    self.entries.remove(&oldest);
+                }
+                None => break,
+            }
+        }
+        self.order.push_back(key.clone());
+        self.entries.insert(key, entry);
+    }
+}
+
+/// State shared by every connection of one server.
+struct Shared {
+    store: TraceStore,
+    options: ExecOptions,
+    window: Option<usize>,
+    memo: Mutex<MemoCache>,
+}
+
+/// The sweep-as-a-service daemon. See the module docs for the sharing
+/// and fairness model.
+pub struct SweepServer {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl SweepServer {
+    /// Binds the daemon to `config.addr` with a warm store and the
+    /// given execution options.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address cannot be bound.
+    pub fn bind(
+        config: &ServeConfig,
+        store: TraceStore,
+        options: ExecOptions,
+    ) -> std::io::Result<SweepServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(SweepServer {
+            listener,
+            shared: Arc::new(Shared {
+                store,
+                options,
+                window: config.window,
+                memo: Mutex::new(MemoCache::new(config.memo_cap)),
+            }),
+        })
+    }
+
+    /// The bound address — useful after binding port 0.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error if the local address cannot be queried.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts connections forever, one handler thread per connection.
+    /// Simulation work still funnels through the one global
+    /// [`SweepPool`](tlabp_sim::SweepPool), so concurrent clients share
+    /// the worker threads fairly instead of multiplying them.
+    pub fn run(&self) -> ! {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    let shared = Arc::clone(&self.shared);
+                    std::thread::spawn(move || {
+                        if let Err(err) = handle_connection(stream, &shared) {
+                            eprintln!("tlabp-serve: connection {peer}: {err}");
+                        }
+                    });
+                }
+                Err(err) => eprintln!("tlabp-serve: accept failed: {err}"),
+            }
+        }
+    }
+}
+
+/// Serves one connection: a sequence of `plan` frames, each answered by
+/// streamed `result` frames and a terminal `done` (or one `error`).
+fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        match decode_frame(&line) {
+            Ok((FrameKind::Plan, payload)) => serve_plan(payload, shared, &mut writer)?,
+            Ok((kind, _)) => {
+                send(
+                    &mut writer,
+                    FrameKind::Error,
+                    &error_payload(&format!("expected a plan frame, got {kind}")),
+                )?;
+            }
+            Err(err) => {
+                // The stream's framing is no longer trustworthy; report
+                // and drop the connection.
+                send(&mut writer, FrameKind::Error, &error_payload(&err.to_string()))?;
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn serve_plan(
+    payload: &str,
+    shared: &Shared,
+    writer: &mut BufWriter<TcpStream>,
+) -> std::io::Result<()> {
+    let plan = match Plan::from_json_str(payload) {
+        Ok(plan) => plan,
+        Err(err) => return send(writer, FrameKind::Error, &error_payload(&err.to_string())),
+    };
+    // Pre-validate custom predictor names: lowering panics on unknown
+    // registry entries (a programming error in-process, but a daemon
+    // must survive any client-supplied plan).
+    for job in plan.jobs() {
+        if let PredictorSpec::Custom(name) = &job.spec {
+            if registry::builder(name).is_none() {
+                return send(
+                    writer,
+                    FrameKind::Error,
+                    &error_payload(&format!("no predictor registered under {name:?}")),
+                );
+            }
+        }
+    }
+
+    // The canonical plan JSON doubles as the memo key: two plans memo-hit
+    // iff their canonical encodings are byte-equal.
+    let key = plan.to_json_string();
+    let cached = shared.memo.lock().expect("memo cache lock").get(&key);
+    if let Some(entry) = cached {
+        for frame_payload in entry.iter() {
+            send(writer, FrameKind::Result, frame_payload)?;
+        }
+        return send(writer, FrameKind::Done, &done_payload(entry.len(), true));
+    }
+
+    // Miss: stream the session. Each result frame is written and flushed
+    // as soon as the engine yields the job, so clients see plan-order
+    // results incrementally while later jobs are still simulating.
+    let mut session =
+        Session::on(SweepPool::global(), shared.store.clone()).with_options(shared.options);
+    if let Some(window) = shared.window {
+        session = session.with_window(window);
+    }
+    let mut payloads = Vec::with_capacity(plan.len());
+    for item in session.submit(&plan) {
+        let frame_payload = result_payload(item.index, &item.outcome);
+        send(writer, FrameKind::Result, &frame_payload)?;
+        payloads.push(frame_payload);
+    }
+    let jobs = payloads.len();
+    shared.memo.lock().expect("memo cache lock").insert(key, Arc::new(payloads));
+    send(writer, FrameKind::Done, &done_payload(jobs, false))
+}
+
+fn send(writer: &mut BufWriter<TcpStream>, kind: FrameKind, payload: &str) -> std::io::Result<()> {
+    writer.write_all(encode_frame(kind, payload).as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Binds per `config`, prints the bound address to stderr, and serves
+/// forever (the `Ok` arm is never reached). This is the entry point the
+/// `experiments serve` command uses.
+///
+/// # Errors
+///
+/// Fails if the address cannot be bound.
+pub fn serve(config: &ServeConfig, store: TraceStore, options: ExecOptions) -> std::io::Result<()> {
+    let server = SweepServer::bind(config, store, options)?;
+    eprintln!("tlabp-serve: listening on {}", server.local_addr()?);
+    server.run()
+}

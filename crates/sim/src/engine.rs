@@ -66,7 +66,8 @@
 //! assert_eq!(results.len(), Benchmark::ALL.len());
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 
 use tlabp_core::any::AnyPredictor;
 use tlabp_core::config::SchemeConfig;
@@ -78,6 +79,7 @@ use tlabp_core::target_cache::{FetchOutcome, TargetCache};
 use tlabp_trace::{BranchClass, Trace};
 use tlabp_workloads::DataSet;
 
+use crate::json::{Json, WireError};
 use crate::metrics::{BenchmarkAccuracy, FetchStats, MissBreakdown, SuiteResult};
 use crate::plan::{Job, MetricSet, Plan, PredictorSpec, TargetCacheSpec, TraceKey};
 use crate::pool::SweepPool;
@@ -130,7 +132,118 @@ impl JobOutcome {
             JobOutcome::Skipped { .. } => None,
         }
     }
+
+    /// The outcome as a wire-format JSON value. Every metric field is an
+    /// exact integer counter, so the encoding is lossless — decoded
+    /// outcomes compare equal to the originals, which is what lets the
+    /// service promise bit-identical streamed results.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        match self {
+            JobOutcome::Skipped { reason } => {
+                Json::object(vec![("skipped", Json::Str(reason.clone()))])
+            }
+            JobOutcome::Measured(m) => {
+                let sim = Json::object(vec![
+                    ("scheme", Json::Str(m.sim.scheme.clone())),
+                    ("predictions", Json::UInt(m.sim.predictions)),
+                    ("correct", Json::UInt(m.sim.correct)),
+                    ("context_switches", Json::UInt(m.sim.context_switches)),
+                ]);
+                let miss_breakdown = match &m.miss_breakdown {
+                    None => Json::Null,
+                    Some(b) => Json::object(vec![
+                        ("bht_miss", Json::UInt(b.bht_miss)),
+                        ("weak_pattern", Json::UInt(b.weak_pattern)),
+                        ("interference", Json::UInt(b.interference)),
+                        ("noise", Json::UInt(b.noise)),
+                    ]),
+                };
+                let fetch = match &m.fetch {
+                    None => Json::Null,
+                    Some(f) => Json::object(vec![
+                        ("branches", Json::UInt(f.branches)),
+                        ("correct_path", Json::UInt(f.correct_path)),
+                        ("no_bubble_taken", Json::UInt(f.no_bubble_taken)),
+                        ("squashes", Json::UInt(f.squashes)),
+                        ("return_target_misses", Json::UInt(f.return_target_misses)),
+                    ]),
+                };
+                Json::object(vec![(
+                    "measured",
+                    Json::object(vec![
+                        ("sim", sim),
+                        ("miss_breakdown", miss_breakdown),
+                        ("fetch", fetch),
+                    ]),
+                )])
+            }
+        }
+    }
+
+    /// Decodes an outcome from its [`JobOutcome::to_json`] encoding.
+    ///
+    /// # Errors
+    ///
+    /// Fails on missing or mistyped fields, or a value that is neither
+    /// `{"skipped":...}` nor `{"measured":...}`.
+    pub fn from_json(json: &Json) -> Result<JobOutcome, WireError> {
+        let count = |node: &Json, key: &str| -> Result<u64, WireError> {
+            node.field(key)?
+                .as_u64()
+                .ok_or_else(|| WireError::new(format!("{key} must be an unsigned integer")))
+        };
+        if let Some(reason) = json.get("skipped") {
+            let reason = reason
+                .as_str()
+                .ok_or_else(|| WireError::new("skipped must carry a reason string"))?;
+            return Ok(JobOutcome::Skipped { reason: reason.to_owned() });
+        }
+        let measured = json
+            .get("measured")
+            .ok_or_else(|| WireError::new("outcome needs a \"skipped\" or \"measured\" field"))?;
+        let sim_json = measured.field("sim")?;
+        let sim = SimResult {
+            scheme: sim_json
+                .field("scheme")?
+                .as_str()
+                .ok_or_else(|| WireError::new("scheme must be a string"))?
+                .to_owned(),
+            predictions: count(sim_json, "predictions")?,
+            correct: count(sim_json, "correct")?,
+            context_switches: count(sim_json, "context_switches")?,
+        };
+        let breakdown_json = measured.field("miss_breakdown")?;
+        let miss_breakdown = if breakdown_json.is_null() {
+            None
+        } else {
+            Some(MissBreakdown {
+                bht_miss: count(breakdown_json, "bht_miss")?,
+                weak_pattern: count(breakdown_json, "weak_pattern")?,
+                interference: count(breakdown_json, "interference")?,
+                noise: count(breakdown_json, "noise")?,
+            })
+        };
+        let fetch_json = measured.field("fetch")?;
+        let fetch = if fetch_json.is_null() {
+            None
+        } else {
+            Some(FetchStats {
+                branches: count(fetch_json, "branches")?,
+                correct_path: count(fetch_json, "correct_path")?,
+                no_bubble_taken: count(fetch_json, "no_bubble_taken")?,
+                squashes: count(fetch_json, "squashes")?,
+                return_target_misses: count(fetch_json, "return_target_misses")?,
+            })
+        };
+        Ok(JobOutcome::Measured(JobMetrics { sim, miss_breakdown, fetch }))
+    }
 }
+
+/// Version tag of the serialized result format
+/// ([`ResultSet::to_json_string`]); rejected on mismatch, like
+/// [`PLAN_WIRE_VERSION`](crate::plan::PLAN_WIRE_VERSION).
+pub const RESULT_WIRE_VERSION: u64 = 1;
 
 /// The outcomes of a plan, in plan order.
 #[derive(Debug, Clone, PartialEq)]
@@ -139,6 +252,94 @@ pub struct ResultSet {
 }
 
 impl ResultSet {
+    /// Reassembles a result set from a plan and its outcomes in plan
+    /// order — the client side of the wire protocol, where outcomes
+    /// arrive as indexed frames and the jobs come from the plan the
+    /// caller already holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counts disagree (callers validate frame counts
+    /// before reassembly).
+    #[must_use]
+    pub fn from_outcomes(plan: &Plan, outcomes: Vec<JobOutcome>) -> ResultSet {
+        assert_eq!(plan.len(), outcomes.len(), "one outcome per plan job");
+        ResultSet { rows: plan.jobs().iter().cloned().zip(outcomes).collect() }
+    }
+
+    /// The outcomes in plan order.
+    pub fn outcomes(&self) -> impl Iterator<Item = &JobOutcome> {
+        self.rows.iter().map(|(_, outcome)| outcome)
+    }
+
+    /// The result set as its canonical wire document:
+    /// `{"version":1,"plan_hash":"<16 hex>","outcomes":[...]}`.
+    ///
+    /// The `plan_hash` ties the document to the plan that produced it
+    /// ([`Plan::wire_hash`]); the jobs themselves are not repeated —
+    /// whoever holds the results holds the plan. Rendering is canonical
+    /// (compact, fixed field order), so equal result sets serialize
+    /// byte-identically and bit-identity can be checked with a plain
+    /// file compare.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        let plan: Plan = self.rows.iter().map(|(job, _)| job.clone()).collect();
+        Json::object(vec![
+            ("version", Json::UInt(RESULT_WIRE_VERSION)),
+            ("plan_hash", Json::Str(plan.wire_hash_hex())),
+            ("outcomes", Json::Array(self.rows.iter().map(|(_, o)| o.to_json()).collect())),
+        ])
+        .render()
+    }
+
+    /// Decodes a result set serialized by [`ResultSet::to_json_string`],
+    /// re-attaching the jobs of `plan`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON, a version other than
+    /// [`RESULT_WIRE_VERSION`], a `plan_hash` that does not match
+    /// `plan` (the document describes some other plan's results), an
+    /// outcome count different from the plan's job count, or any
+    /// outcome that does not decode.
+    pub fn from_json_str(text: &str, plan: &Plan) -> Result<ResultSet, WireError> {
+        let json = Json::parse(text)?;
+        let version = json
+            .field("version")?
+            .as_u64()
+            .ok_or_else(|| WireError::new("version must be an integer"))?;
+        if version != RESULT_WIRE_VERSION {
+            return Err(WireError::new(format!(
+                "unsupported result version {version} (this build speaks {RESULT_WIRE_VERSION})"
+            )));
+        }
+        let hash = json
+            .field("plan_hash")?
+            .as_str()
+            .ok_or_else(|| WireError::new("plan_hash must be a string"))?;
+        if hash != plan.wire_hash_hex() {
+            return Err(WireError::new(format!(
+                "plan hash mismatch: results are for {hash}, plan is {}",
+                plan.wire_hash_hex()
+            )));
+        }
+        let outcomes_json = json
+            .field("outcomes")?
+            .as_array()
+            .ok_or_else(|| WireError::new("outcomes must be an array"))?;
+        if outcomes_json.len() != plan.len() {
+            return Err(WireError::new(format!(
+                "outcome count {} does not match plan job count {}",
+                outcomes_json.len(),
+                plan.len()
+            )));
+        }
+        let outcomes = outcomes_json
+            .iter()
+            .map(JobOutcome::from_json)
+            .collect::<Result<Vec<JobOutcome>, WireError>>()?;
+        Ok(ResultSet::from_outcomes(plan, outcomes))
+    }
     /// Number of rows (equal to the plan's job count).
     #[must_use]
     pub fn len(&self) -> usize {
@@ -277,6 +478,13 @@ pub fn execute_on(pool: &SweepPool, plan: &Plan, store: &TraceStore) -> ResultSe
 
 /// [`execute_on`] with explicit [`ExecOptions`].
 ///
+/// Since the session refactor this is a thin wrapper: submit the plan
+/// through a [`Session`] and drain the [`JobStream`] to completion.
+/// There is exactly one execution path — the blocking entry points and
+/// the streaming service both run the same lowering, prefetch,
+/// partition and scheduling code, so their results are bit-identical by
+/// construction.
+///
 /// # Panics
 ///
 /// See [`execute`].
@@ -287,69 +495,309 @@ pub fn execute_with(
     store: &TraceStore,
     options: ExecOptions,
 ) -> ResultSet {
-    // Phase 0: lower on the submitting thread, so unknown registry names
-    // and unsatisfiable jobs fail fast and deterministically.
-    let lowered: Vec<Lowered> = plan.jobs().iter().map(lower).collect();
-
-    // Phase 1: the prefetch barrier (see `prefetch_lowered`).
-    if options.prefetch {
-        prefetch_lowered(pool, plan, &lowered, store);
-    }
-
-    // Phase 2: resolve skips inline and partition runnable cells via the
-    // same pure [`partition_batches`] the prefetch pass used, so both
-    // phases agree — batch for batch — on which streams the plan needs.
-    let partition = partition_batches(&lowered);
-    let mut slots: Vec<Option<JobOutcome>> = vec![None; plan.len()];
-    let mut cells: Vec<Option<Cell>> = lowered
-        .into_iter()
-        .enumerate()
-        .map(|(index, low)| match low {
-            Lowered::Skip { reason } => {
-                slots[index] = Some(JobOutcome::Skipped { reason });
-                None
-            }
-            Lowered::Run(cell) => Some(cell),
-        })
-        .collect();
-    let claim = |indices: &[usize], cells: &mut Vec<Option<Cell>>| -> Vec<(usize, Cell)> {
-        indices
-            .iter()
-            .map(|&index| (index, cells[index].take().expect("each cell is scheduled once")))
-            .collect()
-    };
-
-    // Phase 3: schedule singleton cells and fused/replay batches as pool
-    // tasks. Every task reports `(job index, outcome)` pairs that scatter
-    // into plan-order slots, so neither task granularity nor completion
-    // order can leak into the output.
-    type Task = Box<dyn FnOnce() -> Vec<(usize, JobOutcome)> + Send + 'static>;
-    let mut tasks: Vec<Task> = Vec::new();
-    for &index in &partition.singles {
-        let cell = cells[index].take().expect("each cell is scheduled once");
-        let store = store.clone();
-        tasks.push(Box::new(move || vec![(index, run_cell(&cell, &store))]));
-    }
-    for indices in &partition.fused {
-        let batch = claim(indices, &mut cells);
-        let store = store.clone();
-        tasks.push(Box::new(move || run_fused_batch(batch, &store)));
-    }
-    for indices in &partition.replay {
-        let batch = claim(indices, &mut cells);
-        let store = store.clone();
-        let simd = options.simd;
-        tasks.push(Box::new(move || run_replay_batch(batch, &store, simd)));
-    }
-    for (index, outcome) in pool.run(tasks).into_iter().flatten() {
-        debug_assert!(slots[index].is_none(), "each job reports exactly once");
-        slots[index] = Some(outcome);
-    }
-
-    // Phase 4: reassemble in plan order.
-    let outcomes = slots.into_iter().map(|slot| slot.expect("every job produced one outcome"));
-    ResultSet { rows: plan.jobs().iter().cloned().zip(outcomes).collect() }
+    Session::on(pool, store.clone()).with_options(options).submit(plan).into_result_set()
 }
+
+/// A worker-pool task: runs one scheduling unit (a singleton cell or a
+/// fused/replay batch) and reports each member's `(job index, outcome)`.
+type Task = Box<dyn FnOnce() -> Vec<(usize, JobOutcome)> + Send + 'static>;
+
+/// A long-lived handle for running plans incrementally: the engine's
+/// lowering, prefetch and batch scheduling behind a submit-and-stream
+/// interface instead of a blocking call.
+///
+/// [`Session::submit`] returns a [`JobStream`] yielding each job's
+/// outcome *in plan order, as soon as it is known* — a driver (or the
+/// sweep service) can forward early results while later batches are
+/// still simulating. A session holds its [`TraceStore`] by value
+/// (stores are cheap shared handles), so one warm store can back many
+/// sessions across many submissions; the pool reference lets concurrent
+/// sessions share one set of workers.
+///
+/// Scheduling is windowed: at most [`Session::with_window`] tasks from
+/// this session sit in the shared pool queue at once (the rest wait in
+/// the stream), so a session streaming a thousand-job plan does not
+/// monopolize the queue — concurrent sessions' tasks interleave FIFO,
+/// which is the service's fair-admission story. Results travel over a
+/// bounded channel sized to the window, so a slow consumer stalls
+/// admission of *its own* remaining tasks, never the pool.
+///
+/// # Example
+///
+/// ```no_run
+/// use tlabp_core::config::SchemeConfig;
+/// use tlabp_sim::engine::Session;
+/// use tlabp_sim::plan::{Job, Plan};
+/// use tlabp_sim::suite::TraceStore;
+/// use tlabp_workloads::Benchmark;
+///
+/// let session = Session::new(TraceStore::new());
+/// let plan: Plan = Benchmark::ALL
+///     .iter()
+///     .map(|b| Job::scheme(SchemeConfig::pag(12), b))
+///     .collect();
+/// for item in session.submit(&plan) {
+///     println!("job {}: {:?}", item.index, item.outcome.accuracy());
+/// }
+/// ```
+pub struct Session<'p> {
+    pool: &'p SweepPool,
+    store: TraceStore,
+    options: ExecOptions,
+    window: usize,
+}
+
+impl Session<'static> {
+    /// A session on the process-wide [`SweepPool::global`] pool.
+    #[must_use]
+    pub fn new(store: TraceStore) -> Self {
+        Session::on(SweepPool::global(), store)
+    }
+}
+
+impl<'p> Session<'p> {
+    /// A session on an explicit pool.
+    ///
+    /// The default window is twice the pool width: enough queued work to
+    /// keep every worker busy while the stream consumes, small enough
+    /// that concurrent sessions interleave on the shared queue.
+    #[must_use]
+    pub fn on(pool: &'p SweepPool, store: TraceStore) -> Self {
+        Session { pool, store, options: ExecOptions::default(), window: 2 * pool.threads() }
+    }
+
+    /// Replaces the execution options.
+    #[must_use]
+    pub fn with_options(mut self, options: ExecOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Replaces the admission window (clamped to at least 1): the
+    /// maximum number of this session's tasks in the shared pool queue
+    /// at once.
+    #[must_use]
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
+        self
+    }
+
+    /// Lowers, prefetches and partitions `plan`, then returns a
+    /// [`JobStream`] that schedules the work windowed and yields
+    /// outcomes in plan order.
+    ///
+    /// Phases 0–2 of the classic engine run synchronously here (fail
+    /// fast on unknown registry names; the prefetch barrier completes
+    /// before any cell is admitted); phases 3–4 — scheduling and
+    /// plan-order reassembly — happen incrementally as the stream is
+    /// consumed. Tasks are ordered by their smallest job index before
+    /// admission, so the head of the plan simulates first and the first
+    /// item yields without waiting on unrelated tail batches.
+    ///
+    /// # Panics
+    ///
+    /// See [`execute`].
+    #[must_use]
+    pub fn submit(&self, plan: &Plan) -> JobStream<'p> {
+        // Phase 0: lower on the submitting thread, so unknown registry
+        // names and unsatisfiable jobs fail fast and deterministically.
+        let lowered: Vec<Lowered> = plan.jobs().iter().map(lower).collect();
+
+        // Phase 1: the prefetch barrier (see `prefetch_lowered`).
+        if self.options.prefetch {
+            prefetch_lowered(self.pool, plan, &lowered, &self.store);
+        }
+
+        // Phase 2: resolve skips inline and partition runnable cells via
+        // the same pure [`partition_batches`] the prefetch pass used, so
+        // both phases agree — batch for batch — on which streams the
+        // plan needs.
+        let partition = partition_batches(&lowered);
+        let mut ready: BTreeMap<usize, JobOutcome> = BTreeMap::new();
+        let mut cells: Vec<Option<Cell>> = lowered
+            .into_iter()
+            .enumerate()
+            .map(|(index, low)| match low {
+                Lowered::Skip { reason } => {
+                    ready.insert(index, JobOutcome::Skipped { reason });
+                    None
+                }
+                Lowered::Run(cell) => Some(cell),
+            })
+            .collect();
+        let claim = |indices: &[usize], cells: &mut Vec<Option<Cell>>| -> Vec<(usize, Cell)> {
+            indices
+                .iter()
+                .map(|&index| (index, cells[index].take().expect("each cell is scheduled once")))
+                .collect()
+        };
+
+        // Build the task list keyed by each task's smallest job index
+        // (batches keep plan order internally, so that is member 0).
+        // Sorting by that key fills the stream head-first.
+        let mut tasks: Vec<(usize, Task)> = Vec::new();
+        for &index in &partition.singles {
+            let cell = cells[index].take().expect("each cell is scheduled once");
+            let store = self.store.clone();
+            tasks.push((index, Box::new(move || vec![(index, run_cell(&cell, &store))])));
+        }
+        for indices in &partition.fused {
+            let batch = claim(indices, &mut cells);
+            let store = self.store.clone();
+            tasks.push((indices[0], Box::new(move || run_fused_batch(batch, &store))));
+        }
+        for indices in &partition.replay {
+            let batch = claim(indices, &mut cells);
+            let store = self.store.clone();
+            let simd = self.options.simd;
+            tasks.push((indices[0], Box::new(move || run_replay_batch(batch, &store, simd))));
+        }
+        tasks.sort_by_key(|(first, _)| *first);
+
+        // The result channel is bounded to the window: at most `window`
+        // tasks are in flight and each sends exactly once, so workers
+        // never block on a slow stream consumer — unconsumed results
+        // simply fill the channel and admission stops until the
+        // consumer drains.
+        let (sender, receiver) = sync_channel(self.window);
+        JobStream {
+            pool: self.pool,
+            jobs: plan.jobs().to_vec().into_iter(),
+            total: plan.len(),
+            pending: tasks.into_iter().map(|(_, task)| task).collect(),
+            sender: Some(sender),
+            receiver,
+            ready,
+            next_index: 0,
+            in_flight: 0,
+            window: self.window,
+        }
+    }
+
+    /// [`Session::submit`] + drain: the blocking call the classic
+    /// [`execute`] entry points delegate to.
+    ///
+    /// # Panics
+    ///
+    /// See [`execute`].
+    #[must_use]
+    pub fn run(&self, plan: &Plan) -> ResultSet {
+        self.submit(plan).into_result_set()
+    }
+}
+
+/// One streamed result: the `index`-th job of the submitted plan and
+/// its outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobItem {
+    /// Position in the submitted plan.
+    pub index: usize,
+    /// The job, as submitted.
+    pub job: Job,
+    /// What it produced.
+    pub outcome: JobOutcome,
+}
+
+/// The incremental result stream of one [`Session::submit`] call.
+///
+/// Iterating yields [`JobItem`]s strictly in plan order; each `next()`
+/// admits queued tasks up to the session window, then blocks only until
+/// the outcome of the *next* plan index is known. Outcomes that finish
+/// out of order are buffered (never dropped), so draining the stream
+/// always yields exactly one item per job.
+pub struct JobStream<'p> {
+    pool: &'p SweepPool,
+    jobs: std::vec::IntoIter<Job>,
+    total: usize,
+    pending: VecDeque<Task>,
+    /// Master clone of the result sender. Dropped once every task has
+    /// been admitted, so a task that dies without reporting (worker
+    /// panic) surfaces as a closed channel instead of a deadlock.
+    sender: Option<SyncSender<Vec<(usize, JobOutcome)>>>,
+    receiver: Receiver<Vec<(usize, JobOutcome)>>,
+    /// Outcomes received (or resolved at submit time, for skips) but not
+    /// yet yielded.
+    ready: BTreeMap<usize, JobOutcome>,
+    next_index: usize,
+    in_flight: usize,
+    window: usize,
+}
+
+impl JobStream<'_> {
+    /// Tops the pool queue up to the session window.
+    fn admit(&mut self) {
+        while self.in_flight < self.window {
+            let Some(task) = self.pending.pop_front() else { break };
+            let sender = self.sender.clone().expect("sender is alive while tasks are pending");
+            self.pool.spawn(move || {
+                // Receiver dropped => the stream was abandoned mid-plan;
+                // the result is simply discarded.
+                let _ = sender.send(task());
+            });
+            self.in_flight += 1;
+        }
+        if self.pending.is_empty() {
+            self.sender = None;
+        }
+    }
+
+    /// Drains the stream into a [`ResultSet`] (blocking until every job
+    /// has reported) — plan-order reassembly as a fold over the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a task panicked on a worker: its results can never
+    /// arrive.
+    #[must_use]
+    pub fn into_result_set(self) -> ResultSet {
+        let mut rows = Vec::with_capacity(self.total);
+        for item in self {
+            rows.push((item.job, item.outcome));
+        }
+        ResultSet { rows }
+    }
+}
+
+impl Iterator for JobStream<'_> {
+    type Item = JobItem;
+
+    fn next(&mut self) -> Option<JobItem> {
+        loop {
+            if self.next_index == self.total {
+                return None;
+            }
+            if let Some(outcome) = self.ready.remove(&self.next_index) {
+                let job = self.jobs.next().expect("one job per yielded index");
+                let index = self.next_index;
+                self.next_index += 1;
+                return Some(JobItem { index, job, outcome });
+            }
+            self.admit();
+            // The missing outcome belongs to a pending or in-flight task
+            // (every runnable index is covered by exactly one task and
+            // admit() always schedules at least one when any remain), so
+            // a receive must eventually deliver it.
+            debug_assert!(self.in_flight > 0, "missing outcome with nothing in flight");
+            let batch =
+                self.receiver.recv().expect("a sweep task panicked before reporting its results");
+            self.in_flight -= 1;
+            for (index, outcome) in batch {
+                debug_assert!(
+                    index >= self.next_index && !self.ready.contains_key(&index),
+                    "each job reports exactly once"
+                );
+                self.ready.insert(index, outcome);
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.total - self.next_index;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for JobStream<'_> {}
 
 /// Runs only the prefetch pass of [`execute`] for `plan`: every distinct
 /// trace form and pattern stream the plan's runnable jobs need is
@@ -1114,6 +1562,106 @@ mod tests {
             assert_eq!(rep.history_bits(), 8, "widest member wins");
             assert!(keys.iter().all(|key| key.fold_key() == rep.fold_key()));
         }
+    }
+
+    #[test]
+    fn session_stream_yields_plan_order_and_matches_execute() {
+        let store = TraceStore::new();
+        let plan: Plan = [
+            Job::scheme(SchemeConfig::pag(8), li()),
+            Job::scheme(SchemeConfig::profiling(), Benchmark::by_name("eqntott").unwrap()),
+            Job::scheme(SchemeConfig::gag(10).with_context_switch(true), li()),
+            Job::scheme(SchemeConfig::btfn(), li()),
+        ]
+        .into_iter()
+        .collect();
+        let blocking = execute(&plan, &store);
+
+        let session = Session::new(store);
+        let stream = session.submit(&plan);
+        assert_eq!(stream.len(), plan.len());
+        let items: Vec<JobItem> = stream.collect();
+        assert_eq!(items.len(), plan.len());
+        for (position, item) in items.iter().enumerate() {
+            assert_eq!(item.index, position, "items arrive in plan order");
+            assert_eq!(&item.job, &plan.jobs()[position]);
+            assert_eq!(&item.outcome, blocking.outcome(position), "stream matches execute");
+        }
+    }
+
+    #[test]
+    fn session_streams_early_results_before_later_jobs_finish() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        registry::register("session-test-fast", || Box::new(tlabp_core::schemes::Btfn::new()));
+        let release = Arc::new(AtomicBool::new(false));
+        let gate = Arc::clone(&release);
+        registry::register("session-test-slow", move || {
+            while !gate.load(Ordering::SeqCst) {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            Box::new(tlabp_core::schemes::Btfn::new())
+        });
+
+        // Two singleton tasks on a two-worker pool: job 1's builder
+        // blocks until the test observes job 0's streamed item, proving
+        // the stream yields incrementally rather than after the sweep.
+        let pool = SweepPool::new(2);
+        let plan: Plan = [
+            Job::custom("session-test-fast", li()).with_fusion(false),
+            Job::custom("session-test-slow", li()).with_fusion(false),
+        ]
+        .into_iter()
+        .collect();
+        let session = Session::on(&pool, TraceStore::new());
+        let mut stream = session.submit(&plan);
+        let first = stream.next().expect("first item streams while job 1 is still blocked");
+        assert_eq!(first.index, 0);
+        assert!(first.outcome.accuracy().is_some());
+        release.store(true, Ordering::SeqCst);
+        let second = stream.next().expect("second item arrives after release");
+        assert_eq!(second.index, 1);
+        assert!(stream.next().is_none());
+    }
+
+    #[test]
+    fn result_set_wire_round_trip_is_lossless() {
+        let store = TraceStore::new();
+        let plan: Plan = [
+            Job::scheme(SchemeConfig::pag(12), li())
+                .with_metrics(MetricSet { miss_breakdown: true, fetch: None }),
+            Job::scheme(SchemeConfig::profiling(), Benchmark::by_name("eqntott").unwrap()),
+            Job::scheme(SchemeConfig::pag(12), li()).with_metrics(MetricSet {
+                miss_breakdown: false,
+                fetch: Some(TargetCacheSpec::PAPER_DEFAULT),
+            }),
+            Job::scheme(SchemeConfig::gag(8), li()),
+        ]
+        .into_iter()
+        .collect();
+        let results = execute(&plan, &store);
+        let text = results.to_json_string();
+        let back = ResultSet::from_json_str(&text, &plan).expect("serialized results parse");
+        assert_eq!(back, results);
+        assert_eq!(back.to_json_string(), text, "re-render is byte-identical");
+    }
+
+    #[test]
+    fn result_set_wire_decode_rejects_mismatches() {
+        let store = TraceStore::new();
+        let plan: Plan = [Job::scheme(SchemeConfig::gag(8), li())].into_iter().collect();
+        let results = execute(&plan, &store);
+        let text = results.to_json_string();
+
+        let wrong_version = text.replacen("\"version\":1", "\"version\":9", 1);
+        assert!(ResultSet::from_json_str(&wrong_version, &plan).is_err());
+
+        let other_plan: Plan = [Job::scheme(SchemeConfig::gag(10), li())].into_iter().collect();
+        let err = ResultSet::from_json_str(&text, &other_plan).unwrap_err();
+        assert!(err.to_string().contains("plan hash"), "{err}");
+
+        assert!(ResultSet::from_json_str("{}", &plan).is_err());
     }
 
     #[test]

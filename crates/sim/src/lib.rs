@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod json;
 pub mod metrics;
 pub mod plan;
 pub mod pool;
@@ -53,10 +54,12 @@ pub mod suite;
 pub mod sweep;
 
 pub use engine::{
-    execute, execute_on, execute_with, prefetch_on, ExecOptions, JobMetrics, JobOutcome, ResultSet,
+    execute, execute_on, execute_with, prefetch_on, ExecOptions, JobItem, JobMetrics, JobOutcome,
+    JobStream, ResultSet, Session, RESULT_WIRE_VERSION,
 };
+pub use json::{Json, WireError};
 pub use metrics::{geometric_mean, SuiteResult};
-pub use plan::{Job, MetricSet, Plan, PredictorSpec, TargetCacheSpec, TraceKey};
+pub use plan::{Job, MetricSet, Plan, PredictorSpec, TargetCacheSpec, TraceKey, PLAN_WIRE_VERSION};
 pub use pool::SweepPool;
 pub use runner::{
     derive_pattern_stream, replay_stream_key, simulate, simulate_fused, simulate_packed,

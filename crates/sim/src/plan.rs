@@ -33,7 +33,15 @@
 use tlabp_core::config::SchemeConfig;
 use tlabp_workloads::{Benchmark, DataSet};
 
-use crate::runner::SimConfig;
+use crate::json::{Json, WireError};
+use crate::runner::{ContextSwitchConfig, SimConfig};
+
+/// Version tag of the serialized plan format ([`Plan::to_json_string`]).
+///
+/// Bumped on any change to the job encoding; decoders reject documents
+/// whose version differs, the same posture the v2 artifact container
+/// takes toward on-disk data.
+pub const PLAN_WIRE_VERSION: u64 = 1;
 
 /// Which predictor a job simulates.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -243,6 +251,151 @@ impl Job {
     pub fn label(&self) -> String {
         self.spec.label()
     }
+
+    /// The job as a wire-format JSON value (see
+    /// [`Plan::to_json_string`] for the enclosing document).
+    ///
+    /// Scheme specs serialize as their Table 3 configuration string —
+    /// the notation already round-trips through
+    /// [`SchemeConfig`]'s `Display`/`FromStr` pair, so the wire format
+    /// inherits a stable, human-auditable encoding instead of
+    /// duplicating the scheme structure field by field.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let spec = match &self.spec {
+            PredictorSpec::Scheme(config) => {
+                Json::object(vec![("scheme", Json::Str(config.to_string()))])
+            }
+            PredictorSpec::Custom(name) => Json::object(vec![("custom", Json::Str(name.clone()))]),
+        };
+        let data_set = match self.trace.data_set {
+            DataSet::Training => "training",
+            DataSet::Testing => "testing",
+        };
+        let context_switch = match &self.sim.context_switch {
+            None => Json::Null,
+            Some(cs) => Json::object(vec![
+                ("interval_instructions", Json::UInt(cs.interval_instructions)),
+                ("on_traps", Json::Bool(cs.on_traps)),
+            ]),
+        };
+        let fetch = match self.metrics.fetch {
+            None => Json::Null,
+            Some(spec) => Json::object(vec![
+                ("entries", Json::UInt(spec.entries as u64)),
+                ("ways", Json::UInt(spec.ways as u64)),
+            ]),
+        };
+        Json::object(vec![
+            ("spec", spec),
+            ("benchmark", Json::Str(self.trace.benchmark.name().to_owned())),
+            ("data_set", Json::Str(data_set.to_owned())),
+            ("context_switch", context_switch),
+            (
+                "metrics",
+                Json::object(vec![
+                    ("miss_breakdown", Json::Bool(self.metrics.miss_breakdown)),
+                    ("fetch", fetch),
+                ]),
+            ),
+            ("reference_path", Json::Bool(self.reference_path)),
+            ("fuse", Json::Bool(self.fuse)),
+            ("replay", Json::Bool(self.replay)),
+        ])
+    }
+
+    /// Decodes a job from its [`Job::to_json`] encoding.
+    ///
+    /// # Errors
+    ///
+    /// Fails on missing or mistyped fields, an unknown benchmark name,
+    /// or a scheme string [`SchemeConfig`] cannot parse. Custom names
+    /// are *not* resolved against the predictor registry here — the
+    /// plan stays pure data; the engine (or the service's admission
+    /// check) resolves names at execution time.
+    pub fn from_json(json: &Json) -> Result<Job, WireError> {
+        let spec_json = json.field("spec")?;
+        let spec = if let Some(text) = spec_json.get("scheme") {
+            let text =
+                text.as_str().ok_or_else(|| WireError::new("spec.scheme must be a string"))?;
+            let config: SchemeConfig =
+                text.parse().map_err(|e| WireError::new(format!("bad scheme {text:?}: {e}")))?;
+            PredictorSpec::Scheme(config)
+        } else if let Some(name) = spec_json.get("custom") {
+            let name =
+                name.as_str().ok_or_else(|| WireError::new("spec.custom must be a string"))?;
+            PredictorSpec::custom(name)
+        } else {
+            return Err(WireError::new("spec needs a \"scheme\" or \"custom\" field"));
+        };
+
+        let bench_name = json
+            .field("benchmark")?
+            .as_str()
+            .ok_or_else(|| WireError::new("benchmark must be a string"))?;
+        let benchmark = Benchmark::by_name(bench_name)
+            .ok_or_else(|| WireError::new(format!("unknown benchmark {bench_name:?}")))?;
+        let data_set = match json.field("data_set")?.as_str() {
+            Some("training") => DataSet::Training,
+            Some("testing") => DataSet::Testing,
+            _ => return Err(WireError::new("data_set must be \"training\" or \"testing\"")),
+        };
+
+        let cs_json = json.field("context_switch")?;
+        let context_switch = if cs_json.is_null() {
+            None
+        } else {
+            Some(ContextSwitchConfig {
+                interval_instructions: cs_json
+                    .field("interval_instructions")?
+                    .as_u64()
+                    .ok_or_else(|| WireError::new("interval_instructions must be an integer"))?,
+                on_traps: cs_json
+                    .field("on_traps")?
+                    .as_bool()
+                    .ok_or_else(|| WireError::new("on_traps must be a boolean"))?,
+            })
+        };
+
+        let metrics_json = json.field("metrics")?;
+        let fetch_json = metrics_json.field("fetch")?;
+        let fetch = if fetch_json.is_null() {
+            None
+        } else {
+            Some(TargetCacheSpec {
+                entries: decode_usize(fetch_json.field("entries")?, "fetch.entries")?,
+                ways: decode_usize(fetch_json.field("ways")?, "fetch.ways")?,
+            })
+        };
+        let metrics = MetricSet {
+            miss_breakdown: metrics_json
+                .field("miss_breakdown")?
+                .as_bool()
+                .ok_or_else(|| WireError::new("miss_breakdown must be a boolean"))?,
+            fetch,
+        };
+
+        let flag = |key: &str| -> Result<bool, WireError> {
+            json.field(key)?
+                .as_bool()
+                .ok_or_else(|| WireError::new(format!("{key} must be a boolean")))
+        };
+        Ok(Job {
+            spec,
+            trace: TraceKey { benchmark, data_set },
+            sim: SimConfig { context_switch },
+            metrics,
+            reference_path: flag("reference_path")?,
+            fuse: flag("fuse")?,
+            replay: flag("replay")?,
+        })
+    }
+}
+
+fn decode_usize(json: &Json, what: &str) -> Result<usize, WireError> {
+    json.as_u64()
+        .and_then(|n| usize::try_from(n).ok())
+        .ok_or_else(|| WireError::new(format!("{what} must be an unsigned integer")))
 }
 
 /// An ordered batch of jobs. Execution order never affects results — the
@@ -281,6 +434,72 @@ impl Plan {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.jobs.is_empty()
+    }
+
+    /// The plan as a wire-format JSON value:
+    /// `{"version":1,"jobs":[...]}` with each job encoded by
+    /// [`Job::to_json`].
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("version", Json::UInt(PLAN_WIRE_VERSION)),
+            ("jobs", Json::Array(self.jobs.iter().map(Job::to_json).collect())),
+        ])
+    }
+
+    /// The plan's canonical serialized form: the [`Plan::to_json`]
+    /// document rendered compactly with fixed field order. Equal plans
+    /// produce byte-identical strings, so this text doubles as the
+    /// service's memoization key and the input of [`Plan::wire_hash`].
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Decodes a plan from its serialized form (or any
+    /// whitespace-formatted equivalent — hand-edited plan files parse
+    /// too; only the *canonical* rendering is hashed).
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON, a version other than
+    /// [`PLAN_WIRE_VERSION`], or any job that does not decode
+    /// ([`Job::from_json`]).
+    pub fn from_json_str(text: &str) -> Result<Plan, WireError> {
+        let json = Json::parse(text)?;
+        let version = json
+            .field("version")?
+            .as_u64()
+            .ok_or_else(|| WireError::new("version must be an integer"))?;
+        if version != PLAN_WIRE_VERSION {
+            return Err(WireError::new(format!(
+                "unsupported plan version {version} (this build speaks {PLAN_WIRE_VERSION})"
+            )));
+        }
+        let jobs = json
+            .field("jobs")?
+            .as_array()
+            .ok_or_else(|| WireError::new("jobs must be an array"))?;
+        jobs.iter().map(Job::from_json).collect::<Result<Plan, WireError>>()
+    }
+
+    /// A stable 64-bit digest of the plan: the artifact container's
+    /// checksum ([`tlabp_trace::io::checksum`]) over the canonical
+    /// serialized form. Equal plans hash equal on every build; the
+    /// service memoizes responses and tags streamed [`ResultSet`]
+    /// documents by this value.
+    ///
+    /// [`ResultSet`]: crate::engine::ResultSet
+    #[must_use]
+    pub fn wire_hash(&self) -> u64 {
+        tlabp_trace::io::checksum(self.to_json_string().as_bytes())
+    }
+
+    /// [`Plan::wire_hash`] as the fixed-width hex string used in wire
+    /// documents.
+    #[must_use]
+    pub fn wire_hash_hex(&self) -> String {
+        format!("{:016x}", self.wire_hash())
     }
 
     /// The full-suite matrix: every configuration on every benchmark
@@ -354,6 +573,62 @@ mod tests {
         let custom = Job::custom("gshare(12)", benchmark);
         assert_eq!(custom.label(), "gshare(12)");
         assert_eq!(custom.trace.data_set, DataSet::Testing);
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_every_job_field() {
+        let li = Benchmark::by_name("li").unwrap();
+        let plan: Plan = [
+            Job::scheme(SchemeConfig::pag(12), li),
+            Job::scheme(SchemeConfig::gag(10).with_context_switch(true), li),
+            Job::scheme(
+                SchemeConfig::pap(8).with_bht(tlabp_core::bht::BhtConfig::Ideal),
+                Benchmark::by_name("eqntott").unwrap(),
+            )
+            .with_reference_path(true),
+            Job::scheme(SchemeConfig::profiling(), li).with_sim(SimConfig::paper_context_switch()),
+            Job::custom("gshare(12)", li).with_fusion(false).with_replay(false),
+            Job::scheme(SchemeConfig::btfn(), li).with_metrics(MetricSet {
+                miss_breakdown: true,
+                fetch: Some(TargetCacheSpec { entries: 256, ways: 2 }),
+            }),
+            Job {
+                trace: TraceKey { benchmark: li, data_set: DataSet::Training },
+                ..Job::scheme(SchemeConfig::gsg(6), li)
+            },
+        ]
+        .into_iter()
+        .collect();
+
+        let text = plan.to_json_string();
+        let back = Plan::from_json_str(&text).expect("canonical form parses");
+        assert_eq!(back, plan);
+        assert_eq!(back.to_json_string(), text, "re-render is byte-identical");
+        assert_eq!(back.wire_hash(), plan.wire_hash());
+        assert_eq!(plan.wire_hash_hex().len(), 16);
+
+        let other: Plan = [Job::scheme(SchemeConfig::pag(10), li)].into_iter().collect();
+        assert_ne!(other.wire_hash(), plan.wire_hash(), "different plans hash differently");
+    }
+
+    #[test]
+    fn wire_decode_rejects_bad_documents() {
+        let li = Benchmark::by_name("li").unwrap();
+        let good: Plan = [Job::scheme(SchemeConfig::pag(8), li)].into_iter().collect();
+        let text = good.to_json_string();
+
+        let wrong_version = text.replacen("\"version\":1", "\"version\":2", 1);
+        let err = Plan::from_json_str(&wrong_version).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+
+        let bad_bench = text.replace("\"benchmark\":\"li\"", "\"benchmark\":\"no-such\"");
+        assert!(Plan::from_json_str(&bad_bench).is_err());
+
+        let bad_scheme = text.replace("PAg", "QQQ");
+        assert!(Plan::from_json_str(&bad_scheme).is_err());
+
+        assert!(Plan::from_json_str("{\"version\":1}").is_err(), "missing jobs");
+        assert!(Plan::from_json_str("not json").is_err());
     }
 
     #[test]

@@ -74,6 +74,21 @@ impl SweepPool {
         self.threads
     }
 
+    /// Enqueues one job and returns immediately, without waiting for it
+    /// (or anything else) to finish.
+    ///
+    /// This is the streaming primitive under
+    /// [`Session`](crate::engine::Session): a session keeps a bounded
+    /// window of spawned tasks in flight and collects their results over
+    /// its own channel, so concurrent sessions sharing one pool
+    /// interleave fairly — each holds at most its window's worth of the
+    /// shared FIFO queue instead of enqueuing a whole plan at once.
+    /// [`SweepPool::run`] remains the batch path (submit everything,
+    /// block, reassemble).
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        self.injector.send(Box::new(job)).expect("sweep pool workers alive");
+    }
+
     /// Runs every job on the pool and returns their results in
     /// submission order (regardless of completion order).
     ///
@@ -224,6 +239,25 @@ mod tests {
         assert_eq!(thread_override(Some("-2")), Err("-2".to_owned()));
         assert_eq!(thread_override(Some("3.5")), Err("3.5".to_owned()));
         assert_eq!(thread_override(Some("lots")), Err("lots".to_owned()));
+    }
+
+    #[test]
+    fn spawn_returns_before_the_job_runs_and_interleaves_with_run() {
+        let pool = SweepPool::new(2);
+        let (release_in, release_out) = channel::<()>();
+        let (done_in, done_out) = channel::<u32>();
+        // A spawned job that blocks until released: spawn must not wait
+        // for it.
+        let done = done_in.clone();
+        pool.spawn(move || {
+            release_out.recv().expect("released");
+            done.send(1).expect("collector alive");
+        });
+        // The pool still serves run() batches while the spawned job is
+        // parked on the second worker.
+        assert_eq!(pool.run([|| 7]), vec![7]);
+        release_in.send(()).expect("job waiting");
+        assert_eq!(done_out.recv(), Ok(1));
     }
 
     #[test]

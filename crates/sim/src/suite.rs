@@ -85,6 +85,27 @@ struct DiskTier {
     temp_counter: AtomicU64,
 }
 
+/// How long a persist waits for a contended artifact lock before
+/// proceeding unlocked (last writer wins; the rename keeps files whole).
+const LOCK_WAIT_MILLIS: u64 = 2_000;
+
+/// Age beyond which a lock file is considered abandoned by a crashed
+/// writer and broken. Persists hold the lock for milliseconds, so
+/// anything this old is dead.
+const LOCK_STALE_SECS: u64 = 10;
+
+/// A held advisory artifact lock; the lock file is removed on drop (and
+/// scavenged as stale by other writers if this process dies first).
+struct ArtifactLock {
+    path: PathBuf,
+}
+
+impl Drop for ArtifactLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
 impl DiskTier {
     /// The artifact path for a slot. The container version and workload
     /// fingerprint are part of the name, so a format bump or workload
@@ -140,33 +161,120 @@ impl DiskTier {
     /// currently materialized. I/O failures warn and leave the previous
     /// file (if any) intact — persistence is an accelerator, never a
     /// correctness dependency.
+    ///
+    /// # Concurrent writers
+    ///
+    /// The in-process `write_lock` serializes persists of one slot within
+    /// a store, but a shared cache directory can be written by *several*
+    /// processes at once (concurrent service clients, parallel CI
+    /// suites). Two defenses make that safe:
+    ///
+    /// * an **advisory file lock** (`<artifact>.lock`, created with
+    ///   `create_new`) serializes cross-process persists of one artifact.
+    ///   Stale locks left by a killed process are broken after
+    ///   [`LOCK_STALE_SECS`]; a writer that cannot acquire the lock
+    ///   within [`LOCK_WAIT_MILLIS`] proceeds anyway with a warning —
+    ///   the atomic rename below means the worst outcome is last writer
+    ///   wins, never a torn file.
+    /// * **merge-on-persist**: under the lock, the current artifact is
+    ///   re-read and any sections it has that this store has not
+    ///   materialized (a trace form, disk-only pattern streams) are
+    ///   carried into the rewrite. Without this, two clients deriving
+    ///   *different* streams for the same trace would each overwrite the
+    ///   other's work; with it, the artifact converges to the union.
+    ///   In-memory forms win on conflict — they are what this store
+    ///   measured with.
+    ///
+    /// Readers need no lock at all: hydration re-validates every section
+    /// checksum on open and treats a torn or corrupt file as a miss.
     fn persist(&self, slot: &TraceSlot, benchmark: &Benchmark, data_set: DataSet) {
         let _guard = slot.write_lock.lock().expect("slot write lock");
         let fingerprint = *slot.fingerprint.get_or_init(|| benchmark.fingerprint(data_set));
         let trace = slot.trace.get().cloned();
         let packed = slot.packed.get().cloned();
         let interned = slot.interned.get().cloned();
-        let mut streams: Vec<(Vec<u8>, Arc<PatternStream>)> = {
+        let streams: Vec<(Vec<u8>, Arc<PatternStream>)> = {
             let map = slot.streams.lock().expect("stream map lock");
             map.iter()
                 .filter_map(|(key, cell)| cell.get().map(|s| (key.to_bytes(), Arc::clone(s))))
                 .collect()
         };
+        let path = self.path_for(benchmark.name(), data_set, fingerprint);
+        let _file_lock = self.lock_artifact(&path);
+
+        // Merge: keep sections a concurrent writer (or an earlier run)
+        // already persisted that this store never materialized.
+        let existing = fs::read(&path)
+            .ok()
+            .and_then(|bytes| read_artifacts(&bytes).ok())
+            .filter(|bundle| bundle.fingerprint == fingerprint);
+        let merged_trace: Option<&Trace> =
+            trace.as_deref().or(existing.as_ref().and_then(|b| b.trace.as_ref()));
+        let merged_packed: Option<&[PackedCond]> = packed
+            .as_deref()
+            .map(Vec::as_slice)
+            .or(existing.as_ref().and_then(|b| b.packed.as_deref()));
+        let merged_interned: Option<&InternedConds> =
+            interned.as_deref().or(existing.as_ref().and_then(|b| b.interned.as_ref()));
+        let mut refs: Vec<(Vec<u8>, &PatternStream)> =
+            streams.iter().map(|(key, stream)| (key.clone(), stream.as_ref())).collect();
+        if let Some(bundle) = &existing {
+            for (key, stream) in &bundle.streams {
+                if !refs.iter().any(|(have, _)| have == key) {
+                    refs.push((key.clone(), stream));
+                }
+            }
+        }
         // Deterministic section order keeps repeated persists of the same
         // content byte-identical.
-        streams.sort_by(|a, b| a.0.cmp(&b.0));
-        let refs: Vec<(Vec<u8>, &PatternStream)> =
-            streams.iter().map(|(key, stream)| (key.clone(), stream.as_ref())).collect();
-        let bytes = write_artifacts(
-            fingerprint,
-            trace.as_deref(),
-            packed.as_deref().map(Vec::as_slice),
-            interned.as_deref(),
-            &refs,
-        );
-        let path = self.path_for(benchmark.name(), data_set, fingerprint);
+        refs.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let bytes =
+            write_artifacts(fingerprint, merged_trace, merged_packed, merged_interned, &refs);
         if let Err(err) = self.write_atomic(&path, &bytes) {
             eprintln!("warning: failed to write trace artifact {} ({err})", path.display());
+        }
+    }
+
+    /// Acquires the advisory cross-process lock for an artifact path:
+    /// `<artifact>.lock`, created exclusively. Returns `None` (with a
+    /// warning) when the lock cannot be acquired within the wait budget
+    /// — the caller proceeds unlocked rather than stalling simulation on
+    /// a cache courtesy.
+    fn lock_artifact(&self, path: &Path) -> Option<ArtifactLock> {
+        if fs::create_dir_all(&self.dir).is_err() {
+            return None;
+        }
+        let lock_path = path.with_extension("tlabp.lock");
+        let deadline =
+            std::time::Instant::now() + std::time::Duration::from_millis(LOCK_WAIT_MILLIS);
+        loop {
+            match fs::OpenOptions::new().write(true).create_new(true).open(&lock_path) {
+                Ok(_) => return Some(ArtifactLock { path: lock_path }),
+                Err(err) if err.kind() == std::io::ErrorKind::AlreadyExists => {
+                    // A crashed writer leaves its lock behind; break it
+                    // once it is clearly older than any live persist.
+                    let stale = fs::metadata(&lock_path)
+                        .and_then(|meta| meta.modified())
+                        .ok()
+                        .and_then(|modified| modified.elapsed().ok())
+                        .is_some_and(|age| age.as_secs() >= LOCK_STALE_SECS);
+                    if stale {
+                        eprintln!("warning: breaking stale artifact lock {}", lock_path.display());
+                        let _ = fs::remove_file(&lock_path);
+                        continue;
+                    }
+                    if std::time::Instant::now() >= deadline {
+                        eprintln!(
+                            "warning: timed out waiting for artifact lock {}; writing anyway",
+                            lock_path.display()
+                        );
+                        return None;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+                Err(_) => return None,
+            }
         }
     }
 

@@ -5,8 +5,12 @@
 # exercise) — repeated with each replay kernel body forced, proving
 # TLABP_SIMD is a throughput knob only — and one-iteration smoke runs
 # of the throughput harness (full, then the replay section alone under
-# the portable SWAR body).
-# Run from the repository root. Requires no network access.
+# the portable SWAR body), and the sweep-service smoke test: a daemon is
+# started, two concurrent clients stream the fig5 plan, and both
+# streamed result sets must be byte-identical to an in-process
+# `experiments exec` of the same plan file.
+# Run from the repository root. Requires no network access (the service
+# smoke test talks only to 127.0.0.1).
 set -eux
 
 cargo build --release --workspace
@@ -18,3 +22,29 @@ TLABP_SIMD=swar cargo test --release -q -p tlabp --test differential --test swee
 TLABP_SIMD=scalar cargo test --release -q -p tlabp --test differential --test sweep_determinism
 TLABP_BENCH_ITERS=1 cargo run -q -p tlabp-experiments --release -- bench --out "$(mktemp -d)"
 TLABP_BENCH_ITERS=1 TLABP_SIMD=swar cargo run -q -p tlabp-experiments --release -- bench --section replay --out "$(mktemp -d)"
+
+# Sweep-service smoke test. Serialize the fig5 plan, run it in-process
+# for the reference results, then stream it through a live daemon from
+# two concurrent clients plus one warm (memoized) client, and require
+# every response byte-identical to the in-process run.
+SMOKE_DIR="$(mktemp -d)"
+export TLABP_SERVE_ADDR=127.0.0.1:17391
+cargo run -q -p tlabp-experiments --release -- plan fig5 --out "$SMOKE_DIR"
+cargo run -q -p tlabp-experiments --release -- exec "$SMOKE_DIR/fig5.plan.json" --out "$SMOKE_DIR/exec"
+cargo run -q -p tlabp-experiments --release -- serve &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+cargo run -q -p tlabp-experiments --release -- client "$SMOKE_DIR/fig5.plan.json" --out "$SMOKE_DIR/client-a" &
+CLIENT_A=$!
+cargo run -q -p tlabp-experiments --release -- client "$SMOKE_DIR/fig5.plan.json" --out "$SMOKE_DIR/client-b" &
+CLIENT_B=$!
+wait "$CLIENT_A"
+wait "$CLIENT_B"
+# A third client hits the daemon's memo cache; the replayed bytes must
+# still match.
+cargo run -q -p tlabp-experiments --release -- client "$SMOKE_DIR/fig5.plan.json" --out "$SMOKE_DIR/client-memo"
+cmp "$SMOKE_DIR/exec/fig5.results.json" "$SMOKE_DIR/client-a/fig5.results.json"
+cmp "$SMOKE_DIR/exec/fig5.results.json" "$SMOKE_DIR/client-b/fig5.results.json"
+cmp "$SMOKE_DIR/exec/fig5.results.json" "$SMOKE_DIR/client-memo/fig5.results.json"
+kill "$SERVE_PID"
+trap - EXIT

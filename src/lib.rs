@@ -21,6 +21,9 @@
 //!   with training and testing data sets.
 //! * [`sim`] (`tlabp-sim`) — the trace-driven simulation runner, context
 //!   switch model, suite orchestration and reporting.
+//! * [`service`] (`tlabp-service`) — the sweep-as-a-service daemon:
+//!   serialized plans over a line-delimited checksummed wire protocol,
+//!   streamed results, memoized responses.
 //!
 //! # Quick start
 //!
@@ -46,6 +49,7 @@
 
 pub use tlabp_core as core;
 pub use tlabp_isa as isa;
+pub use tlabp_service as service;
 pub use tlabp_sim as sim;
 pub use tlabp_trace as trace;
 pub use tlabp_workloads as workloads;

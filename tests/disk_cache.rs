@@ -164,3 +164,65 @@ fn cache_bytes_reports_disk_footprint() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Regression test for the disk-tier write race: several stores (as in
+/// several daemon connections or concurrent driver processes) target the
+/// same cache directory and the same benchmark, each deriving a
+/// *different* pattern stream. The advisory artifact lock plus
+/// merge-on-persist must converge the file to the union of every
+/// writer's sections — not last-writer-wins over the whole artifact —
+/// and leave no `.lock` or `.tmp-*` residue behind.
+#[test]
+fn concurrent_writers_merge_into_one_artifact() {
+    let dir = scratch_dir("race");
+    let li = Benchmark::by_name("li").expect("li exists");
+    let widths = [6u32, 8, 10, 12];
+    let plan_for =
+        |k: u32| -> Plan { [Job::scheme(SchemeConfig::gag(k), li)].into_iter().collect() };
+
+    // Reference outcomes from hermetic memory-only stores.
+    let expected: Vec<_> =
+        widths.iter().map(|&k| execute(&plan_for(k), &TraceStore::new())).collect();
+
+    // Four threads, four *distinct* store instances, one directory: each
+    // persists the shared li-testing artifact concurrently with a
+    // different stream key inside.
+    let outputs: Vec<_> = widths
+        .iter()
+        .map(|&k| {
+            let dir = dir.clone();
+            std::thread::spawn(move || execute(&plan_for(k), &TraceStore::with_cache_dir(&dir)))
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|handle| handle.join().expect("writer thread panicked"))
+        .collect();
+    for (output, expected) in outputs.iter().zip(&expected) {
+        assert_eq!(output, expected, "racing the disk tier changed results");
+    }
+
+    // Exactly the artifact survives: no stale advisory locks, no
+    // orphaned temp files.
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .expect("cache dir exists")
+        .filter_map(Result::ok)
+        .map(|entry| entry.file_name().to_string_lossy().into_owned())
+        .filter(|name| !(name.starts_with("li-testing-v2-") && name.ends_with(".tlabp")))
+        .collect();
+    assert!(leftovers.is_empty(), "lock/temp residue after racing writers: {leftovers:?}");
+    let paths = artifact_paths(&dir);
+    assert_eq!(paths.len(), 1, "all writers share one artifact: {paths:?}");
+
+    // The surviving file holds the union: a warm store replays all four
+    // plans purely from hydration, and since nothing new is derived the
+    // artifact bytes stay untouched.
+    let bytes_before = std::fs::read(&paths[0]).expect("artifact exists");
+    let warm = TraceStore::with_cache_dir(&dir);
+    for (&k, expected) in widths.iter().zip(&expected) {
+        assert_eq!(&execute(&plan_for(k), &warm), expected, "hydrated union changed results");
+    }
+    let bytes_after = std::fs::read(&paths[0]).expect("artifact exists");
+    assert_eq!(bytes_before, bytes_after, "a complete union artifact must not be rewritten");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

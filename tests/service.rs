@@ -1,0 +1,208 @@
+//! Acceptance tests for the sweep-as-a-service daemon.
+//!
+//! One in-process server (bound to an ephemeral port) backs all the
+//! scenarios the issue's acceptance criteria name: two concurrent
+//! clients each receive streamed result sets bit-identical to an
+//! in-process `execute` of the same plan; a repeated submission is
+//! answered from the memo cache with zero simulation work (proven by a
+//! counting predictor builder); and results arrive incrementally in plan
+//! order — the first job's frame is readable while a later job is still
+//! deliberately blocked.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use tlabp::core::config::SchemeConfig;
+use tlabp::core::registry;
+use tlabp::service::{Client, ServeConfig, SweepServer};
+use tlabp::sim::engine::execute;
+use tlabp::sim::plan::{Job, Plan};
+use tlabp::sim::{ExecOptions, TraceStore};
+use tlabp::workloads::Benchmark;
+
+fn li() -> &'static Benchmark {
+    Benchmark::by_name("li").expect("li exists")
+}
+
+/// Binds a fresh daemon on an ephemeral port and serves it from a
+/// background thread; returns the address to dial.
+fn spawn_server(memo_cap: usize) -> String {
+    let config = ServeConfig { addr: "127.0.0.1:0".to_owned(), memo_cap, window: None };
+    let server = SweepServer::bind(&config, TraceStore::new(), ExecOptions::default())
+        .expect("ephemeral port binds");
+    let addr = server.local_addr().expect("bound address").to_string();
+    std::thread::spawn(move || server.run());
+    addr
+}
+
+fn connect(addr: &str) -> Client {
+    Client::connect_with_retry(addr, Duration::from_secs(10)).expect("daemon reachable")
+}
+
+/// Two clients submit concurrently; each streamed response reconstructs
+/// a `ResultSet` bit-identical (canonical JSON byte equality, not just
+/// `==`) to executing the same plan in-process. A third submission of
+/// the same plan is served from the memo cache, again byte-identical.
+#[test]
+fn concurrent_clients_match_in_process_execution_bit_for_bit() {
+    let addr = spawn_server(64);
+    let plan_a: Plan = [
+        Job::scheme(SchemeConfig::pag(8), li()),
+        Job::scheme(SchemeConfig::gag(8), li()),
+        Job::scheme(SchemeConfig::btfn(), li()),
+    ]
+    .into_iter()
+    .collect();
+    let plan_b: Plan =
+        [Job::scheme(SchemeConfig::gag(10), li()), Job::scheme(SchemeConfig::always_taken(), li())]
+            .into_iter()
+            .collect();
+
+    let expected_a = execute(&plan_a, &TraceStore::new()).to_json_string();
+    let expected_b = execute(&plan_b, &TraceStore::new()).to_json_string();
+
+    let threads =
+        [(plan_a.clone(), expected_a.clone()), (plan_b, expected_b)].map(|(plan, expected)| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let (results, done) = connect(&addr).execute(&plan).expect("streamed response");
+                assert_eq!(done.jobs, plan.len());
+                assert!(!done.memo, "first submission of each plan simulates");
+                assert_eq!(
+                    results.to_json_string(),
+                    expected,
+                    "streamed results must be bit-identical to in-process execution"
+                );
+            })
+        });
+    for thread in threads {
+        thread.join().expect("client thread");
+    }
+
+    // Same plan again: the daemon replays its memoized frames.
+    let (results, done) = connect(&addr).execute(&plan_a).expect("memoized response");
+    assert!(done.memo, "repeat submission must hit the memo cache");
+    assert_eq!(results.to_json_string(), expected_a, "memoized response must be byte-identical");
+}
+
+/// Zero simulation work on a memo hit: a counting registry builder shows
+/// the predictor is never even constructed for the repeated plan.
+#[test]
+fn memoized_responses_do_no_simulation_work() {
+    let addr = spawn_server(64);
+    let builds = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&builds);
+    registry::register("service-test-counting", move || {
+        counter.fetch_add(1, Ordering::SeqCst);
+        Box::new(tlabp::core::schemes::Btfn::new())
+    });
+    let plan: Plan =
+        [Job::custom("service-test-counting", li()).with_fusion(false)].into_iter().collect();
+
+    let mut client = connect(&addr);
+    let (first, done) = client.execute(&plan).expect("first response");
+    assert!(!done.memo);
+    let builds_after_first = builds.load(Ordering::SeqCst);
+    assert!(builds_after_first >= 1, "the first submission simulates for real");
+
+    let (second, done) = client.execute(&plan).expect("second response");
+    assert!(done.memo, "identical plan must memo-hit");
+    assert_eq!(
+        builds.load(Ordering::SeqCst),
+        builds_after_first,
+        "a memoized response must perform zero simulation work"
+    );
+    assert_eq!(second, first);
+
+    // A memo cache capped at zero disables replay: every submission
+    // simulates.
+    let addr_uncached = spawn_server(0);
+    let mut client = connect(&addr_uncached);
+    let before = builds.load(Ordering::SeqCst);
+    let (_, done) = client.execute(&plan).expect("uncached response");
+    assert!(!done.memo);
+    let (_, done) = client.execute(&plan).expect("second uncached response");
+    assert!(!done.memo, "cap 0 disables memoization");
+    assert!(builds.load(Ordering::SeqCst) >= before + 2);
+}
+
+/// Streaming is incremental and in plan order: with job 1's builder
+/// gated shut, the client still reads job 0's result frame; only after
+/// the gate opens does job 1 arrive.
+#[test]
+fn results_stream_incrementally_in_plan_order() {
+    let addr = spawn_server(64);
+    registry::register("service-test-fast", || Box::new(tlabp::core::schemes::Btfn::new()));
+    let release = Arc::new(AtomicBool::new(false));
+    let gate = Arc::clone(&release);
+    registry::register("service-test-slow", move || {
+        while !gate.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        Box::new(tlabp::core::schemes::Btfn::new())
+    });
+    let plan: Plan = [
+        Job::custom("service-test-fast", li()).with_fusion(false),
+        Job::custom("service-test-slow", li()).with_fusion(false),
+    ]
+    .into_iter()
+    .collect();
+
+    let mut client = connect(&addr);
+    let mut stream = client.submit(&plan).expect("plan submits");
+    let first = stream
+        .next_outcome()
+        .expect("first frame decodes")
+        .expect("job 0 streams while job 1 is still gated");
+    assert_eq!(first.0, 0);
+    assert!(!release.load(Ordering::SeqCst), "job 0 arrived before the gate opened");
+    release.store(true, Ordering::SeqCst);
+    let second =
+        stream.next_outcome().expect("second frame decodes").expect("job 1 streams after release");
+    assert_eq!(second.0, 1);
+    let done = stream.finish().expect("done frame");
+    assert_eq!(done.jobs, 2);
+}
+
+/// Malformed submissions are answered with error frames, not dropped
+/// connections or dead servers: an unknown custom predictor, a
+/// version-skewed plan and undecodable framing each produce a readable
+/// error, and the server keeps serving afterwards.
+#[test]
+fn server_reports_errors_and_survives_them() {
+    let addr = spawn_server(64);
+
+    let unknown: Plan = [Job::custom("service-test-unregistered", li())].into_iter().collect();
+    let err = connect(&addr).execute(&unknown).expect_err("unknown predictor must error");
+    assert!(
+        err.to_string().contains("service-test-unregistered"),
+        "error names the missing predictor: {err}"
+    );
+
+    let skewed = unknown.to_json_string().replacen("\"version\":1", "\"version\":7", 1);
+    let err = {
+        use std::io::{BufRead, BufReader, Write};
+        let mut stream = std::net::TcpStream::connect(&addr).expect("daemon reachable");
+        let frame =
+            tlabp::service::proto::encode_frame(tlabp::service::proto::FrameKind::Plan, &skewed);
+        stream.write_all(frame.as_bytes()).expect("write");
+        stream.write_all(b"\n").expect("write");
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line).expect("read error frame");
+        line
+    };
+    let (kind, payload) =
+        tlabp::service::proto::decode_frame(&err).expect("server answers with a frame");
+    assert_eq!(kind, tlabp::service::proto::FrameKind::Error);
+    assert!(
+        tlabp::service::proto::parse_error_payload(payload).contains("version"),
+        "error names the version mismatch"
+    );
+
+    // The daemon still serves correct plans after all that.
+    let plan: Plan = [Job::scheme(SchemeConfig::btfn(), li())].into_iter().collect();
+    let expected = execute(&plan, &TraceStore::new()).to_json_string();
+    let (results, _) = connect(&addr).execute(&plan).expect("daemon survived the bad clients");
+    assert_eq!(results.to_json_string(), expected);
+}
