@@ -447,8 +447,10 @@ impl PackedPhtBank {
 const NIBBLE_LO: u64 = 0x1111_1111_1111_1111;
 /// Bits 0–1 (the stored 2-bit state) of every nibble lane.
 const NIBBLE_STATE: u64 = 0x3333_3333_3333_3333;
-/// Member nibbles per transposed word.
-const LANES_PER_WORD: usize = 16;
+/// Member nibbles per transposed word — public because the engine's
+/// intra-batch split granule is one word: sub-batches never cut a width
+/// group below this many members.
+pub const LANES_PER_WORD: usize = 16;
 /// Events between accumulator flushes: each nibble of the per-column
 /// accumulator gains at most one per event and holds up to 15.
 const ACC_FLUSH_EVENTS: usize = 15;
@@ -580,18 +582,21 @@ fn step_row_scalar(row: &mut [u64], luts: &[u32], taken: bool, counts: &mut [u64
 }
 
 /// `std::arch` widenings of the SWAR body — the crate's sole sanctioned
-/// `unsafe` (see the crate-root lint note). Both bodies compute exactly
-/// the portable algebra on 2 (`SSE2`) or 4 (`AVX2`) columns per vector
-/// op, with a portable tail; all pointer arithmetic derives from slices
-/// whose lengths are asserted up front.
+/// `unsafe` (see the crate-root lint note). The bodies compute exactly
+/// the portable algebra on 2 (`SSE2`), 4 (`AVX2`) or 8 (`AVX-512`)
+/// columns per vector op, with narrower steps cascading down to a
+/// portable tail; all pointer arithmetic derives from slices whose
+/// lengths are asserted up front.
 #[cfg(target_arch = "x86_64")]
 mod x86 {
     #![allow(unsafe_code)]
 
     use std::arch::x86_64::{
-        __m128i, __m256i, _mm256_add_epi64, _mm256_and_si256, _mm256_loadu_si256,
+        __m128i, __m256i, __m512i, _mm256_add_epi64, _mm256_and_si256, _mm256_loadu_si256,
         _mm256_set1_epi64x, _mm256_slli_epi64, _mm256_srli_epi64, _mm256_storeu_si256,
-        _mm256_sub_epi64, _mm256_xor_si256, _mm_add_epi64, _mm_and_si128, _mm_loadu_si128,
+        _mm256_sub_epi64, _mm256_xor_si256, _mm512_add_epi64, _mm512_and_si512, _mm512_loadu_si512,
+        _mm512_set1_epi64, _mm512_slli_epi64, _mm512_srli_epi64, _mm512_storeu_si512,
+        _mm512_sub_epi64, _mm512_xor_si512, _mm_add_epi64, _mm_and_si128, _mm_loadu_si128,
         _mm_set1_epi64x, _mm_slli_epi64, _mm_srli_epi64, _mm_storeu_si128, _mm_sub_epi64,
         _mm_xor_si128,
     };
@@ -627,6 +632,29 @@ mod x86 {
         }
     }
 
+    /// Safe wrapper with defense-in-depth feature re-check. The body's
+    /// 512-bit loop needs `avx512f`; its 4-column mid step reuses the
+    /// AVX2 algebra, so that feature is re-verified too (every AVX-512
+    /// part ships AVX2, but the check is a cached atomic load and keeps
+    /// the safety argument local). `avx512bw` rides along because the
+    /// tier contract in `core::simd` requires the full F+BW pair.
+    pub(super) fn step_row_avx512_dyn(
+        row: &mut [u64],
+        ct: &[u64],
+        pred_occ: &[u64],
+        not_taken: u64,
+        acc: &mut [u64],
+    ) {
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512bw")
+            && std::arch::is_x86_feature_detected!("avx2")
+        {
+            unsafe { step_row_avx512(row, ct, pred_occ, not_taken, acc) }
+        } else {
+            super::step_row_swar(row, ct, pred_occ, not_taken, acc);
+        }
+    }
+
     #[inline]
     fn load2(slice: &[u64], at: usize) -> __m128i {
         let pair: &[u64] = &slice[at..at + 2];
@@ -654,6 +682,20 @@ mod x86 {
         let quad: &mut [u64] = &mut slice[at..at + 4];
         // SAFETY: as `load4`, writable.
         unsafe { _mm256_storeu_si256(quad.as_mut_ptr().cast(), value) }
+    }
+
+    #[inline]
+    fn load8(slice: &[u64], at: usize) -> __m512i {
+        let oct: &[u64] = &slice[at..at + 8];
+        // SAFETY: bounds-checked 64 readable bytes, unaligned load.
+        unsafe { _mm512_loadu_si512(oct.as_ptr().cast()) }
+    }
+
+    #[inline]
+    fn store8(slice: &mut [u64], at: usize, value: __m512i) {
+        let oct: &mut [u64] = &mut slice[at..at + 8];
+        // SAFETY: as `load8`, writable.
+        unsafe { _mm512_storeu_si512(oct.as_mut_ptr().cast(), value) }
     }
 
     /// # Safety
@@ -742,6 +784,89 @@ mod x86 {
             let occ = load4(pred_occ, col);
             let correct = _mm256_srli_epi64(
                 _mm256_xor_si256(_mm256_and_si256(out, occ), _mm256_and_si256(occ, nt)),
+                2,
+            );
+            store4(acc, col, _mm256_add_epi64(load4(acc, col), correct));
+            col += 4;
+        }
+        while col < cols {
+            step_col_swar(row, ct, pred_occ, not_taken, acc, cols, col);
+            col += 1;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX-512F (512-bit loop) and AVX2 (4-column mid step);
+    /// both are checked by the caller.
+    ///
+    /// The cascade matters: a row narrower than 8 columns must not fall
+    /// straight to the scalar tail, or the forced `avx512` tier would be
+    /// *slower* than `avx2` on the common ≤ 4-column banks — so leftover
+    /// columns take one AVX2 quad step before the portable tail.
+    #[target_feature(enable = "avx512f,avx512bw,avx2")]
+    unsafe fn step_row_avx512(
+        row: &mut [u64],
+        ct: &[u64],
+        pred_occ: &[u64],
+        not_taken: u64,
+        acc: &mut [u64],
+    ) {
+        let cols = row.len();
+        assert_eq!(ct.len(), 4 * cols, "coefficients per column");
+        assert_eq!(pred_occ.len(), cols, "occupancy per column");
+        assert_eq!(acc.len(), cols, "accumulator per column");
+        let lane = _mm512_set1_epi64(NIBBLE_LO as i64);
+        let state_mask = _mm512_set1_epi64(NIBBLE_STATE as i64);
+        let nt = _mm512_set1_epi64(not_taken as i64);
+        let mut col = 0;
+        while col + 8 <= cols {
+            let w = load8(row, col);
+            let lo = _mm512_and_si512(w, lane);
+            let hi = _mm512_and_si512(_mm512_srli_epi64(w, 1), lane);
+            let hl = _mm512_and_si512(hi, lo);
+            // x * 7 == (x << 3) - x, as in the narrower bodies.
+            let sp_lo = _mm512_sub_epi64(_mm512_slli_epi64(lo, 3), lo);
+            let sp_hi = _mm512_sub_epi64(_mm512_slli_epi64(hi, 3), hi);
+            let sp_hl = _mm512_sub_epi64(_mm512_slli_epi64(hl, 3), hl);
+            let out = _mm512_xor_si512(
+                _mm512_xor_si512(load8(ct, col), _mm512_and_si512(load8(ct, cols + col), sp_lo)),
+                _mm512_xor_si512(
+                    _mm512_and_si512(load8(ct, 2 * cols + col), sp_hi),
+                    _mm512_and_si512(load8(ct, 3 * cols + col), sp_hl),
+                ),
+            );
+            store8(row, col, _mm512_and_si512(out, state_mask));
+            let occ = load8(pred_occ, col);
+            let correct = _mm512_srli_epi64(
+                _mm512_xor_si512(_mm512_and_si512(out, occ), _mm512_and_si512(occ, nt)),
+                2,
+            );
+            store8(acc, col, _mm512_add_epi64(load8(acc, col), correct));
+            col += 8;
+        }
+        if col + 4 <= cols {
+            let lane4 = _mm256_set1_epi64x(NIBBLE_LO as i64);
+            let state_mask4 = _mm256_set1_epi64x(NIBBLE_STATE as i64);
+            let nt4 = _mm256_set1_epi64x(not_taken as i64);
+            let w = load4(row, col);
+            let lo = _mm256_and_si256(w, lane4);
+            let hi = _mm256_and_si256(_mm256_srli_epi64(w, 1), lane4);
+            let hl = _mm256_and_si256(hi, lo);
+            let sp_lo = _mm256_sub_epi64(_mm256_slli_epi64(lo, 3), lo);
+            let sp_hi = _mm256_sub_epi64(_mm256_slli_epi64(hi, 3), hi);
+            let sp_hl = _mm256_sub_epi64(_mm256_slli_epi64(hl, 3), hl);
+            let out = _mm256_xor_si256(
+                _mm256_xor_si256(load4(ct, col), _mm256_and_si256(load4(ct, cols + col), sp_lo)),
+                _mm256_xor_si256(
+                    _mm256_and_si256(load4(ct, 2 * cols + col), sp_hi),
+                    _mm256_and_si256(load4(ct, 3 * cols + col), sp_hl),
+                ),
+            );
+            store4(row, col, _mm256_and_si256(out, state_mask4));
+            let occ = load4(pred_occ, col);
+            let correct = _mm256_srli_epi64(
+                _mm256_xor_si256(_mm256_and_si256(out, occ), _mm256_and_si256(occ, nt4)),
                 2,
             );
             store4(acc, col, _mm256_add_epi64(load4(acc, col), correct));
@@ -847,8 +972,12 @@ impl TransposedPhtBank {
             Kernel::Sse2 => self.replay_bitsliced(events, x86::step_row_sse2_dyn),
             #[cfg(target_arch = "x86_64")]
             Kernel::Avx2 => self.replay_bitsliced(events, x86::step_row_avx2_dyn),
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx512 => self.replay_bitsliced(events, x86::step_row_avx512_dyn),
             #[cfg(not(target_arch = "x86_64"))]
-            Kernel::Sse2 | Kernel::Avx2 => self.replay_bitsliced(events, step_row_swar),
+            Kernel::Sse2 | Kernel::Avx2 | Kernel::Avx512 => {
+                self.replay_bitsliced(events, step_row_swar)
+            }
         }
     }
 
@@ -1025,8 +1154,12 @@ impl TransposedLanePhtBank {
             Kernel::Sse2 => self.replay_bitsliced(events, lanes, x86::step_row_sse2_dyn),
             #[cfg(target_arch = "x86_64")]
             Kernel::Avx2 => self.replay_bitsliced(events, lanes, x86::step_row_avx2_dyn),
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx512 => self.replay_bitsliced(events, lanes, x86::step_row_avx512_dyn),
             #[cfg(not(target_arch = "x86_64"))]
-            Kernel::Sse2 | Kernel::Avx2 => self.replay_bitsliced(events, lanes, step_row_swar),
+            Kernel::Sse2 | Kernel::Avx2 | Kernel::Avx512 => {
+                self.replay_bitsliced(events, lanes, step_row_swar)
+            }
         }
     }
 
@@ -1316,8 +1449,14 @@ mod tests {
         let _ = packed.state(4);
     }
 
-    const EVERY_MODE: [SimdMode; 5] =
-        [SimdMode::Auto, SimdMode::Swar, SimdMode::Scalar, SimdMode::Sse2, SimdMode::Avx2];
+    const EVERY_MODE: [SimdMode; 6] = [
+        SimdMode::Auto,
+        SimdMode::Swar,
+        SimdMode::Scalar,
+        SimdMode::Sse2,
+        SimdMode::Avx2,
+        SimdMode::Avx512,
+    ];
 
     fn xorshift(seed: u64) -> impl FnMut() -> u64 {
         let mut rng = seed;
@@ -1425,7 +1564,8 @@ mod tests {
     #[test]
     fn transposed_bank_wide_membership_spans_words() {
         // 40 members = 3 columns: the SSE2 pair loop, the AVX2 quad loop
-        // and both portable tails all run.
+        // and the portable tails all run (AVX-512's own quad mid step
+        // included — its 512-bit loop needs 8 columns, covered below).
         let tables: Vec<PackedPht> =
             (0..40).map(|i| PackedPht::new(5, Automaton::ALL[i % Automaton::ALL.len()])).collect();
         let events = random_events(5, 3000, 0x9e37_79b9_7f4a_7c15);
@@ -1439,6 +1579,82 @@ mod tests {
             let mut bank = TransposedPhtBank::new(&tables);
             bank.replay(&events, mode);
             assert_eq!(bank.counts(), &reference[..], "{mode:?} diverged on a 3-column bank");
+        }
+    }
+
+    #[test]
+    fn transposed_bank_512bit_rows_agree_across_kernels() {
+        // 135 members = 9 columns: the AVX-512 8-column loop runs for
+        // real (plus its scalar tail), under every kernel body.
+        let tables: Vec<PackedPht> =
+            (0..135).map(|i| PackedPht::new(4, Automaton::ALL[i % Automaton::ALL.len()])).collect();
+        let events = random_events(4, 2000, 0x0bad_5eed_0bad_5eed);
+        let reference = {
+            let mut bank = TransposedPhtBank::new(&tables);
+            bank.replay(&events, SimdMode::Scalar);
+            bank.counts().to_vec()
+        };
+        assert!(reference.iter().all(|&c| c > 0), "walk long enough to count");
+        for mode in EVERY_MODE {
+            let mut bank = TransposedPhtBank::new(&tables);
+            bank.replay(&events, mode);
+            assert_eq!(bank.counts(), &reference[..], "{mode:?} diverged on a 9-column bank");
+        }
+    }
+
+    #[test]
+    fn avx512_agrees_with_scalar_on_all_256_lane_inputs() {
+        // Per automaton, drive the real 512-bit body (8-column bank =
+        // 128 members) from every one of the 256 initial 4-lane state
+        // bytes — each byte's four 2-bit fields seed adjacent lanes, so
+        // every adjacent-state combination crosses every nibble boundary
+        // — and require bit-identity with the scalar reference. Skips
+        // (trivially passes) where the host lacks AVX-512: the forced
+        // mode then resolves to SWAR, which the other tests pin.
+        if SimdMode::Avx512.resolved_name() != "avx512" {
+            eprintln!("skipping: host lacks avx512f/avx512bw");
+            return;
+        }
+        for automaton in Automaton::ALL {
+            for input in 0..=255u8 {
+                let tables: Vec<PackedPht> = (0..128)
+                    .map(|member: usize| {
+                        let mut table = PackedPht::new(2, automaton);
+                        let field = State::new((input >> ((member % 4) * 2)) & 0b11);
+                        let state = if automaton.is_valid_state(field) {
+                            field
+                        } else {
+                            State::new(field.value() & 1)
+                        };
+                        for pattern in 0..table.len() {
+                            table.set_state(pattern, state);
+                        }
+                        table
+                    })
+                    .collect();
+                // Two events per pattern/direction pair: every seeded
+                // state sees both directions and one follow-up step.
+                let events: Vec<u32> =
+                    (0..16u32).map(|e| ((e >> 1) & 0b11) << 1 | (e & 1)).collect();
+                let mut vector = TransposedPhtBank::new(&tables);
+                vector.replay(&events, SimdMode::Avx512);
+                let mut scalar = TransposedPhtBank::new(&tables);
+                scalar.replay(&events, SimdMode::Scalar);
+                assert_eq!(
+                    vector.counts(),
+                    scalar.counts(),
+                    "{automaton} input {input:#04x}: counts diverged"
+                );
+                for member in 0..tables.len() {
+                    for pattern in 0..4 {
+                        assert_eq!(
+                            vector.state(pattern, member),
+                            scalar.state(pattern, member),
+                            "{automaton} input {input:#04x} member {member} pattern {pattern}"
+                        );
+                    }
+                }
+            }
         }
     }
 

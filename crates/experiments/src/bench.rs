@@ -48,6 +48,21 @@
 //! ([`tlabp_sim::TraceStore::with_cache_dir`]). Lands in
 //! `results/BENCH_cold_start.csv`.
 //!
+//! **scaling** — one big replay batch (128 same-width members: eight
+//! transposed words per PHT row, the full AVX-512 step) swept over
+//! worker count 1..=host cores × forced kernel tier, with the engine's
+//! intra-batch split (`TLABP_SPLIT`, default auto) fanning the batch's
+//! member-words across the pool. Every cell's results are asserted
+//! bit-identical to the warm reference — worker count, kernel tier and
+//! split are throughput knobs, never results knobs. Lands in
+//! `results/BENCH_scaling.csv`; the peak aggregate rate folds into
+//! `BENCH_sweep.json`.
+//!
+//! Every bench artifact (the CSVs and `BENCH_sweep.json`) records the
+//! measuring host's facts — core count, pool width, requested and
+//! detected/selected kernel tier — so a committed number carries the
+//! hardware context that bounds it.
+//!
 //! All other runs start from warmed trace caches (including materialized
 //! pattern streams), so the numbers compare simulation throughput, not
 //! VM trace generation or stream derivation. Within each section the
@@ -112,12 +127,30 @@ fn cache_bytes_cap() -> usize {
 type Section = fn(&Ctx, u32, usize) -> String;
 
 /// The registered bench sections, in run order.
-const SECTIONS: [(&str, Section); 4] = [
+const SECTIONS: [(&str, Section); 5] = [
     ("single", single_section),
     ("multi", multi_section),
     ("replay", replay_section),
     ("cold_start", cold_start_section),
+    ("scaling", scaling_section),
 ];
+
+/// The measuring host's core count.
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+}
+
+/// The host facts every bench artifact records: core count, pool width,
+/// and the requested vs detected/selected replay kernel tier.
+fn host_meta(threads: usize) -> Vec<(&'static str, String)> {
+    let mode = SimdMode::from_env();
+    vec![
+        ("host_cores", host_cores().to_string()),
+        ("pool_threads", threads.to_string()),
+        ("simd_requested", mode.name().to_owned()),
+        ("simd_selected", mode.resolved_name().to_owned()),
+    ]
+}
 
 /// `cargo run -p tlabp-experiments --release -- bench [--section NAME]`
 pub fn bench(ctx: &Ctx) {
@@ -139,10 +172,17 @@ pub fn bench(ctx: &Ctx) {
         None => {
             let fragments: Vec<String> =
                 SECTIONS.iter().map(|(_, run)| run(ctx, iterations, threads)).collect();
+            let mode = SimdMode::from_env();
             let json = format!(
                 "{{\n  \"iterations\": {iterations},\n  \
-                 \"sweep_threads\": {threads},\n{}\n}}\n",
-                fragments.join(",\n")
+                 \"sweep_threads\": {threads},\n  \
+                 \"host_cores\": {cores},\n  \
+                 \"simd_requested\": \"{requested}\",\n  \
+                 \"simd_selected\": \"{selected}\",\n{}\n}}\n",
+                fragments.join(",\n"),
+                cores = host_cores(),
+                requested = mode.name(),
+                selected = mode.resolved_name(),
             );
             ctx.emit_raw("BENCH_sweep.json", &json);
         }
@@ -366,13 +406,14 @@ fn replay_section(ctx: &Ctx, iterations: u32, threads: usize) -> String {
         format!("{replay_eps:.0}"),
         format!("{replay_speedup:.2}"),
     ]);
-    ctx.emit(
+    ctx.emit_with_meta(
         "BENCH_replay_table",
         &format!(
             "Pattern-stream replay: {} automaton ablations x {} benchmarks (simd vs scalar: {simd_speedup:.2}x)",
             configs.len(),
             Benchmark::ALL.len()
         ),
+        &host_meta(threads),
         &table,
     );
 
@@ -439,7 +480,7 @@ fn cold_start_section(ctx: &Ctx, iterations: u32, threads: usize) -> String {
     let warm_speedup = cold_serial_secs / warm_disk_secs;
     // The measured cores, recorded with the numbers: prefetch-vs-serial
     // speedup is bounded by this, so the figure is meaningless without it.
-    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let host_cores = host_cores();
 
     let mut table = Table::new(vec![
         "mode".into(),
@@ -461,13 +502,14 @@ fn cold_start_section(ctx: &Ctx, iterations: u32, threads: usize) -> String {
         format!("{warm_disk_secs:.3}"),
         format!("{warm_speedup:.2}"),
     ]);
-    ctx.emit(
+    ctx.emit_with_meta(
         "BENCH_cold_start",
         &format!(
             "Cold-start ingestion: {} benchmarks, {} disk-artifact bytes, {host_cores}-core host",
             Benchmark::ALL.len(),
             disk_bytes
         ),
+        &host_meta(threads),
         &table,
     );
 
@@ -479,6 +521,133 @@ fn cold_start_section(ctx: &Ctx, iterations: u32, threads: usize) -> String {
            \"cold_serial\": {{ \"seconds\": {cold_serial_secs:.6} }},\n    \
            \"prefetch\": {{ \"seconds\": {prefetch_secs:.6}, \"speedup\": {prefetch_speedup:.3} }},\n    \
            \"warm_disk\": {{ \"seconds\": {warm_disk_secs:.6}, \"speedup\": {warm_speedup:.3} }}\n  }}"
+    )
+}
+
+/// The kernel tiers the scaling sweep forces, narrowest to widest.
+const SCALING_TIERS: [SimdMode; 4] =
+    [SimdMode::Swar, SimdMode::Sse2, SimdMode::Avx2, SimdMode::Avx512];
+
+/// Scaling: one big replay batch swept over workers × kernel tier.
+///
+/// The batch is 128 same-width members — the six automata cycled over
+/// duplicate PAg(12) jobs on the longest benchmark trace. Duplicates
+/// are legal in a plan and member outcomes are independent of batch
+/// composition, so the padding changes throughput, never results; 128
+/// members of one width make eight transposed words per PHT row, the
+/// full 512-bit AVX-512 step, and give the intra-batch split eight
+/// word-atoms to fan across the pool. Every cell's outcomes are
+/// asserted bit-identical to the warm single-threaded reference.
+fn scaling_section(ctx: &Ctx, iterations: u32, _threads: usize) -> String {
+    // The longest trace: stream-walk time dominates there, which is the
+    // configuration worth scaling.
+    let benchmark = Benchmark::ALL
+        .iter()
+        .max_by_key(|benchmark| ctx.store().get_packed(benchmark, DataSet::Testing).len())
+        .expect("the benchmark catalog is non-empty");
+    let plan: Plan = (0..128)
+        .map(|index| {
+            let automaton = Automaton::ALL[index % Automaton::ALL.len()];
+            Job::scheme(SchemeConfig::pag(12).with_automaton(automaton), benchmark)
+        })
+        .collect();
+
+    // Warm run: derives and caches the pattern stream, and supplies the
+    // reference outcomes plus the shared numerator.
+    let reference = execute(&plan, ctx.store());
+    let scaling_predictions: u64 =
+        reference.iter().filter_map(|(_, o)| o.metrics()).map(|m| m.sim.predictions).sum();
+
+    let cores = host_cores();
+    let mut table = Table::new(vec![
+        "workers".into(),
+        "kernel".into(),
+        "resolved".into(),
+        format!("seconds (best of {iterations})"),
+        "predictions/sec".into(),
+        "speedup vs 1 worker".into(),
+    ]);
+    let mut rows = Vec::new();
+    let mut peak: Option<(usize, SimdMode, f64)> = None;
+    for mode in SCALING_TIERS {
+        let mut single_worker_secs = None;
+        for workers in 1..=cores {
+            let pool = SweepPool::new(workers);
+            let secs = best_of(iterations, || {
+                let results = execute_with(
+                    &pool,
+                    &plan,
+                    ctx.store(),
+                    ExecOptions { simd: mode, ..ExecOptions::default() },
+                );
+                assert_eq!(results.len(), plan.len());
+            });
+            // Bit-identity across every worker count and kernel tier —
+            // outside the timed region.
+            let check = execute_with(
+                &pool,
+                &plan,
+                ctx.store(),
+                ExecOptions { simd: mode, ..ExecOptions::default() },
+            );
+            for index in 0..plan.len() {
+                assert_eq!(
+                    check.outcome(index),
+                    reference.outcome(index),
+                    "job {index} diverged at {workers} workers under {mode:?}"
+                );
+            }
+            let eps = scaling_predictions as f64 / secs;
+            let single = *single_worker_secs.get_or_insert(secs);
+            if peak.is_none_or(|(_, _, best)| eps > best) {
+                peak = Some((workers, mode, eps));
+            }
+            table.push_row(vec![
+                workers.to_string(),
+                mode.name().into(),
+                mode.resolved_name().into(),
+                format!("{secs:.3}"),
+                format!("{eps:.0}"),
+                format!("{:.2}", single / secs),
+            ]);
+            rows.push(format!(
+                "      {{ \"workers\": {workers}, \"kernel\": \"{kernel}\", \
+                 \"resolved\": \"{resolved}\", \"seconds\": {secs:.6}, \
+                 \"events_per_sec\": {eps:.1} }}",
+                kernel = mode.name(),
+                resolved = mode.resolved_name(),
+            ));
+        }
+    }
+    let (peak_workers, peak_mode, peak_eps) = peak.expect("at least one scaling cell ran");
+
+    ctx.emit_with_meta(
+        "BENCH_scaling",
+        &format!(
+            "Replay scaling: one 128-member batch on {}, workers 1..={cores} x kernel tier \
+             (peak {peak_eps:.0} preds/s at {peak_workers} worker(s), {})",
+            benchmark.name(),
+            peak_mode.name()
+        ),
+        &host_meta(cores),
+        &table,
+    );
+
+    format!(
+        "  \"scaling\": {{\n    \
+           \"benchmark\": \"128-member PAg(12) automaton batch on {name}, no context switches\",\n    \
+           \"jobs\": {jobs},\n    \
+           \"host_cores\": {cores},\n    \
+           \"detected_tier\": \"{detected}\",\n    \
+           \"measured_predictions\": {scaling_predictions},\n    \
+           \"peak\": {{ \"workers\": {peak_workers}, \"kernel\": \"{peak_kernel}\", \
+           \"events_per_sec\": {peak_eps:.1} }},\n    \
+           \"rows\": [\n{rows}\n    ]\n  }}",
+        name = benchmark.name(),
+        jobs = plan.len(),
+        detected = SimdMode::Auto.resolved_name(),
+        peak_kernel = peak_mode.name(),
+        rows = rows.join(",\n"),
     )
 }
 

@@ -84,14 +84,34 @@ impl Ctx {
 
     /// Prints the table under a heading and writes `<name>.csv`.
     pub fn emit(&self, name: &str, title: &str, table: &tlabp_sim::report::Table) {
+        self.emit_with_meta(name, title, &[], table);
+    }
+
+    /// [`Ctx::emit`] with `# key=value` comment lines prefixed to the
+    /// CSV. Bench artifacts are committed to the repository, so each one
+    /// records the measuring host's facts (core count, pool width,
+    /// selected kernel tier) — a throughput number divorced from the
+    /// hardware that produced it is not reproducible.
+    pub fn emit_with_meta(
+        &self,
+        name: &str,
+        title: &str,
+        meta: &[(&str, String)],
+        table: &tlabp_sim::report::Table,
+    ) {
         println!("== {title} ==");
         println!("{}", table.to_ascii());
         if let Err(e) = fs::create_dir_all(&self.out_dir) {
             eprintln!("warning: cannot create {}: {e}", self.out_dir.display());
             return;
         }
+        let mut contents = String::new();
+        for (key, value) in meta {
+            contents.push_str(&format!("# {key}={value}\n"));
+        }
+        contents.push_str(&table.to_csv());
         let path = self.out_dir.join(format!("{name}.csv"));
-        match fs::write(&path, table.to_csv()) {
+        match fs::write(&path, contents) {
             Ok(()) => println!("[wrote {}]\n", path.display()),
             Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
         }

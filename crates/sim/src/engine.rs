@@ -68,9 +68,11 @@
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::OnceLock;
 
 use tlabp_core::any::AnyPredictor;
 use tlabp_core::config::SchemeConfig;
+use tlabp_core::pht::LANES_PER_WORD;
 use tlabp_core::predictor::BranchPredictor;
 use tlabp_core::registry::{self, DynBuilder};
 use tlabp_core::schemes::Pag;
@@ -446,11 +448,82 @@ pub struct ExecOptions {
     /// bit-identical, so this is a throughput knob, never a results
     /// knob.
     pub simd: SimdMode,
+    /// Intra-batch replay parallelism: whether (and how far) one
+    /// transposed replay batch splits into sub-batches scheduled as
+    /// independent pool tasks, each walking the same cached pattern
+    /// stream over a disjoint subset of the batch's members. Defaults to
+    /// the `TLABP_SPLIT` environment variable. Member outcomes are
+    /// independent of batch composition (pinned by the batch-invariance
+    /// and determinism suites), so — like `simd` — this is a throughput
+    /// knob, never a results knob.
+    pub split: SplitPolicy,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { prefetch: true, simd: SimdMode::from_env() }
+        ExecOptions { prefetch: true, simd: SimdMode::from_env(), split: SplitPolicy::from_env() }
+    }
+}
+
+/// How replay batches split across pool workers (`TLABP_SPLIT`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitPolicy {
+    /// Split by the work heuristic: up to one sub-batch per pool worker,
+    /// never below one transposed word of members per sub-batch, and
+    /// never below [`SPLIT_UNIT`] member-events of work per sub-batch
+    /// when the batch's stream is already resident to measure.
+    #[default]
+    Auto,
+    /// Never split (the pre-split scheduler: one task per batch).
+    Off,
+    /// Split every replay batch into up to `n` sub-batches, subject only
+    /// to the one-word floor. The determinism suites force small
+    /// batches apart with this; `TLABP_SPLIT=<n>` reaches it from the
+    /// environment.
+    Parts(usize),
+}
+
+impl SplitPolicy {
+    /// Parses a `TLABP_SPLIT` value: `auto`, `off`, or a positive part
+    /// count. Returns `Err(raw value)` on anything else.
+    pub fn try_parse(value: &str) -> Result<SplitPolicy, String> {
+        let normalized = value.trim().to_ascii_lowercase();
+        match normalized.as_str() {
+            "auto" => Ok(SplitPolicy::Auto),
+            "off" => Ok(SplitPolicy::Off),
+            _ => match normalized.parse::<usize>() {
+                Ok(n) if n > 0 => Ok(SplitPolicy::Parts(n)),
+                _ => Err(value.to_owned()),
+            },
+        }
+    }
+
+    /// Parses a `TLABP_SPLIT` value, warning on stderr and falling back
+    /// to [`SplitPolicy::Auto`] when unrecognized — the same contract as
+    /// `TLABP_THREADS` and `TLABP_SIMD`.
+    #[must_use]
+    pub fn parse(value: &str) -> SplitPolicy {
+        match SplitPolicy::try_parse(value) {
+            Ok(policy) => policy,
+            Err(raw) => {
+                eprintln!(
+                    "warning: ignoring TLABP_SPLIT={raw:?} \
+                     (expected auto|off|<positive part count>); using auto"
+                );
+                SplitPolicy::Auto
+            }
+        }
+    }
+
+    /// The policy selected by the `TLABP_SPLIT` environment variable
+    /// (default [`SplitPolicy::Auto`]), read once per process.
+    #[must_use]
+    pub fn from_env() -> SplitPolicy {
+        static POLICY: OnceLock<SplitPolicy> = OnceLock::new();
+        *POLICY.get_or_init(|| match std::env::var("TLABP_SPLIT") {
+            Ok(value) => SplitPolicy::parse(&value),
+            Err(_) => SplitPolicy::Auto,
+        })
     }
 }
 
@@ -647,10 +720,32 @@ impl<'p> Session<'p> {
             tasks.push((indices[0], Box::new(move || run_fused_batch(batch, &store))));
         }
         for indices in &partition.replay {
-            let batch = claim(indices, &mut cells);
-            let store = self.store.clone();
-            let simd = self.options.simd;
-            tasks.push((indices[0], Box::new(move || run_replay_batch(batch, &store, simd))));
+            // The representative stream key comes from the WHOLE batch —
+            // the key phase 1 prefetched — so every sub-batch walks the
+            // same cached stream; a sub-batch recomputing its own (maybe
+            // narrower) representative would derive a stream nobody
+            // prefetched. The width fold makes replaying the wider
+            // stream bit-identical for every member either way.
+            let rep = replay_rep_key(indices.iter().map(|&index| replay_key_of(&cells, index)));
+            let trace = cells[indices[0]].as_ref().expect("replay cell").trace;
+            // Size the split by events × members when the stream is
+            // already resident (a non-forcing peek — with prefetch on,
+            // phase 1 just loaded it); an absent stream splits by the
+            // worker/word caps alone.
+            let work = self
+                .store
+                .peek_pattern_stream(trace.benchmark, trace.data_set, rep)
+                .map(|stream| stream.len() as u64 * indices.len() as u64);
+            let widths: Vec<u32> =
+                indices.iter().map(|&index| replay_key_of(&cells, index).history_bits()).collect();
+            let sub_batches =
+                split_replay_batch(indices, &widths, self.options.split, self.pool.threads(), work);
+            for sub in sub_batches {
+                let batch = claim(&sub, &mut cells);
+                let store = self.store.clone();
+                let simd = self.options.simd;
+                tasks.push((sub[0], Box::new(move || run_replay_batch(batch, &store, simd, rep))));
+            }
         }
         tasks.sort_by_key(|(first, _)| *first);
 
@@ -911,11 +1006,96 @@ const MAX_FUSE_BATCH: usize = 16;
 /// Replay batches group by fold class, so a Table 3-style grid packs an
 /// entire scheme column — every width × automaton combination — into
 /// one group (e.g. 5 widths × 5 automata × {PAg, PAp} = 50 members on
-/// the shared paper-default BHT). The cap is sized to keep such a group
-/// in a *single* batch (one stream walk for the whole column) while the
-/// per-width sub-banks the transposed walk builds stay at or under 16
-/// members — one u64 word per PHT row, the SWAR kernel's fastest shape.
-const MAX_REPLAY_BATCH: usize = 64;
+/// the shared paper-default BHT) and one batch walks the stream once
+/// for the whole column. The cap is sized so a same-width group can
+/// fill eight transposed words per PHT row — the AVX-512 body's full
+/// 512-bit step — while the intra-batch split (below) hands oversized
+/// batches to idle workers a word at a time, so a wide batch no longer
+/// costs latency on a multi-core host.
+const MAX_REPLAY_BATCH: usize = 128;
+
+/// Minimum replay work (stream events × batch members) per sub-batch
+/// before [`SplitPolicy::Auto`] splits further: below this the extra
+/// stream walk and task hand-off cost more than a spare worker saves.
+/// At the measured ~1.5B member-predictions/s a unit is a few
+/// milliseconds of kernel time.
+const SPLIT_UNIT: u64 = 1 << 22;
+
+/// The stream key a lowered replay cell carries.
+fn replay_key_of(cells: &[Option<Cell>], index: usize) -> StreamKey {
+    cells[index]
+        .as_ref()
+        .expect("replay cells are claimed after splitting")
+        .replay
+        .expect("replay batch members carry their stream key")
+}
+
+/// Splits one replay batch's member indices into sub-batches for
+/// intra-batch parallelism, or returns the batch whole when the policy,
+/// the pool, or the work says not to.
+///
+/// The split granule ("atom") is one transposed word: members regroup
+/// by stream width (`widths[i]` belongs to `indices[i]`) and each width
+/// group cuts into runs of at most [`LANES_PER_WORD`] members, so no
+/// sub-batch ever holds a fragment of a word that an unsplit batch
+/// would have stepped in one SWAR op. Atoms distribute contiguously and
+/// nearly evenly over the chosen part count; member indices sort inside
+/// each part so every sub-batch keeps plan order internally.
+///
+/// Determinism: the result is a pure function of the arguments, and —
+/// because a member's replay outcome is independent of its batch's
+/// composition (pinned by the batch-invariance test and the determinism
+/// suite) — the merged [`ResultSet`] is bit-identical at every part
+/// count, worker count and policy.
+fn split_replay_batch(
+    indices: &[usize],
+    widths: &[u32],
+    policy: SplitPolicy,
+    pool_threads: usize,
+    work: Option<u64>,
+) -> Vec<Vec<usize>> {
+    debug_assert_eq!(indices.len(), widths.len());
+    // Atoms: width groups in first-seen order, cut at word boundaries.
+    let mut groups: Vec<(u32, Vec<usize>)> = Vec::new();
+    for (&index, &width) in indices.iter().zip(widths) {
+        match groups.iter_mut().find(|(w, _)| *w == width) {
+            Some((_, group)) => group.push(index),
+            None => groups.push((width, vec![index])),
+        }
+    }
+    let atoms: Vec<&[usize]> =
+        groups.iter().flat_map(|(_, group)| group.chunks(LANES_PER_WORD)).collect();
+
+    let cap = atoms.len().max(1);
+    let parts = match policy {
+        SplitPolicy::Off => 1,
+        SplitPolicy::Parts(n) => n.clamp(1, cap),
+        SplitPolicy::Auto => {
+            let by_work = match work {
+                Some(work) => usize::try_from(work / SPLIT_UNIT).unwrap_or(usize::MAX).max(1),
+                // Stream not resident: let the worker/word caps decide.
+                None => cap,
+            };
+            pool_threads.min(cap).min(by_work).max(1)
+        }
+    };
+    if parts <= 1 {
+        return vec![indices.to_vec()];
+    }
+    let base = atoms.len() / parts;
+    let extra = atoms.len() % parts;
+    let mut remaining = atoms.as_slice();
+    (0..parts)
+        .map(|i| {
+            let take = base + usize::from(i < extra);
+            let (head, tail) = remaining.split_at(take);
+            remaining = tail;
+            let mut part: Vec<usize> = head.iter().flat_map(|atom| atom.iter().copied()).collect();
+            part.sort_unstable();
+            part
+        })
+        .collect()
+}
 
 /// Nearly-even batch sizes for a group of `n` cells: as few batches as
 /// `cap` allows, sizes differing by at most one (17 cells at cap 16
@@ -1027,23 +1207,20 @@ fn run_fused_batch(batch: Vec<(usize, Cell)>, store: &TraceStore) -> Vec<(usize,
         .collect()
 }
 
-/// Runs one replay batch on a worker thread: fetch the batch's
-/// *representative* pattern stream once (the widest member width of the
-/// fold group, already derived in phase 1) and walk every member's
-/// bit-sliced transposed PHT bank over it in a single SWAR pass
-/// ([`simulate_replay_transposed`]).
+/// Runs one replay batch (or sub-batch) on a worker thread: fetch the
+/// batch's *representative* pattern stream once (`rep`, the widest
+/// member width of the whole pre-split fold group — already derived in
+/// phase 1, and shared by every sub-batch of a split) and walk every
+/// member's bit-sliced transposed PHT bank over it in a single SWAR
+/// pass ([`simulate_replay_transposed`]).
 fn run_replay_batch(
     batch: Vec<(usize, Cell)>,
     store: &TraceStore,
     simd: SimdMode,
+    rep: StreamKey,
 ) -> Vec<(usize, JobOutcome)> {
     let trace = batch[0].1.trace;
-    let key = replay_rep_key(
-        batch
-            .iter()
-            .map(|(_, cell)| cell.replay.expect("replay batch members carry their stream key")),
-    );
-    let stream = store.get_pattern_stream(trace.benchmark, trace.data_set, key);
+    let stream = store.get_pattern_stream(trace.benchmark, trace.data_set, rep);
     let predictors: Vec<AnyPredictor> =
         batch.iter().map(|(_, cell)| cell.build.build_any(store, cell.trace)).collect();
     let sims = simulate_replay_transposed(&predictors, &stream, simd)
@@ -1512,7 +1689,7 @@ mod tests {
         assert_eq!(batch_sizes(17, MAX_FUSE_BATCH), vec![9, 8]);
         assert_eq!(batch_sizes(33, MAX_FUSE_BATCH), vec![11, 11, 11]);
         assert_eq!(batch_sizes(MAX_REPLAY_BATCH, MAX_REPLAY_BATCH), vec![MAX_REPLAY_BATCH]);
-        assert_eq!(batch_sizes(65, MAX_REPLAY_BATCH), vec![33, 32]);
+        assert_eq!(batch_sizes(MAX_REPLAY_BATCH + 1, MAX_REPLAY_BATCH), vec![65, 64]);
         for cap in [MAX_FUSE_BATCH, MAX_REPLAY_BATCH] {
             for n in 0..10 * cap {
                 let sizes = batch_sizes(n, cap);
@@ -1521,6 +1698,121 @@ mod tests {
                 if let (Some(min), Some(max)) = (sizes.iter().min(), sizes.iter().max()) {
                     assert!(max - min <= 1, "sizes for {n} differ by more than one: {sizes:?}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn split_policy_parses_and_falls_back() {
+        assert_eq!(SplitPolicy::parse("auto"), SplitPolicy::Auto);
+        assert_eq!(SplitPolicy::parse("OFF"), SplitPolicy::Off);
+        assert_eq!(SplitPolicy::parse("4"), SplitPolicy::Parts(4));
+        assert_eq!(SplitPolicy::parse(" 2 "), SplitPolicy::Parts(2));
+        // Garbage (including a zero part count) warns and decays to auto
+        // instead of panicking — the TLABP_THREADS contract.
+        assert_eq!(SplitPolicy::parse("0"), SplitPolicy::Auto);
+        assert_eq!(SplitPolicy::parse("many"), SplitPolicy::Auto);
+        assert_eq!(SplitPolicy::try_parse("-3").unwrap_err(), "-3");
+    }
+
+    #[test]
+    fn split_replay_batch_respects_word_granules() {
+        // 40 same-width members = 3 atoms (16 + 16 + 8): a forced part
+        // count beyond the atom count clamps to one atom per part, and
+        // no part ever holds a fragment of a word.
+        let indices: Vec<usize> = (0..40).collect();
+        let widths = vec![12u32; 40];
+        let parts = split_replay_batch(&indices, &widths, SplitPolicy::Parts(99), 1, None);
+        assert_eq!(
+            parts.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![16, 16, 8],
+            "word-granule atoms"
+        );
+        let merged: Vec<usize> = parts.concat();
+        assert_eq!(merged, indices, "parts partition the batch in plan order");
+        // Off leaves the batch whole; so does an auto split on a
+        // one-worker pool however big the work is.
+        assert_eq!(
+            split_replay_batch(&indices, &widths, SplitPolicy::Off, 8, Some(u64::MAX)),
+            vec![indices.clone()]
+        );
+        assert_eq!(
+            split_replay_batch(&indices, &widths, SplitPolicy::Auto, 1, Some(u64::MAX)),
+            vec![indices.clone()]
+        );
+    }
+
+    #[test]
+    fn split_auto_is_bounded_by_work_workers_and_words() {
+        let indices: Vec<usize> = (0..64).collect();
+        let widths = vec![10u32; 64];
+        // Well under one SPLIT_UNIT of measured work: no split.
+        let parts = split_replay_batch(&indices, &widths, SplitPolicy::Auto, 8, Some(1000));
+        assert_eq!(parts.len(), 1);
+        // Two units of work: two parts even with eight idle workers.
+        let parts =
+            split_replay_batch(&indices, &widths, SplitPolicy::Auto, 8, Some(2 * SPLIT_UNIT));
+        assert_eq!(parts.len(), 2);
+        // Unknown stream size: the word cap (64 members = 4 atoms)
+        // bounds an eight-worker split.
+        let parts = split_replay_batch(&indices, &widths, SplitPolicy::Auto, 8, None);
+        assert_eq!(parts.len(), 4);
+        // Two workers: the pool bounds it instead.
+        let parts = split_replay_batch(&indices, &widths, SplitPolicy::Auto, 2, None);
+        assert_eq!(parts.len(), 2);
+    }
+
+    #[test]
+    fn split_groups_interleaved_widths_into_whole_words() {
+        // Alternating widths: members regroup by width before atomizing,
+        // so a 2-way split yields two half-word atoms (one per width),
+        // not sixteen fragments.
+        let indices: Vec<usize> = (0..16).collect();
+        let widths: Vec<u32> = (0..16).map(|i| if i % 2 == 0 { 4 } else { 6 }).collect();
+        let parts = split_replay_batch(&indices, &widths, SplitPolicy::Parts(2), 1, None);
+        assert_eq!(parts.len(), 2);
+        assert!(parts[0].iter().all(|&index| index % 2 == 0), "width-4 members stay together");
+        assert!(parts[1].iter().all(|&index| index % 2 == 1), "width-6 members stay together");
+    }
+
+    #[test]
+    fn forced_split_replay_matches_unsplit() {
+        // A replay grid (every scheme kind × two automata × two widths)
+        // executed unsplit, then under forced part counts on small
+        // pools: the merged result sets must be bit-identical — the
+        // scatter-merge determinism contract.
+        let store = TraceStore::new();
+        let plan: Plan = [6u32, 8]
+            .iter()
+            .flat_map(|&bits| {
+                [
+                    Job::scheme(SchemeConfig::gag(bits), li()),
+                    Job::scheme(SchemeConfig::gag(bits).with_automaton(Automaton::LastTime), li()),
+                    Job::scheme(SchemeConfig::pag(bits), li()),
+                    Job::scheme(SchemeConfig::pap(bits), li()),
+                ]
+            })
+            .collect();
+        let pool = SweepPool::new(2);
+        let unsplit = execute_with(
+            &pool,
+            &plan,
+            &store,
+            ExecOptions { split: SplitPolicy::Off, ..ExecOptions::default() },
+        );
+        for parts in [2, 3, 16] {
+            let split = execute_with(
+                &pool,
+                &plan,
+                &store,
+                ExecOptions { split: SplitPolicy::Parts(parts), ..ExecOptions::default() },
+            );
+            for index in 0..plan.len() {
+                assert_eq!(
+                    unsplit.outcome(index),
+                    split.outcome(index),
+                    "job {index} diverged at {parts} parts"
+                );
             }
         }
     }

@@ -3,9 +3,13 @@
 # across the whole workspace, formatting, the differential/determinism
 # suites under release optimization (the fast paths the benchmarks
 # exercise) — repeated with each replay kernel body forced, proving
-# TLABP_SIMD is a throughput knob only — and one-iteration smoke runs
-# of the throughput harness (full, then the replay section alone under
-# the portable SWAR body), and the sweep-service smoke test: a daemon is
+# TLABP_SIMD is a throughput knob only (the avx512 pass runs on any
+# host: without AVX-512 the forced tier falls back to SWAR, so it
+# degrades to a second SWAR pass rather than failing) — plus a
+# forced-split pass proving TLABP_SPLIT is a scheduling knob only —
+# and one-iteration smoke runs of the throughput harness (full, then
+# the replay section alone under the portable SWAR body, then the
+# scaling section alone), and the sweep-service smoke test: a daemon is
 # started, two concurrent clients stream the fig5 plan, and both
 # streamed result sets must be byte-identical to an in-process
 # `experiments exec` of the same plan file.
@@ -20,8 +24,11 @@ cargo fmt --all --check
 cargo test --release -q -p tlabp --test differential --test sweep_determinism --test disk_cache
 TLABP_SIMD=swar cargo test --release -q -p tlabp --test differential --test sweep_determinism
 TLABP_SIMD=scalar cargo test --release -q -p tlabp --test differential --test sweep_determinism
+TLABP_SIMD=avx512 cargo test --release -q -p tlabp --test differential --test sweep_determinism
+TLABP_SPLIT=3 cargo test --release -q -p tlabp --test differential --test sweep_determinism
 TLABP_BENCH_ITERS=1 cargo run -q -p tlabp-experiments --release -- bench --out "$(mktemp -d)"
 TLABP_BENCH_ITERS=1 TLABP_SIMD=swar cargo run -q -p tlabp-experiments --release -- bench --section replay --out "$(mktemp -d)"
+TLABP_BENCH_ITERS=1 cargo run -q -p tlabp-experiments --release -- bench --section scaling --out "$(mktemp -d)"
 
 # Sweep-service smoke test. Serialize the fig5 plan, run it in-process
 # for the reference results, then stream it through a live daemon from

@@ -271,7 +271,9 @@ fn replay_is_bit_identical_for_every_scheme_and_automaton() {
 
             // Every body of the transposed SWAR kernel reproduces the
             // sequential replay bit for bit — scheme × automaton × trace.
-            for mode in [SimdMode::Swar, SimdMode::Scalar, SimdMode::Sse2, SimdMode::Avx2] {
+            for mode in
+                [SimdMode::Swar, SimdMode::Scalar, SimdMode::Sse2, SimdMode::Avx2, SimdMode::Avx512]
+            {
                 let member = if config.needs_training() {
                     config.build_any_trained(&training)
                 } else {
@@ -398,9 +400,14 @@ fn transposed_kernels_match_automaton_on_all_256_inputs() {
         for index in 0..256usize {
             let taken = index & 1 != 0;
             let state = State::new(((index >> 1) as u8) & mask);
-            for mode in
-                [SimdMode::Auto, SimdMode::Swar, SimdMode::Scalar, SimdMode::Sse2, SimdMode::Avx2]
-            {
+            for mode in [
+                SimdMode::Auto,
+                SimdMode::Swar,
+                SimdMode::Scalar,
+                SimdMode::Sse2,
+                SimdMode::Avx2,
+                SimdMode::Avx512,
+            ] {
                 let mut table = PackedPht::new(1, automaton);
                 table.set_state(0, state);
                 table.set_state(1, state);
@@ -482,6 +489,56 @@ fn grid_plan_is_invariant_across_replay_kernels_and_fusion() {
             fused_out.outcome(index),
             "swar vs fused diverged for {label} on {benchmark}"
         );
+    }
+}
+
+/// Intra-batch splitting is invisible for every scheme structure and
+/// automaton: a plan whose width × automaton columns fold into wide
+/// replay batches produces bit-identical outcomes whether each batch
+/// runs whole on one worker or is scattered word-by-word across the
+/// pool — under the auto split heuristic and under forced part counts
+/// far above and below the atom supply.
+#[test]
+fn split_replay_matches_unsplit_for_every_scheme_and_automaton() {
+    use tlabp::core::SimdMode;
+    use tlabp::sim::engine::{execute_with, ExecOptions, SplitPolicy};
+    use tlabp::sim::plan::{Job, Plan};
+    use tlabp::sim::{SweepPool, TraceStore};
+
+    let benchmark = Benchmark::by_name("li").expect("li exists");
+    let schemes: [fn(u32) -> SchemeConfig; 3] =
+        [SchemeConfig::gag, SchemeConfig::pag, SchemeConfig::pap];
+    let mut jobs: Vec<Job> = Vec::new();
+    for scheme in schemes {
+        for width in [6u32, 8] {
+            for automaton in Automaton::ALL {
+                jobs.push(Job::scheme(scheme(width).with_automaton(automaton), benchmark));
+            }
+        }
+    }
+    let plan: Plan = jobs.iter().cloned().collect();
+
+    let store = TraceStore::new();
+    let pool = SweepPool::new(2);
+    let run = |split| {
+        execute_with(
+            &pool,
+            &plan,
+            &store,
+            ExecOptions { simd: SimdMode::Auto, split, ..ExecOptions::default() },
+        )
+    };
+    let unsplit = run(SplitPolicy::Off);
+    for split in [SplitPolicy::Auto, SplitPolicy::Parts(2), SplitPolicy::Parts(64)] {
+        let split_out = run(split);
+        for (index, job) in jobs.iter().enumerate() {
+            assert_eq!(
+                unsplit.outcome(index),
+                split_out.outcome(index),
+                "{split:?} diverged from unsplit for {}",
+                job.label()
+            );
+        }
     }
 }
 

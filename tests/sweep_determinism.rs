@@ -189,12 +189,66 @@ fn forced_simd_paths_are_bit_identical_across_pool_sizes() {
         ExecOptions { simd: SimdMode::Scalar, ..ExecOptions::default() },
     );
     assert_eq!(baseline.len(), plan.len());
-    for simd in [SimdMode::Auto, SimdMode::Swar, SimdMode::Sse2, SimdMode::Avx2] {
+    for simd in [SimdMode::Auto, SimdMode::Swar, SimdMode::Sse2, SimdMode::Avx2, SimdMode::Avx512] {
         for workers in [1, 8] {
             let pool = SweepPool::new(workers);
             let run =
                 execute_with(&pool, &plan, &store, ExecOptions { simd, ..ExecOptions::default() });
             assert_eq!(baseline, run, "{simd:?} on {workers} workers diverged from scalar");
+        }
+    }
+}
+
+/// Satellite: crossing a forced kernel with a pool size and a forced
+/// intra-batch split must still be a scheduling/throughput change only.
+/// A wide replay batch (many members per stream) is split into
+/// word-granular sub-batches scattered across workers; the merged
+/// `ResultSet` has to stay bit-identical to the scalar, unsplit,
+/// single-worker run for every (kernel, pool, split) combination.
+#[test]
+fn forced_kernel_pool_and_split_cross_is_bit_identical() {
+    use tlabp::core::SimdMode;
+    use tlabp::sim::engine::{execute_with, ExecOptions, SplitPolicy};
+    use tlabp::sim::plan::{Job, Plan};
+    use tlabp::workloads::Benchmark;
+
+    let benchmark = Benchmark::by_name("li").unwrap();
+    // 48 same-shape jobs cycling the automata: one wide replay batch
+    // (3 transposed words per width group) so every split point lands
+    // on a 16-member word boundary with room to scatter.
+    let plan: Plan = (0..48)
+        .map(|i| {
+            Job::scheme(
+                SchemeConfig::pag(10).with_automaton(Automaton::ALL[i % Automaton::ALL.len()]),
+                benchmark,
+            )
+        })
+        .collect();
+
+    let store = TraceStore::new();
+    let baseline_pool = SweepPool::new(1);
+    let baseline = execute_with(
+        &baseline_pool,
+        &plan,
+        &store,
+        ExecOptions { simd: SimdMode::Scalar, split: SplitPolicy::Off, ..ExecOptions::default() },
+    );
+    assert_eq!(baseline.len(), plan.len());
+    for simd in [SimdMode::Swar, SimdMode::Avx2, SimdMode::Avx512] {
+        for workers in [1, 2, 4] {
+            for split in [SplitPolicy::Off, SplitPolicy::Auto, SplitPolicy::Parts(3)] {
+                let pool = SweepPool::new(workers);
+                let run = execute_with(
+                    &pool,
+                    &plan,
+                    &store,
+                    ExecOptions { simd, split, ..ExecOptions::default() },
+                );
+                assert_eq!(
+                    baseline, run,
+                    "{simd:?} x {workers} workers x {split:?} diverged from scalar/unsplit"
+                );
+            }
         }
     }
 }
