@@ -1,8 +1,7 @@
 //! Throughput harness: reference baseline vs the engine's fast paths.
 //!
-//! Not a paper artifact. Four sections, each built as plans on the
-//! execution engine and each runnable alone via `--section <name>`
-//! (mirroring the ARTIFACTS registry dispatch):
+//! Not a paper artifact. Six sections, each runnable alone via
+//! `--section <name>` (mirroring the ARTIFACTS registry dispatch):
 //!
 //! **single** — the full-suite PAg(12) evaluation (the workhorse
 //! configuration of Figures 5–11) measured two ways:
@@ -57,6 +56,26 @@
 //! split are throughput knobs, never results knobs. Lands in
 //! `results/BENCH_scaling.csv`; the peak aggregate rate folds into
 //! `BENCH_sweep.json`.
+//!
+//! **service** — the sweep daemon under 64 concurrent clients, the
+//! event-driven connection core ([`tlabp_service::event`]) against the
+//! thread-per-connection baseline, in two regimes:
+//!
+//! * **cold** — memoization disabled, one cheap job per plan: every
+//!   submission simulates, so the cell is simulation-bound and the
+//!   backends should tie;
+//! * **memo** — a catalog-wide 27-job plan submitted repeatedly after
+//!   one warm execution: every timed submission is a memo hit, so the
+//!   cell isolates the connection-handling asymmetry (the event core
+//!   answers hits from the raw payload without parsing the plan and
+//!   writes response frames in readiness-sized batches; the threaded
+//!   loop parses and re-renders every plan and flushes every frame).
+//!
+//! Every timed response is `read_exact` into a buffer and byte-compared
+//! against frames encoded from an in-process `execute` of the same plan
+//! — throughput numbers only count if the daemon's answers are
+//! bit-identical. Lands in `results/BENCH_service.csv`; the memo-hit
+//! event-vs-threaded speedup folds into `BENCH_sweep.json`.
 //!
 //! Every bench artifact (the CSVs and `BENCH_sweep.json`) records the
 //! measuring host's facts — core count, pool width, requested and
@@ -127,12 +146,13 @@ fn cache_bytes_cap() -> usize {
 type Section = fn(&Ctx, u32, usize) -> String;
 
 /// The registered bench sections, in run order.
-const SECTIONS: [(&str, Section); 5] = [
+const SECTIONS: [(&str, Section); 6] = [
     ("single", single_section),
     ("multi", multi_section),
     ("replay", replay_section),
     ("cold_start", cold_start_section),
     ("scaling", scaling_section),
+    ("service", service_section),
 ];
 
 /// The measuring host's core count.
@@ -647,6 +667,259 @@ fn scaling_section(ctx: &Ctx, iterations: u32, _threads: usize) -> String {
         jobs = plan.len(),
         detected = SimdMode::Auto.resolved_name(),
         peak_kernel = peak_mode.name(),
+        rows = rows.join(",\n"),
+    )
+}
+
+/// Concurrent clients the service load generator drives per cell.
+const SERVICE_CLIENTS: usize = 64;
+/// Timed rounds each client submits in the memo-hit cells.
+const SERVICE_MEMO_ROUNDS: usize = 16;
+
+/// The exact response byte stream the daemon must produce for `plan`:
+/// one result frame per job in plan order, then the terminal done frame,
+/// each newline-terminated.
+fn service_expected_bytes(plan: &Plan, results: &tlabp_sim::ResultSet, memo: bool) -> Vec<u8> {
+    use tlabp_service::proto::{done_payload, encode_frame, result_payload, FrameKind};
+    let mut bytes = Vec::new();
+    for index in 0..plan.len() {
+        let payload = result_payload(index, results.outcome(index));
+        bytes.extend_from_slice(encode_frame(FrameKind::Result, &payload).as_bytes());
+        bytes.push(b'\n');
+    }
+    bytes.extend_from_slice(
+        encode_frame(FrameKind::Done, &done_payload(plan.len(), memo)).as_bytes(),
+    );
+    bytes.push(b'\n');
+    bytes
+}
+
+/// One timed service cell's aggregate numbers.
+struct ServiceCell {
+    seconds: f64,
+    plans_per_s: f64,
+    frames_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Drives `clients` concurrent raw-socket clients against the daemon at
+/// `addr`: each submits `rounds` copies of the pre-encoded plan frame
+/// and `read_exact`s the full response, byte-compared against the
+/// expected in-process encoding. Returns the aggregate rates and the
+/// per-plan latency percentiles across all clients.
+fn service_drive(
+    addr: &str,
+    clients: usize,
+    rounds: usize,
+    plan_frame: &std::sync::Arc<Vec<u8>>,
+    expected: &std::sync::Arc<Vec<u8>>,
+    frames_per_plan: usize,
+) -> ServiceCell {
+    use std::io::{Read, Write};
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|client| {
+            let addr = addr.to_owned();
+            let plan_frame = std::sync::Arc::clone(plan_frame);
+            let expected = std::sync::Arc::clone(expected);
+            std::thread::spawn(move || {
+                let mut stream =
+                    std::net::TcpStream::connect(&addr).expect("bench client connects");
+                stream.set_nodelay(true).expect("set_nodelay");
+                let mut response = vec![0u8; expected.len()];
+                let mut latencies = Vec::with_capacity(rounds);
+                for round in 0..rounds {
+                    let sent = Instant::now();
+                    stream.write_all(&plan_frame).expect("plan frame writes");
+                    stream.read_exact(&mut response).expect("full response reads");
+                    latencies.push(sent.elapsed().as_secs_f64() * 1e3);
+                    assert!(
+                        response == *expected.as_slice(),
+                        "client {client} round {round}: daemon response bytes diverged \
+                         from the in-process execution"
+                    );
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = handles
+        .into_iter()
+        .flat_map(|handle| handle.join().expect("bench client thread"))
+        .collect();
+    let seconds = start.elapsed().as_secs_f64();
+    latencies.sort_by(f64::total_cmp);
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p).round() as usize];
+    let plans = (clients * rounds) as f64;
+    ServiceCell {
+        seconds,
+        plans_per_s: plans / seconds,
+        frames_per_s: plans * frames_per_plan as f64 / seconds,
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+    }
+}
+
+/// The **service** section: event core vs threaded baseline under
+/// concurrent load. Iteration count is ignored — each cell already
+/// aggregates over `clients x rounds` submissions.
+fn service_section(ctx: &Ctx, _iterations: u32, threads: usize) -> String {
+    use std::sync::Arc;
+    use std::time::Duration;
+    use tlabp_service::proto::{encode_frame, FrameKind};
+    use tlabp_service::{
+        Client, MemoDirMode, ServeBackend, ServeConfig, SweepServer, DEFAULT_INFLIGHT,
+        DEFAULT_MEMO_BYTES,
+    };
+
+    // Memo-hit plan: three schemes across the whole catalog — 27 jobs of
+    // canonical JSON per submission and 28 response frames, the shape
+    // that exposes the backends' per-plan overhead asymmetry.
+    let memo_plan: Plan = [SchemeConfig::pag(12), SchemeConfig::gag(10), SchemeConfig::gsg(6)]
+        .iter()
+        .flat_map(|&config| {
+            Benchmark::ALL.iter().map(move |benchmark| Job::scheme(config, benchmark))
+        })
+        .collect();
+
+    // Cold plan: one cheap job on the shortest trace. With memoization
+    // off every submission simulates, so this cell is simulation-bound.
+    let short = Benchmark::ALL
+        .iter()
+        .min_by_key(|benchmark| ctx.store().get_packed(benchmark, DataSet::Testing).len())
+        .expect("catalog is non-empty");
+    let cold_plan: Plan = std::iter::once(Job::scheme(SchemeConfig::btfn(), short)).collect();
+
+    // In-process reference executions: the byte streams every timed
+    // response is compared against.
+    let memo_results = ctx.run(&memo_plan);
+    let cold_results = ctx.run(&cold_plan);
+    let frame_bytes = |plan: &Plan| {
+        let mut bytes = encode_frame(FrameKind::Plan, &plan.to_json_string()).into_bytes();
+        bytes.push(b'\n');
+        Arc::new(bytes)
+    };
+    let memo_frame = frame_bytes(&memo_plan);
+    let cold_frame = frame_bytes(&cold_plan);
+    let memo_expected = Arc::new(service_expected_bytes(&memo_plan, &memo_results, true));
+    let cold_expected = Arc::new(service_expected_bytes(&cold_plan, &cold_results, false));
+
+    let spawn_server = |backend: ServeBackend, memo_bytes: usize| -> String {
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            memo_bytes,
+            window: None,
+            inflight: DEFAULT_INFLIGHT,
+            memo_dir: MemoDirMode::Off,
+            backend,
+        };
+        let server = SweepServer::bind(&config, ctx.store().clone(), ExecOptions::default())
+            .expect("bench daemon binds");
+        let addr = server.local_addr().expect("bound address").to_string();
+        std::thread::spawn(move || server.run());
+        addr
+    };
+
+    let mut table = Table::new(vec![
+        "backend".into(),
+        "mode".into(),
+        "clients".into(),
+        "plans".into(),
+        "plans/s".into(),
+        "frames/s".into(),
+        "p50 ms".into(),
+        "p99 ms".into(),
+    ]);
+    let mut rows = Vec::new();
+    let mut threaded_memo_rate = 0.0f64;
+    let mut event_memo_rate = 0.0f64;
+    for backend in [ServeBackend::Threaded, ServeBackend::Auto] {
+        let label = match backend {
+            ServeBackend::Threaded => "threaded",
+            _ => "event",
+        };
+
+        // Cold cell: memoization off, one submission per client.
+        let addr = spawn_server(backend, 0);
+        let cold = service_drive(
+            &addr,
+            SERVICE_CLIENTS,
+            1,
+            &cold_frame,
+            &cold_expected,
+            cold_plan.len() + 1,
+        );
+
+        // Memo cell: one untimed warm execution through the structured
+        // client (verifying the decoded results too), then every timed
+        // submission is a memo hit.
+        let addr = spawn_server(backend, DEFAULT_MEMO_BYTES);
+        let mut client = Client::connect_with_retry(&addr, Duration::from_secs(10))
+            .expect("bench daemon reachable");
+        let (warm, done) = client.execute(&memo_plan).expect("warm submission");
+        assert!(!done.memo, "the first submission must simulate");
+        assert_eq!(
+            warm.to_json_string(),
+            memo_results.to_json_string(),
+            "daemon results must be bit-identical to the in-process execution"
+        );
+        drop(client);
+        let memo = service_drive(
+            &addr,
+            SERVICE_CLIENTS,
+            SERVICE_MEMO_ROUNDS,
+            &memo_frame,
+            &memo_expected,
+            memo_plan.len() + 1,
+        );
+        match backend {
+            ServeBackend::Threaded => threaded_memo_rate = memo.plans_per_s,
+            _ => event_memo_rate = memo.plans_per_s,
+        }
+
+        for (mode, rounds, cell) in [("cold", 1, &cold), ("memo", SERVICE_MEMO_ROUNDS, &memo)] {
+            let plans = SERVICE_CLIENTS * rounds;
+            table.push_row(vec![
+                label.into(),
+                mode.into(),
+                SERVICE_CLIENTS.to_string(),
+                plans.to_string(),
+                format!("{:.1}", cell.plans_per_s),
+                format!("{:.1}", cell.frames_per_s),
+                format!("{:.3}", cell.p50_ms),
+                format!("{:.3}", cell.p99_ms),
+            ]);
+            rows.push(format!(
+                "      {{ \"backend\": \"{label}\", \"mode\": \"{mode}\", \
+                 \"plans\": {plans}, \"seconds\": {:.6}, \"plans_per_s\": {:.1}, \
+                 \"frames_per_s\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3} }}",
+                cell.seconds, cell.plans_per_s, cell.frames_per_s, cell.p50_ms, cell.p99_ms
+            ));
+        }
+    }
+
+    let memo_speedup = event_memo_rate / threaded_memo_rate;
+    ctx.emit_with_meta(
+        "BENCH_service",
+        &format!(
+            "Sweep service: {SERVICE_CLIENTS} concurrent clients, event core vs threaded \
+             baseline (memo-hit speedup {memo_speedup:.2}x), every response byte-verified"
+        ),
+        &host_meta(threads),
+        &table,
+    );
+
+    format!(
+        "  \"service\": {{\n    \
+           \"benchmark\": \"{SERVICE_CLIENTS} concurrent clients, cold vs memo-hit plans, \
+           event core vs threaded baseline, responses byte-verified\",\n    \
+           \"clients\": {SERVICE_CLIENTS},\n    \
+           \"memo_plan_jobs\": {jobs},\n    \
+           \"memo_speedup\": {memo_speedup:.3},\n    \
+           \"rows\": [\n{rows}\n    ]\n  }}",
+        jobs = memo_plan.len(),
         rows = rows.join(",\n"),
     )
 }

@@ -405,8 +405,10 @@ fn cmd_exec(input: Option<&str>, out_dir: &Path) -> ExitCode {
 }
 
 /// `experiments serve`: run the sweep daemon per `TLABP_SERVE_ADDR` /
-/// `TLABP_SERVE_MEMO` / `TLABP_SERVE_WINDOW`, sharing one warm trace
-/// store and the global worker pool across every connection.
+/// `TLABP_SERVE_BACKEND` / `TLABP_SERVE_INFLIGHT` /
+/// `TLABP_SERVE_MEMO_BYTES` / `TLABP_SERVE_MEMO_DIR` /
+/// `TLABP_SERVE_WINDOW`, sharing one warm trace store and the global
+/// worker pool across every connection.
 fn cmd_serve() -> ExitCode {
     figures::register_custom_predictors();
     let config = tlabp_service::ServeConfig::from_env();
@@ -478,5 +480,8 @@ fn print_usage() {
         "\nThe daemon commands honor TLABP_SERVE_ADDR (default {});",
         tlabp_service::DEFAULT_SERVE_ADDR
     );
-    println!("`serve` additionally honors TLABP_SERVE_MEMO and TLABP_SERVE_WINDOW.");
+    println!(
+        "`serve` additionally honors TLABP_SERVE_BACKEND, TLABP_SERVE_INFLIGHT,\n\
+         TLABP_SERVE_MEMO_BYTES, TLABP_SERVE_MEMO_DIR and TLABP_SERVE_WINDOW."
+    );
 }

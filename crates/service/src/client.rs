@@ -93,6 +93,47 @@ impl Client {
         }
         Ok((ResultSet::from_outcomes(plan, outcomes), done))
     }
+
+    /// Submits every plan back-to-back before reading any response, then
+    /// drains the responses in submission order.
+    ///
+    /// This exploits the server's per-connection admission control: up
+    /// to `TLABP_SERVE_INFLIGHT` of the pipelined plans execute
+    /// concurrently while the rest queue FIFO, and responses always come
+    /// back in submission order — one round trip for the whole batch
+    /// instead of one per plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures, server-reported errors, and any
+    /// protocol violation; on error the connection is left mid-stream
+    /// and the client should be discarded.
+    pub fn execute_pipelined(&mut self, plans: &[Plan]) -> std::io::Result<Vec<(ResultSet, Done)>> {
+        for plan in plans {
+            self.writer
+                .write_all(encode_frame(FrameKind::Plan, &plan.to_json_string()).as_bytes())?;
+            self.writer.write_all(b"\n")?;
+        }
+        self.writer.flush()?;
+        let mut responses = Vec::with_capacity(plans.len());
+        for plan in plans {
+            let mut stream = ResultStream { reader: &mut self.reader, next_index: 0, done: None };
+            let mut outcomes = Vec::with_capacity(plan.len());
+            while let Some(item) = stream.next_outcome()? {
+                outcomes.push(item.1);
+            }
+            let done = stream.finish()?;
+            if outcomes.len() != plan.len() {
+                return Err(io_invalid(format!(
+                    "server streamed {} outcomes for a {}-job plan",
+                    outcomes.len(),
+                    plan.len()
+                )));
+            }
+            responses.push((ResultSet::from_outcomes(plan, outcomes), done));
+        }
+        Ok(responses)
+    }
 }
 
 /// The in-flight response to one submitted plan.

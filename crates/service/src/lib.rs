@@ -9,28 +9,48 @@
 //! * [`proto`] — the frame format: `TLBS <version> <kind> <len>
 //!   <payload> <checksum>`, versioned and checksummed like the v2 trace
 //!   artifact container, with a precise rejection taxonomy
-//!   ([`proto::FrameError`]).
+//!   ([`proto::FrameError`]), plus the byte-stream reassembly state
+//!   machine ([`proto::FrameAssembler`]) the event-driven core reads
+//!   through.
 //! * [`server`] — [`server::SweepServer`]: one warm
 //!   [`TraceStore`](tlabp_sim::TraceStore) and the global worker pool
-//!   shared across all connections (fair admission: concurrent clients
-//!   interleave on the same workers in bounded windows), plus a memo
-//!   cache keyed by canonical plan JSON that replays previous responses
-//!   byte-for-byte with zero simulation work.
+//!   shared across all connections. The default backend is an
+//!   event-driven readiness loop ([`event`], epoll on Linux with a
+//!   portable `poll` fallback) that serves every connection from a
+//!   fixed set of threads, with per-client admission control
+//!   (`TLABP_SERVE_INFLIGHT` plans in flight per connection, FIFO
+//!   beyond) and bounded per-connection output queues; the original
+//!   thread-per-connection loop survives as the `threaded` backend for
+//!   non-unix hosts and as the benchmark baseline.
+//! * memo tiers — a byte-capped LRU (`TLABP_SERVE_MEMO_BYTES`) of
+//!   pre-encoded response frames replayed byte-for-byte with zero
+//!   simulation work, persisted as checksummed memo artifacts next to
+//!   the trace artifacts and re-hydrated on daemon start, so a
+//!   restarted daemon still answers previously-seen plans without
+//!   simulating.
 //! * [`client`] — [`client::Client`]: submit plans, iterate streamed
 //!   outcomes, or drain a whole response into a
 //!   [`ResultSet`](tlabp_sim::ResultSet) bit-identical to an in-process
 //!   `execute` of the same plan.
+//!
+//! Unsafe code is confined to the raw `epoll`/`poll` syscall shim in
+//! [`event`]; every other module keeps the workspace-wide
+//! `deny(unsafe_code)` discipline.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+#[cfg(unix)]
+pub mod event;
+mod memo;
 pub mod proto;
 pub mod server;
 
 pub use client::{Client, ResultStream};
 pub use proto::{Done, FrameError, FrameKind, PROTOCOL_VERSION};
 pub use server::{
-    serve, ServeConfig, SweepServer, DEFAULT_MEMO_CAP, DEFAULT_SERVE_ADDR, SERVE_ADDR_ENV,
-    SERVE_MEMO_ENV, SERVE_WINDOW_ENV,
+    serve, MemoDirMode, ServeBackend, ServeConfig, SweepServer, DEFAULT_INFLIGHT,
+    DEFAULT_MEMO_BYTES, DEFAULT_SERVE_ADDR, SERVE_ADDR_ENV, SERVE_BACKEND_ENV, SERVE_INFLIGHT_ENV,
+    SERVE_MEMO_BYTES_ENV, SERVE_MEMO_DIR_ENV, SERVE_WINDOW_ENV,
 };

@@ -187,6 +187,97 @@ pub fn decode_frame(line: &str) -> Result<(FrameKind, &str), FrameError> {
     Ok((kind, payload))
 }
 
+/// Why reassembling frames from a byte stream failed. Both variants are
+/// connection-fatal: the stream's framing can no longer be trusted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssembleError {
+    /// A line exceeded the reassembler's hard frame-length cap before
+    /// (or when) its newline arrived.
+    FrameTooLong {
+        /// Bytes buffered or received for the offending line so far.
+        len: usize,
+        /// The configured cap.
+        max: usize,
+    },
+    /// A completed line was not valid UTF-8 (frames are text by
+    /// definition).
+    NotUtf8,
+}
+
+impl fmt::Display for AssembleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssembleError::FrameTooLong { len, max } => {
+                write!(f, "frame of {len}+ bytes exceeds the {max}-byte cap")
+            }
+            AssembleError::NotUtf8 => f.write_str("frame is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for AssembleError {}
+
+/// Reassembles newline-delimited frame lines from arbitrarily
+/// fragmented reads — the receive half of a nonblocking connection.
+///
+/// [`FrameAssembler::push`] accepts whatever bytes a read returned (a
+/// frame may arrive one byte at a time, or many frames in one read) and
+/// yields every line completed so far, without its newline, ready for
+/// [`decode_frame`]. A partial line is buffered across pushes; the
+/// buffered prefix is capped at a hard maximum so a client that never
+/// sends a newline cannot grow the buffer without bound.
+#[derive(Debug)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    max: usize,
+}
+
+impl FrameAssembler {
+    /// A reassembler capped at `max_frame_len` bytes per line.
+    #[must_use]
+    pub fn new(max_frame_len: usize) -> FrameAssembler {
+        FrameAssembler { buf: Vec::new(), max: max_frame_len }
+    }
+
+    /// Bytes currently buffered for the next (incomplete) line.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Appends `bytes` and returns every line they complete, in order.
+    ///
+    /// Empty lines are returned too (callers skip them, matching the
+    /// blocking reader's behavior).
+    ///
+    /// # Errors
+    ///
+    /// [`AssembleError::FrameTooLong`] once a line (complete or still
+    /// partial) exceeds the cap, [`AssembleError::NotUtf8`] when a
+    /// completed line is not UTF-8. After an error the assembler's state
+    /// is unspecified; the connection must be dropped.
+    pub fn push(&mut self, bytes: &[u8]) -> Result<Vec<String>, AssembleError> {
+        let mut lines = Vec::new();
+        let mut rest = bytes;
+        // Newlines can only be in the incoming chunk: everything already
+        // buffered was scanned by an earlier push.
+        while let Some(pos) = rest.iter().position(|&b| b == b'\n') {
+            self.buf.extend_from_slice(&rest[..pos]);
+            rest = &rest[pos + 1..];
+            let line_bytes = std::mem::take(&mut self.buf);
+            if line_bytes.len() > self.max {
+                return Err(AssembleError::FrameTooLong { len: line_bytes.len(), max: self.max });
+            }
+            lines.push(String::from_utf8(line_bytes).map_err(|_| AssembleError::NotUtf8)?);
+        }
+        self.buf.extend_from_slice(rest);
+        if self.buf.len() > self.max {
+            return Err(AssembleError::FrameTooLong { len: self.buf.len(), max: self.max });
+        }
+        Ok(lines)
+    }
+}
+
 /// Builds a `result` frame payload for one streamed outcome.
 #[must_use]
 pub fn result_payload(index: usize, outcome: &JobOutcome) -> String {
@@ -313,6 +404,58 @@ mod tests {
             }
             assert!(decode_frame(&line[..cut]).is_err(), "prefix of length {cut} must not decode");
         }
+    }
+
+    #[test]
+    fn assembler_reassembles_across_any_fragmentation() {
+        let frames = [
+            encode_frame(FrameKind::Plan, r#"{"version":1,"jobs":[]}"#),
+            encode_frame(FrameKind::Result, r#"{"index":0,"outcome":{"skipped":"a b"}}"#),
+            encode_frame(FrameKind::Done, r#"{"jobs":1,"memo":false}"#),
+        ];
+        let stream: Vec<u8> =
+            frames.iter().flat_map(|f| f.bytes().chain(std::iter::once(b'\n'))).collect();
+        // Split at every byte boundary: both chunks, any order of sizes.
+        for cut in 0..=stream.len() {
+            let mut asm = FrameAssembler::new(1 << 16);
+            let mut lines = asm.push(&stream[..cut]).expect("first chunk");
+            lines.extend(asm.push(&stream[cut..]).expect("second chunk"));
+            assert_eq!(lines, frames, "split at byte {cut} must reassemble identically");
+            assert_eq!(asm.buffered(), 0);
+        }
+        // Byte-at-a-time delivery — the worst nonblocking read pattern.
+        let mut asm = FrameAssembler::new(1 << 16);
+        let mut lines = Vec::new();
+        for &b in &stream {
+            lines.extend(asm.push(&[b]).expect("single byte"));
+        }
+        assert_eq!(lines, frames);
+    }
+
+    #[test]
+    fn assembler_caps_frame_length() {
+        let mut asm = FrameAssembler::new(8);
+        assert_eq!(asm.push(b"12345678\n").expect("at cap"), vec!["12345678".to_owned()]);
+        let mut asm = FrameAssembler::new(8);
+        assert_eq!(
+            asm.push(b"123456789\n"),
+            Err(AssembleError::FrameTooLong { len: 9, max: 8 }),
+            "a complete over-cap line is rejected"
+        );
+        let mut asm = FrameAssembler::new(8);
+        assert!(asm.push(b"1234").is_ok());
+        assert!(asm.push(b"5678").is_ok(), "at the cap without a newline is still fine");
+        assert_eq!(
+            asm.push(b"9"),
+            Err(AssembleError::FrameTooLong { len: 9, max: 8 }),
+            "a partial line is rejected as soon as it exceeds the cap"
+        );
+    }
+
+    #[test]
+    fn assembler_rejects_non_utf8_lines() {
+        let mut asm = FrameAssembler::new(64);
+        assert_eq!(asm.push(b"\xff\xfe\n"), Err(AssembleError::NotUtf8));
     }
 
     #[test]

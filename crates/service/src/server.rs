@@ -1,24 +1,38 @@
 //! The sweep daemon: accepts serialized plans over TCP, streams results.
 //!
 //! One [`SweepServer`] owns the warm state every connection shares — a
-//! single [`TraceStore`] (traces generate once, ever) and the global
+//! single [`TraceStore`] (traces generate once, ever), the global
 //! [`SweepPool`](tlabp_sim::SweepPool) (simulation work from all clients
 //! interleaves on one fixed set of worker threads, which is what makes
 //! admission fair: a second client's jobs enqueue behind — not after —
 //! the first client's, draining in bounded windows rather than whole
-//! plans). A memo cache keyed by the canonical plan JSON replays
-//! previously-computed responses byte-for-byte with zero simulation
-//! work.
+//! plans), and the two memo tiers (byte-capped LRU in memory, checksummed
+//! artifacts on disk) that replay previously-computed responses
+//! byte-for-byte with zero simulation work.
+//!
+//! Connections are served by one of three backends ([`ServeBackend`]):
+//! the event-driven readiness core ([`crate::event`], the default on
+//! unix — N clients cost a fixed number of threads), or the original
+//! thread-per-connection loop (`threaded`), kept as the portable
+//! fallback and as the baseline the service benchmark measures the event
+//! core against.
+//!
+//! Every `TLABP_SERVE_*` knob follows one hygiene rule: a garbage value
+//! warns on stderr and falls back to the default — a daemon must come up
+//! predictably, not die at a typo (the same policy as `TLABP_SIMD`).
 
-use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use tlabp_core::registry;
 use tlabp_sim::plan::{Plan, PredictorSpec};
 use tlabp_sim::{ExecOptions, Session, SweepPool, TraceStore};
 
+use crate::memo::{MemoCache, MemoDisk, MemoEntry};
 use crate::proto::{
     decode_frame, done_payload, encode_frame, error_payload, result_payload, FrameKind,
 };
@@ -27,40 +41,147 @@ use crate::proto::{
 pub const SERVE_ADDR_ENV: &str = "TLABP_SERVE_ADDR";
 /// Default listen address when [`SERVE_ADDR_ENV`] is unset.
 pub const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7391";
-/// Environment variable capping the memo cache (entries; 0 disables).
-pub const SERVE_MEMO_ENV: &str = "TLABP_SERVE_MEMO";
-/// Default memo-cache capacity in cached responses.
-pub const DEFAULT_MEMO_CAP: usize = 64;
+/// Environment variable capping the in-memory memo tier in **bytes** of
+/// pre-encoded response frames (plus keys); 0 disables memoization.
+pub const SERVE_MEMO_BYTES_ENV: &str = "TLABP_SERVE_MEMO_BYTES";
+/// Default in-memory memo budget: 64 MiB of pre-encoded frames.
+pub const DEFAULT_MEMO_BYTES: usize = 64 << 20;
 /// Environment variable overriding the per-request streaming window
 /// (in-flight task cap). Unset means the session default
 /// (`2 * pool threads`).
 pub const SERVE_WINDOW_ENV: &str = "TLABP_SERVE_WINDOW";
+/// Environment variable capping concurrently executing plans per
+/// connection; pipelined plans beyond the cap queue FIFO.
+pub const SERVE_INFLIGHT_ENV: &str = "TLABP_SERVE_INFLIGHT";
+/// Default per-connection in-flight plan cap.
+pub const DEFAULT_INFLIGHT: usize = 4;
+/// Environment variable naming the persistent memo tier's directory.
+/// Unset: a `memo/` directory next to the trace artifacts (when the
+/// store has a disk tier). Empty: persistence off.
+pub const SERVE_MEMO_DIR_ENV: &str = "TLABP_SERVE_MEMO_DIR";
+/// Environment variable selecting the connection backend
+/// (`auto|epoll|poll|threaded`).
+pub const SERVE_BACKEND_ENV: &str = "TLABP_SERVE_BACKEND";
+/// The retired entry-count memo knob; setting it warns and points at
+/// [`SERVE_MEMO_BYTES_ENV`].
+const LEGACY_MEMO_ENV: &str = "TLABP_SERVE_MEMO";
+
+/// How the daemon multiplexes connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeBackend {
+    /// Best available: `epoll` on Linux, `poll` on other unix,
+    /// `threaded` elsewhere.
+    #[default]
+    Auto,
+    /// Event-driven core on Linux `epoll` (falls back to `poll` if
+    /// unavailable).
+    Epoll,
+    /// Event-driven core on portable `poll(2)`.
+    Poll,
+    /// The original thread-per-connection loop — one OS thread per
+    /// client. Portable everywhere; the benchmark baseline.
+    Threaded,
+}
+
+impl ServeBackend {
+    /// Parses a backend token.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized token.
+    pub fn try_parse(raw: &str) -> Result<ServeBackend, String> {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "auto" => Ok(ServeBackend::Auto),
+            "epoll" => Ok(ServeBackend::Epoll),
+            "poll" => Ok(ServeBackend::Poll),
+            "threaded" => Ok(ServeBackend::Threaded),
+            other => Err(other.to_owned()),
+        }
+    }
+
+    /// Parses leniently: a garbage value warns and falls back to
+    /// [`ServeBackend::Auto`].
+    #[must_use]
+    pub fn parse(raw: &str) -> ServeBackend {
+        ServeBackend::try_parse(raw).unwrap_or_else(|_| {
+            eprintln!(
+                "warning: ignoring {SERVE_BACKEND_ENV}={raw:?} \
+                 (expected auto|epoll|poll|threaded); using auto"
+            );
+            ServeBackend::Auto
+        })
+    }
+
+    /// The token [`ServeBackend::try_parse`] accepts for this backend.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeBackend::Auto => "auto",
+            ServeBackend::Epoll => "epoll",
+            ServeBackend::Poll => "poll",
+            ServeBackend::Threaded => "threaded",
+        }
+    }
+}
+
+/// Where the persistent memo tier lives.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum MemoDirMode {
+    /// `memo/` next to the trace artifacts when the store has a disk
+    /// tier; no persistence for a purely in-memory store.
+    #[default]
+    Auto,
+    /// Persistence disabled ([`SERVE_MEMO_DIR_ENV`] set but empty).
+    Off,
+    /// An explicit directory.
+    Dir(PathBuf),
+}
+
+impl MemoDirMode {
+    fn from_raw(raw: &str) -> MemoDirMode {
+        if raw.is_empty() {
+            MemoDirMode::Off
+        } else {
+            MemoDirMode::Dir(PathBuf::from(raw))
+        }
+    }
+}
 
 /// Daemon configuration, normally read from the environment.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Listen address (`host:port`). Use port 0 for an ephemeral port.
     pub addr: String,
-    /// Memo-cache capacity in cached responses; 0 disables memoization.
-    pub memo_cap: usize,
+    /// In-memory memo budget in bytes of pre-encoded response frames;
+    /// 0 disables memoization (both tiers).
+    pub memo_bytes: usize,
     /// Per-request streaming window override; `None` = session default.
     pub window: Option<usize>,
+    /// Concurrently executing plans per connection (≥ 1).
+    pub inflight: usize,
+    /// Persistent memo tier location.
+    pub memo_dir: MemoDirMode,
+    /// Connection multiplexing backend.
+    pub backend: ServeBackend,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             addr: DEFAULT_SERVE_ADDR.to_owned(),
-            memo_cap: DEFAULT_MEMO_CAP,
+            memo_bytes: DEFAULT_MEMO_BYTES,
             window: None,
+            inflight: DEFAULT_INFLIGHT,
+            memo_dir: MemoDirMode::Auto,
+            backend: ServeBackend::Auto,
         }
     }
 }
 
 impl ServeConfig {
-    /// Reads [`SERVE_ADDR_ENV`], [`SERVE_MEMO_ENV`] and
-    /// [`SERVE_WINDOW_ENV`], falling back to the defaults for unset or
-    /// unparsable values.
+    /// Reads every `TLABP_SERVE_*` knob. Unset values take the
+    /// defaults; garbage values warn on stderr and take the defaults
+    /// (never a crash, never a silent reinterpretation).
     #[must_use]
     pub fn from_env() -> Self {
         let mut config = ServeConfig::default();
@@ -69,75 +190,193 @@ impl ServeConfig {
                 config.addr = addr;
             }
         }
-        if let Some(cap) = read_env_usize(SERVE_MEMO_ENV) {
-            config.memo_cap = cap;
+        if let Some(raw) = read_env(SERVE_MEMO_BYTES_ENV) {
+            if let Some(bytes) = parse_usize_env(SERVE_MEMO_BYTES_ENV, &raw) {
+                config.memo_bytes = bytes;
+            }
         }
-        config.window = read_env_usize(SERVE_WINDOW_ENV).filter(|&w| w > 0);
+        if let Some(raw) = read_env(SERVE_WINDOW_ENV) {
+            config.window = parse_window_env(&raw);
+        }
+        if let Some(raw) = read_env(SERVE_INFLIGHT_ENV) {
+            if let Some(inflight) = parse_inflight_env(&raw) {
+                config.inflight = inflight;
+            }
+        }
+        if let Ok(raw) = std::env::var(SERVE_MEMO_DIR_ENV) {
+            config.memo_dir = MemoDirMode::from_raw(&raw);
+        }
+        if let Some(raw) = read_env(SERVE_BACKEND_ENV) {
+            config.backend = ServeBackend::parse(&raw);
+        }
+        if std::env::var_os(LEGACY_MEMO_ENV).is_some() {
+            eprintln!(
+                "warning: {LEGACY_MEMO_ENV} is retired (the memo cache is byte-capped now); \
+                 use {SERVE_MEMO_BYTES_ENV}"
+            );
+        }
         config
     }
 }
 
-fn read_env_usize(name: &str) -> Option<usize> {
-    std::env::var(name).ok().and_then(|v| v.parse().ok())
+fn read_env(name: &str) -> Option<String> {
+    std::env::var(name).ok().filter(|raw| !raw.is_empty())
 }
 
-/// A memoized response: the pre-encoded `result` frame payloads, in plan
-/// order. Replaying the exact strings (rather than re-encoding a stored
-/// `ResultSet`) is what makes the memoized response byte-identical to
-/// the original one by construction.
-type MemoEntry = Arc<Vec<String>>;
-
-/// FIFO-evicting memo cache keyed by canonical plan JSON.
-struct MemoCache {
-    cap: usize,
-    entries: HashMap<String, MemoEntry>,
-    order: VecDeque<String>,
+/// Lenient usize knob: garbage warns and yields `None` (= keep the
+/// default).
+fn parse_usize_env(name: &str, raw: &str) -> Option<usize> {
+    match raw.trim().parse::<usize>() {
+        Ok(value) => Some(value),
+        Err(_) => {
+            eprintln!(
+                "warning: ignoring {name}={raw:?} (expected a non-negative integer); \
+                 using the default"
+            );
+            None
+        }
+    }
 }
 
-impl MemoCache {
-    fn new(cap: usize) -> Self {
-        MemoCache { cap, entries: HashMap::new(), order: VecDeque::new() }
+/// [`SERVE_WINDOW_ENV`]: `0` means "session default", so it maps to
+/// `None` with a warning rather than a zero-window deadlock.
+fn parse_window_env(raw: &str) -> Option<usize> {
+    match parse_usize_env(SERVE_WINDOW_ENV, raw) {
+        Some(0) => {
+            eprintln!(
+                "warning: ignoring {SERVE_WINDOW_ENV}=0 (a zero window cannot stream); \
+                 using the session default"
+            );
+            None
+        }
+        other => other,
+    }
+}
+
+/// [`SERVE_INFLIGHT_ENV`]: must be ≥ 1 — zero would admit nothing.
+fn parse_inflight_env(raw: &str) -> Option<usize> {
+    match parse_usize_env(SERVE_INFLIGHT_ENV, raw) {
+        Some(0) => {
+            eprintln!(
+                "warning: ignoring {SERVE_INFLIGHT_ENV}=0 (at least one plan must be \
+                 admitted); using {DEFAULT_INFLIGHT}"
+            );
+            Some(DEFAULT_INFLIGHT)
+        }
+        other => other,
+    }
+}
+
+/// Daemon counters, printed in the periodic stats line and cheap enough
+/// to bump from any thread.
+#[derive(Debug, Default)]
+pub(crate) struct ServeStats {
+    accepted: AtomicU64,
+    accept_errors: AtomicU64,
+    plans: AtomicU64,
+    memo_hits: AtomicU64,
+}
+
+impl ServeStats {
+    pub(crate) fn accept(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn get(&self, key: &str) -> Option<MemoEntry> {
-        self.entries.get(key).cloned()
+    pub(crate) fn accept_error(&self) {
+        self.accept_errors.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn insert(&mut self, key: String, entry: MemoEntry) {
-        if self.cap == 0 || self.entries.contains_key(&key) {
-            return;
-        }
-        while self.entries.len() >= self.cap {
-            match self.order.pop_front() {
-                Some(oldest) => {
-                    self.entries.remove(&oldest);
-                }
-                None => break,
-            }
-        }
-        self.order.push_back(key.clone());
-        self.entries.insert(key, entry);
+    pub(crate) fn plan(&self) {
+        self.plans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn memo_hit(&self) {
+        self.memo_hits.fetch_add(1, Ordering::Relaxed);
     }
 }
 
 /// State shared by every connection of one server.
-struct Shared {
+pub(crate) struct Shared {
     store: TraceStore,
     options: ExecOptions,
     window: Option<usize>,
     memo: Mutex<MemoCache>,
+    disk: Option<MemoDisk>,
+    pub(crate) stats: ServeStats,
+}
+
+impl Shared {
+    /// A fresh session on the global pool with this server's options.
+    pub(crate) fn session(&self) -> Session<'static> {
+        let mut session =
+            Session::on(SweepPool::global(), self.store.clone()).with_options(self.options);
+        if let Some(window) = self.window {
+            session = session.with_window(window);
+        }
+        session
+    }
+
+    /// Probes the in-memory memo tier.
+    pub(crate) fn memo_get(&self, key: &str) -> Option<MemoEntry> {
+        self.memo.lock().expect("memo cache lock").get(key)
+    }
+
+    /// Records a completed response in the LRU and (when configured)
+    /// the persistent tier.
+    pub(crate) fn memo_store(&self, key: &str, plan: &Plan, payloads: Vec<String>) {
+        let entry: MemoEntry = Arc::new(payloads);
+        self.memo.lock().expect("memo cache lock").insert(key, Arc::clone(&entry));
+        // `disk` is `None` when memoization is disabled (`memo_bytes`
+        // of 0), so persistence follows the same switch.
+        if let Some(disk) = &self.disk {
+            disk.persist(plan, key, &entry);
+        }
+    }
+
+    /// The periodic stats line (printed only when it changed).
+    pub(crate) fn stats_line(&self, conns: usize, backend: &str) -> String {
+        let (memo_entries, memo_bytes) = {
+            let cache = self.memo.lock().expect("memo cache lock");
+            (cache.len(), cache.bytes())
+        };
+        format!(
+            "stats backend={backend} conns={conns} accepted={} accept_errors={} plans={} \
+             memo_hits={} memo_entries={memo_entries} memo_bytes={memo_bytes}",
+            self.stats.accepted.load(Ordering::Relaxed),
+            self.stats.accept_errors.load(Ordering::Relaxed),
+            self.stats.plans.load(Ordering::Relaxed),
+            self.stats.memo_hits.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Rejects plans naming unregistered custom predictors: lowering panics
+/// on unknown registry entries (a programming error in-process, but a
+/// daemon must survive any client-supplied plan).
+pub(crate) fn validate_plan(plan: &Plan) -> Result<(), String> {
+    for job in plan.jobs() {
+        if let PredictorSpec::Custom(name) = &job.spec {
+            if registry::builder(name).is_none() {
+                return Err(format!("no predictor registered under {name:?}"));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// The sweep-as-a-service daemon. See the module docs for the sharing
 /// and fairness model.
 pub struct SweepServer {
     listener: TcpListener,
+    backend: ServeBackend,
+    inflight: usize,
     shared: Arc<Shared>,
 }
 
 impl SweepServer {
     /// Binds the daemon to `config.addr` with a warm store and the
-    /// given execution options.
+    /// given execution options, and hydrates the in-memory memo tier
+    /// from the persistent one.
     ///
     /// # Errors
     ///
@@ -148,13 +387,38 @@ impl SweepServer {
         options: ExecOptions,
     ) -> std::io::Result<SweepServer> {
         let listener = TcpListener::bind(&config.addr)?;
+        let disk = match &config.memo_dir {
+            _ if config.memo_bytes == 0 => None,
+            MemoDirMode::Off => None,
+            MemoDirMode::Dir(dir) => Some(MemoDisk::new(dir.clone())),
+            MemoDirMode::Auto => store.cache_dir().map(|dir| MemoDisk::new(dir.join("memo"))),
+        };
+        let mut cache = MemoCache::new(config.memo_bytes);
+        if let Some(disk) = &disk {
+            let mut hydrated = 0usize;
+            for (key, entry) in disk.hydrate() {
+                cache.insert(&key, entry);
+                hydrated += 1;
+            }
+            if hydrated > 0 {
+                eprintln!(
+                    "tlabp-serve: hydrated {hydrated} memoized response(s) ({} bytes) from {}",
+                    cache.bytes(),
+                    disk.dir().display()
+                );
+            }
+        }
         Ok(SweepServer {
             listener,
+            backend: config.backend,
+            inflight: config.inflight.max(1),
             shared: Arc::new(Shared {
                 store,
                 options,
                 window: config.window,
-                memo: Mutex::new(MemoCache::new(config.memo_cap)),
+                memo: Mutex::new(cache),
+                disk,
+                stats: ServeStats::default(),
             }),
         })
     }
@@ -168,14 +432,39 @@ impl SweepServer {
         self.listener.local_addr()
     }
 
-    /// Accepts connections forever, one handler thread per connection.
-    /// Simulation work still funnels through the one global
+    /// Serves forever on the configured backend. Simulation work always
+    /// funnels through the one global
     /// [`SweepPool`](tlabp_sim::SweepPool), so concurrent clients share
-    /// the worker threads fairly instead of multiplying them.
+    /// the worker threads fairly instead of multiplying them; on the
+    /// event backends the *connection* threads are fixed too.
     pub fn run(&self) -> ! {
+        match resolve_backend(self.backend) {
+            ResolvedBackend::Threaded => self.run_threaded(),
+            #[cfg(unix)]
+            ResolvedBackend::Event(backend) => crate::event::run(
+                &self.listener,
+                &self.shared,
+                &crate::event::EventConfig {
+                    backend,
+                    inflight: self.inflight,
+                    exec_threads: SweepPool::global().threads().max(2),
+                },
+            ),
+        }
+    }
+
+    /// The original thread-per-connection loop: one handler thread per
+    /// client. Kept as the portable fallback and as the baseline the
+    /// `bench --section service` comparison measures against — note it
+    /// parses every plan before the memo probe and flushes every frame
+    /// as its own syscall, exactly the costs the event core avoids.
+    fn run_threaded(&self) -> ! {
+        let mut backoff = Duration::from_millis(10);
         loop {
             match self.listener.accept() {
                 Ok((stream, peer)) => {
+                    backoff = Duration::from_millis(10);
+                    self.shared.stats.accept();
                     let shared = Arc::clone(&self.shared);
                     std::thread::spawn(move || {
                         if let Err(err) = handle_connection(stream, &shared) {
@@ -183,8 +472,42 @@ impl SweepServer {
                         }
                     });
                 }
-                Err(err) => eprintln!("tlabp-serve: accept failed: {err}"),
+                Err(err) => {
+                    // EMFILE and friends: back off exponentially instead
+                    // of spinning hot on a persistent error.
+                    self.shared.stats.accept_error();
+                    eprintln!("tlabp-serve: accept failed: {err}; retrying in {backoff:?}");
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2).min(Duration::from_secs(1));
+                }
             }
+        }
+    }
+}
+
+/// What [`ServeBackend`] resolves to on this host.
+enum ResolvedBackend {
+    Threaded,
+    #[cfg(unix)]
+    Event(crate::event::PollerBackend),
+}
+
+fn resolve_backend(backend: ServeBackend) -> ResolvedBackend {
+    match backend {
+        ServeBackend::Threaded => ResolvedBackend::Threaded,
+        #[cfg(unix)]
+        ServeBackend::Auto | ServeBackend::Epoll => {
+            ResolvedBackend::Event(crate::event::PollerBackend::Epoll)
+        }
+        #[cfg(unix)]
+        ServeBackend::Poll => ResolvedBackend::Event(crate::event::PollerBackend::Poll),
+        #[cfg(not(unix))]
+        other => {
+            eprintln!(
+                "tlabp-serve: backend {:?} needs unix readiness APIs; using threaded",
+                other.name()
+            );
+            ResolvedBackend::Threaded
         }
     }
 }
@@ -224,30 +547,20 @@ fn serve_plan(
     shared: &Shared,
     writer: &mut BufWriter<TcpStream>,
 ) -> std::io::Result<()> {
+    shared.stats.plan();
     let plan = match Plan::from_json_str(payload) {
         Ok(plan) => plan,
         Err(err) => return send(writer, FrameKind::Error, &error_payload(&err.to_string())),
     };
-    // Pre-validate custom predictor names: lowering panics on unknown
-    // registry entries (a programming error in-process, but a daemon
-    // must survive any client-supplied plan).
-    for job in plan.jobs() {
-        if let PredictorSpec::Custom(name) = &job.spec {
-            if registry::builder(name).is_none() {
-                return send(
-                    writer,
-                    FrameKind::Error,
-                    &error_payload(&format!("no predictor registered under {name:?}")),
-                );
-            }
-        }
+    if let Err(message) = validate_plan(&plan) {
+        return send(writer, FrameKind::Error, &error_payload(&message));
     }
 
     // The canonical plan JSON doubles as the memo key: two plans memo-hit
     // iff their canonical encodings are byte-equal.
     let key = plan.to_json_string();
-    let cached = shared.memo.lock().expect("memo cache lock").get(&key);
-    if let Some(entry) = cached {
+    if let Some(entry) = shared.memo_get(&key) {
+        shared.stats.memo_hit();
         for frame_payload in entry.iter() {
             send(writer, FrameKind::Result, frame_payload)?;
         }
@@ -257,11 +570,7 @@ fn serve_plan(
     // Miss: stream the session. Each result frame is written and flushed
     // as soon as the engine yields the job, so clients see plan-order
     // results incrementally while later jobs are still simulating.
-    let mut session =
-        Session::on(SweepPool::global(), shared.store.clone()).with_options(shared.options);
-    if let Some(window) = shared.window {
-        session = session.with_window(window);
-    }
+    let session = shared.session();
     let mut payloads = Vec::with_capacity(plan.len());
     for item in session.submit(&plan) {
         let frame_payload = result_payload(item.index, &item.outcome);
@@ -269,7 +578,7 @@ fn serve_plan(
         payloads.push(frame_payload);
     }
     let jobs = payloads.len();
-    shared.memo.lock().expect("memo cache lock").insert(key, Arc::new(payloads));
+    shared.memo_store(&key, &plan, payloads);
     send(writer, FrameKind::Done, &done_payload(jobs, false))
 }
 
@@ -288,6 +597,66 @@ fn send(writer: &mut BufWriter<TcpStream>, kind: FrameKind, payload: &str) -> st
 /// Fails if the address cannot be bound.
 pub fn serve(config: &ServeConfig, store: TraceStore, options: ExecOptions) -> std::io::Result<()> {
     let server = SweepServer::bind(config, store, options)?;
-    eprintln!("tlabp-serve: listening on {}", server.local_addr()?);
+    eprintln!(
+        "tlabp-serve: listening on {} (backend {})",
+        server.local_addr()?,
+        server.backend.name()
+    );
     server.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_tokens_round_trip_and_garbage_falls_back() {
+        for backend in
+            [ServeBackend::Auto, ServeBackend::Epoll, ServeBackend::Poll, ServeBackend::Threaded]
+        {
+            assert_eq!(ServeBackend::try_parse(backend.name()), Ok(backend));
+            assert_eq!(ServeBackend::parse(backend.name()), backend);
+        }
+        assert_eq!(ServeBackend::try_parse(" EPOLL "), Ok(ServeBackend::Epoll));
+        assert_eq!(ServeBackend::try_parse("kqueue"), Err("kqueue".to_owned()));
+        assert_eq!(ServeBackend::parse("kqueue"), ServeBackend::Auto, "garbage falls back");
+    }
+
+    #[test]
+    fn numeric_knobs_warn_and_fall_back_on_garbage() {
+        assert_eq!(parse_usize_env(SERVE_MEMO_BYTES_ENV, "1048576"), Some(1 << 20));
+        assert_eq!(parse_usize_env(SERVE_MEMO_BYTES_ENV, " 42 "), Some(42));
+        assert_eq!(parse_usize_env(SERVE_MEMO_BYTES_ENV, "64MiB"), None, "units are garbage");
+        assert_eq!(parse_usize_env(SERVE_MEMO_BYTES_ENV, "-1"), None);
+
+        assert_eq!(parse_window_env("8"), Some(8));
+        assert_eq!(parse_window_env("0"), None, "zero window means session default");
+        assert_eq!(parse_window_env("lots"), None);
+
+        assert_eq!(parse_inflight_env("2"), Some(2));
+        assert_eq!(parse_inflight_env("0"), Some(DEFAULT_INFLIGHT), "zero admits nothing");
+        assert_eq!(parse_inflight_env("∞"), None);
+    }
+
+    #[test]
+    fn memo_dir_mode_distinguishes_off_from_a_directory() {
+        assert_eq!(MemoDirMode::from_raw(""), MemoDirMode::Off);
+        assert_eq!(MemoDirMode::from_raw("/tmp/x"), MemoDirMode::Dir(PathBuf::from("/tmp/x")));
+    }
+
+    #[test]
+    fn unregistered_custom_predictors_are_rejected_before_lowering() {
+        use tlabp_workloads::Benchmark;
+        let li = Benchmark::by_name("li").expect("li exists");
+        let bad: Plan = [tlabp_sim::plan::Job::custom("no-such-predictor-registered", li)]
+            .into_iter()
+            .collect();
+        let message = validate_plan(&bad).expect_err("unknown custom name must be rejected");
+        assert!(message.contains("no-such-predictor-registered"), "message names the predictor");
+        let good: Plan =
+            [tlabp_sim::plan::Job::scheme(tlabp_core::config::SchemeConfig::btfn(), li)]
+                .into_iter()
+                .collect();
+        assert_eq!(validate_plan(&good), Ok(()));
+    }
 }

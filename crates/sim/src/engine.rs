@@ -836,6 +836,30 @@ impl JobStream<'_> {
         }
     }
 
+    /// Drains the stream through `sink` until it is exhausted or `sink`
+    /// returns `false`, whichever comes first; returns `true` when every
+    /// item was yielded.
+    ///
+    /// This is the session drain hook the sweep daemon's executor
+    /// threads use: each yielded item is forwarded into a connection's
+    /// bounded output queue, and a failed forward (the client hung up)
+    /// stops the drain early — the stream is then dropped mid-plan,
+    /// which is safe: results of still-in-flight tasks are simply
+    /// discarded (see [`Session::submit`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a task panicked on a worker: its results can never
+    /// arrive.
+    pub fn drain_while(mut self, mut sink: impl FnMut(JobItem) -> bool) -> bool {
+        for item in self.by_ref() {
+            if !sink(item) {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Drains the stream into a [`ResultSet`] (blocking until every job
     /// has reported) — plan-order reassembly as a fold over the stream.
     ///

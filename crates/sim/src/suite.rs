@@ -5,11 +5,12 @@
 use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use tlabp_core::config::SchemeConfig;
-use tlabp_trace::io::{read_artifacts, write_artifacts, ARTIFACT_VERSION};
+use tlabp_trace::io::{
+    read_artifacts, write_artifacts, write_file_atomic, FileLock, ARTIFACT_VERSION,
+};
 use tlabp_trace::{InternedConds, PackedCond, PatternStream, Trace};
 use tlabp_workloads::{Benchmark, DataSet};
 
@@ -82,7 +83,6 @@ struct TraceSlot {
 #[derive(Debug)]
 struct DiskTier {
     dir: PathBuf,
-    temp_counter: AtomicU64,
 }
 
 /// How long a persist waits for a contended artifact lock before
@@ -93,18 +93,6 @@ const LOCK_WAIT_MILLIS: u64 = 2_000;
 /// writer and broken. Persists hold the lock for milliseconds, so
 /// anything this old is dead.
 const LOCK_STALE_SECS: u64 = 10;
-
-/// A held advisory artifact lock; the lock file is removed on drop (and
-/// scavenged as stale by other writers if this process dies first).
-struct ArtifactLock {
-    path: PathBuf,
-}
-
-impl Drop for ArtifactLock {
-    fn drop(&mut self) {
-        let _ = fs::remove_file(&self.path);
-    }
-}
 
 impl DiskTier {
     /// The artifact path for a slot. The container version and workload
@@ -237,60 +225,27 @@ impl DiskTier {
     }
 
     /// Acquires the advisory cross-process lock for an artifact path:
-    /// `<artifact>.lock`, created exclusively. Returns `None` (with a
-    /// warning) when the lock cannot be acquired within the wait budget
-    /// — the caller proceeds unlocked rather than stalling simulation on
-    /// a cache courtesy.
-    fn lock_artifact(&self, path: &Path) -> Option<ArtifactLock> {
+    /// `<artifact>.lock`, created exclusively
+    /// ([`FileLock::acquire`] — the same machinery the service's
+    /// persistent memo tier uses). Returns `None` (with a warning) when
+    /// the lock cannot be acquired within the wait budget — the caller
+    /// proceeds unlocked rather than stalling simulation on a cache
+    /// courtesy.
+    fn lock_artifact(&self, path: &Path) -> Option<FileLock> {
         if fs::create_dir_all(&self.dir).is_err() {
             return None;
         }
-        let lock_path = path.with_extension("tlabp.lock");
-        let deadline =
-            std::time::Instant::now() + std::time::Duration::from_millis(LOCK_WAIT_MILLIS);
-        loop {
-            match fs::OpenOptions::new().write(true).create_new(true).open(&lock_path) {
-                Ok(_) => return Some(ArtifactLock { path: lock_path }),
-                Err(err) if err.kind() == std::io::ErrorKind::AlreadyExists => {
-                    // A crashed writer leaves its lock behind; break it
-                    // once it is clearly older than any live persist.
-                    let stale = fs::metadata(&lock_path)
-                        .and_then(|meta| meta.modified())
-                        .ok()
-                        .and_then(|modified| modified.elapsed().ok())
-                        .is_some_and(|age| age.as_secs() >= LOCK_STALE_SECS);
-                    if stale {
-                        eprintln!("warning: breaking stale artifact lock {}", lock_path.display());
-                        let _ = fs::remove_file(&lock_path);
-                        continue;
-                    }
-                    if std::time::Instant::now() >= deadline {
-                        eprintln!(
-                            "warning: timed out waiting for artifact lock {}; writing anyway",
-                            lock_path.display()
-                        );
-                        return None;
-                    }
-                    std::thread::sleep(std::time::Duration::from_millis(10));
-                }
-                Err(_) => return None,
-            }
-        }
+        FileLock::acquire(
+            &path.with_extension("tlabp.lock"),
+            std::time::Duration::from_millis(LOCK_WAIT_MILLIS),
+            std::time::Duration::from_secs(LOCK_STALE_SECS),
+        )
     }
 
     /// Writes via a unique temp file in the same directory, then renames
     /// over the target, so readers only ever observe complete files.
     fn write_atomic(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-        fs::create_dir_all(&self.dir)?;
-        let temp = self.dir.join(format!(
-            ".tmp-{}-{}",
-            std::process::id(),
-            self.temp_counter.fetch_add(1, Ordering::Relaxed)
-        ));
-        fs::write(&temp, bytes)?;
-        fs::rename(&temp, path).inspect_err(|_| {
-            let _ = fs::remove_file(&temp);
-        })
+        write_file_atomic(path, bytes)
     }
 
     /// Total size of the artifact files currently in the cache directory.
@@ -356,10 +311,7 @@ impl TraceStore {
     /// write; a missing directory just means every lookup misses).
     #[must_use]
     pub fn with_cache_dir(dir: impl Into<PathBuf>) -> Self {
-        TraceStore {
-            cache: Arc::default(),
-            disk: Some(Arc::new(DiskTier { dir: dir.into(), temp_counter: AtomicU64::new(0) })),
-        }
+        TraceStore { cache: Arc::default(), disk: Some(Arc::new(DiskTier { dir: dir.into() })) }
     }
 
     /// The disk cache directory, if the disk tier is enabled.

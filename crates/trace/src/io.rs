@@ -47,6 +47,17 @@
 //! intact never yields a bundle — the disk tier falls back to
 //! regeneration instead of risking wrong numbers.
 //!
+//! A third format, the **memo artifact** (`b"TLBM"`, [`write_memo`] /
+//! [`read_memo`]), stores one memoized service response — the canonical
+//! plan JSON plus its pre-encoded result-frame payloads — with the same
+//! per-section checksum discipline, so the sweep daemon's persistent
+//! memo tier inherits the container's torn/corrupt-file guarantees.
+//!
+//! The module also exports the filesystem discipline those tiers share:
+//! [`write_file_atomic`] (unique temp file + rename, readers never see a
+//! partial file) and [`FileLock`] (advisory cross-process lock file with
+//! stale-lock scavenging).
+//!
 //! # Example
 //!
 //! ```
@@ -580,6 +591,228 @@ impl Cursor<'_> {
     }
 }
 
+/// File magic identifying a memo artifact ([`write_memo`] /
+/// [`read_memo`]): one memoized sweep-service response.
+pub const MEMO_MAGIC: &[u8; 4] = b"TLBM";
+/// Version of the memo artifact format.
+pub const MEMO_VERSION: u16 = 1;
+
+/// Section kind tags of the memo artifact.
+mod memo_section {
+    /// The canonical plan JSON (exactly one, first).
+    pub const PLAN: u8 = 1;
+    /// One pre-encoded result-frame payload (zero or more, in plan
+    /// order).
+    pub const FRAME: u8 = 2;
+}
+
+/// The decoded contents of a memo artifact: one memoized service
+/// response keyed by the plan's wire hash and the fingerprints of the
+/// workloads it measures.
+///
+/// The frames are the service's pre-encoded `result` frame *payloads*
+/// (not whole lines): replaying the stored strings is what makes a
+/// response served from this tier byte-identical to the original.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoArtifact {
+    /// `Plan::wire_hash` of the canonical plan JSON; part of the file
+    /// name, repeated inside so a renamed file cannot impersonate
+    /// another plan's response.
+    pub plan_hash: u64,
+    /// A fold over the codegen fingerprints of every workload the plan
+    /// touches; a workload edit changes it, so stale responses are
+    /// rejected by construction.
+    pub fingerprint: u64,
+    /// The canonical plan JSON — the daemon's memo key.
+    pub plan: String,
+    /// Pre-encoded result-frame payloads, in plan order.
+    pub frames: Vec<String>,
+}
+
+/// Serializes a memo artifact: a fixed header, then the plan and every
+/// frame as independently checksummed sections.
+///
+/// The inverse of [`read_memo`]; the two round-trip exactly.
+///
+/// ```text
+/// magic     : 4 bytes = b"TLBM"
+/// version   : u16     = 1
+/// plan_hash : u64
+/// fingerprint : u64
+/// sections  : u32     = 1 + frames
+/// per section:
+///   kind    : u8      1 plan json, 2 frame payload
+///   len     : u64     payload byte length
+///   payload : len bytes (UTF-8)
+///   checksum: u64     fx-fold of the payload (see [`checksum`])
+/// ```
+#[must_use]
+pub fn write_memo(artifact: &MemoArtifact) -> Vec<u8> {
+    let sections = 1 + artifact.frames.len();
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MEMO_MAGIC);
+    buf.extend_from_slice(&MEMO_VERSION.to_le_bytes());
+    buf.extend_from_slice(&artifact.plan_hash.to_le_bytes());
+    buf.extend_from_slice(&artifact.fingerprint.to_le_bytes());
+    buf.extend_from_slice(&u32::try_from(sections).expect("section count fits u32").to_le_bytes());
+    push_section(&mut buf, memo_section::PLAN, artifact.plan.as_bytes());
+    for frame in &artifact.frames {
+        push_section(&mut buf, memo_section::FRAME, frame.as_bytes());
+    }
+    buf
+}
+
+/// Deserializes a memo artifact produced by [`write_memo`].
+///
+/// # Errors
+///
+/// Returns a [`ReadTraceError`] if the magic or version do not match,
+/// the buffer is truncated at any byte boundary, bytes trail the last
+/// section, any section checksum mismatches, a section payload is not
+/// UTF-8, or the sections are not exactly one plan followed by frames.
+/// An `Err` means the file proves nothing — the daemon treats it as a
+/// miss and regenerates on the next cold execution.
+pub fn read_memo(bytes: &[u8]) -> Result<MemoArtifact, ReadTraceError> {
+    let mut cur = Cursor { bytes, pos: 0 };
+    if cur.remaining() < 4 || &bytes[..4] != MEMO_MAGIC {
+        let mut found = [0u8; 4];
+        let n = cur.remaining().min(4);
+        found[..n].copy_from_slice(&bytes[..n]);
+        return Err(ReadTraceError::BadMagic { found });
+    }
+    cur.pos = 4;
+    if cur.remaining() < 2 {
+        return Err(ReadTraceError::Truncated { at_event: 0 });
+    }
+    let version = cur.get_u16_le();
+    if version != MEMO_VERSION {
+        return Err(ReadTraceError::UnsupportedVersion { found: version });
+    }
+    if cur.remaining() < 20 {
+        return Err(ReadTraceError::Truncated { at_event: 0 });
+    }
+    let plan_hash = cur.get_u64_le();
+    let fingerprint = cur.get_u64_le();
+    let sections = cur.get_u32_le();
+    let mut plan: Option<String> = None;
+    let mut frames = Vec::new();
+    for index in 0..sections {
+        if cur.remaining() < 9 {
+            return Err(ReadTraceError::Truncated { at_event: 0 });
+        }
+        let kind = cur.get_u8();
+        let len = cur.get_u64_le();
+        let Ok(len) = usize::try_from(len) else {
+            return Err(ReadTraceError::Truncated { at_event: 0 });
+        };
+        if cur.remaining() < len + 8 {
+            return Err(ReadTraceError::Truncated { at_event: 0 });
+        }
+        let payload = &bytes[cur.pos..cur.pos + len];
+        cur.pos += len;
+        let stored = cur.get_u64_le();
+        if checksum(payload) != stored {
+            return Err(ReadTraceError::SectionChecksum { kind });
+        }
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| ReadTraceError::BadSection { kind })?
+            .to_owned();
+        match kind {
+            memo_section::PLAN if index == 0 && plan.is_none() => plan = Some(text),
+            memo_section::FRAME if plan.is_some() => frames.push(text),
+            _ => return Err(ReadTraceError::BadSection { kind }),
+        }
+    }
+    if cur.remaining() > 0 {
+        return Err(ReadTraceError::TrailingBytes { count: cur.remaining() });
+    }
+    let plan = plan.ok_or(ReadTraceError::BadSection { kind: memo_section::PLAN })?;
+    Ok(MemoArtifact { plan_hash, fingerprint, plan, frames })
+}
+
+/// A held advisory cross-process lock: a lock file created exclusively,
+/// removed on drop (and scavenged as stale by other writers if the
+/// holding process dies first). See [`FileLock::acquire`].
+pub struct FileLock {
+    path: std::path::PathBuf,
+}
+
+impl Drop for FileLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+impl FileLock {
+    /// Acquires the advisory lock at `lock_path` (created with
+    /// `create_new`, so exactly one process wins). A lock file older
+    /// than `stale` is treated as abandoned by a crashed writer and
+    /// broken with a warning. Returns `None` — with a warning — when
+    /// the lock cannot be acquired within `wait`: callers proceed
+    /// unlocked rather than stalling real work on a cache courtesy,
+    /// because every writer pairs this lock with [`write_file_atomic`],
+    /// so the worst unlocked outcome is last-writer-wins, never a torn
+    /// file.
+    #[must_use]
+    pub fn acquire(
+        lock_path: &std::path::Path,
+        wait: std::time::Duration,
+        stale: std::time::Duration,
+    ) -> Option<FileLock> {
+        let deadline = std::time::Instant::now() + wait;
+        loop {
+            match std::fs::OpenOptions::new().write(true).create_new(true).open(lock_path) {
+                Ok(_) => return Some(FileLock { path: lock_path.to_path_buf() }),
+                Err(err) if err.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let is_stale = std::fs::metadata(lock_path)
+                        .and_then(|meta| meta.modified())
+                        .ok()
+                        .and_then(|modified| modified.elapsed().ok())
+                        .is_some_and(|age| age >= stale);
+                    if is_stale {
+                        eprintln!("warning: breaking stale artifact lock {}", lock_path.display());
+                        let _ = std::fs::remove_file(lock_path);
+                        continue;
+                    }
+                    if std::time::Instant::now() >= deadline {
+                        eprintln!(
+                            "warning: timed out waiting for artifact lock {}; writing anyway",
+                            lock_path.display()
+                        );
+                        return None;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+/// Writes `bytes` to `path` via a unique temp file in the same
+/// directory, then renames over the target, so readers only ever
+/// observe complete files (the parent directory is created if missing).
+///
+/// # Errors
+///
+/// Propagates directory-creation, write, and rename failures; a failed
+/// rename removes the temp file.
+pub fn write_file_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = path.parent().unwrap_or_else(|| std::path::Path::new("."));
+    std::fs::create_dir_all(dir)?;
+    let temp = dir.join(format!(
+        ".tmp-{}-{}",
+        std::process::id(),
+        TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&temp, bytes)?;
+    std::fs::rename(&temp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&temp);
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -798,5 +1031,106 @@ mod tests {
         assert_ne!(checksum(&[0]), checksum(&[0, 0]));
         assert_ne!(checksum(b"abcdefgh"), checksum(b"abcdefgi"));
         assert_eq!(checksum(b"abcdefgh"), checksum(b"abcdefgh"));
+    }
+
+    fn sample_memo() -> MemoArtifact {
+        MemoArtifact {
+            plan_hash: 0x1234_5678_9abc_def0,
+            fingerprint: 0x0fed_cba9_8765_4321,
+            plan: r#"{"version":1,"jobs":[{"scheme":"PAg(12)"}]}"#.to_owned(),
+            frames: vec![
+                r#"{"index":0,"outcome":{"skipped":"with spaces"}}"#.to_owned(),
+                r#"{"index":1,"outcome":{"skipped":"second"}}"#.to_owned(),
+            ],
+        }
+    }
+
+    #[test]
+    fn memo_round_trips() {
+        let memo = sample_memo();
+        assert_eq!(read_memo(&write_memo(&memo)).unwrap(), memo);
+        let empty = MemoArtifact { frames: Vec::new(), ..sample_memo() };
+        assert_eq!(read_memo(&write_memo(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn memo_rejects_every_truncation() {
+        let bytes = write_memo(&sample_memo());
+        for cut in 0..bytes.len() {
+            assert!(read_memo(&bytes[..cut]).is_err(), "prefix of {cut} bytes must not decode");
+        }
+    }
+
+    #[test]
+    fn memo_rejects_every_bit_flip_past_the_magic() {
+        let memo = sample_memo();
+        let bytes = write_memo(&memo);
+        for pos in 4..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 1 << (pos % 8);
+            // A flip in the stored plan_hash/fingerprint header words
+            // still decodes (they are caller-validated metadata); any
+            // flip in a section must fail the checksum or the structure.
+            if (6..22).contains(&pos) {
+                let back = read_memo(&corrupt).expect("header metadata flips still decode");
+                assert!(
+                    back.plan_hash != memo.plan_hash || back.fingerprint != memo.fingerprint,
+                    "flip at {pos} must surface in the decoded metadata"
+                );
+            } else {
+                assert!(read_memo(&corrupt).is_err(), "bit flip at byte {pos} must not decode");
+            }
+        }
+    }
+
+    #[test]
+    fn memo_rejects_trailing_bytes_and_wrong_formats() {
+        let mut bytes = write_memo(&sample_memo());
+        bytes.push(0);
+        assert_eq!(read_memo(&bytes).unwrap_err(), ReadTraceError::TrailingBytes { count: 1 });
+        assert!(matches!(
+            read_memo(&write_trace(&sample_trace())).unwrap_err(),
+            ReadTraceError::BadMagic { .. }
+        ));
+    }
+
+    #[test]
+    fn file_lock_is_exclusive_and_breaks_stale_locks() {
+        let dir = std::env::temp_dir().join(format!("tlabp-io-lock-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let lock_path = dir.join("x.tlabm.lock");
+        let wait = std::time::Duration::from_millis(50);
+        let stale = std::time::Duration::from_secs(3600);
+        let held = FileLock::acquire(&lock_path, wait, stale).expect("first acquire wins");
+        assert!(
+            FileLock::acquire(&lock_path, wait, stale).is_none(),
+            "second acquire times out while the lock is held"
+        );
+        drop(held);
+        assert!(!lock_path.exists(), "drop removes the lock file");
+        // A zero stale budget treats any existing lock as abandoned.
+        let _orphan = std::fs::File::create(&lock_path).unwrap();
+        let reacquired = FileLock::acquire(&lock_path, wait, std::time::Duration::ZERO);
+        assert!(reacquired.is_some(), "stale lock is broken and re-acquired");
+        drop(reacquired);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_file_atomic_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!("tlabp-io-atomic-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("artifact.tlabm");
+        write_file_atomic(&path, b"payload").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"payload");
+        write_file_atomic(&path, b"rewritten").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"rewritten");
+        let leftovers: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "no temp files survive: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

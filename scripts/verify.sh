@@ -9,10 +9,14 @@
 # forced-split pass proving TLABP_SPLIT is a scheduling knob only —
 # and one-iteration smoke runs of the throughput harness (full, then
 # the replay section alone under the portable SWAR body, then the
-# scaling section alone), and the sweep-service smoke test: a daemon is
-# started, two concurrent clients stream the fig5 plan, and both
-# streamed result sets must be byte-identical to an in-process
-# `experiments exec` of the same plan file.
+# scaling section alone, then the service section alone), and the
+# sweep-service smoke test: a daemon is started with a persistent memo
+# tier, a concurrent burst of clients streams the fig5 plan, every
+# result set must be byte-identical to an in-process `experiments exec`
+# of the same plan file, and after killing and restarting the daemon a
+# further client must be answered from the persistent memo tier
+# (proven by the client's "memoized" report — zero simulation work) and
+# still byte-identically.
 # Run from the repository root. Requires no network access (the service
 # smoke test talks only to 127.0.0.1).
 set -eux
@@ -29,29 +33,46 @@ TLABP_SPLIT=3 cargo test --release -q -p tlabp --test differential --test sweep_
 TLABP_BENCH_ITERS=1 cargo run -q -p tlabp-experiments --release -- bench --out "$(mktemp -d)"
 TLABP_BENCH_ITERS=1 TLABP_SIMD=swar cargo run -q -p tlabp-experiments --release -- bench --section replay --out "$(mktemp -d)"
 TLABP_BENCH_ITERS=1 cargo run -q -p tlabp-experiments --release -- bench --section scaling --out "$(mktemp -d)"
+TLABP_BENCH_ITERS=1 cargo run -q -p tlabp-experiments --release -- bench --section service --out "$(mktemp -d)"
 
 # Sweep-service smoke test. Serialize the fig5 plan, run it in-process
-# for the reference results, then stream it through a live daemon from
-# two concurrent clients plus one warm (memoized) client, and require
-# every response byte-identical to the in-process run.
+# for the reference results, then stream it through a live daemon
+# (event backend, persistent memo tier) from a concurrent burst of
+# clients plus one warm (memoized) client, and require every response
+# byte-identical to the in-process run.
 SMOKE_DIR="$(mktemp -d)"
 export TLABP_SERVE_ADDR=127.0.0.1:17391
+export TLABP_SERVE_MEMO_DIR="$SMOKE_DIR/memo"
 cargo run -q -p tlabp-experiments --release -- plan fig5 --out "$SMOKE_DIR"
 cargo run -q -p tlabp-experiments --release -- exec "$SMOKE_DIR/fig5.plan.json" --out "$SMOKE_DIR/exec"
 cargo run -q -p tlabp-experiments --release -- serve &
 SERVE_PID=$!
 trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
-cargo run -q -p tlabp-experiments --release -- client "$SMOKE_DIR/fig5.plan.json" --out "$SMOKE_DIR/client-a" &
-CLIENT_A=$!
-cargo run -q -p tlabp-experiments --release -- client "$SMOKE_DIR/fig5.plan.json" --out "$SMOKE_DIR/client-b" &
-CLIENT_B=$!
-wait "$CLIENT_A"
-wait "$CLIENT_B"
-# A third client hits the daemon's memo cache; the replayed bytes must
-# still match.
+BURST_PIDS=""
+for i in 1 2 3 4 5 6; do
+  cargo run -q -p tlabp-experiments --release -- client "$SMOKE_DIR/fig5.plan.json" --out "$SMOKE_DIR/client-$i" &
+  BURST_PIDS="$BURST_PIDS $!"
+done
+for pid in $BURST_PIDS; do
+  wait "$pid"
+done
+for i in 1 2 3 4 5 6; do
+  cmp "$SMOKE_DIR/exec/fig5.results.json" "$SMOKE_DIR/client-$i/fig5.results.json"
+done
+# Another client hits the daemon's in-memory memo cache; the replayed
+# bytes must still match.
 cargo run -q -p tlabp-experiments --release -- client "$SMOKE_DIR/fig5.plan.json" --out "$SMOKE_DIR/client-memo"
-cmp "$SMOKE_DIR/exec/fig5.results.json" "$SMOKE_DIR/client-a/fig5.results.json"
-cmp "$SMOKE_DIR/exec/fig5.results.json" "$SMOKE_DIR/client-b/fig5.results.json"
 cmp "$SMOKE_DIR/exec/fig5.results.json" "$SMOKE_DIR/client-memo/fig5.results.json"
+kill "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+
+# Restart check: a fresh daemon process must answer the already-seen
+# plan from the persistent memo tier — the client must report
+# "memoized" (zero simulation work) and the bytes must still match.
+cargo run -q -p tlabp-experiments --release -- serve &
+SERVE_PID=$!
+cargo run -q -p tlabp-experiments --release -- client "$SMOKE_DIR/fig5.plan.json" --out "$SMOKE_DIR/client-restart" | tee "$SMOKE_DIR/client-restart.log"
+grep -q "memoized" "$SMOKE_DIR/client-restart.log"
+cmp "$SMOKE_DIR/exec/fig5.results.json" "$SMOKE_DIR/client-restart/fig5.results.json"
 kill "$SERVE_PID"
 trap - EXIT

@@ -1,13 +1,17 @@
 //! Acceptance tests for the sweep-as-a-service daemon.
 //!
-//! One in-process server (bound to an ephemeral port) backs all the
-//! scenarios the issue's acceptance criteria name: two concurrent
-//! clients each receive streamed result sets bit-identical to an
-//! in-process `execute` of the same plan; a repeated submission is
-//! answered from the memo cache with zero simulation work (proven by a
-//! counting predictor builder); and results arrive incrementally in plan
-//! order — the first job's frame is readable while a later job is still
-//! deliberately blocked.
+//! In-process servers (bound to ephemeral ports) back every scenario
+//! the issue's acceptance criteria name: concurrent clients each
+//! receive streamed result sets bit-identical to an in-process
+//! `execute` of the same plan — on the event-driven backend *and* the
+//! threaded baseline; repeated submissions are answered from the memo
+//! cache with zero simulation work (proven by a counting predictor
+//! builder), including across a daemon restart via the persistent memo
+//! tier; admission control holds pipelined plans to the per-connection
+//! in-flight cap in FIFO order; results arrive incrementally in plan
+//! order; a 64-client mixed cold/memo/malformed soak stays
+//! bit-identical throughout; and 256 idle connections on the event
+//! backend cost no additional threads.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -15,7 +19,7 @@ use std::time::Duration;
 
 use tlabp::core::config::SchemeConfig;
 use tlabp::core::registry;
-use tlabp::service::{Client, ServeConfig, SweepServer};
+use tlabp::service::{Client, MemoDirMode, ServeBackend, ServeConfig, SweepServer};
 use tlabp::sim::engine::execute;
 use tlabp::sim::plan::{Job, Plan};
 use tlabp::sim::{ExecOptions, TraceStore};
@@ -25,10 +29,22 @@ fn li() -> &'static Benchmark {
     Benchmark::by_name("li").expect("li exists")
 }
 
-/// Binds a fresh daemon on an ephemeral port and serves it from a
-/// background thread; returns the address to dial.
-fn spawn_server(memo_cap: usize) -> String {
-    let config = ServeConfig { addr: "127.0.0.1:0".to_owned(), memo_cap, window: None };
+/// A test server config: ephemeral port, persistence off, defaults
+/// otherwise.
+fn server_config(memo_bytes: usize) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        memo_bytes,
+        window: None,
+        inflight: 4,
+        memo_dir: MemoDirMode::Off,
+        backend: ServeBackend::Auto,
+    }
+}
+
+/// Binds a fresh daemon and serves it from a background thread; returns
+/// the address to dial.
+fn spawn_server(config: ServeConfig) -> String {
     let server = SweepServer::bind(&config, TraceStore::new(), ExecOptions::default())
         .expect("ephemeral port binds");
     let addr = server.local_addr().expect("bound address").to_string();
@@ -40,13 +56,46 @@ fn connect(addr: &str) -> Client {
     Client::connect_with_retry(addr, Duration::from_secs(10)).expect("daemon reachable")
 }
 
+/// A batch of distinct plans pipelined on one connection comes back in
+/// submission order, every response bit-identical to an in-process
+/// execution, on both backends. The batch is larger than the in-flight
+/// cap, so the tail of it exercises the FIFO queue.
+#[test]
+fn pipelined_submissions_return_responses_in_submission_order() {
+    let plans: Vec<Plan> = (6..=11)
+        .map(|bits| std::iter::once(Job::scheme(SchemeConfig::pag(bits), li())).collect())
+        .collect();
+    let store = TraceStore::new();
+    let expected: Vec<String> =
+        plans.iter().map(|plan| execute(plan, &store).to_json_string()).collect();
+
+    for backend in [ServeBackend::Auto, ServeBackend::Threaded] {
+        let mut config = server_config(64 << 20);
+        config.backend = backend;
+        config.inflight = 2;
+        let addr = spawn_server(config);
+        let mut client = connect(&addr);
+        let responses = client.execute_pipelined(&plans).expect("pipelined batch completes");
+        assert_eq!(responses.len(), plans.len());
+        for (index, ((results, done), want)) in responses.iter().zip(&expected).enumerate() {
+            assert!(!done.memo, "first sight of plan {index} must simulate");
+            assert_eq!(
+                &results.to_json_string(),
+                want,
+                "pipelined response {index} diverged from in-process execution ({backend:?})"
+            );
+        }
+    }
+}
+
 /// Two clients submit concurrently; each streamed response reconstructs
 /// a `ResultSet` bit-identical (canonical JSON byte equality, not just
 /// `==`) to executing the same plan in-process. A third submission of
 /// the same plan is served from the memo cache, again byte-identical.
+/// Exercised on both the event-driven backend and the threaded
+/// baseline — their bytes must be indistinguishable.
 #[test]
 fn concurrent_clients_match_in_process_execution_bit_for_bit() {
-    let addr = spawn_server(64);
     let plan_a: Plan = [
         Job::scheme(SchemeConfig::pag(8), li()),
         Job::scheme(SchemeConfig::gag(8), li()),
@@ -59,38 +108,49 @@ fn concurrent_clients_match_in_process_execution_bit_for_bit() {
             .into_iter()
             .collect();
 
-    let expected_a = execute(&plan_a, &TraceStore::new()).to_json_string();
-    let expected_b = execute(&plan_b, &TraceStore::new()).to_json_string();
+    let store = TraceStore::new();
+    let expected_a = execute(&plan_a, &store).to_json_string();
+    let expected_b = execute(&plan_b, &store).to_json_string();
 
-    let threads =
-        [(plan_a.clone(), expected_a.clone()), (plan_b, expected_b)].map(|(plan, expected)| {
-            let addr = addr.clone();
-            std::thread::spawn(move || {
-                let (results, done) = connect(&addr).execute(&plan).expect("streamed response");
-                assert_eq!(done.jobs, plan.len());
-                assert!(!done.memo, "first submission of each plan simulates");
-                assert_eq!(
-                    results.to_json_string(),
-                    expected,
-                    "streamed results must be bit-identical to in-process execution"
-                );
-            })
-        });
-    for thread in threads {
-        thread.join().expect("client thread");
+    for backend in [ServeBackend::Auto, ServeBackend::Threaded] {
+        let mut config = server_config(64 << 20);
+        config.backend = backend;
+        let addr = spawn_server(config);
+        let threads = [(plan_a.clone(), expected_a.clone()), (plan_b.clone(), expected_b.clone())]
+            .map(|(plan, expected)| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let (results, done) = connect(&addr).execute(&plan).expect("streamed response");
+                    assert_eq!(done.jobs, plan.len());
+                    assert!(!done.memo, "first submission of each plan simulates");
+                    assert_eq!(
+                        results.to_json_string(),
+                        expected,
+                        "streamed results must be bit-identical to in-process execution \
+                         ({backend:?})"
+                    );
+                })
+            });
+        for thread in threads {
+            thread.join().expect("client thread");
+        }
+
+        // Same plan again: the daemon replays its memoized frames.
+        let (results, done) = connect(&addr).execute(&plan_a).expect("memoized response");
+        assert!(done.memo, "repeat submission must hit the memo cache ({backend:?})");
+        assert_eq!(
+            results.to_json_string(),
+            expected_a,
+            "memoized response must be byte-identical ({backend:?})"
+        );
     }
-
-    // Same plan again: the daemon replays its memoized frames.
-    let (results, done) = connect(&addr).execute(&plan_a).expect("memoized response");
-    assert!(done.memo, "repeat submission must hit the memo cache");
-    assert_eq!(results.to_json_string(), expected_a, "memoized response must be byte-identical");
 }
 
 /// Zero simulation work on a memo hit: a counting registry builder shows
 /// the predictor is never even constructed for the repeated plan.
 #[test]
 fn memoized_responses_do_no_simulation_work() {
-    let addr = spawn_server(64);
+    let addr = spawn_server(server_config(64 << 20));
     let builds = Arc::new(AtomicUsize::new(0));
     let counter = Arc::clone(&builds);
     registry::register("service-test-counting", move || {
@@ -115,16 +175,136 @@ fn memoized_responses_do_no_simulation_work() {
     );
     assert_eq!(second, first);
 
-    // A memo cache capped at zero disables replay: every submission
+    // A memo budget of zero bytes disables replay: every submission
     // simulates.
-    let addr_uncached = spawn_server(0);
+    let addr_uncached = spawn_server(server_config(0));
     let mut client = connect(&addr_uncached);
     let before = builds.load(Ordering::SeqCst);
     let (_, done) = client.execute(&plan).expect("uncached response");
     assert!(!done.memo);
     let (_, done) = client.execute(&plan).expect("second uncached response");
-    assert!(!done.memo, "cap 0 disables memoization");
+    assert!(!done.memo, "a zero-byte memo budget disables memoization");
     assert!(builds.load(Ordering::SeqCst) >= before + 2);
+}
+
+/// A daemon restarted over the same memo directory serves a
+/// previously-seen plan from the persistent tier: byte-identical
+/// response, `done.memo == true`, and zero simulation work — proven by
+/// a counting builder that is never invoked by the second server.
+#[test]
+fn restarted_daemon_replays_persisted_memo_with_zero_simulation_work() {
+    let dir = std::env::temp_dir().join(format!("tlabp-service-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let builds = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&builds);
+    registry::register("service-restart-counting", move || {
+        counter.fetch_add(1, Ordering::SeqCst);
+        Box::new(tlabp::core::schemes::Btfn::new())
+    });
+    let plan: Plan =
+        [Job::custom("service-restart-counting", li()).with_fusion(false)].into_iter().collect();
+
+    let mut config = server_config(1 << 20);
+    config.memo_dir = MemoDirMode::Dir(dir.clone());
+    let addr_a = spawn_server(config.clone());
+    let (first, done) = connect(&addr_a).execute(&plan).expect("cold response");
+    assert!(!done.memo);
+    let builds_after = builds.load(Ordering::SeqCst);
+    assert!(builds_after >= 1, "the cold submission simulates");
+    let artifacts =
+        std::fs::read_dir(&dir).map(|entries| entries.filter_map(Result::ok).count()).unwrap_or(0);
+    assert!(artifacts >= 1, "the response must be persisted as a memo artifact");
+
+    // A brand-new server over the same directory — fresh in-memory LRU,
+    // fresh TraceStore — hydrates the artifact and answers from it.
+    let addr_b = spawn_server(config);
+    let (second, done) = connect(&addr_b).execute(&plan).expect("hydrated response");
+    assert!(done.memo, "the restarted daemon must answer from the persistent memo tier");
+    assert_eq!(
+        builds.load(Ordering::SeqCst),
+        builds_after,
+        "zero simulation work across the restart"
+    );
+    assert_eq!(
+        second.to_json_string(),
+        first.to_json_string(),
+        "the replayed response must be byte-identical across the restart"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Admission control: with `inflight = 1`, the second of two pipelined
+/// plans on one connection is not even *started* (its builder never
+/// runs) until the first completes, and the responses come back in
+/// request order.
+#[test]
+fn admission_holds_pipelined_plans_to_the_in_flight_cap_in_fifo_order() {
+    use std::io::{BufRead, BufReader, Write};
+    use tlabp::service::proto::{decode_frame, encode_frame, FrameKind};
+
+    let release = Arc::new(AtomicBool::new(false));
+    let gate = Arc::clone(&release);
+    registry::register("service-admission-gated", move || {
+        while !gate.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        Box::new(tlabp::core::schemes::Btfn::new())
+    });
+    let builds = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&builds);
+    registry::register("service-admission-counting", move || {
+        counter.fetch_add(1, Ordering::SeqCst);
+        Box::new(tlabp::core::schemes::Btfn::new())
+    });
+
+    // Memoization off so both plans really execute.
+    let mut config = server_config(0);
+    config.inflight = 1;
+    let addr = spawn_server(config);
+
+    let gated: Plan =
+        [Job::custom("service-admission-gated", li()).with_fusion(false)].into_iter().collect();
+    let counting: Plan =
+        [Job::custom("service-admission-counting", li()).with_fusion(false)].into_iter().collect();
+
+    let mut stream = std::net::TcpStream::connect(&addr).expect("daemon reachable");
+    for plan in [&gated, &counting] {
+        stream
+            .write_all(encode_frame(FrameKind::Plan, &plan.to_json_string()).as_bytes())
+            .expect("write plan frame");
+        stream.write_all(b"\n").expect("write newline");
+    }
+    stream.flush().expect("flush");
+
+    // While plan 1 sits in its gated builder, plan 2 must not have been
+    // admitted: its builder has run zero times.
+    std::thread::sleep(Duration::from_millis(300));
+    assert_eq!(
+        builds.load(Ordering::SeqCst),
+        0,
+        "with inflight=1 the second pipelined plan must wait for the first"
+    );
+    release.store(true, Ordering::SeqCst);
+
+    let reader = BufReader::new(stream);
+    let mut kinds = Vec::new();
+    for line in reader.lines() {
+        let line = line.expect("response line");
+        if line.is_empty() {
+            continue;
+        }
+        let (kind, _) = decode_frame(&line).expect("response frame decodes");
+        kinds.push(kind);
+        if kinds.iter().filter(|&&kind| kind == FrameKind::Done).count() == 2 {
+            break;
+        }
+    }
+    assert_eq!(
+        kinds,
+        [FrameKind::Result, FrameKind::Done, FrameKind::Result, FrameKind::Done],
+        "responses leave strictly in request order"
+    );
+    assert_eq!(builds.load(Ordering::SeqCst), 1, "plan 2 ran after plan 1 finished");
 }
 
 /// Streaming is incremental and in plan order: with job 1's builder
@@ -132,7 +312,7 @@ fn memoized_responses_do_no_simulation_work() {
 /// the gate opens does job 1 arrive.
 #[test]
 fn results_stream_incrementally_in_plan_order() {
-    let addr = spawn_server(64);
+    let addr = spawn_server(server_config(64 << 20));
     registry::register("service-test-fast", || Box::new(tlabp::core::schemes::Btfn::new()));
     let release = Arc::new(AtomicBool::new(false));
     let gate = Arc::clone(&release);
@@ -171,7 +351,7 @@ fn results_stream_incrementally_in_plan_order() {
 /// error, and the server keeps serving afterwards.
 #[test]
 fn server_reports_errors_and_survives_them() {
-    let addr = spawn_server(64);
+    let addr = spawn_server(server_config(64 << 20));
 
     let unknown: Plan = [Job::custom("service-test-unregistered", li())].into_iter().collect();
     let err = connect(&addr).execute(&unknown).expect_err("unknown predictor must error");
@@ -205,4 +385,101 @@ fn server_reports_errors_and_survives_them() {
     let expected = execute(&plan, &TraceStore::new()).to_json_string();
     let (results, _) = connect(&addr).execute(&plan).expect("daemon survived the bad clients");
     assert_eq!(results.to_json_string(), expected);
+}
+
+/// Concurrency soak: 64 clients hammer one daemon with a mix of cold
+/// plans, repeated (memo-hitting) plans, and malformed garbage. Every
+/// well-formed response must stay bit-identical to in-process
+/// execution; every malformed client gets an error frame.
+#[test]
+fn soak_mixed_cold_memo_and_malformed_clients_stay_bit_identical() {
+    let addr = spawn_server(server_config(64 << 20));
+    let variants: Vec<Plan> =
+        [SchemeConfig::pag(6), SchemeConfig::pag(7), SchemeConfig::gag(6), SchemeConfig::btfn()]
+            .into_iter()
+            .map(|config| [Job::scheme(config, li())].into_iter().collect())
+            .collect();
+    let store = TraceStore::new();
+    let expected: Arc<Vec<String>> =
+        Arc::new(variants.iter().map(|plan| execute(plan, &store).to_json_string()).collect());
+    let variants = Arc::new(variants);
+
+    let mut clients = Vec::new();
+    for n in 0..64usize {
+        let addr = addr.clone();
+        if n % 8 == 7 {
+            // Malformed client: a corrupt frame earns an error frame
+            // (and a closed connection), never a dead server.
+            clients.push(std::thread::spawn(move || {
+                use std::io::{BufRead, BufReader, Write};
+                let mut stream = std::net::TcpStream::connect(&addr).expect("daemon reachable");
+                stream
+                    .write_all(b"TLBS 1 plan 4 hash deadbeefdeadbeef\n")
+                    .expect("write corrupt frame");
+                let mut line = String::new();
+                BufReader::new(stream).read_line(&mut line).expect("read error frame");
+                let (kind, _) = tlabp::service::proto::decode_frame(&line)
+                    .expect("the reply to garbage is still a well-formed frame");
+                assert_eq!(kind, tlabp::service::proto::FrameKind::Error);
+            }));
+        } else {
+            let variants = Arc::clone(&variants);
+            let expected = Arc::clone(&expected);
+            clients.push(std::thread::spawn(move || {
+                let i = n % variants.len();
+                // Two rounds: the first may be cold or a memo hit (some
+                // sibling already computed it), the second is a likely
+                // hit — all must be byte-identical.
+                for _ in 0..2 {
+                    let (results, _) =
+                        connect(&addr).execute(&variants[i]).expect("streamed response");
+                    assert_eq!(
+                        results.to_json_string(),
+                        expected[i],
+                        "client {n} received non-identical bytes"
+                    );
+                }
+            }));
+        }
+    }
+    for client in clients {
+        client.join().expect("soak client");
+    }
+}
+
+/// The event backend's defining property: 256 idle connections cost no
+/// additional threads (the threaded baseline would spawn 256). Gated to
+/// Linux for `/proc/self/status`.
+#[cfg(target_os = "linux")]
+#[test]
+fn event_backend_serves_hundreds_of_connections_on_fixed_threads() {
+    fn thread_count() -> usize {
+        std::fs::read_to_string("/proc/self/status")
+            .expect("/proc/self/status readable")
+            .lines()
+            .find_map(|line| line.strip_prefix("Threads:"))
+            .expect("Threads: line present")
+            .trim()
+            .parse()
+            .expect("thread count parses")
+    }
+
+    let addr = spawn_server(server_config(64 << 20));
+    let plan: Plan = [Job::scheme(SchemeConfig::btfn(), li())].into_iter().collect();
+    // Warm everything thread-shaped first: the event loop, the executor
+    // pool, the sweep pool, the trace.
+    connect(&addr).execute(&plan).expect("warm response");
+    let before = thread_count();
+
+    let idle: Vec<std::net::TcpStream> =
+        (0..256).map(|_| std::net::TcpStream::connect(&addr).expect("connects")).collect();
+    // The daemon still answers while the idle crowd sits connected.
+    let (_, done) = connect(&addr).execute(&plan).expect("served among idle connections");
+    assert!(done.memo, "the warmed plan replays from the memo cache");
+    let after = thread_count();
+    assert!(
+        after.saturating_sub(before) < 64,
+        "256 idle connections must not spawn threads ({before} -> {after})"
+    );
+    drop(idle);
 }
