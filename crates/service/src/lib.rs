@@ -52,5 +52,5 @@ pub use proto::{Done, FrameError, FrameKind, PROTOCOL_VERSION};
 pub use server::{
     serve, MemoDirMode, ServeBackend, ServeConfig, SweepServer, DEFAULT_INFLIGHT,
     DEFAULT_MEMO_BYTES, DEFAULT_SERVE_ADDR, SERVE_ADDR_ENV, SERVE_BACKEND_ENV, SERVE_INFLIGHT_ENV,
-    SERVE_MEMO_BYTES_ENV, SERVE_MEMO_DIR_ENV, SERVE_WINDOW_ENV,
+    SERVE_MEMO_BYTES_ENV, SERVE_MEMO_DIR_ENV, SERVE_MEMO_DISK_BYTES_ENV, SERVE_WINDOW_ENV,
 };

@@ -156,15 +156,19 @@ pub(crate) fn plan_workload_fingerprint(plan: &Plan) -> u64 {
 }
 
 /// The persistent memo tier: one memo artifact per memoized plan under
-/// a directory next to the trace artifacts.
+/// a directory next to the trace artifacts, optionally bounded to a
+/// byte budget (`TLABP_SERVE_MEMO_DISK_BYTES`) enforced by aging out
+/// the oldest artifacts first.
 #[derive(Debug)]
 pub(crate) struct MemoDisk {
     dir: PathBuf,
+    /// Byte cap over all `.tlabm` files; `None` = unbounded.
+    cap_bytes: Option<usize>,
 }
 
 impl MemoDisk {
-    pub(crate) fn new(dir: PathBuf) -> MemoDisk {
-        MemoDisk { dir }
+    pub(crate) fn new(dir: PathBuf, cap_bytes: Option<usize>) -> MemoDisk {
+        MemoDisk { dir, cap_bytes }
     }
 
     pub(crate) fn dir(&self) -> &Path {
@@ -197,6 +201,58 @@ impl MemoDisk {
         if let Err(err) = write_file_atomic(&path, &write_memo(&artifact)) {
             eprintln!("warning: failed to write memo artifact {} ({err})", path.display());
         }
+        self.enforce_budget();
+    }
+
+    /// Every `.tlabm` artifact in the directory with its modification
+    /// time and size, oldest first.
+    fn artifacts_by_age(&self) -> Vec<(std::time::SystemTime, PathBuf, usize)> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else { return Vec::new() };
+        let mut files: Vec<(std::time::SystemTime, PathBuf, usize)> = entries
+            .filter_map(Result::ok)
+            .map(|entry| entry.path())
+            .filter(|path| path.extension().is_some_and(|ext| ext == "tlabm"))
+            .filter_map(|path| {
+                let meta = std::fs::metadata(&path).ok()?;
+                let modified = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                Some((modified, path, meta.len() as usize))
+            })
+            .collect();
+        files.sort();
+        files
+    }
+
+    /// Ages out the oldest artifacts until the tier fits its byte cap.
+    ///
+    /// Called after every persist and once at daemon startup, so the
+    /// budget holds across restarts and across daemons sharing one
+    /// directory (each enforces after its own writes; eviction of a
+    /// file another daemon still holds in its LRU is harmless — the
+    /// in-memory entry keeps serving, only the restart-survival copy is
+    /// gone). A missing file at removal time just means a concurrent
+    /// enforcer got there first.
+    pub(crate) fn enforce_budget(&self) {
+        let Some(cap) = self.cap_bytes else { return };
+        let files = self.artifacts_by_age();
+        let mut total: usize = files.iter().map(|(_, _, size)| size).sum();
+        for (_, path, size) in files {
+            if total <= cap {
+                break;
+            }
+            match std::fs::remove_file(&path) {
+                Ok(()) => total -= size,
+                Err(err) if err.kind() == std::io::ErrorKind::NotFound => total -= size,
+                Err(err) => {
+                    eprintln!("warning: cannot evict memo artifact {} ({err})", path.display());
+                }
+            }
+        }
+    }
+
+    /// Total bytes of `.tlabm` artifacts currently in the directory.
+    #[cfg(test)]
+    pub(crate) fn disk_bytes(&self) -> usize {
+        self.artifacts_by_age().iter().map(|(_, _, size)| size).sum()
     }
 
     /// Reads every valid memo artifact in the directory, oldest first
@@ -291,6 +347,74 @@ mod tests {
         cache.insert("key", entry(&["second"]));
         assert_eq!(cache.get("key").unwrap()[0], "first");
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn disk_budget_ages_out_oldest_artifacts_first() {
+        let dir = std::env::temp_dir().join(format!("tlabp-memo-budget-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("memo dir");
+
+        // Four 100-byte artifacts with strictly increasing mtimes set
+        // explicitly (never sleep-derived, so the ordering is exact).
+        let epoch = std::time::SystemTime::UNIX_EPOCH;
+        for (index, name) in ["a", "b", "c", "d"].iter().enumerate() {
+            let path = dir.join(format!("{name}.tlabm"));
+            std::fs::write(&path, [0u8; 100]).expect("write artifact");
+            let file = std::fs::File::options().append(true).open(&path).expect("open");
+            file.set_modified(epoch + Duration::from_secs(1000 + index as u64)).expect("set mtime");
+        }
+
+        // Unbounded: nothing is evicted.
+        let unbounded = MemoDisk::new(dir.clone(), None);
+        unbounded.enforce_budget();
+        assert_eq!(unbounded.disk_bytes(), 400);
+
+        // A 250-byte cap keeps the two newest whole artifacts: the two
+        // oldest age out, newest-first survivors untouched.
+        let capped = MemoDisk::new(dir.clone(), Some(250));
+        capped.enforce_budget();
+        assert_eq!(capped.disk_bytes(), 200);
+        assert!(!dir.join("a.tlabm").exists(), "oldest evicted");
+        assert!(!dir.join("b.tlabm").exists(), "second-oldest evicted");
+        assert!(dir.join("c.tlabm").exists() && dir.join("d.tlabm").exists());
+
+        // Already under budget: enforcement is a no-op.
+        capped.enforce_budget();
+        assert_eq!(capped.disk_bytes(), 200);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persist_enforces_the_disk_budget() {
+        use tlabp_core::config::SchemeConfig;
+        use tlabp_sim::plan::Job;
+
+        let dir = std::env::temp_dir().join(format!("tlabp-memo-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("memo dir");
+
+        // An old artifact that must age out once real persists push the
+        // tier over a tiny cap.
+        let stale = dir.join("stale.tlabm");
+        std::fs::write(&stale, [0u8; 64]).expect("write stale");
+        let file = std::fs::File::options().append(true).open(&stale).expect("open");
+        file.set_modified(std::time::SystemTime::UNIX_EPOCH + Duration::from_secs(1))
+            .expect("set mtime");
+
+        let li = Benchmark::by_name("li").expect("li exists");
+        let plan: Plan = [Job::scheme(SchemeConfig::btfn(), li)].into_iter().collect();
+        let key = plan.to_json_string();
+        let disk = MemoDisk::new(dir.clone(), Some(1)); // smaller than any artifact
+        disk.persist(&plan, &key, &["frame".to_owned()]);
+        assert!(!stale.exists(), "persist evicts the stale artifact");
+        // With a cap below a single artifact, even the fresh write ages
+        // out — the budget is a hard bound, mirroring the in-memory
+        // LRU's oversized-entry rule.
+        assert_eq!(disk.disk_bytes(), 0);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

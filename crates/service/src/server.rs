@@ -59,6 +59,11 @@ pub const DEFAULT_INFLIGHT: usize = 4;
 /// Unset: a `memo/` directory next to the trace artifacts (when the
 /// store has a disk tier). Empty: persistence off.
 pub const SERVE_MEMO_DIR_ENV: &str = "TLABP_SERVE_MEMO_DIR";
+/// Environment variable capping the persistent memo tier in **bytes**
+/// of `.tlabm` artifacts on disk. Over-budget artifacts age out oldest
+/// first, after every persist and once at startup. Unset: unbounded.
+/// `0`: persistence off (equivalent to an empty [`SERVE_MEMO_DIR_ENV`]).
+pub const SERVE_MEMO_DISK_BYTES_ENV: &str = "TLABP_SERVE_MEMO_DISK_BYTES";
 /// Environment variable selecting the connection backend
 /// (`auto|epoll|poll|threaded`).
 pub const SERVE_BACKEND_ENV: &str = "TLABP_SERVE_BACKEND";
@@ -161,6 +166,9 @@ pub struct ServeConfig {
     pub inflight: usize,
     /// Persistent memo tier location.
     pub memo_dir: MemoDirMode,
+    /// Persistent memo tier byte budget; `None` = unbounded, `Some(0)`
+    /// = persistence off.
+    pub memo_disk_bytes: Option<usize>,
     /// Connection multiplexing backend.
     pub backend: ServeBackend,
 }
@@ -173,6 +181,7 @@ impl Default for ServeConfig {
             window: None,
             inflight: DEFAULT_INFLIGHT,
             memo_dir: MemoDirMode::Auto,
+            memo_disk_bytes: None,
             backend: ServeBackend::Auto,
         }
     }
@@ -205,6 +214,9 @@ impl ServeConfig {
         }
         if let Ok(raw) = std::env::var(SERVE_MEMO_DIR_ENV) {
             config.memo_dir = MemoDirMode::from_raw(&raw);
+        }
+        if let Some(raw) = read_env(SERVE_MEMO_DISK_BYTES_ENV) {
+            config.memo_disk_bytes = parse_usize_env(SERVE_MEMO_DISK_BYTES_ENV, &raw);
         }
         if let Some(raw) = read_env(SERVE_BACKEND_ENV) {
             config.backend = ServeBackend::parse(&raw);
@@ -387,14 +399,21 @@ impl SweepServer {
         options: ExecOptions,
     ) -> std::io::Result<SweepServer> {
         let listener = TcpListener::bind(&config.addr)?;
+        let budget = config.memo_disk_bytes;
         let disk = match &config.memo_dir {
             _ if config.memo_bytes == 0 => None,
+            _ if budget == Some(0) => None,
             MemoDirMode::Off => None,
-            MemoDirMode::Dir(dir) => Some(MemoDisk::new(dir.clone())),
-            MemoDirMode::Auto => store.cache_dir().map(|dir| MemoDisk::new(dir.join("memo"))),
+            MemoDirMode::Dir(dir) => Some(MemoDisk::new(dir.clone(), budget)),
+            MemoDirMode::Auto => {
+                store.cache_dir().map(|dir| MemoDisk::new(dir.join("memo"), budget))
+            }
         };
         let mut cache = MemoCache::new(config.memo_bytes);
         if let Some(disk) = &disk {
+            // Startup enforcement: a budget shrunk between runs takes
+            // effect before hydration reads the survivors.
+            disk.enforce_budget();
             let mut hydrated = 0usize;
             for (key, entry) in disk.hydrate() {
                 cache.insert(&key, entry);

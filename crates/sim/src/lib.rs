@@ -50,6 +50,7 @@ pub mod plan;
 pub mod pool;
 pub mod report;
 pub mod runner;
+pub mod stream;
 pub mod suite;
 pub mod sweep;
 
@@ -63,7 +64,12 @@ pub use plan::{Job, MetricSet, Plan, PredictorSpec, TargetCacheSpec, TraceKey, P
 pub use pool::SweepPool;
 pub use runner::{
     derive_pattern_stream, replay_stream_key, simulate, simulate_fused, simulate_packed,
-    simulate_replay, simulate_replay_many, ReplayPht, SimConfig, SimResult, StreamKey,
+    simulate_replay, simulate_replay_many, simulate_replay_transposed,
+    simulate_replay_transposed_streamed, ReplayPht, SimConfig, SimResult, StreamKey,
+};
+pub use stream::{
+    stream_bytes_from_env, StreamChunk, StreamCursor, StreamWindow, DEFAULT_STREAM_BYTES,
+    STREAM_BYTES_ENV,
 };
 pub use suite::{run_suite, CacheBytes, TraceStore, DEFAULT_TRACE_DIR, TRACE_DIR_ENV};
 pub use sweep::{run_sweep, run_sweep_on};

@@ -9,13 +9,15 @@ use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use tlabp_core::config::SchemeConfig;
 use tlabp_trace::io::{
-    read_artifacts, write_artifacts, write_file_atomic, FileLock, ARTIFACT_VERSION,
+    chunk_bytes_from_env, read_artifacts, write_artifacts_chunked, write_file_atomic,
+    ChunkedArtifact, FileLock, ARTIFACT_VERSION, ARTIFACT_VERSION_CHUNKED,
 };
 use tlabp_trace::{InternedConds, PackedCond, PatternStream, Trace};
 use tlabp_workloads::{Benchmark, DataSet};
 
 use crate::metrics::SuiteResult;
 use crate::runner::{derive_pattern_stream, SimConfig, StreamKey};
+use crate::stream::{StreamCursor, StreamWindow};
 use crate::sweep::run_sweep;
 
 /// Environment variable naming the disk cache directory.
@@ -42,9 +44,10 @@ pub const DEFAULT_TRACE_DIR: &str = "target/trace-cache";
 ///
 /// A store built with [`TraceStore::persistent`],
 /// [`TraceStore::from_env`] or [`TraceStore::with_cache_dir`]
-/// additionally persists every slot as a v2 artifact container
+/// additionally persists every slot as a v3 chunked artifact container
 /// (`tlabp_trace::io`): on the first touch of a slot the store tries to
-/// hydrate all four forms from `<dir>/<bench>-<set>-v2-<fingerprint>.tlabp`
+/// hydrate all four forms from `<dir>/<bench>-<set>-v3-<fingerprint>.tlabp`
+/// (falling back to the v2-named file an older build left behind)
 /// without running the VM; whenever a getter actually generates or
 /// derives something new, the slot is re-written atomically (temp file +
 /// rename). File names carry the container version and the
@@ -53,10 +56,20 @@ pub const DEFAULT_TRACE_DIR: &str = "target/trace-cache";
 /// simply never opened. A file that exists but fails its checksum or
 /// decode is ignored with a warning and the slot regenerates — a corrupt
 /// cache can cost time, never correctness.
+///
+/// # Streaming tier
+///
+/// Because v3 artifacts are chunked and seekable, a persisted pattern
+/// stream can also be *streamed* instead of hydrated:
+/// [`TraceStore::open_stream_cursor`] hands the replay kernels one
+/// chunk at a time with resident bytes bounded by a window
+/// (`TLABP_STREAM_BYTES`), accounted through the store's shared
+/// [`StreamWindow`] gauge.
 #[derive(Debug, Clone, Default)]
 pub struct TraceStore {
     cache: Arc<RwLock<SlotMap>>,
     disk: Option<Arc<DiskTier>>,
+    window: Arc<StreamWindow>,
 }
 
 type SlotMap = HashMap<(&'static str, DataSetKey), Arc<TraceSlot>>;
@@ -104,7 +117,35 @@ impl DiskTier {
             DataSet::Training => "training",
             DataSet::Testing => "testing",
         };
+        self.dir.join(format!("{name}-{set}-v{ARTIFACT_VERSION_CHUNKED}-{fingerprint:016x}.tlabp"))
+    }
+
+    /// The v2-named artifact path an older build would have written for
+    /// the same slot. Hydration falls back to it (the v2 *format* still
+    /// decodes), so upgrading in place costs nothing; persists always
+    /// write the v3 name.
+    fn legacy_path_for(&self, name: &str, data_set: DataSet, fingerprint: u64) -> PathBuf {
+        let set = match data_set {
+            DataSet::Training => "training",
+            DataSet::Testing => "testing",
+        };
         self.dir.join(format!("{name}-{set}-v{ARTIFACT_VERSION}-{fingerprint:016x}.tlabp"))
+    }
+
+    /// Reads the slot's artifact bytes: the v3-named file, else the
+    /// v2-named fallback. Returns the path actually read for messages.
+    fn read_slot_bytes(
+        &self,
+        name: &str,
+        data_set: DataSet,
+        fingerprint: u64,
+    ) -> Option<(PathBuf, Vec<u8>)> {
+        let path = self.path_for(name, data_set, fingerprint);
+        if let Ok(bytes) = fs::read(&path) {
+            return Some((path, bytes));
+        }
+        let legacy = self.legacy_path_for(name, data_set, fingerprint);
+        fs::read(&legacy).ok().map(|bytes| (legacy, bytes))
     }
 
     /// Fills whatever forms the slot's artifact file holds. Missing file
@@ -112,8 +153,10 @@ impl DiskTier {
     /// as a miss (the next persist overwrites it).
     fn hydrate(&self, slot: &TraceSlot, benchmark: &Benchmark, data_set: DataSet) {
         let fingerprint = *slot.fingerprint.get_or_init(|| benchmark.fingerprint(data_set));
-        let path = self.path_for(benchmark.name(), data_set, fingerprint);
-        let Ok(bytes) = fs::read(&path) else { return };
+        let Some((path, bytes)) = self.read_slot_bytes(benchmark.name(), data_set, fingerprint)
+        else {
+            return;
+        };
         let bundle = match read_artifacts(&bytes) {
             Ok(bundle) => bundle,
             Err(err) => {
@@ -191,10 +234,12 @@ impl DiskTier {
         let _file_lock = self.lock_artifact(&path);
 
         // Merge: keep sections a concurrent writer (or an earlier run)
-        // already persisted that this store never materialized.
-        let existing = fs::read(&path)
-            .ok()
-            .and_then(|bytes| read_artifacts(&bytes).ok())
+        // already persisted that this store never materialized — the
+        // v2-named fallback included, so an in-place upgrade carries an
+        // old cache's streams into the first v3 rewrite.
+        let existing = self
+            .read_slot_bytes(benchmark.name(), data_set, fingerprint)
+            .and_then(|(_, bytes)| read_artifacts(&bytes).ok())
             .filter(|bundle| bundle.fingerprint == fingerprint);
         let merged_trace: Option<&Trace> =
             trace.as_deref().or(existing.as_ref().and_then(|b| b.trace.as_ref()));
@@ -217,8 +262,14 @@ impl DiskTier {
         // content byte-identical.
         refs.sort_by(|a, b| a.0.cmp(&b.0));
 
-        let bytes =
-            write_artifacts(fingerprint, merged_trace, merged_packed, merged_interned, &refs);
+        let bytes = write_artifacts_chunked(
+            fingerprint,
+            merged_trace,
+            merged_packed,
+            merged_interned,
+            &refs,
+            chunk_bytes_from_env(),
+        );
         if let Err(err) = self.write_atomic(&path, &bytes) {
             eprintln!("warning: failed to write trace artifact {} ({err})", path.display());
         }
@@ -311,7 +362,59 @@ impl TraceStore {
     /// write; a missing directory just means every lookup misses).
     #[must_use]
     pub fn with_cache_dir(dir: impl Into<PathBuf>) -> Self {
-        TraceStore { cache: Arc::default(), disk: Some(Arc::new(DiskTier { dir: dir.into() })) }
+        TraceStore {
+            cache: Arc::default(),
+            disk: Some(Arc::new(DiskTier { dir: dir.into() })),
+            window: Arc::default(),
+        }
+    }
+
+    /// The store's shared streaming-window gauge: resident (and peak)
+    /// bytes across every [`StreamCursor`] opened through
+    /// [`TraceStore::open_stream_cursor`].
+    #[must_use]
+    pub fn stream_window(&self) -> &Arc<StreamWindow> {
+        &self.window
+    }
+
+    /// Opens a bounded-memory [`StreamCursor`] over the persisted
+    /// pattern stream for `(benchmark, data_set, key)`, without
+    /// hydrating it.
+    ///
+    /// `None` when the store has no disk tier, the slot's v3 artifact
+    /// is missing or stamped with a different workload fingerprint, or
+    /// it holds no section for `key` — callers fall back to
+    /// [`TraceStore::get_pattern_stream`] plus in-memory replay.
+    #[must_use]
+    pub fn open_stream_cursor(
+        &self,
+        benchmark: &Benchmark,
+        data_set: DataSet,
+        key: StreamKey,
+        stream_bytes: usize,
+    ) -> Option<StreamCursor> {
+        let disk = self.disk.as_ref()?;
+        let slot = self.slot(benchmark.name(), data_set.into());
+        let fingerprint = *slot.fingerprint.get_or_init(|| benchmark.fingerprint(data_set));
+        let path = disk.path_for(benchmark.name(), data_set, fingerprint);
+        let cursor = StreamCursor::open(&path, &key.to_bytes(), stream_bytes, &self.window)?;
+        (cursor.fingerprint() == fingerprint).then_some(cursor)
+    }
+
+    /// Whether the persisted v3 artifact for `(benchmark, data_set)`
+    /// already holds a streamable section for `key`. Reads only the
+    /// artifact's header and section heads (the chunk index), never a
+    /// chunk body — this is the probe the engine's prefetch phase uses
+    /// when streaming replay is on.
+    #[must_use]
+    pub fn stream_on_disk(&self, benchmark: &Benchmark, data_set: DataSet, key: StreamKey) -> bool {
+        let Some(disk) = self.disk.as_ref() else { return false };
+        let slot = self.slot(benchmark.name(), data_set.into());
+        let fingerprint = *slot.fingerprint.get_or_init(|| benchmark.fingerprint(data_set));
+        let path = disk.path_for(benchmark.name(), data_set, fingerprint);
+        ChunkedArtifact::open(&path).is_ok_and(|artifact| {
+            artifact.fingerprint() == fingerprint && artifact.find_stream(&key.to_bytes()).is_some()
+        })
     }
 
     /// The disk cache directory, if the disk tier is enabled.
@@ -506,6 +609,7 @@ impl TraceStore {
         if let Some(disk) = &self.disk {
             bytes.disk = disk.disk_bytes();
         }
+        bytes.stream_window = self.window.current();
         bytes
     }
 
@@ -551,13 +655,18 @@ pub struct CacheBytes {
     /// On-disk artifact containers in the cache directory (0 for
     /// memory-only stores).
     pub disk: usize,
+    /// Bytes currently resident in streaming replay windows (decoded
+    /// chunks in flight between a [`StreamCursor`]'s decode thread and
+    /// the replay kernel); 0 when the streaming tier is off or idle.
+    pub stream_window: usize,
 }
 
 impl CacheBytes {
-    /// Total bytes across all cached forms, in memory and on disk.
+    /// Total bytes across all cached forms, in memory and on disk,
+    /// including the resident streaming window.
     #[must_use]
     pub fn total(self) -> usize {
-        self.packed + self.interned + self.streams + self.disk
+        self.packed + self.interned + self.streams + self.disk + self.stream_window
     }
 }
 

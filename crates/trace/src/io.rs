@@ -47,6 +47,34 @@
 //! intact never yields a bundle — the disk tier falls back to
 //! regeneration instead of risking wrong numbers.
 //!
+//! **Version 3** — the *chunked* artifact container
+//! ([`write_artifacts_chunked`]): the same four section kinds, but each
+//! section's items are split into fixed-budget chunks (default ~4 MiB,
+//! [`CHUNK_BYTES_ENV`]) that are varint+delta encoded and independently
+//! checksummed, behind a seekable per-section chunk table:
+//!
+//! ```text
+//! magic       : 4 bytes = b"TLBP"
+//! version     : u16     = 3
+//! fingerprint : u64
+//! sections    : u32
+//! per section:
+//!   kind          : u8
+//!   meta_len      : u32, meta bytes   (kind-specific section metadata)
+//!   chunk count   : u32
+//!   chunk table   : count x (encoded_len u64, items u64, checksum u64)
+//!   head checksum : u64  fx-fold of kind + meta + chunk table
+//!   chunk payloads, concatenated (encoded_len bytes each)
+//! ```
+//!
+//! Because every chunk decodes independently (delta state resets at
+//! chunk boundaries) and the chunk table is read before any payload, a
+//! reader can `seek` straight to chunk *k* of a section — that is what
+//! [`ChunkedArtifact`] does for the simulator's streaming replay tier,
+//! which holds a bounded window of decoded chunks instead of a whole
+//! hydrated section. [`read_artifacts`] accepts v2 and v3 containers;
+//! new files are written as v3 while existing v2 files keep reading.
+//!
 //! A third format, the **memo artifact** (`b"TLBM"`, [`write_memo`] /
 //! [`read_memo`]), stores one memoized service response — the canonical
 //! plan JSON plus its pre-encoded result-frame payloads — with the same
@@ -83,9 +111,54 @@ use crate::trace::{PackedCond, Trace, TraceEvent};
 pub const MAGIC: &[u8; 4] = b"TLBP";
 /// Version of the bare-trace format ([`write_trace`] / [`read_trace`]).
 pub const VERSION: u16 = 1;
-/// Version of the artifact container ([`write_artifacts`] /
-/// [`read_artifacts`]).
+/// Version of the legacy whole-section artifact container
+/// ([`write_artifacts`]).
 pub const ARTIFACT_VERSION: u16 = 2;
+/// Version of the chunked artifact container
+/// ([`write_artifacts_chunked`] / [`ChunkedArtifact`]).
+pub const ARTIFACT_VERSION_CHUNKED: u16 = 3;
+
+/// Environment variable naming the chunk byte budget of v3 artifacts.
+pub const CHUNK_BYTES_ENV: &str = "TLABP_CHUNK_BYTES";
+/// Default chunk byte budget when [`CHUNK_BYTES_ENV`] is unset.
+pub const DEFAULT_CHUNK_BYTES: usize = 4 << 20;
+/// Smallest accepted chunk budget — below this the per-chunk table
+/// overhead dominates the payload.
+pub const MIN_CHUNK_BYTES: usize = 64 << 10;
+
+/// Pattern-stream chunks hold a multiple of this many events (except
+/// the final chunk), matching the replay kernels' block size so a
+/// streamed walk re-chunks into exactly the block sequence the
+/// in-memory walk produces.
+pub const STREAM_CHUNK_ALIGN: usize = 1 << 14;
+
+/// The chunk byte budget: [`CHUNK_BYTES_ENV`] when it holds an integer
+/// of at least [`MIN_CHUNK_BYTES`], else [`DEFAULT_CHUNK_BYTES`]
+/// (garbage or undersized values warn and take the default).
+#[must_use]
+pub fn chunk_bytes_from_env() -> usize {
+    let Ok(raw) = std::env::var(CHUNK_BYTES_ENV) else { return DEFAULT_CHUNK_BYTES };
+    if raw.is_empty() {
+        return DEFAULT_CHUNK_BYTES;
+    }
+    match raw.trim().parse::<usize>() {
+        Ok(bytes) if bytes >= MIN_CHUNK_BYTES => bytes,
+        Ok(bytes) => {
+            eprintln!(
+                "warning: {CHUNK_BYTES_ENV}={bytes} is below the {MIN_CHUNK_BYTES}-byte \
+                 minimum; using {MIN_CHUNK_BYTES}"
+            );
+            MIN_CHUNK_BYTES
+        }
+        Err(_) => {
+            eprintln!(
+                "warning: ignoring {CHUNK_BYTES_ENV}={raw:?} (expected a byte count); \
+                 using {DEFAULT_CHUNK_BYTES}"
+            );
+            DEFAULT_CHUNK_BYTES
+        }
+    }
+}
 
 const TRAP_TAG: u8 = 255;
 
@@ -144,6 +217,11 @@ pub enum ReadTraceError {
         /// Number of unexpected trailing bytes.
         count: usize,
     },
+    /// An I/O error while reading a seekable chunked artifact.
+    Io {
+        /// The failing operation's [`std::io::ErrorKind`].
+        kind: std::io::ErrorKind,
+    },
 }
 
 impl fmt::Display for ReadTraceError {
@@ -176,6 +254,9 @@ impl fmt::Display for ReadTraceError {
             }
             ReadTraceError::TrailingBytes { count } => {
                 write!(f, "{count} unexpected byte(s) after the last artifact section")
+            }
+            ReadTraceError::Io { kind } => {
+                write!(f, "i/o error while reading chunked artifact: {kind}")
             }
         }
     }
@@ -415,15 +496,17 @@ fn push_section(buf: &mut Vec<u8>, kind: u8, payload: &[u8]) {
     buf.extend_from_slice(&checksum(payload).to_le_bytes());
 }
 
-/// Deserializes a v2 artifact container produced by [`write_artifacts`].
+/// Deserializes an artifact container — the legacy whole-section v2
+/// format ([`write_artifacts`]) or the chunked v3 format
+/// ([`write_artifacts_chunked`]), dispatched on the header version.
 ///
 /// # Errors
 ///
 /// Returns a [`ReadTraceError`] if the magic or version do not match,
 /// the buffer is truncated at any byte boundary, bytes trail the last
-/// section, any section checksum mismatches, or any payload fails the
-/// structural validation of its form. An `Err` means the file proves
-/// nothing — callers fall back to regeneration.
+/// section, any section or chunk checksum mismatches, or any payload
+/// fails the structural validation of its form. An `Err` means the file
+/// proves nothing — callers fall back to regeneration.
 pub fn read_artifacts(bytes: &[u8]) -> Result<ArtifactBundle, ReadTraceError> {
     let mut cur = Cursor { bytes, pos: 0 };
     if cur.remaining() < 4 || &bytes[..4] != MAGIC {
@@ -437,6 +520,9 @@ pub fn read_artifacts(bytes: &[u8]) -> Result<ArtifactBundle, ReadTraceError> {
         return Err(ReadTraceError::Truncated { at_event: 0 });
     }
     let version = cur.get_u16_le();
+    if version == ARTIFACT_VERSION_CHUNKED {
+        return read_artifacts_chunked(&mut cur);
+    }
     if version != ARTIFACT_VERSION {
         return Err(ReadTraceError::UnsupportedVersion { found: version });
     }
@@ -556,38 +642,802 @@ fn decode_section(
 
 /// A minimal little-endian read cursor over a byte slice (replaces the
 /// external `bytes` crate so the build has no registry dependencies).
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+pub(crate) struct Cursor<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl Cursor<'_> {
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.bytes.len() - self.pos
     }
 
-    fn get_u8(&mut self) -> u8 {
+    pub(crate) fn get_u8(&mut self) -> u8 {
         let v = self.bytes[self.pos];
         self.pos += 1;
         v
     }
 
-    fn get_u16_le(&mut self) -> u16 {
+    pub(crate) fn get_u16_le(&mut self) -> u16 {
         let v = u16::from_le_bytes(self.bytes[self.pos..self.pos + 2].try_into().unwrap());
         self.pos += 2;
         v
     }
 
-    fn get_u32_le(&mut self) -> u32 {
+    pub(crate) fn get_u32_le(&mut self) -> u32 {
         let v = u32::from_le_bytes(self.bytes[self.pos..self.pos + 4].try_into().unwrap());
         self.pos += 4;
         v
     }
 
-    fn get_u64_le(&mut self) -> u64 {
+    pub(crate) fn get_u64_le(&mut self) -> u64 {
         let v = u64::from_le_bytes(self.bytes[self.pos..self.pos + 8].try_into().unwrap());
         self.pos += 8;
         v
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Version 3: the chunked artifact container.
+// ---------------------------------------------------------------------------
+
+/// Appends `v` as an LEB128 varint (7 payload bits per byte, high bit =
+/// continuation).
+pub(crate) fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads one LEB128 varint; `None` on truncation or an encoding longer
+/// than 10 bytes (a u64 never needs more).
+pub(crate) fn get_varint(cur: &mut Cursor<'_>) -> Option<u64> {
+    let mut v = 0u64;
+    for shift in (0..64).step_by(7) {
+        if cur.remaining() == 0 {
+            return None;
+        }
+        let byte = cur.get_u8();
+        if shift == 63 && byte > 1 {
+            return None;
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// Zigzag-maps a signed delta onto an unsigned varint-friendly value
+/// (small magnitudes of either sign encode short).
+pub(crate) fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+pub(crate) fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Items per chunk for a section kind under `chunk_bytes`, computed from
+/// the *unencoded* item width so the budget bounds decoded (resident)
+/// bytes, which is what the streaming tier's window cap is about.
+/// Pattern-stream chunks round down to a [`STREAM_CHUNK_ALIGN`] multiple
+/// so streamed replay walks the same block sequence as in-memory replay.
+fn items_per_chunk(kind: u8, laned: bool, chunk_bytes: usize) -> usize {
+    match kind {
+        section::TRACE => (chunk_bytes / 26).max(1),
+        section::PACKED => (chunk_bytes / 8).max(1),
+        section::INTERNED => (chunk_bytes / 4).max(1),
+        section::STREAM => {
+            let per_event = if laned { 8 } else { 4 };
+            ((chunk_bytes / per_event) / STREAM_CHUNK_ALIGN).max(1) * STREAM_CHUNK_ALIGN
+        }
+        _ => unreachable!("unknown section kind {kind}"),
+    }
+}
+
+/// Appends one chunked section: kind, metadata, the chunk table
+/// (encoded length, item count and checksum per chunk), a head checksum
+/// over everything so far, then the chunk payloads.
+fn push_chunked_section(buf: &mut Vec<u8>, kind: u8, meta: &[u8], chunks: &[(u64, Vec<u8>)]) {
+    let mut head = Vec::with_capacity(1 + 4 + meta.len() + 4 + chunks.len() * 24);
+    head.push(kind);
+    head.extend_from_slice(&u32::try_from(meta.len()).expect("meta fits u32").to_le_bytes());
+    head.extend_from_slice(meta);
+    head.extend_from_slice(&u32::try_from(chunks.len()).expect("chunks fit u32").to_le_bytes());
+    for (items, payload) in chunks {
+        head.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        head.extend_from_slice(&items.to_le_bytes());
+        head.extend_from_slice(&checksum(payload).to_le_bytes());
+    }
+    buf.extend_from_slice(&head);
+    buf.extend_from_slice(&checksum(&head).to_le_bytes());
+    for (_, payload) in chunks {
+        buf.extend_from_slice(payload);
+    }
+}
+
+/// Splits `len` items into chunk ranges of at most `per_chunk` items.
+/// Zero items still produce one empty chunk, so every section has a
+/// well-formed table.
+fn chunk_ranges(len: usize, per_chunk: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 {
+        return vec![std::ops::Range { start: 0, end: 0 }];
+    }
+    (0..len).step_by(per_chunk).map(|start| start..(start + per_chunk).min(len)).collect()
+}
+
+fn encode_trace_chunk(events: &[TraceEvent]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(events.len() * 6);
+    let (mut prev_pc, mut prev_instret) = (0u64, 0u64);
+    for event in events {
+        match *event {
+            TraceEvent::Branch(b) => {
+                buf.push(b.class.to_tag() | if b.taken { 0x10 } else { 0 });
+                put_varint(&mut buf, zigzag(b.pc.wrapping_sub(prev_pc) as i64));
+                put_varint(&mut buf, zigzag(b.target.wrapping_sub(b.pc) as i64));
+                put_varint(&mut buf, b.instret.wrapping_sub(prev_instret));
+                (prev_pc, prev_instret) = (b.pc, b.instret);
+            }
+            TraceEvent::Trap(t) => {
+                buf.push(TRAP_TAG);
+                put_varint(&mut buf, zigzag(t.pc.wrapping_sub(prev_pc) as i64));
+                put_varint(&mut buf, t.instret.wrapping_sub(prev_instret));
+                (prev_pc, prev_instret) = (t.pc, t.instret);
+            }
+        }
+    }
+    buf
+}
+
+/// Decodes one trace chunk into `trace`, carrying the cross-chunk
+/// monotonic-`instret` check in `last_instret`. Delta state resets per
+/// chunk (that is what makes chunks independently decodable); `instret`
+/// deltas are unsigned so order within a chunk holds by construction.
+fn decode_trace_chunk(
+    payload: &[u8],
+    items: u64,
+    trace: &mut Trace,
+    last_instret: &mut u64,
+) -> Option<()> {
+    let mut cur = Cursor { bytes: payload, pos: 0 };
+    let (mut prev_pc, mut prev_instret) = (0u64, 0u64);
+    for _ in 0..items {
+        if cur.remaining() == 0 {
+            return None;
+        }
+        let tag = cur.get_u8();
+        let event = if tag == TRAP_TAG {
+            let pc = prev_pc.wrapping_add(unzigzag(get_varint(&mut cur)?) as u64);
+            let instret = prev_instret.checked_add(get_varint(&mut cur)?)?;
+            (prev_pc, prev_instret) = (pc, instret);
+            TraceEvent::Trap(TrapRecord::new(pc, instret))
+        } else {
+            let class = BranchClass::from_tag(tag & 0x0f)?;
+            if tag & !0x1f != 0 {
+                return None;
+            }
+            let taken = tag & 0x10 != 0;
+            let pc = prev_pc.wrapping_add(unzigzag(get_varint(&mut cur)?) as u64);
+            let target = pc.wrapping_add(unzigzag(get_varint(&mut cur)?) as u64);
+            let instret = prev_instret.checked_add(get_varint(&mut cur)?)?;
+            (prev_pc, prev_instret) = (pc, instret);
+            TraceEvent::Branch(BranchRecord { pc, class, taken, target, instret })
+        };
+        if event.instret() < *last_instret {
+            return None;
+        }
+        *last_instret = event.instret();
+        trace.push(event);
+    }
+    (cur.remaining() == 0).then_some(())
+}
+
+fn encode_packed_chunk(conds: &[PackedCond]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(conds.len() * 3);
+    let mut prev = 0u64;
+    for cond in conds {
+        let bits = cond.bits();
+        put_varint(&mut buf, zigzag(bits.wrapping_sub(prev) as i64));
+        prev = bits;
+    }
+    buf
+}
+
+fn decode_packed_chunk(payload: &[u8], items: u64, out: &mut Vec<PackedCond>) -> Option<()> {
+    let mut cur = Cursor { bytes: payload, pos: 0 };
+    let mut prev = 0u64;
+    for _ in 0..items {
+        prev = prev.wrapping_add(unzigzag(get_varint(&mut cur)?) as u64);
+        out.push(PackedCond::from_bits(prev));
+    }
+    (cur.remaining() == 0).then_some(())
+}
+
+fn encode_interned_chunk(events: &[InternedCond]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(events.len() * 2);
+    let mut prev = 0u32;
+    for event in events {
+        let bits = event.bits();
+        put_varint(&mut buf, zigzag(i64::from(bits.wrapping_sub(prev) as i32)));
+        prev = bits;
+    }
+    buf
+}
+
+fn decode_interned_chunk(payload: &[u8], items: u64, out: &mut Vec<InternedCond>) -> Option<()> {
+    let mut cur = Cursor { bytes: payload, pos: 0 };
+    let mut prev = 0u32;
+    for _ in 0..items {
+        let delta = i32::try_from(unzigzag(get_varint(&mut cur)?)).ok()?;
+        prev = prev.wrapping_add(delta as u32);
+        out.push(InternedCond::from_bits(prev));
+    }
+    (cur.remaining() == 0).then_some(())
+}
+
+/// Encodes one pattern-stream chunk: `items` event varints, then (for
+/// laned streams) the matching `items` lane varints.
+fn encode_stream_chunk(events: &[u32], lanes: &[u32]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity((events.len() + lanes.len()) * 3);
+    for &event in events {
+        put_varint(&mut buf, u64::from(event));
+    }
+    for &lane in lanes {
+        put_varint(&mut buf, u64::from(lane));
+    }
+    buf
+}
+
+/// Decodes one pattern-stream chunk produced by [`encode_stream_chunk`].
+fn decode_stream_chunk(
+    payload: &[u8],
+    items: u64,
+    laned: bool,
+    events: &mut Vec<u32>,
+    lanes: &mut Vec<u32>,
+) -> Option<()> {
+    let mut cur = Cursor { bytes: payload, pos: 0 };
+    for _ in 0..items {
+        events.push(u32::try_from(get_varint(&mut cur)?).ok()?);
+    }
+    if laned {
+        for _ in 0..items {
+            lanes.push(u32::try_from(get_varint(&mut cur)?).ok()?);
+        }
+    }
+    (cur.remaining() == 0).then_some(())
+}
+
+/// Section metadata encodings (the per-section `meta` bytes of the v3
+/// layout). Small and read whole; the chunk payloads carry the bulk.
+mod meta {
+    use super::{get_varint, put_varint, unzigzag, zigzag, Cursor};
+
+    pub(super) fn trace(count: u64, total: u64) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16);
+        buf.extend_from_slice(&count.to_le_bytes());
+        buf.extend_from_slice(&total.to_le_bytes());
+        buf
+    }
+
+    pub(super) fn parse_trace(meta: &[u8]) -> Option<(u64, u64)> {
+        (meta.len() == 16).then(|| {
+            let mut cur = Cursor { bytes: meta, pos: 0 };
+            (cur.get_u64_le(), cur.get_u64_le())
+        })
+    }
+
+    pub(super) fn packed(count: u64) -> Vec<u8> {
+        count.to_le_bytes().to_vec()
+    }
+
+    pub(super) fn parse_packed(meta: &[u8]) -> Option<u64> {
+        (meta.len() == 8).then(|| u64::from_le_bytes(meta.try_into().expect("8 bytes")))
+    }
+
+    /// Interned metadata: event count plus the whole id→pc table
+    /// (varint+delta — the table is per *static* branch, so it stays
+    /// small however long the trace runs).
+    pub(super) fn interned(count: u64, pcs: &[u64]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16 + pcs.len() * 3);
+        buf.extend_from_slice(&count.to_le_bytes());
+        buf.extend_from_slice(&(pcs.len() as u64).to_le_bytes());
+        let mut prev = 0u64;
+        for &pc in pcs {
+            put_varint(&mut buf, zigzag(pc.wrapping_sub(prev) as i64));
+            prev = pc;
+        }
+        buf
+    }
+
+    pub(super) fn parse_interned(meta: &[u8]) -> Option<(u64, Vec<u64>)> {
+        if meta.len() < 16 {
+            return None;
+        }
+        let mut cur = Cursor { bytes: meta, pos: 0 };
+        let count = cur.get_u64_le();
+        let npcs = usize::try_from(cur.get_u64_le()).ok()?;
+        if npcs > cur.remaining() * 10 {
+            return None;
+        }
+        let mut pcs = Vec::with_capacity(npcs);
+        let mut prev = 0u64;
+        for _ in 0..npcs {
+            prev = prev.wrapping_add(unzigzag(get_varint(&mut cur)?) as u64);
+            pcs.push(prev);
+        }
+        (cur.remaining() == 0).then_some((count, pcs))
+    }
+
+    pub(super) fn stream(key: &[u8], history_bits: u32, laned: bool, count: u64) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(2 + key.len() + 13);
+        buf.extend_from_slice(&u16::try_from(key.len()).expect("key fits u16").to_le_bytes());
+        buf.extend_from_slice(key);
+        buf.extend_from_slice(&history_bits.to_le_bytes());
+        buf.push(u8::from(laned));
+        buf.extend_from_slice(&count.to_le_bytes());
+        buf
+    }
+
+    pub(super) fn parse_stream(meta: &[u8]) -> Option<(Vec<u8>, u32, bool, u64)> {
+        let mut cur = Cursor { bytes: meta, pos: 0 };
+        if cur.remaining() < 2 {
+            return None;
+        }
+        let key_len = usize::from(cur.get_u16_le());
+        if cur.remaining() != key_len + 13 {
+            return None;
+        }
+        let key = meta[cur.pos..cur.pos + key_len].to_vec();
+        cur.pos += key_len;
+        let history_bits = cur.get_u32_le();
+        let laned = match cur.get_u8() {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        let count = cur.get_u64_le();
+        Some((key, history_bits, laned, count))
+    }
+}
+
+/// Serializes a v3 chunked artifact container: the same forms as
+/// [`write_artifacts`], with each section split into `chunk_bytes`-budget
+/// varint+delta chunks behind a seekable, checksummed chunk table.
+///
+/// The inverse of [`read_artifacts`] (which dispatches on the header
+/// version); [`ChunkedArtifact`] reads the same bytes seekably.
+#[must_use]
+pub fn write_artifacts_chunked(
+    fingerprint: u64,
+    trace: Option<&Trace>,
+    packed: Option<&[PackedCond]>,
+    interned: Option<&InternedConds>,
+    streams: &[(Vec<u8>, &PatternStream)],
+    chunk_bytes: usize,
+) -> Vec<u8> {
+    let chunk_bytes = chunk_bytes.max(1);
+    let sections = usize::from(trace.is_some())
+        + usize::from(packed.is_some())
+        + usize::from(interned.is_some())
+        + streams.len();
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&ARTIFACT_VERSION_CHUNKED.to_le_bytes());
+    buf.extend_from_slice(&fingerprint.to_le_bytes());
+    buf.extend_from_slice(&u32::try_from(sections).expect("section count fits u32").to_le_bytes());
+
+    if let Some(trace) = trace {
+        let per = items_per_chunk(section::TRACE, false, chunk_bytes);
+        let chunks: Vec<(u64, Vec<u8>)> = chunk_ranges(trace.len(), per)
+            .into_iter()
+            .map(|r| (r.len() as u64, encode_trace_chunk(&trace.events()[r])))
+            .collect();
+        let meta = meta::trace(trace.len() as u64, trace.total_instructions());
+        push_chunked_section(&mut buf, section::TRACE, &meta, &chunks);
+    }
+    if let Some(packed) = packed {
+        let per = items_per_chunk(section::PACKED, false, chunk_bytes);
+        let chunks: Vec<(u64, Vec<u8>)> = chunk_ranges(packed.len(), per)
+            .into_iter()
+            .map(|r| (r.len() as u64, encode_packed_chunk(&packed[r])))
+            .collect();
+        push_chunked_section(
+            &mut buf,
+            section::PACKED,
+            &meta::packed(packed.len() as u64),
+            &chunks,
+        );
+    }
+    if let Some(interned) = interned {
+        let per = items_per_chunk(section::INTERNED, false, chunk_bytes);
+        let chunks: Vec<(u64, Vec<u8>)> = chunk_ranges(interned.len(), per)
+            .into_iter()
+            .map(|r| (r.len() as u64, encode_interned_chunk(&interned.events()[r])))
+            .collect();
+        let meta = meta::interned(interned.len() as u64, interned.pcs());
+        push_chunked_section(&mut buf, section::INTERNED, &meta, &chunks);
+    }
+    for (key, stream) in streams {
+        let per = items_per_chunk(section::STREAM, stream.is_laned(), chunk_bytes);
+        let chunks: Vec<(u64, Vec<u8>)> = chunk_ranges(stream.len(), per)
+            .into_iter()
+            .map(|r| {
+                let lanes =
+                    if stream.is_laned() { &stream.lanes()[r.clone()] } else { &[] as &[u32] };
+                (r.len() as u64, encode_stream_chunk(&stream.events()[r], lanes))
+            })
+            .collect();
+        let meta = meta::stream(key, stream.history_bits(), stream.is_laned(), stream.len() as u64);
+        push_chunked_section(&mut buf, section::STREAM, &meta, &chunks);
+    }
+    buf
+}
+
+/// Decodes the body of a v3 container (cursor positioned after magic +
+/// version) into a whole [`ArtifactBundle`], verifying every head and
+/// chunk checksum and every structural invariant.
+fn read_artifacts_chunked(cur: &mut Cursor<'_>) -> Result<ArtifactBundle, ReadTraceError> {
+    let truncated = ReadTraceError::Truncated { at_event: 0 };
+    if cur.remaining() < 12 {
+        return Err(truncated);
+    }
+    let mut bundle = ArtifactBundle { fingerprint: cur.get_u64_le(), ..ArtifactBundle::default() };
+    let sections = cur.get_u32_le();
+    for _ in 0..sections {
+        let head_start = cur.pos;
+        if cur.remaining() < 5 {
+            return Err(truncated);
+        }
+        let kind = cur.get_u8();
+        let bad = ReadTraceError::BadSection { kind };
+        let meta_len = usize::try_from(cur.get_u32_le()).map_err(|_| truncated.clone())?;
+        if cur.remaining() < meta_len + 4 {
+            return Err(truncated);
+        }
+        let meta = cur.bytes[cur.pos..cur.pos + meta_len].to_vec();
+        cur.pos += meta_len;
+        let nchunks = usize::try_from(cur.get_u32_le()).map_err(|_| truncated.clone())?;
+        let table_bytes = nchunks.checked_mul(24).ok_or_else(|| truncated.clone())?;
+        if cur.remaining() < table_bytes + 8 {
+            return Err(truncated);
+        }
+        let table: Vec<(u64, u64, u64)> =
+            (0..nchunks).map(|_| (cur.get_u64_le(), cur.get_u64_le(), cur.get_u64_le())).collect();
+        let stored_head = cur.get_u64_le();
+        if checksum(&cur.bytes[head_start..cur.pos - 8]) != stored_head {
+            return Err(ReadTraceError::SectionChecksum { kind });
+        }
+        let mut decoder = SectionDecoder::new(kind, &meta).ok_or(bad.clone())?;
+        for &(encoded, items, stored) in &table {
+            let encoded = usize::try_from(encoded).map_err(|_| truncated.clone())?;
+            if cur.remaining() < encoded {
+                return Err(truncated);
+            }
+            let payload = &cur.bytes[cur.pos..cur.pos + encoded];
+            cur.pos += encoded;
+            if checksum(payload) != stored {
+                return Err(ReadTraceError::SectionChecksum { kind });
+            }
+            decoder.decode_chunk(payload, items).ok_or(bad.clone())?;
+        }
+        decoder.finish(&mut bundle).ok_or(bad)?;
+    }
+    if cur.remaining() > 0 {
+        return Err(ReadTraceError::TrailingBytes { count: cur.remaining() });
+    }
+    Ok(bundle)
+}
+
+/// Incremental decoder for one v3 section: chunks stream through
+/// [`SectionDecoder::decode_chunk`] and [`SectionDecoder::finish`]
+/// applies the declared-count and structural validations.
+enum SectionDecoder {
+    Trace {
+        declared: u64,
+        total: u64,
+        trace: Trace,
+        last_instret: u64,
+    },
+    Packed {
+        declared: u64,
+        out: Vec<PackedCond>,
+    },
+    Interned {
+        declared: u64,
+        pcs: Vec<u64>,
+        out: Vec<InternedCond>,
+    },
+    Stream {
+        key: Vec<u8>,
+        history_bits: u32,
+        laned: bool,
+        declared: u64,
+        events: Vec<u32>,
+        lanes: Vec<u32>,
+    },
+}
+
+impl SectionDecoder {
+    fn new(kind: u8, meta: &[u8]) -> Option<SectionDecoder> {
+        match kind {
+            section::TRACE => {
+                let (declared, total) = meta::parse_trace(meta)?;
+                let capacity = usize::try_from(declared).unwrap_or(usize::MAX).min(1 << 24);
+                Some(SectionDecoder::Trace {
+                    declared,
+                    total,
+                    trace: Trace::with_capacity(capacity),
+                    last_instret: 0,
+                })
+            }
+            section::PACKED => Some(SectionDecoder::Packed {
+                declared: meta::parse_packed(meta)?,
+                out: Vec::new(),
+            }),
+            section::INTERNED => {
+                let (declared, pcs) = meta::parse_interned(meta)?;
+                Some(SectionDecoder::Interned { declared, pcs, out: Vec::new() })
+            }
+            section::STREAM => {
+                let (key, history_bits, laned, declared) = meta::parse_stream(meta)?;
+                Some(SectionDecoder::Stream {
+                    key,
+                    history_bits,
+                    laned,
+                    declared,
+                    events: Vec::new(),
+                    lanes: Vec::new(),
+                })
+            }
+            _ => None,
+        }
+    }
+
+    fn decode_chunk(&mut self, payload: &[u8], items: u64) -> Option<()> {
+        match self {
+            SectionDecoder::Trace { trace, last_instret, .. } => {
+                decode_trace_chunk(payload, items, trace, last_instret)
+            }
+            SectionDecoder::Packed { out, .. } => decode_packed_chunk(payload, items, out),
+            SectionDecoder::Interned { out, .. } => decode_interned_chunk(payload, items, out),
+            SectionDecoder::Stream { laned, events, lanes, .. } => {
+                decode_stream_chunk(payload, items, *laned, events, lanes)
+            }
+        }
+    }
+
+    fn finish(self, bundle: &mut ArtifactBundle) -> Option<()> {
+        match self {
+            SectionDecoder::Trace { declared, total, mut trace, last_instret } => {
+                if trace.len() as u64 != declared {
+                    return None;
+                }
+                if total >= last_instret {
+                    trace.set_total_instructions(total);
+                }
+                bundle.trace = Some(trace);
+            }
+            SectionDecoder::Packed { declared, out } => {
+                if out.len() as u64 != declared {
+                    return None;
+                }
+                bundle.packed = Some(out);
+            }
+            SectionDecoder::Interned { declared, pcs, out } => {
+                if out.len() as u64 != declared {
+                    return None;
+                }
+                bundle.interned = Some(InternedConds::from_raw_parts(out, pcs)?);
+            }
+            SectionDecoder::Stream { key, history_bits, laned, declared, events, lanes } => {
+                if events.len() as u64 != declared {
+                    return None;
+                }
+                let stream = PatternStream::from_raw_parts(history_bits, events, lanes, laned)?;
+                bundle.streams.push((key, stream));
+            }
+        }
+        Some(())
+    }
+}
+
+fn map_io(err: &std::io::Error) -> ReadTraceError {
+    match err.kind() {
+        std::io::ErrorKind::UnexpectedEof => ReadTraceError::Truncated { at_event: 0 },
+        kind => ReadTraceError::Io { kind },
+    }
+}
+
+fn read_exact_buf(file: &mut std::fs::File, len: usize) -> Result<Vec<u8>, ReadTraceError> {
+    use std::io::Read;
+    let mut buf = vec![0u8; len];
+    file.read_exact(&mut buf).map_err(|e| map_io(&e))?;
+    Ok(buf)
+}
+
+/// Location of one chunk's payload inside a seekable v3 artifact.
+#[derive(Debug, Clone, Copy)]
+struct ChunkEntry {
+    offset: u64,
+    encoded: u64,
+    items: u64,
+    checksum: u64,
+}
+
+/// One section's head (kind, metadata, chunk table) inside a seekable
+/// v3 artifact.
+#[derive(Debug, Clone)]
+struct SectionEntry {
+    kind: u8,
+    meta: Vec<u8>,
+    chunks: Vec<ChunkEntry>,
+}
+
+/// Identity and shape of one pattern-stream section inside a
+/// [`ChunkedArtifact`], as reported by
+/// [`ChunkedArtifact::stream_sections`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamSectionInfo {
+    /// Section index to pass to [`ChunkedArtifact::read_stream_chunk`].
+    pub section: usize,
+    /// The opaque stream key bytes the section was persisted under.
+    pub key: Vec<u8>,
+    /// First-level history width the stream was derived at.
+    pub history_bits: u32,
+    /// Whether the stream carries per-address lane indices.
+    pub laned: bool,
+    /// Total number of events across all chunks.
+    pub events: u64,
+    /// Declared item count of each chunk, in file order.
+    pub chunk_items: Vec<u64>,
+}
+
+/// A v3 artifact opened for seekable, chunk-at-a-time reads.
+///
+/// [`ChunkedArtifact::open`] reads and verifies only the header and the
+/// per-section heads (metadata + chunk tables); chunk payloads stay on
+/// disk until fetched with [`ChunkedArtifact::read_stream_chunk`], each
+/// fetch verifying that chunk's stored checksum. This is the I/O layer
+/// behind the simulator's bounded-memory streaming replay tier.
+#[derive(Debug)]
+pub struct ChunkedArtifact {
+    file: std::fs::File,
+    fingerprint: u64,
+    sections: Vec<SectionEntry>,
+}
+
+impl ChunkedArtifact {
+    /// Opens `path` and parses + verifies its header and section heads
+    /// without reading any chunk payloads.
+    pub fn open(path: &std::path::Path) -> Result<ChunkedArtifact, ReadTraceError> {
+        use std::io::{Seek, SeekFrom};
+        let mut file = std::fs::File::open(path).map_err(|e| map_io(&e))?;
+        let header = read_exact_buf(&mut file, 18)?;
+        let found: [u8; 4] = header[..4].try_into().expect("4 bytes");
+        if &found != MAGIC {
+            return Err(ReadTraceError::BadMagic { found });
+        }
+        let mut cur = Cursor { bytes: &header, pos: 4 };
+        let version = cur.get_u16_le();
+        if version != ARTIFACT_VERSION_CHUNKED {
+            return Err(ReadTraceError::UnsupportedVersion { found: version });
+        }
+        let fingerprint = cur.get_u64_le();
+        let nsections = cur.get_u32_le() as usize;
+        let truncated = ReadTraceError::Truncated { at_event: 0 };
+        let mut sections = Vec::new();
+        for _ in 0..nsections {
+            let fixed = read_exact_buf(&mut file, 5)?;
+            let kind = fixed[0];
+            let meta_len = u32::from_le_bytes(fixed[1..5].try_into().expect("4 bytes")) as usize;
+            let meta = read_exact_buf(&mut file, meta_len)?;
+            let count_bytes = read_exact_buf(&mut file, 4)?;
+            let nchunks = u32::from_le_bytes(count_bytes[..].try_into().expect("4 bytes")) as usize;
+            let table_len = nchunks.checked_mul(24).ok_or_else(|| truncated.clone())?;
+            let table = read_exact_buf(&mut file, table_len)?;
+            let stored =
+                u64::from_le_bytes(read_exact_buf(&mut file, 8)?[..].try_into().expect("8 bytes"));
+            let mut head = Vec::with_capacity(9 + meta.len() + table.len());
+            head.extend_from_slice(&fixed);
+            head.extend_from_slice(&meta);
+            head.extend_from_slice(&count_bytes);
+            head.extend_from_slice(&table);
+            if checksum(&head) != stored {
+                return Err(ReadTraceError::SectionChecksum { kind });
+            }
+            let mut offset = file.stream_position().map_err(|e| map_io(&e))?;
+            let mut tcur = Cursor { bytes: &table, pos: 0 };
+            let mut chunks = Vec::with_capacity(nchunks);
+            for _ in 0..nchunks {
+                let (encoded, items, sum) =
+                    (tcur.get_u64_le(), tcur.get_u64_le(), tcur.get_u64_le());
+                chunks.push(ChunkEntry { offset, encoded, items, checksum: sum });
+                offset = offset.checked_add(encoded).ok_or_else(|| truncated.clone())?;
+            }
+            file.seek(SeekFrom::Start(offset)).map_err(|e| map_io(&e))?;
+            sections.push(SectionEntry { kind, meta, chunks });
+        }
+        let end = file.stream_position().map_err(|e| map_io(&e))?;
+        let len = file.metadata().map_err(|e| map_io(&e))?.len();
+        if end < len {
+            return Err(ReadTraceError::TrailingBytes { count: (len - end) as usize });
+        }
+        if end > len {
+            return Err(truncated);
+        }
+        Ok(ChunkedArtifact { file, fingerprint, sections })
+    }
+
+    /// Workload fingerprint stamped into the artifact header.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Every pattern-stream section in the artifact, in file order.
+    #[must_use]
+    pub fn stream_sections(&self) -> Vec<StreamSectionInfo> {
+        self.sections
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.kind == section::STREAM)
+            .filter_map(|(section, s)| {
+                meta::parse_stream(&s.meta).map(|(key, history_bits, laned, events)| {
+                    StreamSectionInfo {
+                        section,
+                        key,
+                        history_bits,
+                        laned,
+                        events,
+                        chunk_items: s.chunks.iter().map(|c| c.items).collect(),
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// Looks up the pattern-stream section persisted under `key`.
+    #[must_use]
+    pub fn find_stream(&self, key: &[u8]) -> Option<StreamSectionInfo> {
+        self.stream_sections().into_iter().find(|info| info.key == key)
+    }
+
+    /// Reads, checksum-verifies and decodes one chunk of a
+    /// pattern-stream section: `(events, lanes)`, with `lanes` empty
+    /// for unlaned streams.
+    pub fn read_stream_chunk(
+        &mut self,
+        section: usize,
+        chunk: usize,
+    ) -> Result<(Vec<u32>, Vec<u32>), ReadTraceError> {
+        use std::io::{Read, Seek, SeekFrom};
+        let bad = ReadTraceError::BadSection { kind: section::STREAM };
+        let entry = self.sections.get(section).ok_or(bad.clone())?;
+        if entry.kind != section::STREAM {
+            return Err(ReadTraceError::BadSection { kind: entry.kind });
+        }
+        let (_, _, laned, _) = meta::parse_stream(&entry.meta).ok_or(bad.clone())?;
+        let c = *entry.chunks.get(chunk).ok_or(bad.clone())?;
+        self.file.seek(SeekFrom::Start(c.offset)).map_err(|e| map_io(&e))?;
+        let encoded = usize::try_from(c.encoded).map_err(|_| bad.clone())?;
+        let mut payload = vec![0u8; encoded];
+        self.file.read_exact(&mut payload).map_err(|e| map_io(&e))?;
+        if checksum(&payload) != c.checksum {
+            return Err(ReadTraceError::SectionChecksum { kind: section::STREAM });
+        }
+        let mut events = Vec::with_capacity(usize::try_from(c.items).map_err(|_| bad.clone())?);
+        let mut lanes = Vec::new();
+        decode_stream_chunk(&payload, c.items, laned, &mut events, &mut lanes).ok_or(bad)?;
+        Ok((events, lanes))
     }
 }
 
@@ -1023,6 +1873,252 @@ mod tests {
             read_artifacts(&corrupt).unwrap_err(),
             ReadTraceError::BadSection { kind: section::INTERNED }
         );
+    }
+
+    fn write_sample_chunked(fingerprint: u64, chunk_bytes: usize) -> Vec<u8> {
+        let (trace, packed, interned, streams) = sample_bundle();
+        let refs: Vec<(Vec<u8>, &PatternStream)> =
+            streams.iter().map(|(k, s)| (k.clone(), s)).collect();
+        write_artifacts_chunked(
+            fingerprint,
+            Some(&trace),
+            Some(&packed),
+            Some(&interned),
+            &refs,
+            chunk_bytes,
+        )
+    }
+
+    #[test]
+    fn chunked_artifacts_round_trip_every_section() {
+        let (trace, packed, interned, streams) = sample_bundle();
+        for chunk_bytes in [DEFAULT_CHUNK_BYTES, 64, 1] {
+            let bytes = write_sample_chunked(0xfeed, chunk_bytes);
+            let bundle = read_artifacts(&bytes).unwrap();
+            assert_eq!(bundle.fingerprint, 0xfeed);
+            assert_eq!(bundle.trace.as_ref(), Some(&trace));
+            assert_eq!(bundle.packed.as_deref(), Some(packed.as_slice()));
+            assert_eq!(bundle.interned.as_ref(), Some(&interned));
+            assert_eq!(bundle.streams, streams);
+        }
+    }
+
+    #[test]
+    fn chunked_artifacts_round_trip_each_section_alone() {
+        let (trace, packed, interned, streams) = sample_bundle();
+        let b = 64;
+        let bundle =
+            read_artifacts(&write_artifacts_chunked(1, Some(&trace), None, None, &[], b)).unwrap();
+        assert_eq!(bundle.trace, Some(trace));
+        assert_eq!(bundle.packed, None);
+        let bundle =
+            read_artifacts(&write_artifacts_chunked(2, None, Some(&packed), None, &[], b)).unwrap();
+        assert_eq!(bundle.packed.as_deref(), Some(packed.as_slice()));
+        let bundle =
+            read_artifacts(&write_artifacts_chunked(3, None, None, Some(&interned), &[], b))
+                .unwrap();
+        assert_eq!(bundle.interned, Some(interned));
+        let refs: Vec<(Vec<u8>, &PatternStream)> =
+            streams.iter().map(|(k, s)| (k.clone(), s)).collect();
+        let bundle =
+            read_artifacts(&write_artifacts_chunked(4, None, None, None, &refs, b)).unwrap();
+        assert_eq!(bundle.streams, streams);
+        let empty = read_artifacts(&write_artifacts_chunked(5, None, None, None, &[], b)).unwrap();
+        assert_eq!(empty, ArtifactBundle { fingerprint: 5, ..ArtifactBundle::default() });
+    }
+
+    #[test]
+    fn chunked_artifacts_smaller_than_v2() {
+        let v2 = write_sample(1);
+        let v3 = write_sample_chunked(1, DEFAULT_CHUNK_BYTES);
+        assert!(
+            v3.len() < v2.len(),
+            "varint+delta v3 ({} bytes) should undercut v2 ({} bytes)",
+            v3.len(),
+            v2.len()
+        );
+    }
+
+    #[test]
+    fn chunked_artifacts_reject_truncation_at_every_byte_boundary() {
+        // A 64-byte budget forces multi-chunk sections, so the cut loop
+        // exercises chunk boundaries and mid-chunk cuts alike.
+        let bytes = write_sample_chunked(0xabcd, 64);
+        for cut in 0..bytes.len() {
+            assert!(
+                read_artifacts(&bytes[..cut]).is_err(),
+                "prefix of {cut}/{} bytes must not decode",
+                bytes.len()
+            );
+        }
+        assert!(read_artifacts(&bytes).is_ok());
+    }
+
+    #[test]
+    fn chunked_artifacts_detect_any_single_bit_flip_in_payloads() {
+        let bytes = write_sample_chunked(0x1234, 64);
+        // As in the v2 test: bytes below 18 are the fixed header, whose
+        // flips are covered by the dedicated header tests.
+        for pos in 18..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 1 << (pos % 8);
+            assert!(
+                read_artifacts(&corrupt).is_err(),
+                "bit flip at byte {pos} must not decode cleanly"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_artifacts_reject_trailing_bytes() {
+        let mut bytes = write_sample_chunked(7, 64);
+        bytes.push(0);
+        assert!(matches!(
+            read_artifacts(&bytes).unwrap_err(),
+            ReadTraceError::TrailingBytes { count: 1 }
+        ));
+    }
+
+    #[test]
+    fn v2_and_v3_decode_to_the_same_bundle() {
+        let v2 = read_artifacts(&write_sample(6)).unwrap();
+        let v3 = read_artifacts(&write_sample_chunked(6, 64)).unwrap();
+        assert_eq!(v2, v3);
+    }
+
+    #[test]
+    fn chunked_artifact_seekable_reads_match_whole_buffer() {
+        let dir = std::env::temp_dir().join(format!("tlabp-io-chunked-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.tlabp");
+
+        // A stream long enough to span several aligned chunks.
+        let mut long = PatternStream::new(8, true);
+        for i in 0..3 * STREAM_CHUNK_ALIGN + 123 {
+            long.push_with_lane(i % 256, i % 3 == 0, (i % 7) as u32);
+        }
+        let (trace, packed, interned, mut streams) = sample_bundle();
+        streams.push((b"long".to_vec(), long));
+        let refs: Vec<(Vec<u8>, &PatternStream)> =
+            streams.iter().map(|(k, s)| (k.clone(), s)).collect();
+        let bytes = write_artifacts_chunked(
+            0xbeef,
+            Some(&trace),
+            Some(&packed),
+            Some(&interned),
+            &refs,
+            STREAM_CHUNK_ALIGN * 4,
+        );
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut artifact = ChunkedArtifact::open(&path).unwrap();
+        assert_eq!(artifact.fingerprint(), 0xbeef);
+        let infos = artifact.stream_sections();
+        assert_eq!(infos.len(), streams.len());
+        for (key, stream) in &streams {
+            let info = artifact.find_stream(key).expect("stream section present");
+            assert_eq!(info.history_bits, stream.history_bits());
+            assert_eq!(info.laned, stream.is_laned());
+            assert_eq!(info.events, stream.len() as u64);
+            let mut events = Vec::new();
+            let mut lanes = Vec::new();
+            for chunk in 0..info.chunk_items.len() {
+                let (e, l) = artifact.read_stream_chunk(info.section, chunk).unwrap();
+                assert_eq!(e.len() as u64, info.chunk_items[chunk]);
+                events.extend_from_slice(&e);
+                lanes.extend_from_slice(&l);
+            }
+            assert_eq!(events, stream.events());
+            assert_eq!(lanes, stream.lanes());
+        }
+        let long_info = artifact.find_stream(b"long").unwrap();
+        assert!(long_info.chunk_items.len() > 1, "long stream must span multiple chunks");
+        assert!(long_info.chunk_items[..long_info.chunk_items.len() - 1]
+            .iter()
+            .all(|&n| (n as usize).is_multiple_of(STREAM_CHUNK_ALIGN)));
+
+        // A flipped payload byte surfaces on the chunk read, not open().
+        let mut corrupt_bytes = bytes.clone();
+        let last = corrupt_bytes.len() - 1;
+        corrupt_bytes[last] ^= 0x40;
+        let corrupt_path = dir.join("corrupt.tlabp");
+        std::fs::write(&corrupt_path, &corrupt_bytes).unwrap();
+        let mut corrupt = ChunkedArtifact::open(&corrupt_path).unwrap();
+        let info = corrupt.find_stream(b"long").unwrap();
+        let last_chunk = info.chunk_items.len() - 1;
+        assert!(matches!(
+            corrupt.read_stream_chunk(info.section, last_chunk).unwrap_err(),
+            ReadTraceError::SectionChecksum { kind: section::STREAM }
+        ));
+
+        // Truncating the file mid-payload surfaces as Truncated on read.
+        let cut_path = dir.join("cut.tlabp");
+        std::fs::write(&cut_path, &bytes[..bytes.len() - 10]).unwrap();
+        assert!(matches!(
+            ChunkedArtifact::open(&cut_path).unwrap_err(),
+            ReadTraceError::Truncated { .. }
+        ));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chunked_artifact_open_rejects_v2_and_bad_heads() {
+        let dir = std::env::temp_dir().join(format!("tlabp-io-chunkhdr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let v2_path = dir.join("v2.tlabp");
+        std::fs::write(&v2_path, write_sample(3)).unwrap();
+        assert_eq!(
+            ChunkedArtifact::open(&v2_path).unwrap_err(),
+            ReadTraceError::UnsupportedVersion { found: ARTIFACT_VERSION }
+        );
+
+        // Flip a chunk-table byte: open() must fail the head checksum.
+        let bytes = write_sample_chunked(3, 64);
+        let mut corrupt = bytes.clone();
+        corrupt[30] ^= 0x10;
+        let bad_path = dir.join("bad.tlabp");
+        std::fs::write(&bad_path, &corrupt).unwrap();
+        assert!(matches!(
+            ChunkedArtifact::open(&bad_path).unwrap_err(),
+            ReadTraceError::SectionChecksum { .. }
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chunk_bytes_env_parses_clamps_and_defaults() {
+        // Single test owns the env var, so set/remove stays race-free.
+        std::env::remove_var(CHUNK_BYTES_ENV);
+        assert_eq!(chunk_bytes_from_env(), DEFAULT_CHUNK_BYTES);
+        std::env::set_var(CHUNK_BYTES_ENV, "1048576");
+        assert_eq!(chunk_bytes_from_env(), 1 << 20);
+        std::env::set_var(CHUNK_BYTES_ENV, "12");
+        assert_eq!(chunk_bytes_from_env(), MIN_CHUNK_BYTES);
+        std::env::set_var(CHUNK_BYTES_ENV, "lots");
+        assert_eq!(chunk_bytes_from_env(), DEFAULT_CHUNK_BYTES);
+        std::env::remove_var(CHUNK_BYTES_ENV);
+    }
+
+    #[test]
+    fn varint_round_trips_edge_values() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX - 1, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            assert!(buf.len() <= 10);
+            let mut cur = Cursor { bytes: &buf, pos: 0 };
+            assert_eq!(get_varint(&mut cur), Some(v), "value {v}");
+            assert_eq!(cur.remaining(), 0);
+        }
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -4096] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Truncated and over-long encodings are rejected.
+        let mut cur = Cursor { bytes: &[0x80], pos: 0 };
+        assert_eq!(get_varint(&mut cur), None);
+        let eleven = [0xff; 11];
+        let mut cur = Cursor { bytes: &eleven, pos: 0 };
+        assert_eq!(get_varint(&mut cur), None);
     }
 
     #[test]

@@ -46,6 +46,7 @@ mod pattern_stream;
 mod record;
 mod trace;
 
+pub mod import;
 pub mod io;
 pub mod rng;
 pub mod stats;

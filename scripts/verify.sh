@@ -7,9 +7,11 @@
 # host: without AVX-512 the forced tier falls back to SWAR, so it
 # degrades to a second SWAR pass rather than failing) — plus a
 # forced-split pass proving TLABP_SPLIT is a scheduling knob only —
-# and one-iteration smoke runs of the throughput harness (full, then
-# the replay section alone under the portable SWAR body, then the
-# scaling section alone, then the service section alone), and the
+# plus a capped-window streaming pass proving TLABP_STREAM_BYTES is a
+# memory knob only — and one-iteration smoke runs of the throughput
+# harness (full, then the replay section alone under the portable SWAR
+# body, then the scaling, service and stream sections alone), an
+# end-to-end TLBE import of the built-in demo capture, and the
 # sweep-service smoke test: a daemon is started with a persistent memo
 # tier, a concurrent burst of clients streams the fig5 plan, every
 # result set must be byte-identical to an in-process `experiments exec`
@@ -25,15 +27,24 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all --check
-cargo test --release -q -p tlabp --test differential --test sweep_determinism --test disk_cache
-TLABP_SIMD=swar cargo test --release -q -p tlabp --test differential --test sweep_determinism
-TLABP_SIMD=scalar cargo test --release -q -p tlabp --test differential --test sweep_determinism
+cargo test --release -q -p tlabp --test differential --test sweep_determinism --test disk_cache --test streaming
+TLABP_SIMD=swar cargo test --release -q -p tlabp --test differential --test sweep_determinism --test streaming
+TLABP_SIMD=scalar cargo test --release -q -p tlabp --test differential --test sweep_determinism --test streaming
 TLABP_SIMD=avx512 cargo test --release -q -p tlabp --test differential --test sweep_determinism
 TLABP_SPLIT=3 cargo test --release -q -p tlabp --test differential --test sweep_determinism
+# The engine's streaming tier forced on with a small window: every
+# replay batch that finds a persisted v3 stream must walk it chunked
+# (and bit-identically), everything else falls back to hydration.
+TLABP_STREAM_BYTES=4194304 TLABP_TRACE_DIR="$(mktemp -d)" cargo test --release -q -p tlabp --test differential --test disk_cache --test streaming
 TLABP_BENCH_ITERS=1 cargo run -q -p tlabp-experiments --release -- bench --out "$(mktemp -d)"
 TLABP_BENCH_ITERS=1 TLABP_SIMD=swar cargo run -q -p tlabp-experiments --release -- bench --section replay --out "$(mktemp -d)"
 TLABP_BENCH_ITERS=1 cargo run -q -p tlabp-experiments --release -- bench --section scaling --out "$(mktemp -d)"
 TLABP_BENCH_ITERS=1 cargo run -q -p tlabp-experiments --release -- bench --section service --out "$(mktemp -d)"
+TLABP_BENCH_ITERS=1 cargo run -q -p tlabp-experiments --release -- bench --section stream --out "$(mktemp -d)"
+# External trace ingestion: the built-in demo capture must import,
+# persist as a fingerprint-named v3 artifact and pass its replay smoke
+# check end-to-end.
+TLABP_TRACE_DIR="$(mktemp -d)" cargo run -q -p tlabp-experiments --release -- import --out "$(mktemp -d)"
 
 # Sweep-service smoke test. Serialize the fig5 plan, run it in-process
 # for the reference results, then stream it through a live daemon

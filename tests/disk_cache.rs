@@ -68,7 +68,7 @@ fn disk_enabled_and_disabled_agree_bit_for_bit() {
     let paths = artifact_paths(&dir);
     assert_eq!(paths.len(), 1, "one artifact per (benchmark, data set): {paths:?}");
     assert!(
-        paths[0].file_name().unwrap().to_str().unwrap().starts_with("li-testing-v2-"),
+        paths[0].file_name().unwrap().to_str().unwrap().starts_with("li-testing-v3-"),
         "artifact name carries benchmark, data set and version: {paths:?}"
     );
 
@@ -156,11 +156,76 @@ fn cache_bytes_reports_disk_footprint() {
     let bytes = store.cache_bytes();
     assert!(on_disk > 0);
     assert_eq!(bytes.disk, on_disk);
-    assert_eq!(bytes.total(), bytes.packed + bytes.interned + bytes.streams + bytes.disk);
+    assert_eq!(
+        bytes.total(),
+        bytes.packed + bytes.interned + bytes.streams + bytes.disk + bytes.stream_window
+    );
+    assert_eq!(bytes.stream_window, 0, "no streaming cursor is open");
 
     let memory = TraceStore::new();
     let _ = execute(&plan(), &memory);
     assert_eq!(memory.cache_bytes().disk, 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Cross-version reads: a cache directory written by a v2 build (v2
+/// bytes under the v2-named file) hydrates transparently, produces
+/// bit-identical results, and the first new derivation upgrades the slot
+/// in place — a v3-named chunked artifact carrying the union of the old
+/// file's sections.
+#[test]
+fn v2_named_artifacts_hydrate_and_upgrade_to_v3() {
+    use tlabp::trace::io::{read_artifacts, write_artifacts};
+
+    let dir = scratch_dir("crossver");
+    let plan = plan();
+    let memory_out = execute(&plan, &TraceStore::new());
+
+    // Produce the slot once, then rewrite it the way a v2 build would
+    // have: v2 container bytes under the v2-named path.
+    let _ = execute(&plan, &TraceStore::with_cache_dir(&dir));
+    let v3_path = artifact_paths(&dir).remove(0);
+    let bundle =
+        read_artifacts(&std::fs::read(&v3_path).expect("artifact exists")).expect("v3 decodes");
+    let streams: Vec<(Vec<u8>, &tlabp::trace::PatternStream)> =
+        bundle.streams.iter().map(|(key, stream)| (key.clone(), stream)).collect();
+    let v2_bytes = write_artifacts(
+        bundle.fingerprint,
+        bundle.trace.as_ref(),
+        bundle.packed.as_deref(),
+        bundle.interned.as_ref(),
+        &streams,
+    );
+    let name = v3_path.file_name().unwrap().to_str().unwrap().replace("-v3-", "-v2-");
+    let v2_path = v3_path.with_file_name(name);
+    std::fs::write(&v2_path, &v2_bytes).expect("write v2-named artifact");
+    std::fs::remove_file(&v3_path).expect("remove v3 artifact");
+
+    // Pure hydration from the v2 fallback: identical results, file
+    // untouched (nothing new was derived, so nothing re-persists).
+    let warm = TraceStore::with_cache_dir(&dir);
+    assert_eq!(execute(&plan, &warm), memory_out, "v2 fallback hydration changed results");
+    assert!(!v3_path.exists(), "a pure read must not rewrite the artifact");
+
+    // A new derivation (a stream key the old file lacks) re-persists:
+    // the rewrite lands under the v3 name, as a v3 container, carrying
+    // the v2 file's sections forward.
+    let li = Benchmark::by_name("li").expect("li exists");
+    let wider: Plan = [Job::scheme(SchemeConfig::gag(13), li)].into_iter().collect();
+    let wider_memory = execute(&wider, &TraceStore::new());
+    assert_eq!(execute(&wider, &warm), wider_memory, "deepening the cache changed results");
+    assert!(v3_path.exists(), "re-persist writes the v3-named artifact");
+    let upgraded =
+        read_artifacts(&std::fs::read(&v3_path).expect("artifact exists")).expect("v3 decodes");
+    assert!(
+        upgraded.streams.len() > bundle.streams.len(),
+        "upgrade carries old sections plus the new stream"
+    );
+    for (key, stream) in &bundle.streams {
+        let carried = upgraded.streams.iter().find(|(have, _)| have == key);
+        assert_eq!(carried.map(|(_, s)| s), Some(stream), "v2 section lost in the upgrade");
+    }
 
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -207,7 +272,7 @@ fn concurrent_writers_merge_into_one_artifact() {
         .expect("cache dir exists")
         .filter_map(Result::ok)
         .map(|entry| entry.file_name().to_string_lossy().into_owned())
-        .filter(|name| !(name.starts_with("li-testing-v2-") && name.ends_with(".tlabp")))
+        .filter(|name| !(name.starts_with("li-testing-v3-") && name.ends_with(".tlabp")))
         .collect();
     assert!(leftovers.is_empty(), "lock/temp residue after racing writers: {leftovers:?}");
     let paths = artifact_paths(&dir);

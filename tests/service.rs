@@ -38,6 +38,7 @@ fn server_config(memo_bytes: usize) -> ServeConfig {
         window: None,
         inflight: 4,
         memo_dir: MemoDirMode::Off,
+        memo_disk_bytes: None,
         backend: ServeBackend::Auto,
     }
 }
